@@ -1,0 +1,35 @@
+//! Ablation (beyond the paper): token-FIFO depth × outstanding-request
+//! limit. Shows how PE buffering hides memory latency — the knob that
+//! separates latency-bound from bandwidth-bound behaviour in Figs. 11/14.
+
+use nupea::experiments::render_table;
+use nupea::{MemoryModel, Scale, SystemConfig};
+use nupea_bench::run_once;
+use nupea_kernels::workloads::workload_by_name;
+
+fn main() {
+    let configs = [(2usize, 1usize), (4, 1), (4, 2), (8, 2), (8, 4), (8, 8)];
+    let headers: Vec<String> = configs
+        .iter()
+        .map(|(f, o)| format!("fifo{f}/out{o}"))
+        .collect();
+    let mut rows = Vec::new();
+    for name in ["spmspv", "dmv", "fft"] {
+        let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
+        let mut cells = Vec::new();
+        for &(fifo, outst) in &configs {
+            let mut sys = SystemConfig::monaco_12x12();
+            sys.fifo_depth = fifo;
+            sys.max_outstanding = outst;
+            cells.push(match run_once(&w, &sys, MemoryModel::Nupea) {
+                Ok(c) => c.to_string(),
+                Err(e) => format!("err {e}"),
+            });
+        }
+        rows.push((name.to_string(), cells));
+    }
+    println!(
+        "{}",
+        render_table("Ablation: PE buffering (cycles on Monaco; lower is better)", &headers, &rows)
+    );
+}

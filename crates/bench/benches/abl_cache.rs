@@ -1,0 +1,32 @@
+//! Ablation (beyond the paper): shared memory-side cache size sweep on
+//! Monaco, plus cache hit rates.
+
+use nupea::experiments::{heuristic_for, render_table};
+use nupea::{compile_workload, simulate_on, MemoryModel, Scale, SystemConfig};
+use nupea_kernels::workloads::workload_by_name;
+
+fn main() {
+    // Cache sizes in KB (words = KB * 1024 / 4).
+    let sizes_kb = [16usize, 64, 256, 1024];
+    let headers: Vec<String> = sizes_kb.iter().map(|k| format!("{k}KB")).collect();
+    let mut rows = Vec::new();
+    for name in ["spmv", "spmspm", "mergsort", "ic"] {
+        let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
+        let mut cells = Vec::new();
+        for &kb in &sizes_kb {
+            let mut sys = SystemConfig::monaco_12x12();
+            sys.mem.cache_words = kb * 1024 / 4;
+            let out = compile_workload(&w, &sys, heuristic_for(MemoryModel::Nupea))
+                .and_then(|c| simulate_on(&w, &c, &sys, MemoryModel::Nupea));
+            cells.push(match out {
+                Ok(s) => format!("{} ({:.0}% hit)", s.cycles, s.cache_hit_rate * 100.0),
+                Err(e) => format!("err {e}"),
+            });
+        }
+        rows.push((name.to_string(), cells));
+    }
+    println!(
+        "{}",
+        render_table("Ablation: shared cache capacity (cycles on Monaco)", &headers, &rows)
+    );
+}

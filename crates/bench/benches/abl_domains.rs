@@ -1,0 +1,46 @@
+//! Ablation (beyond the paper): how much each NUPEA domain contributes.
+//! Reports the per-domain load-latency profile and memory-instruction
+//! placement histogram on Monaco for representative workloads.
+
+use nupea::experiments::render_table;
+use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea_kernels::workloads::workload_by_name;
+
+fn main() {
+    let sys = SystemConfig::monaco_12x12();
+    let headers: Vec<String> = (0..4).map(|d| format!("D{d}")).collect();
+    let mut place_rows = Vec::new();
+    let mut lat_rows = Vec::new();
+    for name in ["spmspv", "spmspm", "dmv", "fft", "tc"] {
+        let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
+        let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
+        let hist = compiled.placed.domain_histogram(w.kernel.dfg(), &sys.fabric);
+        place_rows.push((
+            name.to_string(),
+            hist.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+        ));
+        let stats = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea).unwrap();
+        lat_rows.push((
+            name.to_string(),
+            stats
+                .load_latency_by_domain
+                .iter()
+                .map(|d| {
+                    if d.count == 0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.1} (n={})", d.mean(), d.count)
+                    }
+                })
+                .collect::<Vec<_>>(),
+        ));
+    }
+    println!(
+        "{}",
+        render_table("Memory instructions placed per NUPEA domain (effcc)", &headers, &place_rows)
+    );
+    println!(
+        "{}",
+        render_table("Mean load latency per domain, system cycles (count)", &headers, &lat_rows)
+    );
+}

@@ -1,0 +1,56 @@
+//! Design-space exploration of NUPEA domain geometry (the paper's fourth
+//! contribution: "a design space exploration of NUPEA in SDAs to optimize
+//! the placement of load-store PEs within Monaco's dataflow fabric").
+//!
+//! Sweeps the number of direct-port D0 columns and the width of each
+//! farther domain on the 12×12 fabric. More D0 columns buy more ports and
+//! more zero-hop PEs, but push the remaining domains farther from memory;
+//! narrower domains shorten arbiter trees at the cost of more arbitration
+//! levels. Monaco ships (3, 3).
+
+use nupea::experiments::render_table;
+use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea_fabric::Fabric;
+use nupea_kernels::workloads::workload_by_name;
+
+fn main() {
+    let d0_options = [1usize, 2, 3, 4, 6];
+    let dcol_options = [2usize, 3, 4];
+    for name in ["spmspv", "dmv", "fft"] {
+        let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
+        let headers: Vec<String> = dcol_options
+            .iter()
+            .map(|d| format!("domain_cols={d}"))
+            .collect();
+        let mut rows = Vec::new();
+        for &d0 in &d0_options {
+            let mut cells = Vec::new();
+            for &dc in &dcol_options {
+                let fabric = Fabric::monaco_with_domains(12, 12, 3, d0, dc)
+                    .expect("geometry fits 12x12");
+                let ports = fabric.num_ports();
+                let domains = fabric.num_domains();
+                let sys = SystemConfig::with_fabric(fabric);
+                let out = compile_workload(&w, &sys, Heuristic::CriticalityAware)
+                    .and_then(|c| simulate_on(&w, &c, &sys, MemoryModel::Nupea));
+                cells.push(match out {
+                    Ok(s) => format!("{} cyc ({}p/{}d)", s.cycles, ports, domains),
+                    Err(e) => {
+                        let msg = e.to_string();
+                        format!("err: {}", &msg[..msg.len().min(18)])
+                    }
+                });
+            }
+            rows.push((format!("d0_cols={d0}"), cells));
+        }
+        println!(
+            "{}",
+            render_table(
+                &format!("DSE: NUPEA domain geometry on 12x12 — {name} (ports/domains in parens)"),
+                &headers,
+                &rows
+            )
+        );
+    }
+    println!("shipping Monaco is d0_cols=3, domain_cols=3 (18 ports, 4 domains)\n");
+}

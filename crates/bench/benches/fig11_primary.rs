@@ -1,0 +1,18 @@
+//! Fig. 11: execution time of Monaco (NUPEA) against Ideal, UPEA2, and
+//! NUMA-UPEA2 across all 13 workloads, normalized to Monaco.
+//!
+//! Paper: Monaco improves over UPEA2 by avg 28%, over NUMA-UPEA2 by avg
+//! 20%, and is within 21% of Ideal.
+
+use nupea::experiments::primary_models;
+use nupea_bench::model_sweep;
+
+fn main() {
+    model_sweep(
+        "Fig 11: execution time normalized to Monaco (lower is better)",
+        &primary_models(),
+        "NUPEA",
+        "paper: UPEA2 ≈ 1.28x Monaco, NUMA-UPEA2 ≈ 1.20x, Ideal ≈ 0.83x (avg);\n\
+         spmspm/spmspv nearly Ideal, dense workloads farther from Ideal",
+    );
+}

@@ -1,0 +1,17 @@
+//! Fig. 12: speedup from NUPEA-aware PnR heuristics, all on the Monaco
+//! memory model: Domain-Unaware vs Only-Domain-Aware vs effcc
+//! (criticality + domain aware).
+//!
+//! Paper: Only-Domain-Aware gains avg 16% over Domain-Unaware; effcc adds
+//! another 9% (total avg 25%), with the largest criticality gains on
+//! spmspm/spmspv/tc.
+
+use nupea_bench::heuristic_ablation;
+
+fn main() {
+    heuristic_ablation(
+        "Fig 12: speedup over Domain-Unaware placement (higher is better)",
+        "paper: only-domain-aware ≈ 1.16x, effcc ≈ 1.25x (avg); sparse\n\
+         intersection workloads benefit most from criticality awareness",
+    );
+}

@@ -1,0 +1,25 @@
+//! Fig. 14: NUPEA vs a sweep of UPEA SDAs with uniform access latencies
+//! 0–4 fabric cycles, all workloads, normalized to Monaco.
+//!
+//! Paper: near-linear degradation with latency; Monaco ≈ UPEA1 (3%
+//! faster), 28% over UPEA2, 55% over UPEA3, 82% over UPEA4.
+
+use nupea::MemoryModel;
+use nupea_bench::model_sweep;
+
+fn main() {
+    let models = [
+        MemoryModel::Nupea,
+        MemoryModel::Upea(0),
+        MemoryModel::Upea(1),
+        MemoryModel::Upea(2),
+        MemoryModel::Upea(3),
+        MemoryModel::Upea(4),
+    ];
+    model_sweep(
+        "Fig 14: UPEA latency sweep, normalized to Monaco (lower is better)",
+        &models,
+        "NUPEA",
+        "paper: UPEA1 ≈ 1.03x, UPEA2 ≈ 1.28x, UPEA3 ≈ 1.55x, UPEA4 ≈ 1.82x (avg)",
+    );
+}

@@ -1,0 +1,27 @@
+//! Fig. 15: NUPEA vs a sweep of NUMA-UPEA SDAs with remote-access
+//! latencies 0–4 fabric cycles, all workloads, normalized to Monaco.
+//!
+//! Paper: NUMA recovers some performance vs pure UPEA but still degrades
+//! near-linearly; Monaco within 2% of NUMA-UPEA1, 20% over NUMA-UPEA2,
+//! 44% over NUMA-UPEA3, 68% over NUMA-UPEA4.
+
+use nupea::MemoryModel;
+use nupea_bench::model_sweep;
+
+fn main() {
+    let models = [
+        MemoryModel::Nupea,
+        MemoryModel::NumaUpea(0),
+        MemoryModel::NumaUpea(1),
+        MemoryModel::NumaUpea(2),
+        MemoryModel::NumaUpea(3),
+        MemoryModel::NumaUpea(4),
+    ];
+    model_sweep(
+        "Fig 15: NUMA-UPEA latency sweep, normalized to Monaco (lower is better)",
+        &models,
+        "NUPEA",
+        "paper: NUMA-UPEA1 ≈ 1.02x, NUMA-UPEA2 ≈ 1.20x, NUMA-UPEA3 ≈ 1.44x,\n\
+         NUMA-UPEA4 ≈ 1.68x (avg)",
+    );
+}

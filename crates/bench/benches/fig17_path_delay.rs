@@ -1,0 +1,30 @@
+//! Fig. 17: maximum (critical) routed path delay from PnR for the same
+//! topology/size/track sweep as Fig. 16.
+//!
+//! Paper: at 2 tracks the clustered topologies need significantly longer
+//! maximum path delays at 24×24 (worse PnR-chosen clock divider); Monaco's
+//! alternating-row topology keeps delays flat.
+
+use nupea_bench::{render_topo_table, topology_sweep};
+
+fn main() {
+    let points = topology_sweep();
+    println!(
+        "{}",
+        render_topo_table(
+            "Fig 17: maximum routed path (hops) and clock divider",
+            &points,
+            |p| {
+                if p.cycles.is_some() || p.max_hops > 0 {
+                    format!("{} hops (div {})", p.max_hops, p.divider)
+                } else {
+                    "unroutable".to_string()
+                }
+            },
+        )
+    );
+    println!(
+        "paper: CS/CD max path delay grows sharply at 24x24 with 2 tracks;\n\
+         Monaco stays competitive, enabling a better clock divider\n"
+    );
+}

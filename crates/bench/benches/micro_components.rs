@@ -1,0 +1,65 @@
+//! Criterion micro-benchmarks: wall-clock throughput of the simulator
+//! engine, the untimed interpreter, PnR, and criticality analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nupea::{compile_workload, Heuristic, SystemConfig};
+use nupea_kernels::interp_kernel;
+use nupea_kernels::workloads::{workload_by_name, Scale};
+use nupea_pnr::{pnr, PnrConfig};
+use nupea_sim::{Engine, SimConfig};
+
+fn bench_interp(c: &mut Criterion) {
+    let w = workload_by_name("spmspv").unwrap().build_default(Scale::Test);
+    c.bench_function("interp/spmspv-test", |b| {
+        b.iter(|| {
+            let mut mem = w.fresh_mem();
+            interp_kernel(&w.kernel, mem.words_mut(), &[]).unwrap()
+        })
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let w = workload_by_name("spmspv").unwrap().build_default(Scale::Test);
+    let sys = SystemConfig::monaco_12x12();
+    let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
+    c.bench_function("engine/spmspv-test", |b| {
+        b.iter(|| {
+            let mut mem = w.fresh_mem();
+            let mut e = Engine::new(
+                w.kernel.dfg(),
+                &sys.fabric,
+                &compiled.placed.pe_of,
+                SimConfig::default(),
+            );
+            for (pid, v) in w.kernel.bindings(&[]) {
+                e.bind(pid, v);
+            }
+            e.run(&mut mem).unwrap()
+        })
+    });
+}
+
+fn bench_pnr(c: &mut Criterion) {
+    let w = workload_by_name("spmspv").unwrap().build_default(Scale::Bench);
+    let sys = SystemConfig::monaco_12x12();
+    c.bench_function("pnr/spmspv-bench", |b| {
+        b.iter(|| pnr(w.kernel.dfg(), &sys.fabric, &PnrConfig::default()).unwrap())
+    });
+}
+
+fn bench_criticality(c: &mut Criterion) {
+    let w = workload_by_name("tc").unwrap().build_default(Scale::Bench);
+    c.bench_function("criticality/tc", |b| {
+        b.iter(|| {
+            let mut g = w.kernel.dfg().clone();
+            nupea_ir::criticality::classify(&mut g)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_interp, bench_engine, bench_pnr, bench_criticality
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Table 1: the workload suite. Prints each application with its (scaled)
+//! input, graph statistics, criticality breakdown, chosen parallelism, and
+//! an end-to-end validation run on Monaco.
+
+use nupea::experiments::render_table;
+use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea_ir::graph::Criticality;
+use nupea_kernels::workloads::all_workloads;
+
+fn main() {
+    let sys = SystemConfig::monaco_12x12();
+    let headers: Vec<String> = [
+        "nodes", "mem", "crit", "inner", "other", "par", "cycles", "firings", "validated",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows = Vec::new();
+    for spec in all_workloads() {
+        let w = spec.build_default(Scale::Bench);
+        let g = w.kernel.dfg();
+        let count = |class: Criticality| {
+            g.iter()
+                .filter(|(_, n)| n.op.is_memory() && n.meta.criticality == Some(class))
+                .count()
+        };
+        let (crit, inner, other) = (
+            count(Criticality::Critical),
+            count(Criticality::InnerLoop),
+            count(Criticality::Other),
+        );
+        let outcome = compile_workload(&w, &sys, Heuristic::CriticalityAware)
+            .and_then(|c| simulate_on(&w, &c, &sys, MemoryModel::Nupea));
+        let (cycles, firings, ok) = match &outcome {
+            Ok(s) => (s.cycles.to_string(), s.firings.to_string(), "yes".to_string()),
+            Err(e) => ("-".into(), "-".into(), format!("NO: {e}")),
+        };
+        rows.push((
+            spec.name.to_string(),
+            vec![
+                g.len().to_string(),
+                g.num_memory_ops().to_string(),
+                crit.to_string(),
+                inner.to_string(),
+                other.to_string(),
+                w.par.to_string(),
+                cycles,
+                firings,
+                ok,
+            ],
+        ));
+    }
+    println!(
+        "{}",
+        render_table("Table 1: workloads (bench scale; see EXPERIMENTS.md for the paper-size mapping)", &headers, &rows)
+    );
+}

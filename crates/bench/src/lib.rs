@@ -1,0 +1,234 @@
+//! Shared machinery for the figure-regeneration benches.
+//!
+//! Every `benches/figNN_*.rs` target is a `harness = false` binary that
+//! prints the same rows/series the corresponding figure of the paper
+//! reports, normalized the same way (execution time relative to Monaco,
+//! speedup over the Domain-Unaware heuristic, ...). EXPERIMENTS.md records
+//! paper-vs-measured values for each.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use nupea::experiments::{geomean, heuristic_for, render_table, run_models};
+use nupea::{
+    auto_parallelize, compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig,
+    TopologyKind,
+};
+use nupea_fabric::Fabric;
+use nupea_kernels::workloads::all_workloads;
+
+/// Run all 13 bench-scale workloads across `models`, printing execution
+/// time normalized to the `baseline` label (lower is better), plus
+/// geomeans — the format of Figs. 11/14/15.
+pub fn model_sweep(title: &str, models: &[MemoryModel], baseline: &str, paper_note: &str) {
+    let sys = SystemConfig::monaco_12x12();
+    let headers: Vec<String> = models.iter().map(|m| m.label()).collect();
+    let mut rows = Vec::new();
+    let mut norm_cols: Vec<Vec<f64>> = vec![Vec::new(); models.len()];
+    for spec in all_workloads() {
+        let w = spec.build_default(Scale::Bench);
+        match run_models(&w, &sys, models) {
+            Ok(ms) => {
+                let base = ms
+                    .iter()
+                    .find(|m| m.config == baseline)
+                    .map(|m| m.cycles as f64)
+                    .expect("baseline model in sweep");
+                let cells: Vec<String> = ms
+                    .iter()
+                    .enumerate()
+                    .map(|(i, m)| {
+                        let norm = m.cycles as f64 / base;
+                        norm_cols[i].push(norm);
+                        format!("{norm:.3}")
+                    })
+                    .collect();
+                rows.push((spec.name.to_string(), cells));
+            }
+            Err(e) => {
+                rows.push((spec.name.to_string(), vec![format!("error: {e}")]));
+            }
+        }
+    }
+    let geo: Vec<String> = norm_cols.iter().map(|c| format!("{:.3}", geomean(c))).collect();
+    rows.push(("geomean".to_string(), geo));
+    println!("{}", render_table(title, &headers, &rows));
+    println!("{paper_note}\n");
+}
+
+/// One measured point of the Figs. 16/17 topology sweep.
+#[derive(Debug, Clone)]
+pub struct TopoPoint {
+    /// Fabric layout.
+    pub topology: TopologyKind,
+    /// Fabric side (rows = cols).
+    pub size: usize,
+    /// Data-NoC tracks.
+    pub tracks: u32,
+    /// Auto-chosen parallelism degree.
+    pub par: usize,
+    /// Simulated execution time (system cycles); `None` if PnR failed at
+    /// every parallelism degree.
+    pub cycles: Option<u64>,
+    /// Maximum routed path (hops) from PnR.
+    pub max_hops: u32,
+    /// PnR-chosen clock divider.
+    pub divider: u32,
+}
+
+/// The fabric-scaling study of §7.2: spmspv (smaller input), auto-
+/// parallelized onto Monaco / Clustered-Single / Clustered-Double at
+/// 8×8, 16×16, 24×24 with 2 vs 7 NoC tracks. The PnR-chosen divider is
+/// used (no override) — fabric timing is the point of the study.
+pub fn topology_sweep() -> Vec<TopoPoint> {
+    let mut out = Vec::new();
+    for &tracks in &[2u32, 7] {
+        for &size in &[8usize, 16, 24] {
+            for &topo in &[
+                TopologyKind::Monaco,
+                TopologyKind::ClusteredSingle,
+                TopologyKind::ClusteredDouble,
+            ] {
+                let fabric =
+                    Fabric::of_kind(topo, size, size, tracks).expect("valid scaled fabric");
+                let mut sys = SystemConfig::with_fabric(fabric);
+                sys.divider_override = None;
+                // Track-constrained routing rewards placement quality:
+                // spend extra annealing effort, as a real flow would for a
+                // congested target.
+                sys.effort = 600;
+                let spec = nupea_kernels::workloads::WorkloadSpec {
+                    name: "spmspv",
+                    build: |_, par| {
+                        nupea_kernels::workloads::sparse::spmspv_custom(96, 0.9, par)
+                    },
+                    default_par: 1,
+                };
+                match auto_parallelize(&spec, Scale::Bench, &sys, Heuristic::CriticalityAware) {
+                    Ok((w, compiled)) => {
+                        let cycles = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea)
+                            .ok()
+                            .map(|s| s.cycles);
+                        out.push(TopoPoint {
+                            topology: topo,
+                            size,
+                            tracks,
+                            par: w.par,
+                            cycles,
+                            max_hops: compiled.placed.timing.max_hops,
+                            divider: compiled.placed.timing.divider,
+                        });
+                    }
+                    Err(_) => out.push(TopoPoint {
+                        topology: topo,
+                        size,
+                        tracks,
+                        par: 0,
+                        cycles: None,
+                        max_hops: 0,
+                        divider: 0,
+                    }),
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Render the topology sweep with a caller-chosen metric per point.
+pub fn render_topo_table(
+    title: &str,
+    points: &[TopoPoint],
+    metric: impl Fn(&TopoPoint) -> String,
+) -> String {
+    let headers: Vec<String> = ["monaco", "clustered-single", "clustered-double"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for &tracks in &[2u32, 7] {
+        for &size in &[8usize, 16, 24] {
+            let cells: Vec<String> = [
+                TopologyKind::Monaco,
+                TopologyKind::ClusteredSingle,
+                TopologyKind::ClusteredDouble,
+            ]
+            .iter()
+            .map(|&t| {
+                points
+                    .iter()
+                    .find(|p| p.topology == t && p.size == size && p.tracks == tracks)
+                    .map(&metric)
+                    .unwrap_or_else(|| "-".to_string())
+            })
+            .collect();
+            rows.push((format!("{size}x{size} tracks={tracks}"), cells));
+        }
+    }
+    render_table(title, &headers, &rows)
+}
+
+/// Fig. 12-style PnR-heuristic ablation over all workloads. Prints
+/// speedup over Domain-Unaware (higher is better).
+pub fn heuristic_ablation(title: &str, paper_note: &str) {
+    let sys = SystemConfig::monaco_12x12();
+    let hs = [
+        Heuristic::DomainUnaware,
+        Heuristic::OnlyDomainAware,
+        Heuristic::CriticalityAware,
+    ];
+    let headers: Vec<String> = hs.iter().map(|h| h.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); hs.len()];
+    for spec in all_workloads() {
+        let w = spec.build_default(Scale::Bench);
+        let mut cycles = Vec::new();
+        for &h in &hs {
+            let c = compile_workload(&w, &sys, h)
+                .and_then(|c| simulate_on(&w, &c, &sys, MemoryModel::Nupea))
+                .map(|s| s.cycles);
+            cycles.push(c);
+        }
+        match &cycles[0] {
+            Ok(base) => {
+                let base = *base as f64;
+                let cells: Vec<String> = cycles
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| match c {
+                        Ok(c) => {
+                            let s = base / *c as f64;
+                            speedups[i].push(s);
+                            format!("{s:.3}")
+                        }
+                        Err(e) => format!("error: {e}"),
+                    })
+                    .collect();
+                rows.push((spec.name.to_string(), cells));
+            }
+            Err(e) => rows.push((spec.name.to_string(), vec![format!("error: {e}")])),
+        }
+    }
+    let geo: Vec<String> = speedups.iter().map(|c| format!("{:.3}", geomean(c))).collect();
+    rows.push(("geomean".to_string(), geo));
+    println!("{}", render_table(title, &headers, &rows));
+    println!("{paper_note}\n");
+}
+
+/// Compile-and-run helper for the ablation benches: one workload, one
+/// config, one model.
+///
+/// # Errors
+///
+/// Returns the pipeline error as a string.
+pub fn run_once(
+    workload: &nupea::Workload,
+    sys: &SystemConfig,
+    model: MemoryModel,
+) -> Result<u64, String> {
+    let compiled =
+        compile_workload(workload, sys, heuristic_for(model)).map_err(|e| e.to_string())?;
+    simulate_on(workload, &compiled, sys, model)
+        .map(|s| s.cycles)
+        .map_err(|e| e.to_string())
+}

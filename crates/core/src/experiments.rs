@@ -1,0 +1,247 @@
+//! Shared experiment machinery for the benchmark harness: the memory-model
+//! matrix of §6, normalization, geometric means, and table rendering.
+
+use crate::{compile_workload, simulate_on, Compiled, PipelineError, SystemConfig, Workload};
+use nupea_kernels::workloads::{all_workloads, Scale, WorkloadSpec};
+use nupea_pnr::Heuristic;
+use nupea_sim::MemoryModel;
+
+/// One measured cell of an experiment.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Config label (memory model / heuristic / topology).
+    pub config: String,
+    /// Simulated execution time in system cycles.
+    pub cycles: u64,
+    /// Clock divider used.
+    pub divider: u64,
+    /// Mean load latency per NUPEA domain (system cycles).
+    pub mean_load_latency: f64,
+    /// Cache hit rate.
+    pub cache_hit_rate: f64,
+}
+
+/// Geometric mean of a slice (1.0 for empty input).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// The baselines of Fig. 11: Ideal, UPEA2, NUMA-UPEA2 (plus Monaco itself).
+pub fn primary_models() -> Vec<MemoryModel> {
+    vec![
+        MemoryModel::IDEAL,
+        MemoryModel::Nupea,
+        MemoryModel::Upea(2),
+        MemoryModel::NumaUpea(2),
+    ]
+}
+
+/// Compile a workload for a memory model: Monaco uses the
+/// criticality-aware heuristic (effcc); UPEA/NUMA baselines have no
+/// domains to exploit, so they compile domain-unaware (§6).
+pub fn heuristic_for(model: MemoryModel) -> Heuristic {
+    match model {
+        MemoryModel::Nupea => Heuristic::CriticalityAware,
+        MemoryModel::Upea(_) | MemoryModel::NumaUpea(_) => Heuristic::DomainUnaware,
+    }
+}
+
+/// Run one workload across a set of memory models, reusing one compilation
+/// per heuristic. Returns one measurement per model, in order.
+///
+/// # Errors
+///
+/// Propagates pipeline errors (PnR, simulation, validation).
+pub fn run_models(
+    workload: &Workload,
+    sys: &SystemConfig,
+    models: &[MemoryModel],
+) -> Result<Vec<Measurement>, PipelineError> {
+    let mut cache: Vec<(Heuristic, Compiled)> = Vec::new();
+    let mut out = Vec::with_capacity(models.len());
+    for &model in models {
+        let h = heuristic_for(model);
+        let compiled = match cache.iter().find(|(ch, _)| *ch == h) {
+            Some((_, c)) => c.clone(),
+            None => {
+                let c = compile_workload(workload, sys, h)?;
+                cache.push((h, c.clone()));
+                c
+            }
+        };
+        let stats = simulate_on(workload, &compiled, sys, model)?;
+        let (lat_sum, lat_n) = stats
+            .load_latency_by_domain
+            .iter()
+            .fold((0u64, 0u64), |(s, n), d| (s + d.total_latency, n + d.count));
+        out.push(Measurement {
+            workload: workload.name,
+            config: model.label(),
+            cycles: stats.cycles,
+            divider: stats.divider,
+            mean_load_latency: if lat_n == 0 {
+                0.0
+            } else {
+                lat_sum as f64 / lat_n as f64
+            },
+            cache_hit_rate: stats.cache_hit_rate,
+        });
+    }
+    Ok(out)
+}
+
+/// Run one workload under the Monaco memory model across the three PnR
+/// heuristics of Fig. 12.
+///
+/// # Errors
+///
+/// Propagates pipeline errors.
+pub fn run_heuristics(
+    workload: &Workload,
+    sys: &SystemConfig,
+) -> Result<Vec<Measurement>, PipelineError> {
+    let mut out = Vec::new();
+    for h in [
+        Heuristic::DomainUnaware,
+        Heuristic::OnlyDomainAware,
+        Heuristic::CriticalityAware,
+    ] {
+        let compiled = compile_workload(workload, sys, h)?;
+        let stats = simulate_on(workload, &compiled, sys, MemoryModel::Nupea)?;
+        out.push(Measurement {
+            workload: workload.name,
+            config: h.to_string(),
+            cycles: stats.cycles,
+            divider: stats.divider,
+            mean_load_latency: 0.0,
+            cache_hit_rate: stats.cache_hit_rate,
+        });
+    }
+    Ok(out)
+}
+
+/// The standard bench-scale workload suite.
+pub fn bench_suite() -> Vec<(WorkloadSpec, Workload)> {
+    all_workloads()
+        .into_iter()
+        .map(|spec| {
+            let w = spec.build_default(Scale::Bench);
+            (spec, w)
+        })
+        .collect()
+}
+
+/// Per-PE activity: `(pe, firings)` sorted busiest-first, from a run's
+/// per-node firing counts and the placement. Useful for spotting
+/// utilization hot spots (e.g. saturated D0 columns).
+pub fn pe_utilization(
+    workload: &Workload,
+    compiled: &Compiled,
+    stats: &nupea_sim::RunStats,
+) -> Vec<(nupea_fabric::PeId, u64)> {
+    let mut per_pe: std::collections::HashMap<nupea_fabric::PeId, u64> =
+        std::collections::HashMap::new();
+    for (i, &f) in stats.firings_per_node.iter().enumerate() {
+        *per_pe.entry(compiled.placed.pe_of[i]).or_default() += f;
+    }
+    let _ = workload;
+    let mut v: Vec<_> = per_pe.into_iter().collect();
+    v.sort_by_key(|&(pe, f)| (std::cmp::Reverse(f), pe.0));
+    v
+}
+
+/// Render an aligned text table; `rows` are (label, cells).
+pub fn render_table(title: &str, headers: &[String], rows: &[(String, Vec<String>)]) -> String {
+    use std::fmt::Write;
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let label_w = rows
+        .iter()
+        .map(|(l, _)| l.len())
+        .chain([8])
+        .max()
+        .unwrap_or(8);
+    for (_, cells) in rows {
+        for (i, cell) in cells.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "== {title} ==");
+    let _ = write!(s, "{:label_w$}", "");
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(s, "  {h:>w$}");
+    }
+    let _ = writeln!(s);
+    for (label, cells) in rows {
+        let _ = write!(s, "{label:label_w$}");
+        for (cell, w) in cells.iter().zip(&widths) {
+            let _ = write!(s, "  {cell:>w$}");
+        }
+        let _ = writeln!(s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 1.0);
+    }
+
+    #[test]
+    fn heuristic_mapping_matches_paper() {
+        assert_eq!(
+            heuristic_for(MemoryModel::Nupea),
+            Heuristic::CriticalityAware
+        );
+        assert_eq!(heuristic_for(MemoryModel::Upea(2)), Heuristic::DomainUnaware);
+        assert_eq!(
+            heuristic_for(MemoryModel::NumaUpea(3)),
+            Heuristic::DomainUnaware
+        );
+    }
+
+    #[test]
+    fn render_table_aligns() {
+        let t = render_table(
+            "demo",
+            &["a".into(), "longheader".into()],
+            &[("row1".into(), vec!["1".into(), "2".into()])],
+        );
+        assert!(t.contains("demo"));
+        assert!(t.contains("longheader"));
+    }
+
+    #[test]
+    fn pe_utilization_accounts_for_all_firings() {
+        let w = nupea_kernels::workloads::sparse::spmv(Scale::Test, 1);
+        let sys = crate::SystemConfig::monaco_12x12();
+        let c = crate::compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
+        let stats = crate::simulate_on(&w, &c, &sys, MemoryModel::Nupea).unwrap();
+        let util = pe_utilization(&w, &c, &stats);
+        let total: u64 = util.iter().map(|&(_, f)| f).sum();
+        assert_eq!(total, stats.firings);
+        assert!(util.windows(2).all(|w| w[0].1 >= w[1].1), "sorted busiest-first");
+    }
+
+    #[test]
+    fn run_models_spmv_small() {
+        let w = nupea_kernels::workloads::sparse::spmv(Scale::Test, 1);
+        let sys = crate::SystemConfig::monaco_12x12();
+        let ms = run_models(&w, &sys, &primary_models()).unwrap();
+        assert_eq!(ms.len(), 4);
+        assert!(ms.iter().all(|m| m.cycles > 0));
+    }
+}

@@ -1,0 +1,659 @@
+//! Fabric construction: PE grids, NUPEA domains, and the fabric-memory NoC.
+//!
+//! Memory sits on the **right edge** of the fabric in all topologies, as in
+//! Fig. 8 of the paper. A PE's proximity to memory is therefore measured by
+//! how close its column is to `cols - 1`.
+
+use crate::pe::{ArbiterId, DomainId, PeId, PeKind, PortId};
+use std::fmt;
+
+/// Which fabric layout to build (§4.2 and Fig. 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// Monaco: rows alternate between all-arithmetic and all-load-store;
+    /// per LS row, the 3 columns nearest memory form domain D0 with direct
+    /// memory ports, and the remaining columns are chunked (3 per domain)
+    /// into D1, D2, … with one arbiter per (row, domain).
+    Monaco,
+    /// Clustered-Single: every row has its right half as LS PEs; one direct
+    /// port per row (D0 is a single column).
+    ClusteredSingle,
+    /// Clustered-Double: like Clustered-Single but with two direct-port
+    /// columns per row (doubling ports and fast-domain LS PEs).
+    ClusteredDouble,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::Monaco => f.write_str("monaco"),
+            TopologyKind::ClusteredSingle => f.write_str("clustered-single"),
+            TopologyKind::ClusteredDouble => f.write_str("clustered-double"),
+        }
+    }
+}
+
+/// Where an LS PE's memory requests go first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemAccess {
+    /// Domain-0 PEs connect directly to a memory port (zero NoC hops).
+    Direct(PortId),
+    /// Other domains send requests to their (row, domain) arbiter.
+    ViaArbiter(ArbiterId),
+}
+
+/// A round-robin arbiter in the fabric-memory NoC (one per row per domain
+/// other than D0). Forwards one request per system cycle downstream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arbiter {
+    /// Fabric row this arbiter serves.
+    pub row: u32,
+    /// Domain this arbiter serves.
+    pub domain: DomainId,
+    /// Where forwarded requests go.
+    pub downstream: ArbSink,
+}
+
+/// Downstream target of an arbiter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbSink {
+    /// The next-closer domain's arbiter in the same row.
+    Arbiter(ArbiterId),
+    /// A memory port (shared combinationally with a D0 PE, §4.2).
+    Port(PortId),
+}
+
+/// A fabric-to-memory port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Port {
+    /// Fabric row the port serves.
+    pub row: u32,
+}
+
+/// The fabric-memory NoC description consumed by the simulator.
+#[derive(Debug, Clone, Default)]
+pub struct FmNoc {
+    /// All ports.
+    pub ports: Vec<Port>,
+    /// All arbiters.
+    pub arbiters: Vec<Arbiter>,
+    /// Per-PE memory access path (`None` for arithmetic PEs).
+    pub access: Vec<Option<MemAccess>>,
+}
+
+impl FmNoc {
+    /// Number of arbitration hops (request cycles) from a PE to its port.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not a load-store PE.
+    pub fn hops(&self, pe: PeId) -> u32 {
+        let mut hops = 0;
+        let mut cur = self.access[pe.index()].expect("hops() on non-LS PE");
+        loop {
+            match cur {
+                MemAccess::Direct(_) => return hops,
+                MemAccess::ViaArbiter(a) => {
+                    hops += 1;
+                    match self.arbiters[a.index()].downstream {
+                        ArbSink::Arbiter(next) => cur = MemAccess::ViaArbiter(next),
+                        ArbSink::Port(p) => {
+                            let _ = p;
+                            return hops;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The port ultimately reached by a PE's requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not a load-store PE.
+    pub fn port_of(&self, pe: PeId) -> PortId {
+        let mut cur = self.access[pe.index()].expect("port_of() on non-LS PE");
+        loop {
+            match cur {
+                MemAccess::Direct(p) => return p,
+                MemAccess::ViaArbiter(a) => match self.arbiters[a.index()].downstream {
+                    ArbSink::Arbiter(next) => cur = MemAccess::ViaArbiter(next),
+                    ArbSink::Port(p) => return p,
+                },
+            }
+        }
+    }
+}
+
+/// Errors from fabric construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// Rows/cols too small or odd where evenness is required.
+    BadDimensions {
+        /// Requested rows.
+        rows: usize,
+        /// Requested columns.
+        cols: usize,
+        /// Why they are rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::BadDimensions { rows, cols, reason } => {
+                write!(f, "bad fabric dimensions {rows}x{cols}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// A spatial dataflow fabric: PE grid + NUPEA domains + fabric-memory NoC.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    rows: usize,
+    cols: usize,
+    topology: TopologyKind,
+    kinds: Vec<PeKind>,
+    domains: Vec<Option<DomainId>>,
+    num_domains: u8,
+    fmnoc: FmNoc,
+    /// Data-NoC track capacity per tile edge per direction.
+    pub tracks: u32,
+    /// Routed hops coverable within one fabric clock (timing calibration;
+    /// stands in for sign-off timing closure — see DESIGN.md).
+    pub hops_per_fabric_cycle: u32,
+}
+
+/// Columns per NUPEA domain beyond D0 in Monaco's shipping configuration
+/// (the fan-out-4 arbiter tree takes three PE inputs plus one upstream
+/// arbiter, §4.2).
+const DOMAIN_COLS: usize = 3;
+
+/// Number of direct-port columns in Monaco's D0 (3 ports per LS row gives
+/// 18 ports on the 12×12 fabric, §4.2).
+const MONACO_D0_COLS: usize = 3;
+
+impl Fabric {
+    /// Default data-NoC track capacity (§4.1: three tracks per tile).
+    pub const DEFAULT_TRACKS: u32 = 3;
+    /// Default timing calibration (see DESIGN.md §1): with diagonal and
+    /// skip tracks passing a router only every other hop (§4.1), ~7
+    /// Manhattan hops fit in one fabric cycle — cross-fabric paths on the
+    /// 12×12 then yield the clock divider of 2 the paper reports (§6).
+    pub const DEFAULT_HOPS_PER_FABRIC_CYCLE: u32 = 7;
+
+    /// Build a Monaco-style fabric (`rows` must be even, ≥2; `cols` ≥4).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadDimensions`] for unusable sizes.
+    pub fn monaco(rows: usize, cols: usize, tracks: u32) -> Result<Self, FabricError> {
+        Self::monaco_with_domains(rows, cols, tracks, MONACO_D0_COLS, DOMAIN_COLS)
+    }
+
+    /// Monaco layout with explicit NUPEA-domain geometry: `d0_cols` columns
+    /// of direct-port LS PEs per row and `domain_cols` columns per farther
+    /// domain. This is the knob of the paper's LS-placement design-space
+    /// exploration (contribution 4); `monaco(…)` uses the shipping (3, 3).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadDimensions`] for unusable sizes or
+    /// zero-width domains.
+    pub fn monaco_with_domains(
+        rows: usize,
+        cols: usize,
+        tracks: u32,
+        d0_cols: usize,
+        domain_cols: usize,
+    ) -> Result<Self, FabricError> {
+        if rows < 2 || rows % 2 != 0 || cols < 4 {
+            return Err(FabricError::BadDimensions {
+                rows,
+                cols,
+                reason: "monaco needs even rows >= 2 and cols >= 4",
+            });
+        }
+        if d0_cols == 0 || d0_cols > cols || domain_cols == 0 {
+            return Err(FabricError::BadDimensions {
+                rows,
+                cols,
+                reason: "domain geometry must be nonzero and fit the row",
+            });
+        }
+        // LS rows are the odd rows; every PE in an LS row is load-store.
+        let is_ls = |r: usize, _c: usize| r % 2 == 1;
+        Self::build(
+            TopologyKind::Monaco,
+            rows,
+            cols,
+            tracks,
+            d0_cols,
+            domain_cols,
+            is_ls,
+        )
+    }
+
+    /// Build a Clustered-Single fabric: right half of every row is LS, one
+    /// direct-port column per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadDimensions`] for unusable sizes.
+    pub fn clustered_single(rows: usize, cols: usize, tracks: u32) -> Result<Self, FabricError> {
+        if rows < 2 || cols < 4 || cols % 2 != 0 {
+            return Err(FabricError::BadDimensions {
+                rows,
+                cols,
+                reason: "clustered needs rows >= 2 and even cols >= 4",
+            });
+        }
+        let half = cols / 2;
+        let is_ls = move |_r: usize, c: usize| c >= half;
+        Self::build(TopologyKind::ClusteredSingle, rows, cols, tracks, 1, DOMAIN_COLS, is_ls)
+    }
+
+    /// Build a Clustered-Double fabric: like Clustered-Single with two
+    /// direct-port columns per row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadDimensions`] for unusable sizes.
+    pub fn clustered_double(rows: usize, cols: usize, tracks: u32) -> Result<Self, FabricError> {
+        if rows < 2 || cols < 4 || cols % 2 != 0 {
+            return Err(FabricError::BadDimensions {
+                rows,
+                cols,
+                reason: "clustered needs rows >= 2 and even cols >= 4",
+            });
+        }
+        let half = cols / 2;
+        let is_ls = move |_r: usize, c: usize| c >= half;
+        Self::build(TopologyKind::ClusteredDouble, rows, cols, tracks, 2, DOMAIN_COLS, is_ls)
+    }
+
+    /// Build a fabric by topology kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FabricError::BadDimensions`] for unusable sizes.
+    pub fn of_kind(
+        kind: TopologyKind,
+        rows: usize,
+        cols: usize,
+        tracks: u32,
+    ) -> Result<Self, FabricError> {
+        match kind {
+            TopologyKind::Monaco => Self::monaco(rows, cols, tracks),
+            TopologyKind::ClusteredSingle => Self::clustered_single(rows, cols, tracks),
+            TopologyKind::ClusteredDouble => Self::clustered_double(rows, cols, tracks),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        topology: TopologyKind,
+        rows: usize,
+        cols: usize,
+        tracks: u32,
+        d0_cols: usize,
+        domain_cols: usize,
+        is_ls: impl Fn(usize, usize) -> bool,
+    ) -> Result<Self, FabricError> {
+        let mut kinds = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                kinds.push(if is_ls(r, c) {
+                    PeKind::LoadStore
+                } else {
+                    PeKind::Arith
+                });
+            }
+        }
+
+        let mut domains: Vec<Option<DomainId>> = vec![None; rows * cols];
+        let mut fmnoc = FmNoc {
+            access: vec![None; rows * cols],
+            ..Default::default()
+        };
+        let mut num_domains = 0u8;
+
+        for r in 0..rows {
+            // LS columns in this row, nearest-to-memory first.
+            let ls_cols: Vec<usize> = (0..cols).rev().filter(|&c| is_ls(r, c)).collect();
+            if ls_cols.is_empty() {
+                continue;
+            }
+            // D0: direct ports.
+            let d0 = &ls_cols[..d0_cols.min(ls_cols.len())];
+            let row_port_base = fmnoc.ports.len();
+            for &c in d0 {
+                let pid = PortId(fmnoc.ports.len() as u32);
+                fmnoc.ports.push(Port { row: r as u32 });
+                let pe = r * cols + c;
+                domains[pe] = Some(DomainId(0));
+                fmnoc.access[pe] = Some(MemAccess::Direct(pid));
+            }
+            num_domains = num_domains.max(1);
+            // Remaining columns chunked into domains of `domain_cols`,
+            // nearest first; arbiters built near-to-far so each can point
+            // downstream.
+            let rest = &ls_cols[d0.len()..];
+            let chunks: Vec<&[usize]> = rest.chunks(domain_cols).collect();
+            // The D1 arbiter drains into the row's last D0 port ("every
+            // third port", shared combinationally with that D0 PE).
+            let shared_port = PortId((row_port_base + d0.len() - 1) as u32);
+            let mut downstream = ArbSink::Port(shared_port);
+            for (k, chunk) in chunks.iter().enumerate() {
+                let domain = DomainId((k + 1) as u8);
+                num_domains = num_domains.max(domain.0 + 1);
+                let aid = ArbiterId(fmnoc.arbiters.len() as u32);
+                fmnoc.arbiters.push(Arbiter {
+                    row: r as u32,
+                    domain,
+                    downstream,
+                });
+                for &c in *chunk {
+                    let pe = r * cols + c;
+                    domains[pe] = Some(domain);
+                    fmnoc.access[pe] = Some(MemAccess::ViaArbiter(aid));
+                }
+                downstream = ArbSink::Arbiter(aid);
+            }
+        }
+
+        Ok(Fabric {
+            rows,
+            cols,
+            topology,
+            kinds,
+            domains,
+            num_domains,
+            fmnoc,
+            tracks,
+            hops_per_fabric_cycle: Self::DEFAULT_HOPS_PER_FABRIC_CYCLE,
+        })
+    }
+
+    /// Fabric rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Fabric columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Topology kind.
+    pub fn topology(&self) -> TopologyKind {
+        self.topology
+    }
+
+    /// Total PEs.
+    pub fn num_pes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of NUPEA domains in use.
+    pub fn num_domains(&self) -> u8 {
+        self.num_domains
+    }
+
+    /// The fabric-memory NoC description.
+    pub fn fmnoc(&self) -> &FmNoc {
+        &self.fmnoc
+    }
+
+    /// Number of fabric-to-memory ports.
+    pub fn num_ports(&self) -> usize {
+        self.fmnoc.ports.len()
+    }
+
+    /// PE kind.
+    pub fn kind(&self, pe: PeId) -> PeKind {
+        self.kinds[pe.index()]
+    }
+
+    /// NUPEA domain of a PE (`None` for arithmetic PEs).
+    pub fn domain(&self, pe: PeId) -> Option<DomainId> {
+        self.domains[pe.index()]
+    }
+
+    /// `(row, col)` of a PE.
+    pub fn coords(&self, pe: PeId) -> (usize, usize) {
+        (pe.index() / self.cols, pe.index() % self.cols)
+    }
+
+    /// PE at `(row, col)`.
+    pub fn at(&self, row: usize, col: usize) -> PeId {
+        debug_assert!(row < self.rows && col < self.cols);
+        PeId((row * self.cols + col) as u32)
+    }
+
+    /// All PE ids.
+    pub fn pes(&self) -> impl Iterator<Item = PeId> {
+        (0..self.num_pes() as u32).map(PeId)
+    }
+
+    /// All load-store PE ids.
+    pub fn ls_pes(&self) -> impl Iterator<Item = PeId> + '_ {
+        self.pes().filter(|&p| self.kind(p) == PeKind::LoadStore)
+    }
+
+    /// Count of load-store PEs.
+    pub fn num_ls_pes(&self) -> usize {
+        self.kinds.iter().filter(|k| **k == PeKind::LoadStore).count()
+    }
+
+    /// Manhattan distance between two PEs (data-NoC hops lower bound).
+    pub fn dist(&self, a: PeId, b: PeId) -> u32 {
+        let (ar, ac) = self.coords(a);
+        let (br, bc) = self.coords(b);
+        (ar.abs_diff(br) + ac.abs_diff(bc)) as u32
+    }
+
+    /// Column distance of a PE from the memory edge (right side).
+    pub fn memory_distance(&self, pe: PeId) -> u32 {
+        let (_, c) = self.coords(pe);
+        (self.cols - 1 - c) as u32
+    }
+
+    /// Arbitration hops from an LS PE to its port (0 for D0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pe` is not a load-store PE.
+    pub fn mem_hops(&self, pe: PeId) -> u32 {
+        self.fmnoc.hops(pe)
+    }
+
+    /// LS PEs in NUPEA placement-preference order (§5): sorted by domain
+    /// (fastest first), then by column proximity to memory, then row —
+    /// `… ≤ D1.c0 ≤ D0.c2 ≤ D0.c1 ≤ D0.c0`.
+    pub fn ls_pref_order(&self) -> Vec<PeId> {
+        let mut v: Vec<PeId> = self.ls_pes().collect();
+        v.sort_by_key(|&p| {
+            let d = self.domains[p.index()].expect("LS PE has a domain").0;
+            let (r, _) = self.coords(p);
+            (d, self.memory_distance(p), r)
+        });
+        v
+    }
+
+    /// Deterministic pseudo-random NUMA assignment of LS PEs to
+    /// `num_numa_domains` (the NUMA-UPEA baseline, §6). Arithmetic PEs get
+    /// `None`.
+    pub fn numa_assignment(&self, seed: u64, num_numa_domains: u8) -> Vec<Option<u8>> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        self.pes()
+            .map(|p| {
+                if self.kind(p) == PeKind::LoadStore {
+                    Some((next() % u64::from(num_numa_domains)) as u8)
+                } else {
+                    None
+                }
+            })
+            .collect()
+    }
+
+    /// ASCII rendering of the fabric (kinds and domains), for debugging.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let pe = self.at(r, c);
+                match self.domain(pe) {
+                    Some(d) => {
+                        let _ = write!(s, "{} ", d.0);
+                    }
+                    None => s.push_str(". "),
+                }
+            }
+            s.push('\n');
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monaco_12x12_matches_paper() {
+        let f = Fabric::monaco(12, 12, 3).unwrap();
+        assert_eq!(f.num_pes(), 144);
+        assert_eq!(f.num_ls_pes(), 72, "half of Monaco's PEs are LS");
+        assert_eq!(f.num_ports(), 18, "18 memory ports at 12x12");
+        assert_eq!(f.num_domains(), 4, "four NUPEA domains");
+    }
+
+    #[test]
+    fn clustered_port_counts_match_paper() {
+        let cs = Fabric::clustered_single(12, 12, 3).unwrap();
+        let cd = Fabric::clustered_double(12, 12, 3).unwrap();
+        assert_eq!(cs.num_ports(), 12);
+        assert_eq!(cd.num_ports(), 24);
+        assert_eq!(cs.num_ls_pes(), 72, "same LS count as Monaco");
+        assert_eq!(cd.num_ls_pes(), 72);
+    }
+
+    #[test]
+    fn monaco_domain_hops_increase_away_from_memory() {
+        let f = Fabric::monaco(12, 12, 3).unwrap();
+        // LS rows are odd; col 11 is D0 (0 hops), col 0 is D3 (3 hops).
+        let near = f.at(1, 11);
+        let far = f.at(1, 0);
+        assert_eq!(f.domain(near), Some(DomainId(0)));
+        assert_eq!(f.mem_hops(near), 0);
+        assert_eq!(f.domain(far), Some(DomainId(3)));
+        assert_eq!(f.mem_hops(far), 3);
+        // Monotone: hops == domain id.
+        for pe in f.ls_pes() {
+            assert_eq!(f.mem_hops(pe), u32::from(f.domain(pe).unwrap().0));
+        }
+    }
+
+    #[test]
+    fn arith_rows_have_no_domains() {
+        let f = Fabric::monaco(8, 8, 2).unwrap();
+        for c in 0..8 {
+            assert_eq!(f.kind(f.at(0, c)), PeKind::Arith);
+            assert_eq!(f.domain(f.at(0, c)), None);
+            assert_eq!(f.kind(f.at(1, c)), PeKind::LoadStore);
+        }
+    }
+
+    #[test]
+    fn ls_pref_order_puts_d0_nearest_column_first() {
+        let f = Fabric::monaco(12, 12, 3).unwrap();
+        let order = f.ls_pref_order();
+        assert_eq!(order.len(), 72);
+        // First 6 entries: the col-11 D0 PEs of each LS row.
+        for pe in &order[..6] {
+            let (_, c) = f.coords(*pe);
+            assert_eq!(c, 11);
+            assert_eq!(f.domain(*pe), Some(DomainId(0)));
+        }
+        // Order is monotone in domain.
+        let doms: Vec<u8> = order.iter().map(|p| f.domain(*p).unwrap().0).collect();
+        let mut sorted = doms.clone();
+        sorted.sort_unstable();
+        assert_eq!(doms, sorted);
+    }
+
+    #[test]
+    fn scaling_preserves_structure() {
+        for (r, c, ls, ports) in [(8, 8, 32, 12), (16, 16, 128, 24), (24, 24, 288, 36)] {
+            let f = Fabric::monaco(r, c, 2).unwrap();
+            assert_eq!(f.num_ls_pes(), ls, "{r}x{c} LS count");
+            assert_eq!(f.num_ports(), ports, "{r}x{c} ports");
+            let cs = Fabric::clustered_single(r, c, 2).unwrap();
+            assert_eq!(cs.num_ls_pes(), ls, "{r}x{c} CS LS count matches Monaco");
+        }
+    }
+
+    #[test]
+    fn shared_port_is_the_last_d0_port_of_the_row() {
+        let f = Fabric::monaco(12, 12, 3).unwrap();
+        // D1 PEs of row 1 drain to the same port as the D0 PE at col 9
+        // (third-nearest memory column).
+        let d1_pe = f.at(1, 8);
+        assert_eq!(f.domain(d1_pe), Some(DomainId(1)));
+        let d0_shared = f.at(1, 9);
+        assert_eq!(f.domain(d0_shared), Some(DomainId(0)));
+        assert_eq!(f.fmnoc().port_of(d1_pe), f.fmnoc().port_of(d0_shared));
+    }
+
+    #[test]
+    fn numa_assignment_is_deterministic_and_covers_ls_only() {
+        let f = Fabric::monaco(12, 12, 3).unwrap();
+        let a = f.numa_assignment(7, 4);
+        let b = f.numa_assignment(7, 4);
+        assert_eq!(a, b);
+        for pe in f.pes() {
+            match f.kind(pe) {
+                PeKind::LoadStore => assert!(a[pe.index()].is_some()),
+                PeKind::Arith => assert!(a[pe.index()].is_none()),
+            }
+        }
+        let used: std::collections::HashSet<u8> = a.iter().flatten().copied().collect();
+        assert!(used.len() >= 2, "assignment should spread across domains");
+    }
+
+    #[test]
+    fn bad_dimensions_are_rejected() {
+        assert!(Fabric::monaco(7, 12, 3).is_err());
+        assert!(Fabric::monaco(12, 2, 3).is_err());
+        assert!(Fabric::clustered_single(12, 7, 3).is_err());
+    }
+
+    #[test]
+    fn dist_is_manhattan() {
+        let f = Fabric::monaco(8, 8, 2).unwrap();
+        assert_eq!(f.dist(f.at(0, 0), f.at(3, 4)), 7);
+        assert_eq!(f.dist(f.at(2, 2), f.at(2, 2)), 0);
+    }
+
+    #[test]
+    fn render_shows_domain_digits() {
+        let f = Fabric::monaco(4, 8, 2).unwrap();
+        let r = f.render();
+        assert!(r.contains('0'));
+        assert!(r.contains('.'));
+    }
+}

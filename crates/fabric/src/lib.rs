@@ -1,0 +1,39 @@
+//! # nupea-fabric — fabric topologies and NUPEA domains
+//!
+//! Models the spatial fabrics evaluated in the NUPEA paper:
+//!
+//! * **Monaco** (§4.2, Fig. 8): a grid with alternating arithmetic and
+//!   load-store rows, four NUPEA domains ordered by proximity to memory, a
+//!   hierarchical fan-out-4 arbiter tree per LS row, and direct memory ports
+//!   for domain D0.
+//! * **Clustered-Single / Clustered-Double** (Fig. 13): alternative NUPEA
+//!   topologies that pack all LS PEs into the columns nearest memory.
+//!
+//! The [`Fabric`] type exposes everything the compiler (`nupea-pnr`) and the
+//! simulator (`nupea-sim`) need: PE kinds, domain assignments, the
+//! fabric-memory NoC ([`fabric::FmNoc`]), data-NoC track capacity, and the
+//! NUPEA placement-preference order.
+//!
+//! # Example
+//!
+//! ```
+//! use nupea_fabric::{Fabric, PeKind};
+//!
+//! let f = Fabric::monaco(12, 12, 3)?;
+//! assert_eq!(f.num_ls_pes(), 72);
+//! assert_eq!(f.num_ports(), 18);
+//! assert_eq!(f.num_domains(), 4);
+//! // Domain-0 PEs reach memory with zero arbitration hops.
+//! let d0 = f.ls_pref_order()[0];
+//! assert_eq!(f.mem_hops(d0), 0);
+//! # Ok::<(), nupea_fabric::FabricError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod fabric;
+pub mod pe;
+
+pub use fabric::{ArbSink, Arbiter, Fabric, FabricError, FmNoc, MemAccess, Port, TopologyKind};
+pub use pe::{ArbiterId, DomainId, PeId, PeKind, PortId};

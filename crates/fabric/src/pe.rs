@@ -1,0 +1,86 @@
+//! Processing-element identifiers and kinds.
+
+use std::fmt;
+
+/// Identifies a PE within a fabric (row-major index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeId(pub u32);
+
+impl PeId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pe{}", self.0)
+    }
+}
+
+/// The functional-unit mix of a PE (§4.2: half of Monaco's PEs carry a
+/// memory FU in addition to arithmetic and control-flow FUs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PeKind {
+    /// Arithmetic + control-flow FUs only.
+    Arith,
+    /// Arithmetic + control-flow + load-store FU; can issue memory requests.
+    LoadStore,
+}
+
+impl fmt::Display for PeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeKind::Arith => f.write_str("A"),
+            PeKind::LoadStore => f.write_str("LS"),
+        }
+    }
+}
+
+/// A NUPEA domain id; `DomainId(0)` is the fastest (closest to memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DomainId(pub u8);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
+/// Identifies a fabric-to-memory port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PortId(pub u32);
+
+impl PortId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "port{}", self.0)
+    }
+}
+
+/// Identifies an arbiter in the fabric-memory NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArbiterId(pub u32);
+
+impl ArbiterId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArbiterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arb{}", self.0)
+    }
+}

@@ -1,0 +1,519 @@
+//! The dataflow graph (DFG) data structure.
+//!
+//! A [`Dfg`] is a directed graph of dataflow instructions ([`Op`]s). Each node
+//! has a fixed set of input ports (filled by a wire from another node's output
+//! port, by an immediate constant, or — for optional order ports — left
+//! unconnected) and one or more output ports that broadcast each produced
+//! token to every attached consumer.
+
+use crate::op::{Op, ParamId, SinkId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifies a node within a [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node's index into [`Dfg::nodes`]-style dense arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What feeds an input port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InPort {
+    /// Nothing; only legal for optional order ports.
+    Unconnected,
+    /// An immediate constant encoded in the instruction. Immediates are
+    /// always available and are never consumed.
+    Imm(i64),
+    /// A wire from `src`'s output port `src_port`.
+    Wire {
+        /// Producer node.
+        src: NodeId,
+        /// Producer output port.
+        src_port: u8,
+    },
+}
+
+impl InPort {
+    /// True if this port must receive tokens at runtime.
+    #[inline]
+    pub fn is_wire(&self) -> bool {
+        matches!(self, InPort::Wire { .. })
+    }
+}
+
+/// An outgoing fanout record: `src_port` of the owning node feeds
+/// (`dst`, `dst_port`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutEdge {
+    /// Producer output port.
+    pub src_port: u8,
+    /// Consumer node.
+    pub dst: NodeId,
+    /// Consumer input port.
+    pub dst_port: u8,
+}
+
+/// Criticality class of a memory operation, per §5 of the paper.
+///
+/// `Critical` loads sit on a loop-governing recurrence (long initiation
+/// interval); `InnerLoop` memory ops execute frequently but are not on a
+/// recurrence; `Other` covers the rest. The classes are ordered from most to
+/// least critical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Criticality {
+    /// Class (a): on a loop-governing recurrence.
+    Critical,
+    /// Class (b): inside an innermost loop but not on a recurrence.
+    InnerLoop,
+    /// Class (c): everything else.
+    Other,
+}
+
+impl fmt::Display for Criticality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Criticality::Critical => f.write_str("critical"),
+            Criticality::InnerLoop => f.write_str("inner-loop"),
+            Criticality::Other => f.write_str("other"),
+        }
+    }
+}
+
+/// Per-node metadata carried alongside the op.
+#[derive(Debug, Clone, Default)]
+pub struct NodeMeta {
+    /// Loop nesting depth at which the instruction was created (0 = top).
+    pub loop_depth: u32,
+    /// True if the instruction sits in a loop that contains no nested loop.
+    pub in_leaf_loop: bool,
+    /// Criticality class; `None` until [`crate::criticality::classify`] runs.
+    pub criticality: Option<Criticality>,
+    /// Optional debug label from the kernel builder.
+    pub label: Option<String>,
+}
+
+/// A dataflow instruction plus its wiring and metadata.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The instruction.
+    pub op: Op,
+    /// Input ports, length = `op.num_inputs()`.
+    pub inputs: Vec<InPort>,
+    /// Metadata.
+    pub meta: NodeMeta,
+}
+
+/// Errors produced by [`Dfg::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An input port that must be driven is unconnected.
+    MissingInput {
+        /// Offending node.
+        node: NodeId,
+        /// Offending port.
+        port: usize,
+    },
+    /// A wire references a nonexistent node or output port.
+    DanglingWire {
+        /// Offending node.
+        node: NodeId,
+        /// Offending port.
+        port: usize,
+    },
+    /// Two param nodes share a [`ParamId`].
+    DuplicateParam(ParamId),
+    /// Two sink nodes share a [`SinkId`].
+    DuplicateSink(SinkId),
+    /// An immediate was supplied on a port that requires a token stream
+    /// (carry init/back, invariant value, steer value, mux data).
+    ImmOnStreamPort {
+        /// Offending node.
+        node: NodeId,
+        /// Offending port.
+        port: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::MissingInput { node, port } => {
+                write!(f, "input port {port} of {node} is unconnected")
+            }
+            GraphError::DanglingWire { node, port } => {
+                write!(f, "input port {port} of {node} references a nonexistent source")
+            }
+            GraphError::DuplicateParam(p) => write!(f, "duplicate param id {}", p.0),
+            GraphError::DuplicateSink(s) => write!(f, "duplicate sink id {}", s.0),
+            GraphError::ImmOnStreamPort { node, port } => {
+                write!(f, "immediate on stream-only port {port} of {node}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An ordered-dataflow graph.
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    name: String,
+    nodes: Vec<Node>,
+    outs: Vec<Vec<OutEdge>>,
+    params: Vec<(ParamId, String)>,
+    sinks: Vec<(SinkId, String)>,
+}
+
+impl Dfg {
+    /// Create an empty graph.
+    pub fn new(name: impl Into<String>) -> Self {
+        Dfg {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// The graph's name (usually the kernel name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Add a node with all inputs unconnected. Returns its id.
+    pub fn add_node(&mut self, op: Op) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            op,
+            inputs: vec![InPort::Unconnected; op.num_inputs()],
+            meta: NodeMeta::default(),
+        });
+        self.outs.push(Vec::new());
+        if let Op::Param(p) = op {
+            self.params.push((p, format!("p{}", p.0)));
+        }
+        if let Op::Sink(s) = op {
+            self.sinks.push((s, format!("s{}", s.0)));
+        }
+        id
+    }
+
+    /// Add a fresh param node with a name; allocates the next [`ParamId`].
+    pub fn add_param(&mut self, name: impl Into<String>) -> (NodeId, ParamId) {
+        let pid = ParamId(self.params.len() as u32);
+        let id = self.add_node(Op::Param(pid));
+        self.params.last_mut().expect("param just pushed").1 = name.into();
+        (id, pid)
+    }
+
+    /// Add a fresh sink node with a name; allocates the next [`SinkId`].
+    pub fn add_sink(&mut self, name: impl Into<String>) -> (NodeId, SinkId) {
+        let sid = SinkId(self.sinks.len() as u32);
+        let id = self.add_node(Op::Sink(sid));
+        self.sinks.last_mut().expect("sink just pushed").1 = name.into();
+        (id, sid)
+    }
+
+    /// Declared params as `(id, name)` pairs, in declaration order.
+    pub fn params(&self) -> &[(ParamId, String)] {
+        &self.params
+    }
+
+    /// Declared sinks as `(id, name)` pairs, in declaration order.
+    pub fn sinks(&self) -> &[(SinkId, String)] {
+        &self.sinks
+    }
+
+    /// Connect `src`'s output port `src_port` to `dst`'s input port `dst_port`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if ids or ports are out of range, or if the input port is
+    /// already driven.
+    pub fn connect(&mut self, src: NodeId, src_port: usize, dst: NodeId, dst_port: usize) {
+        assert!(
+            src_port < self.nodes[src.index()].op.num_outputs(),
+            "output port {src_port} out of range for {src} ({})",
+            self.nodes[src.index()].op
+        );
+        let slot = &mut self.nodes[dst.index()].inputs[dst_port];
+        assert!(
+            matches!(slot, InPort::Unconnected),
+            "input port {dst_port} of {dst} already driven"
+        );
+        *slot = InPort::Wire {
+            src,
+            src_port: src_port as u8,
+        };
+        self.outs[src.index()].push(OutEdge {
+            src_port: src_port as u8,
+            dst,
+            dst_port: dst_port as u8,
+        });
+    }
+
+    /// Set an input port to an immediate constant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the port is already driven.
+    pub fn set_imm(&mut self, dst: NodeId, dst_port: usize, value: i64) {
+        let slot = &mut self.nodes[dst.index()].inputs[dst_port];
+        assert!(
+            matches!(slot, InPort::Unconnected),
+            "input port {dst_port} of {dst} already driven"
+        );
+        *slot = InPort::Imm(value);
+    }
+
+    /// The node for an id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Mutable access to a node's metadata.
+    pub fn meta_mut(&mut self, id: NodeId) -> &mut NodeMeta {
+        &mut self.nodes[id.index()].meta
+    }
+
+    /// Iterate over `(id, node)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &Node)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n))
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Fanout records of a node (all output ports).
+    pub fn outs(&self, id: NodeId) -> &[OutEdge] {
+        &self.outs[id.index()]
+    }
+
+    /// Number of consumers attached to a given output port.
+    pub fn fanout(&self, id: NodeId, port: usize) -> usize {
+        self.outs[id.index()]
+            .iter()
+            .filter(|e| e.src_port as usize == port)
+            .count()
+    }
+
+    /// Total number of wires in the graph.
+    pub fn num_edges(&self) -> usize {
+        self.outs.iter().map(Vec::len).sum()
+    }
+
+    /// Count of memory operations.
+    pub fn num_memory_ops(&self) -> usize {
+        self.nodes.iter().filter(|n| n.op.is_memory()).count()
+    }
+
+    /// Validate structural invariants. Returns all violations found.
+    pub fn validate(&self) -> Result<(), Vec<GraphError>> {
+        let mut errs = Vec::new();
+        let mut seen_params: HashMap<u32, ()> = HashMap::new();
+        let mut seen_sinks: HashMap<u32, ()> = HashMap::new();
+        for (id, node) in self.iter() {
+            let optional = node.op.optional_inputs();
+            for (port, ip) in node.inputs.iter().enumerate() {
+                match ip {
+                    InPort::Unconnected => {
+                        if !optional.contains(&port) {
+                            errs.push(GraphError::MissingInput { node: id, port });
+                        }
+                    }
+                    InPort::Imm(_) => {
+                        if Self::stream_only_port(node.op, port) {
+                            errs.push(GraphError::ImmOnStreamPort { node: id, port });
+                        }
+                    }
+                    InPort::Wire { src, src_port } => {
+                        let ok = (src.index()) < self.nodes.len()
+                            && (*src_port as usize) < self.nodes[src.index()].op.num_outputs();
+                        if !ok {
+                            errs.push(GraphError::DanglingWire { node: id, port });
+                        }
+                    }
+                }
+            }
+            match node.op {
+                Op::Param(p) => {
+                    if seen_params.insert(p.0, ()).is_some() {
+                        errs.push(GraphError::DuplicateParam(p));
+                    }
+                }
+                Op::Sink(s) => {
+                    if seen_sinks.insert(s.0, ()).is_some() {
+                        errs.push(GraphError::DuplicateSink(s));
+                    }
+                }
+                _ => {}
+            }
+        }
+        if errs.is_empty() {
+            Ok(())
+        } else {
+            Err(errs)
+        }
+    }
+
+    /// Ports whose semantics require a consumable token stream, so an
+    /// immediate (never consumed) would change the firing discipline.
+    fn stream_only_port(op: Op, port: usize) -> bool {
+        match op {
+            // A carry must consume its init to leave the await-init state;
+            // an immediate would re-arm the loop forever. Back edges are
+            // token streams by definition.
+            Op::Carry => port == Op::CARRY_INIT || port == Op::CARRY_BACK,
+            // An invariant's held value must be consumable/replaceable.
+            Op::Invariant => port == Op::INV_VALUE,
+            // A mux conditionally consumes its data ports.
+            Op::Mux => port == 1 || port == 2,
+            _ => false,
+        }
+    }
+
+    /// Render a human-readable dump of the graph, one node per line.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "dfg {} ({} nodes, {} edges)", self.name, self.len(), self.num_edges());
+        for (id, n) in self.iter() {
+            let ins: Vec<String> = n
+                .inputs
+                .iter()
+                .map(|ip| match ip {
+                    InPort::Unconnected => "-".to_string(),
+                    InPort::Imm(v) => format!("#{v}"),
+                    InPort::Wire { src, src_port } => format!("{src}.{src_port}"),
+                })
+                .collect();
+            let crit = match n.meta.criticality {
+                Some(c) => format!(" [{c}]"),
+                None => String::new(),
+            };
+            let label = n.meta.label.as_deref().unwrap_or("");
+            let _ = writeln!(
+                s,
+                "  {id}: {} ({}) d{}{}{} {}",
+                n.op,
+                ins.join(", "),
+                n.meta.loop_depth,
+                if n.meta.in_leaf_loop { " leaf" } else { "" },
+                crit,
+                label
+            );
+        }
+        s
+    }
+}
+
+impl fmt::Display for Dfg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.dump())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinOpKind, CmpKind};
+
+    #[test]
+    fn build_and_validate_small_graph() {
+        let mut g = Dfg::new("t");
+        let (a, _) = g.add_param("a");
+        let (b, _) = g.add_param("b");
+        let add = g.add_node(Op::BinOp(BinOpKind::Add));
+        g.connect(a, 0, add, 0);
+        g.connect(b, 0, add, 1);
+        let (sink, _) = g.add_sink("out");
+        g.connect(add, 0, sink, 0);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.fanout(add, 0), 1);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let mut g = Dfg::new("t");
+        let add = g.add_node(Op::BinOp(BinOpKind::Add));
+        g.set_imm(add, 0, 1);
+        let errs = g.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, GraphError::MissingInput { node, port: 1 } if *node == add)));
+    }
+
+    #[test]
+    fn optional_order_port_may_be_unconnected() {
+        let mut g = Dfg::new("t");
+        let ld = g.add_node(Op::Load);
+        g.set_imm(ld, Op::LOAD_ADDR, 0);
+        let (sink, _) = g.add_sink("v");
+        g.connect(ld, 0, sink, 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn imm_on_carry_init_is_rejected() {
+        let mut g = Dfg::new("t");
+        let c = g.add_node(Op::Carry);
+        g.set_imm(c, Op::CARRY_INIT, 0);
+        g.set_imm(c, Op::CARRY_BACK, 0);
+        g.set_imm(c, Op::CARRY_DECIDER, 1);
+        let errs = g.validate().unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, GraphError::ImmOnStreamPort { port: 0, .. })));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, GraphError::ImmOnStreamPort { port: 1, .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "already driven")]
+    fn double_drive_panics() {
+        let mut g = Dfg::new("t");
+        let (a, _) = g.add_param("a");
+        let cmp = g.add_node(Op::Cmp(CmpKind::Lt));
+        g.connect(a, 0, cmp, 0);
+        g.connect(a, 0, cmp, 0);
+    }
+
+    #[test]
+    fn dump_contains_nodes() {
+        let mut g = Dfg::new("demo");
+        let (a, _) = g.add_param("a");
+        let neg = g.add_node(Op::UnOp(crate::op::UnOpKind::Neg));
+        g.connect(a, 0, neg, 0);
+        let d = g.dump();
+        assert!(d.contains("demo"));
+        assert!(d.contains("neg"));
+    }
+}

@@ -1,0 +1,644 @@
+//! Untimed reference interpreter for [`Dfg`]s.
+//!
+//! The interpreter executes the ordered-dataflow semantics with unbounded
+//! token FIFOs and zero-latency memory. It defines the *functional* meaning
+//! of a graph, independent of the microarchitecture: the timed simulator in
+//! `nupea-sim` must produce exactly the same sink values and final memory
+//! contents (differential tests enforce this).
+//!
+//! Besides execution, the interpreter reports diagnostics that catch lowering
+//! bugs early: per-node firing counts, residual (unconsumed) tokens, and the
+//! set of nodes still waiting on operands at quiescence.
+
+use crate::graph::{Dfg, InPort, NodeId};
+use crate::op::{Op, ParamId};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+
+/// Errors surfaced during interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// A load or store address fell outside simulated memory.
+    OutOfBounds {
+        /// Node that issued the access.
+        node: NodeId,
+        /// Offending word address.
+        addr: i64,
+    },
+    /// The firing budget was exhausted (suggests a livelock or runaway loop).
+    FiringBudgetExhausted {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// A param node has no bound value.
+    UnboundParam(ParamId),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::OutOfBounds { node, addr } => {
+                write!(f, "memory access out of bounds at {node}: address {addr}")
+            }
+            InterpError::FiringBudgetExhausted { budget } => {
+                write!(f, "firing budget of {budget} exhausted")
+            }
+            InterpError::UnboundParam(p) => write!(f, "param {} has no bound value", p.0),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Outcome of a completed interpretation.
+#[derive(Debug, Clone)]
+pub struct InterpResult {
+    /// Values collected by each sink, in arrival order, indexed by `SinkId`.
+    pub sinks: Vec<Vec<i64>>,
+    /// Total node firings.
+    pub total_firings: u64,
+    /// Firings per node.
+    pub firings: Vec<u64>,
+    /// Nodes left with at least one buffered token after quiescence.
+    /// A balanced lowering leaves this empty.
+    pub residual: Vec<NodeId>,
+    /// Nodes that are mid-state (carry looping / invariant holding) at
+    /// quiescence. A balanced lowering leaves this empty too.
+    pub unsettled: Vec<NodeId>,
+}
+
+impl InterpResult {
+    /// True if no tokens or gate state linger after execution — the
+    /// token-balance invariant of a correct structured lowering.
+    pub fn is_balanced(&self) -> bool {
+        self.residual.is_empty() && self.unsettled.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateState {
+    /// Carry awaiting an init token / invariant empty.
+    Fresh,
+    /// Carry looping.
+    Looping,
+    /// Invariant holding a value.
+    Holding(i64),
+}
+
+/// The untimed interpreter.
+///
+/// # Examples
+///
+/// ```
+/// use nupea_ir::graph::Dfg;
+/// use nupea_ir::op::{BinOpKind, Op};
+/// use nupea_ir::interp::Interp;
+///
+/// let mut g = Dfg::new("axpy1");
+/// let (x, xp) = g.add_param("x");
+/// let mul = g.add_node(Op::BinOp(BinOpKind::Mul));
+/// g.connect(x, 0, mul, 0);
+/// g.set_imm(mul, 1, 3);
+/// let (s, _) = g.add_sink("out");
+/// g.connect(mul, 0, s, 0);
+///
+/// let mut mem = vec![0i64; 16];
+/// let mut it = Interp::new(&g);
+/// it.bind(xp, 14);
+/// let r = it.run(&mut mem)?;
+/// assert_eq!(r.sinks[0], vec![42]);
+/// # Ok::<(), nupea_ir::interp::InterpError>(())
+/// ```
+#[derive(Debug)]
+pub struct Interp<'g> {
+    dfg: &'g Dfg,
+    fifos: Vec<Vec<VecDeque<i64>>>,
+    state: Vec<GateState>,
+    param_emitted: Vec<bool>,
+    bindings: HashMap<u32, i64>,
+    sinks: Vec<Vec<i64>>,
+    firings: Vec<u64>,
+    total_firings: u64,
+    budget: u64,
+}
+
+impl<'g> Interp<'g> {
+    /// Default firing budget.
+    pub const DEFAULT_BUDGET: u64 = 200_000_000;
+
+    /// Create an interpreter for a graph.
+    pub fn new(dfg: &'g Dfg) -> Self {
+        let fifos = dfg
+            .iter()
+            .map(|(_, n)| n.inputs.iter().map(|_| VecDeque::new()).collect())
+            .collect();
+        Interp {
+            dfg,
+            fifos,
+            state: vec![GateState::Fresh; dfg.len()],
+            param_emitted: vec![false; dfg.len()],
+            bindings: HashMap::new(),
+            sinks: vec![Vec::new(); dfg.sinks().len()],
+            firings: vec![0; dfg.len()],
+            total_firings: 0,
+            budget: Self::DEFAULT_BUDGET,
+        }
+    }
+
+    /// Bind a param to a value. Unbound params are an error at [`run`].
+    ///
+    /// [`run`]: Interp::run
+    pub fn bind(&mut self, param: ParamId, value: i64) -> &mut Self {
+        self.bindings.insert(param.0, value);
+        self
+    }
+
+    /// Override the firing budget (livelock guard).
+    pub fn with_budget(&mut self, budget: u64) -> &mut Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Execute to quiescence over the given word-addressed memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on out-of-bounds memory accesses, unbound params, or
+    /// if the firing budget is exhausted.
+    pub fn run(&mut self, mem: &mut [i64]) -> Result<InterpResult, InterpError> {
+        for (pid, _) in self.dfg.params() {
+            if !self.bindings.contains_key(&pid.0) {
+                return Err(InterpError::UnboundParam(*pid));
+            }
+        }
+        let mut work: VecDeque<NodeId> = self.dfg.node_ids().collect();
+        let mut queued = vec![true; self.dfg.len()];
+        while let Some(id) = work.pop_front() {
+            queued[id.index()] = false;
+            // Drain: fire as long as the node can.
+            while self.try_fire(id, mem, &mut work, &mut queued)? {
+                self.total_firings += 1;
+                self.firings[id.index()] += 1;
+                if self.total_firings > self.budget {
+                    return Err(InterpError::FiringBudgetExhausted { budget: self.budget });
+                }
+            }
+        }
+        let residual = self
+            .dfg
+            .node_ids()
+            .filter(|id| self.fifos[id.index()].iter().any(|q| !q.is_empty()))
+            .collect();
+        let unsettled = self
+            .dfg
+            .node_ids()
+            .filter(|id| !matches!(self.state[id.index()], GateState::Fresh))
+            .collect();
+        Ok(InterpResult {
+            sinks: self.sinks.clone(),
+            total_firings: self.total_firings,
+            firings: self.firings.clone(),
+            residual,
+            unsettled,
+        })
+    }
+
+    /// Tokens currently buffered at a node's input port (diagnostics).
+    pub fn buffered(&self, node: NodeId, port: usize) -> &VecDeque<i64> {
+        &self.fifos[node.index()][port]
+    }
+
+    #[inline]
+    fn peek(&self, id: NodeId, port: usize) -> Option<i64> {
+        match self.dfg.node(id).inputs[port] {
+            InPort::Imm(v) => Some(v),
+            InPort::Wire { .. } => self.fifos[id.index()][port].front().copied(),
+            InPort::Unconnected => None,
+        }
+    }
+
+    #[inline]
+    fn consume(&mut self, id: NodeId, port: usize) -> i64 {
+        match self.dfg.node(id).inputs[port] {
+            InPort::Imm(v) => v,
+            InPort::Wire { .. } => self.fifos[id.index()][port]
+                .pop_front()
+                .expect("consume called without token"),
+            InPort::Unconnected => panic!("consume on unconnected port"),
+        }
+    }
+
+    #[inline]
+    fn order_wired(&self, id: NodeId, port: usize) -> bool {
+        self.dfg.node(id).inputs[port].is_wire()
+    }
+
+    fn emit(
+        &mut self,
+        id: NodeId,
+        port: usize,
+        value: i64,
+        work: &mut VecDeque<NodeId>,
+        queued: &mut [bool],
+    ) {
+        for e in self.dfg.outs(id) {
+            if e.src_port as usize == port {
+                self.fifos[e.dst.index()][e.dst_port as usize].push_back(value);
+                if !queued[e.dst.index()] {
+                    queued[e.dst.index()] = true;
+                    work.push_back(e.dst);
+                }
+            }
+        }
+    }
+
+    /// Attempt one firing. Returns whether the node fired.
+    fn try_fire(
+        &mut self,
+        id: NodeId,
+        mem: &mut [i64],
+        work: &mut VecDeque<NodeId>,
+        queued: &mut [bool],
+    ) -> Result<bool, InterpError> {
+        let op = self.dfg.node(id).op;
+        match op {
+            Op::Param(p) => {
+                if self.param_emitted[id.index()] {
+                    return Ok(false);
+                }
+                let v = self.bindings[&p.0];
+                self.param_emitted[id.index()] = true;
+                self.emit(id, 0, v, work, queued);
+                Ok(true)
+            }
+            Op::BinOp(k) => {
+                if self.peek(id, 0).is_none() || self.peek(id, 1).is_none() {
+                    return Ok(false);
+                }
+                let a = self.consume(id, 0);
+                let b = self.consume(id, 1);
+                self.emit(id, 0, k.eval(a, b), work, queued);
+                Ok(true)
+            }
+            Op::Cmp(k) => {
+                if self.peek(id, 0).is_none() || self.peek(id, 1).is_none() {
+                    return Ok(false);
+                }
+                let a = self.consume(id, 0);
+                let b = self.consume(id, 1);
+                self.emit(id, 0, k.eval(a, b), work, queued);
+                Ok(true)
+            }
+            Op::UnOp(k) => {
+                if self.peek(id, 0).is_none() {
+                    return Ok(false);
+                }
+                let a = self.consume(id, 0);
+                self.emit(id, 0, k.eval(a), work, queued);
+                Ok(true)
+            }
+            Op::Steer(pol) => {
+                if self.peek(id, 0).is_none() || self.peek(id, 1).is_none() {
+                    return Ok(false);
+                }
+                let d = self.consume(id, 0) != 0;
+                let v = self.consume(id, 1);
+                let forward = match pol {
+                    crate::op::SteerPolarity::OnTrue => d,
+                    crate::op::SteerPolarity::OnFalse => !d,
+                };
+                if forward {
+                    self.emit(id, 0, v, work, queued);
+                }
+                Ok(true)
+            }
+            Op::Carry => match self.state[id.index()] {
+                GateState::Fresh => {
+                    if self.peek(id, Op::CARRY_INIT).is_none() {
+                        return Ok(false);
+                    }
+                    let v = self.consume(id, Op::CARRY_INIT);
+                    self.state[id.index()] = GateState::Looping;
+                    self.emit(id, 0, v, work, queued);
+                    Ok(true)
+                }
+                GateState::Looping => {
+                    let Some(d) = self.peek(id, Op::CARRY_DECIDER) else {
+                        return Ok(false);
+                    };
+                    if d != 0 {
+                        if self.peek(id, Op::CARRY_BACK).is_none() {
+                            return Ok(false);
+                        }
+                        self.consume(id, Op::CARRY_DECIDER);
+                        let v = self.consume(id, Op::CARRY_BACK);
+                        self.emit(id, 0, v, work, queued);
+                    } else {
+                        self.consume(id, Op::CARRY_DECIDER);
+                        self.state[id.index()] = GateState::Fresh;
+                    }
+                    Ok(true)
+                }
+                GateState::Holding(_) => unreachable!("carry never holds"),
+            },
+            Op::Invariant => match self.state[id.index()] {
+                GateState::Fresh => {
+                    if self.peek(id, Op::INV_VALUE).is_none() {
+                        return Ok(false);
+                    }
+                    let v = self.consume(id, Op::INV_VALUE);
+                    self.state[id.index()] = GateState::Holding(v);
+                    self.emit(id, 0, v, work, queued);
+                    Ok(true)
+                }
+                GateState::Holding(v) => {
+                    let Some(d) = self.peek(id, Op::INV_DECIDER) else {
+                        return Ok(false);
+                    };
+                    self.consume(id, Op::INV_DECIDER);
+                    if d != 0 {
+                        self.emit(id, 0, v, work, queued);
+                    } else {
+                        self.state[id.index()] = GateState::Fresh;
+                    }
+                    Ok(true)
+                }
+                GateState::Looping => unreachable!("invariant never loops"),
+            },
+            Op::Select => {
+                if self.peek(id, 0).is_none()
+                    || self.peek(id, 1).is_none()
+                    || self.peek(id, 2).is_none()
+                {
+                    return Ok(false);
+                }
+                let d = self.consume(id, 0) != 0;
+                let a = self.consume(id, 1);
+                let b = self.consume(id, 2);
+                self.emit(id, 0, if d { a } else { b }, work, queued);
+                Ok(true)
+            }
+            Op::Mux => {
+                let Some(d) = self.peek(id, 0) else {
+                    return Ok(false);
+                };
+                let taken = if d != 0 { 1 } else { 2 };
+                if self.peek(id, taken).is_none() {
+                    return Ok(false);
+                }
+                self.consume(id, 0);
+                let v = self.consume(id, taken);
+                self.emit(id, 0, v, work, queued);
+                Ok(true)
+            }
+            Op::Load => {
+                if self.peek(id, Op::LOAD_ADDR).is_none() {
+                    return Ok(false);
+                }
+                if self.order_wired(id, Op::LOAD_ORDER) && self.peek(id, Op::LOAD_ORDER).is_none()
+                {
+                    return Ok(false);
+                }
+                let addr = self.consume(id, Op::LOAD_ADDR);
+                if self.order_wired(id, Op::LOAD_ORDER) {
+                    self.consume(id, Op::LOAD_ORDER);
+                }
+                let v = *usize::try_from(addr)
+                    .ok()
+                    .and_then(|a| mem.get(a))
+                    .ok_or(InterpError::OutOfBounds { node: id, addr })?;
+                self.emit(id, Op::OUT_VALUE, v, work, queued);
+                self.emit(id, Op::LOAD_OUT_ORDER, 0, work, queued);
+                Ok(true)
+            }
+            Op::Store => {
+                if self.peek(id, Op::STORE_ADDR).is_none()
+                    || self.peek(id, Op::STORE_VALUE).is_none()
+                {
+                    return Ok(false);
+                }
+                if self.order_wired(id, Op::STORE_ORDER)
+                    && self.peek(id, Op::STORE_ORDER).is_none()
+                {
+                    return Ok(false);
+                }
+                let addr = self.consume(id, Op::STORE_ADDR);
+                let v = self.consume(id, Op::STORE_VALUE);
+                if self.order_wired(id, Op::STORE_ORDER) {
+                    self.consume(id, Op::STORE_ORDER);
+                }
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .and_then(|a| mem.get_mut(a))
+                    .ok_or(InterpError::OutOfBounds { node: id, addr })?;
+                *slot = v;
+                self.emit(id, 0, 0, work, queued);
+                Ok(true)
+            }
+            Op::Sink(s) => {
+                if self.peek(id, 0).is_none() {
+                    return Ok(false);
+                }
+                let v = self.consume(id, 0);
+                self.sinks[s.0 as usize].push(v);
+                Ok(true)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{BinOpKind, CmpKind, SteerPolarity};
+
+    /// Hand-build `for i in 0..n { acc += i }` and check the loop gates.
+    fn counting_loop(n: i64) -> (Dfg, ParamId) {
+        let mut g = Dfg::new("count");
+        let (n_param, np) = g.add_param("n");
+
+        // i carry: init 0 (materialized as a param-like source via imm on a
+        // unop is not allowed on init; use an Add of the bound param 0*? —
+        // instead use a dedicated zero source).
+        let (zero_i, zp_i) = g.add_param("zero_i");
+        let (zero_a, zp_a) = g.add_param("zero_a");
+        let i_carry = g.add_node(Op::Carry);
+        let acc_carry = g.add_node(Op::Carry);
+        g.connect(zero_i, 0, i_carry, Op::CARRY_INIT);
+        g.connect(zero_a, 0, acc_carry, Op::CARRY_INIT);
+
+        // n invariant gated by the loop decider.
+        let n_inv = g.add_node(Op::Invariant);
+        g.connect(n_param, 0, n_inv, Op::INV_VALUE);
+
+        // cond = i < n
+        let cond = g.add_node(Op::Cmp(CmpKind::Lt));
+        g.connect(i_carry, 0, cond, 0);
+        g.connect(n_inv, 0, cond, 1);
+        g.connect(cond, 0, n_inv, Op::INV_DECIDER);
+        g.connect(cond, 0, i_carry, Op::CARRY_DECIDER);
+        g.connect(cond, 0, acc_carry, Op::CARRY_DECIDER);
+
+        // body: steer i and acc into the body.
+        let i_body = g.add_node(Op::Steer(SteerPolarity::OnTrue));
+        g.connect(cond, 0, i_body, 0);
+        g.connect(i_carry, 0, i_body, 1);
+        let acc_body = g.add_node(Op::Steer(SteerPolarity::OnTrue));
+        g.connect(cond, 0, acc_body, 0);
+        g.connect(acc_carry, 0, acc_body, 1);
+
+        // i' = i + 1 ; acc' = acc + i
+        let i_next = g.add_node(Op::BinOp(BinOpKind::Add));
+        g.connect(i_body, 0, i_next, 0);
+        g.set_imm(i_next, 1, 1);
+        g.connect(i_next, 0, i_carry, Op::CARRY_BACK);
+        let acc_next = g.add_node(Op::BinOp(BinOpKind::Add));
+        g.connect(acc_body, 0, acc_next, 0);
+        g.connect(i_body, 0, acc_next, 1);
+        // NOTE: i_body fans out to both i_next and acc_next; each gets a copy.
+        g.connect(acc_next, 0, acc_carry, Op::CARRY_BACK);
+
+        // exit value of acc.
+        let acc_exit = g.add_node(Op::Steer(SteerPolarity::OnFalse));
+        g.connect(cond, 0, acc_exit, 0);
+        g.connect(acc_carry, 0, acc_exit, 1);
+        let (sink, _) = g.add_sink("acc");
+        g.connect(acc_exit, 0, sink, 0);
+
+        // The steered i copy to i_next also reaches acc_next; i_carry's raw
+        // output feeds cond and both steers — consumption counts match.
+        let _ = (n, zp_i, zp_a);
+        g.validate().expect("valid graph");
+        (g, np)
+    }
+
+    #[test]
+    fn loop_sums_correctly_for_various_trip_counts() {
+        for n in [0i64, 1, 2, 5, 17] {
+            let (g, np) = counting_loop(n);
+            let mut mem = vec![0i64; 4];
+            let mut it = Interp::new(&g);
+            // params: n, zero_i, zero_a in declaration order.
+            let params: Vec<_> = g.params().iter().map(|(p, _)| *p).collect();
+            for p in &params {
+                it.bind(*p, 0);
+            }
+            it.bind(np, n);
+            let r = it.run(&mut mem).expect("run ok");
+            let expected: i64 = (0..n).sum();
+            assert_eq!(r.sinks[0], vec![expected], "n={n}");
+            assert!(r.is_balanced(), "n={n}: residual={:?} unsettled={:?}", r.residual, r.unsettled);
+        }
+    }
+
+    #[test]
+    fn zero_trip_loop_emits_init_and_resets() {
+        let (g, np) = counting_loop(0);
+        let mut mem = vec![0i64; 4];
+        let mut it = Interp::new(&g);
+        for (p, _) in g.params() {
+            it.bind(*p, 0);
+        }
+        it.bind(np, 0);
+        let r = it.run(&mut mem).unwrap();
+        assert_eq!(r.sinks[0], vec![0]);
+        assert!(r.is_balanced());
+    }
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut g = Dfg::new("copy");
+        let (a, ap) = g.add_param("src");
+        let ld = g.add_node(Op::Load);
+        g.connect(a, 0, ld, Op::LOAD_ADDR);
+        let st = g.add_node(Op::Store);
+        g.set_imm(st, Op::STORE_ADDR, 3);
+        g.connect(ld, Op::OUT_VALUE, st, Op::STORE_VALUE);
+        let (sink, _) = g.add_sink("done");
+        g.connect(st, 0, sink, 0);
+        let mut mem = vec![7, 8, 9, 0];
+        let mut it = Interp::new(&g);
+        it.bind(ap, 1);
+        let r = it.run(&mut mem).unwrap();
+        assert_eq!(mem[3], 8);
+        assert_eq!(r.sinks[0].len(), 1);
+    }
+
+    #[test]
+    fn out_of_bounds_load_is_an_error() {
+        let mut g = Dfg::new("oob");
+        let (a, ap) = g.add_param("addr");
+        let ld = g.add_node(Op::Load);
+        g.connect(a, 0, ld, Op::LOAD_ADDR);
+        let (s, _) = g.add_sink("v");
+        g.connect(ld, 0, s, 0);
+        let mut mem = vec![0i64; 4];
+        let mut it = Interp::new(&g);
+        it.bind(ap, 100);
+        match it.run(&mut mem) {
+            Err(InterpError::OutOfBounds { addr: 100, .. }) => {}
+            other => panic!("expected OOB, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbound_param_is_an_error() {
+        let mut g = Dfg::new("p");
+        let (_a, _) = g.add_param("x");
+        let mut mem = vec![0i64; 1];
+        let mut it = Interp::new(&g);
+        assert!(matches!(
+            it.run(&mut mem),
+            Err(InterpError::UnboundParam(_))
+        ));
+    }
+
+    #[test]
+    fn mux_consumes_only_taken_side() {
+        // d=true path: produce only the true token; mux must fire.
+        let mut g = Dfg::new("mux");
+        let (d, dp) = g.add_param("d");
+        let (t, tp) = g.add_param("t");
+        let mux = g.add_node(Op::Mux);
+        g.connect(d, 0, mux, 0);
+        g.connect(t, 0, mux, 1);
+        // false side: a steer that never fires (decider imm 0 forwards
+        // nothing on OnTrue) — leave port simply wired from a steer with no
+        // token. Simplest: wire from a second param that we bind but gate.
+        let (f, fp) = g.add_param("f");
+        let gate = g.add_node(Op::Steer(SteerPolarity::OnTrue));
+        g.set_imm(gate, 0, 0); // decider false => drop
+        g.connect(f, 0, gate, 1);
+        g.connect(gate, 0, mux, 2);
+        let (s, _) = g.add_sink("out");
+        g.connect(mux, 0, s, 0);
+        let mut mem = vec![0i64; 1];
+        let mut it = Interp::new(&g);
+        it.bind(dp, 1).bind(tp, 42).bind(fp, 99);
+        let r = it.run(&mut mem).unwrap();
+        assert_eq!(r.sinks[0], vec![42]);
+        assert!(r.is_balanced());
+    }
+
+    #[test]
+    fn firing_budget_guards_livelock() {
+        // A 2-node oscillator: carry with an always-true decider and its own
+        // output (via add) as back-edge = infinite loop.
+        let mut g = Dfg::new("live");
+        let (z, zp) = g.add_param("z");
+        let c = g.add_node(Op::Carry);
+        g.connect(z, 0, c, Op::CARRY_INIT);
+        let inc = g.add_node(Op::BinOp(BinOpKind::Add));
+        g.connect(c, 0, inc, 0);
+        g.set_imm(inc, 1, 1);
+        g.connect(inc, 0, c, Op::CARRY_BACK);
+        g.set_imm(c, Op::CARRY_DECIDER, 1);
+        let mut mem = vec![0i64; 1];
+        let mut it = Interp::new(&g);
+        it.bind(zp, 0).with_budget(10_000);
+        assert!(matches!(
+            it.run(&mut mem),
+            Err(InterpError::FiringBudgetExhausted { .. })
+        ));
+    }
+}

@@ -1,0 +1,55 @@
+//! # nupea-ir — ordered-dataflow IR for the NUPEA reproduction
+//!
+//! This crate defines the dataflow intermediate representation shared by the
+//! whole NUPEA stack:
+//!
+//! * [`op`] — the dataflow instruction set (arithmetic, steering control
+//!   flow, loop gates, memory operations), mirroring Monaco's
+//!   general-purpose ordered-dataflow ISA (§4.1 of the paper).
+//! * [`graph`] — the [`Dfg`](graph::Dfg) graph structure with typed input
+//!   ports, immediates, broadcast output ports, and structural validation.
+//! * [`interp`] — an untimed reference interpreter defining the functional
+//!   semantics; the timed simulator in `nupea-sim` is differentially tested
+//!   against it.
+//! * [`criticality`] — effcc-style critical-load identification (§5): loads
+//!   on loop-governing recurrences (via SCC analysis, including
+//!   memory-ordering edges) vs. inner-loop vs. other memory instructions.
+//!
+//! # Example
+//!
+//! Build a tiny graph, run it, and classify its memory ops:
+//!
+//! ```
+//! use nupea_ir::graph::Dfg;
+//! use nupea_ir::op::Op;
+//! use nupea_ir::{criticality, interp::Interp};
+//!
+//! let mut g = Dfg::new("demo");
+//! let (addr, addr_p) = g.add_param("addr");
+//! let ld = g.add_node(Op::Load);
+//! g.connect(addr, 0, ld, Op::LOAD_ADDR);
+//! let (sink, _) = g.add_sink("value");
+//! g.connect(ld, Op::OUT_VALUE, sink, 0);
+//! g.validate().expect("well-formed");
+//!
+//! let stats = criticality::classify(&mut g);
+//! assert_eq!(stats.other, 1);
+//!
+//! let mut mem = vec![10, 20, 30];
+//! let mut it = Interp::new(&g);
+//! it.bind(addr_p, 2);
+//! let result = it.run(&mut mem)?;
+//! assert_eq!(result.sinks[0], vec![30]);
+//! # Ok::<(), nupea_ir::interp::InterpError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod criticality;
+pub mod graph;
+pub mod interp;
+pub mod op;
+
+pub use graph::{Criticality, Dfg, InPort, NodeId};
+pub use op::{BinOpKind, CmpKind, Op, ParamId, SinkId, SteerPolarity, UnOpKind};

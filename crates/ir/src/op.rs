@@ -1,0 +1,467 @@
+//! Dataflow instruction set.
+//!
+//! The instruction set mirrors the ordered-dataflow model of RipTide-style
+//! spatial dataflow architectures (and Monaco, per §4.1 of the NUPEA paper):
+//! arithmetic executes in one fabric cycle, control-flow gates (steer, carry,
+//! invariant, mux, select) execute combinationally, and memory operations have
+//! variable latency determined by the memory system.
+
+use std::fmt;
+
+/// Binary arithmetic/logic operations. All operate on `i64` token values.
+///
+/// Division and remainder by zero yield `0` rather than trapping; the fabric
+/// has no exception machinery and kernels rely on this total semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BinOpKind {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Division (`x / 0 == 0`).
+    Div,
+    /// Remainder (`x % 0 == 0`).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (shift amount masked to 0..64).
+    Shl,
+    /// Arithmetic right shift (shift amount masked to 0..64).
+    Shr,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl BinOpKind {
+    /// Evaluate the operation on two token values.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOpKind::Add => a.wrapping_add(b),
+            BinOpKind::Sub => a.wrapping_sub(b),
+            BinOpKind::Mul => a.wrapping_mul(b),
+            BinOpKind::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOpKind::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOpKind::And => a & b,
+            BinOpKind::Or => a | b,
+            BinOpKind::Xor => a ^ b,
+            BinOpKind::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOpKind::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOpKind::Min => a.min(b),
+            BinOpKind::Max => a.max(b),
+        }
+    }
+
+    /// All binary operation kinds, for exhaustive testing.
+    pub const ALL: [BinOpKind; 12] = [
+        BinOpKind::Add,
+        BinOpKind::Sub,
+        BinOpKind::Mul,
+        BinOpKind::Div,
+        BinOpKind::Rem,
+        BinOpKind::And,
+        BinOpKind::Or,
+        BinOpKind::Xor,
+        BinOpKind::Shl,
+        BinOpKind::Shr,
+        BinOpKind::Min,
+        BinOpKind::Max,
+    ];
+}
+
+impl fmt::Display for BinOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOpKind::Add => "add",
+            BinOpKind::Sub => "sub",
+            BinOpKind::Mul => "mul",
+            BinOpKind::Div => "div",
+            BinOpKind::Rem => "rem",
+            BinOpKind::And => "and",
+            BinOpKind::Or => "or",
+            BinOpKind::Xor => "xor",
+            BinOpKind::Shl => "shl",
+            BinOpKind::Shr => "shr",
+            BinOpKind::Min => "min",
+            BinOpKind::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operations; result is `1` (true) or `0` (false).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CmpKind {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpKind {
+    /// Evaluate the comparison, returning `1` or `0`.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let r = match self {
+            CmpKind::Eq => a == b,
+            CmpKind::Ne => a != b,
+            CmpKind::Lt => a < b,
+            CmpKind::Le => a <= b,
+            CmpKind::Gt => a > b,
+            CmpKind::Ge => a >= b,
+        };
+        r as i64
+    }
+
+    /// All comparison kinds, for exhaustive testing.
+    pub const ALL: [CmpKind; 6] = [
+        CmpKind::Eq,
+        CmpKind::Ne,
+        CmpKind::Lt,
+        CmpKind::Le,
+        CmpKind::Gt,
+        CmpKind::Ge,
+    ];
+}
+
+impl fmt::Display for CmpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpKind::Eq => "eq",
+            CmpKind::Ne => "ne",
+            CmpKind::Lt => "lt",
+            CmpKind::Le => "le",
+            CmpKind::Gt => "gt",
+            CmpKind::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum UnOpKind {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise not.
+    Not,
+    /// Absolute value (wrapping at `i64::MIN`).
+    Abs,
+}
+
+impl UnOpKind {
+    /// Evaluate the operation.
+    #[inline]
+    pub fn eval(self, a: i64) -> i64 {
+        match self {
+            UnOpKind::Neg => a.wrapping_neg(),
+            UnOpKind::Not => !a,
+            UnOpKind::Abs => a.wrapping_abs(),
+        }
+    }
+
+    /// All unary operation kinds, for exhaustive testing.
+    pub const ALL: [UnOpKind; 3] = [UnOpKind::Neg, UnOpKind::Not, UnOpKind::Abs];
+}
+
+impl fmt::Display for UnOpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            UnOpKind::Neg => "neg",
+            UnOpKind::Not => "not",
+            UnOpKind::Abs => "abs",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Whether a steer forwards its value on a true or a false decider.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SteerPolarity {
+    /// Forward the value when the decider is non-zero, drop it otherwise.
+    OnTrue,
+    /// Forward the value when the decider is zero, drop it otherwise.
+    OnFalse,
+}
+
+impl fmt::Display for SteerPolarity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SteerPolarity::OnTrue => f.write_str("T"),
+            SteerPolarity::OnFalse => f.write_str("F"),
+        }
+    }
+}
+
+/// Identifies a kernel parameter ("xdata" program argument on Monaco).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub u32);
+
+/// Identifies a sink (result-collection endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SinkId(pub u32);
+
+/// A dataflow instruction.
+///
+/// Input/output port conventions are defined by [`Op::num_inputs`] and
+/// [`Op::num_outputs`]; the named port constants on this type document the
+/// meaning of each port index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A kernel argument. Emits its bound value exactly once at program start.
+    Param(ParamId),
+    /// Binary arithmetic. Inputs `[a, b]`, one fabric cycle.
+    BinOp(BinOpKind),
+    /// Comparison producing `0`/`1`. Inputs `[a, b]`, one fabric cycle.
+    Cmp(CmpKind),
+    /// Unary arithmetic. Input `[a]`, one fabric cycle.
+    UnOp(UnOpKind),
+    /// Steer (φ⁻¹): inputs `[decider, value]`. Combinational. Forwards or
+    /// drops `value` according to the polarity.
+    Steer(SteerPolarity),
+    /// Loop-carried variable gate. Inputs `[init, back, decider]`.
+    ///
+    /// State machine: starting in the *await-init* state it consumes one
+    /// `init` token and re-emits it. While looping, each `decider` token is
+    /// consumed in order: a true decider consumes and re-emits one `back`
+    /// token; a false decider emits nothing and returns to *await-init*.
+    Carry,
+    /// Loop-invariant value gate. Inputs `[value, decider]`.
+    ///
+    /// When empty it consumes one `value` token, stores it, and emits a copy.
+    /// While holding, each true `decider` emits another copy; a false decider
+    /// discards the held value (emitting nothing) so that a fresh value can be
+    /// accepted on the next loop entry.
+    Invariant,
+    /// Eager conditional: inputs `[decider, on_true, on_false]`. Consumes all
+    /// three tokens and forwards the selected one. Combinational.
+    Select,
+    /// Lazy merge: inputs `[decider, on_true, on_false]`. Consumes the decider
+    /// and *only* the selected data token; the untaken port is expected to
+    /// carry no token for this firing. Combinational.
+    Mux,
+    /// Memory load. Inputs `[addr, order?]`; outputs `[value, order]`.
+    /// Latency is determined by the memory system and NUPEA domain.
+    Load,
+    /// Memory store. Inputs `[addr, value, order?]`; outputs `[order]`.
+    Store,
+    /// Result collection endpoint. Input `[value]`; values are recorded in
+    /// arrival order for validation against reference implementations.
+    Sink(SinkId),
+}
+
+impl Op {
+    /// Input port index of the decider for steer/select/mux.
+    pub const DECIDER: usize = 0;
+    /// Input port index of a steer's value operand.
+    pub const STEER_VALUE: usize = 1;
+    /// Carry input ports.
+    pub const CARRY_INIT: usize = 0;
+    /// Carry back-edge port.
+    pub const CARRY_BACK: usize = 1;
+    /// Carry decider port.
+    pub const CARRY_DECIDER: usize = 2;
+    /// Invariant value port.
+    pub const INV_VALUE: usize = 0;
+    /// Invariant decider port.
+    pub const INV_DECIDER: usize = 1;
+    /// Load address port.
+    pub const LOAD_ADDR: usize = 0;
+    /// Load optional order-in port.
+    pub const LOAD_ORDER: usize = 1;
+    /// Store address port.
+    pub const STORE_ADDR: usize = 0;
+    /// Store value port.
+    pub const STORE_VALUE: usize = 1;
+    /// Store optional order-in port.
+    pub const STORE_ORDER: usize = 2;
+    /// Load output port carrying the loaded value.
+    pub const OUT_VALUE: usize = 0;
+    /// Load output port carrying the completion/order token.
+    pub const LOAD_OUT_ORDER: usize = 1;
+
+    /// Number of input ports.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            Op::Param(_) => 0,
+            Op::UnOp(_) | Op::Sink(_) => 1,
+            Op::BinOp(_) | Op::Cmp(_) | Op::Steer(_) | Op::Invariant | Op::Load => 2,
+            Op::Carry | Op::Select | Op::Mux | Op::Store => 3,
+        }
+    }
+
+    /// Number of output ports.
+    pub fn num_outputs(&self) -> usize {
+        match self {
+            Op::Sink(_) => 0,
+            Op::Load => 2,
+            _ => 1,
+        }
+    }
+
+    /// Input ports that may legally be left unconnected (optional order-ins).
+    pub fn optional_inputs(&self) -> &'static [usize] {
+        match self {
+            Op::Load => &[Op::LOAD_ORDER],
+            Op::Store => &[Op::STORE_ORDER],
+            _ => &[],
+        }
+    }
+
+    /// True for memory operations (only placeable on load-store PEs).
+    pub fn is_memory(&self) -> bool {
+        matches!(self, Op::Load | Op::Store)
+    }
+
+    /// True for combinational control-flow gates (steer/carry/invariant/
+    /// select/mux), which run on the control-flow FU with zero fabric-cycle
+    /// latency.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self,
+            Op::Steer(_) | Op::Carry | Op::Invariant | Op::Select | Op::Mux
+        )
+    }
+
+    /// True for single-cycle arithmetic (binop/cmp/unop).
+    pub fn is_arith(&self) -> bool {
+        matches!(self, Op::BinOp(_) | Op::Cmp(_) | Op::UnOp(_))
+    }
+
+    /// True for param/sink endpoints (hosted by the xdata FU).
+    pub fn is_endpoint(&self) -> bool {
+        matches!(self, Op::Param(_) | Op::Sink(_))
+    }
+
+    /// Short mnemonic used in graph dumps.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Op::Param(p) => format!("param{}", p.0),
+            Op::BinOp(k) => k.to_string(),
+            Op::Cmp(k) => format!("cmp.{k}"),
+            Op::UnOp(k) => k.to_string(),
+            Op::Steer(p) => format!("steer.{p}"),
+            Op::Carry => "carry".to_string(),
+            Op::Invariant => "inv".to_string(),
+            Op::Select => "sel".to_string(),
+            Op::Mux => "mux".to_string(),
+            Op::Load => "ld".to_string(),
+            Op::Store => "st".to_string(),
+            Op::Sink(s) => format!("sink{}", s.0),
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basics() {
+        assert_eq!(BinOpKind::Add.eval(2, 3), 5);
+        assert_eq!(BinOpKind::Sub.eval(2, 3), -1);
+        assert_eq!(BinOpKind::Mul.eval(-4, 3), -12);
+        assert_eq!(BinOpKind::Min.eval(-4, 3), -4);
+        assert_eq!(BinOpKind::Max.eval(-4, 3), 3);
+        assert_eq!(BinOpKind::Xor.eval(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn div_rem_by_zero_is_zero() {
+        assert_eq!(BinOpKind::Div.eval(42, 0), 0);
+        assert_eq!(BinOpKind::Rem.eval(42, 0), 0);
+        assert_eq!(BinOpKind::Div.eval(42, 5), 8);
+        assert_eq!(BinOpKind::Rem.eval(42, 5), 2);
+    }
+
+    #[test]
+    fn wrapping_arithmetic_does_not_panic() {
+        assert_eq!(BinOpKind::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOpKind::Mul.eval(i64::MAX, 2), -2);
+        assert_eq!(UnOpKind::Neg.eval(i64::MIN), i64::MIN);
+        assert_eq!(UnOpKind::Abs.eval(i64::MIN), i64::MIN);
+    }
+
+    #[test]
+    fn shift_amounts_are_masked() {
+        assert_eq!(BinOpKind::Shl.eval(1, 65), 2);
+        assert_eq!(BinOpKind::Shr.eval(-8, 1), -4);
+    }
+
+    #[test]
+    fn cmp_eval_is_boolean() {
+        for k in CmpKind::ALL {
+            for (a, b) in [(0, 0), (1, 2), (2, 1), (-5, 5)] {
+                let v = k.eval(a, b);
+                assert!(v == 0 || v == 1, "{k} produced non-boolean {v}");
+            }
+        }
+        assert_eq!(CmpKind::Lt.eval(-1, 0), 1);
+        assert_eq!(CmpKind::Ge.eval(-1, 0), 0);
+        assert_eq!(CmpKind::Eq.eval(7, 7), 1);
+    }
+
+    #[test]
+    fn port_arities_are_consistent() {
+        let ops = [
+            Op::Param(ParamId(0)),
+            Op::BinOp(BinOpKind::Add),
+            Op::Cmp(CmpKind::Lt),
+            Op::UnOp(UnOpKind::Neg),
+            Op::Steer(SteerPolarity::OnTrue),
+            Op::Carry,
+            Op::Invariant,
+            Op::Select,
+            Op::Mux,
+            Op::Load,
+            Op::Store,
+            Op::Sink(SinkId(0)),
+        ];
+        for op in ops {
+            for &p in op.optional_inputs() {
+                assert!(p < op.num_inputs(), "{op}: optional port out of range");
+            }
+            // Exactly one of the FU categories applies to each op.
+            let cats = [op.is_memory(), op.is_control(), op.is_arith(), op.is_endpoint()];
+            assert_eq!(
+                cats.iter().filter(|&&c| c).count(),
+                1,
+                "{op} must belong to exactly one FU category"
+            );
+        }
+    }
+}

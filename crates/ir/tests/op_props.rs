@@ -1,0 +1,122 @@
+//! Property tests for the instruction set's algebraic contracts and the
+//! interpreter's structural guarantees.
+
+use nupea_ir::graph::Dfg;
+use nupea_ir::interp::Interp;
+use nupea_ir::op::{BinOpKind, CmpKind, Op, UnOpKind};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn binops_never_panic_and_are_total(a in any::<i64>(), b in any::<i64>()) {
+        for k in BinOpKind::ALL {
+            let _ = k.eval(a, b);
+        }
+        for k in CmpKind::ALL {
+            let v = k.eval(a, b);
+            prop_assert!(v == 0 || v == 1);
+        }
+        for k in UnOpKind::ALL {
+            let _ = k.eval(a);
+        }
+    }
+
+    #[test]
+    fn commutative_ops_commute(a in any::<i64>(), b in any::<i64>()) {
+        for k in [BinOpKind::Add, BinOpKind::Mul, BinOpKind::And, BinOpKind::Or,
+                  BinOpKind::Xor, BinOpKind::Min, BinOpKind::Max] {
+            prop_assert_eq!(k.eval(a, b), k.eval(b, a), "{} must commute", k);
+        }
+    }
+
+    #[test]
+    fn cmp_pairs_are_duals(a in any::<i64>(), b in any::<i64>()) {
+        prop_assert_eq!(CmpKind::Lt.eval(a, b), CmpKind::Gt.eval(b, a));
+        prop_assert_eq!(CmpKind::Le.eval(a, b), CmpKind::Ge.eval(b, a));
+        prop_assert_eq!(CmpKind::Eq.eval(a, b), 1 - CmpKind::Ne.eval(a, b));
+        prop_assert_eq!(CmpKind::Lt.eval(a, b), 1 - CmpKind::Ge.eval(a, b));
+    }
+
+    #[test]
+    fn select_matches_mux_semantics(d in any::<bool>(), t in any::<i64>(), f in any::<i64>()) {
+        // An eager Select and a lazy Mux fed from gated sides must produce
+        // the same value for the same decider.
+        let build = |lazy: bool| {
+            let mut g = Dfg::new("sel");
+            let (dp, dpi) = g.add_param("d");
+            let (tp, tpi) = g.add_param("t");
+            let (fp, fpi) = g.add_param("f");
+            let n = if lazy {
+                // Gate each side so only the taken one produces a token.
+                let ts = g.add_node(Op::Steer(nupea_ir::op::SteerPolarity::OnTrue));
+                g.connect(dp, 0, ts, 0);
+                g.connect(tp, 0, ts, 1);
+                let fs = g.add_node(Op::Steer(nupea_ir::op::SteerPolarity::OnFalse));
+                g.connect(dp, 0, fs, 0);
+                g.connect(fp, 0, fs, 1);
+                let m = g.add_node(Op::Mux);
+                g.connect(dp, 0, m, 0);
+                g.connect(ts, 0, m, 1);
+                g.connect(fs, 0, m, 2);
+                m
+            } else {
+                let s = g.add_node(Op::Select);
+                g.connect(dp, 0, s, 0);
+                g.connect(tp, 0, s, 1);
+                g.connect(fp, 0, s, 2);
+                s
+            };
+            let (sink, _) = g.add_sink("out");
+            g.connect(n, 0, sink, 0);
+            (g, dpi, tpi, fpi)
+        };
+        let mut results = Vec::new();
+        for lazy in [false, true] {
+            let (g, dpi, tpi, fpi) = build(lazy);
+            let mut mem = vec![0i64; 1];
+            let mut it = Interp::new(&g);
+            it.bind(dpi, i64::from(d)).bind(tpi, t).bind(fpi, f);
+            let r = it.run(&mut mem).expect("runs");
+            prop_assert!(r.is_balanced());
+            results.push(r.sinks[0][0]);
+        }
+        prop_assert_eq!(results[0], results[1]);
+        prop_assert_eq!(results[0], if d { t } else { f });
+    }
+
+    #[test]
+    fn straight_line_arith_matches_native(xs in prop::collection::vec(any::<i64>(), 1..6)) {
+        // Fold a chain of adds/xors through the graph and natively.
+        let mut g = Dfg::new("fold");
+        let mut params = Vec::new();
+        let (first, p0) = g.add_param("x0");
+        params.push(p0);
+        let mut prev = first;
+        for i in 1..xs.len() {
+            let (p, pid) = g.add_param(format!("x{i}"));
+            params.push(pid);
+            let op = if i % 2 == 0 { BinOpKind::Add } else { BinOpKind::Xor };
+            let n = g.add_node(Op::BinOp(op));
+            g.connect(prev, 0, n, 0);
+            g.connect(p, 0, n, 1);
+            prev = n;
+        }
+        let (s, _) = g.add_sink("out");
+        g.connect(prev, 0, s, 0);
+
+        let mut mem = vec![0i64; 1];
+        let mut it = Interp::new(&g);
+        for (pid, v) in params.iter().zip(&xs) {
+            it.bind(*pid, *v);
+        }
+        let r = it.run(&mut mem).expect("runs");
+        let mut want = xs[0];
+        for (i, &v) in xs.iter().enumerate().skip(1) {
+            want = if i % 2 == 0 { want.wrapping_add(v) } else { want ^ v };
+        }
+        prop_assert_eq!(r.sinks[0][0], want);
+        prop_assert!(r.is_balanced());
+    }
+}

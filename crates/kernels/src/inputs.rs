@@ -1,0 +1,214 @@
+//! Seeded input generation for the evaluation workloads (Table 1 of the
+//! paper: "inputs are random and chosen such that they fit in memory").
+//!
+//! Everything is deterministic given a seed so experiments are exactly
+//! reproducible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major matrix of small integers.
+pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.gen_range(-8..=8)).collect()
+}
+
+/// A dense vector of small integers.
+pub fn dense_vector(len: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-8..=8)).collect()
+}
+
+/// A sparse matrix in compressed sparse row (CSR) form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row pointers, length `rows + 1`.
+    pub row_ptr: Vec<i64>,
+    /// Column indices of nonzeros, sorted within each row.
+    pub col_idx: Vec<i64>,
+    /// Nonzero values.
+    pub values: Vec<i64>,
+}
+
+impl Csr {
+    /// Number of nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// Dense row-major expansion (for reference computations).
+    pub fn to_dense(&self) -> Vec<i64> {
+        let mut d = vec![0i64; self.rows * self.cols];
+        for r in 0..self.rows {
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let k = k as usize;
+                d[r * self.cols + self.col_idx[k] as usize] = self.values[k];
+            }
+        }
+        d
+    }
+}
+
+/// Generate a random CSR matrix with roughly `1 - sparsity` fill
+/// (`sparsity` in [0,1], e.g. 0.9 per Table 1). Values are small nonzero
+/// integers; column indices are sorted per row.
+pub fn sparse_csr(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0);
+    for _ in 0..rows {
+        for c in 0..cols {
+            if rng.gen::<f64>() >= sparsity {
+                col_idx.push(c as i64);
+                let mut v = rng.gen_range(-4..=4i64);
+                if v == 0 {
+                    v = 1;
+                }
+                values.push(v);
+            }
+        }
+        row_ptr.push(col_idx.len() as i64);
+    }
+    Csr {
+        rows,
+        cols,
+        row_ptr,
+        col_idx,
+        values,
+    }
+}
+
+/// A sparse vector as sorted (index, value) pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SparseVec {
+    /// Logical length.
+    pub len: usize,
+    /// Sorted indices of nonzeros.
+    pub nz_idx: Vec<i64>,
+    /// Values of nonzeros.
+    pub values: Vec<i64>,
+}
+
+impl SparseVec {
+    /// Dense expansion.
+    pub fn to_dense(&self) -> Vec<i64> {
+        let mut d = vec![0i64; self.len];
+        for (i, &ix) in self.nz_idx.iter().enumerate() {
+            d[ix as usize] = self.values[i];
+        }
+        d
+    }
+}
+
+/// Generate a random sparse vector with roughly `1 - sparsity` fill.
+pub fn sparse_vector(len: usize, sparsity: f64, seed: u64) -> SparseVec {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut nz_idx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..len {
+        if rng.gen::<f64>() >= sparsity {
+            nz_idx.push(i as i64);
+            let mut v = rng.gen_range(-4..=4i64);
+            if v == 0 {
+                v = 2;
+            }
+            values.push(v);
+        }
+    }
+    SparseVec { len, nz_idx, values }
+}
+
+/// An undirected graph in CSR adjacency form with sorted neighbor lists
+/// (for triangle counting, GAPBS-style).
+pub fn random_graph(nodes: usize, edge_prob: f64, seed: u64) -> Csr {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut adj = vec![Vec::new(); nodes];
+    for u in 0..nodes {
+        for v in (u + 1)..nodes {
+            if rng.gen::<f64>() < edge_prob {
+                adj[u].push(v as i64);
+                adj[v].push(u as i64);
+            }
+        }
+    }
+    let mut row_ptr = Vec::with_capacity(nodes + 1);
+    let mut col_idx = Vec::new();
+    row_ptr.push(0);
+    for list in &mut adj {
+        list.sort_unstable();
+        col_idx.extend_from_slice(list);
+        row_ptr.push(col_idx.len() as i64);
+    }
+    let nnz = col_idx.len();
+    Csr {
+        rows: nodes,
+        cols: nodes,
+        row_ptr,
+        col_idx,
+        values: vec![1; nnz],
+    }
+}
+
+/// An unsorted list for mergesort.
+pub fn random_list(len: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-1000..=1000)).collect()
+}
+
+/// Fixed-point (Q15) samples for the FFT workload.
+pub fn random_signal(len: usize, seed: u64) -> Vec<i64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-(1 << 12)..(1 << 12))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(dense_matrix(4, 4, 1), dense_matrix(4, 4, 1));
+        assert_eq!(sparse_csr(8, 8, 0.9, 2), sparse_csr(8, 8, 0.9, 2));
+        assert_eq!(sparse_vector(32, 0.9, 3), sparse_vector(32, 0.9, 3));
+        assert_ne!(dense_vector(16, 1), dense_vector(16, 2));
+    }
+
+    #[test]
+    fn csr_round_trips_through_dense() {
+        let m = sparse_csr(10, 12, 0.8, 7);
+        let d = m.to_dense();
+        let nnz_dense = d.iter().filter(|&&v| v != 0).count();
+        assert_eq!(nnz_dense, m.nnz());
+        assert_eq!(m.row_ptr.len(), 11);
+        // Indices sorted per row.
+        for r in 0..m.rows {
+            let s = &m.col_idx[m.row_ptr[r] as usize..m.row_ptr[r + 1] as usize];
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn sparsity_is_roughly_respected() {
+        let m = sparse_csr(64, 64, 0.9, 11);
+        let fill = m.nnz() as f64 / (64.0 * 64.0);
+        assert!(fill > 0.05 && fill < 0.2, "fill {fill} should be ~0.1");
+    }
+
+    #[test]
+    fn graph_is_symmetric_and_sorted() {
+        let g = random_graph(24, 0.2, 5);
+        let d = g.to_dense();
+        for u in 0..24 {
+            for v in 0..24 {
+                assert_eq!(d[u * 24 + v], d[v * 24 + u], "symmetry {u},{v}");
+            }
+            assert_eq!(d[u * 24 + u], 0, "no self loops");
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! # nupea-kernels — kernel builder and the 13 evaluation workloads
+//!
+//! Two layers:
+//!
+//! * [`builder`] — a structured kernel-construction DSL (`for_range`,
+//!   `while_loop`, `if_else`, loads/stores, memory-ordering tokens) that
+//!   lowers to token-balanced ordered dataflow, standing in for effcc's
+//!   MLIR lowering (§5 of the paper).
+//! * [`workloads`] — the paper's Table 1 applications (dmv, jacobi2d,
+//!   heat3d, spmv, spmspv, spmspm, spadd, tc, mergesort, fft, ad, ic, vww),
+//!   each bundling seeded input generation, the kernel, and a validator
+//!   backed by a plain-Rust reference implementation.
+//!
+//! # Example
+//!
+//! ```
+//! use nupea_kernels::builder::Kernel;
+//! use nupea_kernels::interp_kernel;
+//!
+//! // sum = Σ i for i in 0..10, collected via a sink.
+//! let k = Kernel::build("sum", |c| {
+//!     let zero = c.imm(0);
+//!     let sums = c.for_range(0, 10, 1, &[zero], &[], |c, i, carried, _| {
+//!         vec![c.add(carried[0], i)]
+//!     });
+//!     c.sink(sums[0], "sum");
+//! });
+//! let mut mem = vec![0i64; 16];
+//! let result = interp_kernel(&k, &mut mem, &[]).unwrap();
+//! assert_eq!(result.sinks[0], vec![45]);
+//! assert!(result.is_balanced());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod inputs;
+pub mod workloads;
+
+pub use builder::{Ctx, Kernel, Val};
+pub use workloads::{all_workloads, Scale, Workload, WorkloadSpec};
+
+use nupea_ir::interp::{Interp, InterpError, InterpResult};
+
+/// Run a kernel under the untimed reference interpreter.
+///
+/// # Errors
+///
+/// Propagates [`InterpError`] (out-of-bounds access, missing binding,
+/// budget exhaustion).
+pub fn interp_kernel(
+    kernel: &Kernel,
+    mem: &mut [i64],
+    user: &[(&str, i64)],
+) -> Result<InterpResult, InterpError> {
+    let mut it = Interp::new(kernel.dfg());
+    for (pid, v) in kernel.bindings(user) {
+        it.bind(pid, v);
+    }
+    it.run(mem)
+}
+
+#[cfg(test)]
+mod builder_tests {
+    use super::*;
+    use crate::builder::Kernel;
+    use nupea_ir::graph::Criticality;
+
+    fn run(k: &Kernel, mem: &mut [i64]) -> InterpResult {
+        let r = interp_kernel(k, mem, &[]).expect("interp ok");
+        assert!(
+            r.is_balanced(),
+            "kernel {} left residual={:?} unsettled={:?}",
+            k.name(),
+            r.residual,
+            r.unsettled
+        );
+        r
+    }
+
+    #[test]
+    fn counted_loop_accumulates() {
+        for n in [0i64, 1, 7, 100] {
+            let k = Kernel::build("sum", |c| {
+                let zero = c.imm(0);
+                let s = c.for_range(0, n, 1, &[zero], &[], |c, i, carried, _| {
+                    vec![c.add(carried[0], i)]
+                });
+                c.sink(s[0], "sum");
+            });
+            let mut mem = vec![0i64; 4];
+            let r = run(&k, &mut mem);
+            assert_eq!(r.sinks[0], vec![(0..n).sum::<i64>()], "n={n}");
+        }
+    }
+
+    #[test]
+    fn strided_loop_respects_step() {
+        let k = Kernel::build("stride", |c| {
+            let zero = c.imm(0);
+            let s = c.for_range(0, 10, 3, &[zero], &[], |c, i, carried, _| {
+                vec![c.add(carried[0], i)]
+            });
+            c.sink(s[0], "sum");
+        });
+        let mut mem = vec![0i64; 4];
+        let r = run(&k, &mut mem);
+        assert_eq!(r.sinks[0], vec![0 + 3 + 6 + 9]);
+    }
+
+    #[test]
+    fn nested_loops_compute_2d_sum() {
+        let (rows, cols) = (5i64, 7i64);
+        let k = Kernel::build("sum2d", |c| {
+            let zero = c.imm(0);
+            let s = c.for_range(0, rows, 1, &[zero], &[], |c, i, carried, _| {
+                let inner = c.for_range(0, cols, 1, &[carried[0]], &[i], |c, j, inner_c, invs| {
+                    let prod = c.mul(invs[0], j);
+                    vec![c.add(inner_c[0], prod)]
+                });
+                vec![inner[0]]
+            });
+            c.sink(s[0], "sum");
+        });
+        let mut mem = vec![0i64; 4];
+        let r = run(&k, &mut mem);
+        let expected: i64 = (0..rows).map(|i| (0..cols).map(|j| i * j).sum::<i64>()).sum();
+        assert_eq!(r.sinks[0], vec![expected]);
+    }
+
+    #[test]
+    fn zero_trip_inner_loops_are_balanced() {
+        // Inner loop bound j < i is zero-trip on the first outer iteration.
+        let k = Kernel::build("tri", |c| {
+            let zero = c.imm(0);
+            let s = c.for_range(0, 6, 1, &[zero], &[], |c, i, carried, _| {
+                let inner = c.for_range(0, i, 1, &[carried[0]], &[], |c, j, ic, _| {
+                    vec![c.add(ic[0], j)]
+                });
+                vec![inner[0]]
+            });
+            c.sink(s[0], "sum");
+        });
+        let mut mem = vec![0i64; 4];
+        let r = run(&k, &mut mem);
+        let expected: i64 = (0..6).map(|i| (0..i).sum::<i64>()).sum();
+        assert_eq!(r.sinks[0], vec![expected]);
+    }
+
+    #[test]
+    fn loads_and_stores_in_loops() {
+        // out[i] = in[i] * 2 + 1
+        let n = 9usize;
+        let src = 0i64;
+        let dst = 16i64;
+        let k = Kernel::build("scale", |c| {
+            c.for_range(0, n as i64, 1, &[], &[], |c, i, _, _| {
+                let a = c.add(i, src);
+                let v = c.load(a);
+                let scaled = c.mul(v, 2);
+                let scaled = c.add(scaled, 1);
+                let d = c.add(i, dst);
+                c.store(d, scaled);
+                vec![]
+            });
+        });
+        let mut mem = vec![0i64; 32];
+        for i in 0..n {
+            mem[i] = (i * i) as i64;
+        }
+        run(&k, &mut mem);
+        for i in 0..n {
+            assert_eq!(mem[16 + i], (i * i) as i64 * 2 + 1);
+        }
+    }
+
+    #[test]
+    fn while_loop_pointer_chase_marks_critical_load() {
+        // Walk a linked list: next = mem[cur], until next == -1.
+        let k = Kernel::build("chase", |c| {
+            let head = c.imm(0);
+            let head = c.as_stream(head);
+            let count0 = c.imm(0);
+            let exits = c.while_loop(
+                &[head, count0],
+                &[],
+                |c, vars, _| c.ne(vars[0], -1),
+                |c, vars, _| {
+                    let next = c.load(vars[0]);
+                    let cnt = c.add(vars[1], 1);
+                    vec![next, cnt]
+                },
+            );
+            c.sink(exits[1], "len");
+        });
+        // list: 0 -> 3 -> 1 -> -1
+        let mut mem = vec![0i64; 8];
+        mem[0] = 3;
+        mem[3] = 1;
+        mem[1] = -1;
+        let r = run(&k, &mut mem);
+        assert_eq!(r.sinks[0], vec![3]);
+        // The load is on the recurrence: Critical.
+        let crit = k
+            .dfg()
+            .iter()
+            .filter(|(_, n)| n.op.is_memory())
+            .map(|(_, n)| n.meta.criticality)
+            .collect::<Vec<_>>();
+        assert_eq!(crit, vec![Some(Criticality::Critical)]);
+    }
+
+    #[test]
+    fn streaming_loads_are_inner_loop_class() {
+        let k = Kernel::build("stream", |c| {
+            let zero = c.imm(0);
+            let s = c.for_range(0, 8, 1, &[zero], &[], |c, i, carried, _| {
+                let v = c.load(i);
+                vec![c.add(carried[0], v)]
+            });
+            c.sink(s[0], "sum");
+        });
+        let mem_classes: Vec<_> = k
+            .dfg()
+            .iter()
+            .filter(|(_, n)| n.op.is_memory())
+            .map(|(_, n)| n.meta.criticality)
+            .collect();
+        assert_eq!(mem_classes, vec![Some(Criticality::InnerLoop)]);
+        let mut mem = (0..8).collect::<Vec<i64>>();
+        mem.resize(16, 0);
+        let r = run(&k, &mut mem);
+        assert_eq!(r.sinks[0], vec![28]);
+    }
+
+    #[test]
+    fn if_else_routes_memory_conditionally() {
+        // out[i] = in[i] >= 0 ? in[i] : 0 (relu via branches, storing from
+        // both branches).
+        let n = 8;
+        let k = Kernel::build("relu", |c| {
+            c.for_range(0, n, 1, &[], &[], |c, i, _, _| {
+                let v = c.load(i);
+                let cnd = c.ge(v, 0);
+                let out = c.if_else(
+                    cnd,
+                    &[v],
+                    |_, ins| vec![ins[0]],
+                    |c, ins| {
+                        // consume the gated value, produce zero
+                        let z = c.and(ins[0], 0);
+                        vec![z]
+                    },
+                );
+                let d = c.add(i, n);
+                c.store(d, out[0]);
+                vec![]
+            });
+        });
+        let mut mem = vec![0i64; 32];
+        let input = [3, -1, 0, -7, 9, -2, 5, -4];
+        mem[..8].copy_from_slice(&input);
+        run(&k, &mut mem);
+        for (i, &v) in input.iter().enumerate() {
+            assert_eq!(mem[8 + i], v.max(0), "i={i}");
+        }
+    }
+
+    #[test]
+    fn stream_join_intersects_sorted_lists() {
+        // The paper's core example (Fig. 5): sparse intersection via
+        // stream-join. Counts matches between two sorted arrays.
+        let a: Vec<i64> = vec![1, 3, 4, 7, 9, 12];
+        let b: Vec<i64> = vec![2, 3, 7, 8, 12, 15, 20];
+        let a_base = 0i64;
+        let b_base = 16i64;
+        let (a_len, b_len) = (a.len() as i64, b.len() as i64);
+        let k = Kernel::build("join", |c| {
+            let ia0 = c.imm(0);
+            let ib0 = c.imm(0);
+            let cnt0 = c.imm(0);
+            let exits = c.while_loop(
+                &[ia0, ib0, cnt0],
+                &[],
+                |c, vars, _| {
+                    let ca = c.lt(vars[0], a_len);
+                    let cb = c.lt(vars[1], b_len);
+                    c.and(ca, cb)
+                },
+                |c, vars, _| {
+                    let (ia, ib, cnt) = (vars[0], vars[1], vars[2]);
+                    let aa = c.add(ia, a_base);
+                    let av = c.load(aa); // critical: governs the recurrence
+                    let ba = c.add(ib, b_base);
+                    let bv = c.load(ba);
+                    let eq = c.eq(av, bv);
+                    let cnt_next = c.add(cnt, eq);
+                    let a_le = c.le(av, bv);
+                    let b_le = c.ge(av, bv);
+                    let ia_next = c.add(ia, a_le);
+                    let ib_next = c.add(ib, b_le);
+                    vec![ia_next, ib_next, cnt_next]
+                },
+            );
+            c.sink(exits[2], "matches");
+        });
+        let mut mem = vec![0i64; 32];
+        mem[..a.len()].copy_from_slice(&a);
+        mem[16..16 + b.len()].copy_from_slice(&b);
+        let r = run(&k, &mut mem);
+        assert_eq!(r.sinks[0], vec![3]); // {3, 7, 12}
+        // Both loads govern the loop condition through the index
+        // recurrences: both must be Critical.
+        let crit_count = k
+            .dfg()
+            .iter()
+            .filter(|(_, n)| {
+                n.op.is_memory() && n.meta.criticality == Some(Criticality::Critical)
+            })
+            .count();
+        assert_eq!(crit_count, 2);
+    }
+
+    #[test]
+    fn memory_ordering_chains_serialize_raw_hazards() {
+        // x = 5; y = load(x_addr): the load must observe the store.
+        let k = Kernel::build("raw", |c| {
+            let addr = c.stream_const(3);
+            let tok = c.store(addr, c.imm(5));
+            let addr2 = c.stream_const(3);
+            let (v, _tok2) = c.load_ordered(addr2, tok);
+            c.sink(v, "v");
+        });
+        let mut mem = vec![0i64; 8];
+        let r = run(&k, &mut mem);
+        assert_eq!(r.sinks[0], vec![5]);
+        assert_eq!(mem[3], 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "tokens must cross regions")]
+    fn region_violation_is_caught_at_build_time() {
+        Kernel::build("bad", |c| {
+            let outer = c.stream_const(7);
+            c.for_range(0, 4, 1, &[], &[], |c, i, _, _| {
+                // BUG: `outer` used inside the loop without being declared
+                // an invariant.
+                let x = c.add(outer, i);
+                c.sink(x, "x");
+                vec![]
+            });
+        });
+    }
+
+    #[test]
+    fn join_order_merges_tokens() {
+        let n = 5;
+        let k = Kernel::build("barrier", |c| {
+            // Store to n slots, then store a flag only after all complete.
+            let toks = c.for_range(0, n, 1, &[], &[], |c, i, _, _| {
+                let t = c.store(i, i);
+                // fold tokens via carried var? simpler: sink count
+                let _ = t;
+                vec![]
+            });
+            let _ = toks;
+            // Single-region barrier: two stores then a flag store.
+            let a10 = c.stream_const(10);
+            let t1 = c.store(a10, c.imm(1));
+            let a11 = c.stream_const(11);
+            let t2 = c.store(a11, c.imm(2));
+            let all = c.join_order(&[t1, t2]);
+            let a12 = c.stream_const(12);
+            c.store_ordered(a12, c.imm(99), all);
+        });
+        let mut mem = vec![0i64; 16];
+        run(&k, &mut mem);
+        assert_eq!(&mem[10..13], &[1, 2, 99]);
+    }
+
+    #[test]
+    fn dce_removes_unused_exit_steers() {
+        let k = Kernel::build("dce", |c| {
+            let zero = c.imm(0);
+            // Carried var whose exit is unused: the exit steer should be
+            // dropped by DCE.
+            c.for_range(0, 4, 1, &[zero], &[], |c, i, carried, _| {
+                let s = c.add(carried[0], i);
+                c.store(i, s);
+                vec![s]
+            });
+        });
+        // No steer.F nodes feeding nothing should remain.
+        let dead_steers = k
+            .dfg()
+            .iter()
+            .filter(|(id, n)| n.op.is_control() && k.dfg().outs(*id).is_empty())
+            .count();
+        assert_eq!(dead_steers, 0, "DCE must drop unused control outputs");
+        let mut mem = vec![0i64; 8];
+        run(&k, &mut mem);
+        assert_eq!(&mem[0..4], &[0, 1, 3, 6]);
+    }
+
+    #[test]
+    fn select_evaluates_eagerly() {
+        let k = Kernel::build("sel", |c| {
+            c.for_range(0, 6, 1, &[], &[], |c, i, _, _| {
+                let odd = c.and(i, 1);
+                let v = c.select(odd, i, c.imm(-1));
+                c.store(i, v);
+                vec![]
+            });
+        });
+        let mut mem = vec![0i64; 8];
+        run(&k, &mut mem);
+        assert_eq!(&mem[0..6], &[-1, 1, -1, 3, -1, 5]);
+    }
+
+    #[test]
+    fn constant_folding_keeps_graphs_small() {
+        let k = Kernel::build("fold", |c| {
+            let a = c.add(2, 3);
+            assert_eq!(a.as_imm(), Some(5));
+            let b = c.mul(a, 4);
+            assert_eq!(b.as_imm(), Some(20));
+            let addr = c.stream_const(0);
+            c.store(addr, b);
+        });
+        let mut mem = vec![0i64; 4];
+        run(&k, &mut mem);
+        assert_eq!(mem[0], 20);
+    }
+}
+
+#[cfg(test)]
+mod cse_tests {
+    use super::*;
+    use crate::builder::Kernel;
+
+    #[test]
+    fn duplicate_expressions_share_one_node() {
+        // The same address expression appears three times; CSE must leave
+        // exactly one add for it.
+        let k = Kernel::build("dup", |c| {
+            c.for_range(0, 4, 1, &[], &[], |c, i, _, _| {
+                let a1 = c.add(i, 100);
+                let a2 = c.add(i, 100);
+                let a3 = c.add(i, 100);
+                let v1 = c.load(a1);
+                let v2 = c.load(a2);
+                let s = c.add(v1, v2);
+                c.store(a3, s);
+                vec![]
+            });
+        });
+        let adds_to_100 = k
+            .dfg()
+            .iter()
+            .filter(|(_, n)| {
+                matches!(n.op, nupea_ir::op::Op::BinOp(nupea_ir::op::BinOpKind::Add))
+                    && n.inputs
+                        .iter()
+                        .any(|ip| matches!(ip, nupea_ir::graph::InPort::Imm(100)))
+            })
+            .count();
+        assert_eq!(adds_to_100, 1, "CSE must merge the three address adds");
+        // Loads share the merged address; still two loads (memory ops are
+        // never merged).
+        let loads = k
+            .dfg()
+            .iter()
+            .filter(|(_, n)| matches!(n.op, nupea_ir::op::Op::Load))
+            .count();
+        assert_eq!(loads, 2);
+        // And it still runs correctly.
+        let mut mem = vec![0i64; 128];
+        for i in 0..8 {
+            mem[100 + i] = (i as i64) * 3 + 1;
+        }
+        let r = interp_kernel(&k, &mut mem, &[]).unwrap();
+        assert!(r.is_balanced());
+        for i in 0..4 {
+            assert_eq!(mem[100 + i], 2 * ((i as i64) * 3 + 1));
+        }
+    }
+
+    #[test]
+    fn cse_chains_collapse_to_fixpoint() {
+        // b1/b2 depend on a1/a2; after a1==a2 merge, b1==b2 must also merge.
+        let k = Kernel::build("chain", |c| {
+            c.for_range(0, 2, 1, &[], &[], |c, i, _, _| {
+                let a1 = c.mul(i, 7);
+                let a2 = c.mul(i, 7);
+                let b1 = c.add(a1, 1);
+                let b2 = c.add(a2, 1);
+                let s = c.add(b1, b2);
+                let addr = c.add(i, 50);
+                c.store(addr, s);
+                vec![]
+            });
+        });
+        let muls = k
+            .dfg()
+            .iter()
+            .filter(|(_, n)| matches!(n.op, nupea_ir::op::Op::BinOp(nupea_ir::op::BinOpKind::Mul)))
+            .count();
+        assert_eq!(muls, 1);
+        let mut mem = vec![0i64; 64];
+        let r = interp_kernel(&k, &mut mem, &[]).unwrap();
+        assert!(r.is_balanced());
+        assert_eq!(mem[50], 2); // i=0: (0*7+1)*2
+        assert_eq!(mem[51], 16); // i=1: (7+1)*2
+    }
+}

@@ -1,0 +1,267 @@
+//! DSP workload: fixed-point (Q15) radix-2 FFT, modelled on CMSIS-DSP's
+//! `arm_rfft_q31` usage in Table 1.
+//!
+//! The stage loop is a dataflow loop (the stage machinery exists once on
+//! the fabric); the butterfly is in-place with two ordering disciplines the
+//! paper calls out for fft (§7.1): per-butterfly loads must complete before
+//! the butterfly's stores (RAW on the same addresses), and every load of
+//! stage `s` is gated on a token joining all stores of stage `s-1`.
+
+use super::{standard_memory, Check, Scale, Workload};
+use crate::builder::{Ctx, Kernel, Val};
+use crate::inputs;
+
+/// Q15 twiddle table: `(re, im)` of `exp(-2πik/n)` for `k in 0..n/2`,
+/// interleaved.
+fn twiddles(n: usize) -> Vec<i64> {
+    let mut t = Vec::with_capacity(n);
+    for k in 0..n / 2 {
+        let ang = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+        t.push((ang.cos() * 32768.0).round() as i64);
+        t.push((ang.sin() * 32768.0).round() as i64);
+    }
+    t
+}
+
+/// Bit-reversal permutation table for `n = 2^bits`.
+fn bit_reverse_table(n: usize) -> Vec<i64> {
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| (i.reverse_bits() >> (usize::BITS - bits)) as i64)
+        .collect()
+}
+
+/// Reference integer FFT with arithmetic identical to the kernel.
+fn reference_fft(signal: &[i64], n: usize) -> Vec<i64> {
+    let rev = bit_reverse_table(n);
+    let tw = twiddles(n);
+    let mut buf = vec![0i64; 2 * n];
+    for i in 0..n {
+        buf[2 * rev[i] as usize] = signal[i];
+        buf[2 * rev[i] as usize + 1] = 0;
+    }
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        let step = n / len;
+        let mut i = 0;
+        while i < n {
+            for j in 0..half {
+                let i1 = i + j;
+                let i2 = i1 + half;
+                let (ur, ui) = (buf[2 * i1], buf[2 * i1 + 1]);
+                let (vr, vi) = (buf[2 * i2], buf[2 * i2 + 1]);
+                let k = j * step;
+                let (wr, wi) = (tw[2 * k], tw[2 * k + 1]);
+                let tr = (vr * wr - vi * wi) >> 15;
+                let ti = (vr * wi + vi * wr) >> 15;
+                buf[2 * i1] = ur + tr;
+                buf[2 * i1 + 1] = ui + ti;
+                buf[2 * i2] = ur - tr;
+                buf[2 * i2 + 1] = ui - ti;
+            }
+            i += len;
+        }
+        len *= 2;
+    }
+    buf
+}
+
+/// Emit one butterfly j-range `[j_lo, j_hi)` for the block at `i`.
+/// Returns the accumulated store token.
+#[allow(clippy::too_many_arguments)]
+fn butterflies(
+    c: &mut Ctx,
+    work: i64,
+    tw_base: i64,
+    i: Val,
+    half: Val,
+    step: Val,
+    gate: Val,
+    j_lo: Val,
+    j_hi: Val,
+    acc0: Val,
+) -> Val {
+    let exits = c.while_loop(
+        &[j_lo, acc0],
+        &[i, half, step, gate, j_hi],
+        |c, vars, invs| c.lt(vars[0], invs[4]),
+        |c, vars, invs| {
+            let (j, acc) = (vars[0], vars[1]);
+            let (i, half, step, gate, _) = (invs[0], invs[1], invs[2], invs[3], invs[4]);
+            let i1 = c.add(i, j);
+            let i2 = c.add(i1, half);
+            let a1 = c.shl(i1, 1);
+            let a1 = c.add(a1, work);
+            let a2 = c.shl(i2, 1);
+            let a2 = c.add(a2, work);
+            let a1i = c.add(a1, 1);
+            let a2i = c.add(a2, 1);
+            let (ur, t1) = c.load_ordered(a1, gate);
+            let (ui, t2) = c.load_ordered(a1i, gate);
+            let (vr, t3) = c.load_ordered(a2, gate);
+            let (vi, t4) = c.load_ordered(a2i, gate);
+            // Twiddle (never written: ungated loads).
+            let k = c.mul(j, step);
+            let ka = c.shl(k, 1);
+            let ka = c.add(ka, tw_base);
+            let wr = c.load(ka);
+            let kai = c.add(ka, 1);
+            let wi = c.load(kai);
+            // t = v * w (Q15).
+            let p1 = c.mul(vr, wr);
+            let p2 = c.mul(vi, wi);
+            let tr = c.sub(p1, p2);
+            let tr = c.shr(tr, 15);
+            let p3 = c.mul(vr, wi);
+            let p4 = c.mul(vi, wr);
+            let ti = c.add(p3, p4);
+            let ti = c.shr(ti, 15);
+            // In-place RAW: stores wait for this butterfly's loads.
+            let lg = c.join_order(&[t1, t2, t3, t4]);
+            let o1 = c.add(ur, tr);
+            let s1 = c.store_ordered(a1, o1, lg);
+            let o2 = c.add(ui, ti);
+            let s2 = c.store_ordered(a1i, o2, lg);
+            let o3 = c.sub(ur, tr);
+            let s3 = c.store_ordered(a2, o3, lg);
+            let o4 = c.sub(ui, ti);
+            let s4 = c.store_ordered(a2i, o4, lg);
+            let st = c.join_order(&[s1, s2, s3, s4]);
+            vec![c.add(j, 1), c.or(acc, st)]
+        },
+    );
+    exits[1]
+}
+
+/// Radix-2 decimation-in-time FFT over Q15 complex data.
+pub fn fft(scale: Scale, par: usize) -> Workload {
+    let n: usize = match scale {
+        Scale::Test => 8,
+        Scale::Bench => 64,
+    };
+    let signal = inputs::random_signal(n, 0xFF7);
+    let rev = bit_reverse_table(n);
+    let tw = twiddles(n);
+    let mut mem = standard_memory();
+    let in_base = mem.alloc_init(&signal);
+    let rev_base = mem.alloc_init(&rev);
+    let tw_base = mem.alloc_init(&tw);
+    let work = mem.alloc(2 * n);
+    let split_j = par >= 2;
+
+    let kernel = Kernel::build("fft", |c| {
+        // 1. Bit-reversal copy into the (zeroed) work buffer.
+        let zero_tok = c.stream_const(0);
+        let copy_toks = c.for_range(0, n as i64, 1, &[zero_tok], &[], |c, i, acc, _| {
+            let ra = c.add(i, rev_base);
+            let r = c.load(ra);
+            let sa = c.add(i, in_base);
+            let v = c.load(sa);
+            let da = c.shl(r, 1);
+            let da = c.add(da, work);
+            let st = c.store(da, v);
+            // imaginary parts are already zero in fresh memory
+            vec![c.or(acc[0], st)]
+        });
+        let tok0 = copy_toks[0];
+
+        // 2. Dataflow stage loop: len = 2, 4, …, n.
+        let len0 = c.stream_const(2);
+        c.while_loop(
+            &[len0, tok0],
+            &[],
+            |c, vars, _| c.le(vars[0], n as i64),
+            |c, vars, _| {
+                let (len, tok) = (vars[0], vars[1]);
+                let half = c.shr(len, 1);
+                let step = c.div(n as i64, len);
+                let i0 = c.stream_const(0);
+                let acc0 = c.stream_const(0);
+                let blocks = c.while_loop(
+                    &[i0, acc0],
+                    &[len, half, step, tok],
+                    |c, vars, _| c.lt(vars[0], n as i64),
+                    |c, vars, invs| {
+                        let (i, acc) = (vars[0], vars[1]);
+                        let (len, half, step, gate) = (invs[0], invs[1], invs[2], invs[3]);
+                        let acc_next = if split_j {
+                            let h2 = c.shr(half, 1);
+                            let zero = c.stream_const(0);
+                            let a1 = butterflies(
+                                c, work, tw_base, i, half, step, gate, zero, h2, zero,
+                            );
+                            let a2 = butterflies(
+                                c, work, tw_base, i, half, step, gate, h2, half, zero,
+                            );
+                            let both = c.or(a1, a2);
+                            c.or(acc, both)
+                        } else {
+                            let zero = c.stream_const(0);
+                            butterflies(c, work, tw_base, i, half, step, gate, zero, half, acc)
+                        };
+                        vec![c.add(i, len), acc_next]
+                    },
+                );
+                vec![c.shl(len, 1), blocks[1]]
+            },
+        );
+    });
+
+    let expected = reference_fft(&signal, n);
+    Workload {
+        name: "fft",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "spectrum", base: work, expected }],
+        par,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::harness::check_workload;
+
+    #[test]
+    fn fft_matches_reference() {
+        check_workload(&fft(Scale::Test, 1));
+    }
+
+    #[test]
+    fn fft_split_butterflies_match_reference() {
+        check_workload(&fft(Scale::Test, 2));
+    }
+
+    #[test]
+    fn reference_fft_dc_signal() {
+        // A constant signal concentrates energy in bin 0.
+        let n = 8;
+        let sig = vec![1000i64; n];
+        let out = reference_fft(&sig, n);
+        assert_eq!(out[0], 8000, "DC bin is the sum");
+        for k in 1..n {
+            assert!(
+                out[2 * k].abs() <= 8 && out[2 * k + 1].abs() <= 8,
+                "bin {k} should be ~0, got ({}, {})",
+                out[2 * k],
+                out[2 * k + 1]
+            );
+        }
+    }
+
+    #[test]
+    fn fft_has_ordering_recurrence() {
+        let w = fft(Scale::Test, 1);
+        let crit = w
+            .kernel
+            .dfg()
+            .iter()
+            .filter(|(_, n)| {
+                n.op.is_memory()
+                    && n.meta.criticality == Some(nupea_ir::graph::Criticality::Critical)
+            })
+            .count();
+        assert!(crit > 0, "fft memory ops sit on the stage-ordering recurrence");
+    }
+}

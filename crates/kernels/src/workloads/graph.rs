@@ -1,0 +1,158 @@
+//! Graph workload: triangle counting (`tc`, derived from GAPBS).
+//!
+//! Node-iterator algorithm with sorted adjacency lists: for every edge
+//! `(u, v)` with `v > u`, count the common neighbors `w > v` via a
+//! stream-join intersection — the same data-dependent ∩ structure as
+//! `spmspv`, on graph data.
+
+use super::{parallel_chunks, reduce_sum, standard_memory, Check, Scale, Workload};
+use crate::builder::Kernel;
+use crate::inputs;
+
+/// Triangle counting over a random undirected graph.
+pub fn tc(scale: Scale, par: usize) -> Workload {
+    let (nodes, prob) = match scale {
+        Scale::Test => (14usize, 0.3),
+        Scale::Bench => (48, 0.12),
+    };
+    let g = inputs::random_graph(nodes, prob, 0x7C7C);
+    let mut mem = standard_memory();
+    let row_ptr = mem.alloc_init(&g.row_ptr);
+    let col_idx = mem.alloc_init(&g.col_idx);
+    let total_base = mem.alloc(1);
+
+    let kernel = Kernel::build("tc", |c| {
+        let parts = parallel_chunks(c, 0, nodes as i64, par, |c, lo, hi| {
+            let zero = c.imm(0);
+            let totals = c.for_range(lo, hi, 1, &[zero], &[], |c, u, carried, _| {
+                let up = c.add(u, row_ptr);
+                let u_beg = c.load(up);
+                let up1 = c.add(up, 1);
+                let u_end = c.load(up1);
+                let inner = c.for_range(
+                    u_beg,
+                    u_end,
+                    1,
+                    &[carried[0]],
+                    &[u, u_beg, u_end],
+                    |c, k, kc, invs| {
+                        let (u, u_beg, u_end) = (invs[0], invs[1], invs[2]);
+                        let v_addr = c.add(k, col_idx);
+                        let v = c.load(v_addr);
+                        let is_fwd = c.gt(v, u);
+                        let next_total = c.if_else(
+                            is_fwd,
+                            &[v, u_beg, u_end, kc[0]],
+                            |c, ins| {
+                                let (v, u_beg, u_end, total) =
+                                    (ins[0], ins[1], ins[2], ins[3]);
+                                let vp = c.add(v, row_ptr);
+                                let v_beg = c.load(vp);
+                                let vp1 = c.add(vp, 1);
+                                let v_end = c.load(vp1);
+                                // ∩ of N(u) and N(v), counting w > v.
+                                let exits = c.while_loop(
+                                    &[u_beg, v_beg, total],
+                                    &[u_end, v_end, v],
+                                    |c, vars, invs| {
+                                        let cu = c.lt(vars[0], invs[0]);
+                                        let cv = c.lt(vars[1], invs[1]);
+                                        c.and(cu, cv)
+                                    },
+                                    |c, vars, invs| {
+                                        let (iu, iv, cnt) = (vars[0], vars[1], vars[2]);
+                                        let v_node = invs[2];
+                                        let wa = c.add(iu, col_idx);
+                                        let wu = c.load(wa); // critical
+                                        let wb = c.add(iv, col_idx);
+                                        let wv = c.load(wb); // critical
+                                        let eq = c.eq(wu, wv);
+                                        let gt = c.gt(wu, v_node);
+                                        let hit = c.and(eq, gt);
+                                        let cnt_next = c.add(cnt, hit);
+                                        let a_le = c.le(wu, wv);
+                                        let b_le = c.ge(wu, wv);
+                                        let iu_next = c.add(iu, a_le);
+                                        let iv_next = c.add(iv, b_le);
+                                        vec![iu_next, iv_next, cnt_next]
+                                    },
+                                );
+                                vec![exits[2]]
+                            },
+                            |c, ins| {
+                                // consume gated copies, keep the total
+                                let _ = (c.and(ins[0], 0), c.and(ins[1], 0), c.and(ins[2], 0));
+                                vec![ins[3]]
+                            },
+                        );
+                        vec![next_total[0]]
+                    },
+                );
+                vec![inner[0]]
+            });
+            totals[0]
+        });
+        let total = reduce_sum(c, &parts);
+        let addr = c.stream_const(total_base);
+        c.store(addr, total);
+        c.sink(total, "triangles");
+    });
+
+    // Reference: count ordered triples over the dense adjacency.
+    let dense = g.to_dense();
+    let mut expected = 0i64;
+    for u in 0..nodes {
+        for v in (u + 1)..nodes {
+            if dense[u * nodes + v] == 0 {
+                continue;
+            }
+            for w in (v + 1)..nodes {
+                if dense[u * nodes + w] != 0 && dense[v * nodes + w] != 0 {
+                    expected += 1;
+                }
+            }
+        }
+    }
+    Workload {
+        name: "tc",
+        kernel,
+        mem,
+        checks: vec![
+            Check::Mem { label: "total", base: total_base, expected: vec![expected] },
+            Check::Sink { label: "triangles", index: 0, expected: vec![expected] },
+        ],
+        par,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::harness::check_workload;
+
+    #[test]
+    fn tc_matches_reference() {
+        check_workload(&tc(Scale::Test, 1));
+    }
+
+    #[test]
+    fn tc_parallel_matches_reference() {
+        check_workload(&tc(Scale::Test, 2));
+        check_workload(&tc(Scale::Test, 3));
+    }
+
+    #[test]
+    fn tc_has_critical_intersection_loads() {
+        let w = tc(Scale::Test, 1);
+        let crit = w
+            .kernel
+            .dfg()
+            .iter()
+            .filter(|(_, n)| {
+                n.op.is_memory()
+                    && n.meta.criticality == Some(nupea_ir::graph::Criticality::Critical)
+            })
+            .count();
+        assert!(crit >= 2, "intersection index loads must be critical");
+    }
+}

@@ -1,0 +1,229 @@
+//! The 13 evaluation workloads of Table 1.
+//!
+//! Each workload bundles: seeded input generation into a fresh
+//! [`SimMemory`], a [`Kernel`] built at a given scale and spatial
+//! parallelism degree, and validation checks backed by plain-Rust reference
+//! implementations. Input sizes are scaled down from the paper so the full
+//! suite simulates in minutes (see EXPERIMENTS.md for the mapping); the
+//! memory-access *structure* of every kernel matches the paper's
+//! description.
+
+use crate::builder::{Ctx, Kernel, Val};
+use nupea_sim::{MemParams, SimMemory};
+
+pub mod dense;
+pub mod dsp;
+pub mod graph;
+pub mod nn;
+pub mod sort;
+pub mod sparse;
+pub mod staged;
+
+/// Input scale: tiny for unit tests, larger for the benchmark harness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Small inputs for fast unit tests.
+    Test,
+    /// Experiment-harness inputs (scaled from Table 1; see EXPERIMENTS.md).
+    Bench,
+}
+
+/// A validation check against post-run state.
+#[derive(Debug, Clone)]
+pub enum Check {
+    /// A memory region must equal the reference result.
+    Mem {
+        /// Human-readable label.
+        label: &'static str,
+        /// Base word address.
+        base: i64,
+        /// Expected contents.
+        expected: Vec<i64>,
+    },
+    /// A sink must have collected exactly these values.
+    Sink {
+        /// Human-readable label.
+        label: &'static str,
+        /// Sink index (`SinkId` order).
+        index: usize,
+        /// Expected values in order.
+        expected: Vec<i64>,
+    },
+}
+
+/// An instantiated workload, ready to compile and run.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Table 1 name (e.g. "spmspv").
+    pub name: &'static str,
+    /// The kernel.
+    pub kernel: Kernel,
+    /// Memory image with inputs loaded (clone per run).
+    pub mem: SimMemory,
+    /// Validation checks.
+    pub checks: Vec<Check>,
+    /// Parallelism degree the workload was built with.
+    pub par: usize,
+}
+
+impl Workload {
+    /// A fresh memory image for one run.
+    pub fn fresh_mem(&self) -> SimMemory {
+        self.mem.clone()
+    }
+
+    /// Validate post-run memory and sink contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first failing check.
+    pub fn validate(&self, mem: &SimMemory, sinks: &[Vec<i64>]) -> Result<(), String> {
+        for check in &self.checks {
+            match check {
+                Check::Mem { label, base, expected } => {
+                    let got = mem.slice(*base, expected.len());
+                    if got != &expected[..] {
+                        let first_bad = got
+                            .iter()
+                            .zip(expected)
+                            .position(|(g, e)| g != e)
+                            .unwrap_or(0);
+                        return Err(format!(
+                            "{}: check '{label}' mismatch at offset {first_bad}: \
+                             got {} expected {}",
+                            self.name, got[first_bad], expected[first_bad]
+                        ));
+                    }
+                }
+                Check::Sink { label, index, expected } => {
+                    let got = sinks.get(*index).map(Vec::as_slice).unwrap_or(&[]);
+                    if got != &expected[..] {
+                        return Err(format!(
+                            "{}: sink check '{label}' mismatch: got {:?} expected {:?}",
+                            self.name,
+                            &got[..got.len().min(8)],
+                            &expected[..expected.len().min(8)]
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A workload constructor entry in the registry.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Table 1 name.
+    pub name: &'static str,
+    /// Constructor.
+    pub build: fn(Scale, usize) -> Workload,
+    /// Default parallelism degree at bench scale (hand-optimized, as the
+    /// paper does for most workloads).
+    pub default_par: usize,
+}
+
+impl WorkloadSpec {
+    /// Build at the default parallelism for the scale.
+    pub fn build_default(&self, scale: Scale) -> Workload {
+        let par = match scale {
+            Scale::Test => 1,
+            Scale::Bench => self.default_par,
+        };
+        (self.build)(scale, par)
+    }
+}
+
+/// All 13 workloads of Table 1, in the paper's order.
+pub fn all_workloads() -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec { name: "dmv", build: dense::dmv, default_par: 6 },
+        WorkloadSpec { name: "jacobi2d", build: dense::jacobi2d, default_par: 2 },
+        WorkloadSpec { name: "heat3d", build: dense::heat3d, default_par: 2 },
+        WorkloadSpec { name: "spmv", build: sparse::spmv, default_par: 6 },
+        WorkloadSpec { name: "spmspm", build: sparse::spmspm, default_par: 2 },
+        WorkloadSpec { name: "spmspv", build: sparse::spmspv, default_par: 4 },
+        WorkloadSpec { name: "spadd", build: sparse::spadd, default_par: 2 },
+        WorkloadSpec { name: "tc", build: graph::tc, default_par: 2 },
+        WorkloadSpec { name: "mergsort", build: sort::mergesort, default_par: 1 },
+        WorkloadSpec { name: "fft", build: dsp::fft, default_par: 2 },
+        WorkloadSpec { name: "ad", build: nn::ad, default_par: 1 },
+        WorkloadSpec { name: "ic", build: nn::ic, default_par: 1 },
+        WorkloadSpec { name: "vww", build: nn::vww, default_par: 1 },
+    ]
+}
+
+/// Look up a workload spec by name.
+pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
+    all_workloads().into_iter().find(|w| w.name == name)
+}
+
+/// Fresh simulated memory with the evaluation geometry.
+pub(crate) fn standard_memory() -> SimMemory {
+    SimMemory::new(&MemParams::default())
+}
+
+/// Split `[lo, hi)` into `par` nearly equal chunks and invoke `f` once per
+/// chunk at the current region (spatial parallelization, §5: replicated
+/// loop bodies). Returns the per-chunk results.
+pub(crate) fn parallel_chunks<R>(
+    c: &mut Ctx,
+    lo: i64,
+    hi: i64,
+    par: usize,
+    mut f: impl FnMut(&mut Ctx, i64, i64) -> R,
+) -> Vec<R> {
+    let par = par.max(1) as i64;
+    let total = (hi - lo).max(0);
+    let chunk = ((total + par - 1) / par).max(1);
+    let mut out = Vec::new();
+    let mut start = lo;
+    while start < hi {
+        let end = (start + chunk).min(hi);
+        out.push(f(c, start, end));
+        start = end;
+    }
+    out
+}
+
+/// Sum a list of per-chunk scalar values with an adder tree.
+pub(crate) fn reduce_sum(c: &mut Ctx, parts: &[Val]) -> Val {
+    assert!(!parts.is_empty());
+    let mut level = parts.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                next.push(c.add(pair[0], pair[1]));
+            } else {
+                next.push(pair[0]);
+            }
+        }
+        level = next;
+    }
+    level[0]
+}
+
+#[cfg(test)]
+pub(crate) mod harness {
+    //! Shared test harness: run a workload under the untimed interpreter
+    //! and validate.
+    use super::*;
+    use crate::interp_kernel;
+
+    pub fn check_workload(w: &Workload) {
+        let mut mem = w.fresh_mem();
+        let r = interp_kernel(&w.kernel, mem.words_mut(), &[])
+            .unwrap_or_else(|e| panic!("{}: interp failed: {e}", w.name));
+        assert!(
+            r.is_balanced(),
+            "{}: unbalanced (residual {:?}, unsettled {:?})",
+            w.name,
+            &r.residual[..r.residual.len().min(8)],
+            &r.unsettled[..r.unsettled.len().min(8)]
+        );
+        w.validate(&mem, &r.sinks)
+            .unwrap_or_else(|e| panic!("validation failed: {e}"));
+    }
+}

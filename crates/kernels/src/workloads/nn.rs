@@ -1,0 +1,641 @@
+//! Neural-network workloads modelled on MLPerfTiny (Table 1): anomaly
+//! detection (`ad`, a fully-connected autoencoder), image classification
+//! (`ic`, a small CNN), and visual wake words (`vww`, a depthwise-separable
+//! CNN). Quantized integer arithmetic with a power-of-two requantization
+//! shift; layers chain through memory-ordering tokens (activations of layer
+//! `k+1` load only after layer `k`'s stores complete). Weight loads are
+//! ungated — weights are never written.
+
+use super::{parallel_chunks, standard_memory, Check, Scale, Workload};
+use crate::builder::{Ctx, Kernel, Val};
+use crate::inputs;
+
+/// Requantization shift after every MAC reduction.
+pub(crate) const SHIFT: i64 = 4;
+
+fn requant(x: i64, relu: bool) -> i64 {
+    let v = x >> SHIFT;
+    if relu {
+        v.max(0)
+    } else {
+        v
+    }
+}
+
+/// Emit a fully-connected layer `out[o] = act((Σ_i in[i]·w[o·in_n+i]) + b[o])`.
+/// Activation loads are gated on `gate`; returns the join of all store
+/// tokens. Output rows are chunked `par` ways.
+#[allow(clippy::too_many_arguments)]
+fn fc_layer(
+    c: &mut Ctx,
+    in_base: i64,
+    out_base: i64,
+    in_n: i64,
+    out_n: i64,
+    w_base: i64,
+    b_base: i64,
+    relu: bool,
+    gate: Val,
+    par: usize,
+) -> Val {
+    let toks = parallel_chunks(c, 0, out_n, par, |c, lo, hi| {
+        let acc0 = c.stream_const(0);
+        let outs = c.for_range(lo, hi, 1, &[acc0], &[gate], |c, o, carried, invs| {
+            let gate = invs[0];
+            let zero = c.imm(0);
+            let wrow = c.mul(o, in_n);
+            let wrow = c.add(wrow, w_base);
+            let sums = c.for_range(0, in_n, 1, &[zero], &[wrow, gate], |c, i, acc, invs| {
+                let (wrow, gate) = (invs[0], invs[1]);
+                let ia = c.add(i, in_base);
+                let (iv, _) = c.load_ordered(ia, gate);
+                let wa = c.add(wrow, i);
+                let wv = c.load(wa);
+                let prod = c.mul(iv, wv);
+                vec![c.add(acc[0], prod)]
+            });
+            let ba = c.add(o, b_base);
+            let bv = c.load(ba);
+            let s = c.add(sums[0], bv);
+            let s = c.shr(s, SHIFT);
+            let s = if relu { c.max(s, 0) } else { s };
+            let oa = c.add(o, out_base);
+            let st = c.store(oa, s);
+            vec![c.or(carried[0], st)]
+        });
+        outs[0]
+    });
+    c.join_order(&toks)
+}
+
+/// Accumulate the nine 3×3 taps at output position `(y, x)` as two nested
+/// dataflow loops: `Σ_{ky,kx} in[(y+ky)·img_n + x+kx] · w[wf + ky·3+kx]`,
+/// starting from `bias`. Input loads are gated; weight loads are not.
+#[allow(clippy::too_many_arguments)]
+fn conv_taps(
+    c: &mut Ctx,
+    in_base: Val,
+    img_n: i64,
+    gate: Val,
+    wf: Val,
+    bias: Val,
+    y: Val,
+    x: Val,
+) -> Val {
+    let in_base = c.as_stream(in_base);
+    let rows = c.for_range(
+        0,
+        3,
+        1,
+        &[bias],
+        &[gate, wf, y, x, in_base],
+        |c, ky, acc, invs| {
+            let (gate, wf, y, x, in_base) = (invs[0], invs[1], invs[2], invs[3], invs[4]);
+            let cols = c.for_range(
+                0,
+                3,
+                1,
+                &[acc[0]],
+                &[gate, wf, y, x, ky, in_base],
+                |c, kx, acc2, invs| {
+                    let (gate, wf, y, x, ky, in_base) =
+                        (invs[0], invs[1], invs[2], invs[3], invs[4], invs[5]);
+                    let iy = c.add(y, ky);
+                    let row = c.mul(iy, img_n);
+                    let ix = c.add(x, kx);
+                    let ia = c.add(row, ix);
+                    let ia = c.add(ia, in_base);
+                    let (iv, _) = c.load_ordered(ia, gate);
+                    let wk = c.mul(ky, 3);
+                    let wk = c.add(wk, kx);
+                    let wa = c.add(wf, wk);
+                    let wv = c.load(wa);
+                    let prod = c.mul(iv, wv);
+                    vec![c.add(acc2[0], prod)]
+                },
+            );
+            vec![cols[0]]
+        },
+    );
+    rows[0]
+}
+
+pub(crate) fn fc_reference(input: &[i64], w: &[i64], b: &[i64], in_n: usize, out_n: usize, relu: bool) -> Vec<i64> {
+    (0..out_n)
+        .map(|o| {
+            let s: i64 = (0..in_n).map(|i| input[i] * w[o * in_n + i]).sum();
+            requant(s + b[o], relu)
+        })
+        .collect()
+}
+
+/// Anomaly detection: a fully-connected autoencoder
+/// `IN → IN/2 → IN/4 → IN/2 → IN`.
+pub fn ad(scale: Scale, par: usize) -> Workload {
+    let in_n: i64 = match scale {
+        Scale::Test => 8,
+        Scale::Bench => 24,
+    };
+    let dims = [in_n, in_n / 2, in_n / 4, in_n / 2, in_n];
+    let mut mem = standard_memory();
+    let input = inputs::dense_vector(in_n as usize, 0xAD01);
+    let in_base = mem.alloc_init(&input);
+    // Allocate per-layer weights/biases/buffers.
+    let mut weights = Vec::new();
+    let mut acts = vec![in_base];
+    for l in 0..dims.len() - 1 {
+        let (ni, no) = (dims[l] as usize, dims[l + 1] as usize);
+        let w = inputs::dense_matrix(no, ni, 0xAD10 + l as u64);
+        let b = inputs::dense_vector(no, 0xAD20 + l as u64);
+        let wb = mem.alloc_init(&w);
+        let bb = mem.alloc_init(&b);
+        let ob = mem.alloc(no);
+        weights.push((w, b, wb, bb));
+        acts.push(ob);
+    }
+
+    let kernel = Kernel::build("ad", |c| {
+        let mut gate = c.stream_const(0);
+        for l in 0..dims.len() - 1 {
+            let relu = l != dims.len() - 2;
+            gate = fc_layer(
+                c,
+                acts[l],
+                acts[l + 1],
+                dims[l],
+                dims[l + 1],
+                weights[l].2,
+                weights[l].3,
+                relu,
+                gate,
+                par,
+            );
+        }
+    });
+
+    // Reference forward pass.
+    let mut act = input;
+    let mut expected = Vec::new();
+    for l in 0..dims.len() - 1 {
+        let relu = l != dims.len() - 2;
+        act = fc_reference(
+            &act,
+            &weights[l].0,
+            &weights[l].1,
+            dims[l] as usize,
+            dims[l + 1] as usize,
+            relu,
+        );
+        expected = act.clone();
+    }
+    Workload {
+        name: "ad",
+        kernel,
+        mem,
+        checks: vec![Check::Mem {
+            label: "reconstruction",
+            base: *acts.last().expect("autoencoder has layers"),
+            expected,
+        }],
+        par,
+    }
+}
+
+/// Emit a valid-padding 3×3 convolution over a single-channel `img_n²`
+/// input producing `filters` output maps of `(img_n-2)²`, with ReLU.
+/// Output filters are chunked `par` ways. Returns the store-token join.
+#[allow(clippy::too_many_arguments)]
+fn conv3x3_layer(
+    c: &mut Ctx,
+    in_base: i64,
+    out_base: i64,
+    img_n: i64,
+    filters: i64,
+    w_base: i64,
+    b_base: i64,
+    gate: Val,
+    par: usize,
+) -> Val {
+    let out_n = img_n - 2;
+    let toks = parallel_chunks(c, 0, filters, par, |c, lo, hi| {
+        let acc0 = c.stream_const(0);
+        let f_toks = c.for_range(lo, hi, 1, &[acc0], &[gate], |c, f, fc, invs| {
+            let gate = invs[0];
+            let wf = c.mul(f, 9);
+            let wf = c.add(wf, w_base);
+            let ba = c.add(f, b_base);
+            let bv = c.load(ba);
+            let of = c.mul(f, out_n * out_n);
+            let of = c.add(of, out_base);
+            let rows = c.for_range(0, out_n, 1, &[fc[0]], &[gate, wf, bv, of], |c, y, yc, invs| {
+                let (gate, wf, bv, of) = (invs[0], invs[1], invs[2], invs[3]);
+                let cols = c.for_range(
+                    0,
+                    out_n,
+                    1,
+                    &[yc[0]],
+                    &[gate, wf, bv, of, y],
+                    |c, x, xc, invs| {
+                        let (gate, wf, bv, of, y) = (invs[0], invs[1], invs[2], invs[3], invs[4]);
+                        // 3×3 taps as dataflow loops (keeps the kernel small
+                        // enough to replicate on the fabric).
+                        let base = c.imm(in_base);
+                        let acc = conv_taps(c, base, img_n, gate, wf, bv, y, x);
+                        let v = c.shr(acc, SHIFT);
+                        let v = c.max(v, 0);
+                        let orow = c.mul(y, out_n);
+                        let oa = c.add(orow, x);
+                        let oa = c.add(oa, of);
+                        let st = c.store(oa, v);
+                        vec![c.or(xc[0], st)]
+                    },
+                );
+                vec![cols[0]]
+            });
+            vec![rows[0]]
+        });
+        f_toks[0]
+    });
+    c.join_order(&toks)
+}
+
+/// Image classification: 3×3 conv (+ReLU) → 2×2 maxpool → FC logits.
+pub fn ic(scale: Scale, par: usize) -> Workload {
+    let (img_n, filters, classes): (i64, i64, i64) = match scale {
+        Scale::Test => (6, 2, 4),
+        Scale::Bench => (12, 4, 10),
+    };
+    let conv_n = img_n - 2;
+    let pool_n = conv_n / 2;
+    let feat = filters * pool_n * pool_n;
+
+    let img = inputs::dense_matrix(img_n as usize, img_n as usize, 0x1C01);
+    let wconv = inputs::dense_matrix(filters as usize, 9, 0x1C02);
+    let bconv = inputs::dense_vector(filters as usize, 0x1C03);
+    let wfc = inputs::dense_matrix(classes as usize, feat as usize, 0x1C04);
+    let bfc = inputs::dense_vector(classes as usize, 0x1C05);
+
+    let mut mem = standard_memory();
+    let img_base = mem.alloc_init(&img);
+    let wconv_base = mem.alloc_init(&wconv);
+    let bconv_base = mem.alloc_init(&bconv);
+    let conv_base = mem.alloc((filters * conv_n * conv_n) as usize);
+    let pool_base = mem.alloc(feat as usize);
+    let wfc_base = mem.alloc_init(&wfc);
+    let bfc_base = mem.alloc_init(&bfc);
+    let out_base = mem.alloc(classes as usize);
+
+    let kernel = Kernel::build("ic", |c| {
+        let gate0 = c.stream_const(0);
+        let conv_tok = conv3x3_layer(
+            c, img_base, conv_base, img_n, filters, wconv_base, bconv_base, gate0, par,
+        );
+        // 2×2 maxpool per filter.
+        let pool_toks = parallel_chunks(c, 0, filters, par, |c, lo, hi| {
+            let acc0 = c.stream_const(0);
+            let f_toks = c.for_range(lo, hi, 1, &[acc0], &[conv_tok], |c, f, fc_, invs| {
+                let gate = invs[0];
+                let cf = c.mul(f, conv_n * conv_n);
+                let cf = c.add(cf, conv_base);
+                let pf = c.mul(f, pool_n * pool_n);
+                let pf = c.add(pf, pool_base);
+                let rows =
+                    c.for_range(0, pool_n, 1, &[fc_[0]], &[gate, cf, pf], |c, py, yc, invs| {
+                        let (gate, cf, pf) = (invs[0], invs[1], invs[2]);
+                        let cols = c.for_range(
+                            0,
+                            pool_n,
+                            1,
+                            &[yc[0]],
+                            &[gate, cf, pf, py],
+                            |c, px, xc, invs| {
+                                let (gate, cf, pf, py) =
+                                    (invs[0], invs[1], invs[2], invs[3]);
+                                let y0 = c.shl(py, 1);
+                                let x0 = c.shl(px, 1);
+                                let mut m: Option<Val> = None;
+                                for dy in 0..2i64 {
+                                    for dx in 0..2i64 {
+                                        let yy = c.add(y0, dy);
+                                        let row = c.mul(yy, conv_n);
+                                        let xx = c.add(x0, dx);
+                                        let a = c.add(row, xx);
+                                        let a = c.add(a, cf);
+                                        let (v, _) = c.load_ordered(a, gate);
+                                        m = Some(match m {
+                                            None => v,
+                                            Some(prev) => c.max(prev, v),
+                                        });
+                                    }
+                                }
+                                let orow = c.mul(py, pool_n);
+                                let oa = c.add(orow, px);
+                                let oa = c.add(oa, pf);
+                                let st = c.store(oa, m.expect("pool window nonempty"));
+                                vec![c.or(xc[0], st)]
+                            },
+                        );
+                        vec![cols[0]]
+                    });
+                vec![rows[0]]
+            });
+            f_toks[0]
+        });
+        let pool_tok = c.join_order(&pool_toks);
+        fc_layer(
+            c, pool_base, out_base, feat, classes, wfc_base, bfc_base, false, pool_tok, par,
+        );
+    });
+
+    // Reference.
+    let mut conv = vec![0i64; (filters * conv_n * conv_n) as usize];
+    for f in 0..filters as usize {
+        for y in 0..conv_n as usize {
+            for x in 0..conv_n as usize {
+                let mut acc = bconv[f];
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += img[(y + ky) * img_n as usize + x + kx] * wconv[f * 9 + ky * 3 + kx];
+                    }
+                }
+                conv[f * (conv_n * conv_n) as usize + y * conv_n as usize + x] =
+                    requant(acc, true);
+            }
+        }
+    }
+    let mut pool = vec![0i64; feat as usize];
+    for f in 0..filters as usize {
+        for py in 0..pool_n as usize {
+            for px in 0..pool_n as usize {
+                let mut m = i64::MIN;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        m = m.max(
+                            conv[f * (conv_n * conv_n) as usize
+                                + (2 * py + dy) * conv_n as usize
+                                + 2 * px
+                                + dx],
+                        );
+                    }
+                }
+                pool[f * (pool_n * pool_n) as usize + py * pool_n as usize + px] = m;
+            }
+        }
+    }
+    let expected = fc_reference(&pool, &wfc, &bfc, feat as usize, classes as usize, false);
+    Workload {
+        name: "ic",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "logits", base: out_base, expected }],
+        par,
+    }
+}
+
+/// Visual wake words: depthwise 3×3 conv (+ReLU) per channel → pointwise
+/// 1×1 conv (+ReLU) → global average pool → FC to 2 logits.
+pub fn vww(scale: Scale, par: usize) -> Workload {
+    let (img_n, ch, ch2): (i64, i64, i64) = match scale {
+        Scale::Test => (5, 2, 3),
+        Scale::Bench => (10, 4, 8),
+    };
+    let conv_n = img_n - 2;
+    let classes = 2i64;
+
+    let img = inputs::dense_matrix((ch * img_n) as usize, img_n as usize, 0x7711);
+    let wdw = inputs::dense_matrix(ch as usize, 9, 0x7712);
+    let bdw = inputs::dense_vector(ch as usize, 0x7713);
+    let wpw = inputs::dense_matrix(ch2 as usize, ch as usize, 0x7714);
+    let bpw = inputs::dense_vector(ch2 as usize, 0x7715);
+    let wfc = inputs::dense_matrix(classes as usize, ch2 as usize, 0x7716);
+    let bfc = inputs::dense_vector(classes as usize, 0x7717);
+
+    let mut mem = standard_memory();
+    let img_base = mem.alloc_init(&img);
+    let wdw_base = mem.alloc_init(&wdw);
+    let bdw_base = mem.alloc_init(&bdw);
+    let dw_base = mem.alloc((ch * conv_n * conv_n) as usize);
+    let wpw_base = mem.alloc_init(&wpw);
+    let bpw_base = mem.alloc_init(&bpw);
+    let pw_base = mem.alloc((ch2 * conv_n * conv_n) as usize);
+    let gap_base = mem.alloc(ch2 as usize);
+    let wfc_base = mem.alloc_init(&wfc);
+    let bfc_base = mem.alloc_init(&bfc);
+    let out_base = mem.alloc(classes as usize);
+
+    let kernel = Kernel::build("vww", |c| {
+        let gate0 = c.stream_const(0);
+        // Depthwise: each channel convolved with its own 3×3 kernel.
+        let dw_toks = parallel_chunks(c, 0, ch, par, |c, lo, hi| {
+            let acc0 = c.stream_const(0);
+            let t = c.for_range(lo, hi, 1, &[acc0], &[gate0], |c, f, fc_, invs| {
+                let gate = invs[0];
+                let in_ch = c.mul(f, img_n * img_n);
+                let in_ch = c.add(in_ch, img_base);
+                let wf = c.mul(f, 9);
+                let wf = c.add(wf, wdw_base);
+                let ba = c.add(f, bdw_base);
+                let bv = c.load(ba);
+                let of = c.mul(f, conv_n * conv_n);
+                let of = c.add(of, dw_base);
+                let rows = c.for_range(
+                    0,
+                    conv_n,
+                    1,
+                    &[fc_[0]],
+                    &[gate, in_ch, wf, bv, of],
+                    |c, y, yc, invs| {
+                        let (gate, in_ch, wf, bv, of) =
+                            (invs[0], invs[1], invs[2], invs[3], invs[4]);
+                        let cols = c.for_range(
+                            0,
+                            conv_n,
+                            1,
+                            &[yc[0]],
+                            &[gate, in_ch, wf, bv, of, y],
+                            |c, x, xc, invs| {
+                                let (gate, in_ch, wf, bv, of, y) =
+                                    (invs[0], invs[1], invs[2], invs[3], invs[4], invs[5]);
+                                let acc = conv_taps(c, in_ch, img_n, gate, wf, bv, y, x);
+                                let v = c.shr(acc, SHIFT);
+                                let v = c.max(v, 0);
+                                let orow = c.mul(y, conv_n);
+                                let oa = c.add(orow, x);
+                                let oa = c.add(oa, of);
+                                let st = c.store(oa, v);
+                                vec![c.or(xc[0], st)]
+                            },
+                        );
+                        vec![cols[0]]
+                    },
+                );
+                vec![rows[0]]
+            });
+            t[0]
+        });
+        let dw_tok = c.join_order(&dw_toks);
+
+        // Pointwise 1×1: out[o][p] = relu(Σ_c dw[c][p]·w[o][c] + b[o]).
+        let pw_toks = parallel_chunks(c, 0, ch2, par, |c, lo, hi| {
+            let acc0 = c.stream_const(0);
+            let t = c.for_range(lo, hi, 1, &[acc0], &[dw_tok], |c, o, oc, invs| {
+                let gate = invs[0];
+                let wrow = c.mul(o, ch);
+                let wrow = c.add(wrow, wpw_base);
+                let ba = c.add(o, bpw_base);
+                let bv = c.load(ba);
+                let of = c.mul(o, conv_n * conv_n);
+                let of = c.add(of, pw_base);
+                let pix = c.for_range(
+                    0,
+                    conv_n * conv_n,
+                    1,
+                    &[oc[0]],
+                    &[gate, wrow, bv, of],
+                    |c, p, pc, invs| {
+                        let (gate, wrow, bv, of) = (invs[0], invs[1], invs[2], invs[3]);
+                        let sums =
+                            c.for_range(0, ch, 1, &[bv], &[gate, p, wrow], |c, cc, acc, invs| {
+                                let (gate, p, wrow) = (invs[0], invs[1], invs[2]);
+                                let a = c.mul(cc, conv_n * conv_n);
+                                let a = c.add(a, p);
+                                let a = c.add(a, dw_base);
+                                let (v, _) = c.load_ordered(a, gate);
+                                let wa = c.add(wrow, cc);
+                                let wv = c.load(wa);
+                                let prod = c.mul(v, wv);
+                                vec![c.add(acc[0], prod)]
+                            });
+                        let v = c.shr(sums[0], SHIFT);
+                        let v = c.max(v, 0);
+                        let oa = c.add(of, p);
+                        let st = c.store(oa, v);
+                        vec![c.or(pc[0], st)]
+                    },
+                );
+                vec![pix[0]]
+            });
+            t[0]
+        });
+        let pw_tok = c.join_order(&pw_toks);
+
+        // Global average pool per output channel.
+        let gap_toks = parallel_chunks(c, 0, ch2, par, |c, lo, hi| {
+            let acc0 = c.stream_const(0);
+            let t = c.for_range(lo, hi, 1, &[acc0], &[pw_tok], |c, o, oc, invs| {
+                let gate = invs[0];
+                let of = c.mul(o, conv_n * conv_n);
+                let of = c.add(of, pw_base);
+                let zero = c.imm(0);
+                let sums = c.for_range(
+                    0,
+                    conv_n * conv_n,
+                    1,
+                    &[zero],
+                    &[gate, of],
+                    |c, p, acc, invs| {
+                        let (gate, of) = (invs[0], invs[1]);
+                        let a = c.add(of, p);
+                        let (v, _) = c.load_ordered(a, gate);
+                        vec![c.add(acc[0], v)]
+                    },
+                );
+                let avg = c.div(sums[0], conv_n * conv_n);
+                let oa = c.add(o, gap_base);
+                let st = c.store(oa, avg);
+                vec![c.or(oc[0], st)]
+            });
+            t[0]
+        });
+        let gap_tok = c.join_order(&gap_toks);
+
+        // Final classifier.
+        fc_layer(
+            c, gap_base, out_base, ch2, classes, wfc_base, bfc_base, false, gap_tok, par,
+        );
+    });
+
+    // Reference.
+    let conv2 = (conv_n * conv_n) as usize;
+    let mut dw = vec![0i64; (ch as usize) * conv2];
+    for f in 0..ch as usize {
+        for y in 0..conv_n as usize {
+            for x in 0..conv_n as usize {
+                let mut acc = bdw[f];
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += img[(f * img_n as usize + y + ky) * img_n as usize + x + kx]
+                            * wdw[f * 9 + ky * 3 + kx];
+                    }
+                }
+                dw[f * conv2 + y * conv_n as usize + x] = requant(acc, true);
+            }
+        }
+    }
+    let mut pw = vec![0i64; (ch2 as usize) * conv2];
+    for o in 0..ch2 as usize {
+        for p in 0..conv2 {
+            let mut acc = bpw[o];
+            for cc in 0..ch as usize {
+                acc += dw[cc * conv2 + p] * wpw[o * ch as usize + cc];
+            }
+            pw[o * conv2 + p] = requant(acc, true);
+        }
+    }
+    let gap: Vec<i64> = (0..ch2 as usize)
+        .map(|o| pw[o * conv2..(o + 1) * conv2].iter().sum::<i64>() / conv2 as i64)
+        .collect();
+    let expected = fc_reference(&gap, &wfc, &bfc, ch2 as usize, classes as usize, false);
+    Workload {
+        name: "vww",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "logits", base: out_base, expected }],
+        par,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::harness::check_workload;
+
+    #[test]
+    fn ad_matches_reference() {
+        check_workload(&ad(Scale::Test, 1));
+        check_workload(&ad(Scale::Test, 2));
+    }
+
+    #[test]
+    fn ic_matches_reference() {
+        check_workload(&ic(Scale::Test, 1));
+        check_workload(&ic(Scale::Test, 2));
+    }
+
+    #[test]
+    fn vww_matches_reference() {
+        check_workload(&vww(Scale::Test, 1));
+        check_workload(&vww(Scale::Test, 2));
+    }
+
+    #[test]
+    fn nn_loads_are_mostly_inner_loop_class() {
+        // Dense NN workloads have streaming inner-loop loads, few or no
+        // critical ones beyond the layer-ordering chain (§7.1: dense apps
+        // gain mostly from domain awareness, not criticality).
+        let w = ad(Scale::Test, 1);
+        let (mut inner, mut total) = (0usize, 0usize);
+        for (_, n) in w.kernel.dfg().iter() {
+            if n.op.is_memory() {
+                total += 1;
+                if n.meta.criticality == Some(nupea_ir::graph::Criticality::InnerLoop) {
+                    inner += 1;
+                }
+            }
+        }
+        assert!(
+            inner * 2 >= total,
+            "most ad memory ops should be inner-loop class ({inner}/{total})"
+        );
+    }
+}

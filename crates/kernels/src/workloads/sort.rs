@@ -1,0 +1,227 @@
+//! Sorting workload: bottom-up mergesort (`mergsort` in Table 1).
+//!
+//! The pass loop is a *dataflow* loop (width doubles each pass, buffers
+//! ping-pong by parity), so the merge machinery exists once on the fabric
+//! regardless of input size. Each pass's loads are gated on the previous
+//! pass's stores through a carried memory-ordering token — the same
+//! inter-region ordering pattern the paper highlights for fft/jacobi2d.
+//! Parallelism 2 sorts the two halves on replicated machinery and merges
+//! them with a final fused merge pass.
+
+use super::{standard_memory, Check, Scale, Workload};
+use crate::builder::{Ctx, Kernel, Val};
+use crate::inputs;
+
+/// Merge `src[ia0..mid)` and `src[ib0..end)` into `dst[k0..)`. Loads are
+/// gated on `gate`; returns the or-accumulated store token (joined onto
+/// `acc0`). All values must be in the current region.
+#[allow(clippy::too_many_arguments)]
+fn merge_runs(
+    c: &mut Ctx,
+    src: Val,
+    dst: Val,
+    ia0: Val,
+    ib0: Val,
+    k0: Val,
+    mid: Val,
+    end: Val,
+    gate: Val,
+    acc0: Val,
+) -> Val {
+    // Main merge while both runs are nonempty.
+    let exits = c.while_loop(
+        &[ia0, ib0, k0, acc0],
+        &[mid, end, src, dst, gate],
+        |c, vars, invs| {
+            let ca = c.lt(vars[0], invs[0]);
+            let cb = c.lt(vars[1], invs[1]);
+            c.and(ca, cb)
+        },
+        |c, vars, invs| {
+            let (ia, ib, k, acc) = (vars[0], vars[1], vars[2], vars[3]);
+            let (_, _, src, dst, gate) = (invs[0], invs[1], invs[2], invs[3], invs[4]);
+            let aa = c.add(src, ia);
+            let (av, _) = c.load_ordered(aa, gate); // critical: merge decision
+            let ba = c.add(src, ib);
+            let (bv, _) = c.load_ordered(ba, gate); // critical
+            let take = c.le(av, bv);
+            let v = c.select(take, av, bv);
+            let ka = c.add(dst, k);
+            let st = c.store(ka, v);
+            let not_take = c.sub(1, take);
+            let ia_next = c.add(ia, take);
+            let ib_next = c.add(ib, not_take);
+            let k_next = c.add(k, 1);
+            vec![ia_next, ib_next, k_next, c.or(acc, st)]
+        },
+    );
+    // Drain the remaining run (only one of these loops iterates).
+    let tail_a = drain(c, src, dst, exits[0], mid, exits[2], gate, exits[3]);
+    drain(c, src, dst, exits[1], end, tail_a.0, gate, tail_a.1).1
+}
+
+/// Copy `src[i0..end)` to `dst[k0..)`; returns `(k_exit, token)`.
+#[allow(clippy::too_many_arguments)]
+fn drain(
+    c: &mut Ctx,
+    src: Val,
+    dst: Val,
+    i0: Val,
+    end: Val,
+    k0: Val,
+    gate: Val,
+    acc0: Val,
+) -> (Val, Val) {
+    let exits = c.while_loop(
+        &[i0, k0, acc0],
+        &[end, src, dst, gate],
+        |c, vars, invs| c.lt(vars[0], invs[0]),
+        |c, vars, invs| {
+            let (i, k, acc) = (vars[0], vars[1], vars[2]);
+            let (_, src, dst, gate) = (invs[0], invs[1], invs[2], invs[3]);
+            let sa = c.add(src, i);
+            let (v, _) = c.load_ordered(sa, gate);
+            let ka = c.add(dst, k);
+            let st = c.store(ka, v);
+            vec![c.add(i, 1), c.add(k, 1), c.or(acc, st)]
+        },
+    );
+    (exits[1], exits[2])
+}
+
+/// Emit a full bottom-up sort of `[off, off+len)` (len a power of two)
+/// between buffers `a_base`/`b_base`. Returns the completion token; the
+/// sorted data ends in `a_base` when `log2(len)` is even, else `b_base`.
+fn emit_sort(c: &mut Ctx, a_base: i64, b_base: i64, off: i64, len: i64) -> Val {
+    let tok0 = c.stream_const(0);
+    let one = c.stream_const(1);
+    let exits = c.while_loop(
+        &[one, tok0],
+        &[],
+        // width < len ⇔ more passes remain
+        |c, vars, _| c.lt(vars[0], len),
+        |c, vars, _| {
+            let (width, tok) = (vars[0], vars[1]);
+            // Parity of the pass: pass p has width 2^p. Buffers ping-pong:
+            // even-width passes read A, odd read B. width is a power of
+            // two; (width & 0x5555...) != 0 ⇔ even p.
+            let even_mask = 0x5555_5555_5555_5555u64 as i64;
+            let is_even = c.and(width, even_mask);
+            let is_even = c.ne(is_even, 0);
+            let src = c.select(is_even, c.imm(a_base), c.imm(b_base));
+            let dst = c.select(is_even, c.imm(b_base), c.imm(a_base));
+            let two_w = c.shl(width, 1);
+            let lo0 = c.stream_const(off);
+            let acc0 = c.stream_const(0);
+            let blocks = c.while_loop(
+                &[lo0, acc0],
+                &[width, two_w, src, dst, tok],
+                |c, vars, _| c.lt(vars[0], off + len),
+                |c, vars, invs| {
+                    let (lo, acc) = (vars[0], vars[1]);
+                    let (width, two_w, src, dst, gate) =
+                        (invs[0], invs[1], invs[2], invs[3], invs[4]);
+                    let mid = c.add(lo, width);
+                    let end = c.add(lo, two_w);
+                    let acc_next = merge_runs(c, src, dst, lo, mid, lo, mid, end, gate, acc);
+                    vec![c.add(lo, two_w), acc_next]
+                },
+            );
+            vec![c.shl(width, 1), blocks[1]]
+        },
+    );
+    exits[1]
+}
+
+/// Bottom-up mergesort. `par == 1` sorts in one machine; `par >= 2` sorts
+/// two halves on replicated machinery and fuses them with a final merge.
+pub fn mergesort(scale: Scale, par: usize) -> Workload {
+    let n: i64 = match scale {
+        Scale::Test => 16,
+        Scale::Bench => 256,
+    };
+    let data = inputs::random_list(n as usize, 0x50F7);
+    let mut mem = standard_memory();
+    let a_base = mem.alloc_init(&data);
+    let b_base = mem.alloc(n as usize);
+
+    let two_way = par >= 2;
+    let kernel = Kernel::build("mergsort", |c| {
+        if !two_way {
+            emit_sort(c, a_base, b_base, 0, n);
+        } else {
+            let half = n / 2;
+            let t0 = emit_sort(c, a_base, b_base, 0, half);
+            let t1 = emit_sort(c, a_base, b_base, half, half);
+            let gate = c.join_order(&[t0, t1]);
+            // Halves ended in A if log2(half) even, else B.
+            let (src, dst) = if half.trailing_zeros() % 2 == 0 {
+                (a_base, b_base)
+            } else {
+                (b_base, a_base)
+            };
+            let src = c.stream_const(src);
+            let dst = c.stream_const(dst);
+            let lo = c.stream_const(0);
+            let mid = c.stream_const(half);
+            let end = c.stream_const(n);
+            let acc0 = c.stream_const(0);
+            merge_runs(c, src, dst, lo, mid, lo, mid, end, gate, acc0);
+        }
+    });
+
+    let mut expected = data.clone();
+    expected.sort_unstable();
+    // Where did the result land?
+    let passes = n.trailing_zeros();
+    let final_base = if two_way {
+        let half_passes = (n / 2).trailing_zeros();
+        if half_passes % 2 == 0 {
+            b_base // halves in A, merged into B
+        } else {
+            a_base // halves in B, merged into A
+        }
+    } else if passes % 2 == 0 {
+        a_base
+    } else {
+        b_base
+    };
+    Workload {
+        name: "mergsort",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "sorted", base: final_base, expected }],
+        par,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::harness::check_workload;
+
+    #[test]
+    fn mergesort_sorts() {
+        check_workload(&mergesort(Scale::Test, 1));
+    }
+
+    #[test]
+    fn mergesort_two_way_sorts() {
+        check_workload(&mergesort(Scale::Test, 2));
+    }
+
+    #[test]
+    fn merge_loads_are_critical() {
+        let w = mergesort(Scale::Test, 1);
+        let crit = w
+            .kernel
+            .dfg()
+            .iter()
+            .filter(|(_, n)| {
+                n.op.is_memory()
+                    && n.meta.criticality == Some(nupea_ir::graph::Criticality::Critical)
+            })
+            .count();
+        assert!(crit >= 2, "merge head loads must be critical, got {crit}");
+    }
+}

@@ -1,0 +1,422 @@
+//! Sparse workloads (TACO-generated in the paper): `spmv`, `spmspv`,
+//! `spmspm`, and `spadd`.
+//!
+//! `spmspv`/`spmspm` implement the paper's running example: inner-product
+//! sparse products whose ∩ operation is an irregular stream-join (Fig. 5).
+//! The index loads along the `iA`/`iV` recurrences govern the loop
+//! condition and are classified **Critical** by the criticality analysis —
+//! exactly the loads NUPEA-aware PnR pushes into domain D0.
+
+use super::{parallel_chunks, standard_memory, Check, Scale, Workload};
+use crate::builder::{Ctx, Kernel, Val};
+use crate::inputs::{self, Csr};
+
+/// Layout of a CSR matrix in simulated memory.
+struct CsrLayout {
+    row_ptr: i64,
+    col_idx: i64,
+    values: i64,
+}
+
+fn alloc_csr(mem: &mut nupea_sim::SimMemory, m: &Csr) -> CsrLayout {
+    CsrLayout {
+        row_ptr: mem.alloc_init(&m.row_ptr),
+        col_idx: mem.alloc_init(&m.col_idx),
+        values: mem.alloc_init(&m.values),
+    }
+}
+
+/// Sparse matrix × dense vector.
+pub fn spmv(scale: Scale, par: usize) -> Workload {
+    let (n, sparsity) = match scale {
+        Scale::Test => (10usize, 0.6),
+        Scale::Bench => (192, 0.9),
+    };
+    let a = inputs::sparse_csr(n, n, sparsity, 0x53A1);
+    let v = inputs::dense_vector(n, 0x53A2);
+    let mut mem = standard_memory();
+    let al = alloc_csr(&mut mem, &a);
+    let v_base = mem.alloc_init(&v);
+    let d_base = mem.alloc(n);
+
+    let kernel = Kernel::build("spmv", |c| {
+        parallel_chunks(c, 0, n as i64, par, |c, lo, hi| {
+            c.for_range(lo, hi, 1, &[], &[], |c, r, _, _| {
+                let bp = c.add(r, al.row_ptr);
+                let beg = c.load(bp);
+                let ep = c.add(bp, 1);
+                let end = c.load(ep);
+                let zero = c.imm(0);
+                let sums = c.for_range(beg, end, 1, &[zero], &[], |c, k, acc, _| {
+                    let col = c.add(k, al.col_idx);
+                    let col = c.load(col);
+                    let av = c.add(k, al.values);
+                    let av = c.load(av);
+                    let vv = c.add(col, v_base);
+                    let vv = c.load(vv); // indirect gather
+                    let prod = c.mul(av, vv);
+                    vec![c.add(acc[0], prod)]
+                });
+                let d = c.add(r, d_base);
+                c.store(d, sums[0]);
+                vec![]
+            });
+        });
+    });
+
+    let dense = a.to_dense();
+    let expected: Vec<i64> = (0..n)
+        .map(|r| (0..n).map(|j| dense[r * n + j] * v[j]).sum())
+        .collect();
+    Workload {
+        name: "spmv",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "D", base: d_base, expected }],
+        par,
+    }
+}
+
+/// Emit the stream-join intersection dot product of Fig. 5:
+/// `sum = Σ a_val[iA] * b_val[iB]` over matching indices in
+/// `a_idx[a_beg..a_end)` and `b_idx[b_beg..b_end)`.
+///
+/// Returns the exit value of the accumulator. This is the paper's ∩
+/// operation; the two index loads are on loop-governing recurrences.
+#[allow(clippy::too_many_arguments)]
+fn stream_join_dot(
+    c: &mut Ctx,
+    a_beg: Val,
+    a_end: Val,
+    a_idx: i64,
+    a_val: i64,
+    b_beg: Val,
+    b_end: Val,
+    b_idx: i64,
+    b_val: i64,
+) -> Val {
+    let zero = c.imm(0);
+    let exits = c.while_loop(
+        &[a_beg, b_beg, zero],
+        &[a_end, b_end],
+        |c, vars, invs| {
+            let ca = c.lt(vars[0], invs[0]);
+            let cb = c.lt(vars[1], invs[1]);
+            c.and(ca, cb)
+        },
+        |c, vars, _| {
+            let (ia, ib, sum) = (vars[0], vars[1], vars[2]);
+            let ai_addr = c.add(ia, a_idx);
+            let ai = c.load(ai_addr); // critical: governs the recurrence
+            let bi_addr = c.add(ib, b_idx);
+            let bi = c.load(bi_addr); // critical
+            let eq = c.eq(ai, bi);
+            let sum_next = c.if_else(
+                eq,
+                &[ia, ib, sum],
+                |c, ins| {
+                    let av = c.add(ins[0], a_val);
+                    let av = c.load(av);
+                    let bv = c.add(ins[1], b_val);
+                    let bv = c.load(bv);
+                    let prod = c.mul(av, bv);
+                    vec![c.add(ins[2], prod)]
+                },
+                |_, ins| vec![ins[2]],
+            );
+            let a_le = c.le(ai, bi);
+            let b_le = c.ge(ai, bi);
+            let ia_next = c.add(ia, a_le);
+            let ib_next = c.add(ib, b_le);
+            vec![ia_next, ib_next, sum_next[0]]
+        },
+    );
+    exits[2]
+}
+
+/// Sparse matrix × sparse vector (inner-product, Fig. 3 of the paper).
+pub fn spmspv(scale: Scale, par: usize) -> Workload {
+    let (n, sparsity) = match scale {
+        Scale::Test => (12usize, 0.6),
+        Scale::Bench => (192, 0.9),
+    };
+    spmspv_custom(n, sparsity, par)
+}
+
+/// `spmspv` at an explicit size (used by the fabric-scaling studies of
+/// Figs. 16-17, which evaluate spmspv "on smaller inputs").
+pub fn spmspv_custom(n: usize, sparsity: f64, par: usize) -> Workload {
+    let a = inputs::sparse_csr(n, n, sparsity, 0x55B1);
+    let v = inputs::sparse_vector(n, sparsity, 0x55B2);
+    let mut mem = standard_memory();
+    let al = alloc_csr(&mut mem, &a);
+    let v_idx = mem.alloc_init(&v.nz_idx);
+    let v_val = mem.alloc_init(&v.values);
+    let d_base = mem.alloc(n);
+    let v_nnz = v.nz_idx.len() as i64;
+
+    let kernel = Kernel::build("spmspv", |c| {
+        parallel_chunks(c, 0, n as i64, par, |c, lo, hi| {
+            c.for_range(lo, hi, 1, &[], &[], |c, r, _, _| {
+                let bp = c.add(r, al.row_ptr);
+                let beg = c.load(bp);
+                let ep = c.add(bp, 1);
+                let end = c.load(ep);
+                let zero = c.imm(0);
+                let zero = c.as_stream(zero);
+                let vn = c.imm(v_nnz);
+                let vn = c.as_stream(vn);
+                let sum = stream_join_dot(
+                    c, beg, end, al.col_idx, al.values, zero, vn, v_idx, v_val,
+                );
+                let d = c.add(r, d_base);
+                c.store(d, sum);
+                vec![]
+            });
+        });
+    });
+
+    let dense_a = a.to_dense();
+    let dense_v = v.to_dense();
+    let expected: Vec<i64> = (0..n)
+        .map(|r| (0..n).map(|j| dense_a[r * n + j] * dense_v[j]).sum())
+        .collect();
+    Workload {
+        name: "spmspv",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "D", base: d_base, expected }],
+        par,
+    }
+}
+
+/// Sparse matrix × sparse matrix (inner-product over A-rows and
+/// Bᵀ-rows; the paper's TACO formulation with an ∩ per output element).
+pub fn spmspm(scale: Scale, par: usize) -> Workload {
+    let (n, sparsity) = match scale {
+        Scale::Test => (8usize, 0.55),
+        Scale::Bench => (40, 0.9),
+    };
+    let a = inputs::sparse_csr(n, n, sparsity, 0x5A5A);
+    let bt = inputs::sparse_csr(n, n, sparsity, 0x5A5B); // rows of Bᵀ = cols of B
+    let mut mem = standard_memory();
+    let al = alloc_csr(&mut mem, &a);
+    let bl = alloc_csr(&mut mem, &bt);
+    let c_base = mem.alloc(n * n);
+
+    let kernel = Kernel::build("spmspm", |c| {
+        parallel_chunks(c, 0, n as i64, par, |c, lo, hi| {
+            c.for_range(lo, hi, 1, &[], &[], |c, i, _, _| {
+                let ap = c.add(i, al.row_ptr);
+                let a_beg = c.load(ap);
+                let ap1 = c.add(ap, 1);
+                let a_end = c.load(ap1);
+                let crow = c.mul(i, n as i64);
+                c.for_range(0, n as i64, 1, &[], &[a_beg, a_end, crow], |c, j, _, invs| {
+                    let (a_beg, a_end, crow) = (invs[0], invs[1], invs[2]);
+                    let bp = c.add(j, bl.row_ptr);
+                    let b_beg = c.load(bp);
+                    let bp1 = c.add(bp, 1);
+                    let b_end = c.load(bp1);
+                    let sum = stream_join_dot(
+                        c, a_beg, a_end, al.col_idx, al.values, b_beg, b_end, bl.col_idx,
+                        bl.values,
+                    );
+                    let addr = c.add(crow, j);
+                    let addr = c.add(addr, c_base);
+                    c.store(addr, sum);
+                    vec![]
+                });
+                vec![]
+            });
+        });
+    });
+
+    let da = a.to_dense();
+    let db = bt.to_dense();
+    let mut expected = vec![0i64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            expected[i * n + j] = (0..n).map(|k| da[i * n + k] * db[j * n + k]).sum();
+        }
+    }
+    Workload {
+        name: "spmspm",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "C", base: c_base, expected }],
+        par,
+    }
+}
+
+/// Sparse matrix addition `C = A + B` via union stream-merge per row,
+/// writing into a dense output.
+pub fn spadd(scale: Scale, par: usize) -> Workload {
+    let (n, sparsity) = match scale {
+        Scale::Test => (8usize, 0.5),
+        Scale::Bench => (48, 0.5),
+    };
+    let a = inputs::sparse_csr(n, n, sparsity, 0xADD1);
+    let b = inputs::sparse_csr(n, n, sparsity, 0xADD2);
+    let mut mem = standard_memory();
+    let al = alloc_csr(&mut mem, &a);
+    let bl = alloc_csr(&mut mem, &b);
+    let c_base = mem.alloc(n * n);
+
+    let kernel = Kernel::build("spadd", |c| {
+        parallel_chunks(c, 0, n as i64, par, |c, lo, hi| {
+            c.for_range(lo, hi, 1, &[], &[], |c, r, _, _| {
+                let ap = c.add(r, al.row_ptr);
+                let a_beg = c.load(ap);
+                let ap1 = c.add(ap, 1);
+                let a_end = c.load(ap1);
+                let bp = c.add(r, bl.row_ptr);
+                let b_beg = c.load(bp);
+                let bp1 = c.add(bp, 1);
+                let b_end = c.load(bp1);
+                let crow = c.mul(r, n as i64);
+                let crow = c.add(crow, c_base);
+
+                // Main union merge while both streams have elements.
+                let exits = c.while_loop(
+                    &[a_beg, b_beg],
+                    &[a_end, b_end, crow],
+                    |c, vars, invs| {
+                        let ca = c.lt(vars[0], invs[0]);
+                        let cb = c.lt(vars[1], invs[1]);
+                        c.and(ca, cb)
+                    },
+                    |c, vars, invs| {
+                        let (ia, ib) = (vars[0], vars[1]);
+                        let crow = invs[2];
+                        let ca = c.add(ia, al.col_idx);
+                        let ca = c.load(ca); // critical merge index
+                        let cb = c.add(ib, bl.col_idx);
+                        let cb = c.load(cb); // critical merge index
+                        let a_le = c.le(ca, cb);
+                        let b_le = c.ge(ca, cb);
+                        let av = c.if_else(
+                            a_le,
+                            &[ia],
+                            |c, ins| {
+                                let p = c.add(ins[0], al.values);
+                                vec![c.load(p)]
+                            },
+                            |c, ins| vec![c.and(ins[0], 0)],
+                        )[0];
+                        let bv = c.if_else(
+                            b_le,
+                            &[ib],
+                            |c, ins| {
+                                let p = c.add(ins[0], bl.values);
+                                vec![c.load(p)]
+                            },
+                            |c, ins| vec![c.and(ins[0], 0)],
+                        )[0];
+                        let col = c.min(ca, cb);
+                        let sum = c.add(av, bv);
+                        let addr = c.add(crow, col);
+                        c.store(addr, sum);
+                        let ia_next = c.add(ia, a_le);
+                        let ib_next = c.add(ib, b_le);
+                        vec![ia_next, ib_next]
+                    },
+                );
+                // Drain tails.
+                drain_tail(c, exits[0], a_end, al.col_idx, al.values, crow);
+                drain_tail(c, exits[1], b_end, bl.col_idx, bl.values, crow);
+                vec![]
+            });
+        });
+    });
+
+    let da = a.to_dense();
+    let db = b.to_dense();
+    let expected: Vec<i64> = da.iter().zip(&db).map(|(x, y)| x + y).collect();
+    Workload {
+        name: "spadd",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "C", base: c_base, expected }],
+        par,
+    }
+}
+
+/// Copy the remaining `[i, end)` tail of one CSR row into the dense output.
+fn drain_tail(c: &mut Ctx, i: Val, end: Val, col_idx: i64, values: i64, crow: Val) {
+    c.while_loop(
+        &[i],
+        &[end, crow],
+        |c, vars, invs| c.lt(vars[0], invs[0]),
+        |c, vars, invs| {
+            let k = vars[0];
+            let crow = invs[1];
+            let col = c.add(k, col_idx);
+            let col = c.load(col);
+            let v = c.add(k, values);
+            let v = c.load(v);
+            let addr = c.add(crow, col);
+            c.store(addr, v);
+            vec![c.add(k, 1)]
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::harness::check_workload;
+    use nupea_ir::graph::Criticality;
+
+    #[test]
+    fn spmv_matches_reference() {
+        check_workload(&spmv(Scale::Test, 1));
+        check_workload(&spmv(Scale::Test, 3));
+    }
+
+    #[test]
+    fn spmspv_matches_reference() {
+        check_workload(&spmspv(Scale::Test, 1));
+        check_workload(&spmspv(Scale::Test, 2));
+    }
+
+    #[test]
+    fn spmspm_matches_reference() {
+        check_workload(&spmspm(Scale::Test, 1));
+        check_workload(&spmspm(Scale::Test, 2));
+    }
+
+    #[test]
+    fn spadd_matches_reference() {
+        check_workload(&spadd(Scale::Test, 1));
+        check_workload(&spadd(Scale::Test, 2));
+    }
+
+    #[test]
+    fn spmspv_has_critical_index_loads() {
+        let w = spmspv(Scale::Test, 1);
+        let classes: Vec<_> = w
+            .kernel
+            .dfg()
+            .iter()
+            .filter(|(_, n)| n.op.is_memory())
+            .map(|(_, n)| n.meta.criticality.unwrap())
+            .collect();
+        let crit = classes.iter().filter(|&&c| c == Criticality::Critical).count();
+        assert!(
+            crit >= 2,
+            "the two stream-join index loads must be critical: {classes:?}"
+        );
+        assert!(
+            classes.iter().any(|&c| c != Criticality::Critical),
+            "row_ptr/value loads must not all be critical"
+        );
+    }
+
+    #[test]
+    fn spadd_handles_empty_rows() {
+        // Tiny high-sparsity instance: some rows empty in one operand.
+        let w = spadd(Scale::Test, 1);
+        check_workload(&w);
+    }
+}

@@ -1,0 +1,184 @@
+//! Multi-region (staged) programs.
+//!
+//! effcc "splits programs into regions that fit on Monaco's fabric" (§5):
+//! a program larger than the fabric becomes a sequence of bitstreams,
+//! executed one at a time with a reconfiguration step between them. Stages
+//! communicate through memory; swapping bitstreams is a full barrier, so
+//! stage kernels need no cross-stage ordering tokens.
+//!
+//! The natural clients are the neural networks: one region per layer lets
+//! a network of arbitrary depth run on a fixed fabric. `ad_staged` builds
+//! the same autoencoder as [`super::nn::ad`] with one kernel per layer;
+//! results are bit-identical to the monolithic version.
+
+use super::{standard_memory, Check, Scale, Workload};
+use crate::builder::{Ctx, Kernel};
+use crate::inputs;
+use nupea_sim::SimMemory;
+
+/// A program split into fabric-sized regions executed sequentially over
+/// shared memory.
+#[derive(Debug, Clone)]
+pub struct StagedWorkload {
+    /// Program name.
+    pub name: &'static str,
+    /// One kernel per region, in execution order.
+    pub stages: Vec<Kernel>,
+    /// Shared memory image with inputs loaded.
+    pub mem: SimMemory,
+    /// Validation checks against post-run memory.
+    pub checks: Vec<Check>,
+    /// Parallelism degree each stage was built with.
+    pub par: usize,
+}
+
+impl StagedWorkload {
+    /// A fresh memory image for one run.
+    pub fn fresh_mem(&self) -> SimMemory {
+        self.mem.clone()
+    }
+
+    /// Validate post-run memory (staged programs have no sinks).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first failing check.
+    pub fn validate(&self, mem: &SimMemory) -> Result<(), String> {
+        // Reuse Workload's checker on a shim.
+        let shim = Workload {
+            name: self.name,
+            kernel: self.stages[0].clone(),
+            mem: self.mem.clone(),
+            checks: self.checks.clone(),
+            par: self.par,
+        };
+        shim.validate(mem, &[])
+    }
+}
+
+/// One fully-connected layer as a standalone region. No gate tokens: the
+/// bitstream swap is the barrier.
+#[allow(clippy::too_many_arguments)]
+fn fc_stage(
+    c: &mut Ctx,
+    in_base: i64,
+    out_base: i64,
+    in_n: i64,
+    out_n: i64,
+    w_base: i64,
+    b_base: i64,
+    relu: bool,
+) {
+    c.for_range(0, out_n, 1, &[], &[], |c, o, _, _| {
+        let zero = c.imm(0);
+        let wrow = c.mul(o, in_n);
+        let wrow = c.add(wrow, w_base);
+        let sums = c.for_range(0, in_n, 1, &[zero], &[wrow], |c, i, acc, invs| {
+            let ia = c.add(i, in_base);
+            let iv = c.load(ia);
+            let wa = c.add(invs[0], i);
+            let wv = c.load(wa);
+            let prod = c.mul(iv, wv);
+            vec![c.add(acc[0], prod)]
+        });
+        let ba = c.add(o, b_base);
+        let bv = c.load(ba);
+        let s = c.add(sums[0], bv);
+        let s = c.shr(s, super::nn::SHIFT);
+        let s = if relu { c.max(s, 0) } else { s };
+        let oa = c.add(o, out_base);
+        c.store(oa, s);
+        vec![]
+    });
+}
+
+/// The anomaly-detection autoencoder split one-region-per-layer. Same
+/// inputs, weights, and reference results as [`super::nn::ad`].
+pub fn ad_staged(scale: Scale, par: usize) -> StagedWorkload {
+    let in_n: i64 = match scale {
+        Scale::Test => 8,
+        Scale::Bench => 24,
+    };
+    let dims = [in_n, in_n / 2, in_n / 4, in_n / 2, in_n];
+    let mut mem = standard_memory();
+    let input = inputs::dense_vector(in_n as usize, 0xAD01);
+    let in_base = mem.alloc_init(&input);
+    let mut weights = Vec::new();
+    let mut acts = vec![in_base];
+    for l in 0..dims.len() - 1 {
+        let (ni, no) = (dims[l] as usize, dims[l + 1] as usize);
+        let w = inputs::dense_matrix(no, ni, 0xAD10 + l as u64);
+        let b = inputs::dense_vector(no, 0xAD20 + l as u64);
+        let wb = mem.alloc_init(&w);
+        let bb = mem.alloc_init(&b);
+        let ob = mem.alloc(no);
+        weights.push((w, b, wb, bb));
+        acts.push(ob);
+    }
+
+    let mut stages = Vec::new();
+    for l in 0..dims.len() - 1 {
+        let relu = l != dims.len() - 2;
+        let (in_b, out_b) = (acts[l], acts[l + 1]);
+        let (in_d, out_d) = (dims[l], dims[l + 1]);
+        let (wb, bb) = (weights[l].2, weights[l].3);
+        stages.push(Kernel::build(&format!("ad-layer{l}"), |c| {
+            fc_stage(c, in_b, out_b, in_d, out_d, wb, bb, relu);
+        }));
+    }
+
+    // Reference forward pass (same arithmetic as nn::ad).
+    let mut act = input;
+    for l in 0..dims.len() - 1 {
+        let relu = l != dims.len() - 2;
+        act = super::nn::fc_reference(
+            &act,
+            &weights[l].0,
+            &weights[l].1,
+            dims[l] as usize,
+            dims[l + 1] as usize,
+            relu,
+        );
+    }
+    StagedWorkload {
+        name: "ad-staged",
+        stages,
+        mem,
+        checks: vec![Check::Mem {
+            label: "reconstruction",
+            base: *acts.last().expect("layers exist"),
+            expected: act,
+        }],
+        par,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp_kernel;
+
+    #[test]
+    fn staged_ad_matches_monolithic_reference() {
+        let sw = ad_staged(Scale::Test, 1);
+        assert_eq!(sw.stages.len(), 4, "one region per layer");
+        let mut mem = sw.fresh_mem();
+        for stage in &sw.stages {
+            let r = interp_kernel(stage, mem.words_mut(), &[]).expect("stage runs");
+            assert!(r.is_balanced(), "stage {} unbalanced", stage.name());
+        }
+        sw.validate(&mem).expect("staged result matches reference");
+    }
+
+    #[test]
+    fn stages_are_individually_small() {
+        let sw = ad_staged(Scale::Bench, 1);
+        let mono = super::super::nn::ad(Scale::Bench, 1);
+        for s in &sw.stages {
+            assert!(
+                s.dfg().len() * 2 < mono.kernel.dfg().len() * 3,
+                "each region must be much smaller than the monolith"
+            );
+        }
+    }
+}

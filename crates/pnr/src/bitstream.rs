@@ -1,0 +1,305 @@
+//! Bitstream serialization: the artifact a PnR flow hands to the fabric.
+//!
+//! Monaco executes one *bitstream* at a time: a description of which PEs
+//! are active, which instruction runs on each PE, and the chosen fabric
+//! clock divider (§4.1). This module serializes a [`Placed`] design into a
+//! stable, human-readable text format and parses it back, so compiled
+//! kernels can be cached on disk, diffed in review, and loaded without
+//! re-running the (seeded but expensive) annealer.
+
+use crate::Placed;
+use nupea_fabric::{Fabric, PeId};
+use nupea_ir::graph::Dfg;
+use std::fmt;
+
+/// Format version emitted by [`write_bitstream`].
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Errors from [`parse_bitstream`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// Unsupported format version.
+    BadVersion(String),
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// A required field never appeared.
+    MissingField(&'static str),
+    /// Node assignments are not dense `0..n`.
+    NonDenseNodes,
+}
+
+impl fmt::Display for BitstreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BitstreamError::BadHeader => f.write_str("missing NUPEA-BITSTREAM header"),
+            BitstreamError::BadVersion(v) => write!(f, "unsupported bitstream version {v}"),
+            BitstreamError::BadLine { line, text } => {
+                write!(f, "unparseable line {line}: {text:?}")
+            }
+            BitstreamError::MissingField(k) => write!(f, "missing field {k}"),
+            BitstreamError::NonDenseNodes => f.write_str("node ids are not dense"),
+        }
+    }
+}
+
+impl std::error::Error for BitstreamError {}
+
+/// A parsed bitstream: enough to re-create the simulator inputs for a
+/// matching dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitstream {
+    /// Kernel name the bitstream was compiled from.
+    pub name: String,
+    /// Fabric geometry the placement targets (rows, cols).
+    pub fabric_dims: (usize, usize),
+    /// Chosen fabric clock divider.
+    pub divider: u32,
+    /// Longest routed path in hops.
+    pub max_hops: u32,
+    /// PE per DFG node, dense by node index.
+    pub pe_of: Vec<PeId>,
+}
+
+impl Bitstream {
+    /// True if this bitstream can drive `dfg` on `fabric`.
+    pub fn matches(&self, dfg: &Dfg, fabric: &Fabric) -> bool {
+        self.pe_of.len() == dfg.len()
+            && self.fabric_dims == (fabric.rows(), fabric.cols())
+            && self.pe_of.iter().all(|p| p.index() < fabric.num_pes())
+    }
+}
+
+/// Serialize a placed design.
+pub fn write_bitstream(dfg: &Dfg, fabric: &Fabric, placed: &Placed) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "NUPEA-BITSTREAM v{FORMAT_VERSION}");
+    let _ = writeln!(s, "name {}", dfg.name());
+    let _ = writeln!(
+        s,
+        "fabric {} {} {} tracks {}",
+        fabric.topology(),
+        fabric.rows(),
+        fabric.cols(),
+        fabric.tracks
+    );
+    let _ = writeln!(s, "divider {}", placed.timing.divider);
+    let _ = writeln!(s, "maxhops {}", placed.timing.max_hops);
+    for (id, node) in dfg.iter() {
+        let _ = writeln!(
+            s,
+            "node {} pe {} op {}",
+            id.0,
+            placed.pe_of[id.index()].0,
+            node.op
+        );
+    }
+    let _ = writeln!(s, "end");
+    s
+}
+
+/// Parse a bitstream produced by [`write_bitstream`].
+///
+/// # Errors
+///
+/// Returns [`BitstreamError`] on malformed input.
+pub fn parse_bitstream(text: &str) -> Result<Bitstream, BitstreamError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(BitstreamError::BadHeader)?;
+    let version = header
+        .strip_prefix("NUPEA-BITSTREAM v")
+        .ok_or(BitstreamError::BadHeader)?;
+    if version.trim() != FORMAT_VERSION.to_string() {
+        return Err(BitstreamError::BadVersion(version.trim().to_string()));
+    }
+    let mut name = None;
+    let mut dims = None;
+    let mut divider = None;
+    let mut max_hops = None;
+    let mut nodes: Vec<(u32, u32)> = Vec::new();
+    for (i, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line == "end" {
+            continue;
+        }
+        let bad = || BitstreamError::BadLine {
+            line: i + 1,
+            text: raw.to_string(),
+        };
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => name = Some(parts.collect::<Vec<_>>().join(" ")),
+            Some("fabric") => {
+                let _topo = parts.next().ok_or_else(bad)?;
+                let r: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let c: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                dims = Some((r, c));
+            }
+            Some("divider") => {
+                divider = Some(parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?);
+            }
+            Some("maxhops") => {
+                max_hops = Some(parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?);
+            }
+            Some("node") => {
+                let idx: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                let kw = parts.next().ok_or_else(bad)?;
+                if kw != "pe" {
+                    return Err(bad());
+                }
+                let pe: u32 = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+                nodes.push((idx, pe));
+            }
+            _ => return Err(bad()),
+        }
+    }
+    nodes.sort_unstable();
+    if nodes.iter().enumerate().any(|(i, (idx, _))| *idx != i as u32) {
+        return Err(BitstreamError::NonDenseNodes);
+    }
+    Ok(Bitstream {
+        name: name.ok_or(BitstreamError::MissingField("name"))?,
+        fabric_dims: dims.ok_or(BitstreamError::MissingField("fabric"))?,
+        divider: divider.ok_or(BitstreamError::MissingField("divider"))?,
+        max_hops: max_hops.ok_or(BitstreamError::MissingField("maxhops"))?,
+        pe_of: nodes.into_iter().map(|(_, pe)| PeId(pe)).collect(),
+    })
+}
+
+/// ASCII rendering of a placement: one character per PE. `.` is an idle
+/// tile; `a`/`c`/`x` host arithmetic/control/endpoint instructions;
+/// `m` is a memory instruction, capitalized (`M`) when the placed
+/// instruction is criticality-class *Critical*. Columns run left to right
+/// away from memory (memory is on the right edge).
+pub fn render_placement(dfg: &Dfg, fabric: &Fabric, placed: &Placed) -> String {
+    let mut grid = vec![b'.'; fabric.num_pes()];
+    for (id, node) in dfg.iter() {
+        let pe = placed.pe_of[id.index()].index();
+        let ch = if node.op.is_memory() {
+            if node.meta.criticality == Some(nupea_ir::graph::Criticality::Critical) {
+                b'M'
+            } else {
+                b'm'
+            }
+        } else if node.op.is_arith() {
+            b'a'
+        } else if node.op.is_control() {
+            b'c'
+        } else {
+            b'x'
+        };
+        // Priority: memory > arith > control > endpoint > empty.
+        let rank = |c: u8| match c {
+            b'M' => 5,
+            b'm' => 4,
+            b'a' => 3,
+            b'c' => 2,
+            b'x' => 1,
+            _ => 0,
+        };
+        if rank(ch) > rank(grid[pe]) {
+            grid[pe] = ch;
+        }
+    }
+    let mut s = String::with_capacity(fabric.num_pes() + fabric.rows() * 2);
+    for r in 0..fabric.rows() {
+        for c in 0..fabric.cols() {
+            s.push(grid[r * fabric.cols() + c] as char);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{pnr, PnrConfig};
+    use nupea_ir::op::{BinOpKind, CmpKind, Op, SteerPolarity};
+
+    fn sample() -> (Dfg, Fabric, Placed) {
+        let mut g = Dfg::new("bs-test");
+        let (p, _) = g.add_param("head");
+        let carry = g.add_node(Op::Carry);
+        g.connect(p, 0, carry, Op::CARRY_INIT);
+        let cond = g.add_node(Op::Cmp(CmpKind::Ne));
+        g.connect(carry, 0, cond, 0);
+        g.set_imm(cond, 1, -1);
+        g.connect(cond, 0, carry, Op::CARRY_DECIDER);
+        let body = g.add_node(Op::Steer(SteerPolarity::OnTrue));
+        g.connect(cond, 0, body, 0);
+        g.connect(carry, 0, body, 1);
+        let ld = g.add_node(Op::Load);
+        g.connect(body, 0, ld, Op::LOAD_ADDR);
+        let nx = g.add_node(Op::BinOp(BinOpKind::Add));
+        g.connect(ld, 0, nx, 0);
+        g.set_imm(nx, 1, 0);
+        g.connect(nx, 0, carry, Op::CARRY_BACK);
+        nupea_ir::criticality::classify(&mut g);
+        let fabric = Fabric::monaco(8, 8, 3).unwrap();
+        let placed = pnr(&g, &fabric, &PnrConfig::default()).unwrap();
+        (g, fabric, placed)
+    }
+
+    #[test]
+    fn bitstream_round_trips() {
+        let (g, fabric, placed) = sample();
+        let text = write_bitstream(&g, &fabric, &placed);
+        let bs = parse_bitstream(&text).unwrap();
+        assert_eq!(bs.name, "bs-test");
+        assert_eq!(bs.fabric_dims, (8, 8));
+        assert_eq!(bs.divider, placed.timing.divider);
+        assert_eq!(bs.max_hops, placed.timing.max_hops);
+        assert_eq!(bs.pe_of, placed.pe_of);
+        assert!(bs.matches(&g, &fabric));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_bitstream(""), Err(BitstreamError::BadHeader));
+        assert!(matches!(
+            parse_bitstream("NUPEA-BITSTREAM v99\n"),
+            Err(BitstreamError::BadVersion(_))
+        ));
+        let bad = "NUPEA-BITSTREAM v1\nname x\nfabric monaco 8 8 tracks 3\n\
+                   divider 1\nmaxhops 2\nnode 0 pe zebra\nend\n";
+        assert!(matches!(
+            parse_bitstream(bad),
+            Err(BitstreamError::BadLine { .. })
+        ));
+        let sparse = "NUPEA-BITSTREAM v1\nname x\nfabric monaco 8 8 tracks 3\n\
+                      divider 1\nmaxhops 2\nnode 1 pe 0\nend\n";
+        assert_eq!(parse_bitstream(sparse), Err(BitstreamError::NonDenseNodes));
+        let missing = "NUPEA-BITSTREAM v1\nname x\ndivider 1\nmaxhops 2\nend\n";
+        assert_eq!(
+            parse_bitstream(missing),
+            Err(BitstreamError::MissingField("fabric"))
+        );
+    }
+
+    #[test]
+    fn mismatched_graph_is_detected() {
+        let (g, fabric, placed) = sample();
+        let bs = parse_bitstream(&write_bitstream(&g, &fabric, &placed)).unwrap();
+        let other = Dfg::new("other");
+        assert!(!bs.matches(&other, &fabric));
+        let bigger = Fabric::monaco(12, 12, 3).unwrap();
+        assert!(!bs.matches(&g, &bigger));
+    }
+
+    #[test]
+    fn render_shows_critical_memory() {
+        let (g, fabric, placed) = sample();
+        let map = render_placement(&g, &fabric, &placed);
+        assert_eq!(map.lines().count(), 8);
+        assert!(map.contains('M'), "critical load must render as M:\n{map}");
+        assert!(map.contains('.'), "idle tiles expected");
+    }
+}

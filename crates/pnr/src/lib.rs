@@ -1,0 +1,320 @@
+//! # nupea-pnr — NUPEA-aware place-and-route
+//!
+//! Maps a dataflow graph onto a spatial fabric the way effcc does (§5 of the
+//! paper):
+//!
+//! 1. [`netlist`] extraction — every DFG node becomes a cell needing one PE
+//!    slot (compute / control-flow / xdata), memory cells restricted to
+//!    load-store PEs.
+//! 2. [`place`] — load-store instructions are seated first along the NUPEA
+//!    domain preference order, prioritized by criticality class, then the
+//!    rest BFS-place near their neighbours; simulated annealing refines the
+//!    placement against a wirelength + throughput-reduction objective.
+//! 3. [`route`] — negotiated-congestion (PathFinder-style) routing over the
+//!    data NoC's track channels.
+//! 4. [`timing`] — the longest routed path picks the fabric clock divider.
+//!
+//! The three heuristics of Fig. 12 — Domain-Unaware, Only-Domain-Aware, and
+//! effcc (criticality + domain aware) — are selected via
+//! [`Heuristic`].
+//!
+//! # Example
+//!
+//! ```
+//! use nupea_fabric::Fabric;
+//! use nupea_ir::graph::Dfg;
+//! use nupea_ir::op::Op;
+//! use nupea_pnr::{pnr, PnrConfig};
+//!
+//! let mut g = Dfg::new("tiny");
+//! let (p, _) = g.add_param("addr");
+//! let ld = g.add_node(Op::Load);
+//! g.connect(p, 0, ld, Op::LOAD_ADDR);
+//! let (s, _) = g.add_sink("v");
+//! g.connect(ld, Op::OUT_VALUE, s, 0);
+//! nupea_ir::criticality::classify(&mut g);
+//!
+//! let fabric = Fabric::monaco(8, 8, 3)?;
+//! let placed = pnr(&g, &fabric, &PnrConfig::default())?;
+//! assert_eq!(placed.pe_of.len(), g.len());
+//! assert!(placed.timing.divider >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bitstream;
+pub mod netlist;
+pub mod place;
+pub mod route;
+pub mod timing;
+
+pub use bitstream::{parse_bitstream, render_placement, write_bitstream, Bitstream};
+pub use netlist::{Netlist, SlotKind};
+pub use place::{Heuristic, PlaceConfig, Placement};
+pub use route::{route, Routing};
+pub use timing::Timing;
+
+use nupea_fabric::{DomainId, Fabric, PeId};
+use nupea_ir::graph::Dfg;
+use std::fmt;
+
+/// Errors from place-and-route. `Unplaceable`/`Unroutable` are the signals
+/// the auto-parallelizer uses to stop increasing the parallelism degree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PnrError {
+    /// The netlist exceeds fabric capacity.
+    Unplaceable(String),
+    /// Routing congestion could not be resolved.
+    Unroutable {
+        /// Channels still over capacity after the iteration budget.
+        overused: usize,
+    },
+}
+
+impl fmt::Display for PnrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnrError::Unplaceable(why) => write!(f, "unplaceable: {why}"),
+            PnrError::Unroutable { overused } => {
+                write!(f, "unroutable: {overused} channels over capacity")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PnrError {}
+
+/// Full PnR configuration.
+#[derive(Debug, Clone, Default)]
+pub struct PnrConfig {
+    /// Placement configuration (heuristic, seed, effort).
+    pub place: PlaceConfig,
+}
+
+impl PnrConfig {
+    /// Config with a given heuristic, defaults elsewhere.
+    pub fn with_heuristic(heuristic: Heuristic) -> Self {
+        PnrConfig {
+            place: PlaceConfig {
+                heuristic,
+                ..PlaceConfig::default()
+            },
+        }
+    }
+}
+
+/// A fully placed-and-routed design, ready for simulation.
+#[derive(Debug, Clone)]
+pub struct Placed {
+    /// PE hosting each DFG node (indexed by node index).
+    pub pe_of: Vec<PeId>,
+    /// Routing outcome.
+    pub routing: Routing,
+    /// Timing outcome (longest path, clock divider).
+    pub timing: Timing,
+    /// Final placement cost (annealer objective).
+    pub cost: f64,
+}
+
+impl Placed {
+    /// Histogram of memory instructions per NUPEA domain, indexed by domain
+    /// id. Useful for checking that critical loads landed in fast domains.
+    pub fn domain_histogram(&self, dfg: &Dfg, fabric: &Fabric) -> Vec<usize> {
+        let mut hist = vec![0usize; usize::from(fabric.num_domains())];
+        for (id, node) in dfg.iter() {
+            if node.op.is_memory() {
+                if let Some(DomainId(d)) = fabric.domain(self.pe_of[id.index()]) {
+                    hist[usize::from(d)] += 1;
+                }
+            }
+        }
+        hist
+    }
+
+    /// Histogram restricted to one criticality class.
+    pub fn domain_histogram_for(
+        &self,
+        dfg: &Dfg,
+        fabric: &Fabric,
+        class: nupea_ir::graph::Criticality,
+    ) -> Vec<usize> {
+        let mut hist = vec![0usize; usize::from(fabric.num_domains())];
+        for (id, node) in dfg.iter() {
+            if node.op.is_memory() && node.meta.criticality == Some(class) {
+                if let Some(DomainId(d)) = fabric.domain(self.pe_of[id.index()]) {
+                    hist[usize::from(d)] += 1;
+                }
+            }
+        }
+        hist
+    }
+}
+
+/// Run the complete PnR pipeline: netlist → place → route → timing.
+///
+/// The DFG should already be criticality-classified (see
+/// [`nupea_ir::criticality::classify`]) when using
+/// [`Heuristic::CriticalityAware`].
+///
+/// # Errors
+///
+/// Returns [`PnrError`] when the design does not fit or cannot be routed —
+/// the auto-parallelizer's stop signal.
+pub fn pnr(dfg: &Dfg, fabric: &Fabric, cfg: &PnrConfig) -> Result<Placed, PnrError> {
+    let netlist = Netlist::from_dfg(dfg);
+    let placement = place::place(fabric, &netlist, &cfg.place)?;
+    let routing = route::route(fabric, &netlist, &placement.pe_of)?;
+    let timing = timing::analyze(fabric, routing.max_hops);
+    Ok(Placed {
+        pe_of: placement.pe_of,
+        routing,
+        timing,
+        cost: placement.cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nupea_ir::op::{BinOpKind, CmpKind, Op, SteerPolarity};
+
+    /// A loop with one critical (recurrence) load and several streaming
+    /// loads — the shape PnR must prioritize correctly.
+    fn mixed_criticality_graph(streaming_loads: usize) -> Dfg {
+        let mut g = Dfg::new("mixed");
+        let (head, _) = g.add_param("head");
+        let carry = g.add_node(Op::Carry);
+        g.connect(head, 0, carry, Op::CARRY_INIT);
+        let cond = g.add_node(Op::Cmp(CmpKind::Ne));
+        g.connect(carry, 0, cond, 0);
+        g.set_imm(cond, 1, -1);
+        g.connect(cond, 0, carry, Op::CARRY_DECIDER);
+        let body = g.add_node(Op::Steer(SteerPolarity::OnTrue));
+        g.connect(cond, 0, body, 0);
+        g.connect(carry, 0, body, 1);
+        let critical_ld = g.add_node(Op::Load);
+        g.connect(body, 0, critical_ld, Op::LOAD_ADDR);
+        g.meta_mut(critical_ld).in_leaf_loop = true;
+        g.connect(critical_ld, Op::OUT_VALUE, carry, Op::CARRY_BACK);
+        for i in 0..streaming_loads {
+            let addr = g.add_node(Op::BinOp(BinOpKind::Add));
+            g.connect(body, 0, addr, 0);
+            g.set_imm(addr, 1, i as i64);
+            let ld = g.add_node(Op::Load);
+            g.connect(addr, 0, ld, Op::LOAD_ADDR);
+            g.meta_mut(ld).in_leaf_loop = true;
+            let (s, _) = g.add_sink(format!("v{i}"));
+            g.connect(ld, Op::OUT_VALUE, s, 0);
+        }
+        nupea_ir::criticality::classify(&mut g);
+        g
+    }
+
+    #[test]
+    fn criticality_aware_puts_critical_load_in_d0() {
+        let g = mixed_criticality_graph(12);
+        let fabric = Fabric::monaco(12, 12, 3).unwrap();
+        let placed = pnr(&g, &fabric, &PnrConfig::default()).unwrap();
+        let crit_hist =
+            placed.domain_histogram_for(&g, &fabric, nupea_ir::graph::Criticality::Critical);
+        assert_eq!(
+            crit_hist[0], 1,
+            "the critical load must land in D0; histogram {crit_hist:?}"
+        );
+    }
+
+    #[test]
+    fn domain_unaware_ignores_domains() {
+        // With many memory ops and a shuffled order, Domain-Unaware spreads
+        // loads across domains instead of packing D0/D1.
+        let g = mixed_criticality_graph(30);
+        let fabric = Fabric::monaco(12, 12, 3).unwrap();
+        let placed = pnr(
+            &g,
+            &fabric,
+            &PnrConfig::with_heuristic(Heuristic::DomainUnaware),
+        )
+        .unwrap();
+        let hist = placed.domain_histogram(&g, &fabric);
+        let slow: usize = hist[2..].iter().sum();
+        assert!(
+            slow > 0,
+            "domain-unaware placement should leave some loads in slow domains: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn only_domain_aware_packs_fast_domains() {
+        let g = mixed_criticality_graph(10);
+        let fabric = Fabric::monaco(12, 12, 3).unwrap();
+        let placed = pnr(
+            &g,
+            &fabric,
+            &PnrConfig::with_heuristic(Heuristic::OnlyDomainAware),
+        )
+        .unwrap();
+        let hist = placed.domain_histogram(&g, &fabric);
+        // 11 memory ops; D0 (18 slots at 12x12 per row layout: 6 rows × 3
+        // cols) can hold them all.
+        assert_eq!(hist[0], 11, "all loads fit in D0: {hist:?}");
+    }
+
+    #[test]
+    fn unplaceable_when_too_many_memory_ops() {
+        let mut g = Dfg::new("huge");
+        let (p, _) = g.add_param("a");
+        for _ in 0..40 {
+            let ld = g.add_node(Op::Load);
+            g.connect(p, 0, ld, Op::LOAD_ADDR);
+        }
+        let fabric = Fabric::monaco(4, 8, 2).unwrap(); // 16 LS PEs
+        match pnr(&g, &fabric, &PnrConfig::default()) {
+            Err(PnrError::Unplaceable(_)) => {}
+            other => panic!("expected Unplaceable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_for_a_seed() {
+        let g = mixed_criticality_graph(6);
+        let fabric = Fabric::monaco(8, 8, 3).unwrap();
+        let a = pnr(&g, &fabric, &PnrConfig::default()).unwrap();
+        let b = pnr(&g, &fabric, &PnrConfig::default()).unwrap();
+        assert_eq!(a.pe_of, b.pe_of);
+        assert_eq!(a.timing, b.timing);
+    }
+
+    #[test]
+    fn divider_reasonable_on_12x12() {
+        let g = mixed_criticality_graph(12);
+        let fabric = Fabric::monaco(12, 12, 3).unwrap();
+        let placed = pnr(&g, &fabric, &PnrConfig::default()).unwrap();
+        assert!(
+            placed.timing.divider <= 2,
+            "calibration target: divider ≤ 2, got {} (max hops {})",
+            placed.timing.divider,
+            placed.timing.max_hops
+        );
+    }
+
+    #[test]
+    fn all_nodes_respect_slot_exclusivity() {
+        let g = mixed_criticality_graph(12);
+        let fabric = Fabric::monaco(12, 12, 3).unwrap();
+        let placed = pnr(&g, &fabric, &PnrConfig::default()).unwrap();
+        let nl = Netlist::from_dfg(&g);
+        let mut seen = std::collections::HashSet::new();
+        for (i, cell) in nl.cells.iter().enumerate() {
+            let key = (placed.pe_of[i], cell.slot.index());
+            assert!(seen.insert(key), "two cells share {key:?}");
+            if cell.needs_ls {
+                assert_eq!(
+                    fabric.kind(placed.pe_of[i]),
+                    nupea_fabric::PeKind::LoadStore
+                );
+            }
+        }
+    }
+}

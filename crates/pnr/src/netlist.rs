@@ -1,0 +1,188 @@
+//! Netlist extraction: turns a [`Dfg`] into placeable cells and routable nets.
+//!
+//! Monaco PEs host one compute instruction (arithmetic, or a memory
+//! instruction on load-store PEs), one control-flow instruction on the
+//! control FU, and one endpoint (param/sink) on the xdata FU (§4.1, Fig. 7).
+//! Each DFG node therefore occupies one *slot* of a PE; wires between nodes
+//! on the same PE cost nothing on the data NoC.
+
+use nupea_ir::graph::{Criticality, Dfg, NodeId};
+use std::fmt;
+
+/// Which PE slot a cell occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlotKind {
+    /// The compute FU: arithmetic anywhere; memory ops require an LS PE.
+    Compute,
+    /// The control-flow FU (steer/carry/invariant/select/mux).
+    Control,
+    /// The xdata FU (params and sinks).
+    Aux,
+}
+
+impl SlotKind {
+    /// Dense index for per-PE slot arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            SlotKind::Compute => 0,
+            SlotKind::Control => 1,
+            SlotKind::Aux => 2,
+        }
+    }
+
+    /// Number of slot kinds.
+    pub const COUNT: usize = 3;
+}
+
+impl fmt::Display for SlotKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlotKind::Compute => f.write_str("compute"),
+            SlotKind::Control => f.write_str("control"),
+            SlotKind::Aux => f.write_str("aux"),
+        }
+    }
+}
+
+/// A placeable cell derived from a DFG node.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// The DFG node this cell represents.
+    pub node: NodeId,
+    /// Slot the cell needs.
+    pub slot: SlotKind,
+    /// True if the cell must sit on a load-store PE.
+    pub needs_ls: bool,
+    /// Criticality class for memory cells (placement priority).
+    pub criticality: Option<Criticality>,
+}
+
+/// A two-terminal net (one fanout branch of a DFG wire).
+#[derive(Debug, Clone, Copy)]
+pub struct Net {
+    /// Driving node.
+    pub src: NodeId,
+    /// Driving output port (branches of one port share a routing tree).
+    pub src_port: u8,
+    /// Receiving node.
+    pub dst: NodeId,
+}
+
+/// The netlist: cells plus nets, with summary counts.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    /// Cells indexed by DFG node index.
+    pub cells: Vec<Cell>,
+    /// All two-terminal nets.
+    pub nets: Vec<Net>,
+    /// Number of cells needing an LS PE.
+    pub num_mem_cells: usize,
+    /// Number of control cells.
+    pub num_control_cells: usize,
+    /// Number of compute (arith + memory) cells.
+    pub num_compute_cells: usize,
+    /// Number of aux (endpoint) cells.
+    pub num_aux_cells: usize,
+}
+
+impl Netlist {
+    /// Build a netlist from a classified DFG.
+    ///
+    /// Call [`nupea_ir::criticality::classify`] first if criticality-aware
+    /// placement is wanted; unclassified memory ops are treated as
+    /// [`Criticality::Other`].
+    pub fn from_dfg(dfg: &Dfg) -> Self {
+        let mut cells = Vec::with_capacity(dfg.len());
+        let mut num_mem_cells = 0;
+        let mut num_control_cells = 0;
+        let mut num_compute_cells = 0;
+        let mut num_aux_cells = 0;
+        for (id, node) in dfg.iter() {
+            let slot = if node.op.is_control() {
+                num_control_cells += 1;
+                SlotKind::Control
+            } else if node.op.is_endpoint() {
+                num_aux_cells += 1;
+                SlotKind::Aux
+            } else {
+                num_compute_cells += 1;
+                SlotKind::Compute
+            };
+            let needs_ls = node.op.is_memory();
+            if needs_ls {
+                num_mem_cells += 1;
+            }
+            cells.push(Cell {
+                node: id,
+                slot,
+                needs_ls,
+                criticality: if needs_ls {
+                    Some(node.meta.criticality.unwrap_or(Criticality::Other))
+                } else {
+                    None
+                },
+            });
+        }
+        let mut nets = Vec::with_capacity(dfg.num_edges());
+        for id in dfg.node_ids() {
+            for e in dfg.outs(id) {
+                nets.push(Net {
+                    src: id,
+                    src_port: e.src_port,
+                    dst: e.dst,
+                });
+            }
+        }
+        Netlist {
+            cells,
+            nets,
+            num_mem_cells,
+            num_control_cells,
+            num_compute_cells,
+            num_aux_cells,
+        }
+    }
+
+    /// Total cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nupea_ir::op::{BinOpKind, Op};
+
+    #[test]
+    fn netlist_classifies_slots() {
+        let mut g = Dfg::new("t");
+        let (p, _) = g.add_param("a");
+        let add = g.add_node(Op::BinOp(BinOpKind::Add));
+        g.connect(p, 0, add, 0);
+        g.set_imm(add, 1, 1);
+        let ld = g.add_node(Op::Load);
+        g.connect(add, 0, ld, Op::LOAD_ADDR);
+        let steer = g.add_node(Op::Steer(nupea_ir::op::SteerPolarity::OnTrue));
+        g.set_imm(steer, 0, 1);
+        g.connect(ld, 0, steer, 1);
+        let (s, _) = g.add_sink("out");
+        g.connect(steer, 0, s, 0);
+
+        let nl = Netlist::from_dfg(&g);
+        assert_eq!(nl.len(), 5);
+        assert_eq!(nl.num_mem_cells, 1);
+        assert_eq!(nl.num_control_cells, 1);
+        assert_eq!(nl.num_compute_cells, 2); // add + load
+        assert_eq!(nl.num_aux_cells, 2); // param + sink
+        assert_eq!(nl.nets.len(), g.num_edges());
+        assert!(nl.cells[ld.index()].needs_ls);
+        assert_eq!(nl.cells[ld.index()].slot, SlotKind::Compute);
+    }
+}

@@ -1,0 +1,482 @@
+//! Placement: NUPEA-aware initial placement plus simulated-annealing
+//! refinement (§5 of the paper).
+//!
+//! The initial placement seats load-store instructions first, walking the
+//! fabric's NUPEA preference order (`… ≤ D1.c0 ≤ D0.c2 ≤ D0.c1 ≤ D0.c0`) in
+//! criticality order, then BFS-places the remaining instructions through
+//! defs and uses. Simulated annealing then minimizes a cost that combines
+//! wirelength with a throughput-reduction factor for memory instructions in
+//! slow domains, weighted by criticality class.
+
+use crate::netlist::{Cell, Netlist, SlotKind};
+use crate::PnrError;
+use nupea_fabric::{Fabric, PeId, PeKind};
+use nupea_ir::graph::Criticality;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// Which placement heuristic to run — exactly the three configurations of
+/// Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Heuristic {
+    /// No incentive to place memory instructions near memory.
+    DomainUnaware,
+    /// Prefer fast NUPEA domains for all memory instructions equally.
+    OnlyDomainAware,
+    /// effcc: fuse criticality classes with domain awareness so critical
+    /// loads get first claim on the fastest domains.
+    CriticalityAware,
+}
+
+impl std::fmt::Display for Heuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Heuristic::DomainUnaware => f.write_str("domain-unaware"),
+            Heuristic::OnlyDomainAware => f.write_str("only-domain-aware"),
+            Heuristic::CriticalityAware => f.write_str("effcc"),
+        }
+    }
+}
+
+/// Placement configuration.
+#[derive(Debug, Clone)]
+pub struct PlaceConfig {
+    /// Heuristic (Fig. 12 ablation).
+    pub heuristic: Heuristic,
+    /// RNG seed (placement is deterministic given the seed).
+    pub seed: u64,
+    /// Annealing effort: total moves ≈ `effort × cells`.
+    pub effort: u32,
+}
+
+impl Default for PlaceConfig {
+    fn default() -> Self {
+        PlaceConfig {
+            heuristic: Heuristic::CriticalityAware,
+            seed: 0xC0FFEE,
+            effort: 200,
+        }
+    }
+}
+
+/// A completed placement: PE per DFG node (indexed by node index).
+#[derive(Debug, Clone)]
+pub struct Placement {
+    /// PE hosting each DFG node.
+    pub pe_of: Vec<PeId>,
+    /// Final annealing cost.
+    pub cost: f64,
+}
+
+/// Criticality weight in the throughput-reduction term.
+fn crit_weight(heuristic: Heuristic, class: Option<Criticality>) -> f64 {
+    match heuristic {
+        Heuristic::DomainUnaware => 0.0,
+        Heuristic::OnlyDomainAware => 1.0,
+        Heuristic::CriticalityAware => match class.unwrap_or(Criticality::Other) {
+            Criticality::Critical => 8.0,
+            Criticality::InnerLoop => 1.5,
+            Criticality::Other => 0.5,
+        },
+    }
+}
+
+/// Scale of the memory-domain term relative to wirelength. Strong enough
+/// that one arbitration hop outweighs a cross-fabric data wire: fast-domain
+/// residency is the point of NUPEA-aware PnR (§5).
+const MEM_WEIGHT: f64 = 60.0;
+/// Quadratic wirelength penalty (discourages the long paths that would
+/// inflate the clock divider).
+const WIRE_SQ: f64 = 0.15;
+/// Timing wall: wires longer than one fabric cycle's reach would raise the
+/// clock divider, so they cost steeply (static timing optimization, §4.2).
+const WALL: f64 = 12.0;
+
+struct Placer<'a> {
+    fabric: &'a Fabric,
+    netlist: &'a Netlist,
+    cfg: &'a PlaceConfig,
+    /// occupant node index per (pe, slot); usize::MAX = free.
+    occ: Vec<[usize; SlotKind::COUNT]>,
+    pe_of: Vec<u32>,
+    /// nets touching each node.
+    nets_of: Vec<Vec<u32>>,
+    rng: SmallRng,
+}
+
+const FREE: usize = usize::MAX;
+
+impl<'a> Placer<'a> {
+    fn new(fabric: &'a Fabric, netlist: &'a Netlist, cfg: &'a PlaceConfig) -> Self {
+        let mut nets_of = vec![Vec::new(); netlist.len()];
+        for (i, net) in netlist.nets.iter().enumerate() {
+            nets_of[net.src.index()].push(i as u32);
+            if net.dst != net.src {
+                nets_of[net.dst.index()].push(i as u32);
+            }
+        }
+        Placer {
+            fabric,
+            netlist,
+            cfg,
+            occ: vec![[FREE; SlotKind::COUNT]; fabric.num_pes()],
+            pe_of: vec![u32::MAX; netlist.len()],
+            nets_of,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+        }
+    }
+
+    fn compatible(&self, cell: &Cell, pe: PeId) -> bool {
+        !cell.needs_ls || self.fabric.kind(pe) == PeKind::LoadStore
+    }
+
+    fn seat(&mut self, node_idx: usize, pe: PeId) {
+        let slot = self.netlist.cells[node_idx].slot.index();
+        debug_assert_eq!(self.occ[pe.index()][slot], FREE);
+        self.occ[pe.index()][slot] = node_idx;
+        self.pe_of[node_idx] = pe.0;
+    }
+
+    fn capacity_check(&self) -> Result<(), PnrError> {
+        let nl = self.netlist;
+        let f = self.fabric;
+        let fail = |what: &str, need: usize, have: usize| {
+            Err(PnrError::Unplaceable(format!(
+                "{what}: need {need}, fabric offers {have}"
+            )))
+        };
+        if nl.num_mem_cells > f.num_ls_pes() {
+            return fail("memory instructions", nl.num_mem_cells, f.num_ls_pes());
+        }
+        if nl.num_compute_cells > f.num_pes() {
+            return fail("compute instructions", nl.num_compute_cells, f.num_pes());
+        }
+        if nl.num_control_cells > f.num_pes() {
+            return fail("control instructions", nl.num_control_cells, f.num_pes());
+        }
+        if nl.num_aux_cells > f.num_pes() {
+            return fail("endpoint instructions", nl.num_aux_cells, f.num_pes());
+        }
+        Ok(())
+    }
+
+    /// Initial placement: memory first along the NUPEA preference order,
+    /// then BFS through defs and uses.
+    fn initial(&mut self) -> Result<(), PnrError> {
+        self.capacity_check()?;
+        // Memory cells in placement-priority order.
+        let mut mem_cells: Vec<usize> = (0..self.netlist.len())
+            .filter(|&i| self.netlist.cells[i].needs_ls)
+            .collect();
+        match self.cfg.heuristic {
+            Heuristic::CriticalityAware => {
+                mem_cells.sort_by_key(|&i| {
+                    (
+                        self.netlist.cells[i]
+                            .criticality
+                            .unwrap_or(Criticality::Other),
+                        i,
+                    )
+                });
+            }
+            Heuristic::OnlyDomainAware | Heuristic::DomainUnaware => {}
+        }
+        // Target LS order.
+        let mut ls_order = self.fabric.ls_pref_order();
+        if self.cfg.heuristic == Heuristic::DomainUnaware {
+            // No domain preference: shuffle deterministically.
+            for i in (1..ls_order.len()).rev() {
+                let j = self.rng.gen_range(0..=i);
+                ls_order.swap(i, j);
+            }
+        }
+        let mut ls_iter = ls_order.into_iter();
+        for idx in mem_cells {
+            let pe = ls_iter
+                .next()
+                .ok_or_else(|| PnrError::Unplaceable("out of LS PEs".into()))?;
+            self.seat(idx, pe);
+        }
+
+        // BFS the rest from the placed memory cells (or from node 0 for
+        // memory-free graphs), placing each cell at the free compatible slot
+        // nearest the centroid of its already-placed neighbours.
+        let mut queue: VecDeque<usize> = (0..self.netlist.len())
+            .filter(|&i| self.pe_of[i] != u32::MAX)
+            .collect();
+        let mut enqueued: Vec<bool> = (0..self.netlist.len())
+            .map(|i| self.pe_of[i] != u32::MAX)
+            .collect();
+        loop {
+            while let Some(cur) = queue.pop_front() {
+                if self.pe_of[cur] == u32::MAX {
+                    self.place_near_neighbours(cur)?;
+                }
+                for &ni in &self.nets_of[cur] {
+                    let net = self.netlist.nets[ni as usize];
+                    for nb in [net.src.index(), net.dst.index()] {
+                        if !enqueued[nb] {
+                            enqueued[nb] = true;
+                            queue.push_back(nb);
+                        }
+                    }
+                }
+            }
+            // Disconnected leftovers.
+            match (0..self.netlist.len()).find(|&i| self.pe_of[i] == u32::MAX) {
+                Some(i) => {
+                    enqueued[i] = true;
+                    queue.push_back(i);
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Place one cell at the free compatible slot nearest its placed
+    /// neighbours (or anywhere free if none are placed yet).
+    fn place_near_neighbours(&mut self, idx: usize) -> Result<(), PnrError> {
+        let cell = self.netlist.cells[idx];
+        // Centroid of placed neighbours.
+        let (mut sr, mut sc, mut n) = (0usize, 0usize, 0usize);
+        for &ni in &self.nets_of[idx] {
+            let net = self.netlist.nets[ni as usize];
+            let other = if net.src.index() == idx {
+                net.dst.index()
+            } else {
+                net.src.index()
+            };
+            if self.pe_of[other] != u32::MAX {
+                let (r, c) = self.fabric.coords(PeId(self.pe_of[other]));
+                sr += r;
+                sc += c;
+                n += 1;
+            }
+        }
+        let target = if n > 0 {
+            (sr / n, sc / n)
+        } else {
+            (self.fabric.rows() / 2, self.fabric.cols() / 2)
+        };
+        let slot = cell.slot.index();
+        let mut best: Option<(u32, PeId)> = None;
+        for pe in self.fabric.pes() {
+            if self.occ[pe.index()][slot] != FREE || !self.compatible(&cell, pe) {
+                continue;
+            }
+            let (r, c) = self.fabric.coords(pe);
+            let d = (r.abs_diff(target.0) + c.abs_diff(target.1)) as u32;
+            if best.map_or(true, |(bd, _)| d < bd) {
+                best = Some((d, pe));
+            }
+        }
+        let (_, pe) =
+            best.ok_or_else(|| PnrError::Unplaceable("no free compatible slot".into()))?;
+        self.seat(idx, pe);
+        Ok(())
+    }
+
+    fn net_cost(&self, ni: u32) -> f64 {
+        let net = self.netlist.nets[ni as usize];
+        let a = PeId(self.pe_of[net.src.index()]);
+        let b = PeId(self.pe_of[net.dst.index()]);
+        let d = f64::from(self.fabric.dist(a, b));
+        let reach = f64::from(self.fabric.hops_per_fabric_cycle.max(1));
+        let over = (d - reach).max(0.0);
+        d + WIRE_SQ * d * d + WALL * over * over
+    }
+
+    fn mem_cost(&self, idx: usize) -> f64 {
+        let cell = self.netlist.cells[idx];
+        if !cell.needs_ls {
+            return 0.0;
+        }
+        let w = crit_weight(self.cfg.heuristic, cell.criticality);
+        if w == 0.0 {
+            return 0.0;
+        }
+        let pe = PeId(self.pe_of[idx]);
+        let hops = f64::from(self.fabric.mem_hops(pe));
+        // Small column-proximity preference spreads LS instructions across
+        // columns near memory (avoids overloading one row's arbiter, §5).
+        let col = f64::from(self.fabric.memory_distance(pe)) * 0.05;
+        MEM_WEIGHT * w * (hops + col)
+    }
+
+    fn node_cost(&self, idx: usize) -> f64 {
+        let mut c = self.mem_cost(idx);
+        for &ni in &self.nets_of[idx] {
+            c += self.net_cost(ni);
+        }
+        c
+    }
+
+    fn total_cost(&self) -> f64 {
+        let mut c = 0.0;
+        for ni in 0..self.netlist.nets.len() as u32 {
+            c += self.net_cost(ni);
+        }
+        for i in 0..self.netlist.len() {
+            c += self.mem_cost(i);
+        }
+        c
+    }
+
+    /// Cost of the moved node(s) plus their incident nets (counted once per
+    /// net even if both ends moved).
+    fn local_cost(&self, a: usize, b: Option<usize>) -> f64 {
+        let mut c = self.node_cost(a);
+        if let Some(b) = b {
+            c += self.mem_cost(b);
+            for &ni in &self.nets_of[b] {
+                let net = self.netlist.nets[ni as usize];
+                // Skip nets already counted via `a`.
+                if net.src.index() == a || net.dst.index() == a {
+                    continue;
+                }
+                c += self.net_cost(ni);
+            }
+        }
+        c
+    }
+
+    fn anneal(&mut self) {
+        let ncells = self.netlist.len();
+        if ncells < 2 {
+            return;
+        }
+        let pes: Vec<PeId> = self.fabric.pes().collect();
+        // Estimate T0 from random-move deltas.
+        let mut deltas = Vec::with_capacity(64);
+        for _ in 0..64 {
+            if let Some(mv) = self.propose(&pes) {
+                let before = self.local_cost(mv.a, mv.b);
+                self.apply(mv);
+                let after = self.local_cost(mv.a, mv.b);
+                self.apply(mv.inverse());
+                deltas.push((after - before).abs());
+            }
+        }
+        let mut t = deltas.iter().copied().fold(0.0, f64::max).max(1.0);
+        let t_min = 0.002;
+        let moves_per_temp = (ncells * 8).max(64);
+        let total_budget = (self.cfg.effort as usize) * ncells;
+        // Cooling rate chosen so the schedule reaches t_min just as the move
+        // budget runs out (then a greedy polish pass below).
+        let temps = (total_budget / moves_per_temp).max(2) as f64;
+        let alpha = (t_min / t).powf(1.0 / temps).clamp(0.5, 0.98);
+        let mut spent = 0usize;
+        while t > t_min && spent < total_budget {
+            for _ in 0..moves_per_temp {
+                spent += 1;
+                let Some(mv) = self.propose(&pes) else {
+                    continue;
+                };
+                let before = self.local_cost(mv.a, mv.b);
+                self.apply(mv);
+                let after = self.local_cost(mv.a, mv.b);
+                let delta = after - before;
+                let accept =
+                    delta <= 0.0 || self.rng.gen::<f64>() < (-delta / t).exp();
+                if !accept {
+                    self.apply(mv.inverse());
+                }
+            }
+            t *= alpha;
+        }
+        // Greedy polish: accept only improvements.
+        for _ in 0..moves_per_temp * 4 {
+            let Some(mv) = self.propose(&pes) else {
+                continue;
+            };
+            let before = self.local_cost(mv.a, mv.b);
+            self.apply(mv);
+            if self.local_cost(mv.a, mv.b) >= before {
+                self.apply(mv.inverse());
+            }
+        }
+    }
+
+    /// Propose moving node `a` from `from` to `to` (swapping with occupant
+    /// `b` if any). Returns `None` if the sampled move is incompatible.
+    fn propose(&mut self, pes: &[PeId]) -> Option<Move> {
+        let a = self.rng.gen_range(0..self.netlist.len());
+        let cell_a = self.netlist.cells[a];
+        let to = pes[self.rng.gen_range(0..pes.len())];
+        let from = PeId(self.pe_of[a]);
+        if from == to || !self.compatible(&cell_a, to) {
+            return None;
+        }
+        let slot = cell_a.slot.index();
+        let occupant = self.occ[to.index()][slot];
+        let b = if occupant == FREE {
+            None
+        } else {
+            // Swap: occupant must fit on a's PE.
+            let cell_b = self.netlist.cells[occupant];
+            if !self.compatible(&cell_b, from) {
+                return None;
+            }
+            Some(occupant)
+        };
+        Some(Move { a, b, from, to })
+    }
+
+    /// Apply a move (or its inverse): `a` goes `from → to`; the occupant
+    /// `b`, if any, takes `a`'s old seat.
+    fn apply(&mut self, mv: Move) {
+        let slot = self.netlist.cells[mv.a].slot.index();
+        self.occ[mv.from.index()][slot] = FREE;
+        if let Some(b) = mv.b {
+            self.occ[mv.from.index()][slot] = b;
+            self.pe_of[b] = mv.from.0;
+        }
+        self.occ[mv.to.index()][slot] = mv.a;
+        self.pe_of[mv.a] = mv.to.0;
+    }
+}
+
+/// An annealing move: node `a` relocates `from → to`, optionally swapping
+/// with occupant `b`.
+#[derive(Debug, Clone, Copy)]
+struct Move {
+    a: usize,
+    b: Option<usize>,
+    from: PeId,
+    to: PeId,
+}
+
+impl Move {
+    fn inverse(self) -> Move {
+        Move {
+            a: self.a,
+            b: self.b,
+            from: self.to,
+            to: self.from,
+        }
+    }
+}
+
+/// Run placement.
+///
+/// # Errors
+///
+/// Returns [`PnrError::Unplaceable`] when the netlist exceeds fabric
+/// capacity (this is the signal the auto-parallelizer uses to stop growing
+/// the parallelism degree).
+pub fn place(
+    fabric: &Fabric,
+    netlist: &Netlist,
+    cfg: &PlaceConfig,
+) -> Result<Placement, PnrError> {
+    let mut placer = Placer::new(fabric, netlist, cfg);
+    placer.initial()?;
+    placer.anneal();
+    let cost = placer.total_cost();
+    Ok(Placement {
+        pe_of: placer.pe_of.iter().map(|&p| PeId(p)).collect(),
+        cost,
+    })
+}

@@ -1,0 +1,42 @@
+//! Static timing analysis: clock-divider selection (§4.2).
+//!
+//! Monaco's data NoC is bufferless and statically routed, so the fabric
+//! clock must cover the longest routed point-to-point path in the bitstream.
+//! The compiler picks the smallest divider of the system clock that covers
+//! that path. Our abstract timing model counts routed hops and divides by
+//! the fabric's calibration constant `hops_per_fabric_cycle` (see DESIGN.md:
+//! this stands in for the sign-off delay tables of the real flow).
+
+use nupea_fabric::Fabric;
+
+/// Timing result for a routed design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timing {
+    /// Longest routed path, in hops.
+    pub max_hops: u32,
+    /// Chosen fabric clock divider (≥ 1).
+    pub divider: u32,
+}
+
+/// Compute the clock divider for a routed design.
+pub fn analyze(fabric: &Fabric, max_hops: u32) -> Timing {
+    let hpc = fabric.hops_per_fabric_cycle.max(1);
+    let divider = max_hops.div_ceil(hpc).max(1);
+    Timing { max_hops, divider }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divider_covers_longest_path() {
+        let f = Fabric::monaco(12, 12, 3).unwrap();
+        assert_eq!(f.hops_per_fabric_cycle, 7);
+        assert_eq!(analyze(&f, 0).divider, 1);
+        assert_eq!(analyze(&f, 7).divider, 1);
+        assert_eq!(analyze(&f, 8).divider, 2);
+        assert_eq!(analyze(&f, 14).divider, 2);
+        assert_eq!(analyze(&f, 15).divider, 3);
+    }
+}

@@ -1,0 +1,107 @@
+//! Energy accounting for the simulated fabric.
+//!
+//! Monaco descends from energy-minimal dataflow designs (RipTide/Monza),
+//! and the paper's motivation is that *data movement* dominates energy.
+//! The simulator therefore charges abstract energy units per event, with
+//! relative weights in line with the energy-minimal SDA literature: a
+//! fabric-scale wire hop costs a sizable fraction of an ALU op, and a
+//! memory-bank access costs an order of magnitude more.
+//!
+//! Units are arbitrary ("ALU-op equivalents"); only ratios matter, exactly
+//! as with the performance results. Data-NoC energy is charged per token
+//! per Manhattan hop between producer and consumer PEs (routing detours
+//! are ignored — a documented approximation).
+
+/// Per-event energy weights, in ALU-op equivalents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// One arithmetic/comparison firing.
+    pub alu_op: f64,
+    /// One control-flow gate firing (steer/carry/invariant/select/mux).
+    pub control_op: f64,
+    /// Issuing one load/store from an LS PE.
+    pub mem_issue: f64,
+    /// Moving one token one tile hop on the data NoC.
+    pub noc_hop: f64,
+    /// One arbiter forward in the fabric-memory NoC (request or response).
+    pub fmnoc_arbiter: f64,
+    /// One bank access that hits in the shared cache.
+    pub cache_hit: f64,
+    /// Additional cost of a main-memory access on a miss.
+    pub mem_access: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            alu_op: 1.0,
+            control_op: 0.3,
+            mem_issue: 1.0,
+            noc_hop: 0.6,
+            fmnoc_arbiter: 0.5,
+            cache_hit: 5.0,
+            mem_access: 15.0,
+        }
+    }
+}
+
+/// Energy consumed by one run, broken down by component.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Arithmetic firings.
+    pub alu: f64,
+    /// Control-flow firings.
+    pub control: f64,
+    /// Load/store issue cost.
+    pub mem_issue: f64,
+    /// Data-NoC token movement.
+    pub noc: f64,
+    /// Fabric-memory NoC arbitration.
+    pub fmnoc: f64,
+    /// Cache and main-memory accesses.
+    pub memory: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.alu + self.control + self.mem_issue + self.noc + self.fmnoc + self.memory
+    }
+
+    /// Fraction of total energy spent moving data (NoC + FM-NoC + memory).
+    pub fn data_movement_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.noc + self.fmnoc + self.memory) / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let e = EnergyBreakdown {
+            alu: 1.0,
+            control: 2.0,
+            mem_issue: 3.0,
+            noc: 4.0,
+            fmnoc: 5.0,
+            memory: 6.0,
+        };
+        assert!((e.total() - 21.0).abs() < 1e-12);
+        assert!((e.data_movement_fraction() - 15.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_weights_are_ordered_sensibly() {
+        let p = EnergyParams::default();
+        assert!(p.control_op < p.alu_op, "control FUs are cheap");
+        assert!(p.mem_access > p.cache_hit, "DRAM costs more than cache");
+        assert!(p.cache_hit > p.alu_op, "memory costs more than compute");
+    }
+}

@@ -1,0 +1,835 @@
+//! The timed ordered-dataflow engine.
+//!
+//! Executes a placed DFG cycle-accurately (§6 of the paper's methodology):
+//!
+//! * Time is counted in **system cycles**; the fabric evaluates only on
+//!   ticks of the PnR-chosen clock **divider** (§4.2), while the memory
+//!   system and fabric-memory NoC run every system cycle — so a divided
+//!   fabric sees relatively faster memory, exactly as the paper models it.
+//! * Each PE input operand has a bounded token FIFO; a node fires when all
+//!   required operand heads are present *and* every connected consumer FIFO
+//!   has a free (unreserved) slot — credit-based backpressure.
+//! * Arithmetic fires at most once per fabric cycle with one-cycle latency;
+//!   control-flow gates are combinational (tokens can traverse a chain of
+//!   distinct gates within one tick); loads/stores issue requests to the
+//!   [`MemSys`](crate::memsys::MemSys) and deliver responses **in issue
+//!   order** (ordered dataflow) when they return.
+//!
+//! The engine executes real data: its sink values and final memory contents
+//! are differentially tested against the untimed interpreter in `nupea-ir`.
+
+use crate::energy::{EnergyBreakdown, EnergyParams};
+use crate::memory::{MemParams, SimMemory};
+use crate::memsys::{Completion, MemRequest, MemSys, MemSysStats, MemoryModel};
+use nupea_fabric::{Fabric, PeId};
+use nupea_ir::graph::{Dfg, InPort, NodeId};
+use nupea_ir::op::{Op, ParamId, SteerPolarity};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Memory model (NUPEA, UPEA-n, NUMA-UPEA-n).
+    pub model: MemoryModel,
+    /// Memory geometry and latencies.
+    pub mem: MemParams,
+    /// Fabric clock divider (from PnR timing).
+    pub divider: u64,
+    /// Token FIFO depth per input operand.
+    pub fifo_depth: usize,
+    /// Maximum outstanding memory requests per load-store instruction
+    /// (LS-PE request queue depth).
+    pub max_outstanding: usize,
+    /// Seed for the NUMA-domain assignment of LS PEs.
+    pub numa_seed: u64,
+    /// Hard cap on simulated system cycles (runaway guard).
+    pub max_cycles: u64,
+    /// Per-event energy weights.
+    pub energy: EnergyParams,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            model: MemoryModel::Nupea,
+            mem: MemParams::default(),
+            divider: 2,
+            fifo_depth: 8,
+            max_outstanding: 8,
+            numa_seed: 0xA55A,
+            max_cycles: 2_000_000_000,
+            energy: EnergyParams::default(),
+        }
+    }
+}
+
+/// Simulation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A memory access faulted (out of bounds).
+    Fault {
+        /// Issuing node.
+        node: NodeId,
+    },
+    /// The cycle cap was reached.
+    CycleLimit {
+        /// The configured cap.
+        limit: u64,
+    },
+    /// A param node has no bound value.
+    UnboundParam(ParamId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Fault { node } => write!(f, "memory fault at {node}"),
+            SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
+            SimError::UnboundParam(p) => write!(f, "param {} unbound", p.0),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Per-domain load-latency aggregate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DomainLatency {
+    /// Total system-cycle latency of completed loads issued from the domain.
+    pub total_latency: u64,
+    /// Completed loads issued from the domain.
+    pub count: u64,
+}
+
+impl DomainLatency {
+    /// Mean latency (0 when no loads completed).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.count as f64
+        }
+    }
+}
+
+/// Results of a timed run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Completion time in system cycles.
+    pub cycles: u64,
+    /// Completion time in fabric cycles (`cycles / divider`, rounded up).
+    pub fabric_cycles: u64,
+    /// Clock divider used.
+    pub divider: u64,
+    /// Total instruction firings.
+    pub firings: u64,
+    /// Firings per node.
+    pub firings_per_node: Vec<u64>,
+    /// Values collected by each sink, in arrival order.
+    pub sinks: Vec<Vec<i64>>,
+    /// Memory-system statistics.
+    pub mem: MemSysStats,
+    /// Cache hit rate.
+    pub cache_hit_rate: f64,
+    /// Load latency aggregated by the issuing PE's NUPEA domain.
+    pub load_latency_by_domain: Vec<DomainLatency>,
+    /// Tokens left buffered at quiescence (0 for balanced kernels).
+    pub residual_tokens: usize,
+    /// Energy consumed, by component.
+    pub energy: EnergyBreakdown,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GateState {
+    Fresh,
+    Looping,
+    Holding(i64),
+}
+
+/// A scheduled token delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Delivery {
+    time: u64,
+    seq: u64,
+    dst: u32,
+    port: u8,
+    value: i64,
+}
+
+impl Ord for Delivery {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap by (time, seq) via reversal at the call sites.
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Delivery {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The timed simulator for one placed DFG.
+pub struct Engine<'g> {
+    dfg: &'g Dfg,
+    fabric: &'g Fabric,
+    pe_of: &'g [PeId],
+    cfg: SimConfig,
+
+    fifos: Vec<VecDeque<i64>>,
+    /// In-flight tokens reserved per input FIFO.
+    reserved: Vec<u16>,
+    /// Flat index base per node into `fifos`/`reserved`.
+    port_base: Vec<u32>,
+
+    state: Vec<GateState>,
+    param_emitted: Vec<bool>,
+    bindings: HashMap<u32, i64>,
+    last_fired_tick: Vec<u64>,
+
+    events: BinaryHeap<std::cmp::Reverse<Delivery>>,
+    event_seq: u64,
+    dirty_now: Vec<u32>,
+    dirty_next: Vec<u32>,
+    in_now: Vec<bool>,
+    in_next: Vec<bool>,
+
+    outstanding: Vec<VecDeque<u64>>,
+    completed: Vec<HashMap<u64, Completion>>,
+    /// Last scheduled response-delivery time per node: ordered dataflow
+    /// requires responses to leave the PE in issue order even when a later,
+    /// faster request (cache hit / idle bank) completes first.
+    last_resp_time: Vec<u64>,
+    next_seq: u64,
+
+    sinks: Vec<Vec<i64>>,
+    firings: Vec<u64>,
+    total_firings: u64,
+    load_lat: Vec<DomainLatency>,
+
+    trace_nodes: Vec<bool>,
+    trace_log: Vec<(u64, u32, u8, i64)>,
+
+    energy: EnergyBreakdown,
+
+    memsys: MemSys,
+}
+
+impl<'g> Engine<'g> {
+    /// Create an engine for a placed graph.
+    pub fn new(dfg: &'g Dfg, fabric: &'g Fabric, pe_of: &'g [PeId], cfg: SimConfig) -> Self {
+        assert_eq!(pe_of.len(), dfg.len(), "placement must cover every node");
+        let mut port_base = Vec::with_capacity(dfg.len());
+        let mut nports = 0u32;
+        for (_, n) in dfg.iter() {
+            port_base.push(nports);
+            nports += n.inputs.len() as u32;
+        }
+        let memsys = MemSys::new(fabric, cfg.model, cfg.mem, cfg.divider, cfg.numa_seed);
+        let num_domains = usize::from(fabric.num_domains()).max(1);
+        Engine {
+            dfg,
+            fabric,
+            pe_of,
+            fifos: vec![VecDeque::new(); nports as usize],
+            reserved: vec![0; nports as usize],
+            port_base,
+            state: vec![GateState::Fresh; dfg.len()],
+            param_emitted: vec![false; dfg.len()],
+            bindings: HashMap::new(),
+            last_fired_tick: vec![u64::MAX; dfg.len()],
+            events: BinaryHeap::new(),
+            event_seq: 0,
+            dirty_now: Vec::new(),
+            dirty_next: Vec::new(),
+            in_now: vec![false; dfg.len()],
+            in_next: vec![false; dfg.len()],
+            outstanding: vec![VecDeque::new(); dfg.len()],
+            completed: vec![HashMap::new(); dfg.len()],
+            last_resp_time: vec![0; dfg.len()],
+            next_seq: 0,
+            sinks: vec![Vec::new(); dfg.sinks().len()],
+            firings: vec![0; dfg.len()],
+            total_firings: 0,
+            load_lat: vec![DomainLatency::default(); num_domains],
+            trace_nodes: vec![false; dfg.len()],
+            trace_log: Vec::new(),
+            energy: EnergyBreakdown::default(),
+            memsys,
+            cfg,
+        }
+    }
+
+    /// Record every token consumed by the given nodes as
+    /// `(system_time, node, port, value)` for debugging (see
+    /// [`Engine::trace_log`]).
+    #[doc(hidden)]
+    pub fn trace(&mut self, nodes: &[u32]) {
+        for &n in nodes {
+            self.trace_nodes[n as usize] = true;
+        }
+    }
+
+    /// The trace recorded so far.
+    #[doc(hidden)]
+    pub fn trace_log(&self) -> &[(u64, u32, u8, i64)] {
+        &self.trace_log
+    }
+
+    /// Bind a param value.
+    pub fn bind(&mut self, param: ParamId, value: i64) -> &mut Self {
+        self.bindings.insert(param.0, value);
+        self
+    }
+
+    #[inline]
+    fn fifo_idx(&self, node: usize, port: usize) -> usize {
+        (self.port_base[node] + port as u32) as usize
+    }
+
+    #[inline]
+    fn peek(&self, node: usize, port: usize) -> Option<i64> {
+        match self.dfg.node(NodeId(node as u32)).inputs[port] {
+            InPort::Imm(v) => Some(v),
+            InPort::Wire { .. } => self.fifos[self.fifo_idx(node, port)].front().copied(),
+            InPort::Unconnected => None,
+        }
+    }
+
+    #[inline]
+    fn consume(&mut self, node: usize, port: usize, tick: u64) -> i64 {
+        match self.dfg.node(NodeId(node as u32)).inputs[port] {
+            InPort::Imm(v) => v,
+            InPort::Wire { src, .. } => {
+                let idx = self.fifo_idx(node, port);
+                let v = self.fifos[idx]
+                    .pop_front()
+                    .expect("consume without token");
+                // Space freed: the producer may be stalled on backpressure.
+                self.mark_dirty(src.0 as usize, tick);
+                if self.trace_nodes[node] {
+                    self.trace_log.push((tick, node as u32, port as u8, v));
+                }
+                v
+            }
+            InPort::Unconnected => panic!("consume on unconnected port"),
+        }
+    }
+
+    #[inline]
+    fn order_wired(&self, node: usize, port: usize) -> bool {
+        self.dfg.node(NodeId(node as u32)).inputs[port].is_wire()
+    }
+
+    /// True if every consumer FIFO of `node`'s output `port` can take one
+    /// more (unreserved) token.
+    fn space_on(&self, node: usize, port: usize) -> bool {
+        for e in self.dfg.outs(NodeId(node as u32)) {
+            if e.src_port as usize != port {
+                continue;
+            }
+            let idx = self.fifo_idx(e.dst.index(), e.dst_port as usize);
+            if self.fifos[idx].len() + self.reserved[idx] as usize >= self.cfg.fifo_depth {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reserve one slot in every consumer FIFO of (`node`, `port`).
+    fn reserve(&mut self, node: usize, port: usize) {
+        let outs: Vec<(u32, u8)> = self
+            .dfg
+            .outs(NodeId(node as u32))
+            .iter()
+            .filter(|e| e.src_port as usize == port)
+            .map(|e| (e.dst.0, e.dst_port))
+            .collect();
+        for (dst, dport) in outs {
+            let idx = self.fifo_idx(dst as usize, dport as usize);
+            self.reserved[idx] += 1;
+        }
+    }
+
+    /// Schedule deliveries of `value` from (`node`, `port`) at `time`
+    /// (consumer slots must already be reserved).
+    fn schedule_emit(&mut self, node: usize, port: usize, value: i64, time: u64) {
+        let outs: Vec<(u32, u8)> = self
+            .dfg
+            .outs(NodeId(node as u32))
+            .iter()
+            .filter(|e| e.src_port as usize == port)
+            .map(|e| (e.dst.0, e.dst_port))
+            .collect();
+        for (dst, dport) in outs {
+            self.event_seq += 1;
+            self.charge_hop(node, dst as usize);
+            self.events.push(std::cmp::Reverse(Delivery {
+                time,
+                seq: self.event_seq,
+                dst,
+                port: dport,
+                value,
+            }));
+        }
+    }
+
+    /// Charge data-NoC energy for one token moving producer→consumer.
+    #[inline]
+    fn charge_hop(&mut self, src: usize, dst: usize) {
+        let hops = self.fabric.dist(self.pe_of[src], self.pe_of[dst]);
+        self.energy.noc += f64::from(hops) * self.cfg.energy.noc_hop;
+    }
+
+    /// Immediately push `value` into consumer FIFOs (combinational CF emit;
+    /// space must have been checked).
+    fn emit_now(&mut self, node: usize, port: usize, value: i64, tick: u64) {
+        let outs: Vec<(u32, u8)> = self
+            .dfg
+            .outs(NodeId(node as u32))
+            .iter()
+            .filter(|e| e.src_port as usize == port)
+            .map(|e| (e.dst.0, e.dst_port))
+            .collect();
+        for (dst, dport) in outs {
+            self.charge_hop(node, dst as usize);
+            let idx = self.fifo_idx(dst as usize, dport as usize);
+            self.fifos[idx].push_back(value);
+            self.mark_dirty(dst as usize, tick);
+        }
+    }
+
+    fn mark_dirty(&mut self, node: usize, tick: u64) {
+        if self.last_fired_tick[node] == tick {
+            if !self.in_next[node] {
+                self.in_next[node] = true;
+                self.dirty_next.push(node as u32);
+            }
+        } else if !self.in_now[node] {
+            self.in_now[node] = true;
+            self.dirty_now.push(node as u32);
+        }
+    }
+
+    fn mark_dirty_next(&mut self, node: usize) {
+        if !self.in_next[node] {
+            self.in_next[node] = true;
+            self.dirty_next.push(node as u32);
+        }
+    }
+
+    /// Run to quiescence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on memory faults, unbound params, or when the
+    /// cycle cap is hit.
+    pub fn run(&mut self, mem: &mut SimMemory) -> Result<RunStats, SimError> {
+        for (pid, _) in self.dfg.params() {
+            if !self.bindings.contains_key(&pid.0) {
+                return Err(SimError::UnboundParam(*pid));
+            }
+        }
+        // Seed params as deliveries at t=0.
+        let param_nodes: Vec<usize> = self
+            .dfg
+            .iter()
+            .filter(|(_, n)| matches!(n.op, Op::Param(_)))
+            .map(|(id, _)| id.index())
+            .collect();
+        for n in param_nodes {
+            if let Op::Param(p) = self.dfg.node(NodeId(n as u32)).op {
+                let v = self.bindings[&p.0];
+                self.param_emitted[n] = true;
+                self.firings[n] += 1;
+                self.total_firings += 1;
+                self.reserve(n, 0);
+                self.schedule_emit(n, 0, v, 0);
+            }
+        }
+
+        let divider = self.cfg.divider.max(1);
+        let mut t: u64 = 0;
+        let mut last_time: u64 = 0;
+        loop {
+            if t > self.cfg.max_cycles {
+                return Err(SimError::CycleLimit {
+                    limit: self.cfg.max_cycles,
+                });
+            }
+            // 1. Deliveries due now.
+            let tick = t / divider;
+            while let Some(&std::cmp::Reverse(d)) = self.events.peek() {
+                if d.time > t {
+                    break;
+                }
+                self.events.pop();
+                let idx = self.fifo_idx(d.dst as usize, d.port as usize);
+                debug_assert!(self.reserved[idx] > 0, "delivery without reservation");
+                self.reserved[idx] -= 1;
+                self.fifos[idx].push_back(d.value);
+                if self.trace_nodes[d.dst as usize] {
+                    // Port tagged +100: a delivery, not a consume.
+                    self.trace_log.push((t, d.dst, d.port + 100, d.value));
+                }
+                // Deliveries precede this tick's evaluation, so the consumer
+                // can still fire this tick.
+                self.mark_dirty(d.dst as usize, tick);
+                last_time = last_time.max(t);
+            }
+            // 2. Fabric tick.
+            if t % divider == 0 {
+                self.fabric_tick(t, tick)?;
+                last_time = last_time.max(t);
+            }
+            // 3. Memory system.
+            if self.memsys.busy() {
+                self.memsys.step(t, mem);
+                self.process_completions(t, divider)?;
+            }
+            // 4. Advance.
+            let mut next = u64::MAX;
+            if self.memsys.busy() {
+                next = t + 1;
+            }
+            if let Some(&std::cmp::Reverse(d)) = self.events.peek() {
+                next = next.min(d.time);
+            }
+            if !self.dirty_now.is_empty() || !self.dirty_next.is_empty() {
+                next = next.min((t / divider + 1) * divider);
+            }
+            if next == u64::MAX {
+                break;
+            }
+            debug_assert!(next > t, "time must advance");
+            t = next;
+        }
+
+        self.memsys.sync_cache_stats();
+        let ep = self.cfg.energy;
+        self.energy.fmnoc = self.memsys.stats.arbiter_forwards as f64 * ep.fmnoc_arbiter;
+        self.energy.memory = self.memsys.stats.cache_hits as f64 * ep.cache_hit
+            + self.memsys.stats.cache_misses as f64 * (ep.cache_hit + ep.mem_access);
+        let residual_tokens = self.fifos.iter().map(VecDeque::len).sum();
+        Ok(RunStats {
+            cycles: last_time,
+            fabric_cycles: last_time.div_ceil(divider),
+            divider,
+            firings: self.total_firings,
+            firings_per_node: self.firings.clone(),
+            sinks: self.sinks.clone(),
+            mem: self.memsys.stats,
+            cache_hit_rate: self.memsys.cache().hit_rate(),
+            load_latency_by_domain: self.load_lat.clone(),
+            residual_tokens,
+            energy: self.energy,
+        })
+    }
+
+    fn fabric_tick(&mut self, t: u64, tick: u64) -> Result<(), SimError> {
+        // Wake deferred nodes.
+        let deferred = std::mem::take(&mut self.dirty_next);
+        for n in deferred {
+            self.in_next[n as usize] = false;
+            if !self.in_now[n as usize] {
+                self.in_now[n as usize] = true;
+                self.dirty_now.push(n);
+            }
+        }
+        while let Some(n) = self.dirty_now.pop() {
+            let n = n as usize;
+            self.in_now[n] = false;
+            if self.last_fired_tick[n] == tick {
+                self.mark_dirty_next(n);
+                continue;
+            }
+            if self.try_fire(n, t, tick)? {
+                self.last_fired_tick[n] = tick;
+                self.firings[n] += 1;
+                self.total_firings += 1;
+                let op = self.dfg.node(NodeId(n as u32)).op;
+                if op.is_arith() {
+                    self.energy.alu += self.cfg.energy.alu_op;
+                } else if op.is_control() {
+                    self.energy.control += self.cfg.energy.control_op;
+                } else if op.is_memory() {
+                    self.energy.mem_issue += self.cfg.energy.mem_issue;
+                }
+                // More queued work? Retry next tick.
+                if self.has_pending_input(n) {
+                    self.mark_dirty_next(n);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rough check whether a node has any buffered token left (cheap wake
+    /// heuristic; a spurious wake just fails `try_fire` once).
+    fn has_pending_input(&self, node: usize) -> bool {
+        let ins = self.dfg.node(NodeId(node as u32)).inputs.len();
+        (0..ins).any(|p| !self.fifos[self.fifo_idx(node, p)].is_empty())
+    }
+
+    fn process_completions(&mut self, t: u64, divider: u64) -> Result<(), SimError> {
+        let completions = self.memsys.drain_completions();
+        for c in completions {
+            if c.fault {
+                return Err(SimError::Fault {
+                    node: NodeId(c.node),
+                });
+            }
+            let node = c.node as usize;
+            // Domain-bucketed load latency.
+            if !matches!(self.dfg.node(NodeId(c.node)).op, Op::Store) {
+                if let Some(d) = self.fabric.domain(self.pe_of[node]) {
+                    let slot = &mut self.load_lat[usize::from(d.0)];
+                    slot.total_latency += c.latency;
+                    slot.count += 1;
+                }
+            }
+            self.completed[node].insert(c.seq, c);
+            // The freed outstanding slot may unblock the node's next
+            // request even if no token arrives to wake it.
+            self.mark_dirty_next(node);
+            // Deliver in issue order.
+            while let Some(&head) = self.outstanding[node].front() {
+                let Some(done) = self.completed[node].remove(&head) else {
+                    break;
+                };
+                self.outstanding[node].pop_front();
+                // Align delivery to the next fabric tick strictly after now,
+                // never earlier than a previously scheduled response.
+                let base = done.time.max(t + 1).max(self.last_resp_time[node]);
+                let tick_time = base.div_ceil(divider) * divider;
+                self.last_resp_time[node] = tick_time;
+                match self.dfg.node(NodeId(c.node)).op {
+                    Op::Load => {
+                        self.schedule_emit(node, Op::OUT_VALUE, done.value, tick_time);
+                        self.schedule_emit(node, Op::LOAD_OUT_ORDER, 0, tick_time);
+                    }
+                    Op::Store => {
+                        self.schedule_emit(node, 0, 0, tick_time);
+                    }
+                    _ => unreachable!("completion for non-memory node"),
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempt one firing at fabric time `t` (tick index `tick`).
+    fn try_fire(&mut self, n: usize, t: u64, tick: u64) -> Result<bool, SimError> {
+        let op = self.dfg.node(NodeId(n as u32)).op;
+        match op {
+            Op::Sink(s) => {
+                if self.peek(n, 0).is_none() {
+                    return Ok(false);
+                }
+                let v = self.consume(n, 0, tick);
+                self.sinks[s.0 as usize].push(v);
+                Ok(true)
+            }
+            Op::BinOp(k) => {
+                if self.peek(n, 0).is_none()
+                    || self.peek(n, 1).is_none()
+                    || !self.space_on(n, 0)
+                {
+                    return Ok(false);
+                }
+                let a = self.consume(n, 0, tick);
+                let b = self.consume(n, 1, tick);
+                self.reserve(n, 0);
+                self.schedule_emit(n, 0, k.eval(a, b), t + self.cfg.divider);
+                Ok(true)
+            }
+            Op::Cmp(k) => {
+                if self.peek(n, 0).is_none()
+                    || self.peek(n, 1).is_none()
+                    || !self.space_on(n, 0)
+                {
+                    return Ok(false);
+                }
+                let a = self.consume(n, 0, tick);
+                let b = self.consume(n, 1, tick);
+                self.reserve(n, 0);
+                self.schedule_emit(n, 0, k.eval(a, b), t + self.cfg.divider);
+                Ok(true)
+            }
+            Op::UnOp(k) => {
+                if self.peek(n, 0).is_none() || !self.space_on(n, 0) {
+                    return Ok(false);
+                }
+                let a = self.consume(n, 0, tick);
+                self.reserve(n, 0);
+                self.schedule_emit(n, 0, k.eval(a), t + self.cfg.divider);
+                Ok(true)
+            }
+            Op::Steer(pol) => {
+                let (Some(d), Some(_)) = (self.peek(n, 0), self.peek(n, 1)) else {
+                    return Ok(false);
+                };
+                let forward = match pol {
+                    SteerPolarity::OnTrue => d != 0,
+                    SteerPolarity::OnFalse => d == 0,
+                };
+                if forward && !self.space_on(n, 0) {
+                    return Ok(false);
+                }
+                self.consume(n, 0, tick);
+                let v = self.consume(n, 1, tick);
+                if forward {
+                    self.emit_now(n, 0, v, tick);
+                }
+                Ok(true)
+            }
+            Op::Carry => match self.state[n] {
+                GateState::Fresh => {
+                    if self.peek(n, Op::CARRY_INIT).is_none() || !self.space_on(n, 0) {
+                        return Ok(false);
+                    }
+                    let v = self.consume(n, Op::CARRY_INIT, tick);
+                    self.state[n] = GateState::Looping;
+                    self.emit_now(n, 0, v, tick);
+                    Ok(true)
+                }
+                GateState::Looping => {
+                    let Some(d) = self.peek(n, Op::CARRY_DECIDER) else {
+                        return Ok(false);
+                    };
+                    if d != 0 {
+                        if self.peek(n, Op::CARRY_BACK).is_none() || !self.space_on(n, 0) {
+                            return Ok(false);
+                        }
+                        self.consume(n, Op::CARRY_DECIDER, tick);
+                        let v = self.consume(n, Op::CARRY_BACK, tick);
+                        self.emit_now(n, 0, v, tick);
+                    } else {
+                        self.consume(n, Op::CARRY_DECIDER, tick);
+                        self.state[n] = GateState::Fresh;
+                    }
+                    Ok(true)
+                }
+                GateState::Holding(_) => unreachable!("carry never holds"),
+            },
+            Op::Invariant => match self.state[n] {
+                GateState::Fresh => {
+                    if self.peek(n, Op::INV_VALUE).is_none() || !self.space_on(n, 0) {
+                        return Ok(false);
+                    }
+                    let v = self.consume(n, Op::INV_VALUE, tick);
+                    self.state[n] = GateState::Holding(v);
+                    self.emit_now(n, 0, v, tick);
+                    Ok(true)
+                }
+                GateState::Holding(v) => {
+                    let Some(d) = self.peek(n, Op::INV_DECIDER) else {
+                        return Ok(false);
+                    };
+                    if d != 0 && !self.space_on(n, 0) {
+                        return Ok(false);
+                    }
+                    self.consume(n, Op::INV_DECIDER, tick);
+                    if d != 0 {
+                        self.emit_now(n, 0, v, tick);
+                    } else {
+                        self.state[n] = GateState::Fresh;
+                    }
+                    Ok(true)
+                }
+                GateState::Looping => unreachable!("invariant never loops"),
+            },
+            Op::Select => {
+                if self.peek(n, 0).is_none()
+                    || self.peek(n, 1).is_none()
+                    || self.peek(n, 2).is_none()
+                    || !self.space_on(n, 0)
+                {
+                    return Ok(false);
+                }
+                let d = self.consume(n, 0, tick);
+                let a = self.consume(n, 1, tick);
+                let b = self.consume(n, 2, tick);
+                self.emit_now(n, 0, if d != 0 { a } else { b }, tick);
+                Ok(true)
+            }
+            Op::Mux => {
+                let Some(d) = self.peek(n, 0) else {
+                    return Ok(false);
+                };
+                let taken = if d != 0 { 1 } else { 2 };
+                if self.peek(n, taken).is_none() || !self.space_on(n, 0) {
+                    return Ok(false);
+                }
+                self.consume(n, 0, tick);
+                let v = self.consume(n, taken, tick);
+                self.emit_now(n, 0, v, tick);
+                Ok(true)
+            }
+            Op::Load => {
+                if self.peek(n, Op::LOAD_ADDR).is_none() {
+                    return Ok(false);
+                }
+                if self.order_wired(n, Op::LOAD_ORDER) && self.peek(n, Op::LOAD_ORDER).is_none() {
+                    return Ok(false);
+                }
+                if self.outstanding[n].len() >= self.cfg.max_outstanding
+                    || !self.space_on(n, Op::OUT_VALUE)
+                    || !self.space_on(n, Op::LOAD_OUT_ORDER)
+                {
+                    return Ok(false);
+                }
+                let addr = self.consume(n, Op::LOAD_ADDR, tick);
+                if self.order_wired(n, Op::LOAD_ORDER) {
+                    self.consume(n, Op::LOAD_ORDER, tick);
+                }
+                self.reserve(n, Op::OUT_VALUE);
+                self.reserve(n, Op::LOAD_OUT_ORDER);
+                self.issue_mem(n, false, addr, 0, t);
+                Ok(true)
+            }
+            Op::Store => {
+                if self.peek(n, Op::STORE_ADDR).is_none()
+                    || self.peek(n, Op::STORE_VALUE).is_none()
+                {
+                    return Ok(false);
+                }
+                if self.order_wired(n, Op::STORE_ORDER) && self.peek(n, Op::STORE_ORDER).is_none()
+                {
+                    return Ok(false);
+                }
+                if self.outstanding[n].len() >= self.cfg.max_outstanding || !self.space_on(n, 0) {
+                    return Ok(false);
+                }
+                let addr = self.consume(n, Op::STORE_ADDR, tick);
+                let value = self.consume(n, Op::STORE_VALUE, tick);
+                if self.order_wired(n, Op::STORE_ORDER) {
+                    self.consume(n, Op::STORE_ORDER, tick);
+                }
+                self.reserve(n, 0);
+                self.issue_mem(n, true, addr, value, t);
+                Ok(true)
+            }
+            Op::Param(_) => Ok(false),
+        }
+    }
+
+    fn issue_mem(&mut self, n: usize, is_store: bool, addr: i64, value: i64, t: u64) {
+        self.next_seq += 1;
+        let seq = self.next_seq;
+        self.outstanding[n].push_back(seq);
+        self.memsys.issue(
+            MemRequest {
+                node: n as u32,
+                seq,
+                is_store,
+                addr,
+                value,
+                pe: self.pe_of[n],
+                issued_at: t,
+            },
+            t,
+        );
+    }
+}

@@ -1,0 +1,850 @@
+//! The memory system: fabric-memory NoC arbitration, ports, banks, cache,
+//! and the baseline memory models (§4.2, §6 of the paper).
+//!
+//! Three models are simulated:
+//!
+//! * [`MemoryModel::Nupea`] — Monaco's hierarchical FM-NoC. Requests from a
+//!   domain-`k` LS PE traverse `k` arbiters (one forward per system cycle
+//!   each, so contention queues), reach a memory port (one accept per
+//!   cycle), and are serviced by the addressed bank behind the shared
+//!   cache. Responses traverse a mirrored response network.
+//! * [`MemoryModel::Upea`]`(n)` — uniform PE access: every request is
+//!   delayed by `n` *fabric* cycles, then goes straight to the banks — no
+//!   port arbitration, so baselines enjoy higher bandwidth than Monaco,
+//!   exactly as §6 specifies. `Upea(0)` is the paper's **Ideal**.
+//! * [`MemoryModel::NumaUpea`]`(n)` — LS PEs are randomly assigned to four
+//!   NUMA domains and the address space is interleaved across them; local
+//!   accesses skip the UPEA delay.
+//!
+//! Queues are FIFO per stage; the paper's per-input round-robin arbiters
+//! are approximated by arrival order, which provides the same fairness
+//! under sustained load.
+
+use crate::memory::{Cache, MemParams, SimMemory};
+use nupea_fabric::{ArbSink, Fabric, MemAccess, PeId};
+use std::collections::VecDeque;
+
+/// Which memory model to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryModel {
+    /// Monaco's NUPEA fabric-memory NoC.
+    Nupea,
+    /// Uniform PE access with the given latency in fabric cycles.
+    Upea(u32),
+    /// NUMA over UPEA: remote accesses pay the UPEA latency, local ones
+    /// don't. Four NUMA domains, random LS-PE assignment, line-interleaved
+    /// addresses.
+    NumaUpea(u32),
+}
+
+impl MemoryModel {
+    /// The paper's "Ideal" baseline: uniform zero-delay PE access.
+    pub const IDEAL: MemoryModel = MemoryModel::Upea(0);
+
+    /// Short label used in experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            MemoryModel::Nupea => "NUPEA".to_string(),
+            MemoryModel::Upea(0) => "Ideal".to_string(),
+            MemoryModel::Upea(n) => format!("UPEA{n}"),
+            MemoryModel::NumaUpea(n) => format!("NUMA-UPEA{n}"),
+        }
+    }
+}
+
+impl std::fmt::Display for MemoryModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// A memory request from the fabric.
+#[derive(Debug, Clone, Copy)]
+pub struct MemRequest {
+    /// Issuing DFG node (dense index).
+    pub node: u32,
+    /// Per-node sequence number for in-order delivery.
+    pub seq: u64,
+    /// Store (true) or load (false).
+    pub is_store: bool,
+    /// Word address.
+    pub addr: i64,
+    /// Value to store (ignored for loads).
+    pub value: i64,
+    /// Issuing PE.
+    pub pe: PeId,
+    /// Fabric-tick time of issue (system cycles).
+    pub issued_at: u64,
+}
+
+/// A completed memory operation.
+#[derive(Debug, Clone, Copy)]
+pub struct Completion {
+    /// Issuing node.
+    pub node: u32,
+    /// Sequence number.
+    pub seq: u64,
+    /// Loaded value (0 for stores).
+    pub value: i64,
+    /// System-cycle completion time (response delivered at the PE).
+    pub time: u64,
+    /// True if the access was out of bounds.
+    pub fault: bool,
+    /// Total latency in system cycles (completion − issue).
+    pub latency: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReqItem {
+    req: MemRequest,
+    ready_at: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RespItem {
+    req: MemRequest,
+    value: i64,
+    fault: bool,
+    /// Remaining response-arbiter hops (the PE's arbiter chain, walked from
+    /// memory outward); delivered to the PE when it reaches zero.
+    hops_left: u32,
+    ready_at: u64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Bank {
+    queue: VecDeque<ReqItem>,
+    busy_until: u64,
+}
+
+/// Aggregate memory-system statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MemSysStats {
+    /// Requests issued.
+    pub requests: u64,
+    /// Total arbiter forwards (request + response networks).
+    pub arbiter_forwards: u64,
+    /// Cycles requests spent queued at banks (conflict pressure).
+    pub bank_wait_cycles: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+}
+
+/// The timed memory system.
+#[derive(Debug)]
+pub struct MemSys {
+    model: MemoryModel,
+    params: MemParams,
+    cache: Cache,
+    banks: Vec<Bank>,
+    /// Per-arbiter request queues (parallel to `fabric.fmnoc().arbiters`).
+    arb_req: Vec<VecDeque<ReqItem>>,
+    /// Per-port request queues.
+    port_req: Vec<VecDeque<ReqItem>>,
+    /// Per-port response queues (responses reuse the port, 1 per cycle).
+    port_resp: Vec<VecDeque<RespItem>>,
+    /// Per-arbiter response queues (mirrored network).
+    arb_resp: Vec<VecDeque<RespItem>>,
+    /// Per-PE: arbiter chain from the PE towards memory (empty for D0).
+    chain_of: Vec<Vec<u32>>,
+    /// Per-PE: the port requests drain into.
+    port_of: Vec<u32>,
+    /// Per-PE NUMA domain (NUMA model only).
+    numa_of: Vec<Option<u8>>,
+    numa_domains: u8,
+    /// Fabric clock divider (converts UPEA fabric-cycle delays to system
+    /// cycles).
+    divider: u64,
+    done: Vec<Completion>,
+    /// Statistics.
+    pub stats: MemSysStats,
+    queued_items: usize,
+}
+
+impl MemSys {
+    /// Build the memory system for a fabric + model.
+    pub fn new(
+        fabric: &Fabric,
+        model: MemoryModel,
+        params: MemParams,
+        divider: u64,
+        numa_seed: u64,
+    ) -> Self {
+        let noc = fabric.fmnoc();
+        let mut chain_of = vec![Vec::new(); fabric.num_pes()];
+        let mut port_of = vec![u32::MAX; fabric.num_pes()];
+        for pe in fabric.ls_pes() {
+            let mut chain = Vec::new();
+            let mut cur = noc.access[pe.index()].expect("LS PE has access");
+            loop {
+                match cur {
+                    MemAccess::Direct(p) => {
+                        port_of[pe.index()] = p.0;
+                        break;
+                    }
+                    MemAccess::ViaArbiter(a) => {
+                        chain.push(a.0);
+                        match noc.arbiters[a.index()].downstream {
+                            ArbSink::Arbiter(next) => cur = MemAccess::ViaArbiter(next),
+                            ArbSink::Port(p) => {
+                                port_of[pe.index()] = p.0;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            chain_of[pe.index()] = chain;
+        }
+        MemSys {
+            model,
+            params,
+            cache: Cache::new(&params),
+            banks: vec![Bank::default(); params.banks],
+            arb_req: vec![VecDeque::new(); noc.arbiters.len()],
+            port_req: vec![VecDeque::new(); noc.ports.len()],
+            port_resp: vec![VecDeque::new(); noc.ports.len()],
+            arb_resp: vec![VecDeque::new(); noc.arbiters.len()],
+            chain_of,
+            port_of,
+            numa_of: fabric.numa_assignment(numa_seed, 4),
+            numa_domains: 4,
+            divider: divider.max(1),
+            done: Vec::new(),
+            stats: MemSysStats::default(),
+            queued_items: 0,
+        }
+    }
+
+    /// The memory model being simulated.
+    pub fn model(&self) -> MemoryModel {
+        self.model
+    }
+
+    /// Cache statistics source.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Inject a request (called at a fabric tick).
+    pub fn issue(&mut self, req: MemRequest, now: u64) {
+        self.stats.requests += 1;
+        self.queued_items += 1;
+        match self.model {
+            MemoryModel::Nupea => {
+                let chain = &self.chain_of[req.pe.index()];
+                let item = ReqItem {
+                    req,
+                    ready_at: now + 1,
+                };
+                match chain.first() {
+                    Some(&a) => self.arb_req[a as usize].push_back(item),
+                    // D0 LS PEs connect directly to their memory port: no
+                    // arbitration hops (§6), but the port still accepts one
+                    // request per system cycle — the fast domain offers high
+                    // bandwidth, not infinite bandwidth.
+                    None => self.port_req[self.port_of[req.pe.index()] as usize].push_back(item),
+                }
+            }
+            MemoryModel::Upea(n) => {
+                let delay = u64::from(n) * self.divider;
+                self.enqueue_bank(ReqItem {
+                    req,
+                    ready_at: now + 1 + delay,
+                });
+            }
+            MemoryModel::NumaUpea(n) => {
+                let local = self.numa_of[req.pe.index()]
+                    == Some(self.numa_domain_of_addr(req.addr));
+                let delay = if local {
+                    0
+                } else {
+                    u64::from(n) * self.divider
+                };
+                self.enqueue_bank(ReqItem {
+                    req,
+                    ready_at: now + 1 + delay,
+                });
+            }
+        }
+    }
+
+    fn numa_domain_of_addr(&self, addr: i64) -> u8 {
+        let line = (addr.max(0) as usize) / self.params.line_words;
+        (line % usize::from(self.numa_domains)) as u8
+    }
+
+    fn enqueue_bank(&mut self, item: ReqItem) {
+        let bank = self.params.bank_of(item.req.addr.max(0) as usize);
+        self.banks[bank].queue.push_back(item);
+    }
+
+    /// Advance one system cycle.
+    pub fn step(&mut self, now: u64, mem: &mut SimMemory) {
+        if self.queued_items == 0 {
+            return;
+        }
+        match self.model {
+            MemoryModel::Nupea => {
+                self.step_arbiters_req(now);
+                self.step_ports_req(now);
+                self.step_banks(now, mem);
+                self.step_ports_resp(now);
+                self.step_arbiters_resp(now);
+            }
+            MemoryModel::Upea(_) | MemoryModel::NumaUpea(_) => {
+                self.step_banks(now, mem);
+            }
+        }
+    }
+
+    fn step_arbiters_req(&mut self, now: u64) {
+        for a in 0..self.arb_req.len() {
+            let Some(&head) = self.arb_req[a].front() else {
+                continue;
+            };
+            if head.ready_at > now {
+                continue;
+            }
+            self.arb_req[a].pop_front();
+            self.stats.arbiter_forwards += 1;
+            let item = ReqItem {
+                req: head.req,
+                ready_at: now + 1,
+            };
+            // Forward one hop down this PE's chain.
+            let chain = &self.chain_of[head.req.pe.index()];
+            let pos = chain
+                .iter()
+                .position(|&x| x == a as u32)
+                .expect("request is on its own chain");
+            match chain.get(pos + 1) {
+                Some(&next) => self.arb_req[next as usize].push_back(item),
+                None => {
+                    self.port_req[self.port_of[head.req.pe.index()] as usize].push_back(item)
+                }
+            }
+        }
+    }
+
+    fn step_ports_req(&mut self, now: u64) {
+        for p in 0..self.port_req.len() {
+            let Some(&head) = self.port_req[p].front() else {
+                continue;
+            };
+            if head.ready_at > now {
+                continue;
+            }
+            self.port_req[p].pop_front();
+            // Ports feed banks combinationally (banks step after ports in
+            // the same cycle), so D0 sees no added hop latency.
+            self.enqueue_bank(ReqItem {
+                req: head.req,
+                ready_at: now,
+            });
+        }
+    }
+
+    fn step_banks(&mut self, now: u64, mem: &mut SimMemory) {
+        for b in 0..self.banks.len() {
+            if self.banks[b].busy_until > now {
+                if !self.banks[b].queue.is_empty() {
+                    self.stats.bank_wait_cycles += 1;
+                }
+                continue;
+            }
+            let Some(&head) = self.banks[b].queue.front() else {
+                continue;
+            };
+            if head.ready_at > now {
+                continue;
+            }
+            self.banks[b].queue.pop_front();
+            let req = head.req;
+            let (value, fault) = if req.is_store {
+                let ok = mem.try_write(req.addr, req.value);
+                (0, !ok)
+            } else {
+                match mem.try_read(req.addr) {
+                    Some(v) => (v, false),
+                    None => (0, true),
+                }
+            };
+            let addr = req.addr.max(0) as usize;
+            let hit = !fault && self.cache.access(addr, now);
+            let latency = if hit || fault {
+                self.params.hit_latency
+            } else {
+                self.params.hit_latency + self.params.miss_latency
+            };
+            if hit {
+                self.stats.cache_hits += 1;
+            } else if !fault {
+                self.stats.cache_misses += 1;
+            }
+            self.banks[b].busy_until = now + latency;
+            let done_at = now + latency;
+            match self.model {
+                MemoryModel::Nupea if !self.chain_of[req.pe.index()].is_empty() => {
+                    let hops = self.chain_of[req.pe.index()].len() as u32;
+                    let port = self.port_of[req.pe.index()] as usize;
+                    self.port_resp[port].push_back(RespItem {
+                        req,
+                        value,
+                        fault,
+                        hops_left: hops,
+                        ready_at: done_at,
+                    });
+                }
+                // D0 responses bypass the response network too.
+                MemoryModel::Nupea | MemoryModel::Upea(_) | MemoryModel::NumaUpea(_) => {
+                    self.complete(req, value, fault, done_at);
+                }
+            }
+        }
+    }
+
+    fn step_ports_resp(&mut self, now: u64) {
+        for p in 0..self.port_resp.len() {
+            let Some(&head) = self.port_resp[p].front() else {
+                continue;
+            };
+            if head.ready_at > now {
+                continue;
+            }
+            self.port_resp[p].pop_front();
+            if head.hops_left == 0 {
+                // Direct D0 response: one cycle from port to PE.
+                self.complete(head.req, head.value, head.fault, now + 1);
+            } else {
+                // Enter the response-arbiter chain at the memory end: the
+                // chain stored per-PE runs PE→memory, so the response walks
+                // it from the back (nearest-memory arbiter first).
+                let chain = &self.chain_of[head.req.pe.index()];
+                let entry = chain[chain.len() - 1];
+                self.arb_resp[entry as usize].push_back(RespItem {
+                    ready_at: now + 1,
+                    ..head
+                });
+            }
+        }
+    }
+
+    fn step_arbiters_resp(&mut self, now: u64) {
+        for a in 0..self.arb_resp.len() {
+            let Some(&head) = self.arb_resp[a].front() else {
+                continue;
+            };
+            if head.ready_at > now {
+                continue;
+            }
+            self.arb_resp[a].pop_front();
+            self.stats.arbiter_forwards += 1;
+            let chain = &self.chain_of[head.req.pe.index()];
+            let pos = chain
+                .iter()
+                .position(|&x| x == a as u32)
+                .expect("response is on its own chain");
+            if pos == 0 {
+                // Arrived at the PE's own arbiter stage: deliver.
+                self.complete(head.req, head.value, head.fault, now + 1);
+            } else {
+                self.arb_resp[chain[pos - 1] as usize].push_back(RespItem {
+                    ready_at: now + 1,
+                    hops_left: head.hops_left - 1,
+                    ..head
+                });
+            }
+        }
+    }
+
+    fn complete(&mut self, req: MemRequest, value: i64, fault: bool, time: u64) {
+        self.queued_items -= 1;
+        self.done.push(Completion {
+            node: req.node,
+            seq: req.seq,
+            value,
+            time,
+            fault,
+            latency: time.saturating_sub(req.issued_at),
+        });
+    }
+
+    /// Drain completions accumulated so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.done)
+    }
+
+    /// True while requests are in flight (excluding drained completions).
+    pub fn busy(&self) -> bool {
+        self.queued_items > 0
+    }
+
+    /// Snapshot cache hit/miss counters into the stats block.
+    pub fn sync_cache_stats(&mut self) {
+        self.stats.cache_hits = self.cache.hits;
+        self.stats.cache_misses = self.cache.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::monaco(12, 12, 3).unwrap()
+    }
+
+    fn run_until_complete(ms: &mut MemSys, mem: &mut SimMemory, start: u64) -> Vec<Completion> {
+        let mut out = Vec::new();
+        let mut t = start;
+        while ms.busy() {
+            ms.step(t, mem);
+            out.extend(ms.drain_completions());
+            t += 1;
+            assert!(t < start + 10_000, "memory system livelock");
+        }
+        out
+    }
+
+    #[test]
+    fn d0_load_is_fast_and_far_domain_is_slower() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut mem = SimMemory::new(&p);
+        mem.write(5, 77);
+
+        let latency_from = |pe: PeId| {
+            let mut ms = MemSys::new(&f, MemoryModel::Nupea, p, 1, 0);
+            let mut m = mem.clone();
+            ms.issue(
+                MemRequest {
+                    node: 0,
+                    seq: 0,
+                    is_store: false,
+                    addr: 5,
+                    value: 0,
+                    pe,
+                    issued_at: 0,
+                },
+                0,
+            );
+            let done = run_until_complete(&mut ms, &mut m, 0);
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].value, 77);
+            assert!(!done[0].fault);
+            done[0].latency
+        };
+
+        let d0 = latency_from(f.at(1, 11));
+        let d1 = latency_from(f.at(1, 8));
+        let d3 = latency_from(f.at(1, 0));
+        assert!(d0 < d1, "D0 ({d0}) must beat D1 ({d1})");
+        assert!(d1 < d3, "D1 ({d1}) must beat D3 ({d3})");
+        // D0 sees no fabric-memory NoC delay at all (§6): inject + miss.
+        assert_eq!(d0, 1 + p.hit_latency + p.miss_latency);
+        // Each farther domain adds arbitration on both request and response
+        // paths; D3 pays at least 6 more cycles than D0.
+        assert!(d3 - d0 >= 6, "d3={d3} d0={d0}");
+    }
+
+    #[test]
+    fn upea_delay_scales_with_n_and_divider() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let lat = |n: u32, divider: u64| {
+            let mut ms = MemSys::new(&f, MemoryModel::Upea(n), p, divider, 0);
+            let mut mem = SimMemory::new(&p);
+            ms.issue(
+                MemRequest {
+                    node: 0,
+                    seq: 0,
+                    is_store: false,
+                    addr: 0,
+                    value: 0,
+                    pe: f.at(1, 0),
+                    issued_at: 0,
+                },
+                0,
+            );
+            run_until_complete(&mut ms, &mut mem, 0)[0].latency
+        };
+        assert_eq!(lat(2, 1) - lat(0, 1), 2, "2 fabric cycles at divider 1");
+        assert_eq!(lat(2, 2) - lat(0, 2), 4, "2 fabric cycles at divider 2");
+        assert_eq!(lat(4, 1) - lat(0, 1), 4);
+    }
+
+    #[test]
+    fn numa_local_access_skips_delay() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::NumaUpea(4), p, 1, 42);
+        let pe = f.at(1, 0);
+        let pe_domain = ms.numa_of[pe.index()].unwrap();
+        // Find a local and a remote address (line-granular interleave).
+        let local_addr = (0..64)
+            .map(|l| (l * p.line_words) as i64)
+            .find(|&a| ms.numa_domain_of_addr(a) == pe_domain)
+            .unwrap();
+        let remote_addr = (0..64)
+            .map(|l| (l * p.line_words) as i64)
+            .find(|&a| ms.numa_domain_of_addr(a) != pe_domain)
+            .unwrap();
+        let mut mem = SimMemory::new(&p);
+        ms.issue(
+            MemRequest {
+                node: 0,
+                seq: 0,
+                is_store: false,
+                addr: local_addr,
+                value: 0,
+                pe,
+                issued_at: 0,
+            },
+            0,
+        );
+        let local_lat = run_until_complete(&mut ms, &mut mem, 0)[0].latency;
+        ms.issue(
+            MemRequest {
+                node: 0,
+                seq: 1,
+                is_store: false,
+                addr: remote_addr,
+                value: 0,
+                pe,
+                issued_at: 100,
+            },
+            100,
+        );
+        let remote_lat = run_until_complete(&mut ms, &mut mem, 100)[0].latency;
+        assert_eq!(remote_lat - local_lat, 4, "remote pays 4 fabric cycles");
+    }
+
+    #[test]
+    fn stores_write_memory_and_complete() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::Nupea, p, 1, 0);
+        let mut mem = SimMemory::new(&p);
+        ms.issue(
+            MemRequest {
+                node: 3,
+                seq: 0,
+                is_store: true,
+                addr: 9,
+                value: 123,
+                pe: f.at(1, 11),
+                issued_at: 0,
+            },
+            0,
+        );
+        let done = run_until_complete(&mut ms, &mut mem, 0);
+        assert_eq!(done.len(), 1);
+        assert_eq!(mem.read(9), 123);
+    }
+
+    #[test]
+    fn out_of_bounds_faults() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::IDEAL, p, 1, 0);
+        let mut mem = SimMemory::new(&p);
+        ms.issue(
+            MemRequest {
+                node: 0,
+                seq: 0,
+                is_store: false,
+                addr: -3,
+                value: 0,
+                pe: f.at(1, 11),
+                issued_at: 0,
+            },
+            0,
+        );
+        let done = run_until_complete(&mut ms, &mut mem, 0);
+        assert!(done[0].fault);
+    }
+
+    #[test]
+    fn arbiter_contention_serializes_requests() {
+        // Two D3 PEs in the same row share the D3 arbiter: their requests
+        // cannot both advance in the same cycle.
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::Nupea, p, 1, 0);
+        let mut mem = SimMemory::new(&p);
+        for (i, col) in [0usize, 1].into_iter().enumerate() {
+            ms.issue(
+                MemRequest {
+                    node: i as u32,
+                    seq: 0,
+                    is_store: false,
+                    addr: (i * p.line_words * p.banks) as i64, // distinct banks? same bank class — distinct lines anyway
+                    value: 0,
+                    pe: f.at(1, col),
+                    issued_at: 0,
+                },
+                0,
+            );
+        }
+        let done = run_until_complete(&mut ms, &mut mem, 0);
+        assert_eq!(done.len(), 2);
+        let mut lats: Vec<u64> = done.iter().map(|c| c.latency).collect();
+        lats.sort_unstable();
+        assert!(
+            lats[1] > lats[0],
+            "second request must queue behind the first: {lats:?}"
+        );
+    }
+
+    #[test]
+    fn d0_ports_serialize_but_do_not_add_latency() {
+        // Two D0 PEs on the same row use different direct ports: their
+        // single requests proceed independently. Two requests from the SAME
+        // PE in the same cycle are impossible (one issue per tick), but two
+        // PEs sharing one port (D0 shared with the D1 arbiter) serialize.
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::Nupea, p, 1, 0);
+        let mut mem = SimMemory::new(&p);
+        // D0 PE at col 9 shares its port with D1's arbiter; issue one from
+        // each and check both complete, the D1 one strictly later.
+        let d0_pe = f.at(1, 9);
+        let d1_pe = f.at(1, 8);
+        assert_eq!(f.fmnoc().port_of(d0_pe), f.fmnoc().port_of(d1_pe));
+        for (i, pe) in [d0_pe, d1_pe].into_iter().enumerate() {
+            ms.issue(
+                MemRequest {
+                    node: i as u32,
+                    seq: i as u64,
+                    is_store: false,
+                    addr: (i * p.line_words) as i64,
+                    value: 0,
+                    pe,
+                    issued_at: 0,
+                },
+                0,
+            );
+        }
+        let done = run_until_complete(&mut ms, &mut mem, 0);
+        assert_eq!(done.len(), 2);
+        let d0_lat = done.iter().find(|c| c.node == 0).unwrap().latency;
+        let d1_lat = done.iter().find(|c| c.node == 1).unwrap().latency;
+        assert!(d1_lat > d0_lat, "D1 pays arbitration: {d0_lat} vs {d1_lat}");
+    }
+
+    #[test]
+    fn bank_conflicts_serialize_same_bank_requests() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::IDEAL, p, 1, 0);
+        let mut mem = SimMemory::new(&p);
+        // Same line => same bank; issue 4 requests at once from 4 D0 PEs.
+        for i in 0..4u32 {
+            ms.issue(
+                MemRequest {
+                    node: i,
+                    seq: u64::from(i),
+                    is_store: false,
+                    addr: i64::from(i), // same line, same bank
+                    value: 0,
+                    pe: f.at(1 + 2 * (i as usize % 3), 11),
+                    issued_at: 0,
+                },
+                0,
+            );
+        }
+        let done = run_until_complete(&mut ms, &mut mem, 0);
+        let mut lats: Vec<u64> = done.iter().map(|c| c.latency).collect();
+        lats.sort_unstable();
+        // First is a miss (hit+miss latency), later ones queue behind the
+        // busy bank but hit in the cache.
+        assert_eq!(lats[0], 1 + p.hit_latency + p.miss_latency);
+        assert!(lats[3] > lats[0], "bank conflicts must queue: {lats:?}");
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::IDEAL, p, 1, 0);
+        let mut mem = SimMemory::new(&p);
+        for i in 0..4u32 {
+            ms.issue(
+                MemRequest {
+                    node: i,
+                    seq: u64::from(i),
+                    is_store: false,
+                    addr: (i as usize * p.line_words) as i64, // distinct banks
+                    value: 0,
+                    pe: f.at(1, 11),
+                    issued_at: 0,
+                },
+                0,
+            );
+        }
+        let done = run_until_complete(&mut ms, &mut mem, 0);
+        let lats: Vec<u64> = done.iter().map(|c| c.latency).collect();
+        let expect = 1 + p.hit_latency + p.miss_latency;
+        assert!(
+            lats.iter().all(|&l| l == expect),
+            "independent banks must not queue: {lats:?}"
+        );
+    }
+
+    #[test]
+    fn numa_assignment_spreads_addresses() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let ms = MemSys::new(&f, MemoryModel::NumaUpea(2), p, 1, 3);
+        let mut per_domain = [0usize; 4];
+        for line in 0..256 {
+            let addr = (line * p.line_words) as i64;
+            per_domain[ms.numa_domain_of_addr(addr) as usize] += 1;
+        }
+        assert_eq!(per_domain.iter().sum::<usize>(), 256);
+        for (d, &n) in per_domain.iter().enumerate() {
+            assert_eq!(n, 64, "line-interleave must be uniform (domain {d})");
+        }
+    }
+
+    #[test]
+    fn cache_hit_is_faster_than_miss() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::IDEAL, p, 1, 0);
+        let mut mem = SimMemory::new(&p);
+        let pe = f.at(1, 11);
+        ms.issue(
+            MemRequest {
+                node: 0,
+                seq: 0,
+                is_store: false,
+                addr: 0,
+                value: 0,
+                pe,
+                issued_at: 0,
+            },
+            0,
+        );
+        let miss = run_until_complete(&mut ms, &mut mem, 0)[0].latency;
+        ms.issue(
+            MemRequest {
+                node: 0,
+                seq: 1,
+                is_store: false,
+                addr: 1,
+                value: 0,
+                pe,
+                issued_at: 50,
+            },
+            50,
+        );
+        let hit = run_until_complete(&mut ms, &mut mem, 50)[0].latency;
+        assert_eq!(miss - hit, p.miss_latency);
+        assert_eq!(ms.cache().hits, 1);
+        assert_eq!(ms.cache().misses, 1);
+    }
+}

@@ -1,0 +1,232 @@
+//! Edge-case tests for the timed engine: RAW ordering through memory
+//! tokens under contention, eager/lazy conditionals, cycle-limit guard,
+//! and clock-divider arithmetic.
+
+use nupea_fabric::Fabric;
+use nupea_ir::graph::Dfg;
+use nupea_ir::op::{BinOpKind, CmpKind, Op, SteerPolarity};
+use nupea_sim::{simple_placement, Engine, MemParams, MemoryModel, SimConfig, SimError, SimMemory};
+
+fn cfg_tiny() -> SimConfig {
+    SimConfig {
+        mem: MemParams::tiny(),
+        ..SimConfig::default()
+    }
+}
+
+fn run(
+    g: &Dfg,
+    mem: &mut SimMemory,
+    binds: &[(nupea_ir::ParamId, i64)],
+    cfg: SimConfig,
+) -> Result<nupea_sim::RunStats, SimError> {
+    let fabric = Fabric::monaco(8, 8, 3).unwrap();
+    let pe_of = simple_placement(g, &fabric, true);
+    let mut e = Engine::new(g, &fabric, &pe_of, cfg);
+    for &(p, v) in binds {
+        e.bind(p, v);
+    }
+    e.run(mem)
+}
+
+/// store(addr, 42) -> ordered load(addr): the load must observe the store
+/// even when the store's bank is kept busy by background traffic.
+#[test]
+fn raw_ordering_holds_under_bank_contention() {
+    let mut g = Dfg::new("raw");
+    let (a, ap) = g.add_param("addr");
+    let st = g.add_node(Op::Store);
+    g.connect(a, 0, st, Op::STORE_ADDR);
+    g.set_imm(st, Op::STORE_VALUE, 42);
+    // Background loads to the same bank (same line) to create contention.
+    for i in 0..3 {
+        let (p, _) = g.add_param(format!("bg{i}"));
+        let ld = g.add_node(Op::Load);
+        g.connect(p, 0, ld, Op::LOAD_ADDR);
+        let (s, _) = g.add_sink(format!("bg_out{i}"));
+        g.connect(ld, 0, s, 0);
+    }
+    // The ordered load.
+    let (a2, ap2) = g.add_param("addr2");
+    let ld = g.add_node(Op::Load);
+    g.connect(a2, 0, ld, Op::LOAD_ADDR);
+    g.connect(st, 0, ld, Op::LOAD_ORDER);
+    let (s, _) = g.add_sink("value");
+    g.connect(ld, Op::OUT_VALUE, s, 0);
+
+    let params = MemParams::tiny();
+    let mut mem = SimMemory::new(&params);
+    let addr = 5i64;
+    let mut binds = vec![(ap, addr), (ap2, addr)];
+    for (pid, name) in g.params() {
+        if name.starts_with('b') || name.starts_with('p') {
+            binds.push((*pid, addr + 1)); // same line, same bank
+        }
+    }
+    let stats = run(&g, &mut mem, &binds, cfg_tiny()).unwrap();
+    assert_eq!(stats.sinks.last().unwrap(), &vec![42], "load must see the store");
+    assert_eq!(mem.read(addr as usize), 42);
+}
+
+/// Eager Select and gated Mux agree in the timed engine, as in the interp.
+#[test]
+fn timed_select_and_mux_agree() {
+    for d in [0i64, 1] {
+        let mut results = Vec::new();
+        for lazy in [false, true] {
+            let mut g = Dfg::new("sel");
+            let (dp, dpi) = g.add_param("d");
+            let (tp, tpi) = g.add_param("t");
+            let (fp, fpi) = g.add_param("f");
+            let n = if lazy {
+                let ts = g.add_node(Op::Steer(SteerPolarity::OnTrue));
+                g.connect(dp, 0, ts, 0);
+                g.connect(tp, 0, ts, 1);
+                let fs = g.add_node(Op::Steer(SteerPolarity::OnFalse));
+                g.connect(dp, 0, fs, 0);
+                g.connect(fp, 0, fs, 1);
+                let m = g.add_node(Op::Mux);
+                g.connect(dp, 0, m, 0);
+                g.connect(ts, 0, m, 1);
+                g.connect(fs, 0, m, 2);
+                m
+            } else {
+                let sel = g.add_node(Op::Select);
+                g.connect(dp, 0, sel, 0);
+                g.connect(tp, 0, sel, 1);
+                g.connect(fp, 0, sel, 2);
+                sel
+            };
+            let (s, _) = g.add_sink("out");
+            g.connect(n, 0, s, 0);
+            let mut mem = SimMemory::new(&MemParams::tiny());
+            let stats = run(
+                &g,
+                &mut mem,
+                &[(dpi, d), (tpi, 100), (fpi, 200)],
+                cfg_tiny(),
+            )
+            .unwrap();
+            assert_eq!(stats.residual_tokens, 0);
+            results.push(stats.sinks[0][0]);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], if d != 0 { 100 } else { 200 });
+    }
+}
+
+/// The cycle cap turns a runaway loop into an error instead of a hang.
+#[test]
+fn cycle_limit_stops_infinite_loops() {
+    let mut g = Dfg::new("inf");
+    let (z, zp) = g.add_param("z");
+    let c = g.add_node(Op::Carry);
+    g.connect(z, 0, c, Op::CARRY_INIT);
+    let inc = g.add_node(Op::BinOp(BinOpKind::Add));
+    g.connect(c, 0, inc, 0);
+    g.set_imm(inc, 1, 1);
+    g.connect(inc, 0, c, Op::CARRY_BACK);
+    // Condition is always true: x >= 0 starting from 0 counting up...
+    let cond = g.add_node(Op::Cmp(CmpKind::Ge));
+    g.connect(inc, 0, cond, 0);
+    g.set_imm(cond, 1, 0);
+    g.connect(cond, 0, c, Op::CARRY_DECIDER);
+
+    let mut mem = SimMemory::new(&MemParams::tiny());
+    let mut cfg = cfg_tiny();
+    cfg.max_cycles = 10_000;
+    match run(&g, &mut mem, &[(zp, 0)], cfg) {
+        Err(SimError::CycleLimit { limit }) => assert_eq!(limit, 10_000),
+        other => panic!("expected CycleLimit, got {other:?}"),
+    }
+}
+
+/// Divider arithmetic: cycles at divider d are strictly less than d× the
+/// divider-1 time (memory runs at full rate), but at least the divider-1
+/// time itself.
+#[test]
+fn divider_scaling_is_bounded() {
+    // Small accumulation loop with loads.
+    let mut g = Dfg::new("loop");
+    let (z, zp) = g.add_param("z");
+    let carry = g.add_node(Op::Carry);
+    g.connect(z, 0, carry, Op::CARRY_INIT);
+    let cond = g.add_node(Op::Cmp(CmpKind::Lt));
+    g.connect(carry, 0, cond, 0);
+    g.set_imm(cond, 1, 32);
+    g.connect(cond, 0, carry, Op::CARRY_DECIDER);
+    let body = g.add_node(Op::Steer(SteerPolarity::OnTrue));
+    g.connect(cond, 0, body, 0);
+    g.connect(carry, 0, body, 1);
+    let ld = g.add_node(Op::Load);
+    g.connect(body, 0, ld, Op::LOAD_ADDR);
+    let inc = g.add_node(Op::BinOp(BinOpKind::Add));
+    g.connect(body, 0, inc, 0);
+    g.set_imm(inc, 1, 1);
+    g.connect(inc, 0, carry, Op::CARRY_BACK);
+    let (s, _) = g.add_sink("v");
+    g.connect(ld, 0, s, 0);
+
+    let mut cycles = Vec::new();
+    for d in [1u64, 2, 4] {
+        let mut mem = SimMemory::new(&MemParams::tiny());
+        let mut cfg = cfg_tiny();
+        cfg.divider = d;
+        let stats = run(&g, &mut mem, &[(zp, 0)], cfg).unwrap();
+        assert_eq!(stats.sinks[0].len(), 32);
+        cycles.push(stats.cycles);
+    }
+    assert!(cycles[1] > cycles[0] && cycles[2] > cycles[1]);
+    assert!(
+        cycles[1] < cycles[0] * 2 && cycles[2] < cycles[0] * 4,
+        "full-rate memory must soften the divider: {cycles:?}"
+    );
+}
+
+/// All memory models agree on results for a store/load mix.
+#[test]
+fn models_agree_on_final_memory() {
+    let mut g = Dfg::new("mix");
+    // i loop storing i*i to out+i then reading back into a sink.
+    let (z, zp) = g.add_param("z");
+    let carry = g.add_node(Op::Carry);
+    g.connect(z, 0, carry, Op::CARRY_INIT);
+    let cond = g.add_node(Op::Cmp(CmpKind::Lt));
+    g.connect(carry, 0, cond, 0);
+    g.set_imm(cond, 1, 16);
+    g.connect(cond, 0, carry, Op::CARRY_DECIDER);
+    let body = g.add_node(Op::Steer(SteerPolarity::OnTrue));
+    g.connect(cond, 0, body, 0);
+    g.connect(carry, 0, body, 1);
+    let sq = g.add_node(Op::BinOp(BinOpKind::Mul));
+    g.connect(body, 0, sq, 0);
+    g.connect(body, 0, sq, 1);
+    let addr = g.add_node(Op::BinOp(BinOpKind::Add));
+    g.connect(body, 0, addr, 0);
+    g.set_imm(addr, 1, 64);
+    let st = g.add_node(Op::Store);
+    g.connect(addr, 0, st, Op::STORE_ADDR);
+    g.connect(sq, 0, st, Op::STORE_VALUE);
+    let inc = g.add_node(Op::BinOp(BinOpKind::Add));
+    g.connect(body, 0, inc, 0);
+    g.set_imm(inc, 1, 1);
+    g.connect(inc, 0, carry, Op::CARRY_BACK);
+
+    let mut images = Vec::new();
+    for model in [
+        MemoryModel::Nupea,
+        MemoryModel::IDEAL,
+        MemoryModel::Upea(3),
+        MemoryModel::NumaUpea(2),
+    ] {
+        let mut mem = SimMemory::new(&MemParams::tiny());
+        let mut cfg = cfg_tiny();
+        cfg.model = model;
+        run(&g, &mut mem, &[(zp, 0)], cfg).unwrap();
+        images.push(mem.words().to_vec());
+    }
+    for w in images.windows(2) {
+        assert_eq!(w[0], w[1], "models must agree on final memory");
+    }
+    assert_eq!(images[0][64 + 5], 25);
+}

@@ -1,0 +1,134 @@
+//! Writing your own kernel: a histogram with data-dependent control flow
+//! (conditional stores through `if_else`) and a pointer-chase (the classic
+//! critical-load pattern), both validated under the untimed interpreter
+//! and the timed simulator.
+//!
+//!     cargo run --release --example custom_kernel
+
+use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, SystemConfig};
+use nupea_ir::graph::Criticality;
+use nupea_kernels::builder::Kernel;
+use nupea_kernels::interp_kernel;
+use nupea_kernels::workloads::{Check, Workload};
+use nupea_sim::{MemParams, SimMemory};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Kernel 1: clipped histogram -----------------------------------
+    let mut mem = SimMemory::new(&MemParams::default());
+    let data: Vec<i64> = (0..96).map(|i| (i * 31 + 7) % 13 - 3).collect();
+    let src = mem.alloc_init(&data);
+    let hist = mem.alloc(8);
+    let n = data.len() as i64;
+
+    let kernel = Kernel::build("histogram", |c| {
+        c.for_range(0, n, 1, &[], &[], |c, i, _, _| {
+            let a = c.add(i, src);
+            let v = c.load(a);
+            let in_range = {
+                let ge = c.ge(v, 0);
+                let lt = c.lt(v, 8);
+                c.and(ge, lt)
+            };
+            // Conditional read-modify-write: only in-range values count.
+            c.if_else(
+                in_range,
+                &[v],
+                |c, ins| {
+                    let slot = c.add(ins[0], hist);
+                    let cur = c.load(slot);
+                    let slot2 = c.add(ins[0], hist);
+                    let inc = c.add(cur, 1);
+                    c.store(slot2, inc);
+                    vec![]
+                },
+                |_, _| vec![],
+            );
+            vec![]
+        });
+    });
+
+    let mut expected = vec![0i64; 8];
+    for &v in &data {
+        if (0..8).contains(&v) {
+            expected[v as usize] += 1;
+        }
+    }
+    // NOTE: iterations of this loop have a read-modify-write dependence on
+    // the same bin. The simulator's per-node in-order responses plus the
+    // single shared load/store instruction pair serialize same-bin updates
+    // naturally at this parallelism (par = 1).
+    let mut mem_check = mem.clone();
+    let r = interp_kernel(&kernel, mem_check.words_mut(), &[])?;
+    assert!(r.is_balanced());
+    assert_eq!(mem_check.slice(hist, 8), &expected[..]);
+    println!("histogram: interpreter validated, {} firings", r.total_firings);
+
+    let w = Workload {
+        name: "histogram",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "bins", base: hist, expected }],
+        par: 1,
+    };
+    let sys = SystemConfig::monaco_12x12();
+    let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware)?;
+    let stats = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea)?;
+    println!("histogram: timed run validated in {} cycles\n", stats.cycles);
+
+    // ---- Kernel 2: pointer chase (critical load) -----------------------
+    let mut mem = SimMemory::new(&MemParams::default());
+    // A shuffled singly linked list: next[i], terminated by -1.
+    let len = 64usize;
+    let list = mem.alloc(len);
+    let order: Vec<usize> = (0..len).map(|i| (i * 29) % len).collect();
+    for w2 in order.windows(2) {
+        mem.write(list as usize + w2[0], list + w2[1] as i64);
+    }
+    mem.write(list as usize + order[len - 1], -1);
+    let head = list + order[0] as i64;
+    let out = mem.alloc(1);
+
+    let kernel = Kernel::build("chase", |c| {
+        let head_v = c.stream_const(head);
+        let zero = c.imm(0);
+        let exits = c.while_loop(
+            &[head_v, zero],
+            &[],
+            |c, vars, _| c.ne(vars[0], -1),
+            |c, vars, _| {
+                let next = c.load(vars[0]); // the critical load
+                let cnt = c.add(vars[1], 1);
+                vec![next, cnt]
+            },
+        );
+        let addr = c.stream_const(out);
+        c.store(addr, exits[1]);
+    });
+    let crit = kernel
+        .dfg()
+        .iter()
+        .filter(|(_, nd)| {
+            nd.op.is_memory() && nd.meta.criticality == Some(Criticality::Critical)
+        })
+        .count();
+    println!("pointer chase: {crit} critical load(s) found by the analysis");
+
+    let w = Workload {
+        name: "chase",
+        kernel,
+        mem,
+        checks: vec![Check::Mem { label: "len", base: out, expected: vec![len as i64] }],
+        par: 1,
+    };
+    let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware)?;
+    let fast = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea)?;
+    let slow = simulate_on(&w, &compiled, &sys, MemoryModel::Upea(4))?;
+    println!(
+        "pointer chase: NUPEA {} cycles vs UPEA4 {} cycles ({:.2}x) — \
+         every added cycle of load latency lands on the recurrence",
+        fast.cycles,
+        slow.cycles,
+        slow.cycles as f64 / fast.cycles as f64
+    );
+    Ok(())
+}

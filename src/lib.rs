@@ -1,0 +1,5 @@
+//! Facade crate for the NUPEA reproduction workspace. See the `nupea`
+//! crate for the pipeline API and DESIGN.md for the system inventory.
+#![forbid(unsafe_code)]
+
+pub use nupea::*;
