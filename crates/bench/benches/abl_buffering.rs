@@ -30,6 +30,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table("Ablation: PE buffering (cycles on Monaco; lower is better)", &headers, &rows)
+        render_table(
+            "Ablation: PE buffering (cycles on Monaco; lower is better)",
+            &headers,
+            &rows
+        )
     );
 }

@@ -2,7 +2,7 @@
 //! Monaco, plus cache hit rates.
 
 use nupea::experiments::{heuristic_for, render_table};
-use nupea::{compile_workload, simulate_on, MemoryModel, Scale, SystemConfig};
+use nupea::{MemoryModel, Scale, SystemConfig};
 use nupea_kernels::workloads::workload_by_name;
 
 fn main() {
@@ -16,8 +16,9 @@ fn main() {
         for &kb in &sizes_kb {
             let mut sys = SystemConfig::monaco_12x12();
             sys.mem.cache_words = kb * 1024 / 4;
-            let out = compile_workload(&w, &sys, heuristic_for(MemoryModel::Nupea))
-                .and_then(|c| simulate_on(&w, &c, &sys, MemoryModel::Nupea));
+            let out = sys
+                .compile(&w, heuristic_for(MemoryModel::Nupea))
+                .and_then(|c| c.simulate(MemoryModel::Nupea));
             cells.push(match out {
                 Ok(s) => format!("{} ({:.0}% hit)", s.cycles, s.cache_hit_rate * 100.0),
                 Err(e) => format!("err {e}"),
@@ -27,6 +28,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table("Ablation: shared cache capacity (cycles on Monaco)", &headers, &rows)
+        render_table(
+            "Ablation: shared cache capacity (cycles on Monaco)",
+            &headers,
+            &rows
+        )
     );
 }

@@ -3,7 +3,7 @@
 //! placement histogram on Monaco for representative workloads.
 
 use nupea::experiments::render_table;
-use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_kernels::workloads::workload_by_name;
 
 fn main() {
@@ -13,13 +13,15 @@ fn main() {
     let mut lat_rows = Vec::new();
     for name in ["spmspv", "spmspm", "dmv", "fft", "tc"] {
         let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
-        let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-        let hist = compiled.placed.domain_histogram(w.kernel.dfg(), &sys.fabric);
+        let compiled = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let hist = compiled
+            .placed
+            .domain_histogram(w.kernel.dfg(), &sys.fabric);
         place_rows.push((
             name.to_string(),
             hist.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
         ));
-        let stats = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea).unwrap();
+        let stats = compiled.simulate(MemoryModel::Nupea).unwrap();
         lat_rows.push((
             name.to_string(),
             stats
@@ -37,10 +39,18 @@ fn main() {
     }
     println!(
         "{}",
-        render_table("Memory instructions placed per NUPEA domain (effcc)", &headers, &place_rows)
+        render_table(
+            "Memory instructions placed per NUPEA domain (effcc)",
+            &headers,
+            &place_rows
+        )
     );
     println!(
         "{}",
-        render_table("Mean load latency per domain, system cycles (count)", &headers, &lat_rows)
+        render_table(
+            "Mean load latency per domain, system cycles (count)",
+            &headers,
+            &lat_rows
+        )
     );
 }

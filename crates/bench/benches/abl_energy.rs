@@ -5,21 +5,23 @@
 //! near-memory domains — at the cost of longer data-NoC wires.
 
 use nupea::experiments::render_table;
-use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_kernels::workloads::workload_by_name;
 
 fn main() {
     let sys = SystemConfig::monaco_12x12();
-    let headers: Vec<String> = ["alu", "control", "noc", "fmnoc", "memory", "total", "movement"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let headers: Vec<String> = [
+        "alu", "control", "noc", "fmnoc", "memory", "total", "movement",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     for name in ["spmspv", "dmv", "tc"] {
         let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
         let mut rows = Vec::new();
         for h in [Heuristic::DomainUnaware, Heuristic::CriticalityAware] {
-            let c = compile_workload(&w, &sys, h).unwrap();
-            let s = simulate_on(&w, &c, &sys, MemoryModel::Nupea).unwrap();
+            let c = sys.compile(&w, h).unwrap();
+            let s = c.simulate(MemoryModel::Nupea).unwrap();
             let e = s.energy;
             rows.push((
                 h.to_string(),

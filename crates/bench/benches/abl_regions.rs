@@ -4,21 +4,21 @@
 //! across reconfiguration costs.
 
 use nupea::experiments::render_table;
-use nupea::{
-    compile_staged, compile_workload, simulate_on, simulate_staged, Heuristic, MemoryModel,
-    Scale, SystemConfig,
-};
+use nupea::{compile_staged, simulate_staged, Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_kernels::workloads::{nn, staged};
 
 fn main() {
     let sys = SystemConfig::monaco_12x12();
     let mono = nn::ad(Scale::Bench, 1);
-    let c = compile_workload(&mono, &sys, Heuristic::CriticalityAware).unwrap();
-    let mono_cycles = simulate_on(&mono, &c, &sys, MemoryModel::Nupea).unwrap().cycles;
+    let c = sys.compile(&mono, Heuristic::CriticalityAware).unwrap();
+    let mono_cycles = c.simulate(MemoryModel::Nupea).unwrap().cycles;
 
     let sw = staged::ad_staged(Scale::Bench, 1);
     let arts = compile_staged(&sw, &sys, Heuristic::CriticalityAware).unwrap();
-    let headers: Vec<String> = ["total cycles", "vs monolithic"].iter().map(|s| s.to_string()).collect();
+    let headers: Vec<String> = ["total cycles", "vs monolithic"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut rows = vec![(
         "monolithic (1 bitstream)".to_string(),
         vec![mono_cycles.to_string(), "1.000".to_string()],
@@ -35,7 +35,11 @@ fn main() {
     }
     println!(
         "{}",
-        render_table("Multi-region execution: ad autoencoder, 4 layers", &headers, &rows)
+        render_table(
+            "Multi-region execution: ad autoencoder, 4 layers",
+            &headers,
+            &rows
+        )
     );
     println!(
         "staged execution loses cross-layer pipelining and pays per-bitstream\n\

@@ -4,7 +4,7 @@
 //! scaling substitution.
 
 use nupea::experiments::{heuristic_for, render_table};
-use nupea::{compile_workload, simulate_on, MemoryModel, SystemConfig};
+use nupea::{MemoryModel, SystemConfig};
 use nupea_kernels::workloads::sparse::spmspv_custom;
 
 fn main() {
@@ -18,8 +18,8 @@ fn main() {
         let w = spmspv_custom(n, 0.9, 4);
         let mut cyc = Vec::new();
         for model in [MemoryModel::Nupea, MemoryModel::Upea(2)] {
-            let c = compile_workload(&w, &sys, heuristic_for(model)).unwrap();
-            cyc.push(simulate_on(&w, &c, &sys, model).unwrap().cycles);
+            let c = sys.compile(&w, heuristic_for(model)).unwrap();
+            cyc.push(c.simulate(model).unwrap().cycles);
         }
         rows.push((
             format!("{n}x{n}"),
@@ -32,7 +32,11 @@ fn main() {
     }
     println!(
         "{}",
-        render_table("Input-size sensitivity: spmspv, 90% sparse, par 4", &headers, &rows)
+        render_table(
+            "Input-size sensitivity: spmspv, 90% sparse, par 4",
+            &headers,
+            &rows
+        )
     );
     println!("the NUPEA advantage is stable across input scales\n");
 }

@@ -9,7 +9,7 @@
 //! levels. Monaco ships (3, 3).
 
 use nupea::experiments::render_table;
-use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_fabric::Fabric;
 use nupea_kernels::workloads::workload_by_name;
 
@@ -26,13 +26,14 @@ fn main() {
         for &d0 in &d0_options {
             let mut cells = Vec::new();
             for &dc in &dcol_options {
-                let fabric = Fabric::monaco_with_domains(12, 12, 3, d0, dc)
-                    .expect("geometry fits 12x12");
+                let fabric =
+                    Fabric::monaco_with_domains(12, 12, 3, d0, dc).expect("geometry fits 12x12");
                 let ports = fabric.num_ports();
                 let domains = fabric.num_domains();
                 let sys = SystemConfig::with_fabric(fabric);
-                let out = compile_workload(&w, &sys, Heuristic::CriticalityAware)
-                    .and_then(|c| simulate_on(&w, &c, &sys, MemoryModel::Nupea));
+                let out = sys
+                    .compile(&w, Heuristic::CriticalityAware)
+                    .and_then(|c| c.simulate(MemoryModel::Nupea));
                 cells.push(match out {
                     Ok(s) => format!("{} cyc ({}p/{}d)", s.cycles, ports, domains),
                     Err(e) => {

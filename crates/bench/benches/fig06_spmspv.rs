@@ -5,26 +5,48 @@
 //! practical design with uniform, 2-cycle latency (UPEA2)"; UPEA0→UPEA2
 //! alone degrades spmspv by 24%.
 
-use nupea::experiments::run_models;
+use nupea::runner::ExperimentRunner;
 use nupea::{MemoryModel, Scale, SystemConfig};
+use nupea_bench::BenchOpts;
 use nupea_kernels::workloads::workload_by_name;
 
 fn main() {
-    let sys = SystemConfig::monaco_12x12();
+    let opts = BenchOpts::from_env();
     let spec = workload_by_name("spmspv").expect("spmspv registered");
-    let w = spec.build_default(Scale::Bench);
-    let models = [MemoryModel::Upea(0), MemoryModel::Nupea, MemoryModel::Upea(2)];
-    let ms = nupea::experiments::run_models(&w, &sys, &models).expect("fig6c runs");
-    let base = ms.iter().find(|m| m.config == "NUPEA").unwrap().cycles as f64;
+    let models = [
+        MemoryModel::Upea(0),
+        MemoryModel::Nupea,
+        MemoryModel::Upea(2),
+    ];
+
+    let mut runner = ExperimentRunner::new();
+    runner.threads(opts.threads);
+    let sys = runner.system(SystemConfig::monaco_12x12());
+    let w = runner.workload(spec.build_default(Scale::Bench));
+    runner.model_sweep(w, sys, &models);
+    let report = runner.run();
+
+    let cycles_of = |label: &str| {
+        report
+            .records
+            .iter()
+            .find(|r| r.model.label() == label && r.error.is_none())
+            .unwrap_or_else(|| panic!("{label} point failed"))
+            .cycles as f64
+    };
+    let base = cycles_of("NUPEA");
     println!("== Fig 6c: spmspv execution time (normalized to NUPEA) ==");
-    for m in &ms {
+    for r in &report.records {
         println!(
             "  {:<8} {:>9} cycles  norm {:.3}  mean-load-latency {:.1}",
-            m.config, m.cycles, m.cycles as f64 / base, m.mean_load_latency
+            r.model.label(),
+            r.cycles,
+            r.cycles as f64 / base,
+            r.mean_load_latency
         );
     }
-    let upea0 = ms[0].cycles as f64;
-    let upea2 = ms[2].cycles as f64;
+    let upea0 = cycles_of("Ideal");
+    let upea2 = cycles_of("UPEA2");
     println!(
         "\n  UPEA0 -> UPEA2 degradation: {:+.1}% (paper: ~24%)",
         (upea2 / upea0 - 1.0) * 100.0
@@ -37,5 +59,5 @@ fn main() {
         "  NUPEA vs UPEA0 (ideal): within {:.1}% (paper: ~1%)",
         (base / upea0 - 1.0) * 100.0
     );
-    let _ = run_models; // re-exported helper is the public API under test
+    opts.finish(&report);
 }

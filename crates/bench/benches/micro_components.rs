@@ -1,65 +1,78 @@
-//! Criterion micro-benchmarks: wall-clock throughput of the simulator
-//! engine, the untimed interpreter, PnR, and criticality analysis.
+//! Micro-benchmarks: wall-clock throughput of the simulator engine, the
+//! untimed interpreter, PnR, and criticality analysis. Hand-rolled timing
+//! (best of repeated batches) so the workspace builds with no external
+//! registry dependencies.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use nupea::{compile_workload, Heuristic, SystemConfig};
+use nupea::{Heuristic, SystemConfig};
 use nupea_kernels::interp_kernel;
 use nupea_kernels::workloads::{workload_by_name, Scale};
 use nupea_pnr::{pnr, PnrConfig};
 use nupea_sim::{Engine, SimConfig};
+use std::time::Instant;
 
-fn bench_interp(c: &mut Criterion) {
-    let w = workload_by_name("spmspv").unwrap().build_default(Scale::Test);
-    c.bench_function("interp/spmspv-test", |b| {
-        b.iter(|| {
-            let mut mem = w.fresh_mem();
-            interp_kernel(&w.kernel, mem.words_mut(), &[]).unwrap()
-        })
-    });
+/// Time `f` over `iters` iterations per batch, repeating batches until
+/// ~0.5 s has elapsed; report the best batch (least interference).
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // Warm-up.
+    f();
+    let mut best = f64::INFINITY;
+    let mut batches = 0u32;
+    let deadline = Instant::now() + std::time::Duration::from_millis(500);
+    while Instant::now() < deadline || batches < 3 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let per_iter = t0.elapsed().as_secs_f64() / f64::from(iters);
+        best = best.min(per_iter);
+        batches += 1;
+    }
+    let (scaled, unit) = if best >= 1e-3 {
+        (best * 1e3, "ms")
+    } else {
+        (best * 1e6, "us")
+    };
+    println!("{name:<24} {scaled:>9.3} {unit}/iter  ({batches} batches of {iters})");
 }
 
-fn bench_engine(c: &mut Criterion) {
-    let w = workload_by_name("spmspv").unwrap().build_default(Scale::Test);
+fn main() {
     let sys = SystemConfig::monaco_12x12();
-    let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-    c.bench_function("engine/spmspv-test", |b| {
-        b.iter(|| {
-            let mut mem = w.fresh_mem();
-            let mut e = Engine::new(
-                w.kernel.dfg(),
-                &sys.fabric,
-                &compiled.placed.pe_of,
-                SimConfig::default(),
-            );
-            for (pid, v) in w.kernel.bindings(&[]) {
-                e.bind(pid, v);
-            }
-            e.run(&mut mem).unwrap()
-        })
+
+    let w = workload_by_name("spmspv")
+        .unwrap()
+        .build_default(Scale::Test);
+    bench("interp/spmspv-test", 20, || {
+        let mut mem = w.fresh_mem();
+        interp_kernel(&w.kernel, mem.words_mut(), &[]).unwrap();
+    });
+
+    let compiled = sys
+        .compile(&w, Heuristic::CriticalityAware)
+        .expect("spmspv compiles");
+    bench("engine/spmspv-test", 10, || {
+        let mut mem = w.fresh_mem();
+        let mut e = Engine::new(
+            w.kernel.dfg(),
+            &sys.fabric,
+            &compiled.placed.pe_of,
+            SimConfig::default(),
+        );
+        for (pid, v) in w.kernel.bindings(&[]) {
+            e.bind(pid, v);
+        }
+        e.run(&mut mem).unwrap();
+    });
+
+    let wb = workload_by_name("spmspv")
+        .unwrap()
+        .build_default(Scale::Bench);
+    bench("pnr/spmspv-bench", 2, || {
+        pnr(wb.kernel.dfg(), &sys.fabric, &PnrConfig::default()).unwrap();
+    });
+
+    let wt = workload_by_name("tc").unwrap().build_default(Scale::Bench);
+    bench("criticality/tc", 50, || {
+        let mut g = wt.kernel.dfg().clone();
+        nupea_ir::criticality::classify(&mut g);
     });
 }
-
-fn bench_pnr(c: &mut Criterion) {
-    let w = workload_by_name("spmspv").unwrap().build_default(Scale::Bench);
-    let sys = SystemConfig::monaco_12x12();
-    c.bench_function("pnr/spmspv-bench", |b| {
-        b.iter(|| pnr(w.kernel.dfg(), &sys.fabric, &PnrConfig::default()).unwrap())
-    });
-}
-
-fn bench_criticality(c: &mut Criterion) {
-    let w = workload_by_name("tc").unwrap().build_default(Scale::Bench);
-    c.bench_function("criticality/tc", |b| {
-        b.iter(|| {
-            let mut g = w.kernel.dfg().clone();
-            nupea_ir::criticality::classify(&mut g)
-        })
-    });
-}
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_interp, bench_engine, bench_pnr, bench_criticality
-}
-criterion_main!(benches);

@@ -3,14 +3,22 @@
 //! an end-to-end validation run on Monaco.
 
 use nupea::experiments::render_table;
-use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_ir::graph::Criticality;
 use nupea_kernels::workloads::all_workloads;
 
 fn main() {
     let sys = SystemConfig::monaco_12x12();
     let headers: Vec<String> = [
-        "nodes", "mem", "crit", "inner", "other", "par", "cycles", "firings", "validated",
+        "nodes",
+        "mem",
+        "crit",
+        "inner",
+        "other",
+        "par",
+        "cycles",
+        "firings",
+        "validated",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -29,10 +37,15 @@ fn main() {
             count(Criticality::InnerLoop),
             count(Criticality::Other),
         );
-        let outcome = compile_workload(&w, &sys, Heuristic::CriticalityAware)
-            .and_then(|c| simulate_on(&w, &c, &sys, MemoryModel::Nupea));
+        let outcome = sys
+            .compile(&w, Heuristic::CriticalityAware)
+            .and_then(|c| c.simulate(MemoryModel::Nupea));
         let (cycles, firings, ok) = match &outcome {
-            Ok(s) => (s.cycles.to_string(), s.firings.to_string(), "yes".to_string()),
+            Ok(s) => (
+                s.cycles.to_string(),
+                s.firings.to_string(),
+                "yes".to_string(),
+            ),
             Err(e) => ("-".into(), "-".into(), format!("NO: {e}")),
         };
         rows.push((
@@ -52,6 +65,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table("Table 1: workloads (bench scale; see EXPERIMENTS.md for the paper-size mapping)", &headers, &rows)
+        render_table(
+            "Table 1: workloads (bench scale; see EXPERIMENTS.md for the paper-size mapping)",
+            &headers,
+            &rows
+        )
     );
 }

@@ -5,55 +5,195 @@
 //! reports, normalized the same way (execution time relative to Monaco,
 //! speedup over the Domain-Unaware heuristic, ...). EXPERIMENTS.md records
 //! paper-vs-measured values for each.
+//!
+//! The sweeps are declared against [`nupea::runner::ExperimentRunner`], so
+//! one PnR compile is shared across all memory models of a row and points
+//! execute in parallel. Every bench accepts:
+//!
+//! * `--threads N` — worker threads (0 or absent = all cores);
+//! * `--json PATH` / `--csv PATH` — structured export of every sweep
+//!   point alongside the printed table.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-use nupea::experiments::{geomean, heuristic_for, render_table, run_models};
-use nupea::{
-    auto_parallelize, compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig,
-    TopologyKind,
-};
+use nupea::experiments::{geomean, heuristic_for, render_table};
+use nupea::runner::{ExperimentRunner, RunRecord, RunnerReport};
+use nupea::{auto_parallelize, Heuristic, MemoryModel, Scale, SystemConfig, TopologyKind};
 use nupea_fabric::Fabric;
 use nupea_kernels::workloads::all_workloads;
+use std::path::PathBuf;
+
+/// Command-line options shared by every bench binary.
+#[derive(Debug, Clone, Default)]
+pub struct BenchOpts {
+    /// Worker threads for the experiment runner (0 = all cores).
+    pub threads: usize,
+    /// Write the sweep's records as JSON here.
+    pub json: Option<PathBuf>,
+    /// Write the sweep's records as CSV here.
+    pub csv: Option<PathBuf>,
+}
+
+impl BenchOpts {
+    /// Parse `--threads N`, `--json PATH`, `--csv PATH` from the process
+    /// arguments. Unknown arguments (e.g. flags cargo forwards) are
+    /// ignored.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mut opts = BenchOpts::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--threads" => {
+                    opts.threads = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--threads needs a number");
+                }
+                "--json" => opts.json = Some(args.next().expect("--json needs a path").into()),
+                "--csv" => opts.csv = Some(args.next().expect("--csv needs a path").into()),
+                _ => {}
+            }
+        }
+        opts
+    }
+
+    /// Write the requested JSON/CSV exports and print the runner's
+    /// compile-cache accounting.
+    pub fn finish(&self, report: &RunnerReport) {
+        if let Some(p) = &self.json {
+            std::fs::write(p, report.to_json()).expect("write JSON export");
+            println!("wrote {}", p.display());
+        }
+        if let Some(p) = &self.csv {
+            std::fs::write(p, report.to_csv()).expect("write CSV export");
+            println!("wrote {}", p.display());
+        }
+        println!(
+            "({} points, {} PnR compiles, {} cache hits, {:.1}s wall)\n",
+            report.records.len(),
+            report.pnr_compiles,
+            report.cache_hits,
+            report.wall.as_secs_f64()
+        );
+    }
+}
+
+/// Declare all 13 bench-scale workloads × `models` on a fresh runner and
+/// execute it. Records come back grouped per workload, `models.len()`
+/// records per group, in registry order.
+fn sweep_all_workloads(opts: &BenchOpts, models: &[MemoryModel]) -> RunnerReport {
+    let mut runner = ExperimentRunner::new();
+    runner.threads(opts.threads);
+    let sys = runner.system(SystemConfig::monaco_12x12());
+    for spec in all_workloads() {
+        let w = runner.workload(spec.build_default(Scale::Bench));
+        runner.model_sweep(w, sys, models);
+    }
+    runner.run()
+}
+
+/// A table cell for one record: the normalized metric, or the error.
+fn norm_cell(r: &RunRecord, base: f64, col: &mut Vec<f64>) -> String {
+    match &r.error {
+        Some(e) => format!("error: {e}"),
+        None => {
+            let norm = r.cycles as f64 / base;
+            col.push(norm);
+            format!("{norm:.3}")
+        }
+    }
+}
 
 /// Run all 13 bench-scale workloads across `models`, printing execution
 /// time normalized to the `baseline` label (lower is better), plus
 /// geomeans — the format of Figs. 11/14/15.
 pub fn model_sweep(title: &str, models: &[MemoryModel], baseline: &str, paper_note: &str) {
-    let sys = SystemConfig::monaco_12x12();
+    let opts = BenchOpts::from_env();
+    let report = sweep_all_workloads(&opts, models);
     let headers: Vec<String> = models.iter().map(|m| m.label()).collect();
     let mut rows = Vec::new();
     let mut norm_cols: Vec<Vec<f64>> = vec![Vec::new(); models.len()];
-    for spec in all_workloads() {
-        let w = spec.build_default(Scale::Bench);
-        match run_models(&w, &sys, models) {
-            Ok(ms) => {
-                let base = ms
-                    .iter()
-                    .find(|m| m.config == baseline)
-                    .map(|m| m.cycles as f64)
-                    .expect("baseline model in sweep");
-                let cells: Vec<String> = ms
-                    .iter()
-                    .enumerate()
-                    .map(|(i, m)| {
-                        let norm = m.cycles as f64 / base;
-                        norm_cols[i].push(norm);
-                        format!("{norm:.3}")
-                    })
-                    .collect();
-                rows.push((spec.name.to_string(), cells));
-            }
-            Err(e) => {
-                rows.push((spec.name.to_string(), vec![format!("error: {e}")]));
-            }
-        }
+    for group in report.records.chunks(models.len()) {
+        let base = group
+            .iter()
+            .find(|r| r.error.is_none() && r.model.label() == baseline)
+            .map(|r| r.cycles as f64);
+        let cells: Vec<String> = match base {
+            Some(base) => group
+                .iter()
+                .zip(&mut norm_cols)
+                .map(|(r, col)| norm_cell(r, base, col))
+                .collect(),
+            None => vec![format!(
+                "error: {}",
+                group[0].error.as_deref().unwrap_or("baseline missing")
+            )],
+        };
+        rows.push((group[0].workload.clone(), cells));
     }
-    let geo: Vec<String> = norm_cols.iter().map(|c| format!("{:.3}", geomean(c))).collect();
+    let geo: Vec<String> = norm_cols
+        .iter()
+        .map(|c| format!("{:.3}", geomean(c)))
+        .collect();
     rows.push(("geomean".to_string(), geo));
     println!("{}", render_table(title, &headers, &rows));
     println!("{paper_note}\n");
+    opts.finish(&report);
+}
+
+/// Fig. 12-style PnR-heuristic ablation over all workloads, every point
+/// on the Monaco memory model. Prints speedup over Domain-Unaware
+/// (higher is better).
+pub fn heuristic_ablation(title: &str, paper_note: &str) {
+    let opts = BenchOpts::from_env();
+    let hs = [
+        Heuristic::DomainUnaware,
+        Heuristic::OnlyDomainAware,
+        Heuristic::CriticalityAware,
+    ];
+    let mut runner = ExperimentRunner::new();
+    runner.threads(opts.threads);
+    let sys = runner.system(SystemConfig::monaco_12x12());
+    for spec in all_workloads() {
+        let w = runner.workload(spec.build_default(Scale::Bench));
+        runner.heuristic_sweep(w, sys, &hs, MemoryModel::Nupea);
+    }
+    let report = runner.run();
+
+    let headers: Vec<String> = hs.iter().map(|h| h.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); hs.len()];
+    for group in report.records.chunks(hs.len()) {
+        let cells: Vec<String> = match &group[0].error {
+            None => {
+                let base = group[0].cycles as f64;
+                group
+                    .iter()
+                    .zip(&mut speedups)
+                    .map(|(r, col)| match &r.error {
+                        Some(e) => format!("error: {e}"),
+                        None => {
+                            let s = base / r.cycles as f64;
+                            col.push(s);
+                            format!("{s:.3}")
+                        }
+                    })
+                    .collect()
+            }
+            Some(e) => vec![format!("error: {e}")],
+        };
+        rows.push((group[0].workload.clone(), cells));
+    }
+    let geo: Vec<String> = speedups
+        .iter()
+        .map(|c| format!("{:.3}", geomean(c)))
+        .collect();
+    rows.push(("geomean".to_string(), geo));
+    println!("{}", render_table(title, &headers, &rows));
+    println!("{paper_note}\n");
+    opts.finish(&report);
 }
 
 /// One measured point of the Figs. 16/17 topology sweep.
@@ -79,7 +219,9 @@ pub struct TopoPoint {
 /// The fabric-scaling study of §7.2: spmspv (smaller input), auto-
 /// parallelized onto Monaco / Clustered-Single / Clustered-Double at
 /// 8×8, 16×16, 24×24 with 2 vs 7 NoC tracks. The PnR-chosen divider is
-/// used (no override) — fabric timing is the point of the study.
+/// used (no override) — fabric timing is the point of the study. The
+/// auto-parallelizer's compile-until-failure loop is inherently serial,
+/// so this study does not route through the experiment runner.
 pub fn topology_sweep() -> Vec<TopoPoint> {
     let mut out = Vec::new();
     for &tracks in &[2u32, 7] {
@@ -91,24 +233,22 @@ pub fn topology_sweep() -> Vec<TopoPoint> {
             ] {
                 let fabric =
                     Fabric::of_kind(topo, size, size, tracks).expect("valid scaled fabric");
-                let mut sys = SystemConfig::with_fabric(fabric);
-                sys.divider_override = None;
                 // Track-constrained routing rewards placement quality:
                 // spend extra annealing effort, as a real flow would for a
                 // congested target.
-                sys.effort = 600;
+                let sys = SystemConfig::builder()
+                    .fabric(fabric)
+                    .divider_override(None)
+                    .effort(600)
+                    .build();
                 let spec = nupea_kernels::workloads::WorkloadSpec {
                     name: "spmspv",
-                    build: |_, par| {
-                        nupea_kernels::workloads::sparse::spmspv_custom(96, 0.9, par)
-                    },
+                    build: |_, par| nupea_kernels::workloads::sparse::spmspv_custom(96, 0.9, par),
                     default_par: 1,
                 };
                 match auto_parallelize(&spec, Scale::Bench, &sys, Heuristic::CriticalityAware) {
                     Ok((w, compiled)) => {
-                        let cycles = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea)
-                            .ok()
-                            .map(|s| s.cycles);
+                        let cycles = compiled.simulate(MemoryModel::Nupea).ok().map(|s| s.cycles);
                         out.push(TopoPoint {
                             topology: topo,
                             size,
@@ -168,53 +308,6 @@ pub fn render_topo_table(
     render_table(title, &headers, &rows)
 }
 
-/// Fig. 12-style PnR-heuristic ablation over all workloads. Prints
-/// speedup over Domain-Unaware (higher is better).
-pub fn heuristic_ablation(title: &str, paper_note: &str) {
-    let sys = SystemConfig::monaco_12x12();
-    let hs = [
-        Heuristic::DomainUnaware,
-        Heuristic::OnlyDomainAware,
-        Heuristic::CriticalityAware,
-    ];
-    let headers: Vec<String> = hs.iter().map(|h| h.to_string()).collect();
-    let mut rows = Vec::new();
-    let mut speedups: Vec<Vec<f64>> = vec![Vec::new(); hs.len()];
-    for spec in all_workloads() {
-        let w = spec.build_default(Scale::Bench);
-        let mut cycles = Vec::new();
-        for &h in &hs {
-            let c = compile_workload(&w, &sys, h)
-                .and_then(|c| simulate_on(&w, &c, &sys, MemoryModel::Nupea))
-                .map(|s| s.cycles);
-            cycles.push(c);
-        }
-        match &cycles[0] {
-            Ok(base) => {
-                let base = *base as f64;
-                let cells: Vec<String> = cycles
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| match c {
-                        Ok(c) => {
-                            let s = base / *c as f64;
-                            speedups[i].push(s);
-                            format!("{s:.3}")
-                        }
-                        Err(e) => format!("error: {e}"),
-                    })
-                    .collect();
-                rows.push((spec.name.to_string(), cells));
-            }
-            Err(e) => rows.push((spec.name.to_string(), vec![format!("error: {e}")])),
-        }
-    }
-    let geo: Vec<String> = speedups.iter().map(|c| format!("{:.3}", geomean(c))).collect();
-    rows.push(("geomean".to_string(), geo));
-    println!("{}", render_table(title, &headers, &rows));
-    println!("{paper_note}\n");
-}
-
 /// Compile-and-run helper for the ablation benches: one workload, one
 /// config, one model.
 ///
@@ -226,9 +319,8 @@ pub fn run_once(
     sys: &SystemConfig,
     model: MemoryModel,
 ) -> Result<u64, String> {
-    let compiled =
-        compile_workload(workload, sys, heuristic_for(model)).map_err(|e| e.to_string())?;
-    simulate_on(workload, &compiled, sys, model)
+    sys.compile(workload, heuristic_for(model))
+        .and_then(|c| c.simulate(model))
         .map(|s| s.cycles)
         .map_err(|e| e.to_string())
 }

@@ -1,27 +1,10 @@
 //! Shared experiment machinery for the benchmark harness: the memory-model
 //! matrix of §6, normalization, geometric means, and table rendering.
 
-use crate::{compile_workload, simulate_on, Compiled, PipelineError, SystemConfig, Workload};
+use crate::{Compiled, Workload};
 use nupea_kernels::workloads::{all_workloads, Scale, WorkloadSpec};
 use nupea_pnr::Heuristic;
 use nupea_sim::MemoryModel;
-
-/// One measured cell of an experiment.
-#[derive(Debug, Clone)]
-pub struct Measurement {
-    /// Workload name.
-    pub workload: &'static str,
-    /// Config label (memory model / heuristic / topology).
-    pub config: String,
-    /// Simulated execution time in system cycles.
-    pub cycles: u64,
-    /// Clock divider used.
-    pub divider: u64,
-    /// Mean load latency per NUPEA domain (system cycles).
-    pub mean_load_latency: f64,
-    /// Cache hit rate.
-    pub cache_hit_rate: f64,
-}
 
 /// Geometric mean of a slice (1.0 for empty input).
 pub fn geomean(xs: &[f64]) -> f64 {
@@ -49,80 +32,6 @@ pub fn heuristic_for(model: MemoryModel) -> Heuristic {
         MemoryModel::Nupea => Heuristic::CriticalityAware,
         MemoryModel::Upea(_) | MemoryModel::NumaUpea(_) => Heuristic::DomainUnaware,
     }
-}
-
-/// Run one workload across a set of memory models, reusing one compilation
-/// per heuristic. Returns one measurement per model, in order.
-///
-/// # Errors
-///
-/// Propagates pipeline errors (PnR, simulation, validation).
-pub fn run_models(
-    workload: &Workload,
-    sys: &SystemConfig,
-    models: &[MemoryModel],
-) -> Result<Vec<Measurement>, PipelineError> {
-    let mut cache: Vec<(Heuristic, Compiled)> = Vec::new();
-    let mut out = Vec::with_capacity(models.len());
-    for &model in models {
-        let h = heuristic_for(model);
-        let compiled = match cache.iter().find(|(ch, _)| *ch == h) {
-            Some((_, c)) => c.clone(),
-            None => {
-                let c = compile_workload(workload, sys, h)?;
-                cache.push((h, c.clone()));
-                c
-            }
-        };
-        let stats = simulate_on(workload, &compiled, sys, model)?;
-        let (lat_sum, lat_n) = stats
-            .load_latency_by_domain
-            .iter()
-            .fold((0u64, 0u64), |(s, n), d| (s + d.total_latency, n + d.count));
-        out.push(Measurement {
-            workload: workload.name,
-            config: model.label(),
-            cycles: stats.cycles,
-            divider: stats.divider,
-            mean_load_latency: if lat_n == 0 {
-                0.0
-            } else {
-                lat_sum as f64 / lat_n as f64
-            },
-            cache_hit_rate: stats.cache_hit_rate,
-        });
-    }
-    Ok(out)
-}
-
-/// Run one workload under the Monaco memory model across the three PnR
-/// heuristics of Fig. 12.
-///
-/// # Errors
-///
-/// Propagates pipeline errors.
-pub fn run_heuristics(
-    workload: &Workload,
-    sys: &SystemConfig,
-) -> Result<Vec<Measurement>, PipelineError> {
-    let mut out = Vec::new();
-    for h in [
-        Heuristic::DomainUnaware,
-        Heuristic::OnlyDomainAware,
-        Heuristic::CriticalityAware,
-    ] {
-        let compiled = compile_workload(workload, sys, h)?;
-        let stats = simulate_on(workload, &compiled, sys, MemoryModel::Nupea)?;
-        out.push(Measurement {
-            workload: workload.name,
-            config: h.to_string(),
-            cycles: stats.cycles,
-            divider: stats.divider,
-            mean_load_latency: 0.0,
-            cache_hit_rate: stats.cache_hit_rate,
-        });
-    }
-    Ok(out)
 }
 
 /// The standard bench-scale workload suite.
@@ -206,7 +115,10 @@ mod tests {
             heuristic_for(MemoryModel::Nupea),
             Heuristic::CriticalityAware
         );
-        assert_eq!(heuristic_for(MemoryModel::Upea(2)), Heuristic::DomainUnaware);
+        assert_eq!(
+            heuristic_for(MemoryModel::Upea(2)),
+            Heuristic::DomainUnaware
+        );
         assert_eq!(
             heuristic_for(MemoryModel::NumaUpea(3)),
             Heuristic::DomainUnaware
@@ -228,20 +140,14 @@ mod tests {
     fn pe_utilization_accounts_for_all_firings() {
         let w = nupea_kernels::workloads::sparse::spmv(Scale::Test, 1);
         let sys = crate::SystemConfig::monaco_12x12();
-        let c = crate::compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-        let stats = crate::simulate_on(&w, &c, &sys, MemoryModel::Nupea).unwrap();
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let stats = c.simulate(MemoryModel::Nupea).unwrap();
         let util = pe_utilization(&w, &c, &stats);
         let total: u64 = util.iter().map(|&(_, f)| f).sum();
         assert_eq!(total, stats.firings);
-        assert!(util.windows(2).all(|w| w[0].1 >= w[1].1), "sorted busiest-first");
-    }
-
-    #[test]
-    fn run_models_spmv_small() {
-        let w = nupea_kernels::workloads::sparse::spmv(Scale::Test, 1);
-        let sys = crate::SystemConfig::monaco_12x12();
-        let ms = run_models(&w, &sys, &primary_models()).unwrap();
-        assert_eq!(ms.len(), 4);
-        assert!(ms.iter().all(|m| m.cycles > 0));
+        assert!(
+            util.windows(2).all(|w| w[0].1 >= w[1].1),
+            "sorted busiest-first"
+        );
     }
 }

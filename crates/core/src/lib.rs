@@ -10,21 +10,22 @@
 //!   (NUPEA / UPEA-n / NUMA-UPEA-n / Ideal);
 //! * validate results against the reference implementation.
 //!
-//! The [`experiments`] module holds the shared machinery the benchmark
-//! harness uses to regenerate every figure of the paper.
+//! The [`runner`] module holds the parallel experiment runner the benchmark
+//! harness uses to regenerate every figure of the paper; [`experiments`]
+//! holds the shared model/heuristic selections and table rendering.
 //!
 //! # Example
 //!
 //! ```
-//! use nupea::{compile_workload, simulate, SystemConfig};
+//! use nupea::SystemConfig;
 //! use nupea_kernels::workloads::{sparse, Scale};
 //! use nupea_pnr::Heuristic;
 //! use nupea_sim::MemoryModel;
 //!
 //! let workload = sparse::spmv(Scale::Test, 1);
-//! let sys = SystemConfig::monaco_12x12();
-//! let compiled = compile_workload(&workload, &sys, Heuristic::CriticalityAware)?;
-//! let stats = simulate(&workload, &compiled, MemoryModel::Nupea)?;
+//! let sys = SystemConfig::builder().seed(7).build();
+//! let compiled = sys.compile(&workload, Heuristic::CriticalityAware)?;
+//! let stats = compiled.simulate(MemoryModel::Nupea)?;
 //! assert!(stats.cycles > 0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -33,18 +34,27 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod runner;
 
 pub use nupea_fabric::{Fabric, TopologyKind};
-pub use nupea_kernels::workloads::{all_workloads, Scale, Workload, WorkloadSpec};
+pub use nupea_kernels::workloads::{all_workloads, Scale, ValidationError, Workload, WorkloadSpec};
 pub use nupea_pnr::{Heuristic, Placed, PnrError};
 pub use nupea_sim::{MemoryModel, RunStats, SimError};
+pub use runner::{ExperimentRunner, RunRecord, RunnerReport, SystemHandle, WorkloadHandle};
 
+use nupea_fabric::PeId;
 use nupea_pnr::{pnr, PlaceConfig, PnrConfig};
 use nupea_sim::{Engine, MemParams, SimConfig};
 use std::fmt;
+use std::sync::Arc;
 
 /// System-level configuration: the fabric plus simulator knobs.
+///
+/// Construct via [`SystemConfig::monaco_12x12`], [`SystemConfig::builder`],
+/// or [`SystemConfig::with_fabric`]; individual knobs stay publicly
+/// mutable for sweep-style experiments.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SystemConfig {
     /// The fabric (topology, domains, tracks, timing calibration).
     pub fabric: Fabric,
@@ -89,26 +99,192 @@ impl SystemConfig {
             divider_override: Some(2),
         }
     }
+
+    /// A chainable builder starting from the Monaco 12×12 defaults.
+    pub fn builder() -> SystemConfigBuilder {
+        SystemConfigBuilder {
+            cfg: SystemConfig::monaco_12x12(),
+        }
+    }
+
+    /// Compile a workload onto this system's fabric with a placement
+    /// heuristic. PnR quality and routability are seed-sensitive, so this
+    /// runs a few seeds and keeps the best-timing result (smallest divider,
+    /// then shortest max path), as multi-seed production flows do.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Pnr`] when the kernel does not fit or
+    /// cannot be routed — the auto-parallelizer's stop signal.
+    pub fn compile(
+        &self,
+        workload: &Workload,
+        heuristic: Heuristic,
+    ) -> Result<Compiled, PipelineError> {
+        compile_impl(
+            &Arc::new(workload.clone()),
+            &Arc::new(self.clone()),
+            heuristic,
+        )
+    }
 }
 
-/// A compiled workload: placement, routing, timing.
+/// Chainable constructor for [`SystemConfig`], seeded with the Monaco
+/// 12×12 defaults.
+///
+/// ```
+/// use nupea::SystemConfig;
+/// let sys = SystemConfig::builder().fifo_depth(8).seed(42).build();
+/// assert_eq!(sys.fifo_depth, 8);
+/// ```
 #[derive(Debug, Clone)]
+pub struct SystemConfigBuilder {
+    cfg: SystemConfig,
+}
+
+impl SystemConfigBuilder {
+    /// Replace the fabric (topology, domains, tracks).
+    #[must_use]
+    pub fn fabric(mut self, fabric: Fabric) -> Self {
+        self.cfg.fabric = fabric;
+        self
+    }
+
+    /// Replace the memory geometry and latencies.
+    #[must_use]
+    pub fn mem(mut self, mem: MemParams) -> Self {
+        self.cfg.mem = mem;
+        self
+    }
+
+    /// Token FIFO depth per operand.
+    #[must_use]
+    pub fn fifo_depth(mut self, depth: usize) -> Self {
+        self.cfg.fifo_depth = depth;
+        self
+    }
+
+    /// Max outstanding requests per load-store instruction.
+    #[must_use]
+    pub fn max_outstanding(mut self, n: usize) -> Self {
+        self.cfg.max_outstanding = n;
+        self
+    }
+
+    /// PnR seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Annealing effort (moves ≈ effort × cells).
+    #[must_use]
+    pub fn effort(mut self, effort: u32) -> Self {
+        self.cfg.effort = effort;
+        self
+    }
+
+    /// Fix the fabric clock divider (`None` = PnR-derived).
+    #[must_use]
+    pub fn divider_override(mut self, divider: Option<u64>) -> Self {
+        self.cfg.divider_override = divider;
+        self
+    }
+
+    /// Finish and return the configuration.
+    #[must_use]
+    pub fn build(self) -> SystemConfig {
+        self.cfg
+    }
+}
+
+/// A compiled workload: placement, routing, timing, plus shared handles to
+/// the workload and system it was compiled for, so it can be simulated
+/// directly via [`Compiled::simulate`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct Compiled {
     /// PnR output.
     pub placed: Placed,
     /// Heuristic used.
     pub heuristic: Heuristic,
+    workload: Arc<Workload>,
+    sys: Arc<SystemConfig>,
+}
+
+impl Compiled {
+    /// The workload this artifact was compiled from.
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The system configuration this artifact was compiled for.
+    pub fn system(&self) -> &SystemConfig {
+        &self.sys
+    }
+
+    /// Simulate under a memory model, validating results against the
+    /// workload's reference implementation. The compile is reused: calling
+    /// this for several models performs PnR exactly once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Sim`] on simulator faults and
+    /// [`PipelineError::Validation`] when outputs mismatch the reference.
+    pub fn simulate(&self, model: MemoryModel) -> Result<RunStats, PipelineError> {
+        simulate_impl(
+            &self.workload,
+            &self.sys,
+            &self.placed.pe_of,
+            self.placed.timing.divider,
+            model,
+        )
+    }
+
+    /// Simulate with sim-time knobs taken from a different
+    /// [`SystemConfig`] (the placement is reused as-is; the fabric must
+    /// match the one compiled against).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiled::simulate`].
+    pub fn simulate_with(
+        &self,
+        sys: &SystemConfig,
+        model: MemoryModel,
+    ) -> Result<RunStats, PipelineError> {
+        simulate_impl(
+            &self.workload,
+            sys,
+            &self.placed.pe_of,
+            self.placed.timing.divider,
+            model,
+        )
+    }
+
+    /// Serialize to a bitstream (see [`nupea_pnr::bitstream`]) for caching
+    /// or inspection.
+    pub fn bitstream(&self) -> String {
+        nupea_pnr::write_bitstream(self.workload.kernel.dfg(), &self.sys.fabric, &self.placed)
+    }
 }
 
 /// Errors from the end-to-end pipeline.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum PipelineError {
     /// Place-and-route failed (capacity or congestion).
     Pnr(PnrError),
     /// Simulation failed.
     Sim(SimError),
     /// The run finished but outputs did not match the reference.
-    Validation(String),
+    Validation(ValidationError),
+    /// A bitstream could not be parsed or does not match the workload.
+    Bitstream {
+        /// What went wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -117,11 +293,21 @@ impl fmt::Display for PipelineError {
             PipelineError::Pnr(e) => write!(f, "pnr: {e}"),
             PipelineError::Sim(e) => write!(f, "sim: {e}"),
             PipelineError::Validation(e) => write!(f, "validation: {e}"),
+            PipelineError::Bitstream { reason } => write!(f, "bitstream: {reason}"),
         }
     }
 }
 
-impl std::error::Error for PipelineError {}
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Pnr(e) => Some(e),
+            PipelineError::Sim(e) => Some(e),
+            PipelineError::Validation(e) => Some(e),
+            PipelineError::Bitstream { .. } => None,
+        }
+    }
+}
 
 impl From<PnrError> for PipelineError {
     fn from(e: PnrError) -> Self {
@@ -135,21 +321,20 @@ impl From<SimError> for PipelineError {
     }
 }
 
-/// Compile a workload onto the system's fabric with a placement heuristic.
-///
-/// # Errors
-///
-/// Returns [`PipelineError::Pnr`] when the kernel does not fit or cannot be
-/// routed — the auto-parallelizer's stop signal.
-pub fn compile_workload(
-    workload: &Workload,
-    sys: &SystemConfig,
+impl From<ValidationError> for PipelineError {
+    fn from(e: ValidationError) -> Self {
+        PipelineError::Validation(e)
+    }
+}
+
+/// Shared compile path: multi-seed best-of PnR over shared handles, so the
+/// runner can compile once and fan the artifact out across memory models
+/// without cloning workload memory images.
+fn compile_impl(
+    workload: &Arc<Workload>,
+    sys: &Arc<SystemConfig>,
     heuristic: Heuristic,
 ) -> Result<Compiled, PipelineError> {
-    // PnR quality and routability are seed-sensitive. Run a few seeds and
-    // keep the best-timing result (smallest divider, then shortest max
-    // path), as multi-seed production flows do; declare failure only if
-    // every seed fails.
     let mut best: Option<Placed> = None;
     let mut last_err = None;
     for attempt in 0..3u64 {
@@ -162,7 +347,7 @@ pub fn compile_workload(
         };
         match pnr(workload.kernel.dfg(), &sys.fabric, &cfg) {
             Ok(placed) => {
-                let better = best.as_ref().map_or(true, |b| {
+                let better = best.as_ref().is_none_or(|b| {
                     (placed.timing.divider, placed.timing.max_hops)
                         < (b.timing.divider, b.timing.max_hops)
                 });
@@ -175,9 +360,61 @@ pub fn compile_workload(
         }
     }
     match best {
-        Some(placed) => Ok(Compiled { placed, heuristic }),
+        Some(placed) => Ok(Compiled {
+            placed,
+            heuristic,
+            workload: Arc::clone(workload),
+            sys: Arc::clone(sys),
+        }),
         None => Err(last_err.expect("at least one attempt ran").into()),
     }
+}
+
+/// Build the cycle-accurate simulator configuration for one run.
+fn sim_config(sys: &SystemConfig, model: MemoryModel, divider_src: u32) -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.model = model;
+    cfg.mem = sys.mem;
+    cfg.divider = sys.divider_override.unwrap_or(u64::from(divider_src));
+    cfg.fifo_depth = sys.fifo_depth;
+    cfg.max_outstanding = sys.max_outstanding;
+    cfg.numa_seed = sys.seed ^ 0x1234;
+    cfg.max_cycles = 2_000_000_000;
+    cfg
+}
+
+/// Shared simulate path: engine setup, run, reference validation.
+fn simulate_impl(
+    workload: &Workload,
+    sys: &SystemConfig,
+    pe_of: &[PeId],
+    divider_src: u32,
+    model: MemoryModel,
+) -> Result<RunStats, PipelineError> {
+    let cfg = sim_config(sys, model, divider_src);
+    let mut mem = workload.fresh_mem();
+    let mut engine = Engine::new(workload.kernel.dfg(), &sys.fabric, pe_of, cfg);
+    for (pid, v) in workload.kernel.bindings(&[]) {
+        engine.bind(pid, v);
+    }
+    let stats = engine.run(&mut mem)?;
+    workload.validate(&mem, &stats.sinks)?;
+    Ok(stats)
+}
+
+/// Compile a workload onto the system's fabric with a placement heuristic.
+///
+/// # Errors
+///
+/// Returns [`PipelineError::Pnr`] when the kernel does not fit or cannot be
+/// routed.
+#[deprecated(since = "0.1.0", note = "use `SystemConfig::compile` instead")]
+pub fn compile_workload(
+    workload: &Workload,
+    sys: &SystemConfig,
+    heuristic: Heuristic,
+) -> Result<Compiled, PipelineError> {
+    sys.compile(workload, heuristic)
 }
 
 /// Simulate a compiled workload under a memory model, validating the
@@ -187,59 +424,46 @@ pub fn compile_workload(
 ///
 /// Returns [`PipelineError::Sim`] on simulator faults and
 /// [`PipelineError::Validation`] when outputs mismatch the reference.
+#[deprecated(since = "0.1.0", note = "use `Compiled::simulate_with` instead")]
 pub fn simulate_on(
     workload: &Workload,
     compiled: &Compiled,
     sys: &SystemConfig,
     model: MemoryModel,
 ) -> Result<RunStats, PipelineError> {
-    let divider = sys
-        .divider_override
-        .unwrap_or(u64::from(compiled.placed.timing.divider));
-    let cfg = SimConfig {
-        model,
-        mem: sys.mem,
-        divider,
-        fifo_depth: sys.fifo_depth,
-        max_outstanding: sys.max_outstanding,
-        numa_seed: sys.seed ^ 0x1234,
-        max_cycles: 2_000_000_000,
-        energy: nupea_sim::EnergyParams::default(),
-    };
-    let mut mem = workload.fresh_mem();
-    let mut engine = Engine::new(
-        workload.kernel.dfg(),
-        &sys.fabric,
+    simulate_impl(
+        workload,
+        sys,
         &compiled.placed.pe_of,
-        cfg,
-    );
-    for (pid, v) in workload.kernel.bindings(&[]) {
-        engine.bind(pid, v);
-    }
-    let stats = engine.run(&mut mem)?;
-    workload
-        .validate(&mem, &stats.sinks)
-        .map_err(PipelineError::Validation)?;
-    Ok(stats)
+        compiled.placed.timing.divider,
+        model,
+    )
 }
 
-/// Convenience: simulate with the Monaco-default system config implied by
-/// the compiled artifact (callers that built their own [`SystemConfig`]
-/// should use [`simulate_on`]).
+/// Convenience: simulate with the system config the artifact was compiled
+/// for.
 ///
 /// # Errors
 ///
-/// Same as [`simulate_on`].
+/// Same as [`Compiled::simulate`].
+#[deprecated(since = "0.1.0", note = "use `Compiled::simulate` instead")]
 pub fn simulate(
     workload: &Workload,
     compiled: &Compiled,
     model: MemoryModel,
 ) -> Result<RunStats, PipelineError> {
-    simulate_on(workload, compiled, &SystemConfig::monaco_12x12(), model)
+    simulate_impl(
+        workload,
+        compiled.system(),
+        &compiled.placed.pe_of,
+        compiled.placed.timing.divider,
+        model,
+    )
 }
 
 /// Results of a multi-region (staged) run.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct StagedRunStats {
     /// Total execution time, including reconfiguration between regions.
     pub total_cycles: u64,
@@ -259,18 +483,19 @@ pub fn compile_staged(
     sys: &SystemConfig,
     heuristic: Heuristic,
 ) -> Result<Vec<Compiled>, PipelineError> {
+    let sys = Arc::new(sys.clone());
     staged
         .stages
         .iter()
         .map(|stage| {
-            let shim = Workload {
+            let shim = Arc::new(Workload {
                 name: staged.name,
                 kernel: stage.clone(),
                 mem: staged.mem.clone(),
                 checks: vec![],
                 par: staged.par,
-            };
-            compile_workload(&shim, sys, heuristic)
+            });
+            compile_impl(&shim, &sys, heuristic)
         })
         .collect()
 }
@@ -290,24 +515,16 @@ pub fn simulate_staged(
     model: MemoryModel,
     reconfig_cycles: u64,
 ) -> Result<StagedRunStats, PipelineError> {
-    assert_eq!(compiled.len(), staged.stages.len(), "one artifact per region");
+    assert_eq!(
+        compiled.len(),
+        staged.stages.len(),
+        "one artifact per region"
+    );
     let mut mem = staged.fresh_mem();
     let mut per_stage = Vec::with_capacity(staged.stages.len());
     let mut total = 0u64;
     for (stage, art) in staged.stages.iter().zip(compiled) {
-        let divider = sys
-            .divider_override
-            .unwrap_or(u64::from(art.placed.timing.divider));
-        let cfg = SimConfig {
-            model,
-            mem: sys.mem,
-            divider,
-            fifo_depth: sys.fifo_depth,
-            max_outstanding: sys.max_outstanding,
-            numa_seed: sys.seed ^ 0x1234,
-            max_cycles: 2_000_000_000,
-            energy: nupea_sim::EnergyParams::default(),
-        };
+        let cfg = sim_config(sys, model, art.placed.timing.divider);
         let mut engine = Engine::new(stage.dfg(), &sys.fabric, &art.placed.pe_of, cfg);
         for (pid, v) in stage.bindings(&[]) {
             engine.bind(pid, v);
@@ -316,7 +533,7 @@ pub fn simulate_staged(
         total += stats.cycles + reconfig_cycles;
         per_stage.push(stats);
     }
-    staged.validate(&mem).map_err(PipelineError::Validation)?;
+    staged.validate(&mem)?;
     Ok(StagedRunStats {
         total_cycles: total,
         reconfig_cycles: reconfig_cycles * staged.stages.len() as u64,
@@ -326,6 +543,7 @@ pub fn simulate_staged(
 
 /// Serialize a compiled workload to a bitstream (see
 /// [`nupea_pnr::bitstream`]) for caching or inspection.
+#[deprecated(since = "0.1.0", note = "use `Compiled::bitstream` instead")]
 pub fn bitstream_of(workload: &Workload, sys: &SystemConfig, compiled: &Compiled) -> String {
     nupea_pnr::write_bitstream(workload.kernel.dfg(), &sys.fabric, &compiled.placed)
 }
@@ -334,42 +552,24 @@ pub fn bitstream_of(workload: &Workload, sys: &SystemConfig, compiled: &Compiled
 ///
 /// # Errors
 ///
-/// Returns a validation error if the bitstream does not match the
-/// workload/fabric, plus the usual simulation/validation errors.
+/// Returns [`PipelineError::Bitstream`] if the bitstream does not parse or
+/// does not match the workload/fabric, plus the usual simulation and
+/// validation errors.
 pub fn simulate_bitstream(
     workload: &Workload,
     sys: &SystemConfig,
     bitstream_text: &str,
     model: MemoryModel,
 ) -> Result<RunStats, PipelineError> {
-    let bs = nupea_pnr::parse_bitstream(bitstream_text)
-        .map_err(|e| PipelineError::Validation(format!("bitstream: {e}")))?;
+    let bs = nupea_pnr::parse_bitstream(bitstream_text).map_err(|e| PipelineError::Bitstream {
+        reason: e.to_string(),
+    })?;
     if !bs.matches(workload.kernel.dfg(), &sys.fabric) {
-        return Err(PipelineError::Validation(
-            "bitstream does not match this workload/fabric".into(),
-        ));
+        return Err(PipelineError::Bitstream {
+            reason: "bitstream does not match this workload/fabric".into(),
+        });
     }
-    let divider = sys.divider_override.unwrap_or(u64::from(bs.divider));
-    let cfg = SimConfig {
-        model,
-        mem: sys.mem,
-        divider,
-        fifo_depth: sys.fifo_depth,
-        max_outstanding: sys.max_outstanding,
-        numa_seed: sys.seed ^ 0x1234,
-        max_cycles: 2_000_000_000,
-        energy: nupea_sim::EnergyParams::default(),
-    };
-    let mut mem = workload.fresh_mem();
-    let mut engine = Engine::new(workload.kernel.dfg(), &sys.fabric, &bs.pe_of, cfg);
-    for (pid, v) in workload.kernel.bindings(&[]) {
-        engine.bind(pid, v);
-    }
-    let stats = engine.run(&mut mem)?;
-    workload
-        .validate(&mem, &stats.sinks)
-        .map_err(PipelineError::Validation)?;
-    Ok(stats)
+    simulate_impl(workload, sys, &bs.pe_of, bs.divider, model)
 }
 
 /// Auto-parallelization (§5): grow the parallelism degree until PnR fails,
@@ -388,13 +588,14 @@ pub fn auto_parallelize(
     sys: &SystemConfig,
     heuristic: Heuristic,
 ) -> Result<(Workload, Compiled), PipelineError> {
+    let sys_arc = Arc::new(sys.clone());
     let mut candidates: Vec<(Workload, Compiled)> = Vec::new();
     let mut par = 1usize;
     loop {
-        let w = (spec.build)(scale, par);
-        match compile_workload(&w, sys, heuristic) {
+        let w = Arc::new((spec.build)(scale, par));
+        match compile_impl(&w, &sys_arc, heuristic) {
             Ok(c) => {
-                candidates.push((w, c));
+                candidates.push(((*w).clone(), c));
                 par *= 2;
                 if par > 64 {
                     break;
@@ -409,11 +610,11 @@ pub fn auto_parallelize(
         )));
     }
     let mut best: Option<(u64, usize)> = None;
-    for (i, (w, c)) in candidates.iter().enumerate() {
-        let Ok(stats) = simulate_on(w, c, sys, MemoryModel::Nupea) else {
+    for (i, (_, c)) in candidates.iter().enumerate() {
+        let Ok(stats) = c.simulate(MemoryModel::Nupea) else {
             continue;
         };
-        if best.map_or(true, |(cyc, _)| stats.cycles < cyc) {
+        if best.is_none_or(|(cyc, _)| stats.cycles < cyc) {
             best = Some((stats.cycles, i));
         }
     }
@@ -432,28 +633,47 @@ mod tests {
     fn end_to_end_spmv_validates_on_all_models() {
         let w = sparse::spmv(Scale::Test, 2);
         let sys = SystemConfig::monaco_12x12();
-        let monaco = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-        let baseline = compile_workload(&w, &sys, Heuristic::DomainUnaware).unwrap();
+        let monaco = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let baseline = sys.compile(&w, Heuristic::DomainUnaware).unwrap();
         for (compiled, model) in [
             (&monaco, MemoryModel::Nupea),
             (&baseline, MemoryModel::IDEAL),
             (&baseline, MemoryModel::Upea(2)),
             (&baseline, MemoryModel::NumaUpea(2)),
         ] {
-            let stats = simulate_on(&w, compiled, &sys, model).unwrap();
+            let stats = compiled.simulate(model).unwrap();
             assert!(stats.cycles > 0, "{model}: must take time");
             assert_eq!(stats.residual_tokens, 0, "{model}: balanced");
         }
     }
 
     #[test]
+    fn builder_round_trips_every_knob() {
+        let fabric = Fabric::monaco(4, 8, 2).unwrap();
+        let sys = SystemConfig::builder()
+            .fabric(fabric.clone())
+            .fifo_depth(16)
+            .max_outstanding(7)
+            .seed(99)
+            .effort(50)
+            .divider_override(None)
+            .build();
+        assert_eq!(sys.fifo_depth, 16);
+        assert_eq!(sys.max_outstanding, 7);
+        assert_eq!(sys.seed, 99);
+        assert_eq!(sys.effort, 50);
+        assert_eq!(sys.divider_override, None);
+        assert_eq!(sys.fabric.num_pes(), fabric.num_pes());
+    }
+
+    #[test]
     fn upea_sweep_is_monotone_end_to_end() {
         let w = sparse::spmspv(Scale::Test, 1);
         let sys = SystemConfig::monaco_12x12();
-        let c = compile_workload(&w, &sys, Heuristic::DomainUnaware).unwrap();
+        let c = sys.compile(&w, Heuristic::DomainUnaware).unwrap();
         let mut prev = 0;
         for n in 0..=4 {
-            let stats = simulate_on(&w, &c, &sys, MemoryModel::Upea(n)).unwrap();
+            let stats = c.simulate(MemoryModel::Upea(n)).unwrap();
             assert!(
                 stats.cycles >= prev,
                 "UPEA{n} ({}) regressed under UPEA{} ({prev})",
@@ -462,6 +682,37 @@ mod tests {
             );
             prev = stats.cycles;
         }
+    }
+
+    #[test]
+    fn deprecated_shims_agree_with_the_new_facade() {
+        #![allow(deprecated)]
+        let w = sparse::spmv(Scale::Test, 1);
+        let sys = SystemConfig::monaco_12x12();
+        let via_shim = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
+        let via_facade = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        assert_eq!(via_shim.placed.pe_of, via_facade.placed.pe_of);
+        let a = simulate_on(&w, &via_shim, &sys, MemoryModel::Nupea).unwrap();
+        let b = via_facade.simulate(MemoryModel::Nupea).unwrap();
+        let c = simulate(&w, &via_shim, MemoryModel::Nupea).unwrap();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.cycles, c.cycles);
+    }
+
+    #[test]
+    fn pipeline_errors_chain_their_sources() {
+        use std::error::Error as _;
+        let w = sparse::spmv(Scale::Test, 1);
+        let sys = SystemConfig::monaco_12x12();
+        let err = PipelineError::from(PnrError::Unplaceable("too big".into()));
+        assert!(err.source().is_some());
+        // A wrong-workload bitstream is a Bitstream error with no source.
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let text = c.bitstream();
+        let other = sparse::spmspv(Scale::Test, 1);
+        let e = simulate_bitstream(&other, &sys, &text, MemoryModel::Nupea).unwrap_err();
+        assert!(matches!(e, PipelineError::Bitstream { .. }));
+        assert!(e.source().is_none());
     }
 
     #[test]
@@ -477,36 +728,30 @@ mod tests {
         // Staged result must equal the monolithic kernel's result — both
         // validate against the same reference.
         let mono = nupea_kernels::workloads::nn::ad(Scale::Test, 1);
-        let c = compile_workload(&mono, &sys, Heuristic::CriticalityAware).unwrap();
-        simulate_on(&mono, &c, &sys, MemoryModel::Nupea).unwrap();
+        let c = sys.compile(&mono, Heuristic::CriticalityAware).unwrap();
+        c.simulate(MemoryModel::Nupea).unwrap();
     }
 
     #[test]
     fn bitstream_round_trip_reproduces_the_run() {
         let w = sparse::spmv(Scale::Test, 1);
         let sys = SystemConfig::monaco_12x12();
-        let c = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-        let direct = simulate_on(&w, &c, &sys, MemoryModel::Nupea).unwrap();
-        let text = bitstream_of(&w, &sys, &c);
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let direct = c.simulate(MemoryModel::Nupea).unwrap();
+        let text = c.bitstream();
         let via_bs = simulate_bitstream(&w, &sys, &text, MemoryModel::Nupea).unwrap();
         assert_eq!(direct.cycles, via_bs.cycles);
         assert_eq!(direct.firings, via_bs.firings);
-        // A bitstream for a different workload is rejected.
-        let other = sparse::spmspv(Scale::Test, 1);
-        assert!(matches!(
-            simulate_bitstream(&other, &sys, &text, MemoryModel::Nupea),
-            Err(PipelineError::Validation(_))
-        ));
     }
 
     #[test]
     fn auto_parallelize_grows_until_fabric_full() {
         let spec = nupea_kernels::workloads::workload_by_name("dmv").unwrap();
         let sys = SystemConfig::monaco_12x12();
-        let (w, c) = auto_parallelize(&spec, Scale::Test, &sys, Heuristic::CriticalityAware)
-            .unwrap();
+        let (w, c) =
+            auto_parallelize(&spec, Scale::Test, &sys, Heuristic::CriticalityAware).unwrap();
         assert!(w.par >= 2, "dmv should parallelize beyond 1 on 12x12");
-        let stats = simulate_on(&w, &c, &sys, MemoryModel::Nupea).unwrap();
+        let stats = c.simulate(MemoryModel::Nupea).unwrap();
         assert_eq!(stats.residual_tokens, 0);
     }
 }

@@ -1,0 +1,706 @@
+//! Parallel experiment runner with compile-artifact caching.
+//!
+//! Every figure and ablation in the paper is a sweep: a cross product of
+//! workloads × system configurations × placement heuristics × memory
+//! models. Compiling (place-and-route with annealing) dominates the cost
+//! of a sweep point, but it depends only on `(workload, system,
+//! heuristic)` — the memory model is a simulation-time knob. The
+//! [`ExperimentRunner`] therefore:
+//!
+//! 1. deduplicates sweep points into unique compile keys and runs PnR
+//!    once per key, fanned out across a scoped thread pool;
+//! 2. simulates every sweep point in parallel, sharing the compiled
+//!    artifacts (`Arc`-backed, no re-clone of workload memory images);
+//! 3. emits one structured [`RunRecord`] per point, in declaration order
+//!    regardless of thread interleaving, with hand-rolled JSON and CSV
+//!    export.
+//!
+//! Results are bit-identical for any thread count: compilation and
+//! simulation are deterministic per point, and record order is fixed by
+//! point declaration order, not completion order.
+//!
+//! ```no_run
+//! use nupea::runner::ExperimentRunner;
+//! use nupea::{MemoryModel, Scale, SystemConfig};
+//!
+//! let mut r = ExperimentRunner::new();
+//! let sys = r.system(SystemConfig::monaco_12x12());
+//! for spec in nupea::all_workloads() {
+//!     let w = r.workload(spec.build_default(Scale::Test));
+//!     r.model_sweep(w, sys, &[MemoryModel::IDEAL, MemoryModel::Nupea]);
+//! }
+//! let report = r.run();
+//! println!("{}", report.to_csv());
+//! ```
+
+use crate::experiments::heuristic_for;
+use crate::{Compiled, PipelineError, SystemConfig, Workload};
+use nupea_pnr::Heuristic;
+use nupea_sim::{DomainLatency, MemoryModel, RunStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Handle to a workload registered with an [`ExperimentRunner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadHandle(usize);
+
+/// Handle to a system configuration registered with an
+/// [`ExperimentRunner`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemHandle(usize);
+
+/// What must be recompiled: everything except the memory model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CompileKey {
+    workload: usize,
+    sys: usize,
+    heuristic: Heuristic,
+}
+
+/// One declared sweep point.
+#[derive(Debug, Clone, Copy)]
+struct Point {
+    workload: usize,
+    sys: usize,
+    heuristic: Heuristic,
+    model: MemoryModel,
+}
+
+/// The structured result of one sweep point.
+///
+/// `compile_micros` / `sim_micros` are wall-clock and therefore vary run
+/// to run; the default JSON/CSV exports exclude them so output is
+/// bit-identical across thread counts and machines.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub struct RunRecord {
+    /// Workload name (Table 1).
+    pub workload: String,
+    /// Parallelism degree the workload was built with.
+    pub par: usize,
+    /// Placement heuristic used for this point's compile.
+    pub heuristic: Heuristic,
+    /// Memory model simulated.
+    pub model: MemoryModel,
+    /// Completion time in system cycles (0 when `error` is set).
+    pub cycles: u64,
+    /// Completion time in fabric cycles.
+    pub fabric_cycles: u64,
+    /// Clock divider used.
+    pub divider: u64,
+    /// Total instruction firings.
+    pub firings: u64,
+    /// Mean completed-load latency in system cycles, over all domains.
+    pub mean_load_latency: f64,
+    /// Load latency aggregated by the issuing PE's NUPEA domain.
+    pub load_latency_by_domain: Vec<DomainLatency>,
+    /// Cache hit rate.
+    pub cache_hit_rate: f64,
+    /// Memory requests issued.
+    pub mem_requests: u64,
+    /// Requests forwarded by the per-domain arbiters.
+    pub arbiter_forwards: u64,
+    /// Cycles requests spent waiting on busy banks.
+    pub bank_wait_cycles: u64,
+    /// Tokens left buffered at quiescence.
+    pub residual_tokens: usize,
+    /// Whether this point reused another point's compile artifact.
+    pub compile_cached: bool,
+    /// Wall-clock compile time of the shared artifact (µs).
+    pub compile_micros: u64,
+    /// Wall-clock simulation time of this point (µs).
+    pub sim_micros: u64,
+    /// Pipeline failure, if the point did not complete.
+    pub error: Option<String>,
+}
+
+impl RunRecord {
+    fn failed(
+        p: &Point,
+        workload: &Workload,
+        compile_micros: u64,
+        cached: bool,
+        err: &PipelineError,
+    ) -> Self {
+        RunRecord {
+            workload: workload.name.to_string(),
+            par: workload.par,
+            heuristic: p.heuristic,
+            model: p.model,
+            cycles: 0,
+            fabric_cycles: 0,
+            divider: 0,
+            firings: 0,
+            mean_load_latency: 0.0,
+            load_latency_by_domain: Vec::new(),
+            cache_hit_rate: 0.0,
+            mem_requests: 0,
+            arbiter_forwards: 0,
+            bank_wait_cycles: 0,
+            residual_tokens: 0,
+            compile_cached: cached,
+            compile_micros,
+            sim_micros: 0,
+            error: Some(err.to_string()),
+        }
+    }
+
+    fn completed(
+        p: &Point,
+        workload: &Workload,
+        compile_micros: u64,
+        cached: bool,
+        stats: &RunStats,
+        sim_micros: u64,
+    ) -> Self {
+        let (total, count) = stats
+            .load_latency_by_domain
+            .iter()
+            .fold((0u64, 0u64), |(t, c), d| (t + d.total_latency, c + d.count));
+        RunRecord {
+            workload: workload.name.to_string(),
+            par: workload.par,
+            heuristic: p.heuristic,
+            model: p.model,
+            cycles: stats.cycles,
+            fabric_cycles: stats.fabric_cycles,
+            divider: stats.divider,
+            firings: stats.firings,
+            mean_load_latency: if count == 0 {
+                0.0
+            } else {
+                total as f64 / count as f64
+            },
+            load_latency_by_domain: stats.load_latency_by_domain.clone(),
+            cache_hit_rate: stats.cache_hit_rate,
+            mem_requests: stats.mem.requests,
+            arbiter_forwards: stats.mem.arbiter_forwards,
+            bank_wait_cycles: stats.mem.bank_wait_cycles,
+            residual_tokens: stats.residual_tokens,
+            compile_cached: cached,
+            compile_micros,
+            sim_micros,
+            error: None,
+        }
+    }
+}
+
+/// Results of an [`ExperimentRunner::run`]: one record per declared point
+/// (in declaration order) plus compile-cache accounting.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct RunnerReport {
+    /// One record per declared sweep point, in declaration order.
+    pub records: Vec<RunRecord>,
+    /// Unique `(workload, system, heuristic)` compiles performed.
+    pub pnr_compiles: usize,
+    /// Sweep points that reused a cached compile artifact.
+    pub cache_hits: usize,
+    /// End-to-end wall-clock time of `run()`.
+    pub wall: Duration,
+}
+
+impl RunnerReport {
+    /// Deterministic JSON export (excludes wall-clock timing fields).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        records_to_json(&self.records, false)
+    }
+
+    /// JSON export including `compile_micros` / `sim_micros`.
+    #[must_use]
+    pub fn to_json_with_timing(&self) -> String {
+        records_to_json(&self.records, true)
+    }
+
+    /// Deterministic CSV export (excludes wall-clock timing fields).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        records_to_csv(&self.records, false)
+    }
+
+    /// CSV export including `compile_micros` / `sim_micros`.
+    #[must_use]
+    pub fn to_csv_with_timing(&self) -> String {
+        records_to_csv(&self.records, true)
+    }
+}
+
+/// A declarative sweep executor: register workloads and systems, declare
+/// points, call [`ExperimentRunner::run`].
+///
+/// See the [module docs](self) for the execution model.
+#[derive(Debug, Default)]
+pub struct ExperimentRunner {
+    workloads: Vec<Arc<Workload>>,
+    systems: Vec<Arc<SystemConfig>>,
+    points: Vec<Point>,
+    threads: usize,
+}
+
+impl ExperimentRunner {
+    /// An empty runner. Thread count defaults to the machine's available
+    /// parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        ExperimentRunner::default()
+    }
+
+    /// Set the worker thread count (`0` = available parallelism).
+    pub fn threads(&mut self, n: usize) -> &mut Self {
+        self.threads = n;
+        self
+    }
+
+    /// Register a workload; the handle is valid for this runner only.
+    pub fn workload(&mut self, w: Workload) -> WorkloadHandle {
+        self.shared_workload(Arc::new(w))
+    }
+
+    /// Register an already-shared workload without cloning it.
+    pub fn shared_workload(&mut self, w: Arc<Workload>) -> WorkloadHandle {
+        self.workloads.push(w);
+        WorkloadHandle(self.workloads.len() - 1)
+    }
+
+    /// Register a system configuration.
+    pub fn system(&mut self, sys: SystemConfig) -> SystemHandle {
+        self.shared_system(Arc::new(sys))
+    }
+
+    /// Register an already-shared system configuration without cloning it.
+    pub fn shared_system(&mut self, sys: Arc<SystemConfig>) -> SystemHandle {
+        self.systems.push(sys);
+        SystemHandle(self.systems.len() - 1)
+    }
+
+    /// Declare one sweep point.
+    pub fn point(
+        &mut self,
+        w: WorkloadHandle,
+        s: SystemHandle,
+        heuristic: Heuristic,
+        model: MemoryModel,
+    ) -> &mut Self {
+        assert!(w.0 < self.workloads.len(), "unknown workload handle");
+        assert!(s.0 < self.systems.len(), "unknown system handle");
+        self.points.push(Point {
+            workload: w.0,
+            sys: s.0,
+            heuristic,
+            model,
+        });
+        self
+    }
+
+    /// Declare one point per memory model, using the paper's heuristic
+    /// pairing ([`heuristic_for`]: effcc under NUPEA, domain-unaware
+    /// under the uniform baselines). All points with the same heuristic
+    /// share a single compile.
+    pub fn model_sweep(
+        &mut self,
+        w: WorkloadHandle,
+        s: SystemHandle,
+        models: &[MemoryModel],
+    ) -> &mut Self {
+        for &m in models {
+            self.point(w, s, heuristic_for(m), m);
+        }
+        self
+    }
+
+    /// Declare one point per heuristic under a fixed memory model
+    /// (the Fig. 12 ablation shape).
+    pub fn heuristic_sweep(
+        &mut self,
+        w: WorkloadHandle,
+        s: SystemHandle,
+        heuristics: &[Heuristic],
+        model: MemoryModel,
+    ) -> &mut Self {
+        for &h in heuristics {
+            self.point(w, s, h, model);
+        }
+        self
+    }
+
+    /// Number of declared sweep points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether any points have been declared.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    fn effective_threads(&self, work: usize) -> usize {
+        let n = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            self.threads
+        };
+        n.min(work).max(1)
+    }
+
+    /// Execute every declared point and return records in declaration
+    /// order. Failed points produce records with `error` set rather than
+    /// aborting the sweep.
+    #[must_use]
+    pub fn run(&self) -> RunnerReport {
+        let t_start = Instant::now();
+
+        // Deduplicate points into compile keys; remember which point first
+        // declared each key (that point is charged the compile, the rest
+        // are cache hits).
+        let mut keys: Vec<CompileKey> = Vec::new();
+        let mut first_point: Vec<usize> = Vec::new();
+        let mut key_of_point: Vec<usize> = Vec::with_capacity(self.points.len());
+        for (pi, p) in self.points.iter().enumerate() {
+            let k = CompileKey {
+                workload: p.workload,
+                sys: p.sys,
+                heuristic: p.heuristic,
+            };
+            let ki = keys.iter().position(|&e| e == k).unwrap_or_else(|| {
+                keys.push(k);
+                first_point.push(pi);
+                keys.len() - 1
+            });
+            key_of_point.push(ki);
+        }
+
+        // Phase 1: compile each unique key once, in parallel. Workers pull
+        // indices off a shared atomic counter and fill fixed slots, so the
+        // artifact order (and everything downstream) is independent of
+        // scheduling.
+        type TimedArtifact = (Result<Compiled, PipelineError>, u64);
+        let artifacts: Vec<TimedArtifact> = {
+            let slots: Mutex<Vec<Option<TimedArtifact>>> =
+                Mutex::new((0..keys.len()).map(|_| None).collect());
+            let next = AtomicUsize::new(0);
+            let nthreads = self.effective_threads(keys.len());
+            std::thread::scope(|sc| {
+                for _ in 0..nthreads {
+                    sc.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= keys.len() {
+                            break;
+                        }
+                        let k = keys[i];
+                        let t0 = Instant::now();
+                        let r = crate::compile_impl(
+                            &self.workloads[k.workload],
+                            &self.systems[k.sys],
+                            k.heuristic,
+                        );
+                        let micros = t0.elapsed().as_micros() as u64;
+                        slots.lock().expect("compile worker panicked")[i] = Some((r, micros));
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("compile worker panicked")
+                .into_iter()
+                .map(|s| s.expect("every key compiled"))
+                .collect()
+        };
+
+        // Phase 2: simulate every point in parallel against the shared
+        // artifacts.
+        let records: Vec<RunRecord> = {
+            let slots: Mutex<Vec<Option<RunRecord>>> =
+                Mutex::new((0..self.points.len()).map(|_| None).collect());
+            let next = AtomicUsize::new(0);
+            let nthreads = self.effective_threads(self.points.len());
+            std::thread::scope(|sc| {
+                for _ in 0..nthreads {
+                    sc.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= self.points.len() {
+                            break;
+                        }
+                        let p = &self.points[i];
+                        let ki = key_of_point[i];
+                        let cached = first_point[ki] != i;
+                        let (artifact, compile_micros) = &artifacts[ki];
+                        let workload = &self.workloads[p.workload];
+                        let rec = match artifact {
+                            Err(e) => RunRecord::failed(p, workload, *compile_micros, cached, e),
+                            Ok(c) => {
+                                let t0 = Instant::now();
+                                let out = c.simulate(p.model);
+                                let sim_micros = t0.elapsed().as_micros() as u64;
+                                match out {
+                                    Ok(stats) => RunRecord::completed(
+                                        p,
+                                        workload,
+                                        *compile_micros,
+                                        cached,
+                                        &stats,
+                                        sim_micros,
+                                    ),
+                                    Err(e) => {
+                                        let mut r = RunRecord::failed(
+                                            p,
+                                            workload,
+                                            *compile_micros,
+                                            cached,
+                                            &e,
+                                        );
+                                        r.sim_micros = sim_micros;
+                                        r
+                                    }
+                                }
+                            }
+                        };
+                        slots.lock().expect("sim worker panicked")[i] = Some(rec);
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("sim worker panicked")
+                .into_iter()
+                .map(|s| s.expect("every point simulated"))
+                .collect()
+        };
+
+        RunnerReport {
+            records,
+            pnr_compiles: keys.len(),
+            cache_hits: self.points.len() - keys.len(),
+            wall: t_start.elapsed(),
+        }
+    }
+}
+
+/// Escape a string for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` as a JSON number (`null` for non-finite values).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize records to a JSON array (one object per record), hand-rolled
+/// so the workspace stays dependency-free. With `timing` false the
+/// wall-clock fields are omitted and the output is deterministic.
+#[must_use]
+pub fn records_to_json(records: &[RunRecord], timing: bool) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let domains: Vec<String> = r
+            .load_latency_by_domain
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"total_latency\":{},\"count\":{}}}",
+                    d.total_latency, d.count
+                )
+            })
+            .collect();
+        let error = r
+            .error
+            .as_ref()
+            .map_or_else(|| "null".to_string(), |e| format!("\"{}\"", json_escape(e)));
+        out.push_str(&format!(
+            "  {{\"workload\":\"{}\",\"par\":{},\"heuristic\":\"{}\",\"model\":\"{}\",\
+             \"cycles\":{},\"fabric_cycles\":{},\"divider\":{},\"firings\":{},\
+             \"mean_load_latency\":{},\"load_latency_by_domain\":[{}],\
+             \"cache_hit_rate\":{},\"mem_requests\":{},\"arbiter_forwards\":{},\
+             \"bank_wait_cycles\":{},\"residual_tokens\":{},\"compile_cached\":{}",
+            json_escape(&r.workload),
+            r.par,
+            r.heuristic,
+            r.model.label(),
+            r.cycles,
+            r.fabric_cycles,
+            r.divider,
+            r.firings,
+            json_f64(r.mean_load_latency),
+            domains.join(","),
+            json_f64(r.cache_hit_rate),
+            r.mem_requests,
+            r.arbiter_forwards,
+            r.bank_wait_cycles,
+            r.residual_tokens,
+            r.compile_cached,
+        ));
+        if timing {
+            out.push_str(&format!(
+                ",\"compile_micros\":{},\"sim_micros\":{}",
+                r.compile_micros, r.sim_micros
+            ));
+        }
+        out.push_str(&format!(",\"error\":{error}}}"));
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+/// Quote a CSV cell if it contains a delimiter, quote, or newline.
+fn csv_cell(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialize records to CSV with a header row. Per-domain latency is
+/// packed into one cell as `total:count` pairs joined by `|`. With
+/// `timing` false the wall-clock columns are omitted and the output is
+/// deterministic.
+#[must_use]
+pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
+    let mut out = String::from(
+        "workload,par,heuristic,model,cycles,fabric_cycles,divider,firings,\
+         mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
+         bank_wait_cycles,residual_tokens,load_latency_by_domain,compile_cached",
+    );
+    if timing {
+        out.push_str(",compile_micros,sim_micros");
+    }
+    out.push_str(",error\n");
+    for r in records {
+        let domains: Vec<String> = r
+            .load_latency_by_domain
+            .iter()
+            .map(|d| format!("{}:{}", d.total_latency, d.count))
+            .collect();
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            csv_cell(&r.workload),
+            r.par,
+            r.heuristic,
+            csv_cell(r.model.label().as_str()),
+            r.cycles,
+            r.fabric_cycles,
+            r.divider,
+            r.firings,
+            json_f64(r.mean_load_latency),
+            json_f64(r.cache_hit_rate),
+            r.mem_requests,
+            r.arbiter_forwards,
+            r.bank_wait_cycles,
+            r.residual_tokens,
+            csv_cell(&domains.join("|")),
+            r.compile_cached,
+        ));
+        if timing {
+            out.push_str(&format!(",{},{}", r.compile_micros, r.sim_micros));
+        }
+        out.push(',');
+        out.push_str(&csv_cell(r.error.as_deref().unwrap_or("")));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> RunRecord {
+        RunRecord {
+            workload: "spmv".to_string(),
+            par: 2,
+            heuristic: Heuristic::CriticalityAware,
+            model: MemoryModel::Nupea,
+            cycles: 1234,
+            fabric_cycles: 617,
+            divider: 2,
+            firings: 999,
+            mean_load_latency: 12.5,
+            load_latency_by_domain: vec![
+                DomainLatency {
+                    total_latency: 80,
+                    count: 8,
+                },
+                DomainLatency {
+                    total_latency: 20,
+                    count: 1,
+                },
+            ],
+            cache_hit_rate: 0.75,
+            mem_requests: 40,
+            arbiter_forwards: 11,
+            bank_wait_cycles: 7,
+            residual_tokens: 0,
+            compile_cached: false,
+            compile_micros: 5000,
+            sim_micros: 300,
+            error: None,
+        }
+    }
+
+    #[test]
+    fn json_golden_matches() {
+        let want = "[\n  {\"workload\":\"spmv\",\"par\":2,\"heuristic\":\"effcc\",\
+                    \"model\":\"NUPEA\",\"cycles\":1234,\"fabric_cycles\":617,\
+                    \"divider\":2,\"firings\":999,\"mean_load_latency\":12.5,\
+                    \"load_latency_by_domain\":[{\"total_latency\":80,\"count\":8},\
+                    {\"total_latency\":20,\"count\":1}],\"cache_hit_rate\":0.75,\
+                    \"mem_requests\":40,\"arbiter_forwards\":11,\"bank_wait_cycles\":7,\
+                    \"residual_tokens\":0,\"compile_cached\":false,\"error\":null}\n]";
+        assert_eq!(records_to_json(&[sample_record()], false), want);
+    }
+
+    #[test]
+    fn json_timing_adds_wall_clock_fields() {
+        let with = records_to_json(&[sample_record()], true);
+        assert!(with.contains("\"compile_micros\":5000"));
+        assert!(with.contains("\"sim_micros\":300"));
+        assert!(!records_to_json(&[sample_record()], false).contains("micros"));
+    }
+
+    #[test]
+    fn csv_golden_matches() {
+        let want = "workload,par,heuristic,model,cycles,fabric_cycles,divider,firings,\
+                    mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
+                    bank_wait_cycles,residual_tokens,load_latency_by_domain,compile_cached,error\n\
+                    spmv,2,effcc,NUPEA,1234,617,2,999,12.5,0.75,40,11,7,0,80:8|20:1,false,\n";
+        assert_eq!(records_to_csv(&[sample_record()], false), want);
+    }
+
+    #[test]
+    fn csv_quotes_cells_with_delimiters() {
+        let mut r = sample_record();
+        r.error = Some("bad, \"quoted\" thing".to_string());
+        let csv = records_to_csv(&[r], false);
+        assert!(csv.ends_with(",\"bad, \"\"quoted\"\" thing\"\n"));
+    }
+
+    #[test]
+    fn json_escapes_control_and_quote_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

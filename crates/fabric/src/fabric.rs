@@ -212,7 +212,7 @@ impl Fabric {
         d0_cols: usize,
         domain_cols: usize,
     ) -> Result<Self, FabricError> {
-        if rows < 2 || rows % 2 != 0 || cols < 4 {
+        if rows < 2 || !rows.is_multiple_of(2) || cols < 4 {
             return Err(FabricError::BadDimensions {
                 rows,
                 cols,
@@ -246,7 +246,7 @@ impl Fabric {
     ///
     /// Returns [`FabricError::BadDimensions`] for unusable sizes.
     pub fn clustered_single(rows: usize, cols: usize, tracks: u32) -> Result<Self, FabricError> {
-        if rows < 2 || cols < 4 || cols % 2 != 0 {
+        if rows < 2 || cols < 4 || !cols.is_multiple_of(2) {
             return Err(FabricError::BadDimensions {
                 rows,
                 cols,
@@ -255,7 +255,15 @@ impl Fabric {
         }
         let half = cols / 2;
         let is_ls = move |_r: usize, c: usize| c >= half;
-        Self::build(TopologyKind::ClusteredSingle, rows, cols, tracks, 1, DOMAIN_COLS, is_ls)
+        Self::build(
+            TopologyKind::ClusteredSingle,
+            rows,
+            cols,
+            tracks,
+            1,
+            DOMAIN_COLS,
+            is_ls,
+        )
     }
 
     /// Build a Clustered-Double fabric: like Clustered-Single with two
@@ -265,7 +273,7 @@ impl Fabric {
     ///
     /// Returns [`FabricError::BadDimensions`] for unusable sizes.
     pub fn clustered_double(rows: usize, cols: usize, tracks: u32) -> Result<Self, FabricError> {
-        if rows < 2 || cols < 4 || cols % 2 != 0 {
+        if rows < 2 || cols < 4 || !cols.is_multiple_of(2) {
             return Err(FabricError::BadDimensions {
                 rows,
                 cols,
@@ -274,7 +282,15 @@ impl Fabric {
         }
         let half = cols / 2;
         let is_ls = move |_r: usize, c: usize| c >= half;
-        Self::build(TopologyKind::ClusteredDouble, rows, cols, tracks, 2, DOMAIN_COLS, is_ls)
+        Self::build(
+            TopologyKind::ClusteredDouble,
+            rows,
+            cols,
+            tracks,
+            2,
+            DOMAIN_COLS,
+            is_ls,
+        )
     }
 
     /// Build a fabric by topology kind.
@@ -448,7 +464,10 @@ impl Fabric {
 
     /// Count of load-store PEs.
     pub fn num_ls_pes(&self) -> usize {
-        self.kinds.iter().filter(|k| **k == PeKind::LoadStore).count()
+        self.kinds
+            .iter()
+            .filter(|k| **k == PeKind::LoadStore)
+            .count()
     }
 
     /// Manhattan distance between two PEs (data-NoC hops lower bound).

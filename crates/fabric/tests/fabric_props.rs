@@ -1,73 +1,76 @@
 //! Property tests for fabric construction: every geometry the constructors
-//! accept must produce a structurally sound NUPEA fabric.
+//! accept must produce a structurally sound NUPEA fabric. Randomized via
+//! the workspace PRNG (seeded, exactly reproducible).
 
 use nupea_fabric::{Fabric, PeKind, TopologyKind};
-use proptest::prelude::*;
+use nupea_rng::Xoshiro256;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: usize = 64;
 
-    #[test]
-    fn monaco_geometry_invariants(
-        rows_half in 1usize..13,
-        cols in 4usize..26,
-        tracks in 1u32..8,
-    ) {
-        let rows = rows_half * 2;
+#[test]
+fn monaco_geometry_invariants() {
+    let mut rng = Xoshiro256::seed_from_u64(0xFAB0);
+    for _ in 0..CASES {
+        let rows = rng.range_usize(1, 12) * 2;
+        let cols = rng.range_usize(4, 25);
+        let tracks = rng.range_usize(1, 7) as u32;
         let f = Fabric::monaco(rows, cols, tracks).expect("valid dims");
         // Half the PEs are load-store (alternating rows).
-        prop_assert_eq!(f.num_ls_pes(), rows * cols / 2);
+        assert_eq!(f.num_ls_pes(), rows * cols / 2);
         // Every LS PE reaches a port, with hops equal to its domain id.
         for pe in f.ls_pes() {
             let d = f.domain(pe).expect("LS PE has a domain");
-            prop_assert_eq!(f.mem_hops(pe), u32::from(d.0));
+            assert_eq!(f.mem_hops(pe), u32::from(d.0));
             let port = f.fmnoc().port_of(pe);
-            prop_assert!(port.index() < f.num_ports());
+            assert!(port.index() < f.num_ports());
         }
         // Domains are monotone in distance from memory within a row.
         for r in (1..rows).step_by(2) {
             let mut last = 0u8;
             for c in (0..cols).rev() {
                 let d = f.domain(f.at(r, c)).expect("LS row");
-                prop_assert!(d.0 >= last, "domains must not shrink away from memory");
+                assert!(d.0 >= last, "domains must not shrink away from memory");
                 last = d.0;
             }
         }
         // Arithmetic PEs have no domain or access path.
         for pe in f.pes() {
             if f.kind(pe) == PeKind::Arith {
-                prop_assert!(f.domain(pe).is_none());
+                assert!(f.domain(pe).is_none());
             }
         }
     }
+}
 
-    #[test]
-    fn custom_domain_geometry_invariants(
-        d0 in 1usize..6,
-        dcols in 1usize..5,
-    ) {
+#[test]
+fn custom_domain_geometry_invariants() {
+    let mut rng = Xoshiro256::seed_from_u64(0xFAB1);
+    for _ in 0..CASES {
+        let d0 = rng.range_usize(1, 5);
+        let dcols = rng.range_usize(1, 4);
         let f = Fabric::monaco_with_domains(12, 12, 3, d0, dcols).expect("valid geometry");
         // Ports scale with d0 columns: one direct port per D0 PE per LS row.
-        prop_assert_eq!(f.num_ports(), 6 * d0.min(12));
+        assert_eq!(f.num_ports(), 6 * d0.min(12));
         // D0 PEs have zero hops.
         let d0_count = f
             .ls_pes()
             .filter(|&p| f.domain(p).map(|d| d.0) == Some(0))
             .count();
-        prop_assert_eq!(d0_count, 6 * d0.min(12));
+        assert_eq!(d0_count, 6 * d0.min(12));
         for pe in f.ls_pes() {
             if f.domain(pe).map(|d| d.0) == Some(0) {
-                prop_assert_eq!(f.mem_hops(pe), 0);
+                assert_eq!(f.mem_hops(pe), 0);
             }
         }
     }
+}
 
-    #[test]
-    fn clustered_topologies_cluster_ls_near_memory(
-        rows in 2usize..17,
-        cols_half in 2usize..13,
-    ) {
-        let cols = cols_half * 2;
+#[test]
+fn clustered_topologies_cluster_ls_near_memory() {
+    let mut rng = Xoshiro256::seed_from_u64(0xFAB2);
+    for _ in 0..CASES {
+        let rows = rng.range_usize(2, 16);
+        let cols = rng.range_usize(2, 12) * 2;
         for kind in [TopologyKind::ClusteredSingle, TopologyKind::ClusteredDouble] {
             let f = Fabric::of_kind(kind, rows, cols, 3).expect("valid dims");
             // LS PEs occupy exactly the right half of every row.
@@ -78,26 +81,31 @@ proptest! {
                     } else {
                         PeKind::Arith
                     };
-                    prop_assert_eq!(f.kind(f.at(r, c)), expect);
+                    assert_eq!(f.kind(f.at(r, c)), expect);
                 }
             }
             // Port count: one (CS) or two (CD) per row.
-            let per_row = if kind == TopologyKind::ClusteredSingle { 1 } else { 2 };
-            prop_assert_eq!(f.num_ports(), rows * per_row);
+            let per_row = if kind == TopologyKind::ClusteredSingle {
+                1
+            } else {
+                2
+            };
+            assert_eq!(f.num_ports(), rows * per_row);
         }
     }
+}
 
-    #[test]
-    fn distance_is_a_metric(
-        a in 0u32..144,
-        b in 0u32..144,
-        c in 0u32..144,
-    ) {
-        use nupea_fabric::PeId;
-        let f = Fabric::monaco(12, 12, 3).unwrap();
-        let (a, b, c) = (PeId(a), PeId(b), PeId(c));
-        prop_assert_eq!(f.dist(a, a), 0);
-        prop_assert_eq!(f.dist(a, b), f.dist(b, a));
-        prop_assert!(f.dist(a, c) <= f.dist(a, b) + f.dist(b, c));
+#[test]
+fn distance_is_a_metric() {
+    use nupea_fabric::PeId;
+    let f = Fabric::monaco(12, 12, 3).unwrap();
+    let mut rng = Xoshiro256::seed_from_u64(0xFAB3);
+    for _ in 0..CASES * 4 {
+        let a = PeId(rng.index(144) as u32);
+        let b = PeId(rng.index(144) as u32);
+        let c = PeId(rng.index(144) as u32);
+        assert_eq!(f.dist(a, a), 0);
+        assert_eq!(f.dist(a, b), f.dist(b, a));
+        assert!(f.dist(a, c) <= f.dist(a, b) + f.dist(b, c));
     }
 }

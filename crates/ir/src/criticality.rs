@@ -114,9 +114,10 @@ fn on_cycle(dfg: &Dfg, id: NodeId, comp: &[u32], comp_size: &[u32]) -> bool {
         return true;
     }
     // Self loop?
-    dfg.node(id).inputs.iter().any(
-        |ip| matches!(ip, InPort::Wire { src, .. } if *src == id),
-    )
+    dfg.node(id)
+        .inputs
+        .iter()
+        .any(|ip| matches!(ip, InPort::Wire { src, .. } if *src == id))
 }
 
 /// Classify every memory operation in the graph, writing the result into

@@ -153,7 +153,10 @@ impl fmt::Display for GraphError {
                 write!(f, "input port {port} of {node} is unconnected")
             }
             GraphError::DanglingWire { node, port } => {
-                write!(f, "input port {port} of {node} references a nonexistent source")
+                write!(
+                    f,
+                    "input port {port} of {node} references a nonexistent source"
+                )
             }
             GraphError::DuplicateParam(p) => write!(f, "duplicate param id {}", p.0),
             GraphError::DuplicateSink(s) => write!(f, "duplicate sink id {}", s.0),
@@ -361,15 +364,11 @@ impl Dfg {
                 }
             }
             match node.op {
-                Op::Param(p) => {
-                    if seen_params.insert(p.0, ()).is_some() {
-                        errs.push(GraphError::DuplicateParam(p));
-                    }
+                Op::Param(p) if seen_params.insert(p.0, ()).is_some() => {
+                    errs.push(GraphError::DuplicateParam(p));
                 }
-                Op::Sink(s) => {
-                    if seen_sinks.insert(s.0, ()).is_some() {
-                        errs.push(GraphError::DuplicateSink(s));
-                    }
+                Op::Sink(s) if seen_sinks.insert(s.0, ()).is_some() => {
+                    errs.push(GraphError::DuplicateSink(s));
                 }
                 _ => {}
             }
@@ -401,7 +400,13 @@ impl Dfg {
     pub fn dump(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        let _ = writeln!(s, "dfg {} ({} nodes, {} edges)", self.name, self.len(), self.num_edges());
+        let _ = writeln!(
+            s,
+            "dfg {} ({} nodes, {} edges)",
+            self.name,
+            self.len(),
+            self.num_edges()
+        );
         for (id, n) in self.iter() {
             let ins: Vec<String> = n
                 .inputs

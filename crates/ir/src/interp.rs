@@ -180,7 +180,9 @@ impl<'g> Interp<'g> {
                 self.total_firings += 1;
                 self.firings[id.index()] += 1;
                 if self.total_firings > self.budget {
-                    return Err(InterpError::FiringBudgetExhausted { budget: self.budget });
+                    return Err(InterpError::FiringBudgetExhausted {
+                        budget: self.budget,
+                    });
                 }
             }
         }
@@ -395,8 +397,7 @@ impl<'g> Interp<'g> {
                 if self.peek(id, Op::LOAD_ADDR).is_none() {
                     return Ok(false);
                 }
-                if self.order_wired(id, Op::LOAD_ORDER) && self.peek(id, Op::LOAD_ORDER).is_none()
-                {
+                if self.order_wired(id, Op::LOAD_ORDER) && self.peek(id, Op::LOAD_ORDER).is_none() {
                     return Ok(false);
                 }
                 let addr = self.consume(id, Op::LOAD_ADDR);
@@ -417,8 +418,7 @@ impl<'g> Interp<'g> {
                 {
                     return Ok(false);
                 }
-                if self.order_wired(id, Op::STORE_ORDER)
-                    && self.peek(id, Op::STORE_ORDER).is_none()
+                if self.order_wired(id, Op::STORE_ORDER) && self.peek(id, Op::STORE_ORDER).is_none()
                 {
                     return Ok(false);
                 }
@@ -527,7 +527,12 @@ mod tests {
             let r = it.run(&mut mem).expect("run ok");
             let expected: i64 = (0..n).sum();
             assert_eq!(r.sinks[0], vec![expected], "n={n}");
-            assert!(r.is_balanced(), "n={n}: residual={:?} unsettled={:?}", r.residual, r.unsettled);
+            assert!(
+                r.is_balanced(),
+                "n={n}: residual={:?} unsettled={:?}",
+                r.residual,
+                r.unsettled
+            );
         }
     }
 

@@ -456,7 +456,12 @@ mod tests {
                 assert!(p < op.num_inputs(), "{op}: optional port out of range");
             }
             // Exactly one of the FU categories applies to each op.
-            let cats = [op.is_memory(), op.is_control(), op.is_arith(), op.is_endpoint()];
+            let cats = [
+                op.is_memory(),
+                op.is_control(),
+                op.is_arith(),
+                op.is_endpoint(),
+            ];
             assert_eq!(
                 cats.iter().filter(|&&c| c).count(),
                 1,

@@ -1,77 +1,111 @@
 //! Property tests for the instruction set's algebraic contracts and the
-//! interpreter's structural guarantees.
+//! interpreter's structural guarantees, driven by a seeded internal PRNG
+//! (256 cases per property, exactly reproducible).
 
 use nupea_ir::graph::Dfg;
 use nupea_ir::interp::Interp;
 use nupea_ir::op::{BinOpKind, CmpKind, Op, UnOpKind};
-use proptest::prelude::*;
+use nupea_rng::Xoshiro256;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+const CASES: usize = 256;
 
-    #[test]
-    fn binops_never_panic_and_are_total(a in any::<i64>(), b in any::<i64>()) {
+/// Interesting i64 values plus uniform noise: the edge cases proptest's
+/// `any::<i64>()` would shrink towards, made explicit.
+fn arb_i64(rng: &mut Xoshiro256) -> i64 {
+    const SPECIAL: [i64; 8] = [0, 1, -1, i64::MAX, i64::MIN, i64::MAX - 1, i64::MIN + 1, 42];
+    if rng.chance(0.25) {
+        SPECIAL[rng.index(SPECIAL.len())]
+    } else {
+        rng.next_u64() as i64
+    }
+}
+
+#[test]
+fn binops_never_panic_and_are_total() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0901);
+    for _ in 0..CASES {
+        let (a, b) = (arb_i64(&mut rng), arb_i64(&mut rng));
         for k in BinOpKind::ALL {
             let _ = k.eval(a, b);
         }
         for k in CmpKind::ALL {
             let v = k.eval(a, b);
-            prop_assert!(v == 0 || v == 1);
+            assert!(v == 0 || v == 1);
         }
         for k in UnOpKind::ALL {
             let _ = k.eval(a);
         }
     }
+}
 
-    #[test]
-    fn commutative_ops_commute(a in any::<i64>(), b in any::<i64>()) {
-        for k in [BinOpKind::Add, BinOpKind::Mul, BinOpKind::And, BinOpKind::Or,
-                  BinOpKind::Xor, BinOpKind::Min, BinOpKind::Max] {
-            prop_assert_eq!(k.eval(a, b), k.eval(b, a), "{} must commute", k);
+#[test]
+fn commutative_ops_commute() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0902);
+    for _ in 0..CASES {
+        let (a, b) = (arb_i64(&mut rng), arb_i64(&mut rng));
+        for k in [
+            BinOpKind::Add,
+            BinOpKind::Mul,
+            BinOpKind::And,
+            BinOpKind::Or,
+            BinOpKind::Xor,
+            BinOpKind::Min,
+            BinOpKind::Max,
+        ] {
+            assert_eq!(k.eval(a, b), k.eval(b, a), "{k} must commute");
         }
     }
+}
 
-    #[test]
-    fn cmp_pairs_are_duals(a in any::<i64>(), b in any::<i64>()) {
-        prop_assert_eq!(CmpKind::Lt.eval(a, b), CmpKind::Gt.eval(b, a));
-        prop_assert_eq!(CmpKind::Le.eval(a, b), CmpKind::Ge.eval(b, a));
-        prop_assert_eq!(CmpKind::Eq.eval(a, b), 1 - CmpKind::Ne.eval(a, b));
-        prop_assert_eq!(CmpKind::Lt.eval(a, b), 1 - CmpKind::Ge.eval(a, b));
+#[test]
+fn cmp_pairs_are_duals() {
+    let mut rng = Xoshiro256::seed_from_u64(0x0903);
+    for _ in 0..CASES {
+        let (a, b) = (arb_i64(&mut rng), arb_i64(&mut rng));
+        assert_eq!(CmpKind::Lt.eval(a, b), CmpKind::Gt.eval(b, a));
+        assert_eq!(CmpKind::Le.eval(a, b), CmpKind::Ge.eval(b, a));
+        assert_eq!(CmpKind::Eq.eval(a, b), 1 - CmpKind::Ne.eval(a, b));
+        assert_eq!(CmpKind::Lt.eval(a, b), 1 - CmpKind::Ge.eval(a, b));
     }
+}
 
-    #[test]
-    fn select_matches_mux_semantics(d in any::<bool>(), t in any::<i64>(), f in any::<i64>()) {
-        // An eager Select and a lazy Mux fed from gated sides must produce
-        // the same value for the same decider.
-        let build = |lazy: bool| {
-            let mut g = Dfg::new("sel");
-            let (dp, dpi) = g.add_param("d");
-            let (tp, tpi) = g.add_param("t");
-            let (fp, fpi) = g.add_param("f");
-            let n = if lazy {
-                // Gate each side so only the taken one produces a token.
-                let ts = g.add_node(Op::Steer(nupea_ir::op::SteerPolarity::OnTrue));
-                g.connect(dp, 0, ts, 0);
-                g.connect(tp, 0, ts, 1);
-                let fs = g.add_node(Op::Steer(nupea_ir::op::SteerPolarity::OnFalse));
-                g.connect(dp, 0, fs, 0);
-                g.connect(fp, 0, fs, 1);
-                let m = g.add_node(Op::Mux);
-                g.connect(dp, 0, m, 0);
-                g.connect(ts, 0, m, 1);
-                g.connect(fs, 0, m, 2);
-                m
-            } else {
-                let s = g.add_node(Op::Select);
-                g.connect(dp, 0, s, 0);
-                g.connect(tp, 0, s, 1);
-                g.connect(fp, 0, s, 2);
-                s
-            };
-            let (sink, _) = g.add_sink("out");
-            g.connect(n, 0, sink, 0);
-            (g, dpi, tpi, fpi)
+#[test]
+fn select_matches_mux_semantics() {
+    // An eager Select and a lazy Mux fed from gated sides must produce
+    // the same value for the same decider.
+    let build = |lazy: bool| {
+        let mut g = Dfg::new("sel");
+        let (dp, dpi) = g.add_param("d");
+        let (tp, tpi) = g.add_param("t");
+        let (fp, fpi) = g.add_param("f");
+        let n = if lazy {
+            // Gate each side so only the taken one produces a token.
+            let ts = g.add_node(Op::Steer(nupea_ir::op::SteerPolarity::OnTrue));
+            g.connect(dp, 0, ts, 0);
+            g.connect(tp, 0, ts, 1);
+            let fs = g.add_node(Op::Steer(nupea_ir::op::SteerPolarity::OnFalse));
+            g.connect(dp, 0, fs, 0);
+            g.connect(fp, 0, fs, 1);
+            let m = g.add_node(Op::Mux);
+            g.connect(dp, 0, m, 0);
+            g.connect(ts, 0, m, 1);
+            g.connect(fs, 0, m, 2);
+            m
+        } else {
+            let s = g.add_node(Op::Select);
+            g.connect(dp, 0, s, 0);
+            g.connect(tp, 0, s, 1);
+            g.connect(fp, 0, s, 2);
+            s
         };
+        let (sink, _) = g.add_sink("out");
+        g.connect(n, 0, sink, 0);
+        (g, dpi, tpi, fpi)
+    };
+    let mut rng = Xoshiro256::seed_from_u64(0x0904);
+    for _ in 0..CASES {
+        let d = rng.next_bool();
+        let (t, f) = (arb_i64(&mut rng), arb_i64(&mut rng));
         let mut results = Vec::new();
         for lazy in [false, true] {
             let (g, dpi, tpi, fpi) = build(lazy);
@@ -79,16 +113,21 @@ proptest! {
             let mut it = Interp::new(&g);
             it.bind(dpi, i64::from(d)).bind(tpi, t).bind(fpi, f);
             let r = it.run(&mut mem).expect("runs");
-            prop_assert!(r.is_balanced());
+            assert!(r.is_balanced());
             results.push(r.sinks[0][0]);
         }
-        prop_assert_eq!(results[0], results[1]);
-        prop_assert_eq!(results[0], if d { t } else { f });
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], if d { t } else { f });
     }
+}
 
-    #[test]
-    fn straight_line_arith_matches_native(xs in prop::collection::vec(any::<i64>(), 1..6)) {
-        // Fold a chain of adds/xors through the graph and natively.
+#[test]
+fn straight_line_arith_matches_native() {
+    // Fold a chain of adds/xors through the graph and natively.
+    let mut rng = Xoshiro256::seed_from_u64(0x0905);
+    for _ in 0..CASES {
+        let len = rng.range_usize(1, 5);
+        let xs: Vec<i64> = (0..len).map(|_| arb_i64(&mut rng)).collect();
         let mut g = Dfg::new("fold");
         let mut params = Vec::new();
         let (first, p0) = g.add_param("x0");
@@ -97,7 +136,11 @@ proptest! {
         for i in 1..xs.len() {
             let (p, pid) = g.add_param(format!("x{i}"));
             params.push(pid);
-            let op = if i % 2 == 0 { BinOpKind::Add } else { BinOpKind::Xor };
+            let op = if i % 2 == 0 {
+                BinOpKind::Add
+            } else {
+                BinOpKind::Xor
+            };
             let n = g.add_node(Op::BinOp(op));
             g.connect(prev, 0, n, 0);
             g.connect(p, 0, n, 1);
@@ -114,9 +157,13 @@ proptest! {
         let r = it.run(&mut mem).expect("runs");
         let mut want = xs[0];
         for (i, &v) in xs.iter().enumerate().skip(1) {
-            want = if i % 2 == 0 { want.wrapping_add(v) } else { want ^ v };
+            want = if i % 2 == 0 {
+                want.wrapping_add(v)
+            } else {
+                want ^ v
+            };
         }
-        prop_assert_eq!(r.sinks[0][0], want);
-        prop_assert!(r.is_balanced());
+        assert_eq!(r.sinks[0][0], want);
+        assert!(r.is_balanced());
     }
 }

@@ -604,10 +604,8 @@ impl Ctx {
         let inputs: Vec<Val> = inputs.iter().map(|&v| self.as_stream(v)).collect();
         let depth = self.regions[parent].depth;
 
-        let run_branch = |ctx: &mut Ctx,
-                              pol: SteerPolarity,
-                              f: Box<dyn FnOnce(&mut Ctx, &[Val]) -> Vec<Val> + '_>|
-         -> Vec<Val> {
+        type BranchBody<'a> = Box<dyn FnOnce(&mut Ctx, &[Val]) -> Vec<Val> + 'a>;
+        let run_branch = |ctx: &mut Ctx, pol: SteerPolarity, f: BranchBody<'_>| -> Vec<Val> {
             let region = ctx.push_region(depth, false, parent);
             let gated: Vec<Val> = inputs
                 .iter()
@@ -800,8 +798,9 @@ fn cse(g: &Dfg) -> Dfg {
         }
         i
     };
+    type CseKey = (String, Vec<(u8, i64, u32, u8)>);
     loop {
-        let mut seen: Map<(String, Vec<(u8, i64, u32, u8)>), u32> = Map::new();
+        let mut seen: Map<CseKey, u32> = Map::new();
         let mut changed = false;
         for (id, n) in g.iter() {
             if !n.op.is_arith() {
@@ -813,9 +812,7 @@ fn cse(g: &Dfg) -> Dfg {
                 .iter()
                 .map(|ip| match ip {
                     InPort::Imm(v) => (0u8, *v, 0, 0),
-                    InPort::Wire { src, src_port } => {
-                        (1, 0, resolve(&repr, src.0), *src_port)
-                    }
+                    InPort::Wire { src, src_port } => (1, 0, resolve(&repr, src.0), *src_port),
                     InPort::Unconnected => (2, 0, 0, 0),
                 })
                 .collect();
@@ -824,8 +821,7 @@ fn cse(g: &Dfg) -> Dfg {
             match seen.get(&key) {
                 Some(&other)
                     if other != me
-                        && fanout[other as usize] + fanout[me as usize]
-                            <= CSE_FANOUT_CAP =>
+                        && fanout[other as usize] + fanout[me as usize] <= CSE_FANOUT_CAP =>
                 {
                     fanout[other as usize] += fanout[me as usize];
                     repr[me as usize] = other;

@@ -4,19 +4,18 @@
 //! Everything is deterministic given a seed so experiments are exactly
 //! reproducible.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use nupea_rng::Xoshiro256;
 
 /// A dense row-major matrix of small integers.
 pub fn dense_matrix(rows: usize, cols: usize, seed: u64) -> Vec<i64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..rows * cols).map(|_| rng.gen_range(-8..=8)).collect()
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.range_i64(-8, 8)).collect()
 }
 
 /// A dense vector of small integers.
 pub fn dense_vector(len: usize, seed: u64) -> Vec<i64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(-8..=8)).collect()
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..len).map(|_| rng.range_i64(-8, 8)).collect()
 }
 
 /// A sparse matrix in compressed sparse row (CSR) form.
@@ -57,16 +56,16 @@ impl Csr {
 /// (`sparsity` in [0,1], e.g. 0.9 per Table 1). Values are small nonzero
 /// integers; column indices are sorted per row.
 pub fn sparse_csr(rows: usize, cols: usize, sparsity: f64, seed: u64) -> Csr {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut row_ptr = Vec::with_capacity(rows + 1);
     let mut col_idx = Vec::new();
     let mut values = Vec::new();
     row_ptr.push(0);
     for _ in 0..rows {
         for c in 0..cols {
-            if rng.gen::<f64>() >= sparsity {
+            if rng.next_f64() >= sparsity {
                 col_idx.push(c as i64);
-                let mut v = rng.gen_range(-4..=4i64);
+                let mut v = rng.range_i64(-4, 4);
                 if v == 0 {
                     v = 1;
                 }
@@ -108,30 +107,34 @@ impl SparseVec {
 
 /// Generate a random sparse vector with roughly `1 - sparsity` fill.
 pub fn sparse_vector(len: usize, sparsity: f64, seed: u64) -> SparseVec {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut nz_idx = Vec::new();
     let mut values = Vec::new();
     for i in 0..len {
-        if rng.gen::<f64>() >= sparsity {
+        if rng.next_f64() >= sparsity {
             nz_idx.push(i as i64);
-            let mut v = rng.gen_range(-4..=4i64);
+            let mut v = rng.range_i64(-4, 4);
             if v == 0 {
                 v = 2;
             }
             values.push(v);
         }
     }
-    SparseVec { len, nz_idx, values }
+    SparseVec {
+        len,
+        nz_idx,
+        values,
+    }
 }
 
 /// An undirected graph in CSR adjacency form with sorted neighbor lists
 /// (for triangle counting, GAPBS-style).
 pub fn random_graph(nodes: usize, edge_prob: f64, seed: u64) -> Csr {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let mut adj = vec![Vec::new(); nodes];
     for u in 0..nodes {
         for v in (u + 1)..nodes {
-            if rng.gen::<f64>() < edge_prob {
+            if rng.chance(edge_prob) {
                 adj[u].push(v as i64);
                 adj[v].push(u as i64);
             }
@@ -157,14 +160,16 @@ pub fn random_graph(nodes: usize, edge_prob: f64, seed: u64) -> Csr {
 
 /// An unsorted list for mergesort.
 pub fn random_list(len: usize, seed: u64) -> Vec<i64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(-1000..=1000)).collect()
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..len).map(|_| rng.range_i64(-1000, 1000)).collect()
 }
 
 /// Fixed-point (Q15) samples for the FFT workload.
 pub fn random_signal(len: usize, seed: u64) -> Vec<i64> {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    (0..len).map(|_| rng.gen_range(-(1 << 12)..(1 << 12))).collect()
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    (0..len)
+        .map(|_| rng.range_i64(-(1 << 12), (1 << 12) - 1))
+        .collect()
 }
 
 #[cfg(test)]

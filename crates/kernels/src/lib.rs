@@ -39,7 +39,7 @@ pub mod inputs;
 pub mod workloads;
 
 pub use builder::{Ctx, Kernel, Val};
-pub use workloads::{all_workloads, Scale, Workload, WorkloadSpec};
+pub use workloads::{all_workloads, Scale, ValidationError, Workload, WorkloadSpec};
 
 use nupea_ir::interp::{Interp, InterpError, InterpResult};
 
@@ -106,7 +106,7 @@ mod builder_tests {
         });
         let mut mem = vec![0i64; 4];
         let r = run(&k, &mut mem);
-        assert_eq!(r.sinks[0], vec![0 + 3 + 6 + 9]);
+        assert_eq!(r.sinks[0], vec![3 + 6 + 9]);
     }
 
     #[test]
@@ -125,7 +125,9 @@ mod builder_tests {
         });
         let mut mem = vec![0i64; 4];
         let r = run(&k, &mut mem);
-        let expected: i64 = (0..rows).map(|i| (0..cols).map(|j| i * j).sum::<i64>()).sum();
+        let expected: i64 = (0..rows)
+            .map(|i| (0..cols).map(|j| i * j).sum::<i64>())
+            .sum();
         assert_eq!(r.sinks[0], vec![expected]);
     }
 
@@ -166,8 +168,8 @@ mod builder_tests {
             });
         });
         let mut mem = vec![0i64; 32];
-        for i in 0..n {
-            mem[i] = (i * i) as i64;
+        for (i, slot) in mem.iter_mut().enumerate().take(n) {
+            *slot = (i * i) as i64;
         }
         run(&k, &mut mem);
         for i in 0..n {
@@ -310,14 +312,12 @@ mod builder_tests {
         mem[16..16 + b.len()].copy_from_slice(&b);
         let r = run(&k, &mut mem);
         assert_eq!(r.sinks[0], vec![3]); // {3, 7, 12}
-        // Both loads govern the loop condition through the index
-        // recurrences: both must be Critical.
+                                         // Both loads govern the loop condition through the index
+                                         // recurrences: both must be Critical.
         let crit_count = k
             .dfg()
             .iter()
-            .filter(|(_, n)| {
-                n.op.is_memory() && n.meta.criticality == Some(Criticality::Critical)
-            })
+            .filter(|(_, n)| n.op.is_memory() && n.meta.criticality == Some(Criticality::Critical))
             .count();
         assert_eq!(crit_count, 2);
     }

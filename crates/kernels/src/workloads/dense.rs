@@ -35,14 +35,21 @@ pub fn dmv_custom(rows: usize, cols: usize, par: usize) -> Workload {
                 let zero = c.imm(0);
                 let row_off = c.mul(r, cols as i64);
                 let row_base = c.add(row_off, a_base);
-                let sums = c.for_range(0, cols as i64, 1, &[zero], &[row_base], |c, j, acc, invs| {
-                    let av = c.add(invs[0], j);
-                    let av = c.load(av);
-                    let vv = c.add(j, v_base);
-                    let vv = c.load(vv);
-                    let prod = c.mul(av, vv);
-                    vec![c.add(acc[0], prod)]
-                });
+                let sums = c.for_range(
+                    0,
+                    cols as i64,
+                    1,
+                    &[zero],
+                    &[row_base],
+                    |c, j, acc, invs| {
+                        let av = c.add(invs[0], j);
+                        let av = c.load(av);
+                        let vv = c.add(j, v_base);
+                        let vv = c.load(vv);
+                        let prod = c.mul(av, vv);
+                        vec![c.add(acc[0], prod)]
+                    },
+                );
                 let d_addr = c.add(r, d_base);
                 c.store(d_addr, sums[0]);
                 vec![]
@@ -58,7 +65,11 @@ pub fn dmv_custom(rows: usize, cols: usize, par: usize) -> Workload {
         name: "dmv",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "D", base: d_base, expected }],
+        checks: vec![Check::Mem {
+            label: "D",
+            base: d_base,
+            expected,
+        }],
         par,
     }
 }
@@ -163,7 +174,11 @@ pub fn jacobi2d(scale: Scale, par: usize) -> Workload {
         name: "jacobi2d",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "grid", base: final_base, expected: final_buf }],
+        checks: vec![Check::Mem {
+            label: "grid",
+            base: final_base,
+            expected: final_buf,
+        }],
         par,
     }
 }
@@ -209,57 +224,56 @@ pub fn heat3d(scale: Scale, par: usize) -> Workload {
             let dst = c.select(parity, c.imm(a_base), c.imm(b_base));
             let chunk_toks = parallel_chunks(c, 1, (n - 1) as i64, par, |c, lo, hi| {
                 let acc0 = c.stream_const(0);
-                let planes =
-                    c.for_range(lo, hi, 1, &[acc0], &[src, dst, tok], |c, i, ic, invs| {
-                        let (src, dst, tok) = (invs[0], invs[1], invs[2]);
-                        let rows = c.for_range(
-                            1,
-                            (n - 1) as i64,
-                            1,
-                            &[ic[0]],
-                            &[src, dst, i, tok],
-                            |c, j, jc, invs| {
-                                let (src, dst, i, tok) = (invs[0], invs[1], invs[2], invs[3]);
-                                let plane = c.mul(i, (n * n) as i64);
-                                let row = c.mul(j, n as i64);
-                                let off = c.add(plane, row);
-                                let soff = c.add(src, off);
-                                let doff = c.add(dst, off);
-                                let cols = c.for_range(
-                                    1,
-                                    (n - 1) as i64,
-                                    1,
-                                    &[jc[0]],
-                                    &[soff, doff, tok],
-                                    |c, k, kc, invs| {
-                                        let (soff, doff, gate) = (invs[0], invs[1], invs[2]);
-                                        let center = c.add(soff, k);
-                                        let (v, _) = c.load_ordered(center, gate);
-                                        let mut acc = c.mul(v, -6);
-                                        for delta in [
-                                            -((n * n) as i64),
-                                            (n * n) as i64,
-                                            -(n as i64),
-                                            n as i64,
-                                            -1,
-                                            1,
-                                        ] {
-                                            let a = c.add(center, delta);
-                                            let (nv, _) = c.load_ordered(a, gate);
-                                            acc = c.add(acc, nv);
-                                        }
-                                        let upd = c.shr(acc, 3);
-                                        let out = c.add(v, upd);
-                                        let daddr = c.add(doff, k);
-                                        let st = c.store(daddr, out);
-                                        vec![c.or(kc[0], st)]
-                                    },
-                                );
-                                vec![cols[0]]
-                            },
-                        );
-                        vec![rows[0]]
-                    });
+                let planes = c.for_range(lo, hi, 1, &[acc0], &[src, dst, tok], |c, i, ic, invs| {
+                    let (src, dst, tok) = (invs[0], invs[1], invs[2]);
+                    let rows = c.for_range(
+                        1,
+                        (n - 1) as i64,
+                        1,
+                        &[ic[0]],
+                        &[src, dst, i, tok],
+                        |c, j, jc, invs| {
+                            let (src, dst, i, tok) = (invs[0], invs[1], invs[2], invs[3]);
+                            let plane = c.mul(i, (n * n) as i64);
+                            let row = c.mul(j, n as i64);
+                            let off = c.add(plane, row);
+                            let soff = c.add(src, off);
+                            let doff = c.add(dst, off);
+                            let cols = c.for_range(
+                                1,
+                                (n - 1) as i64,
+                                1,
+                                &[jc[0]],
+                                &[soff, doff, tok],
+                                |c, k, kc, invs| {
+                                    let (soff, doff, gate) = (invs[0], invs[1], invs[2]);
+                                    let center = c.add(soff, k);
+                                    let (v, _) = c.load_ordered(center, gate);
+                                    let mut acc = c.mul(v, -6);
+                                    for delta in [
+                                        -((n * n) as i64),
+                                        (n * n) as i64,
+                                        -(n as i64),
+                                        n as i64,
+                                        -1,
+                                        1,
+                                    ] {
+                                        let a = c.add(center, delta);
+                                        let (nv, _) = c.load_ordered(a, gate);
+                                        acc = c.add(acc, nv);
+                                    }
+                                    let upd = c.shr(acc, 3);
+                                    let out = c.add(v, upd);
+                                    let daddr = c.add(doff, k);
+                                    let st = c.store(daddr, out);
+                                    vec![c.or(kc[0], st)]
+                                },
+                            );
+                            vec![cols[0]]
+                        },
+                    );
+                    vec![rows[0]]
+                });
                 planes[0]
             });
             vec![c.join_order(&chunk_toks)]
@@ -282,7 +296,11 @@ pub fn heat3d(scale: Scale, par: usize) -> Workload {
         name: "heat3d",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "grid", base: final_base, expected: final_buf }],
+        checks: vec![Check::Mem {
+            label: "grid",
+            base: final_base,
+            expected: final_buf,
+        }],
         par,
     }
 }

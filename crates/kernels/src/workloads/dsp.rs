@@ -188,12 +188,10 @@ pub fn fft(scale: Scale, par: usize) -> Workload {
                         let acc_next = if split_j {
                             let h2 = c.shr(half, 1);
                             let zero = c.stream_const(0);
-                            let a1 = butterflies(
-                                c, work, tw_base, i, half, step, gate, zero, h2, zero,
-                            );
-                            let a2 = butterflies(
-                                c, work, tw_base, i, half, step, gate, h2, half, zero,
-                            );
+                            let a1 =
+                                butterflies(c, work, tw_base, i, half, step, gate, zero, h2, zero);
+                            let a2 =
+                                butterflies(c, work, tw_base, i, half, step, gate, h2, half, zero);
                             let both = c.or(a1, a2);
                             c.or(acc, both)
                         } else {
@@ -213,7 +211,11 @@ pub fn fft(scale: Scale, par: usize) -> Workload {
         name: "fft",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "spectrum", base: work, expected }],
+        checks: vec![Check::Mem {
+            label: "spectrum",
+            base: work,
+            expected,
+        }],
         par,
     }
 }
@@ -262,6 +264,9 @@ mod tests {
                     && n.meta.criticality == Some(nupea_ir::graph::Criticality::Critical)
             })
             .count();
-        assert!(crit > 0, "fft memory ops sit on the stage-ordering recurrence");
+        assert!(
+            crit > 0,
+            "fft memory ops sit on the stage-ordering recurrence"
+        );
     }
 }

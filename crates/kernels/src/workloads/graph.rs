@@ -44,8 +44,7 @@ pub fn tc(scale: Scale, par: usize) -> Workload {
                             is_fwd,
                             &[v, u_beg, u_end, kc[0]],
                             |c, ins| {
-                                let (v, u_beg, u_end, total) =
-                                    (ins[0], ins[1], ins[2], ins[3]);
+                                let (v, u_beg, u_end, total) = (ins[0], ins[1], ins[2], ins[3]);
                                 let vp = c.add(v, row_ptr);
                                 let v_beg = c.load(vp);
                                 let vp1 = c.add(vp, 1);
@@ -118,8 +117,16 @@ pub fn tc(scale: Scale, par: usize) -> Workload {
         kernel,
         mem,
         checks: vec![
-            Check::Mem { label: "total", base: total_base, expected: vec![expected] },
-            Check::Sink { label: "triangles", index: 0, expected: vec![expected] },
+            Check::Mem {
+                label: "total",
+                base: total_base,
+                expected: vec![expected],
+            },
+            Check::Sink {
+                label: "triangles",
+                index: 0,
+                expected: vec![expected],
+            },
         ],
         par,
     }

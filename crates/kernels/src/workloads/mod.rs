@@ -51,6 +51,63 @@ pub enum Check {
     },
 }
 
+/// Where a failed validation check looked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckTarget {
+    /// A memory-region check rooted at this base word address.
+    Mem {
+        /// Base word address of the checked region.
+        base: i64,
+    },
+    /// A sink-contents check against this sink index.
+    Sink {
+        /// Sink index (`SinkId` order).
+        index: usize,
+    },
+}
+
+/// A post-run validation failure: which check failed, where, and the first
+/// mismatching value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ValidationError {
+    /// Workload name (Table 1).
+    pub workload: &'static str,
+    /// Label of the failing check.
+    pub check: &'static str,
+    /// What the check inspected.
+    pub target: CheckTarget,
+    /// Offset of the first mismatch within the checked region/sink.
+    pub offset: usize,
+    /// Value observed at the mismatch (`None` if the output was truncated).
+    pub got: Option<i64>,
+    /// Value the reference implementation expected.
+    pub expected: Option<i64>,
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let what = match &self.target {
+            CheckTarget::Mem { base } => format!("memory check at base {base}"),
+            CheckTarget::Sink { index } => format!("sink check (sink {index})"),
+        };
+        write!(
+            f,
+            "{}: {what} '{}' mismatch at offset {}: got {} expected {}",
+            self.workload,
+            self.check,
+            self.offset,
+            self.got
+                .map_or_else(|| "<missing>".into(), |v| v.to_string()),
+            self.expected
+                .map_or_else(|| "<missing>".into(), |v| v.to_string()),
+        )
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
 /// An instantiated workload, ready to compile and run.
 #[derive(Debug, Clone)]
 pub struct Workload {
@@ -76,34 +133,52 @@ impl Workload {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first failing check.
-    pub fn validate(&self, mem: &SimMemory, sinks: &[Vec<i64>]) -> Result<(), String> {
+    /// Returns the first failing check as a typed [`ValidationError`].
+    pub fn validate(&self, mem: &SimMemory, sinks: &[Vec<i64>]) -> Result<(), ValidationError> {
         for check in &self.checks {
             match check {
-                Check::Mem { label, base, expected } => {
+                Check::Mem {
+                    label,
+                    base,
+                    expected,
+                } => {
                     let got = mem.slice(*base, expected.len());
                     if got != &expected[..] {
-                        let first_bad = got
+                        let offset = got
                             .iter()
                             .zip(expected)
                             .position(|(g, e)| g != e)
                             .unwrap_or(0);
-                        return Err(format!(
-                            "{}: check '{label}' mismatch at offset {first_bad}: \
-                             got {} expected {}",
-                            self.name, got[first_bad], expected[first_bad]
-                        ));
+                        return Err(ValidationError {
+                            workload: self.name,
+                            check: label,
+                            target: CheckTarget::Mem { base: *base },
+                            offset,
+                            got: got.get(offset).copied(),
+                            expected: expected.get(offset).copied(),
+                        });
                     }
                 }
-                Check::Sink { label, index, expected } => {
+                Check::Sink {
+                    label,
+                    index,
+                    expected,
+                } => {
                     let got = sinks.get(*index).map(Vec::as_slice).unwrap_or(&[]);
                     if got != &expected[..] {
-                        return Err(format!(
-                            "{}: sink check '{label}' mismatch: got {:?} expected {:?}",
-                            self.name,
-                            &got[..got.len().min(8)],
-                            &expected[..expected.len().min(8)]
-                        ));
+                        let offset = got
+                            .iter()
+                            .zip(expected)
+                            .position(|(g, e)| g != e)
+                            .unwrap_or_else(|| got.len().min(expected.len()));
+                        return Err(ValidationError {
+                            workload: self.name,
+                            check: label,
+                            target: CheckTarget::Sink { index: *index },
+                            offset,
+                            got: got.get(offset).copied(),
+                            expected: expected.get(offset).copied(),
+                        });
                     }
                 }
             }
@@ -138,19 +213,71 @@ impl WorkloadSpec {
 /// All 13 workloads of Table 1, in the paper's order.
 pub fn all_workloads() -> Vec<WorkloadSpec> {
     vec![
-        WorkloadSpec { name: "dmv", build: dense::dmv, default_par: 6 },
-        WorkloadSpec { name: "jacobi2d", build: dense::jacobi2d, default_par: 2 },
-        WorkloadSpec { name: "heat3d", build: dense::heat3d, default_par: 2 },
-        WorkloadSpec { name: "spmv", build: sparse::spmv, default_par: 6 },
-        WorkloadSpec { name: "spmspm", build: sparse::spmspm, default_par: 2 },
-        WorkloadSpec { name: "spmspv", build: sparse::spmspv, default_par: 4 },
-        WorkloadSpec { name: "spadd", build: sparse::spadd, default_par: 2 },
-        WorkloadSpec { name: "tc", build: graph::tc, default_par: 2 },
-        WorkloadSpec { name: "mergsort", build: sort::mergesort, default_par: 1 },
-        WorkloadSpec { name: "fft", build: dsp::fft, default_par: 2 },
-        WorkloadSpec { name: "ad", build: nn::ad, default_par: 1 },
-        WorkloadSpec { name: "ic", build: nn::ic, default_par: 1 },
-        WorkloadSpec { name: "vww", build: nn::vww, default_par: 1 },
+        WorkloadSpec {
+            name: "dmv",
+            build: dense::dmv,
+            default_par: 6,
+        },
+        WorkloadSpec {
+            name: "jacobi2d",
+            build: dense::jacobi2d,
+            default_par: 2,
+        },
+        WorkloadSpec {
+            name: "heat3d",
+            build: dense::heat3d,
+            default_par: 2,
+        },
+        WorkloadSpec {
+            name: "spmv",
+            build: sparse::spmv,
+            default_par: 6,
+        },
+        WorkloadSpec {
+            name: "spmspm",
+            build: sparse::spmspm,
+            default_par: 2,
+        },
+        WorkloadSpec {
+            name: "spmspv",
+            build: sparse::spmspv,
+            default_par: 4,
+        },
+        WorkloadSpec {
+            name: "spadd",
+            build: sparse::spadd,
+            default_par: 2,
+        },
+        WorkloadSpec {
+            name: "tc",
+            build: graph::tc,
+            default_par: 2,
+        },
+        WorkloadSpec {
+            name: "mergsort",
+            build: sort::mergesort,
+            default_par: 1,
+        },
+        WorkloadSpec {
+            name: "fft",
+            build: dsp::fft,
+            default_par: 2,
+        },
+        WorkloadSpec {
+            name: "ad",
+            build: nn::ad,
+            default_par: 1,
+        },
+        WorkloadSpec {
+            name: "ic",
+            build: nn::ic,
+            default_par: 1,
+        },
+        WorkloadSpec {
+            name: "vww",
+            build: nn::vww,
+            default_par: 1,
+        },
     ]
 }
 

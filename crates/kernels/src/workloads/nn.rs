@@ -120,7 +120,14 @@ fn conv_taps(
     rows[0]
 }
 
-pub(crate) fn fc_reference(input: &[i64], w: &[i64], b: &[i64], in_n: usize, out_n: usize, relu: bool) -> Vec<i64> {
+pub(crate) fn fc_reference(
+    input: &[i64],
+    w: &[i64],
+    b: &[i64],
+    in_n: usize,
+    out_n: usize,
+    relu: bool,
+) -> Vec<i64> {
     (0..out_n)
         .map(|o| {
             let s: i64 = (0..in_n).map(|i| input[i] * w[o * in_n + i]).sum();
@@ -227,31 +234,39 @@ fn conv3x3_layer(
             let bv = c.load(ba);
             let of = c.mul(f, out_n * out_n);
             let of = c.add(of, out_base);
-            let rows = c.for_range(0, out_n, 1, &[fc[0]], &[gate, wf, bv, of], |c, y, yc, invs| {
-                let (gate, wf, bv, of) = (invs[0], invs[1], invs[2], invs[3]);
-                let cols = c.for_range(
-                    0,
-                    out_n,
-                    1,
-                    &[yc[0]],
-                    &[gate, wf, bv, of, y],
-                    |c, x, xc, invs| {
-                        let (gate, wf, bv, of, y) = (invs[0], invs[1], invs[2], invs[3], invs[4]);
-                        // 3×3 taps as dataflow loops (keeps the kernel small
-                        // enough to replicate on the fabric).
-                        let base = c.imm(in_base);
-                        let acc = conv_taps(c, base, img_n, gate, wf, bv, y, x);
-                        let v = c.shr(acc, SHIFT);
-                        let v = c.max(v, 0);
-                        let orow = c.mul(y, out_n);
-                        let oa = c.add(orow, x);
-                        let oa = c.add(oa, of);
-                        let st = c.store(oa, v);
-                        vec![c.or(xc[0], st)]
-                    },
-                );
-                vec![cols[0]]
-            });
+            let rows = c.for_range(
+                0,
+                out_n,
+                1,
+                &[fc[0]],
+                &[gate, wf, bv, of],
+                |c, y, yc, invs| {
+                    let (gate, wf, bv, of) = (invs[0], invs[1], invs[2], invs[3]);
+                    let cols = c.for_range(
+                        0,
+                        out_n,
+                        1,
+                        &[yc[0]],
+                        &[gate, wf, bv, of, y],
+                        |c, x, xc, invs| {
+                            let (gate, wf, bv, of, y) =
+                                (invs[0], invs[1], invs[2], invs[3], invs[4]);
+                            // 3×3 taps as dataflow loops (keeps the kernel small
+                            // enough to replicate on the fabric).
+                            let base = c.imm(in_base);
+                            let acc = conv_taps(c, base, img_n, gate, wf, bv, y, x);
+                            let v = c.shr(acc, SHIFT);
+                            let v = c.max(v, 0);
+                            let orow = c.mul(y, out_n);
+                            let oa = c.add(orow, x);
+                            let oa = c.add(oa, of);
+                            let st = c.store(oa, v);
+                            vec![c.or(xc[0], st)]
+                        },
+                    );
+                    vec![cols[0]]
+                },
+            );
             vec![rows[0]]
         });
         f_toks[0]
@@ -299,8 +314,13 @@ pub fn ic(scale: Scale, par: usize) -> Workload {
                 let cf = c.add(cf, conv_base);
                 let pf = c.mul(f, pool_n * pool_n);
                 let pf = c.add(pf, pool_base);
-                let rows =
-                    c.for_range(0, pool_n, 1, &[fc_[0]], &[gate, cf, pf], |c, py, yc, invs| {
+                let rows = c.for_range(
+                    0,
+                    pool_n,
+                    1,
+                    &[fc_[0]],
+                    &[gate, cf, pf],
+                    |c, py, yc, invs| {
                         let (gate, cf, pf) = (invs[0], invs[1], invs[2]);
                         let cols = c.for_range(
                             0,
@@ -309,8 +329,7 @@ pub fn ic(scale: Scale, par: usize) -> Workload {
                             &[yc[0]],
                             &[gate, cf, pf, py],
                             |c, px, xc, invs| {
-                                let (gate, cf, pf, py) =
-                                    (invs[0], invs[1], invs[2], invs[3]);
+                                let (gate, cf, pf, py) = (invs[0], invs[1], invs[2], invs[3]);
                                 let y0 = c.shl(py, 1);
                                 let x0 = c.shl(px, 1);
                                 let mut m: Option<Val> = None;
@@ -336,7 +355,8 @@ pub fn ic(scale: Scale, par: usize) -> Workload {
                             },
                         );
                         vec![cols[0]]
-                    });
+                    },
+                );
                 vec![rows[0]]
             });
             f_toks[0]
@@ -358,8 +378,7 @@ pub fn ic(scale: Scale, par: usize) -> Workload {
                         acc += img[(y + ky) * img_n as usize + x + kx] * wconv[f * 9 + ky * 3 + kx];
                     }
                 }
-                conv[f * (conv_n * conv_n) as usize + y * conv_n as usize + x] =
-                    requant(acc, true);
+                conv[f * (conv_n * conv_n) as usize + y * conv_n as usize + x] = requant(acc, true);
             }
         }
     }
@@ -387,7 +406,11 @@ pub fn ic(scale: Scale, par: usize) -> Workload {
         name: "ic",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "logits", base: out_base, expected }],
+        checks: vec![Check::Mem {
+            label: "logits",
+            base: out_base,
+            expected,
+        }],
         par,
     }
 }
@@ -590,7 +613,11 @@ pub fn vww(scale: Scale, par: usize) -> Workload {
         name: "vww",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "logits", base: out_base, expected }],
+        checks: vec![Check::Mem {
+            label: "logits",
+            base: out_base,
+            expected,
+        }],
         par,
     }
 }

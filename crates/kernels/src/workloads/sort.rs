@@ -155,7 +155,7 @@ pub fn mergesort(scale: Scale, par: usize) -> Workload {
             let t1 = emit_sort(c, a_base, b_base, half, half);
             let gate = c.join_order(&[t0, t1]);
             // Halves ended in A if log2(half) even, else B.
-            let (src, dst) = if half.trailing_zeros() % 2 == 0 {
+            let (src, dst) = if half.trailing_zeros().is_multiple_of(2) {
                 (a_base, b_base)
             } else {
                 (b_base, a_base)
@@ -176,12 +176,12 @@ pub fn mergesort(scale: Scale, par: usize) -> Workload {
     let passes = n.trailing_zeros();
     let final_base = if two_way {
         let half_passes = (n / 2).trailing_zeros();
-        if half_passes % 2 == 0 {
+        if half_passes.is_multiple_of(2) {
             b_base // halves in A, merged into B
         } else {
             a_base // halves in B, merged into A
         }
-    } else if passes % 2 == 0 {
+    } else if passes.is_multiple_of(2) {
         a_base
     } else {
         b_base
@@ -190,7 +190,11 @@ pub fn mergesort(scale: Scale, par: usize) -> Workload {
         name: "mergsort",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "sorted", base: final_base, expected }],
+        checks: vec![Check::Mem {
+            label: "sorted",
+            base: final_base,
+            expected,
+        }],
         par,
     }
 }

@@ -72,7 +72,11 @@ pub fn spmv(scale: Scale, par: usize) -> Workload {
         name: "spmv",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "D", base: d_base, expected }],
+        checks: vec![Check::Mem {
+            label: "D",
+            base: d_base,
+            expected,
+        }],
         par,
     }
 }
@@ -166,9 +170,8 @@ pub fn spmspv_custom(n: usize, sparsity: f64, par: usize) -> Workload {
                 let zero = c.as_stream(zero);
                 let vn = c.imm(v_nnz);
                 let vn = c.as_stream(vn);
-                let sum = stream_join_dot(
-                    c, beg, end, al.col_idx, al.values, zero, vn, v_idx, v_val,
-                );
+                let sum =
+                    stream_join_dot(c, beg, end, al.col_idx, al.values, zero, vn, v_idx, v_val);
                 let d = c.add(r, d_base);
                 c.store(d, sum);
                 vec![]
@@ -185,7 +188,11 @@ pub fn spmspv_custom(n: usize, sparsity: f64, par: usize) -> Workload {
         name: "spmspv",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "D", base: d_base, expected }],
+        checks: vec![Check::Mem {
+            label: "D",
+            base: d_base,
+            expected,
+        }],
         par,
     }
 }
@@ -212,21 +219,28 @@ pub fn spmspm(scale: Scale, par: usize) -> Workload {
                 let ap1 = c.add(ap, 1);
                 let a_end = c.load(ap1);
                 let crow = c.mul(i, n as i64);
-                c.for_range(0, n as i64, 1, &[], &[a_beg, a_end, crow], |c, j, _, invs| {
-                    let (a_beg, a_end, crow) = (invs[0], invs[1], invs[2]);
-                    let bp = c.add(j, bl.row_ptr);
-                    let b_beg = c.load(bp);
-                    let bp1 = c.add(bp, 1);
-                    let b_end = c.load(bp1);
-                    let sum = stream_join_dot(
-                        c, a_beg, a_end, al.col_idx, al.values, b_beg, b_end, bl.col_idx,
-                        bl.values,
-                    );
-                    let addr = c.add(crow, j);
-                    let addr = c.add(addr, c_base);
-                    c.store(addr, sum);
-                    vec![]
-                });
+                c.for_range(
+                    0,
+                    n as i64,
+                    1,
+                    &[],
+                    &[a_beg, a_end, crow],
+                    |c, j, _, invs| {
+                        let (a_beg, a_end, crow) = (invs[0], invs[1], invs[2]);
+                        let bp = c.add(j, bl.row_ptr);
+                        let b_beg = c.load(bp);
+                        let bp1 = c.add(bp, 1);
+                        let b_end = c.load(bp1);
+                        let sum = stream_join_dot(
+                            c, a_beg, a_end, al.col_idx, al.values, b_beg, b_end, bl.col_idx,
+                            bl.values,
+                        );
+                        let addr = c.add(crow, j);
+                        let addr = c.add(addr, c_base);
+                        c.store(addr, sum);
+                        vec![]
+                    },
+                );
                 vec![]
             });
         });
@@ -244,7 +258,11 @@ pub fn spmspm(scale: Scale, par: usize) -> Workload {
         name: "spmspm",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "C", base: c_base, expected }],
+        checks: vec![Check::Mem {
+            label: "C",
+            base: c_base,
+            expected,
+        }],
         par,
     }
 }
@@ -337,7 +355,11 @@ pub fn spadd(scale: Scale, par: usize) -> Workload {
         name: "spadd",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "C", base: c_base, expected }],
+        checks: vec![Check::Mem {
+            label: "C",
+            base: c_base,
+            expected,
+        }],
         par,
     }
 }
@@ -402,7 +424,10 @@ mod tests {
             .filter(|(_, n)| n.op.is_memory())
             .map(|(_, n)| n.meta.criticality.unwrap())
             .collect();
-        let crit = classes.iter().filter(|&&c| c == Criticality::Critical).count();
+        let crit = classes
+            .iter()
+            .filter(|&&c| c == Criticality::Critical)
+            .count();
         assert!(
             crit >= 2,
             "the two stream-join index loads must be critical: {classes:?}"

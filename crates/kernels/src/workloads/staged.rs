@@ -42,8 +42,8 @@ impl StagedWorkload {
     ///
     /// # Errors
     ///
-    /// Returns a description of the first failing check.
-    pub fn validate(&self, mem: &SimMemory) -> Result<(), String> {
+    /// Returns the first failing check as a typed [`ValidationError`].
+    pub fn validate(&self, mem: &SimMemory) -> Result<(), super::ValidationError> {
         // Reuse Workload's checker on a shim.
         let shim = Workload {
             name: self.name,

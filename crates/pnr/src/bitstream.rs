@@ -161,7 +161,11 @@ pub fn parse_bitstream(text: &str) -> Result<Bitstream, BitstreamError> {
         }
     }
     nodes.sort_unstable();
-    if nodes.iter().enumerate().any(|(i, (idx, _))| *idx != i as u32) {
+    if nodes
+        .iter()
+        .enumerate()
+        .any(|(i, (idx, _))| *idx != i as u32)
+    {
         return Err(BitstreamError::NonDenseNodes);
     }
     Ok(Bitstream {

@@ -12,8 +12,7 @@ use crate::netlist::{Cell, Netlist, SlotKind};
 use crate::PnrError;
 use nupea_fabric::{Fabric, PeId, PeKind};
 use nupea_ir::graph::Criticality;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use nupea_rng::Xoshiro256;
 use std::collections::VecDeque;
 
 /// Which placement heuristic to run — exactly the three configurations of
@@ -102,7 +101,7 @@ struct Placer<'a> {
     pe_of: Vec<u32>,
     /// nets touching each node.
     nets_of: Vec<Vec<u32>>,
-    rng: SmallRng,
+    rng: Xoshiro256,
 }
 
 const FREE: usize = usize::MAX;
@@ -123,7 +122,7 @@ impl<'a> Placer<'a> {
             occ: vec![[FREE; SlotKind::COUNT]; fabric.num_pes()],
             pe_of: vec![u32::MAX; netlist.len()],
             nets_of,
-            rng: SmallRng::seed_from_u64(cfg.seed),
+            rng: Xoshiro256::seed_from_u64(cfg.seed),
         }
     }
 
@@ -187,7 +186,7 @@ impl<'a> Placer<'a> {
         if self.cfg.heuristic == Heuristic::DomainUnaware {
             // No domain preference: shuffle deterministically.
             for i in (1..ls_order.len()).rev() {
-                let j = self.rng.gen_range(0..=i);
+                let j = self.rng.index(i + 1);
                 ls_order.swap(i, j);
             }
         }
@@ -255,10 +254,9 @@ impl<'a> Placer<'a> {
                 n += 1;
             }
         }
-        let target = if n > 0 {
-            (sr / n, sc / n)
-        } else {
-            (self.fabric.rows() / 2, self.fabric.cols() / 2)
+        let target = match (sr.checked_div(n), sc.checked_div(n)) {
+            (Some(r), Some(c)) => (r, c),
+            _ => (self.fabric.rows() / 2, self.fabric.cols() / 2),
         };
         let slot = cell.slot.index();
         let mut best: Option<(u32, PeId)> = None;
@@ -268,7 +266,7 @@ impl<'a> Placer<'a> {
             }
             let (r, c) = self.fabric.coords(pe);
             let d = (r.abs_diff(target.0) + c.abs_diff(target.1)) as u32;
-            if best.map_or(true, |(bd, _)| d < bd) {
+            if best.is_none_or(|(bd, _)| d < bd) {
                 best = Some((d, pe));
             }
         }
@@ -378,8 +376,7 @@ impl<'a> Placer<'a> {
                 self.apply(mv);
                 let after = self.local_cost(mv.a, mv.b);
                 let delta = after - before;
-                let accept =
-                    delta <= 0.0 || self.rng.gen::<f64>() < (-delta / t).exp();
+                let accept = delta <= 0.0 || self.rng.chance((-delta / t).exp());
                 if !accept {
                     self.apply(mv.inverse());
                 }
@@ -402,9 +399,9 @@ impl<'a> Placer<'a> {
     /// Propose moving node `a` from `from` to `to` (swapping with occupant
     /// `b` if any). Returns `None` if the sampled move is incompatible.
     fn propose(&mut self, pes: &[PeId]) -> Option<Move> {
-        let a = self.rng.gen_range(0..self.netlist.len());
+        let a = self.rng.index(self.netlist.len());
         let cell_a = self.netlist.cells[a];
-        let to = pes[self.rng.gen_range(0..pes.len())];
+        let to = pes[self.rng.index(pes.len())];
         let from = PeId(self.pe_of[a]);
         if from == to || !self.compatible(&cell_a, to) {
             return None;
@@ -466,11 +463,7 @@ impl Move {
 /// Returns [`PnrError::Unplaceable`] when the netlist exceeds fabric
 /// capacity (this is the signal the auto-parallelizer uses to stop growing
 /// the parallelism degree).
-pub fn place(
-    fabric: &Fabric,
-    netlist: &Netlist,
-    cfg: &PlaceConfig,
-) -> Result<Placement, PnrError> {
+pub fn place(fabric: &Fabric, netlist: &Netlist, cfg: &PlaceConfig) -> Result<Placement, PnrError> {
     let mut placer = Placer::new(fabric, netlist, cfg);
     placer.initial()?;
     placer.anneal();

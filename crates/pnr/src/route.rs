@@ -188,7 +188,12 @@ pub fn route(fabric: &Fabric, netlist: &Netlist, pe_of: &[PeId]) -> Result<Routi
 
 /// Greedy Steiner tree: terminals are attached one at a time via
 /// multi-source Dijkstra from the current tree.
-fn route_tree(fabric: &Fabric, ch: &Channels, sig: &Signal, pres_fac: f32) -> (Vec<usize>, RoutedTree) {
+fn route_tree(
+    fabric: &Fabric,
+    ch: &Channels,
+    sig: &Signal,
+    pres_fac: f32,
+) -> (Vec<usize>, RoutedTree) {
     let n = fabric.num_pes();
     let src_node = sig.src.index();
     // node -> depth (hops from source) for nodes in the tree.

@@ -29,6 +29,7 @@ use std::fmt;
 
 /// Simulator configuration.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct SimConfig {
     /// Memory model (NUPEA, UPEA-n, NUMA-UPEA-n).
     pub model: MemoryModel,
@@ -66,6 +67,7 @@ impl Default for SimConfig {
 
 /// Simulation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SimError {
     /// A memory access faulted (out of bounds).
     Fault {
@@ -94,7 +96,7 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Per-domain load-latency aggregate.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DomainLatency {
     /// Total system-cycle latency of completed loads issued from the domain.
     pub total_latency: u64,
@@ -115,6 +117,7 @@ impl DomainLatency {
 
 /// Results of a timed run.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct RunStats {
     /// Completion time in system cycles.
     pub cycles: u64,
@@ -303,9 +306,7 @@ impl<'g> Engine<'g> {
             InPort::Imm(v) => v,
             InPort::Wire { src, .. } => {
                 let idx = self.fifo_idx(node, port);
-                let v = self.fifos[idx]
-                    .pop_front()
-                    .expect("consume without token");
+                let v = self.fifos[idx].pop_front().expect("consume without token");
                 // Space freed: the producer may be stalled on backpressure.
                 self.mark_dirty(src.0 as usize, tick);
                 if self.trace_nodes[node] {
@@ -479,7 +480,7 @@ impl<'g> Engine<'g> {
                 last_time = last_time.max(t);
             }
             // 2. Fabric tick.
-            if t % divider == 0 {
+            if t.is_multiple_of(divider) {
                 self.fabric_tick(t, tick)?;
                 last_time = last_time.max(t);
             }
@@ -632,10 +633,7 @@ impl<'g> Engine<'g> {
                 Ok(true)
             }
             Op::BinOp(k) => {
-                if self.peek(n, 0).is_none()
-                    || self.peek(n, 1).is_none()
-                    || !self.space_on(n, 0)
-                {
+                if self.peek(n, 0).is_none() || self.peek(n, 1).is_none() || !self.space_on(n, 0) {
                     return Ok(false);
                 }
                 let a = self.consume(n, 0, tick);
@@ -645,10 +643,7 @@ impl<'g> Engine<'g> {
                 Ok(true)
             }
             Op::Cmp(k) => {
-                if self.peek(n, 0).is_none()
-                    || self.peek(n, 1).is_none()
-                    || !self.space_on(n, 0)
-                {
+                if self.peek(n, 0).is_none() || self.peek(n, 1).is_none() || !self.space_on(n, 0) {
                     return Ok(false);
                 }
                 let a = self.consume(n, 0, tick);
@@ -790,13 +785,11 @@ impl<'g> Engine<'g> {
                 Ok(true)
             }
             Op::Store => {
-                if self.peek(n, Op::STORE_ADDR).is_none()
-                    || self.peek(n, Op::STORE_VALUE).is_none()
+                if self.peek(n, Op::STORE_ADDR).is_none() || self.peek(n, Op::STORE_VALUE).is_none()
                 {
                     return Ok(false);
                 }
-                if self.order_wired(n, Op::STORE_ORDER) && self.peek(n, Op::STORE_ORDER).is_none()
-                {
+                if self.order_wired(n, Op::STORE_ORDER) && self.peek(n, Op::STORE_ORDER).is_none() {
                     return Ok(false);
                 }
                 if self.outstanding[n].len() >= self.cfg.max_outstanding || !self.space_on(n, 0) {

@@ -38,7 +38,9 @@
 //! let mut mem = SimMemory::new(&params);
 //! mem.write(3, 99);
 //!
-//! let cfg = SimConfig { mem: params, model: MemoryModel::Nupea, ..SimConfig::default() };
+//! let mut cfg = SimConfig::default();
+//! cfg.mem = params;
+//! cfg.model = MemoryModel::Nupea;
 //! let mut engine = Engine::new(&g, &fabric, &pe_of, cfg);
 //! engine.bind(pp, 3);
 //! let stats = engine.run(&mut mem)?;

@@ -144,13 +144,19 @@ impl SimMemory {
     /// Checked read used by the simulator (`None` = fault).
     #[inline]
     pub fn try_read(&self, addr: i64) -> Option<i64> {
-        usize::try_from(addr).ok().and_then(|a| self.words.get(a)).copied()
+        usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.words.get(a))
+            .copied()
     }
 
     /// Checked write used by the simulator (`false` = fault).
     #[inline]
     pub fn try_write(&mut self, addr: i64, value: i64) -> bool {
-        match usize::try_from(addr).ok().and_then(|a| self.words.get_mut(a)) {
+        match usize::try_from(addr)
+            .ok()
+            .and_then(|a| self.words.get_mut(a))
+        {
             Some(slot) => {
                 *slot = value;
                 true

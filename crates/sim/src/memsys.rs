@@ -118,7 +118,8 @@ struct Bank {
 }
 
 /// Aggregate memory-system statistics.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
 pub struct MemSysStats {
     /// Requests issued.
     pub requests: u64,
@@ -256,8 +257,8 @@ impl MemSys {
                 });
             }
             MemoryModel::NumaUpea(n) => {
-                let local = self.numa_of[req.pe.index()]
-                    == Some(self.numa_domain_of_addr(req.addr));
+                let local =
+                    self.numa_of[req.pe.index()] == Some(self.numa_domain_of_addr(req.addr));
                 let delay = if local {
                     0
                 } else {
@@ -322,9 +323,7 @@ impl MemSys {
                 .expect("request is on its own chain");
             match chain.get(pos + 1) {
                 Some(&next) => self.arb_req[next as usize].push_back(item),
-                None => {
-                    self.port_req[self.port_of[head.req.pe.index()] as usize].push_back(item)
-                }
+                None => self.port_req[self.port_of[head.req.pe.index()] as usize].push_back(item),
             }
         }
     }

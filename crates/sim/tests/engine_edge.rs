@@ -8,10 +8,9 @@ use nupea_ir::op::{BinOpKind, CmpKind, Op, SteerPolarity};
 use nupea_sim::{simple_placement, Engine, MemParams, MemoryModel, SimConfig, SimError, SimMemory};
 
 fn cfg_tiny() -> SimConfig {
-    SimConfig {
-        mem: MemParams::tiny(),
-        ..SimConfig::default()
-    }
+    let mut cfg = SimConfig::default();
+    cfg.mem = MemParams::tiny();
+    cfg
 }
 
 fn run(
@@ -64,7 +63,11 @@ fn raw_ordering_holds_under_bank_contention() {
         }
     }
     let stats = run(&g, &mut mem, &binds, cfg_tiny()).unwrap();
-    assert_eq!(stats.sinks.last().unwrap(), &vec![42], "load must see the store");
+    assert_eq!(
+        stats.sinks.last().unwrap(),
+        &vec![42],
+        "load must see the store"
+    );
     assert_eq!(mem.read(addr as usize), 42);
 }
 

@@ -5,7 +5,7 @@
 //!
 //!     cargo run --release --example custom_kernel
 
-use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, SystemConfig};
+use nupea::{Heuristic, MemoryModel, SystemConfig};
 use nupea_ir::graph::Criticality;
 use nupea_kernels::builder::Kernel;
 use nupea_kernels::interp_kernel;
@@ -61,19 +61,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = interp_kernel(&kernel, mem_check.words_mut(), &[])?;
     assert!(r.is_balanced());
     assert_eq!(mem_check.slice(hist, 8), &expected[..]);
-    println!("histogram: interpreter validated, {} firings", r.total_firings);
+    println!(
+        "histogram: interpreter validated, {} firings",
+        r.total_firings
+    );
 
     let w = Workload {
         name: "histogram",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "bins", base: hist, expected }],
+        checks: vec![Check::Mem {
+            label: "bins",
+            base: hist,
+            expected,
+        }],
         par: 1,
     };
     let sys = SystemConfig::monaco_12x12();
-    let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware)?;
-    let stats = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea)?;
-    println!("histogram: timed run validated in {} cycles\n", stats.cycles);
+    let compiled = sys.compile(&w, Heuristic::CriticalityAware)?;
+    let stats = compiled.simulate(MemoryModel::Nupea)?;
+    println!(
+        "histogram: timed run validated in {} cycles\n",
+        stats.cycles
+    );
 
     // ---- Kernel 2: pointer chase (critical load) -----------------------
     let mut mem = SimMemory::new(&MemParams::default());
@@ -107,9 +117,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let crit = kernel
         .dfg()
         .iter()
-        .filter(|(_, nd)| {
-            nd.op.is_memory() && nd.meta.criticality == Some(Criticality::Critical)
-        })
+        .filter(|(_, nd)| nd.op.is_memory() && nd.meta.criticality == Some(Criticality::Critical))
         .count();
     println!("pointer chase: {crit} critical load(s) found by the analysis");
 
@@ -117,12 +125,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         name: "chase",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "len", base: out, expected: vec![len as i64] }],
+        checks: vec![Check::Mem {
+            label: "len",
+            base: out,
+            expected: vec![len as i64],
+        }],
         par: 1,
     };
-    let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware)?;
-    let fast = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea)?;
-    let slow = simulate_on(&w, &compiled, &sys, MemoryModel::Upea(4))?;
+    let compiled = sys.compile(&w, Heuristic::CriticalityAware)?;
+    let fast = compiled.simulate(MemoryModel::Nupea)?;
+    let slow = compiled.simulate(MemoryModel::Upea(4))?;
     println!(
         "pointer chase: NUPEA {} cycles vs UPEA4 {} cycles ({:.2}x) — \
          every added cycle of load latency lands on the recurrence",

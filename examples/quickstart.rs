@@ -4,7 +4,7 @@
 //!
 //!     cargo run --release --example quickstart
 
-use nupea::{compile_workload, simulate_on, Heuristic, MemoryModel, SystemConfig};
+use nupea::{Heuristic, MemoryModel, SystemConfig};
 use nupea_kernels::builder::Kernel;
 use nupea_kernels::workloads::{Check, Workload};
 use nupea_sim::{MemParams, SimMemory};
@@ -31,8 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c.store(addr, sums[0]);
         c.sink(sums[0], "sum");
     });
-    println!("kernel: {} dataflow nodes, {} memory ops",
-        kernel.dfg().len(), kernel.dfg().num_memory_ops());
+    println!(
+        "kernel: {} dataflow nodes, {} memory ops",
+        kernel.dfg().len(),
+        kernel.dfg().num_memory_ops()
+    );
 
     // 3. Wrap it as a workload with a validation check.
     let expected: i64 = data.iter().sum();
@@ -40,18 +43,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         name: "sum64",
         kernel,
         mem,
-        checks: vec![Check::Mem { label: "sum", base: out, expected: vec![expected] }],
+        checks: vec![Check::Mem {
+            label: "sum",
+            base: out,
+            expected: vec![expected],
+        }],
         par: 1,
     };
 
     // 4. Compile with effcc's criticality-aware place-and-route.
-    let sys = SystemConfig::monaco_12x12();
-    let compiled = compile_workload(&workload, &sys, Heuristic::CriticalityAware)?;
+    let sys = SystemConfig::builder().build();
+    let compiled = sys.compile(&workload, Heuristic::CriticalityAware)?;
     println!(
         "pnr: max routed path {} hops, clock divider {}",
         compiled.placed.timing.max_hops, compiled.placed.timing.divider
     );
-    let hist = compiled.placed.domain_histogram(workload.kernel.dfg(), &sys.fabric);
+    let hist = compiled
+        .placed
+        .domain_histogram(workload.kernel.dfg(), &sys.fabric);
     println!("memory instructions per NUPEA domain (D0 fastest): {hist:?}");
     println!(
         "placement map (memory on the right edge; m/M = memory op, a = arith, c = control):\n{}",
@@ -60,7 +69,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Simulate cycle-accurately; results are validated automatically.
     for model in [MemoryModel::Nupea, MemoryModel::Upea(2), MemoryModel::IDEAL] {
-        let stats = simulate_on(&workload, &compiled, &sys, model)?;
+        let stats = compiled.simulate(model)?;
         println!(
             "{:<10} {:>6} system cycles  ({} firings, {:.0}% cache hits)",
             model.label(),

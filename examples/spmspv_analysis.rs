@@ -4,8 +4,8 @@
 //!
 //!     cargo run --release --example spmspv_analysis
 
-use nupea::experiments::run_models;
-use nupea::{compile_workload, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea::runner::ExperimentRunner;
+use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_ir::graph::Criticality;
 use nupea_kernels::workloads::workload_by_name;
 
@@ -17,7 +17,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Criticality analysis: the index loads along the iA/iV recurrences
     // govern the loop condition — they are the critical loads of Fig. 5.
     println!("== criticality analysis ==");
-    for class in [Criticality::Critical, Criticality::InnerLoop, Criticality::Other] {
+    for class in [
+        Criticality::Critical,
+        Criticality::InnerLoop,
+        Criticality::Other,
+    ] {
         let n = g
             .iter()
             .filter(|(_, nd)| nd.op.is_memory() && nd.meta.criticality == Some(class))
@@ -27,25 +31,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Where does NUPEA-aware PnR put them?
     let sys = SystemConfig::monaco_12x12();
-    let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware)?;
+    let compiled = sys.compile(&w, Heuristic::CriticalityAware)?;
     println!("\n== placement (memory instructions per domain, D0 fastest) ==");
-    for class in [Criticality::Critical, Criticality::InnerLoop, Criticality::Other] {
+    for class in [
+        Criticality::Critical,
+        Criticality::InnerLoop,
+        Criticality::Other,
+    ] {
         let hist = compiled.placed.domain_histogram_for(g, &sys.fabric, class);
         println!("  {class}: {hist:?}");
     }
 
     // Fig. 6c: NUPEA vs ideal and practical uniform access.
     println!("\n== Fig 6c comparison ==");
-    let models = [MemoryModel::Upea(0), MemoryModel::Nupea, MemoryModel::Upea(2)];
-    let ms = run_models(&w, &sys, &models)?;
-    let base = ms.iter().find(|m| m.config == "NUPEA").unwrap().cycles as f64;
-    for m in &ms {
+    let models = [
+        MemoryModel::Upea(0),
+        MemoryModel::Nupea,
+        MemoryModel::Upea(2),
+    ];
+    let mut runner = ExperimentRunner::new();
+    let sh = runner.system(sys);
+    let wh = runner.workload(w);
+    runner.model_sweep(wh, sh, &models);
+    let report = runner.run();
+    let base = report
+        .records
+        .iter()
+        .find(|r| r.model == MemoryModel::Nupea)
+        .unwrap()
+        .cycles as f64;
+    for r in &report.records {
         println!(
             "  {:<7} {:>8} cycles (norm {:.3}, mean load latency {:.1})",
-            m.config,
-            m.cycles,
-            m.cycles as f64 / base,
-            m.mean_load_latency
+            r.model.label(),
+            r.cycles,
+            r.cycles as f64 / base,
+            r.mean_load_latency
         );
     }
     Ok(())

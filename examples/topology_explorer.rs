@@ -3,7 +3,7 @@
 //!
 //!     cargo run --release --example topology_explorer
 
-use nupea::{auto_parallelize, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea::{auto_parallelize, Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_fabric::{Fabric, TopologyKind};
 use nupea_kernels::workloads::{sparse, WorkloadSpec};
 
@@ -24,8 +24,10 @@ fn main() {
                     continue;
                 };
                 let ls = fabric.num_ls_pes();
-                let mut sys = SystemConfig::with_fabric(fabric);
-                sys.divider_override = None;
+                let sys = SystemConfig::builder()
+                    .fabric(fabric)
+                    .divider_override(None)
+                    .build();
                 let spec = WorkloadSpec {
                     name: "spmspv",
                     build: |_, par| sparse::spmspv_custom(96, 0.9, par),
@@ -34,7 +36,8 @@ fn main() {
                 let label = format!("{topo} {size}x{size}");
                 match auto_parallelize(&spec, Scale::Bench, &sys, Heuristic::CriticalityAware) {
                     Ok((w, compiled)) => {
-                        let cycles = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea)
+                        let cycles = compiled
+                            .simulate(MemoryModel::Nupea)
                             .map(|s| s.cycles.to_string())
                             .unwrap_or_else(|e| format!("sim err {e}"));
                         println!(

@@ -12,8 +12,8 @@ use nupea_fabric::Fabric;
 use nupea_ir::interp::Interp;
 use nupea_kernels::builder::{Ctx, Kernel, Val};
 use nupea_kernels::workloads::Workload;
+use nupea_rng::Xoshiro256;
 use nupea_sim::{simple_placement, Engine, MemParams, MemoryModel, SimConfig, SimMemory};
-use proptest::prelude::*;
 use std::cell::Cell;
 
 /// A randomized structured program over a read-only input region and
@@ -33,23 +33,32 @@ enum Stmt {
     Branch(Vec<Stmt>, Vec<Stmt>),
 }
 
-fn stmt_strategy(depth: u32) -> impl Strategy<Value = Stmt> {
-    let leaf = prop_oneof![
-        any::<u8>().prop_map(Stmt::LoadMix),
-        (any::<u8>(), any::<i8>()).prop_map(|(o, k)| Stmt::Arith(o, k)),
-        Just(Stmt::Store),
-    ];
-    leaf.prop_recursive(depth, 24, 4, |inner| {
-        prop_oneof![
-            (1u8..5, prop::collection::vec(inner.clone(), 1..4))
-                .prop_map(|(t, b)| Stmt::Loop(t, b)),
-            (
-                prop::collection::vec(inner.clone(), 1..3),
-                prop::collection::vec(inner, 0..3)
-            )
-                .prop_map(|(t, e)| Stmt::Branch(t, e)),
-        ]
-    })
+/// Generate one random statement with bounded nesting, mirroring the old
+/// proptest strategy: leaves are load-mix / arith / store; interior nodes
+/// are short loops and branches.
+fn random_stmt(rng: &mut Xoshiro256, depth: u32) -> Stmt {
+    let interior = depth > 0 && rng.chance(0.4);
+    if !interior {
+        return match rng.index(3) {
+            0 => Stmt::LoadMix(rng.next_u64() as u8),
+            1 => Stmt::Arith(rng.next_u64() as u8, rng.next_u64() as i8),
+            _ => Stmt::Store,
+        };
+    }
+    if rng.next_bool() {
+        let trips = rng.range_i64(1, 4) as u8;
+        let body = random_stmts(rng, depth - 1, 1, 3);
+        Stmt::Loop(trips, body)
+    } else {
+        let then = random_stmts(rng, depth - 1, 1, 2);
+        let els = random_stmts(rng, depth - 1, 0, 2);
+        Stmt::Branch(then, els)
+    }
+}
+
+fn random_stmts(rng: &mut Xoshiro256, depth: u32, min: usize, max: usize) -> Vec<Stmt> {
+    let n = rng.range_usize(min, max);
+    (0..n).map(|_| random_stmt(rng, depth)).collect()
 }
 
 /// Emit a statement list; returns the new accumulator. `store_id` hands
@@ -149,7 +158,9 @@ fn count_stores(stmts: &[Stmt]) -> i64 {
 fn build_program(stmts: &[Stmt]) -> (Workload, i64) {
     let params = MemParams::tiny();
     let mut mem = SimMemory::new(&params);
-    let input_data: Vec<i64> = (0..64).map(|i| (i * 2654435761u64 as i64) % 997 - 498).collect();
+    let input_data: Vec<i64> = (0..64)
+        .map(|i| (i * 2654435761u64 as i64) % 997 - 498)
+        .collect();
     let input = mem.alloc_init(&input_data);
     let nstores = count_stores(stmts).max(1);
     let out = mem.alloc((nstores * 64) as usize);
@@ -170,17 +181,16 @@ fn build_program(stmts: &[Stmt]) -> (Workload, i64) {
     (w, out)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+#[test]
+fn timed_engine_matches_interpreter() {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1FF);
+    for _case in 0..48 {
+        let stmts = random_stmts(&mut rng, 3, 1, 4);
+        let fifo_depth = rng.range_usize(1, 5);
+        let max_outstanding = rng.range_usize(1, 3);
+        let model_pick = rng.index(4) as u8;
+        let fast_placement = rng.next_bool();
 
-    #[test]
-    fn timed_engine_matches_interpreter(
-        stmts in prop::collection::vec(stmt_strategy(3), 1..5),
-        fifo_depth in 1usize..6,
-        max_outstanding in 1usize..4,
-        model_pick in 0u8..4,
-        fast_placement in any::<bool>(),
-    ) {
         let (w, _out) = build_program(&stmts);
         // Reference: untimed interpreter.
         let mut ref_mem = w.fresh_mem();
@@ -189,7 +199,7 @@ proptest! {
             it.bind(pid, v);
         }
         let ref_result = it.run(ref_mem.words_mut()).expect("interp runs");
-        prop_assert!(ref_result.is_balanced(), "lowering must be token-balanced");
+        assert!(ref_result.is_balanced(), "lowering must be token-balanced");
 
         // Timed engine under a random configuration.
         let model = match model_pick {
@@ -200,28 +210,26 @@ proptest! {
         };
         let fabric = Fabric::monaco(12, 12, 3).expect("fabric");
         let pe_of = simple_placement(w.kernel.dfg(), &fabric, fast_placement);
-        let cfg = SimConfig {
-            model,
-            mem: MemParams::tiny(),
-            divider: 2,
-            fifo_depth,
-            max_outstanding,
-            numa_seed: 11,
-            max_cycles: 50_000_000,
-            energy: nupea_sim::EnergyParams::default(),
-        };
+        let mut cfg = SimConfig::default();
+        cfg.model = model;
+        cfg.mem = MemParams::tiny();
+        cfg.divider = 2;
+        cfg.fifo_depth = fifo_depth;
+        cfg.max_outstanding = max_outstanding;
+        cfg.numa_seed = 11;
+        cfg.max_cycles = 50_000_000;
         let mut mem = w.fresh_mem();
         let mut engine = Engine::new(w.kernel.dfg(), &fabric, &pe_of, cfg);
         for (pid, v) in w.kernel.bindings(&[]) {
             engine.bind(pid, v);
         }
         let stats = engine.run(&mut mem).expect("engine runs");
-        prop_assert_eq!(stats.residual_tokens, 0, "timed run must drain");
-        prop_assert_eq!(&stats.sinks, &ref_result.sinks, "sink streams must agree");
-        prop_assert_eq!(
-            mem.words(), ref_mem.words(),
-            "final memory must agree (model {}, fifo {}, outstanding {})",
-            model, fifo_depth, max_outstanding
+        assert_eq!(stats.residual_tokens, 0, "timed run must drain");
+        assert_eq!(&stats.sinks, &ref_result.sinks, "sink streams must agree");
+        assert_eq!(
+            mem.words(),
+            ref_mem.words(),
+            "final memory must agree (model {model}, fifo {fifo_depth}, outstanding {max_outstanding})"
         );
     }
 }
@@ -259,17 +267,11 @@ fn differential_regression_fixed_programs() {
         let fabric = Fabric::monaco(8, 8, 3).unwrap();
         let pe_of = simple_placement(w.kernel.dfg(), &fabric, true);
         let mut mem = w.fresh_mem();
-        let mut e = Engine::new(
-            w.kernel.dfg(),
-            &fabric,
-            &pe_of,
-            SimConfig {
-                mem: MemParams::tiny(),
-                fifo_depth: 2,
-                max_outstanding: 1,
-                ..SimConfig::default()
-            },
-        );
+        let mut cfg = SimConfig::default();
+        cfg.mem = MemParams::tiny();
+        cfg.fifo_depth = 2;
+        cfg.max_outstanding = 1;
+        let mut e = Engine::new(w.kernel.dfg(), &fabric, &pe_of, cfg);
         for (pid, v) in w.kernel.bindings(&[]) {
             e.bind(pid, v);
         }

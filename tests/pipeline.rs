@@ -2,24 +2,35 @@
 //! heuristic, simulated under every memory model, validated end to end
 //! against its reference implementation in the *timed* simulator.
 
-use nupea::experiments::{heuristic_for, primary_models, run_models};
-use nupea::{
-    auto_parallelize, compile_workload, simulate_on, Heuristic, MemoryModel, Scale, SystemConfig,
-};
+use nupea::experiments::{heuristic_for, primary_models};
+use nupea::runner::ExperimentRunner;
+use nupea::{auto_parallelize, Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_kernels::workloads::{all_workloads, workload_by_name};
 
 #[test]
 fn all_workloads_validate_on_all_primary_models_test_scale() {
-    let sys = SystemConfig::monaco_12x12();
+    let mut runner = ExperimentRunner::new();
+    let sys = runner.system(SystemConfig::monaco_12x12());
     for spec in all_workloads() {
-        let w = spec.build_default(Scale::Test);
-        let ms = run_models(&w, &sys, &primary_models())
-            .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
-        assert_eq!(ms.len(), 4, "{}", spec.name);
-        for m in &ms {
-            assert!(m.cycles > 0, "{}/{}", spec.name, m.config);
-        }
+        let w = runner.workload(spec.build_default(Scale::Test));
+        runner.model_sweep(w, sys, &primary_models());
     }
+    let report = runner.run();
+    assert_eq!(report.records.len(), all_workloads().len() * 4);
+    for r in &report.records {
+        assert!(
+            r.error.is_none(),
+            "{}/{}: {:?}",
+            r.workload,
+            r.model.label(),
+            r.error
+        );
+        assert!(r.cycles > 0, "{}/{}", r.workload, r.model.label());
+    }
+    // One compile per (workload, heuristic): effcc for NUPEA plus one
+    // shared domain-unaware compile for the three uniform baselines.
+    assert_eq!(report.pnr_compiles, all_workloads().len() * 2);
+    assert_eq!(report.cache_hits, all_workloads().len() * 2);
 }
 
 #[test]
@@ -27,9 +38,11 @@ fn all_workloads_validate_at_bench_scale_on_monaco() {
     let sys = SystemConfig::monaco_12x12();
     for spec in all_workloads() {
         let w = spec.build_default(Scale::Bench);
-        let compiled = compile_workload(&w, &sys, Heuristic::CriticalityAware)
+        let compiled = sys
+            .compile(&w, Heuristic::CriticalityAware)
             .unwrap_or_else(|e| panic!("{}: pnr failed: {e}", spec.name));
-        let stats = simulate_on(&w, &compiled, &sys, MemoryModel::Nupea)
+        let stats = compiled
+            .simulate(MemoryModel::Nupea)
             .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
         assert_eq!(stats.residual_tokens, 0, "{}: unbalanced", spec.name);
     }
@@ -45,8 +58,8 @@ fn all_heuristics_produce_correct_results() {
             Heuristic::OnlyDomainAware,
             Heuristic::CriticalityAware,
         ] {
-            let c = compile_workload(&w, &sys, h).unwrap();
-            simulate_on(&w, &c, &sys, MemoryModel::Nupea)
+            let c = sys.compile(&w, h).unwrap();
+            c.simulate(MemoryModel::Nupea)
                 .unwrap_or_else(|e| panic!("{name}/{h}: {e}"));
         }
     }
@@ -67,8 +80,8 @@ fn upea_and_numa_sweeps_are_monotone_on_geomean() {
             let mut count = 0u32;
             for name in ["spmspv", "spadd", "tc"] {
                 let w = workload_by_name(name).unwrap().build_default(Scale::Test);
-                let c = compile_workload(&w, &sys, heuristic_for(mk(lat))).unwrap();
-                let stats = simulate_on(&w, &c, &sys, mk(lat)).unwrap();
+                let c = sys.compile(&w, heuristic_for(mk(lat))).unwrap();
+                let stats = c.simulate(mk(lat)).unwrap();
                 product *= stats.cycles as f64;
                 count += 1;
             }
@@ -88,10 +101,10 @@ fn monaco_beats_upea2_on_the_sparse_flagships() {
     let sys = SystemConfig::monaco_12x12();
     for name in ["spmspv", "spmspm"] {
         let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
-        let monaco = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-        let baseline = compile_workload(&w, &sys, Heuristic::DomainUnaware).unwrap();
-        let nupea = simulate_on(&w, &monaco, &sys, MemoryModel::Nupea).unwrap();
-        let upea2 = simulate_on(&w, &baseline, &sys, MemoryModel::Upea(2)).unwrap();
+        let monaco = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let baseline = sys.compile(&w, Heuristic::DomainUnaware).unwrap();
+        let nupea = monaco.simulate(MemoryModel::Nupea).unwrap();
+        let upea2 = baseline.simulate(MemoryModel::Upea(2)).unwrap();
         assert!(
             (upea2.cycles as f64) > (nupea.cycles as f64) * 1.1,
             "{name}: NUPEA {} vs UPEA2 {} — expected >10% gap",
@@ -107,12 +120,12 @@ fn auto_parallelize_picks_a_performant_fit() {
     let sys = SystemConfig::monaco_12x12();
     let (w, c) = auto_parallelize(&spec, Scale::Test, &sys, Heuristic::CriticalityAware).unwrap();
     assert!(w.par >= 1);
-    let chosen = simulate_on(&w, &c, &sys, MemoryModel::Nupea).unwrap();
+    let chosen = c.simulate(MemoryModel::Nupea).unwrap();
     // The chosen degree must not lose to the trivial par=1 design (the
     // auto-parallelizer selects by simulated performance, §6).
     let base = (spec.build)(Scale::Test, 1);
-    let base_c = compile_workload(&base, &sys, Heuristic::CriticalityAware).unwrap();
-    let base_stats = simulate_on(&base, &base_c, &sys, MemoryModel::Nupea).unwrap();
+    let base_c = sys.compile(&base, Heuristic::CriticalityAware).unwrap();
+    let base_stats = base_c.simulate(MemoryModel::Nupea).unwrap();
     assert!(
         chosen.cycles <= base_stats.cycles,
         "auto-par chose {} ({} cyc) but par 1 runs in {} cyc",
@@ -127,8 +140,8 @@ fn determinism_same_seed_same_cycles() {
     let sys = SystemConfig::monaco_12x12();
     let w = workload_by_name("tc").unwrap().build_default(Scale::Test);
     let run = || {
-        let c = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-        simulate_on(&w, &c, &sys, MemoryModel::Nupea).unwrap().cycles
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        c.simulate(MemoryModel::Nupea).unwrap().cycles
     };
     assert_eq!(run(), run(), "same seed must reproduce exactly");
 }
@@ -139,10 +152,10 @@ fn critical_loads_reach_fast_domains_across_workloads() {
     let sys = SystemConfig::monaco_12x12();
     for name in ["spmspv", "spmspm", "tc"] {
         let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
-        let c = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-        let hist = c
-            .placed
-            .domain_histogram_for(w.kernel.dfg(), &sys.fabric, Criticality::Critical);
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let hist =
+            c.placed
+                .domain_histogram_for(w.kernel.dfg(), &sys.fabric, Criticality::Critical);
         let total: usize = hist.iter().sum();
         if total == 0 {
             continue;
