@@ -39,8 +39,10 @@ pub mod runner;
 pub use nupea_fabric::{Fabric, TopologyKind};
 pub use nupea_kernels::workloads::{all_workloads, Scale, ValidationError, Workload, WorkloadSpec};
 pub use nupea_pnr::{Heuristic, Placed, PnrError};
-pub use nupea_sim::{MemoryModel, RunStats, SimError};
-pub use runner::{ExperimentRunner, RunRecord, RunnerReport, SystemHandle, WorkloadHandle};
+pub use nupea_sim::{ConfigError, MemoryModel, PerturbConfig, RunStats, SimError, StallReport};
+pub use runner::{
+    ExperimentRunner, RunErrorKind, RunRecord, RunnerReport, SystemHandle, WorkloadHandle,
+};
 
 use nupea_fabric::PeId;
 use nupea_pnr::{pnr, PlaceConfig, PnrConfig};
@@ -73,6 +75,10 @@ pub struct SystemConfig {
     /// divider (the right choice for the topology-scaling studies of
     /// Figs. 16–17).
     pub divider_override: Option<u64>,
+    /// Latency-perturbation fuzzing (off by default). When enabled,
+    /// seeded random extra latency is injected into NoC deliveries and
+    /// memory completions; results must not change, only cycle counts.
+    pub perturb: PerturbConfig,
 }
 
 impl SystemConfig {
@@ -97,6 +103,7 @@ impl SystemConfig {
             seed: 0xC0FFEE,
             effort: 200,
             divider_override: Some(2),
+            perturb: PerturbConfig::OFF,
         }
     }
 
@@ -126,6 +133,28 @@ impl SystemConfig {
             &Arc::new(self.clone()),
             heuristic,
         )
+    }
+
+    /// Reject degenerate configurations (`fifo_depth == 0`,
+    /// `max_outstanding == 0`, `divider_override == Some(0)`, bad memory
+    /// geometry) with a typed error instead of a deep-in-the-engine panic.
+    /// Called automatically at the start of [`SystemConfig::compile`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::InvalidConfig`] naming the first bad knob.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.fifo_depth == 0 {
+            return Err(ConfigError::ZeroFifoDepth.into());
+        }
+        if self.max_outstanding == 0 {
+            return Err(ConfigError::ZeroMaxOutstanding.into());
+        }
+        if self.divider_override == Some(0) {
+            return Err(ConfigError::ZeroDivider.into());
+        }
+        self.mem.validate()?;
+        Ok(())
     }
 }
 
@@ -192,6 +221,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Enable latency-perturbation fuzzing (see [`PerturbConfig`]).
+    #[must_use]
+    pub fn perturb(mut self, perturb: PerturbConfig) -> Self {
+        self.cfg.perturb = perturb;
+        self
+    }
+
     /// Finish and return the configuration.
     #[must_use]
     pub fn build(self) -> SystemConfig {
@@ -239,6 +275,31 @@ impl Compiled {
             &self.placed.pe_of,
             self.placed.timing.divider,
             model,
+            None,
+        )
+    }
+
+    /// Like [`Compiled::simulate`], but with an explicit cycle budget in
+    /// place of the default 2-billion-cycle runaway cap. Used by the
+    /// fault-tolerant runner to bound wall-clock per sweep point.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiled::simulate`], plus
+    /// [`PipelineError::Sim`]([`SimError::CycleLimit`]) when the budget is
+    /// exhausted.
+    pub fn simulate_budgeted(
+        &self,
+        model: MemoryModel,
+        max_cycles: u64,
+    ) -> Result<RunStats, PipelineError> {
+        simulate_impl(
+            &self.workload,
+            &self.sys,
+            &self.placed.pe_of,
+            self.placed.timing.divider,
+            model,
+            Some(max_cycles),
         )
     }
 
@@ -260,6 +321,7 @@ impl Compiled {
             &self.placed.pe_of,
             self.placed.timing.divider,
             model,
+            None,
         )
     }
 
@@ -285,6 +347,15 @@ pub enum PipelineError {
         /// What went wrong.
         reason: String,
     },
+    /// A degenerate configuration was rejected before reaching the engine.
+    InvalidConfig(ConfigError),
+    /// A compile or simulate step panicked; the payload message is
+    /// preserved. Produced by the fault-tolerant runner, which converts
+    /// panics into error records instead of aborting the sweep.
+    Panicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -294,6 +365,8 @@ impl fmt::Display for PipelineError {
             PipelineError::Sim(e) => write!(f, "sim: {e}"),
             PipelineError::Validation(e) => write!(f, "validation: {e}"),
             PipelineError::Bitstream { reason } => write!(f, "bitstream: {reason}"),
+            PipelineError::InvalidConfig(e) => write!(f, "invalid config: {e}"),
+            PipelineError::Panicked { message } => write!(f, "panicked: {message}"),
         }
     }
 }
@@ -304,8 +377,15 @@ impl std::error::Error for PipelineError {
             PipelineError::Pnr(e) => Some(e),
             PipelineError::Sim(e) => Some(e),
             PipelineError::Validation(e) => Some(e),
-            PipelineError::Bitstream { .. } => None,
+            PipelineError::InvalidConfig(e) => Some(e),
+            PipelineError::Bitstream { .. } | PipelineError::Panicked { .. } => None,
         }
+    }
+}
+
+impl From<ConfigError> for PipelineError {
+    fn from(e: ConfigError) -> Self {
+        PipelineError::InvalidConfig(e)
     }
 }
 
@@ -335,6 +415,7 @@ fn compile_impl(
     sys: &Arc<SystemConfig>,
     heuristic: Heuristic,
 ) -> Result<Compiled, PipelineError> {
+    sys.validate()?;
     let mut best: Option<Placed> = None;
     let mut last_err = None;
     for attempt in 0..3u64 {
@@ -370,6 +451,10 @@ fn compile_impl(
     }
 }
 
+/// Default runaway guard for pipeline simulations, in system cycles. The
+/// runner's per-point cycle budget (when set) replaces this cap.
+pub const DEFAULT_MAX_CYCLES: u64 = 2_000_000_000;
+
 /// Build the cycle-accurate simulator configuration for one run.
 fn sim_config(sys: &SystemConfig, model: MemoryModel, divider_src: u32) -> SimConfig {
     let mut cfg = SimConfig::default();
@@ -379,19 +464,26 @@ fn sim_config(sys: &SystemConfig, model: MemoryModel, divider_src: u32) -> SimCo
     cfg.fifo_depth = sys.fifo_depth;
     cfg.max_outstanding = sys.max_outstanding;
     cfg.numa_seed = sys.seed ^ 0x1234;
-    cfg.max_cycles = 2_000_000_000;
+    cfg.max_cycles = DEFAULT_MAX_CYCLES;
+    cfg.perturb = sys.perturb;
     cfg
 }
 
 /// Shared simulate path: engine setup, run, reference validation.
+/// `max_cycles` overrides the default runaway cap when set.
 fn simulate_impl(
     workload: &Workload,
     sys: &SystemConfig,
     pe_of: &[PeId],
     divider_src: u32,
     model: MemoryModel,
+    max_cycles: Option<u64>,
 ) -> Result<RunStats, PipelineError> {
-    let cfg = sim_config(sys, model, divider_src);
+    let mut cfg = sim_config(sys, model, divider_src);
+    if let Some(cap) = max_cycles {
+        cfg.max_cycles = cap;
+    }
+    cfg.validate()?;
     let mut mem = workload.fresh_mem();
     let mut engine = Engine::new(workload.kernel.dfg(), &sys.fabric, pe_of, cfg);
     for (pid, v) in workload.kernel.bindings(&[]) {
@@ -437,6 +529,7 @@ pub fn simulate_on(
         &compiled.placed.pe_of,
         compiled.placed.timing.divider,
         model,
+        None,
     )
 }
 
@@ -458,6 +551,7 @@ pub fn simulate(
         &compiled.placed.pe_of,
         compiled.placed.timing.divider,
         model,
+        None,
     )
 }
 
@@ -569,7 +663,7 @@ pub fn simulate_bitstream(
             reason: "bitstream does not match this workload/fabric".into(),
         });
     }
-    simulate_impl(workload, sys, &bs.pe_of, bs.divider, model)
+    simulate_impl(workload, sys, &bs.pe_of, bs.divider, model, None)
 }
 
 /// Auto-parallelization (§5): grow the parallelism degree until PnR fails,

@@ -36,7 +36,10 @@
 use crate::experiments::heuristic_for;
 use crate::{Compiled, PipelineError, SystemConfig, Workload};
 use nupea_pnr::Heuristic;
-use nupea_sim::{DomainLatency, MemoryModel, RunStats};
+use nupea_sim::{DomainLatency, MemoryModel, RunStats, SimError};
+use std::any::Any;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -65,6 +68,101 @@ struct Point {
     sys: usize,
     heuristic: Heuristic,
     model: MemoryModel,
+}
+
+/// Coarse, machine-filterable classification of a failed sweep point,
+/// derived from the underlying [`PipelineError`]. Exported alongside the
+/// full error string in JSON/CSV so sweep post-processing can count
+/// deadlocks, panics, and infeasible configs without string matching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunErrorKind {
+    /// Place-and-route failed (capacity or congestion).
+    Pnr,
+    /// The engine diagnosed a deadlock ([`SimError::Deadlock`]).
+    Deadlock,
+    /// The stall watchdog fired ([`SimError::Stalled`]).
+    Stalled,
+    /// The cycle cap / budget was exhausted.
+    CycleLimit,
+    /// A memory access faulted.
+    MemoryFault,
+    /// A param node had no bound value.
+    UnboundParam,
+    /// Another simulator error.
+    Sim,
+    /// Outputs did not match the reference.
+    Validation,
+    /// A bitstream failed to parse or match.
+    Bitstream,
+    /// A degenerate configuration was rejected up front.
+    InvalidConfig,
+    /// The point panicked and was isolated by the runner.
+    Panic,
+}
+
+impl RunErrorKind {
+    /// Classify a pipeline error.
+    #[must_use]
+    pub fn of(e: &PipelineError) -> Self {
+        match e {
+            PipelineError::Pnr(_) => RunErrorKind::Pnr,
+            PipelineError::Sim(SimError::Deadlock(_)) => RunErrorKind::Deadlock,
+            PipelineError::Sim(SimError::Stalled { .. }) => RunErrorKind::Stalled,
+            PipelineError::Sim(SimError::CycleLimit { .. }) => RunErrorKind::CycleLimit,
+            PipelineError::Sim(SimError::Fault { .. }) => RunErrorKind::MemoryFault,
+            PipelineError::Sim(SimError::UnboundParam(_)) => RunErrorKind::UnboundParam,
+            PipelineError::Sim(_) => RunErrorKind::Sim,
+            PipelineError::Validation(_) => RunErrorKind::Validation,
+            PipelineError::Bitstream { .. } => RunErrorKind::Bitstream,
+            PipelineError::InvalidConfig(_) => RunErrorKind::InvalidConfig,
+            PipelineError::Panicked { .. } => RunErrorKind::Panic,
+        }
+    }
+
+    /// The stable kebab-case label used in JSON and CSV exports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            RunErrorKind::Pnr => "pnr",
+            RunErrorKind::Deadlock => "deadlock",
+            RunErrorKind::Stalled => "stalled",
+            RunErrorKind::CycleLimit => "cycle-limit",
+            RunErrorKind::MemoryFault => "memory-fault",
+            RunErrorKind::UnboundParam => "unbound-param",
+            RunErrorKind::Sim => "sim",
+            RunErrorKind::Validation => "validation",
+            RunErrorKind::Bitstream => "bitstream",
+            RunErrorKind::InvalidConfig => "invalid-config",
+            RunErrorKind::Panic => "panicked",
+        }
+    }
+
+    /// Parse an exported label back into a kind (the inverse of
+    /// [`RunErrorKind::label`]).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "pnr" => RunErrorKind::Pnr,
+            "deadlock" => RunErrorKind::Deadlock,
+            "stalled" => RunErrorKind::Stalled,
+            "cycle-limit" => RunErrorKind::CycleLimit,
+            "memory-fault" => RunErrorKind::MemoryFault,
+            "unbound-param" => RunErrorKind::UnboundParam,
+            "sim" => RunErrorKind::Sim,
+            "validation" => RunErrorKind::Validation,
+            "bitstream" => RunErrorKind::Bitstream,
+            "invalid-config" => RunErrorKind::InvalidConfig,
+            "panicked" => RunErrorKind::Panic,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for RunErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
 }
 
 /// The structured result of one sweep point.
@@ -107,10 +205,15 @@ pub struct RunRecord {
     pub residual_tokens: usize,
     /// Whether this point reused another point's compile artifact.
     pub compile_cached: bool,
+    /// Whether the point exhausted its cycle budget and was re-run once at
+    /// the raised cap.
+    pub retried: bool,
     /// Wall-clock compile time of the shared artifact (µs).
     pub compile_micros: u64,
     /// Wall-clock simulation time of this point (µs).
     pub sim_micros: u64,
+    /// Machine-filterable classification of `error`.
+    pub error_kind: Option<RunErrorKind>,
     /// Pipeline failure, if the point did not complete.
     pub error: Option<String>,
 }
@@ -140,8 +243,10 @@ impl RunRecord {
             bank_wait_cycles: 0,
             residual_tokens: 0,
             compile_cached: cached,
+            retried: false,
             compile_micros,
             sim_micros: 0,
+            error_kind: Some(RunErrorKind::of(err)),
             error: Some(err.to_string()),
         }
     }
@@ -179,8 +284,10 @@ impl RunRecord {
             bank_wait_cycles: stats.mem.bank_wait_cycles,
             residual_tokens: stats.residual_tokens,
             compile_cached: cached,
+            retried: false,
             compile_micros,
             sim_micros,
+            error_kind: None,
             error: None,
         }
     }
@@ -231,12 +338,31 @@ impl RunnerReport {
 /// points, call [`ExperimentRunner::run`].
 ///
 /// See the [module docs](self) for the execution model.
-#[derive(Debug, Default)]
+///
+/// Execution is fault-tolerant: every compile and simulate runs under
+/// `catch_unwind`, so a panicking point becomes an error record
+/// ([`RunErrorKind::Panic`]) instead of aborting the sweep.
+#[derive(Debug)]
 pub struct ExperimentRunner {
     workloads: Vec<Arc<Workload>>,
     systems: Vec<Arc<SystemConfig>>,
     points: Vec<Point>,
     threads: usize,
+    cycle_budget: Option<u64>,
+    retry_factor: u64,
+}
+
+impl Default for ExperimentRunner {
+    fn default() -> Self {
+        ExperimentRunner {
+            workloads: Vec::new(),
+            systems: Vec::new(),
+            points: Vec::new(),
+            threads: 0,
+            cycle_budget: None,
+            retry_factor: 64,
+        }
+    }
 }
 
 impl ExperimentRunner {
@@ -250,6 +376,25 @@ impl ExperimentRunner {
     /// Set the worker thread count (`0` = available parallelism).
     pub fn threads(&mut self, n: usize) -> &mut Self {
         self.threads = n;
+        self
+    }
+
+    /// Bound each point's simulation to `budget` system cycles instead of
+    /// the default 2-billion-cycle runaway cap. A point that exhausts the
+    /// budget is re-run once at `budget × retry_factor` (see
+    /// [`ExperimentRunner::retry_factor`]) before being recorded as a
+    /// cycle-limit failure, so one slow outlier costs bounded wall clock
+    /// but a mis-sized budget does not silently drop results.
+    pub fn cycle_budget(&mut self, budget: u64) -> &mut Self {
+        self.cycle_budget = Some(budget);
+        self
+    }
+
+    /// Cap multiplier for the one-shot retry after a budget-limited run
+    /// (default 64; values `<= 1` disable the retry). Has no effect
+    /// without [`ExperimentRunner::cycle_budget`].
+    pub fn retry_factor(&mut self, factor: u64) -> &mut Self {
+        self.retry_factor = factor;
         self
     }
 
@@ -392,11 +537,20 @@ impl ExperimentRunner {
                         }
                         let k = keys[i];
                         let t0 = Instant::now();
-                        let r = crate::compile_impl(
-                            &self.workloads[k.workload],
-                            &self.systems[k.sys],
-                            k.heuristic,
-                        );
+                        // Panic isolation: a panicking compile becomes an
+                        // error artifact shared by its points, not a crash.
+                        let r = catch_unwind(AssertUnwindSafe(|| {
+                            crate::compile_impl(
+                                &self.workloads[k.workload],
+                                &self.systems[k.sys],
+                                k.heuristic,
+                            )
+                        }))
+                        .unwrap_or_else(|payload| {
+                            Err(PipelineError::Panicked {
+                                message: panic_message(payload.as_ref()),
+                            })
+                        });
                         let micros = t0.elapsed().as_micros() as u64;
                         slots.lock().expect("compile worker panicked")[i] = Some((r, micros));
                     });
@@ -433,9 +587,14 @@ impl ExperimentRunner {
                             Err(e) => RunRecord::failed(p, workload, *compile_micros, cached, e),
                             Ok(c) => {
                                 let t0 = Instant::now();
-                                let out = c.simulate(p.model);
+                                let (out, retried) = simulate_point(
+                                    c,
+                                    p.model,
+                                    self.cycle_budget,
+                                    self.retry_factor,
+                                );
                                 let sim_micros = t0.elapsed().as_micros() as u64;
-                                match out {
+                                let mut r = match out {
                                     Ok(stats) => RunRecord::completed(
                                         p,
                                         workload,
@@ -455,7 +614,9 @@ impl ExperimentRunner {
                                         r.sim_micros = sim_micros;
                                         r
                                     }
-                                }
+                                };
+                                r.retried = retried;
+                                r
                             }
                         };
                         slots.lock().expect("sim worker panicked")[i] = Some(rec);
@@ -477,6 +638,46 @@ impl ExperimentRunner {
             wall: t_start.elapsed(),
         }
     }
+}
+
+/// Extract a human-readable message from a panic payload (the payload is
+/// a `&str` or `String` for every `panic!`/`assert!`-style panic).
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+/// Run one sweep point with panic isolation and the optional cycle
+/// budget. Returns the outcome and whether the one-shot budget retry ran.
+fn simulate_point(
+    c: &Compiled,
+    model: MemoryModel,
+    budget: Option<u64>,
+    retry_factor: u64,
+) -> (Result<RunStats, PipelineError>, bool) {
+    let cap = budget.unwrap_or(crate::DEFAULT_MAX_CYCLES);
+    let first = catch_sim(c, model, cap);
+    match &first {
+        Err(PipelineError::Sim(SimError::CycleLimit { .. }))
+            if budget.is_some() && retry_factor > 1 =>
+        {
+            let raised = cap.saturating_mul(retry_factor);
+            (catch_sim(c, model, raised), true)
+        }
+        _ => (first, false),
+    }
+}
+
+/// One simulate call under `catch_unwind`.
+fn catch_sim(c: &Compiled, model: MemoryModel, cap: u64) -> Result<RunStats, PipelineError> {
+    catch_unwind(AssertUnwindSafe(|| c.simulate_budgeted(model, cap))).unwrap_or_else(|payload| {
+        Err(PipelineError::Panicked {
+            message: panic_message(payload.as_ref()),
+        })
+    })
 }
 
 /// Escape a string for a JSON string literal (quotes not included).
@@ -549,13 +750,17 @@ pub fn records_to_json(records: &[RunRecord], timing: bool) -> String {
             r.residual_tokens,
             r.compile_cached,
         ));
+        out.push_str(&format!(",\"retried\":{}", r.retried));
         if timing {
             out.push_str(&format!(
                 ",\"compile_micros\":{},\"sim_micros\":{}",
                 r.compile_micros, r.sim_micros
             ));
         }
-        out.push_str(&format!(",\"error\":{error}}}"));
+        let error_kind = r
+            .error_kind
+            .map_or_else(|| "null".to_string(), |k| format!("\"{}\"", k.label()));
+        out.push_str(&format!(",\"error_kind\":{error_kind},\"error\":{error}}}"));
         if i + 1 < records.len() {
             out.push(',');
         }
@@ -583,12 +788,12 @@ pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
     let mut out = String::from(
         "workload,par,heuristic,model,cycles,fabric_cycles,divider,firings,\
          mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
-         bank_wait_cycles,residual_tokens,load_latency_by_domain,compile_cached",
+         bank_wait_cycles,residual_tokens,load_latency_by_domain,compile_cached,retried",
     );
     if timing {
         out.push_str(",compile_micros,sim_micros");
     }
-    out.push_str(",error\n");
+    out.push_str(",error_kind,error\n");
     for r in records {
         let domains: Vec<String> = r
             .load_latency_by_domain
@@ -614,9 +819,12 @@ pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
             csv_cell(&domains.join("|")),
             r.compile_cached,
         ));
+        out.push_str(&format!(",{}", r.retried));
         if timing {
             out.push_str(&format!(",{},{}", r.compile_micros, r.sim_micros));
         }
+        out.push(',');
+        out.push_str(r.error_kind.map_or("", |k| k.label()));
         out.push(',');
         out.push_str(&csv_cell(r.error.as_deref().unwrap_or("")));
         out.push('\n');
@@ -655,8 +863,10 @@ mod tests {
             bank_wait_cycles: 7,
             residual_tokens: 0,
             compile_cached: false,
+            retried: false,
             compile_micros: 5000,
             sim_micros: 300,
+            error_kind: None,
             error: None,
         }
     }
@@ -669,7 +879,8 @@ mod tests {
                     \"load_latency_by_domain\":[{\"total_latency\":80,\"count\":8},\
                     {\"total_latency\":20,\"count\":1}],\"cache_hit_rate\":0.75,\
                     \"mem_requests\":40,\"arbiter_forwards\":11,\"bank_wait_cycles\":7,\
-                    \"residual_tokens\":0,\"compile_cached\":false,\"error\":null}\n]";
+                    \"residual_tokens\":0,\"compile_cached\":false,\"retried\":false,\
+                    \"error_kind\":null,\"error\":null}\n]";
         assert_eq!(records_to_json(&[sample_record()], false), want);
     }
 
@@ -684,10 +895,70 @@ mod tests {
     #[test]
     fn csv_golden_matches() {
         let want = "workload,par,heuristic,model,cycles,fabric_cycles,divider,firings,\
-                    mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
-                    bank_wait_cycles,residual_tokens,load_latency_by_domain,compile_cached,error\n\
-                    spmv,2,effcc,NUPEA,1234,617,2,999,12.5,0.75,40,11,7,0,80:8|20:1,false,\n";
+             mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
+             bank_wait_cycles,residual_tokens,load_latency_by_domain,compile_cached,\
+             retried,error_kind,error\n\
+             spmv,2,effcc,NUPEA,1234,617,2,999,12.5,0.75,40,11,7,0,80:8|20:1,false,false,,\n";
         assert_eq!(records_to_csv(&[sample_record()], false), want);
+    }
+
+    #[test]
+    fn error_kind_labels_round_trip() {
+        let kinds = [
+            RunErrorKind::Pnr,
+            RunErrorKind::Deadlock,
+            RunErrorKind::Stalled,
+            RunErrorKind::CycleLimit,
+            RunErrorKind::MemoryFault,
+            RunErrorKind::UnboundParam,
+            RunErrorKind::Sim,
+            RunErrorKind::Validation,
+            RunErrorKind::Bitstream,
+            RunErrorKind::InvalidConfig,
+            RunErrorKind::Panic,
+        ];
+        for k in kinds {
+            assert_eq!(RunErrorKind::parse(k.label()), Some(k), "{k}");
+        }
+        assert_eq!(RunErrorKind::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn error_kind_round_trips_through_csv_and_json() {
+        let mut r = sample_record();
+        r.cycles = 0;
+        r.retried = true;
+        r.error_kind = Some(RunErrorKind::Deadlock);
+        r.error = Some("deadlock at cycle 42: 2 stalled node(s)".to_string());
+
+        let json = records_to_json(&[r.clone()], false);
+        assert!(json.contains("\"error_kind\":\"deadlock\""), "{json}");
+        assert!(json.contains("\"retried\":true"), "{json}");
+
+        let csv = records_to_csv(&[r], false);
+        let mut lines = csv.lines();
+        let header: Vec<&str> = lines.next().unwrap().split(',').collect();
+        let kind_col = header.iter().position(|&h| h == "error_kind").unwrap();
+        let retried_col = header.iter().position(|&h| h == "retried").unwrap();
+        let row: Vec<&str> = lines.next().unwrap().split(',').collect();
+        assert_eq!(
+            RunErrorKind::parse(row[kind_col]),
+            Some(RunErrorKind::Deadlock)
+        );
+        assert_eq!(row[retried_col], "true");
+    }
+
+    #[test]
+    fn error_kind_classifies_pipeline_errors() {
+        use nupea_sim::ConfigError;
+        let e = PipelineError::Panicked {
+            message: "boom".to_string(),
+        };
+        assert_eq!(RunErrorKind::of(&e), RunErrorKind::Panic);
+        let e = PipelineError::InvalidConfig(ConfigError::ZeroFifoDepth);
+        assert_eq!(RunErrorKind::of(&e), RunErrorKind::InvalidConfig);
+        let e = PipelineError::Sim(SimError::CycleLimit { limit: 5 });
+        assert_eq!(RunErrorKind::of(&e), RunErrorKind::CycleLimit);
     }
 
     #[test]

@@ -161,6 +161,115 @@ fn json_export_lists_every_point_in_order() {
     );
 }
 
+/// A point that panics mid-simulation must not take the sweep down: it
+/// becomes one structured error record (kind `panicked`, payload message
+/// preserved) and every other point still completes.
+#[test]
+fn panicking_point_is_isolated_to_one_error_record() {
+    use nupea_kernels::workloads::Check;
+
+    // A workload whose post-run validation slices far past the end of
+    // simulated memory: `SimMemory::slice` panics, exercising the panic
+    // path rather than a typed error path.
+    let mut bomb = workload_by_name("spmv").unwrap().build_default(Scale::Test);
+    bomb.checks = vec![Check::Mem {
+        label: "out-of-range reference slice",
+        base: i64::MAX / 2,
+        expected: vec![0],
+    }];
+
+    let mut runner = ExperimentRunner::new();
+    let sys = runner.system(SystemConfig::monaco_12x12());
+    let b = runner.workload(bomb);
+    let ok = runner.workload(workload_by_name("spmv").unwrap().build_default(Scale::Test));
+    runner.point(b, sys, Heuristic::CriticalityAware, MemoryModel::Nupea);
+    runner.model_sweep(ok, sys, &primary_models());
+    let report = runner.run();
+
+    assert_eq!(report.records.len(), 5);
+    let failed = &report.records[0];
+    assert_eq!(failed.error_kind, Some(nupea::RunErrorKind::Panic));
+    assert!(
+        failed.error.as_deref().unwrap_or("").contains("panicked"),
+        "error is {:?}",
+        failed.error
+    );
+    assert_eq!(failed.cycles, 0);
+    for r in &report.records[1..] {
+        assert!(r.error.is_none(), "{}: {:?}", r.model.label(), r.error);
+        assert!(r.cycles > 0);
+    }
+    // The structured kind also lands in both export formats.
+    assert!(report.to_json().contains("\"error_kind\":\"panicked\""));
+    assert!(report.to_csv().contains(",panicked,"));
+}
+
+/// A per-point cycle budget that is too small fails the first attempt,
+/// and the one-shot retry at `budget * retry_factor` rescues the point,
+/// marking the record `retried`. With retry disabled the same budget is a
+/// hard `cycle-limit` failure.
+#[test]
+fn cycle_budget_retry_rescues_slow_points() {
+    let declare = |runner: &mut ExperimentRunner| {
+        let sys = runner.system(SystemConfig::monaco_12x12());
+        let w = runner.workload(workload_by_name("spmv").unwrap().build_default(Scale::Test));
+        runner.point(w, sys, Heuristic::CriticalityAware, MemoryModel::Nupea);
+    };
+
+    let mut with_retry = ExperimentRunner::new();
+    with_retry.cycle_budget(100).retry_factor(1_000_000);
+    declare(&mut with_retry);
+    let report = with_retry.run();
+    let r = &report.records[0];
+    assert!(r.error.is_none(), "{:?}", r.error);
+    assert!(r.retried, "the raised cap must be recorded");
+    assert!(r.cycles > 100, "spmv cannot fit in 100 cycles");
+
+    let mut no_retry = ExperimentRunner::new();
+    no_retry.cycle_budget(100).retry_factor(1);
+    declare(&mut no_retry);
+    let report = no_retry.run();
+    let r = &report.records[0];
+    assert_eq!(r.error_kind, Some(nupea::RunErrorKind::CycleLimit));
+    assert!(!r.retried);
+
+    // An ample budget never retries.
+    let mut ample = ExperimentRunner::new();
+    ample.cycle_budget(2_000_000_000);
+    declare(&mut ample);
+    let r = &ample.run().records[0];
+    assert!(r.error.is_none());
+    assert!(!r.retried);
+}
+
+/// Degenerate system configurations are rejected up front with a typed
+/// `invalid-config` record instead of wedging or panicking deep in the
+/// engine.
+#[test]
+fn invalid_config_becomes_typed_error_record() {
+    let sys = SystemConfig::builder().fifo_depth(0).build();
+    assert!(matches!(
+        sys.validate(),
+        Err(nupea::PipelineError::InvalidConfig(
+            nupea::ConfigError::ZeroFifoDepth
+        ))
+    ));
+
+    let mut runner = ExperimentRunner::new();
+    let bad = runner.system(sys);
+    let w = runner.workload(workload_by_name("spmv").unwrap().build_default(Scale::Test));
+    runner.point(w, bad, Heuristic::CriticalityAware, MemoryModel::Nupea);
+    let report = runner.run();
+
+    let r = &report.records[0];
+    assert_eq!(r.error_kind, Some(nupea::RunErrorKind::InvalidConfig));
+    assert!(
+        r.error.as_deref().unwrap_or("").contains("fifo"),
+        "error is {:?}",
+        r.error
+    );
+}
+
 #[test]
 fn empty_runner_yields_empty_report() {
     let runner = ExperimentRunner::new();

@@ -21,6 +21,8 @@
 use crate::energy::{EnergyBreakdown, EnergyParams};
 use crate::memory::{MemParams, SimMemory};
 use crate::memsys::{Completion, MemRequest, MemSys, MemSysStats, MemoryModel};
+use crate::perturb::{Perturb, PerturbConfig};
+use crate::watchdog::{PortOccupancy, StallKind, StallReport, StalledNode};
 use nupea_fabric::{Fabric, PeId};
 use nupea_ir::graph::{Dfg, InPort, NodeId};
 use nupea_ir::op::{Op, ParamId, SteerPolarity};
@@ -46,6 +48,15 @@ pub struct SimConfig {
     pub numa_seed: u64,
     /// Hard cap on simulated system cycles (runaway guard).
     pub max_cycles: u64,
+    /// Watchdog quiescence window: if this many system cycles elapse with
+    /// no firing, delivery, or memory completion while the simulation is
+    /// still active, the run is aborted with [`SimError::Stalled`]. Must
+    /// comfortably exceed the worst memory round-trip (plus any configured
+    /// perturbation jitter); `0` disables the watchdog.
+    pub stall_window: u64,
+    /// Latency-perturbation fuzzing (off by default; see
+    /// [`PerturbConfig`]).
+    pub perturb: PerturbConfig,
     /// Per-event energy weights.
     pub energy: EnergyParams,
 }
@@ -60,10 +71,72 @@ impl Default for SimConfig {
             max_outstanding: 8,
             numa_seed: 0xA55A,
             max_cycles: 2_000_000_000,
+            stall_window: 1_000_000,
+            perturb: PerturbConfig::OFF,
             energy: EnergyParams::default(),
         }
     }
 }
+
+impl SimConfig {
+    /// Reject degenerate configurations before they reach the engine,
+    /// where they would deadlock (`fifo_depth == 0`), never fire a memory
+    /// op (`max_outstanding == 0`), or divide by zero (`divider == 0`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.divider == 0 {
+            return Err(ConfigError::ZeroDivider);
+        }
+        if self.fifo_depth == 0 {
+            return Err(ConfigError::ZeroFifoDepth);
+        }
+        if self.max_outstanding == 0 {
+            return Err(ConfigError::ZeroMaxOutstanding);
+        }
+        self.mem.validate()
+    }
+}
+
+/// A degenerate simulator or memory configuration, caught by
+/// [`SimConfig::validate`] / [`MemParams::validate`] instead of panicking
+/// (or being silently repaired) deep inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `divider == 0`: the fabric clock cannot be divided by zero.
+    ZeroDivider,
+    /// `fifo_depth == 0`: no token could ever be delivered.
+    ZeroFifoDepth,
+    /// `max_outstanding == 0`: no memory op could ever issue.
+    ZeroMaxOutstanding,
+    /// `banks == 0`: the memory system needs at least one bank.
+    ZeroBanks,
+    /// `line_words == 0`: cache lines must hold at least one word.
+    ZeroLineWords,
+    /// `ways == 0`: the cache needs at least one way.
+    ZeroWays,
+    /// `mem_words == 0`: the memory must hold at least one word.
+    ZeroMemWords,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroDivider => write!(f, "divider must be >= 1"),
+            ConfigError::ZeroFifoDepth => write!(f, "fifo_depth must be >= 1"),
+            ConfigError::ZeroMaxOutstanding => write!(f, "max_outstanding must be >= 1"),
+            ConfigError::ZeroBanks => write!(f, "memory banks must be >= 1"),
+            ConfigError::ZeroLineWords => write!(f, "cache line_words must be >= 1"),
+            ConfigError::ZeroWays => write!(f, "cache ways must be >= 1"),
+            ConfigError::ZeroMemWords => write!(f, "mem_words must be >= 1"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Simulation errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +154,17 @@ pub enum SimError {
     },
     /// A param node has no bound value.
     UnboundParam(ParamId),
+    /// No further progress is possible: tokens are trapped behind full
+    /// FIFOs or a blocking cycle. The report names every stalled node.
+    Deadlock(Box<StallReport>),
+    /// Nothing progressed for [`SimConfig::stall_window`] cycles while the
+    /// simulation was still active (livelock / lost-wakeup watchdog).
+    Stalled {
+        /// The configured quiescence window.
+        window: u64,
+        /// Snapshot of every stalled node at detection time.
+        report: Box<StallReport>,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -89,6 +173,15 @@ impl fmt::Display for SimError {
             SimError::Fault { node } => write!(f, "memory fault at {node}"),
             SimError::CycleLimit { limit } => write!(f, "cycle limit {limit} reached"),
             SimError::UnboundParam(p) => write!(f, "param {} unbound", p.0),
+            SimError::Deadlock(r) => {
+                write!(f, "deadlock at cycle {}: {}", r.cycle, r.summary())
+            }
+            SimError::Stalled { window, report } => write!(
+                f,
+                "no progress for {window} cycles (at cycle {}): {}",
+                report.cycle,
+                report.summary()
+            ),
         }
     }
 }
@@ -216,6 +309,12 @@ pub struct Engine<'g> {
 
     energy: EnergyBreakdown,
 
+    /// Seeded latency jitter (None when fuzzing is off).
+    perturb: Option<Perturb>,
+    /// Per-FIFO monotonic clamp on perturbed delivery times: jitter must
+    /// never reorder tokens within one FIFO.
+    last_delivery: Vec<u64>,
+
     memsys: MemSys,
 }
 
@@ -223,6 +322,11 @@ impl<'g> Engine<'g> {
     /// Create an engine for a placed graph.
     pub fn new(dfg: &'g Dfg, fabric: &'g Fabric, pe_of: &'g [PeId], cfg: SimConfig) -> Self {
         assert_eq!(pe_of.len(), dfg.len(), "placement must cover every node");
+        debug_assert!(
+            cfg.validate().is_ok(),
+            "degenerate SimConfig (call SimConfig::validate): {:?}",
+            cfg.validate()
+        );
         let mut port_base = Vec::with_capacity(dfg.len());
         let mut nports = 0u32;
         for (_, n) in dfg.iter() {
@@ -259,6 +363,8 @@ impl<'g> Engine<'g> {
             trace_nodes: vec![false; dfg.len()],
             trace_log: Vec::new(),
             energy: EnergyBreakdown::default(),
+            perturb: Perturb::from_config(cfg.perturb),
+            last_delivery: vec![0; nports as usize],
             memsys,
             cfg,
         }
@@ -366,8 +472,16 @@ impl<'g> Engine<'g> {
         for (dst, dport) in outs {
             self.event_seq += 1;
             self.charge_hop(node, dst as usize);
+            let mut at = time;
+            if let Some(p) = self.perturb.as_mut() {
+                // Fuzzing: jitter the NoC delivery, clamped so tokens
+                // within one FIFO are never reordered.
+                let idx = (self.port_base[dst as usize] + u32::from(dport)) as usize;
+                at = (at + p.noc_jitter()).max(self.last_delivery[idx]);
+                self.last_delivery[idx] = at;
+            }
             self.events.push(std::cmp::Reverse(Delivery {
-                time,
+                time: at,
                 seq: self.event_seq,
                 dst,
                 port: dport,
@@ -450,9 +564,15 @@ impl<'g> Engine<'g> {
             }
         }
 
-        let divider = self.cfg.divider.max(1);
+        // `SimConfig::validate` rejects divider == 0 up front; the engine
+        // no longer silently repairs it.
+        debug_assert!(self.cfg.divider >= 1, "divider must be >= 1 (validate)");
+        let divider = self.cfg.divider;
         let mut t: u64 = 0;
         let mut last_time: u64 = 0;
+        // Last cycle on which anything global happened: a firing, a token
+        // delivery, or a memory completion. Drives the stall watchdog.
+        let mut last_progress: u64 = 0;
         loop {
             if t > self.cfg.max_cycles {
                 return Err(SimError::CycleLimit {
@@ -478,16 +598,34 @@ impl<'g> Engine<'g> {
                 // can still fire this tick.
                 self.mark_dirty(d.dst as usize, tick);
                 last_time = last_time.max(t);
+                last_progress = t;
             }
             // 2. Fabric tick.
             if t.is_multiple_of(divider) {
+                let fired_before = self.total_firings;
                 self.fabric_tick(t, tick)?;
                 last_time = last_time.max(t);
+                if self.total_firings > fired_before {
+                    last_progress = t;
+                }
             }
             // 3. Memory system.
             if self.memsys.busy() {
                 self.memsys.step(t, mem);
-                self.process_completions(t, divider)?;
+                if self.process_completions(t, divider)? {
+                    last_progress = t;
+                }
+            }
+            // Watchdog: the simulation is still active but nothing has
+            // fired, been delivered, or completed for a full window —
+            // diagnose the livelock instead of spinning to `max_cycles`.
+            if self.cfg.stall_window > 0 && t.saturating_sub(last_progress) > self.cfg.stall_window
+            {
+                let report = Box::new(self.stall_report(t));
+                return Err(SimError::Stalled {
+                    window: self.cfg.stall_window,
+                    report,
+                });
             }
             // 4. Advance.
             let mut next = u64::MAX;
@@ -507,12 +645,24 @@ impl<'g> Engine<'g> {
             t = next;
         }
 
+        // Quiescence. If tokens are trapped behind full consumer FIFOs or
+        // a blocking cycle, no future event can ever free them: that is a
+        // deadlock, not a completed run. Acyclic waiting-operand residue
+        // (an unbalanced kernel) stays a normal completion and is reported
+        // via `residual_tokens`.
+        let residual_tokens: usize = self.fifos.iter().map(VecDeque::len).sum();
+        if residual_tokens > 0 {
+            let report = self.stall_report(t);
+            if report.is_deadlock() {
+                return Err(SimError::Deadlock(Box::new(report)));
+            }
+        }
+
         self.memsys.sync_cache_stats();
         let ep = self.cfg.energy;
         self.energy.fmnoc = self.memsys.stats.arbiter_forwards as f64 * ep.fmnoc_arbiter;
         self.energy.memory = self.memsys.stats.cache_hits as f64 * ep.cache_hit
             + self.memsys.stats.cache_misses as f64 * (ep.cache_hit + ep.mem_access);
-        let residual_tokens = self.fifos.iter().map(VecDeque::len).sum();
         Ok(RunStats {
             cycles: last_time,
             fabric_cycles: last_time.div_ceil(divider),
@@ -573,8 +723,12 @@ impl<'g> Engine<'g> {
         (0..ins).any(|p| !self.fifos[self.fifo_idx(node, p)].is_empty())
     }
 
-    fn process_completions(&mut self, t: u64, divider: u64) -> Result<(), SimError> {
+    /// Drain memory completions and schedule their response deliveries.
+    /// Returns whether any completion was drained (progress, for the
+    /// watchdog).
+    fn process_completions(&mut self, t: u64, divider: u64) -> Result<bool, SimError> {
         let completions = self.memsys.drain_completions();
+        let progress = !completions.is_empty();
         for c in completions {
             if c.fault {
                 return Err(SimError::Fault {
@@ -600,9 +754,15 @@ impl<'g> Engine<'g> {
                     break;
                 };
                 self.outstanding[node].pop_front();
+                // Fuzzing: jitter the completion before the issue-order
+                // clamp below, so perturbed responses still leave the PE
+                // in issue order.
+                let jitter = self.perturb.as_mut().map_or(0, Perturb::mem_jitter);
                 // Align delivery to the next fabric tick strictly after now,
                 // never earlier than a previously scheduled response.
-                let base = done.time.max(t + 1).max(self.last_resp_time[node]);
+                let base = (done.time + jitter)
+                    .max(t + 1)
+                    .max(self.last_resp_time[node]);
                 let tick_time = base.div_ceil(divider) * divider;
                 self.last_resp_time[node] = tick_time;
                 match self.dfg.node(NodeId(c.node)).op {
@@ -617,7 +777,7 @@ impl<'g> Engine<'g> {
                 }
             }
         }
-        Ok(())
+        Ok(progress)
     }
 
     /// Attempt one firing at fabric time `t` (tick index `tick`).
@@ -806,6 +966,191 @@ impl<'g> Engine<'g> {
             }
             Op::Param(_) => Ok(false),
         }
+    }
+
+    /// Consumer nodes of (`node`, output `port`) whose input FIFO has no
+    /// free slot (the nodes holding this one's credit).
+    fn credit_blockers(&self, node: usize, port: usize) -> Vec<u32> {
+        let mut out = Vec::new();
+        for e in self.dfg.outs(NodeId(node as u32)) {
+            if e.src_port as usize != port {
+                continue;
+            }
+            let idx = self.fifo_idx(e.dst.index(), e.dst_port as usize);
+            if self.fifos[idx].len() + self.reserved[idx] as usize >= self.cfg.fifo_depth {
+                out.push(e.dst.0);
+            }
+        }
+        out
+    }
+
+    /// Read-only diagnosis of why node `n` cannot fire, mirroring the
+    /// requirements `try_fire` checks. Returns `None` for idle nodes —
+    /// nothing buffered, reserved, or outstanding — which is the normal
+    /// state after completion.
+    fn classify_stall(&self, n: usize) -> Option<StalledNode> {
+        let node = self.dfg.node(NodeId(n as u32));
+        let op = node.op;
+
+        let mut ports = Vec::new();
+        let mut buffered = 0usize;
+        let mut reserved_total = 0usize;
+        for p in 0..node.inputs.len() {
+            let idx = self.fifo_idx(n, p);
+            let (len, res) = (self.fifos[idx].len(), self.reserved[idx]);
+            if len > 0 || res > 0 {
+                ports.push(PortOccupancy {
+                    port: p as u8,
+                    buffered: len,
+                    reserved: res,
+                });
+            }
+            buffered += len;
+            reserved_total += res as usize;
+        }
+        let outstanding = self.outstanding[n].len();
+
+        // Which input ports must hold a token, and which output ports need
+        // consumer credit, for the node to fire in its current state.
+        let mut need: Vec<usize> = Vec::new();
+        let mut out_ports: Vec<usize> = Vec::new();
+        let mut is_mem = false;
+        match op {
+            Op::Param(_) => return None,
+            Op::Sink(_) => need.push(0),
+            Op::BinOp(_) | Op::Cmp(_) => {
+                need.extend([0, 1]);
+                out_ports.push(0);
+            }
+            Op::UnOp(_) => {
+                need.push(0);
+                out_ports.push(0);
+            }
+            Op::Steer(pol) => {
+                need.extend([0, 1]);
+                if let Some(d) = self.peek(n, 0) {
+                    let forward = match pol {
+                        SteerPolarity::OnTrue => d != 0,
+                        SteerPolarity::OnFalse => d == 0,
+                    };
+                    if forward {
+                        out_ports.push(0);
+                    }
+                }
+            }
+            Op::Carry => match self.state[n] {
+                GateState::Fresh => {
+                    need.push(Op::CARRY_INIT);
+                    out_ports.push(0);
+                }
+                GateState::Looping => {
+                    need.push(Op::CARRY_DECIDER);
+                    if self.peek(n, Op::CARRY_DECIDER).is_some_and(|d| d != 0) {
+                        need.push(Op::CARRY_BACK);
+                        out_ports.push(0);
+                    }
+                }
+                GateState::Holding(_) => {}
+            },
+            Op::Invariant => match self.state[n] {
+                GateState::Fresh => {
+                    need.push(Op::INV_VALUE);
+                    out_ports.push(0);
+                }
+                GateState::Holding(_) => {
+                    need.push(Op::INV_DECIDER);
+                    if self.peek(n, Op::INV_DECIDER).is_some_and(|d| d != 0) {
+                        out_ports.push(0);
+                    }
+                }
+                GateState::Looping => {}
+            },
+            Op::Select => {
+                need.extend([0, 1, 2]);
+                out_ports.push(0);
+            }
+            Op::Mux => {
+                need.push(0);
+                if let Some(d) = self.peek(n, 0) {
+                    need.push(if d != 0 { 1 } else { 2 });
+                }
+                out_ports.push(0);
+            }
+            Op::Load => {
+                is_mem = true;
+                need.push(Op::LOAD_ADDR);
+                if self.order_wired(n, Op::LOAD_ORDER) {
+                    need.push(Op::LOAD_ORDER);
+                }
+                out_ports.extend([Op::OUT_VALUE, Op::LOAD_OUT_ORDER]);
+            }
+            Op::Store => {
+                is_mem = true;
+                need.extend([Op::STORE_ADDR, Op::STORE_VALUE]);
+                if self.order_wired(n, Op::STORE_ORDER) {
+                    need.push(Op::STORE_ORDER);
+                }
+                out_ports.push(0);
+            }
+        }
+
+        let missing: Vec<u8> = need
+            .iter()
+            .filter(|&&p| self.peek(n, p).is_none())
+            .map(|&p| p as u8)
+            .collect();
+
+        let (kind, blocked_on) = if is_mem && outstanding > 0 {
+            // A memory op with requests in flight is waiting on the memory
+            // system regardless of its operand state.
+            (StallKind::MemoryOutstanding, Vec::new())
+        } else if !missing.is_empty() {
+            if buffered == 0 && reserved_total == 0 && outstanding == 0 {
+                return None; // idle, nothing trapped
+            }
+            let producers = missing
+                .iter()
+                .filter_map(|&p| match node.inputs[p as usize] {
+                    InPort::Wire { src, .. } => Some(src.0),
+                    _ => None,
+                })
+                .collect();
+            (StallKind::WaitingOperand, producers)
+        } else if is_mem && outstanding >= self.cfg.max_outstanding {
+            (StallKind::MemoryOutstanding, Vec::new())
+        } else {
+            let blockers: Vec<u32> = out_ports
+                .iter()
+                .flat_map(|&p| self.credit_blockers(n, p))
+                .collect();
+            if blockers.is_empty() {
+                if need.is_empty() && buffered == 0 && reserved_total == 0 && outstanding == 0 {
+                    return None; // dormant gate state with nothing queued
+                }
+                (StallKind::ReadyNotScheduled, Vec::new())
+            } else {
+                (StallKind::NoConsumerCredit, blockers)
+            }
+        };
+
+        Some(StalledNode {
+            node: n as u32,
+            op: format!("{op:?}"),
+            kind,
+            ports,
+            outstanding,
+            missing_ports: missing,
+            blocked_on,
+        })
+    }
+
+    /// Snapshot every stalled node into a [`StallReport`] at cycle `t`.
+    fn stall_report(&self, t: u64) -> StallReport {
+        let nodes: Vec<StalledNode> = (0..self.dfg.len())
+            .filter_map(|n| self.classify_stall(n))
+            .collect();
+        let residual: usize = self.fifos.iter().map(VecDeque::len).sum();
+        StallReport::new(t, nodes, residual)
     }
 
     fn issue_mem(&mut self, n: usize, is_store: bool, addr: i64, value: i64, t: u64) {

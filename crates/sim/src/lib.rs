@@ -55,11 +55,15 @@ pub mod energy;
 pub mod engine;
 pub mod memory;
 pub mod memsys;
+pub mod perturb;
+pub mod watchdog;
 
 pub use energy::{EnergyBreakdown, EnergyParams};
-pub use engine::{DomainLatency, Engine, RunStats, SimConfig, SimError};
+pub use engine::{ConfigError, DomainLatency, Engine, RunStats, SimConfig, SimError};
 pub use memory::{Cache, MemParams, SimMemory};
 pub use memsys::{Completion, MemRequest, MemSys, MemSysStats, MemoryModel};
+pub use perturb::PerturbConfig;
+pub use watchdog::{PortOccupancy, StallKind, StallReport, StalledNode};
 
 use nupea_fabric::{Fabric, PeId, PeKind};
 use nupea_ir::graph::Dfg;

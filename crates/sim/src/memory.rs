@@ -42,6 +42,30 @@ impl Default for MemParams {
 }
 
 impl MemParams {
+    /// Reject degenerate geometries (zero banks, zero-word lines, zero
+    /// ways, empty memory) that would otherwise divide by zero or wedge
+    /// deep inside the memory system.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`](crate::engine::ConfigError) found.
+    pub fn validate(&self) -> Result<(), crate::engine::ConfigError> {
+        use crate::engine::ConfigError;
+        if self.banks == 0 {
+            return Err(ConfigError::ZeroBanks);
+        }
+        if self.line_words == 0 {
+            return Err(ConfigError::ZeroLineWords);
+        }
+        if self.ways == 0 {
+            return Err(ConfigError::ZeroWays);
+        }
+        if self.mem_words == 0 {
+            return Err(ConfigError::ZeroMemWords);
+        }
+        Ok(())
+    }
+
     /// A small configuration for fast unit tests.
     pub fn tiny() -> Self {
         MemParams {

@@ -173,6 +173,8 @@ impl MemSys {
         divider: u64,
         numa_seed: u64,
     ) -> Self {
+        // Rejected by `SimConfig::validate`; no silent repair here.
+        debug_assert!(divider >= 1, "divider must be >= 1 (validate)");
         let noc = fabric.fmnoc();
         let mut chain_of = vec![Vec::new(); fabric.num_pes()];
         let mut port_of = vec![u32::MAX; fabric.num_pes()];
@@ -212,7 +214,7 @@ impl MemSys {
             port_of,
             numa_of: fabric.numa_assignment(numa_seed, 4),
             numa_domains: 4,
-            divider: divider.max(1),
+            divider,
             done: Vec::new(),
             stats: MemSysStats::default(),
             queued_items: 0,

@@ -1,0 +1,318 @@
+//! Stall diagnostics: when the engine wedges, say *why*.
+//!
+//! Deadlock-freedom under bounded buffering is a first-class correctness
+//! concern for spatial dataflow systems: a single mis-sized FIFO or a
+//! mis-built gate network can wedge the whole fabric, and before this
+//! module existed the only symptom was a silent quiescence with residual
+//! tokens or a multi-minute spin to the 2-billion-cycle runaway cap.
+//!
+//! The engine now builds a [`StallReport`] whenever it detects that no
+//! further progress is possible (deadlock at quiescence) or that nothing
+//! has progressed for a configurable window of system cycles (livelock /
+//! lost-wakeup watchdog). The report classifies every stalled node:
+//!
+//! * [`StallKind::WaitingOperand`] — some required input token is missing;
+//!   the node is blocked on the producers of the empty ports.
+//! * [`StallKind::NoConsumerCredit`] — every operand is present but a
+//!   consumer FIFO is full, so credit-based backpressure blocks the
+//!   firing. At quiescence this is conclusive evidence of deadlock:
+//!   nothing in flight can ever free the credit.
+//! * [`StallKind::MemoryOutstanding`] — a load/store has requests in
+//!   flight (or a full request queue) and is waiting on the memory system.
+//! * [`StallKind::ReadyNotScheduled`] — the node could fire right now but
+//!   the engine never woke it. This should be impossible; seeing it in a
+//!   report means the engine's dirty-list bookkeeping lost a wakeup.
+//!
+//! The report also names a *blocking cycle* when one exists: a ring of
+//! stalled nodes each blocked on the next, which is the signature of a
+//! credit deadlock (too little buffering around a dataflow loop).
+
+use std::fmt;
+
+/// Why a node cannot fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StallKind {
+    /// A required input operand is missing.
+    WaitingOperand,
+    /// All operands present, but a consumer FIFO has no free slot.
+    NoConsumerCredit,
+    /// Waiting on the memory system (in-flight or queue-full).
+    MemoryOutstanding,
+    /// Fireable but never woken — an engine scheduling bug.
+    ReadyNotScheduled,
+}
+
+impl StallKind {
+    /// Short kebab-case label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            StallKind::WaitingOperand => "waiting-operand",
+            StallKind::NoConsumerCredit => "no-consumer-credit",
+            StallKind::MemoryOutstanding => "memory-outstanding",
+            StallKind::ReadyNotScheduled => "ready-not-scheduled",
+        }
+    }
+}
+
+impl fmt::Display for StallKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Occupancy snapshot of one input FIFO at stall time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortOccupancy {
+    /// Input port index.
+    pub port: u8,
+    /// Tokens buffered in the FIFO.
+    pub buffered: usize,
+    /// Slots reserved for in-flight deliveries.
+    pub reserved: u16,
+}
+
+/// One stalled node with its classification and blockers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StalledNode {
+    /// DFG node index.
+    pub node: u32,
+    /// Operation label (`Debug` form of the op).
+    pub op: String,
+    /// Why the node cannot fire.
+    pub kind: StallKind,
+    /// Occupied input FIFOs (empty ports are omitted).
+    pub ports: Vec<PortOccupancy>,
+    /// In-flight memory requests.
+    pub outstanding: usize,
+    /// Required input ports with no token available.
+    pub missing_ports: Vec<u8>,
+    /// Nodes this one is blocked on: producers of missing operands, or
+    /// consumers whose FIFOs are full.
+    pub blocked_on: Vec<u32>,
+}
+
+impl fmt::Display for StalledNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node {} ({}): {}", self.node, self.op, self.kind)?;
+        if !self.missing_ports.is_empty() {
+            write!(f, ", missing ports {:?}", self.missing_ports)?;
+        }
+        if self.outstanding > 0 {
+            write!(f, ", {} outstanding", self.outstanding)?;
+        }
+        if !self.blocked_on.is_empty() {
+            write!(f, ", blocked on {:?}", self.blocked_on)?;
+        }
+        for p in &self.ports {
+            write!(
+                f,
+                "; port {}: {} buffered/{} reserved",
+                p.port, p.buffered, p.reserved
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// A full stall diagnosis: every stalled node, classified, plus the
+/// blocking cycle (if any) and the residual token count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct StallReport {
+    /// System cycle at which the stall was detected.
+    pub cycle: u64,
+    /// Every stalled node, in node-index order.
+    pub nodes: Vec<StalledNode>,
+    /// A cycle of nodes blocking each other (`a -> b -> ... -> a`,
+    /// first node repeated at the end), or empty when the blocking graph
+    /// is acyclic.
+    pub cycle_nodes: Vec<u32>,
+    /// Tokens left buffered across all FIFOs.
+    pub residual_tokens: usize,
+}
+
+impl StallReport {
+    /// Build a report from classified nodes, detecting a blocking cycle.
+    pub fn new(cycle: u64, nodes: Vec<StalledNode>, residual_tokens: usize) -> Self {
+        let cycle_nodes = detect_cycle(&nodes);
+        StallReport {
+            cycle,
+            nodes,
+            cycle_nodes,
+            residual_tokens,
+        }
+    }
+
+    /// True when the stall is provably permanent: some node is blocked on
+    /// credit, memory, or a lost wakeup, or the blocked-on graph contains
+    /// a cycle. Waiting-operand chains without a cycle merely indicate an
+    /// unbalanced kernel (tokens that will never be consumed), which the
+    /// engine reports via `residual_tokens` instead.
+    pub fn is_deadlock(&self) -> bool {
+        !self.cycle_nodes.is_empty()
+            || self
+                .nodes
+                .iter()
+                .any(|n| n.kind != StallKind::WaitingOperand)
+    }
+
+    /// One-line summary for error messages.
+    pub fn summary(&self) -> String {
+        let mut kinds = [0usize; 4];
+        for n in &self.nodes {
+            kinds[match n.kind {
+                StallKind::WaitingOperand => 0,
+                StallKind::NoConsumerCredit => 1,
+                StallKind::MemoryOutstanding => 2,
+                StallKind::ReadyNotScheduled => 3,
+            }] += 1;
+        }
+        let mut parts = Vec::new();
+        for (i, label) in [
+            "waiting-operand",
+            "no-consumer-credit",
+            "memory-outstanding",
+            "ready-not-scheduled",
+        ]
+        .iter()
+        .enumerate()
+        {
+            if kinds[i] > 0 {
+                parts.push(format!("{} {label}", kinds[i]));
+            }
+        }
+        let cycle = if self.cycle_nodes.is_empty() {
+            String::new()
+        } else {
+            format!(
+                "; blocking cycle {}",
+                self.cycle_nodes
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("->")
+            )
+        };
+        format!(
+            "{} stalled node(s) [{}], {} residual token(s){cycle}",
+            self.nodes.len(),
+            parts.join(", "),
+            self.residual_tokens,
+        )
+    }
+}
+
+impl fmt::Display for StallReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "stall at cycle {}: {}", self.cycle, self.summary())?;
+        for n in &self.nodes {
+            writeln!(f, "  {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Find a cycle in the blocked-on graph restricted to stalled nodes.
+/// Returns the cycle as `a -> b -> ... -> a` or an empty vec.
+fn detect_cycle(nodes: &[StalledNode]) -> Vec<u32> {
+    use std::collections::HashMap;
+    let idx: HashMap<u32, usize> = nodes.iter().enumerate().map(|(i, n)| (n.node, i)).collect();
+    // 0 = white, 1 = on stack, 2 = done.
+    let mut color = vec![0u8; nodes.len()];
+    let mut stack: Vec<u32> = Vec::new();
+
+    fn dfs(
+        i: usize,
+        nodes: &[StalledNode],
+        idx: &HashMap<u32, usize>,
+        color: &mut [u8],
+        stack: &mut Vec<u32>,
+    ) -> Option<Vec<u32>> {
+        color[i] = 1;
+        stack.push(nodes[i].node);
+        for &b in &nodes[i].blocked_on {
+            let Some(&j) = idx.get(&b) else { continue };
+            match color[j] {
+                0 => {
+                    if let Some(c) = dfs(j, nodes, idx, color, stack) {
+                        return Some(c);
+                    }
+                }
+                1 => {
+                    // Found: slice the stack from the first occurrence of b.
+                    let start = stack.iter().position(|&x| x == b).unwrap_or(0);
+                    let mut cyc: Vec<u32> = stack[start..].to_vec();
+                    cyc.push(b);
+                    return Some(cyc);
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        color[i] = 2;
+        None
+    }
+
+    for i in 0..nodes.len() {
+        if color[i] == 0 {
+            if let Some(c) = dfs(i, nodes, &idx, &mut color, &mut stack) {
+                return c;
+            }
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stalled(node: u32, kind: StallKind, blocked_on: Vec<u32>) -> StalledNode {
+        StalledNode {
+            node,
+            op: "BinOp(Add)".to_string(),
+            kind,
+            ports: vec![],
+            outstanding: 0,
+            missing_ports: vec![],
+            blocked_on,
+        }
+    }
+
+    #[test]
+    fn detects_a_blocking_cycle() {
+        let nodes = vec![
+            stalled(1, StallKind::WaitingOperand, vec![2]),
+            stalled(2, StallKind::WaitingOperand, vec![3]),
+            stalled(3, StallKind::WaitingOperand, vec![1]),
+        ];
+        let r = StallReport::new(10, nodes, 3);
+        assert!(!r.cycle_nodes.is_empty());
+        assert_eq!(r.cycle_nodes.first(), r.cycle_nodes.last());
+        assert!(r.is_deadlock(), "waiting-operand *cycle* is a deadlock");
+    }
+
+    #[test]
+    fn acyclic_waiting_chain_is_not_deadlock() {
+        let nodes = vec![
+            stalled(1, StallKind::WaitingOperand, vec![2]),
+            stalled(2, StallKind::WaitingOperand, vec![9]), // 9 not stalled
+        ];
+        let r = StallReport::new(10, nodes, 2);
+        assert!(r.cycle_nodes.is_empty());
+        assert!(!r.is_deadlock(), "plain imbalance is reported, not fatal");
+    }
+
+    #[test]
+    fn credit_block_is_always_deadlock() {
+        let nodes = vec![stalled(4, StallKind::NoConsumerCredit, vec![7])];
+        let r = StallReport::new(99, nodes, 1);
+        assert!(r.is_deadlock());
+        let text = r.to_string();
+        assert!(text.contains("no-consumer-credit"), "{text}");
+        assert!(text.contains("node 4"), "{text}");
+        assert!(r.summary().contains("1 no-consumer-credit"));
+    }
+}
