@@ -20,7 +20,7 @@ fn main() {
     ];
 
     let mut runner = ExperimentRunner::new();
-    runner.threads(opts.threads);
+    opts.configure(&mut runner);
     let sys = runner.system(SystemConfig::monaco_12x12());
     let w = runner.workload(spec.build_default(Scale::Bench));
     runner.model_sweep(w, sys, &models);

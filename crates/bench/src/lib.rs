@@ -12,7 +12,10 @@
 //!
 //! * `--threads N` — worker threads (0 or absent = all cores);
 //! * `--json PATH` / `--csv PATH` — structured export of every sweep
-//!   point alongside the printed table.
+//!   point alongside the printed table;
+//! * `--trace-dir DIR` — write one Chrome trace-event JSON per point
+//!   (loadable in ui.perfetto.dev) and append an observability section
+//!   with per-domain load-latency breakdowns and PE utilization.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -33,12 +36,15 @@ pub struct BenchOpts {
     pub json: Option<PathBuf>,
     /// Write the sweep's records as CSV here.
     pub csv: Option<PathBuf>,
+    /// Write one Chrome trace-event JSON per sweep point into this
+    /// directory and print the observability section.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl BenchOpts {
-    /// Parse `--threads N`, `--json PATH`, `--csv PATH` from the process
-    /// arguments. Unknown arguments (e.g. flags cargo forwards) are
-    /// ignored.
+    /// Parse `--threads N`, `--json PATH`, `--csv PATH`, `--trace-dir
+    /// DIR` from the process arguments. Unknown arguments (e.g. flags
+    /// cargo forwards) are ignored.
     #[must_use]
     pub fn from_env() -> Self {
         let mut opts = BenchOpts::default();
@@ -53,15 +59,31 @@ impl BenchOpts {
                 }
                 "--json" => opts.json = Some(args.next().expect("--json needs a path").into()),
                 "--csv" => opts.csv = Some(args.next().expect("--csv needs a path").into()),
+                "--trace-dir" => {
+                    opts.trace_dir = Some(args.next().expect("--trace-dir needs a path").into());
+                }
                 _ => {}
             }
         }
         opts
     }
 
-    /// Write the requested JSON/CSV exports and print the runner's
-    /// compile-cache accounting.
+    /// Apply the runner-level options (threads, trace directory) to a
+    /// fresh runner.
+    pub fn configure(&self, runner: &mut ExperimentRunner) {
+        runner.threads(self.threads);
+        if let Some(dir) = &self.trace_dir {
+            runner.trace_dir(dir.clone());
+        }
+    }
+
+    /// Write the requested JSON/CSV exports, print the observability
+    /// section when tracing was on, and print the runner's compile-cache
+    /// accounting.
     pub fn finish(&self, report: &RunnerReport) {
+        if self.trace_dir.is_some() {
+            print!("{}", render_trace_section(&report.records));
+        }
         if let Some(p) = &self.json {
             std::fs::write(p, report.to_json()).expect("write JSON export");
             println!("wrote {}", p.display());
@@ -80,12 +102,61 @@ impl BenchOpts {
     }
 }
 
+/// The observability section printed when a sweep ran with
+/// `--trace-dir`: per-domain mean load latency, PE utilization, and the
+/// busiest-link token count of every traced point, followed by the trace
+/// file paths (open them in ui.perfetto.dev). The per-domain numbers are
+/// aggregated from the same event stream the trace files carry, so the
+/// table and the timelines agree exactly.
+#[must_use]
+pub fn render_trace_section(records: &[RunRecord]) -> String {
+    let traced: Vec<&RunRecord> = records.iter().filter(|r| r.trace_path.is_some()).collect();
+    if traced.is_empty() {
+        return String::new();
+    }
+    let ndom = traced
+        .iter()
+        .map(|r| r.load_latency_by_domain.len())
+        .max()
+        .unwrap_or(0);
+    let mut headers: Vec<String> = (0..ndom).map(|d| format!("D{d} lat")).collect();
+    headers.push("util".to_string());
+    headers.push("peak link".to_string());
+    let mut rows = Vec::new();
+    for r in &traced {
+        let mut cells: Vec<String> = (0..ndom)
+            .map(|d| match r.load_latency_by_domain.get(d) {
+                Some(dl) if dl.count > 0 => format!(
+                    "{:.1} ({})",
+                    dl.total_latency as f64 / dl.count as f64,
+                    dl.count
+                ),
+                _ => "-".to_string(),
+            })
+            .collect();
+        cells.push(format!("{:.3}", r.mean_pe_utilization));
+        cells.push(format!("{}", r.peak_link_tokens));
+        rows.push((format!("{} {}", r.workload, r.model.label()), cells));
+    }
+    let mut out = render_table(
+        "per-domain load latency from traces: mean cycles (loads)",
+        &headers,
+        &rows,
+    );
+    out.push_str("traces (open in ui.perfetto.dev):\n");
+    for r in &traced {
+        out.push_str(&format!("  {}\n", r.trace_path.as_deref().unwrap_or("")));
+    }
+    out.push('\n');
+    out
+}
+
 /// Declare all 13 bench-scale workloads × `models` on a fresh runner and
 /// execute it. Records come back grouped per workload, `models.len()`
 /// records per group, in registry order.
 fn sweep_all_workloads(opts: &BenchOpts, models: &[MemoryModel]) -> RunnerReport {
     let mut runner = ExperimentRunner::new();
-    runner.threads(opts.threads);
+    opts.configure(&mut runner);
     let sys = runner.system(SystemConfig::monaco_12x12());
     for spec in all_workloads() {
         let w = runner.workload(spec.build_default(Scale::Bench));
@@ -154,7 +225,7 @@ pub fn heuristic_ablation(title: &str, paper_note: &str) {
         Heuristic::CriticalityAware,
     ];
     let mut runner = ExperimentRunner::new();
-    runner.threads(opts.threads);
+    opts.configure(&mut runner);
     let sys = runner.system(SystemConfig::monaco_12x12());
     for spec in all_workloads() {
         let w = runner.workload(spec.build_default(Scale::Bench));

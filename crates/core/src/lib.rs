@@ -39,7 +39,10 @@ pub mod runner;
 pub use nupea_fabric::{Fabric, TopologyKind};
 pub use nupea_kernels::workloads::{all_workloads, Scale, ValidationError, Workload, WorkloadSpec};
 pub use nupea_pnr::{Heuristic, Placed, PnrError};
-pub use nupea_sim::{ConfigError, MemoryModel, PerturbConfig, RunStats, SimError, StallReport};
+pub use nupea_sim::{
+    ConfigError, MemoryModel, PerturbConfig, RunStats, SimError, StallReport, TraceBuffer,
+    TraceConfig,
+};
 pub use runner::{
     ExperimentRunner, RunErrorKind, RunRecord, RunnerReport, SystemHandle, WorkloadHandle,
 };
@@ -79,6 +82,11 @@ pub struct SystemConfig {
     /// seeded random extra latency is injected into NoC deliveries and
     /// memory completions; results must not change, only cycle counts.
     pub perturb: PerturbConfig,
+    /// Event tracing (off by default). When enabled, the engine records
+    /// per-event history into a ring buffer retrievable as a
+    /// [`TraceBuffer`] / Chrome trace JSON; timing is unaffected either
+    /// way. See [`Compiled::simulate_traced`].
+    pub trace: TraceConfig,
 }
 
 impl SystemConfig {
@@ -104,6 +112,7 @@ impl SystemConfig {
             effort: 200,
             divider_override: Some(2),
             perturb: PerturbConfig::OFF,
+            trace: TraceConfig::OFF,
         }
     }
 
@@ -228,6 +237,13 @@ impl SystemConfigBuilder {
         self
     }
 
+    /// Configure event tracing (see [`TraceConfig`]).
+    #[must_use]
+    pub fn trace(mut self, trace: TraceConfig) -> Self {
+        self.cfg.trace = trace;
+        self
+    }
+
     /// Finish and return the configuration.
     #[must_use]
     pub fn build(self) -> SystemConfig {
@@ -276,7 +292,36 @@ impl Compiled {
             self.placed.timing.divider,
             model,
             None,
+            false,
         )
+        .map(|(stats, _)| stats)
+    }
+
+    /// Like [`Compiled::simulate`], but with event tracing forced on:
+    /// returns the run statistics together with the recorded
+    /// [`TraceBuffer`] (exportable via [`TraceBuffer::to_chrome_json`]).
+    /// The system's [`SystemConfig::trace`] capacity is honoured when
+    /// tracing was already enabled there; otherwise the default capacity
+    /// of [`TraceConfig::on`] is used. Timing is identical to an untraced
+    /// run.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiled::simulate`].
+    pub fn simulate_traced(
+        &self,
+        model: MemoryModel,
+    ) -> Result<(RunStats, TraceBuffer), PipelineError> {
+        let (stats, trace) = simulate_impl(
+            &self.workload,
+            &self.sys,
+            &self.placed.pe_of,
+            self.placed.timing.divider,
+            model,
+            None,
+            true,
+        )?;
+        Ok((stats, trace.expect("tracing was forced on")))
     }
 
     /// Like [`Compiled::simulate`], but with an explicit cycle budget in
@@ -300,7 +345,9 @@ impl Compiled {
             self.placed.timing.divider,
             model,
             Some(max_cycles),
+            false,
         )
+        .map(|(stats, _)| stats)
     }
 
     /// Simulate with sim-time knobs taken from a different
@@ -322,7 +369,9 @@ impl Compiled {
             self.placed.timing.divider,
             model,
             None,
+            false,
         )
+        .map(|(stats, _)| stats)
     }
 
     /// Serialize to a bitstream (see [`nupea_pnr::bitstream`]) for caching
@@ -466,11 +515,15 @@ fn sim_config(sys: &SystemConfig, model: MemoryModel, divider_src: u32) -> SimCo
     cfg.numa_seed = sys.seed ^ 0x1234;
     cfg.max_cycles = DEFAULT_MAX_CYCLES;
     cfg.perturb = sys.perturb;
+    cfg.trace = sys.trace;
     cfg
 }
 
 /// Shared simulate path: engine setup, run, reference validation.
-/// `max_cycles` overrides the default runaway cap when set.
+/// `max_cycles` overrides the default runaway cap when set; `want_trace`
+/// forces tracing on (keeping the configured capacity when the system
+/// already enabled it) and returns the recorded buffer.
+#[allow(clippy::too_many_arguments)] // private plumbing behind thin facades
 fn simulate_impl(
     workload: &Workload,
     sys: &SystemConfig,
@@ -478,10 +531,14 @@ fn simulate_impl(
     divider_src: u32,
     model: MemoryModel,
     max_cycles: Option<u64>,
-) -> Result<RunStats, PipelineError> {
+    want_trace: bool,
+) -> Result<(RunStats, Option<TraceBuffer>), PipelineError> {
     let mut cfg = sim_config(sys, model, divider_src);
     if let Some(cap) = max_cycles {
         cfg.max_cycles = cap;
+    }
+    if want_trace && !cfg.trace.enabled {
+        cfg.trace = TraceConfig::on();
     }
     cfg.validate()?;
     let mut mem = workload.fresh_mem();
@@ -490,8 +547,13 @@ fn simulate_impl(
         engine.bind(pid, v);
     }
     let stats = engine.run(&mut mem)?;
+    let trace = if want_trace {
+        engine.take_trace()
+    } else {
+        None
+    };
     workload.validate(&mem, &stats.sinks)?;
-    Ok(stats)
+    Ok((stats, trace))
 }
 
 /// Compile a workload onto the system's fabric with a placement heuristic.
@@ -530,7 +592,9 @@ pub fn simulate_on(
         compiled.placed.timing.divider,
         model,
         None,
+        false,
     )
+    .map(|(stats, _)| stats)
 }
 
 /// Convenience: simulate with the system config the artifact was compiled
@@ -552,7 +616,9 @@ pub fn simulate(
         compiled.placed.timing.divider,
         model,
         None,
+        false,
     )
+    .map(|(stats, _)| stats)
 }
 
 /// Results of a multi-region (staged) run.
@@ -663,7 +729,7 @@ pub fn simulate_bitstream(
             reason: "bitstream does not match this workload/fabric".into(),
         });
     }
-    simulate_impl(workload, sys, &bs.pe_of, bs.divider, model, None)
+    simulate_impl(workload, sys, &bs.pe_of, bs.divider, model, None, false).map(|(stats, _)| stats)
 }
 
 /// Auto-parallelization (§5): grow the parallelism degree until PnR fails,
@@ -739,6 +805,20 @@ mod tests {
             assert!(stats.cycles > 0, "{model}: must take time");
             assert_eq!(stats.residual_tokens, 0, "{model}: balanced");
         }
+    }
+
+    #[test]
+    fn simulate_traced_is_timing_identical_and_aggregates_exactly() {
+        let w = sparse::spmv(Scale::Test, 1);
+        let sys = SystemConfig::monaco_12x12();
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let plain = c.simulate(MemoryModel::Nupea).unwrap();
+        let (stats, trace) = c.simulate_traced(MemoryModel::Nupea).unwrap();
+        assert_eq!(stats.cycles, plain.cycles, "tracing must not change timing");
+        assert_eq!(stats.firings, plain.firings);
+        assert_eq!(trace.dropped, 0, "default capacity must hold a Test run");
+        assert_eq!(trace.load_latency_by_domain(), stats.load_latency_by_domain);
+        nupea_sim::validate_chrome_trace(&trace.to_chrome_json()).unwrap();
     }
 
     #[test]

@@ -36,10 +36,11 @@
 use crate::experiments::heuristic_for;
 use crate::{Compiled, PipelineError, SystemConfig, Workload};
 use nupea_pnr::Heuristic;
-use nupea_sim::{DomainLatency, MemoryModel, RunStats, SimError};
+use nupea_sim::{DomainLatency, MemoryModel, RunStats, SimError, TraceBuffer};
 use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -203,11 +204,20 @@ pub struct RunRecord {
     pub bank_wait_cycles: u64,
     /// Tokens left buffered at quiescence.
     pub residual_tokens: usize,
+    /// PEs that fired at least one instruction.
+    pub active_pes: usize,
+    /// Mean firings per active PE per fabric cycle (0 when nothing ran).
+    pub mean_pe_utilization: f64,
+    /// Tokens carried by the single busiest NoC link.
+    pub peak_link_tokens: u64,
     /// Whether this point reused another point's compile artifact.
     pub compile_cached: bool,
     /// Whether the point exhausted its cycle budget and was re-run once at
     /// the raised cap.
     pub retried: bool,
+    /// Path of this point's Chrome trace-event JSON, when the runner was
+    /// given a trace directory ([`ExperimentRunner::trace_dir`]).
+    pub trace_path: Option<String>,
     /// Wall-clock compile time of the shared artifact (µs).
     pub compile_micros: u64,
     /// Wall-clock simulation time of this point (µs).
@@ -242,8 +252,12 @@ impl RunRecord {
             arbiter_forwards: 0,
             bank_wait_cycles: 0,
             residual_tokens: 0,
+            active_pes: 0,
+            mean_pe_utilization: 0.0,
+            peak_link_tokens: 0,
             compile_cached: cached,
             retried: false,
+            trace_path: None,
             compile_micros,
             sim_micros: 0,
             error_kind: Some(RunErrorKind::of(err)),
@@ -283,8 +297,12 @@ impl RunRecord {
             arbiter_forwards: stats.mem.arbiter_forwards,
             bank_wait_cycles: stats.mem.bank_wait_cycles,
             residual_tokens: stats.residual_tokens,
+            active_pes: stats.active_pes(),
+            mean_pe_utilization: stats.mean_pe_utilization(),
+            peak_link_tokens: stats.peak_link_tokens(),
             compile_cached: cached,
             retried: false,
+            trace_path: None,
             compile_micros,
             sim_micros,
             error_kind: None,
@@ -350,6 +368,7 @@ pub struct ExperimentRunner {
     threads: usize,
     cycle_budget: Option<u64>,
     retry_factor: u64,
+    trace_dir: Option<PathBuf>,
 }
 
 impl Default for ExperimentRunner {
@@ -361,6 +380,7 @@ impl Default for ExperimentRunner {
             threads: 0,
             cycle_budget: None,
             retry_factor: 64,
+            trace_dir: None,
         }
     }
 }
@@ -395,6 +415,18 @@ impl ExperimentRunner {
     /// without [`ExperimentRunner::cycle_budget`].
     pub fn retry_factor(&mut self, factor: u64) -> &mut Self {
         self.retry_factor = factor;
+        self
+    }
+
+    /// Write one Chrome trace-event JSON per completed point into `dir`
+    /// (created on demand); each record's
+    /// [`trace_path`](RunRecord::trace_path) then names its file, e.g.
+    /// `spmspv-par2-effcc-nupea.trace.json`, loadable in ui.perfetto.dev.
+    /// Tracing is forced on for the simulations but does not change
+    /// timing, so exported cycle counts stay bit-identical to an untraced
+    /// sweep.
+    pub fn trace_dir(&mut self, dir: impl Into<PathBuf>) -> &mut Self {
+        self.trace_dir = Some(dir.into());
         self
     }
 
@@ -565,7 +597,12 @@ impl ExperimentRunner {
         };
 
         // Phase 2: simulate every point in parallel against the shared
-        // artifacts.
+        // artifacts. The trace directory is created once up front; if that
+        // fails the sweep still runs, records just carry no trace_path.
+        let trace_dir: Option<&Path> = self
+            .trace_dir
+            .as_deref()
+            .filter(|d| std::fs::create_dir_all(d).is_ok());
         let records: Vec<RunRecord> = {
             let slots: Mutex<Vec<Option<RunRecord>>> =
                 Mutex::new((0..self.points.len()).map(|_| None).collect());
@@ -592,17 +629,29 @@ impl ExperimentRunner {
                                     p.model,
                                     self.cycle_budget,
                                     self.retry_factor,
+                                    trace_dir.is_some(),
                                 );
                                 let sim_micros = t0.elapsed().as_micros() as u64;
                                 let mut r = match out {
-                                    Ok(stats) => RunRecord::completed(
-                                        p,
-                                        workload,
-                                        *compile_micros,
-                                        cached,
-                                        &stats,
-                                        sim_micros,
-                                    ),
+                                    Ok((stats, trace)) => {
+                                        let mut r = RunRecord::completed(
+                                            p,
+                                            workload,
+                                            *compile_micros,
+                                            cached,
+                                            &stats,
+                                            sim_micros,
+                                        );
+                                        if let (Some(dir), Some(trace)) = (trace_dir, trace) {
+                                            let path = dir.join(trace_file_name(&r));
+                                            if std::fs::write(&path, trace.to_chrome_json()).is_ok()
+                                            {
+                                                r.trace_path =
+                                                    Some(path.to_string_lossy().into_owned());
+                                            }
+                                        }
+                                        r
+                                    }
                                     Err(e) => {
                                         let mut r = RunRecord::failed(
                                             p,
@@ -650,30 +699,69 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
         .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
+/// The deterministic trace file name of one completed point:
+/// `<workload>-par<par>-<heuristic>-<model>.trace.json`, with every
+/// component slugged down to `[a-z0-9-]`.
+fn trace_file_name(r: &RunRecord) -> String {
+    let slug = |s: &str| -> String {
+        s.chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect()
+    };
+    format!(
+        "{}-par{}-{}-{}.trace.json",
+        slug(&r.workload),
+        r.par,
+        slug(&r.heuristic.to_string()),
+        slug(r.model.label().as_str())
+    )
+}
+
 /// Run one sweep point with panic isolation and the optional cycle
-/// budget. Returns the outcome and whether the one-shot budget retry ran.
+/// budget. Returns the outcome (with the recorded trace when `want_trace`)
+/// and whether the one-shot budget retry ran.
 fn simulate_point(
     c: &Compiled,
     model: MemoryModel,
     budget: Option<u64>,
     retry_factor: u64,
-) -> (Result<RunStats, PipelineError>, bool) {
+    want_trace: bool,
+) -> (SimOutcome, bool) {
     let cap = budget.unwrap_or(crate::DEFAULT_MAX_CYCLES);
-    let first = catch_sim(c, model, cap);
+    let first = catch_sim(c, model, cap, want_trace);
     match &first {
         Err(PipelineError::Sim(SimError::CycleLimit { .. }))
             if budget.is_some() && retry_factor > 1 =>
         {
             let raised = cap.saturating_mul(retry_factor);
-            (catch_sim(c, model, raised), true)
+            (catch_sim(c, model, raised, want_trace), true)
         }
         _ => (first, false),
     }
 }
 
+type SimOutcome = Result<(RunStats, Option<TraceBuffer>), PipelineError>;
+
 /// One simulate call under `catch_unwind`.
-fn catch_sim(c: &Compiled, model: MemoryModel, cap: u64) -> Result<RunStats, PipelineError> {
-    catch_unwind(AssertUnwindSafe(|| c.simulate_budgeted(model, cap))).unwrap_or_else(|payload| {
+fn catch_sim(c: &Compiled, model: MemoryModel, cap: u64, want_trace: bool) -> SimOutcome {
+    catch_unwind(AssertUnwindSafe(|| {
+        crate::simulate_impl(
+            c.workload(),
+            c.system(),
+            &c.placed.pe_of,
+            c.placed.timing.divider,
+            model,
+            Some(cap),
+            want_trace,
+        )
+    }))
+    .unwrap_or_else(|payload| {
         Err(PipelineError::Panicked {
             message: panic_message(payload.as_ref()),
         })
@@ -732,7 +820,8 @@ pub fn records_to_json(records: &[RunRecord], timing: bool) -> String {
              \"cycles\":{},\"fabric_cycles\":{},\"divider\":{},\"firings\":{},\
              \"mean_load_latency\":{},\"load_latency_by_domain\":[{}],\
              \"cache_hit_rate\":{},\"mem_requests\":{},\"arbiter_forwards\":{},\
-             \"bank_wait_cycles\":{},\"residual_tokens\":{},\"compile_cached\":{}",
+             \"bank_wait_cycles\":{},\"residual_tokens\":{},\"active_pes\":{},\
+             \"mean_pe_utilization\":{},\"peak_link_tokens\":{},\"compile_cached\":{}",
             json_escape(&r.workload),
             r.par,
             r.heuristic,
@@ -748,9 +837,17 @@ pub fn records_to_json(records: &[RunRecord], timing: bool) -> String {
             r.arbiter_forwards,
             r.bank_wait_cycles,
             r.residual_tokens,
+            r.active_pes,
+            json_f64(r.mean_pe_utilization),
+            r.peak_link_tokens,
             r.compile_cached,
         ));
         out.push_str(&format!(",\"retried\":{}", r.retried));
+        let trace_path = r
+            .trace_path
+            .as_ref()
+            .map_or_else(|| "null".to_string(), |p| format!("\"{}\"", json_escape(p)));
+        out.push_str(&format!(",\"trace_path\":{trace_path}"));
         if timing {
             out.push_str(&format!(
                 ",\"compile_micros\":{},\"sim_micros\":{}",
@@ -788,7 +885,8 @@ pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
     let mut out = String::from(
         "workload,par,heuristic,model,cycles,fabric_cycles,divider,firings,\
          mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
-         bank_wait_cycles,residual_tokens,load_latency_by_domain,compile_cached,retried",
+         bank_wait_cycles,residual_tokens,active_pes,mean_pe_utilization,\
+         peak_link_tokens,load_latency_by_domain,compile_cached,retried,trace_path",
     );
     if timing {
         out.push_str(",compile_micros,sim_micros");
@@ -801,7 +899,7 @@ pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
             .map(|d| format!("{}:{}", d.total_latency, d.count))
             .collect();
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_cell(&r.workload),
             r.par,
             r.heuristic,
@@ -816,10 +914,15 @@ pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
             r.arbiter_forwards,
             r.bank_wait_cycles,
             r.residual_tokens,
+            r.active_pes,
+            json_f64(r.mean_pe_utilization),
+            r.peak_link_tokens,
             csv_cell(&domains.join("|")),
             r.compile_cached,
         ));
         out.push_str(&format!(",{}", r.retried));
+        out.push(',');
+        out.push_str(&csv_cell(r.trace_path.as_deref().unwrap_or("")));
         if timing {
             out.push_str(&format!(",{},{}", r.compile_micros, r.sim_micros));
         }
@@ -862,8 +965,12 @@ mod tests {
             arbiter_forwards: 11,
             bank_wait_cycles: 7,
             residual_tokens: 0,
+            active_pes: 3,
+            mean_pe_utilization: 0.5,
+            peak_link_tokens: 42,
             compile_cached: false,
             retried: false,
+            trace_path: None,
             compile_micros: 5000,
             sim_micros: 300,
             error_kind: None,
@@ -879,8 +986,9 @@ mod tests {
                     \"load_latency_by_domain\":[{\"total_latency\":80,\"count\":8},\
                     {\"total_latency\":20,\"count\":1}],\"cache_hit_rate\":0.75,\
                     \"mem_requests\":40,\"arbiter_forwards\":11,\"bank_wait_cycles\":7,\
-                    \"residual_tokens\":0,\"compile_cached\":false,\"retried\":false,\
-                    \"error_kind\":null,\"error\":null}\n]";
+                    \"residual_tokens\":0,\"active_pes\":3,\"mean_pe_utilization\":0.5,\
+                    \"peak_link_tokens\":42,\"compile_cached\":false,\"retried\":false,\
+                    \"trace_path\":null,\"error_kind\":null,\"error\":null}\n]";
         assert_eq!(records_to_json(&[sample_record()], false), want);
     }
 
@@ -896,9 +1004,11 @@ mod tests {
     fn csv_golden_matches() {
         let want = "workload,par,heuristic,model,cycles,fabric_cycles,divider,firings,\
              mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
-             bank_wait_cycles,residual_tokens,load_latency_by_domain,compile_cached,\
-             retried,error_kind,error\n\
-             spmv,2,effcc,NUPEA,1234,617,2,999,12.5,0.75,40,11,7,0,80:8|20:1,false,false,,\n";
+             bank_wait_cycles,residual_tokens,active_pes,mean_pe_utilization,\
+             peak_link_tokens,load_latency_by_domain,compile_cached,\
+             retried,trace_path,error_kind,error\n\
+             spmv,2,effcc,NUPEA,1234,617,2,999,12.5,0.75,40,11,7,0,3,0.5,42,\
+             80:8|20:1,false,false,,,\n";
         assert_eq!(records_to_csv(&[sample_record()], false), want);
     }
 
@@ -959,6 +1069,29 @@ mod tests {
         assert_eq!(RunErrorKind::of(&e), RunErrorKind::InvalidConfig);
         let e = PipelineError::Sim(SimError::CycleLimit { limit: 5 });
         assert_eq!(RunErrorKind::of(&e), RunErrorKind::CycleLimit);
+    }
+
+    #[test]
+    fn trace_dir_writes_chrome_traces_and_records_paths() {
+        let dir = std::env::temp_dir().join(format!("nupea-runner-trace-{}", std::process::id()));
+        let mut runner = ExperimentRunner::new();
+        let sys = runner.system(SystemConfig::monaco_12x12());
+        let w = runner.workload(nupea_kernels::workloads::sparse::spmv(
+            crate::Scale::Test,
+            1,
+        ));
+        runner.model_sweep(w, sys, &[MemoryModel::Nupea]);
+        runner.trace_dir(&dir);
+        let report = runner.run();
+        let rec = &report.records[0];
+        assert!(rec.error.is_none(), "{:?}", rec.error);
+        assert!(rec.active_pes > 0);
+        assert!(rec.mean_pe_utilization > 0.0);
+        let path = rec.trace_path.as_ref().expect("trace file recorded");
+        assert!(path.ends_with("spmv-par1-effcc-nupea.trace.json"), "{path}");
+        let text = std::fs::read_to_string(path).unwrap();
+        nupea_sim::validate_chrome_trace(&text).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! over this repository: after execution, **no tokens remain buffered
 //! anywhere** and every gate is back in its fresh state.
 
-use nupea_ir::graph::{Dfg, NodeId};
+use nupea_ir::graph::{Criticality, Dfg, NodeId};
 use nupea_ir::op::{BinOpKind, CmpKind, Op, ParamId, SinkId, SteerPolarity, UnOpKind};
 use std::collections::HashMap;
 
@@ -765,6 +765,20 @@ impl Kernel {
     /// Named parameters declared by the kernel.
     pub fn param_names(&self) -> Vec<&str> {
         self.named.keys().map(String::as_str).collect()
+    }
+
+    /// The loads classified critical by [`nupea_ir::criticality`] — the
+    /// nodes NUPEA promotes toward near domains, and the first rows to
+    /// inspect in a trace (their fire slices carry the `critical`
+    /// category in the Chrome export). Node-id order.
+    pub fn critical_loads(&self) -> Vec<NodeId> {
+        self.dfg
+            .iter()
+            .filter(|(_, n)| {
+                matches!(n.op, Op::Load) && n.meta.criticality == Some(Criticality::Critical)
+            })
+            .map(|(id, _)| id)
+            .collect()
     }
 }
 

@@ -320,6 +320,15 @@ mod builder_tests {
             .filter(|(_, n)| n.op.is_memory() && n.meta.criticality == Some(Criticality::Critical))
             .count();
         assert_eq!(crit_count, 2);
+        // critical_loads() is the public accessor for the same set; the
+        // trace exporter uses it to tag fire slices.
+        let loads = k.critical_loads();
+        assert_eq!(loads.len(), 2);
+        for id in loads {
+            let n = k.dfg().node(id);
+            assert!(n.op.is_memory());
+            assert_eq!(n.meta.criticality, Some(Criticality::Critical));
+        }
     }
 
     #[test]

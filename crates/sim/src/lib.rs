@@ -56,13 +56,18 @@ pub mod engine;
 pub mod memory;
 pub mod memsys;
 pub mod perturb;
+pub mod trace;
 pub mod watchdog;
 
 pub use energy::{EnergyBreakdown, EnergyParams};
-pub use engine::{ConfigError, DomainLatency, Engine, RunStats, SimConfig, SimError};
+pub use engine::{ConfigError, DomainLatency, Engine, LinkTraffic, RunStats, SimConfig, SimError};
 pub use memory::{Cache, MemParams, SimMemory};
 pub use memsys::{Completion, MemRequest, MemSys, MemSysStats, MemoryModel};
 pub use perturb::PerturbConfig;
+pub use trace::{
+    validate_chrome_trace, ChromeTraceSummary, NullTracer, RingRecorder, TraceBuffer, TraceConfig,
+    TraceEvent, TraceMeta, Tracer,
+};
 pub use watchdog::{PortOccupancy, StallKind, StallReport, StalledNode};
 
 use nupea_fabric::{Fabric, PeId, PeKind};

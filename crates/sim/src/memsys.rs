@@ -92,7 +92,20 @@ pub struct Completion {
     pub fault: bool,
     /// Total latency in system cycles (completion − issue).
     pub latency: u64,
+    /// Bank that serviced the request ([`FAULT_BANK`] on the fault path,
+    /// which never touches a bank).
+    pub bank: u16,
+    /// Whether the access hit in the shared cache (false for faults).
+    pub hit: bool,
+    /// System cycle at which the bank started servicing the request.
+    pub bank_at: u64,
+    /// Response-network arbiter hops the reply traversed back to the PE.
+    pub resp_hops: u16,
 }
+
+/// [`Completion::bank`] value for faulting accesses, which bypass the
+/// banks entirely.
+pub const FAULT_BANK: u16 = u16::MAX;
 
 #[derive(Debug, Clone, Copy)]
 struct ReqItem {
@@ -109,6 +122,12 @@ struct RespItem {
     /// memory outward); delivered to the PE when it reaches zero.
     hops_left: u32,
     ready_at: u64,
+    /// Servicing bank (for the completion record).
+    bank: u16,
+    /// Cache hit at the bank.
+    hit: bool,
+    /// Bank service start time.
+    bank_at: u64,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -155,6 +174,10 @@ pub struct MemSys {
     /// Per-PE NUMA domain (NUMA model only).
     numa_of: Vec<Option<u8>>,
     numa_domains: u8,
+    /// Out-of-bounds requests, completing on a dedicated path that never
+    /// touches arbiters, ports, banks, or the cache — faults must not
+    /// alias onto bank 0 / domain 0 and pollute conflict statistics.
+    fault_q: VecDeque<ReqItem>,
     /// Fabric clock divider (converts UPEA fabric-cycle delays to system
     /// cycles).
     divider: u64,
@@ -214,6 +237,7 @@ impl MemSys {
             port_of,
             numa_of: fabric.numa_assignment(numa_seed, 4),
             numa_domains: 4,
+            fault_q: VecDeque::new(),
             divider,
             done: Vec::new(),
             stats: MemSysStats::default(),
@@ -235,6 +259,17 @@ impl MemSys {
     pub fn issue(&mut self, req: MemRequest, now: u64) {
         self.stats.requests += 1;
         self.queued_items += 1;
+        // Out-of-bounds addresses never enter the memory pipeline: they
+        // complete as faults one cycle later without touching arbiters,
+        // banks, or the cache, so bank-conflict and domain-latency stats
+        // only ever describe real accesses.
+        if req.addr < 0 || req.addr as usize >= self.params.mem_words {
+            self.fault_q.push_back(ReqItem {
+                req,
+                ready_at: now + 1,
+            });
+            return;
+        }
         match self.model {
             MemoryModel::Nupea => {
                 let chain = &self.chain_of[req.pe.index()];
@@ -275,12 +310,14 @@ impl MemSys {
     }
 
     fn numa_domain_of_addr(&self, addr: i64) -> u8 {
-        let line = (addr.max(0) as usize) / self.params.line_words;
+        debug_assert!(addr >= 0, "faults are filtered at issue");
+        let line = (addr as usize) / self.params.line_words;
         (line % usize::from(self.numa_domains)) as u8
     }
 
     fn enqueue_bank(&mut self, item: ReqItem) {
-        let bank = self.params.bank_of(item.req.addr.max(0) as usize);
+        debug_assert!(item.req.addr >= 0, "faults are filtered at issue");
+        let bank = self.params.bank_of(item.req.addr as usize);
         self.banks[bank].queue.push_back(item);
     }
 
@@ -288,6 +325,15 @@ impl MemSys {
     pub fn step(&mut self, now: u64, mem: &mut SimMemory) {
         if self.queued_items == 0 {
             return;
+        }
+        // Faulting requests complete on their own path, bypassing the
+        // entire pipeline.
+        while let Some(&head) = self.fault_q.front() {
+            if head.ready_at > now {
+                break;
+            }
+            self.fault_q.pop_front();
+            self.complete(head.req, 0, true, now, FAULT_BANK, false, now, 0);
         }
         match self.model {
             MemoryModel::Nupea => {
@@ -364,6 +410,11 @@ impl MemSys {
             }
             self.banks[b].queue.pop_front();
             let req = head.req;
+            // Out-of-bounds requests were diverted to the fault path at
+            // issue; everything reaching a bank is a real access. (The
+            // checked read/write stays as defense in depth should a
+            // caller hand `step` a memory smaller than `params`.)
+            debug_assert!(req.addr >= 0, "faults are filtered at issue");
             let (value, fault) = if req.is_store {
                 let ok = mem.try_write(req.addr, req.value);
                 (0, !ok)
@@ -373,18 +424,16 @@ impl MemSys {
                     None => (0, true),
                 }
             };
-            let addr = req.addr.max(0) as usize;
-            let hit = !fault && self.cache.access(addr, now);
+            // Cache counters are the single source of truth for hit/miss
+            // statistics; `sync_cache_stats` mirrors them into the stats
+            // block (satellite fix: the old per-bank `stats.cache_hits`
+            // increments silently diverged from `cache.hits` on faults).
+            let hit = !fault && self.cache.access(req.addr as usize, now);
             let latency = if hit || fault {
                 self.params.hit_latency
             } else {
                 self.params.hit_latency + self.params.miss_latency
             };
-            if hit {
-                self.stats.cache_hits += 1;
-            } else if !fault {
-                self.stats.cache_misses += 1;
-            }
             self.banks[b].busy_until = now + latency;
             let done_at = now + latency;
             match self.model {
@@ -397,11 +446,14 @@ impl MemSys {
                         fault,
                         hops_left: hops,
                         ready_at: done_at,
+                        bank: b as u16,
+                        hit,
+                        bank_at: now,
                     });
                 }
                 // D0 responses bypass the response network too.
                 MemoryModel::Nupea | MemoryModel::Upea(_) | MemoryModel::NumaUpea(_) => {
-                    self.complete(req, value, fault, done_at);
+                    self.complete(req, value, fault, done_at, b as u16, hit, now, 0);
                 }
             }
         }
@@ -418,7 +470,16 @@ impl MemSys {
             self.port_resp[p].pop_front();
             if head.hops_left == 0 {
                 // Direct D0 response: one cycle from port to PE.
-                self.complete(head.req, head.value, head.fault, now + 1);
+                self.complete(
+                    head.req,
+                    head.value,
+                    head.fault,
+                    now + 1,
+                    head.bank,
+                    head.hit,
+                    head.bank_at,
+                    0,
+                );
             } else {
                 // Enter the response-arbiter chain at the memory end: the
                 // chain stored per-PE runs PE→memory, so the response walks
@@ -450,7 +511,17 @@ impl MemSys {
                 .expect("response is on its own chain");
             if pos == 0 {
                 // Arrived at the PE's own arbiter stage: deliver.
-                self.complete(head.req, head.value, head.fault, now + 1);
+                let hops = chain.len() as u16;
+                self.complete(
+                    head.req,
+                    head.value,
+                    head.fault,
+                    now + 1,
+                    head.bank,
+                    head.hit,
+                    head.bank_at,
+                    hops,
+                );
             } else {
                 self.arb_resp[chain[pos - 1] as usize].push_back(RespItem {
                     ready_at: now + 1,
@@ -461,7 +532,18 @@ impl MemSys {
         }
     }
 
-    fn complete(&mut self, req: MemRequest, value: i64, fault: bool, time: u64) {
+    #[allow(clippy::too_many_arguments)] // private lifecycle plumbing
+    fn complete(
+        &mut self,
+        req: MemRequest,
+        value: i64,
+        fault: bool,
+        time: u64,
+        bank: u16,
+        hit: bool,
+        bank_at: u64,
+        resp_hops: u16,
+    ) {
         self.queued_items -= 1;
         self.done.push(Completion {
             node: req.node,
@@ -470,11 +552,16 @@ impl MemSys {
             time,
             fault,
             latency: time.saturating_sub(req.issued_at),
+            bank,
+            hit,
+            bank_at,
+            resp_hops,
         });
     }
 
     /// Drain completions accumulated so far.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
+        self.sync_cache_stats();
         std::mem::take(&mut self.done)
     }
 
@@ -483,7 +570,11 @@ impl MemSys {
         self.queued_items > 0
     }
 
-    /// Snapshot cache hit/miss counters into the stats block.
+    /// Mirror the cache's hit/miss counters into the stats block. The
+    /// [`Cache`] counters are the single source of truth; this snapshot
+    /// exists so `MemSysStats` is self-contained once exported. Called
+    /// automatically by [`MemSys::drain_completions`], so the stats block
+    /// is never stale by more than one in-flight batch.
     pub fn sync_cache_stats(&mut self) {
         self.stats.cache_hits = self.cache.hits;
         self.stats.cache_misses = self.cache.misses;
@@ -666,6 +757,114 @@ mod tests {
         );
         let done = run_until_complete(&mut ms, &mut mem, 0);
         assert!(done[0].fault);
+        assert_eq!(done[0].bank, FAULT_BANK, "faults never touch a bank");
+    }
+
+    /// Faulting accesses (negative and past-the-end, loads and stores,
+    /// under every model) must bypass arbiters, banks, and the cache
+    /// entirely — they used to clamp onto bank 0 / NUMA domain 0 and
+    /// pollute conflict statistics.
+    #[test]
+    fn faults_bypass_banks_and_leave_stats_clean() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        for model in [
+            MemoryModel::Nupea,
+            MemoryModel::IDEAL,
+            MemoryModel::Upea(3),
+            MemoryModel::NumaUpea(2),
+        ] {
+            let mut ms = MemSys::new(&f, model, p, 1, 0);
+            let mut mem = SimMemory::new(&p);
+            // A far-domain PE so a real NUPEA request would pay arbiter
+            // forwards — a fault must not.
+            let pe = f.at(1, 0);
+            for (seq, (addr, is_store)) in [
+                (-3i64, false),
+                (p.mem_words as i64, false),
+                (-1, true),
+                (i64::MAX, true),
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                ms.issue(
+                    MemRequest {
+                        node: 0,
+                        seq: seq as u64,
+                        is_store,
+                        addr,
+                        value: 1,
+                        pe,
+                        issued_at: 0,
+                    },
+                    0,
+                );
+            }
+            let done = run_until_complete(&mut ms, &mut mem, 0);
+            assert_eq!(done.len(), 4, "{model}: all faults complete");
+            for c in &done {
+                assert!(c.fault, "{model}");
+                assert_eq!(c.bank, FAULT_BANK, "{model}");
+                assert!(!c.hit, "{model}");
+            }
+            assert_eq!(
+                ms.stats.requests, 4,
+                "{model}: faults still count as requests"
+            );
+            assert_eq!(ms.stats.arbiter_forwards, 0, "{model}: no arbitration");
+            assert_eq!(ms.stats.bank_wait_cycles, 0, "{model}: no bank queueing");
+            assert_eq!(
+                ms.cache().hits + ms.cache().misses,
+                0,
+                "{model}: no cache access"
+            );
+            assert_eq!(ms.stats.cache_hits + ms.stats.cache_misses, 0, "{model}");
+        }
+    }
+
+    /// The cache counters are the single source of truth: after any mix of
+    /// faulting and real accesses, the stats block exactly mirrors them
+    /// (the old dual accounting diverged on fault-path accesses).
+    #[test]
+    fn cache_stats_never_diverge_from_cache_counters() {
+        let f = fabric();
+        let p = MemParams::tiny();
+        let mut ms = MemSys::new(&f, MemoryModel::Nupea, p, 1, 0);
+        let mut mem = SimMemory::new(&p);
+        let pe = f.at(1, 11);
+        // Interleave real accesses (some hitting, some missing) and faults.
+        let addrs: &[i64] = &[0, 1, -5, p.line_words as i64, 0, -1, 1, 4096];
+        for (seq, &addr) in addrs.iter().enumerate() {
+            ms.issue(
+                MemRequest {
+                    node: 0,
+                    seq: seq as u64,
+                    is_store: seq % 3 == 0,
+                    addr,
+                    value: 7,
+                    pe,
+                    issued_at: seq as u64 * 40,
+                },
+                seq as u64 * 40,
+            );
+            let done = run_until_complete(&mut ms, &mut mem, seq as u64 * 40);
+            assert_eq!(done.len(), 1);
+            // After every drain the mirrored stats match the live counters.
+            assert_eq!(ms.stats.cache_hits, ms.cache().hits, "after {addr}");
+            assert_eq!(ms.stats.cache_misses, ms.cache().misses, "after {addr}");
+        }
+        let faults = addrs
+            .iter()
+            .filter(|&&a| a < 0 || a as usize >= p.mem_words)
+            .count() as u64;
+        assert_eq!(
+            ms.cache().hits + ms.cache().misses,
+            addrs.len() as u64 - faults,
+            "every non-faulting access touches the cache exactly once"
+        );
+        // Per-completion hit flags agree with the aggregate too.
+        assert!(ms.stats.cache_hits > 0 && ms.stats.cache_misses > 0);
     }
 
     #[test]

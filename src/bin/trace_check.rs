@@ -1,0 +1,51 @@
+//! Validate Chrome trace-event JSON emitted by the simulator's trace
+//! exporter (CI gate for the release smoke job).
+//!
+//!     cargo run --release --bin trace_check -- FILE [FILE...]
+//!
+//! Each file is parsed with the same dependency-free JSON reader the
+//! workspace uses elsewhere and checked against the Trace Event Format
+//! rules Perfetto relies on (required `ph`/`ts`/`pid` fields, balanced
+//! async begin/end pairs, numeric counter args). Exits non-zero on the
+//! first malformed file.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: trace_check FILE [FILE...]");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for f in &files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match nupea_sim::validate_chrome_trace(&text) {
+            Ok(summary) => println!(
+                "{f}: ok ({} events: {} complete, {} counters, {} instants, {} async, {} metadata)",
+                summary.events,
+                summary.complete,
+                summary.counters,
+                summary.instants,
+                summary.asyncs,
+                summary.metadata
+            ),
+            Err(e) => {
+                eprintln!("{f}: INVALID: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
