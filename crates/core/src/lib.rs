@@ -40,8 +40,8 @@ pub use nupea_fabric::{Fabric, TopologyKind};
 pub use nupea_kernels::workloads::{all_workloads, Scale, ValidationError, Workload, WorkloadSpec};
 pub use nupea_pnr::{Heuristic, Placed, PnrError};
 pub use nupea_sim::{
-    ConfigError, MemoryModel, PerturbConfig, RunStats, SimError, StallReport, TraceBuffer,
-    TraceConfig,
+    ConfigError, EnergyBreakdown, EnergyParams, MemoryModel, PerturbConfig, RunStats, SimError,
+    StallReport, TraceBuffer, TraceConfig,
 };
 pub use runner::{
     ExperimentRunner, RunErrorKind, RunRecord, RunnerReport, SystemHandle, WorkloadHandle,

@@ -36,7 +36,7 @@
 use crate::experiments::heuristic_for;
 use crate::{Compiled, PipelineError, SystemConfig, Workload};
 use nupea_pnr::Heuristic;
-use nupea_sim::{DomainLatency, MemoryModel, RunStats, SimError, TraceBuffer};
+use nupea_sim::{DomainLatency, EnergyBreakdown, MemoryModel, RunStats, SimError, TraceBuffer};
 use std::any::Any;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -210,6 +210,10 @@ pub struct RunRecord {
     pub mean_pe_utilization: f64,
     /// Tokens carried by the single busiest NoC link.
     pub peak_link_tokens: u64,
+    /// Energy consumed, by component (all zero when `error` is set).
+    /// Exported in JSON/CSV so DSE objectives and sweep reports share one
+    /// code path with the simulator's accounting.
+    pub energy: EnergyBreakdown,
     /// Whether this point reused another point's compile artifact.
     pub compile_cached: bool,
     /// Whether the point exhausted its cycle budget and was re-run once at
@@ -255,6 +259,7 @@ impl RunRecord {
             active_pes: 0,
             mean_pe_utilization: 0.0,
             peak_link_tokens: 0,
+            energy: EnergyBreakdown::default(),
             compile_cached: cached,
             retried: false,
             trace_path: None,
@@ -300,6 +305,7 @@ impl RunRecord {
             active_pes: stats.active_pes(),
             mean_pe_utilization: stats.mean_pe_utilization(),
             peak_link_tokens: stats.peak_link_tokens(),
+            energy: stats.energy,
             compile_cached: cached,
             retried: false,
             trace_path: None,
@@ -821,7 +827,9 @@ pub fn records_to_json(records: &[RunRecord], timing: bool) -> String {
              \"mean_load_latency\":{},\"load_latency_by_domain\":[{}],\
              \"cache_hit_rate\":{},\"mem_requests\":{},\"arbiter_forwards\":{},\
              \"bank_wait_cycles\":{},\"residual_tokens\":{},\"active_pes\":{},\
-             \"mean_pe_utilization\":{},\"peak_link_tokens\":{},\"compile_cached\":{}",
+             \"mean_pe_utilization\":{},\"peak_link_tokens\":{},\
+             \"energy\":{{\"alu\":{},\"control\":{},\"mem_issue\":{},\"noc\":{},\
+             \"fmnoc\":{},\"memory\":{},\"total\":{}}},\"compile_cached\":{}",
             json_escape(&r.workload),
             r.par,
             r.heuristic,
@@ -840,6 +848,13 @@ pub fn records_to_json(records: &[RunRecord], timing: bool) -> String {
             r.active_pes,
             json_f64(r.mean_pe_utilization),
             r.peak_link_tokens,
+            json_f64(r.energy.alu),
+            json_f64(r.energy.control),
+            json_f64(r.energy.mem_issue),
+            json_f64(r.energy.noc),
+            json_f64(r.energy.fmnoc),
+            json_f64(r.energy.memory),
+            json_f64(r.energy.total()),
             r.compile_cached,
         ));
         out.push_str(&format!(",\"retried\":{}", r.retried));
@@ -886,7 +901,9 @@ pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
         "workload,par,heuristic,model,cycles,fabric_cycles,divider,firings,\
          mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
          bank_wait_cycles,residual_tokens,active_pes,mean_pe_utilization,\
-         peak_link_tokens,load_latency_by_domain,compile_cached,retried,trace_path",
+         peak_link_tokens,energy_alu,energy_control,energy_mem_issue,energy_noc,\
+         energy_fmnoc,energy_memory,energy_total,load_latency_by_domain,\
+         compile_cached,retried,trace_path",
     );
     if timing {
         out.push_str(",compile_micros,sim_micros");
@@ -899,7 +916,7 @@ pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
             .map(|d| format!("{}:{}", d.total_latency, d.count))
             .collect();
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             csv_cell(&r.workload),
             r.par,
             r.heuristic,
@@ -917,6 +934,13 @@ pub fn records_to_csv(records: &[RunRecord], timing: bool) -> String {
             r.active_pes,
             json_f64(r.mean_pe_utilization),
             r.peak_link_tokens,
+            json_f64(r.energy.alu),
+            json_f64(r.energy.control),
+            json_f64(r.energy.mem_issue),
+            json_f64(r.energy.noc),
+            json_f64(r.energy.fmnoc),
+            json_f64(r.energy.memory),
+            json_f64(r.energy.total()),
             csv_cell(&domains.join("|")),
             r.compile_cached,
         ));
@@ -968,6 +992,14 @@ mod tests {
             active_pes: 3,
             mean_pe_utilization: 0.5,
             peak_link_tokens: 42,
+            energy: EnergyBreakdown {
+                alu: 10.0,
+                control: 1.5,
+                mem_issue: 20.0,
+                noc: 6.0,
+                fmnoc: 2.5,
+                memory: 60.0,
+            },
             compile_cached: false,
             retried: false,
             trace_path: None,
@@ -987,7 +1019,9 @@ mod tests {
                     {\"total_latency\":20,\"count\":1}],\"cache_hit_rate\":0.75,\
                     \"mem_requests\":40,\"arbiter_forwards\":11,\"bank_wait_cycles\":7,\
                     \"residual_tokens\":0,\"active_pes\":3,\"mean_pe_utilization\":0.5,\
-                    \"peak_link_tokens\":42,\"compile_cached\":false,\"retried\":false,\
+                    \"peak_link_tokens\":42,\"energy\":{\"alu\":10,\"control\":1.5,\
+                    \"mem_issue\":20,\"noc\":6,\"fmnoc\":2.5,\"memory\":60,\"total\":100},\
+                    \"compile_cached\":false,\"retried\":false,\
                     \"trace_path\":null,\"error_kind\":null,\"error\":null}\n]";
         assert_eq!(records_to_json(&[sample_record()], false), want);
     }
@@ -1005,10 +1039,11 @@ mod tests {
         let want = "workload,par,heuristic,model,cycles,fabric_cycles,divider,firings,\
              mean_load_latency,cache_hit_rate,mem_requests,arbiter_forwards,\
              bank_wait_cycles,residual_tokens,active_pes,mean_pe_utilization,\
-             peak_link_tokens,load_latency_by_domain,compile_cached,\
-             retried,trace_path,error_kind,error\n\
+             peak_link_tokens,energy_alu,energy_control,energy_mem_issue,energy_noc,\
+             energy_fmnoc,energy_memory,energy_total,load_latency_by_domain,\
+             compile_cached,retried,trace_path,error_kind,error\n\
              spmv,2,effcc,NUPEA,1234,617,2,999,12.5,0.75,40,11,7,0,3,0.5,42,\
-             80:8|20:1,false,false,,,\n";
+             10,1.5,20,6,2.5,60,100,80:8|20:1,false,false,,,\n";
         assert_eq!(records_to_csv(&[sample_record()], false), want);
     }
 
@@ -1087,6 +1122,7 @@ mod tests {
         assert!(rec.error.is_none(), "{:?}", rec.error);
         assert!(rec.active_pes > 0);
         assert!(rec.mean_pe_utilization > 0.0);
+        assert!(rec.energy.total() > 0.0, "runner surfaces energy");
         let path = rec.trace_path.as_ref().expect("trace file recorded");
         assert!(path.ends_with("spmv-par1-effcc-nupea.trace.json"), "{path}");
         let text = std::fs::read_to_string(path).unwrap();

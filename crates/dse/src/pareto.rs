@@ -1,0 +1,198 @@
+//! Multi-objective scoring and the incremental Pareto frontier.
+//!
+//! Objectives are all minimized: completion cycles, total energy
+//! ([`EnergyBreakdown::total`](nupea_sim::EnergyBreakdown::total)), and
+//! active PE count. The frontier is maintained incrementally — each
+//! insert removes newly dominated points — and kept sorted by
+//! `(cycles, energy, pes, hash)` so reports are byte-identical for a
+//! given candidate set regardless of evaluation order.
+
+use crate::space::Candidate;
+
+/// One evaluated point's objective vector (all minimized).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Score {
+    /// Completion time in system cycles.
+    pub cycles: u64,
+    /// Total energy across components (arbitrary units).
+    pub energy: f64,
+    /// PEs that fired at least once.
+    pub pes: usize,
+}
+
+impl Score {
+    /// Strict Pareto dominance: no worse on every objective, strictly
+    /// better on at least one.
+    #[must_use]
+    pub fn dominates(&self, other: &Score) -> bool {
+        let no_worse =
+            self.cycles <= other.cycles && self.energy <= other.energy && self.pes <= other.pes;
+        let better =
+            self.cycles < other.cycles || self.energy < other.energy || self.pes < other.pes;
+        no_worse && better
+    }
+}
+
+/// A frontier entry: the candidate, its score, and its stable config hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrontierPoint {
+    /// The configuration.
+    pub candidate: Candidate,
+    /// Its objectives.
+    pub score: Score,
+    /// Stable config hash (journal key).
+    pub hash: u64,
+}
+
+/// An incrementally maintained set of mutually non-dominated points.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFrontier {
+    points: Vec<FrontierPoint>,
+}
+
+impl ParetoFrontier {
+    /// An empty frontier.
+    #[must_use]
+    pub fn new() -> Self {
+        ParetoFrontier::default()
+    }
+
+    /// Offer a point. Returns `true` if it joined the frontier (it was not
+    /// dominated); any points it dominates are evicted. A point with a
+    /// hash already on the frontier is ignored (re-evaluations from the
+    /// journal must not duplicate entries).
+    pub fn insert(&mut self, p: FrontierPoint) -> bool {
+        if self.points.iter().any(|q| q.hash == p.hash) {
+            return false;
+        }
+        if self.points.iter().any(|q| q.score.dominates(&p.score)) {
+            return false;
+        }
+        self.points.retain(|q| !p.score.dominates(&q.score));
+        self.points.push(p);
+        self.points.sort_by(|a, b| {
+            a.score
+                .cycles
+                .cmp(&b.score.cycles)
+                .then(a.score.energy.total_cmp(&b.score.energy))
+                .then(a.score.pes.cmp(&b.score.pes))
+                .then(a.hash.cmp(&b.hash))
+        });
+        true
+    }
+
+    /// The frontier, sorted by `(cycles, energy, pes, hash)`.
+    #[must_use]
+    pub fn points(&self) -> &[FrontierPoint] {
+        &self.points
+    }
+
+    /// Number of frontier points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the frontier is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The reported-points property: every pair is mutually non-dominated.
+    /// Cheap enough to assert in tests and debug builds.
+    #[must_use]
+    pub fn is_non_dominated(&self) -> bool {
+        self.points.iter().enumerate().all(|(i, a)| {
+            self.points
+                .iter()
+                .enumerate()
+                .all(|(j, b)| i == j || !a.score.dominates(&b.score))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nupea_pnr::Heuristic;
+
+    fn point(hash: u64, cycles: u64, energy: f64, pes: usize) -> FrontierPoint {
+        FrontierPoint {
+            candidate: Candidate {
+                domain_cols: 3,
+                d0_cols: 3,
+                cache_words: 1024,
+                banks: 32,
+                divider: Some(2),
+                heuristic: Heuristic::CriticalityAware,
+                place_seed: hash,
+            },
+            score: Score {
+                cycles,
+                energy,
+                pes,
+            },
+            hash,
+        }
+    }
+
+    #[test]
+    fn dominance_is_strict() {
+        let a = Score {
+            cycles: 10,
+            energy: 5.0,
+            pes: 3,
+        };
+        assert!(!a.dominates(&a), "no self-domination");
+        assert!(a.dominates(&Score {
+            cycles: 10,
+            energy: 5.0,
+            pes: 4
+        }));
+        assert!(!a.dominates(&Score {
+            cycles: 9,
+            energy: 6.0,
+            pes: 3
+        }));
+    }
+
+    #[test]
+    fn insert_evicts_dominated_and_rejects_dominated() {
+        let mut f = ParetoFrontier::new();
+        assert!(f.insert(point(1, 100, 10.0, 5)));
+        assert!(f.insert(point(2, 50, 20.0, 5)), "trade-off joins");
+        assert!(!f.insert(point(3, 120, 10.0, 5)), "dominated rejected");
+        assert!(f.insert(point(4, 40, 5.0, 4)), "dominator joins");
+        // 4 dominates both 1 and 2.
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.points()[0].hash, 4);
+        assert!(f.is_non_dominated());
+    }
+
+    #[test]
+    fn duplicate_hash_is_ignored() {
+        let mut f = ParetoFrontier::new();
+        assert!(f.insert(point(1, 100, 10.0, 5)));
+        assert!(!f.insert(point(1, 90, 9.0, 4)), "same hash re-offered");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let mut a = ParetoFrontier::new();
+        let mut b = ParetoFrontier::new();
+        let pts = [
+            point(1, 100, 1.0, 9),
+            point(2, 90, 2.0, 9),
+            point(3, 80, 3.0, 9),
+        ];
+        for p in &pts {
+            a.insert(p.clone());
+        }
+        for p in pts.iter().rev() {
+            b.insert(p.clone());
+        }
+        assert_eq!(a.points(), b.points(), "insertion order must not matter");
+    }
+}

@@ -1,0 +1,311 @@
+//! Pluggable seeded search strategies.
+//!
+//! A strategy proposes batches of [`Candidate`]s; the engine evaluates
+//! each batch (journal first, simulator second) and hands the accumulated
+//! [`Evaluation`] history back for the next round. An empty batch ends
+//! the search. All randomness comes from [`nupea_rng::Xoshiro256`], so a
+//! strategy's trajectory is a pure function of its seed and the history —
+//! which is what makes killed searches resumable and same-seed runs
+//! byte-identical.
+
+use crate::pareto::Score;
+use crate::space::{Candidate, SearchSpace};
+use nupea_rng::Xoshiro256;
+
+/// One evaluated candidate: per-workload scores in workload declaration
+/// order (`None` = that workload failed on this configuration).
+#[derive(Debug, Clone)]
+pub struct Evaluation {
+    /// The configuration that was evaluated.
+    pub candidate: Candidate,
+    /// `(workload name, score)` per declared workload.
+    pub scores: Vec<(String, Option<Score>)>,
+    /// Whether the scores come from a full-budget evaluation. Candidates
+    /// eliminated at a capped successive-halving rung carry their capped
+    /// measurements here with `full = false`; only full evaluations feed
+    /// the Pareto frontier.
+    pub full: bool,
+}
+
+impl Evaluation {
+    /// Scalar fitness for single-objective strategies: geometric-mean
+    /// cycles across workloads. `None` when any workload failed — an
+    /// infeasible or deadlocked configuration is never "fit".
+    #[must_use]
+    pub fn mean_cycles(&self) -> Option<f64> {
+        let mut log_sum = 0.0;
+        for (_, s) in &self.scores {
+            let s = s.as_ref()?;
+            log_sum += (s.cycles.max(1) as f64).ln();
+        }
+        if self.scores.is_empty() {
+            return None;
+        }
+        Some((log_sum / self.scores.len() as f64).exp())
+    }
+}
+
+/// A seeded search strategy over a [`SearchSpace`].
+pub trait SearchStrategy {
+    /// Stable strategy name (journal/report metadata).
+    fn name(&self) -> &'static str;
+
+    /// Propose the next batch of candidates given everything evaluated so
+    /// far. Returning an empty batch ends the search.
+    fn next_batch(&mut self, space: &SearchSpace, history: &[Evaluation]) -> Vec<Candidate>;
+}
+
+/// Exhaustive enumeration of the whole grid, in `SearchSpace::nth` order,
+/// `batch` points at a time.
+#[derive(Debug)]
+pub struct GridSearch {
+    cursor: usize,
+    batch: usize,
+}
+
+impl GridSearch {
+    /// Enumerate the full grid in batches of `batch` (min 1).
+    #[must_use]
+    pub fn new(batch: usize) -> Self {
+        GridSearch {
+            cursor: 0,
+            batch: batch.max(1),
+        }
+    }
+}
+
+impl SearchStrategy for GridSearch {
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+
+    fn next_batch(&mut self, space: &SearchSpace, _history: &[Evaluation]) -> Vec<Candidate> {
+        let end = (self.cursor + self.batch).min(space.len());
+        let batch = (self.cursor..end).map(|i| space.nth(i)).collect();
+        self.cursor = end;
+        batch
+    }
+}
+
+/// Seeded uniform random sampling of `samples` grid points. Draws are
+/// independent, so repeats are possible by design — repeated evaluations
+/// hit the journal instead of the simulator.
+#[derive(Debug)]
+pub struct RandomSearch {
+    rng: Xoshiro256,
+    remaining: usize,
+    batch: usize,
+}
+
+impl RandomSearch {
+    /// Sample `samples` points with the given seed, `batch` at a time.
+    #[must_use]
+    pub fn new(seed: u64, samples: usize, batch: usize) -> Self {
+        RandomSearch {
+            rng: Xoshiro256::seed_from_u64(seed),
+            remaining: samples,
+            batch: batch.max(1),
+        }
+    }
+}
+
+impl SearchStrategy for RandomSearch {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn next_batch(&mut self, space: &SearchSpace, _history: &[Evaluation]) -> Vec<Candidate> {
+        let n = self.batch.min(self.remaining);
+        self.remaining -= n;
+        (0..n).map(|_| space.sample(&mut self.rng)).collect()
+    }
+}
+
+/// Simulated annealing over placement perturbations and single-knob
+/// hardware moves (see [`SearchSpace::neighbor`]). Proposes one candidate
+/// per round; accepts by the Metropolis rule on geometric-mean cycles.
+#[derive(Debug)]
+pub struct Annealing {
+    rng: Xoshiro256,
+    steps: usize,
+    issued: usize,
+    temp: f64,
+    cooling: f64,
+    /// The accepted incumbent and its fitness.
+    current: Option<(Candidate, f64)>,
+    /// The proposal whose evaluation we are waiting for.
+    pending: Option<Candidate>,
+}
+
+impl Annealing {
+    /// A `steps`-proposal annealer. Temperature starts at `temp` (in
+    /// relative cycle units) and decays by `cooling` per step.
+    #[must_use]
+    pub fn new(seed: u64, steps: usize, temp: f64, cooling: f64) -> Self {
+        Annealing {
+            rng: Xoshiro256::seed_from_u64(seed),
+            steps,
+            issued: 0,
+            temp: temp.max(1e-9),
+            cooling: cooling.clamp(0.0, 1.0),
+            current: None,
+            pending: None,
+        }
+    }
+
+    /// A reasonable default schedule for `steps` proposals.
+    #[must_use]
+    pub fn with_defaults(seed: u64, steps: usize) -> Self {
+        Annealing::new(seed, steps, 0.2, 0.95)
+    }
+}
+
+impl SearchStrategy for Annealing {
+    fn name(&self) -> &'static str {
+        "anneal"
+    }
+
+    fn next_batch(&mut self, space: &SearchSpace, history: &[Evaluation]) -> Vec<Candidate> {
+        // Digest the previous proposal's evaluation.
+        if let Some(pending) = self.pending.take() {
+            let eval = history
+                .iter()
+                .rev()
+                .find(|e| e.candidate == pending)
+                .expect("the engine evaluates every proposed candidate");
+            if let Some(fit) = eval.mean_cycles() {
+                let accept = match &self.current {
+                    None => true,
+                    Some((_, cur)) => {
+                        // Metropolis on relative regression.
+                        fit <= *cur || {
+                            let delta = (fit - cur) / cur.max(1.0);
+                            self.rng.chance((-delta / self.temp).exp())
+                        }
+                    }
+                };
+                if accept {
+                    self.current = Some((pending, fit));
+                }
+            }
+            // Failed proposals are always rejected.
+            self.temp *= self.cooling;
+        }
+        if self.issued >= self.steps {
+            return Vec::new();
+        }
+        self.issued += 1;
+        let proposal = match &self.current {
+            None => space.sample(&mut self.rng),
+            Some((c, _)) => space.neighbor(c, &mut self.rng),
+        };
+        self.pending = Some(proposal.clone());
+        vec![proposal]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval(c: &Candidate, cycles: Option<u64>) -> Evaluation {
+        Evaluation {
+            candidate: c.clone(),
+            scores: vec![(
+                "w".to_string(),
+                cycles.map(|cy| Score {
+                    cycles: cy,
+                    energy: 1.0,
+                    pes: 1,
+                }),
+            )],
+            full: true,
+        }
+    }
+
+    #[test]
+    fn grid_covers_space_exactly() {
+        let space = SearchSpace::default();
+        let mut g = GridSearch::new(7);
+        let mut seen = Vec::new();
+        loop {
+            let batch = g.next_batch(&space, &[]);
+            if batch.is_empty() {
+                break;
+            }
+            seen.extend(batch.into_iter().map(|c| c.key()));
+        }
+        assert_eq!(seen.len(), space.len());
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), space.len());
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let space = SearchSpace::default();
+        let draw = |seed| {
+            let mut r = RandomSearch::new(seed, 10, 3);
+            let mut all = Vec::new();
+            loop {
+                let b = r.next_batch(&space, &[]);
+                if b.is_empty() {
+                    break;
+                }
+                all.extend(b.into_iter().map(|c| c.key()));
+            }
+            all
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6), "different seeds explore differently");
+    }
+
+    #[test]
+    fn annealing_walks_and_terminates() {
+        let space = SearchSpace::default();
+        let mut a = Annealing::with_defaults(3, 12);
+        let mut history: Vec<Evaluation> = Vec::new();
+        let mut proposals = 0;
+        loop {
+            let batch = a.next_batch(&space, &history);
+            if batch.is_empty() {
+                break;
+            }
+            assert_eq!(batch.len(), 1, "annealing is sequential");
+            proposals += 1;
+            // Deterministic synthetic objective; some proposals "fail".
+            let c = &batch[0];
+            let cycles = if c.banks == 0 {
+                None
+            } else {
+                Some(1000 + (c.domain_cols as u64) * 17 + (c.place_seed % 97))
+            };
+            history.push(eval(c, cycles));
+        }
+        assert_eq!(proposals, 12);
+        assert!(a.current.is_some(), "an incumbent was accepted");
+    }
+
+    #[test]
+    fn mean_cycles_fails_closed() {
+        let space = SearchSpace::default();
+        let c = space.nth(0);
+        assert!(eval(&c, None).mean_cycles().is_none());
+        let e = Evaluation {
+            candidate: c,
+            scores: vec![
+                (
+                    "a".into(),
+                    Some(Score {
+                        cycles: 100,
+                        energy: 1.0,
+                        pes: 1,
+                    }),
+                ),
+                ("b".into(), None),
+            ],
+            full: true,
+        };
+        assert!(e.mean_cycles().is_none(), "any failure poisons fitness");
+    }
+}

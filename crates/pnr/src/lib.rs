@@ -52,7 +52,7 @@ pub mod timing;
 
 pub use bitstream::{parse_bitstream, render_placement, write_bitstream, Bitstream};
 pub use netlist::{Netlist, SlotKind};
-pub use place::{Heuristic, PlaceConfig, Placement};
+pub use place::{check_capacity, Heuristic, PlaceConfig, Placement};
 pub use route::{route, Routing};
 pub use timing::Timing;
 

@@ -137,33 +137,10 @@ impl<'a> Placer<'a> {
         self.pe_of[node_idx] = pe.0;
     }
 
-    fn capacity_check(&self) -> Result<(), PnrError> {
-        let nl = self.netlist;
-        let f = self.fabric;
-        let fail = |what: &str, need: usize, have: usize| {
-            Err(PnrError::Unplaceable(format!(
-                "{what}: need {need}, fabric offers {have}"
-            )))
-        };
-        if nl.num_mem_cells > f.num_ls_pes() {
-            return fail("memory instructions", nl.num_mem_cells, f.num_ls_pes());
-        }
-        if nl.num_compute_cells > f.num_pes() {
-            return fail("compute instructions", nl.num_compute_cells, f.num_pes());
-        }
-        if nl.num_control_cells > f.num_pes() {
-            return fail("control instructions", nl.num_control_cells, f.num_pes());
-        }
-        if nl.num_aux_cells > f.num_pes() {
-            return fail("endpoint instructions", nl.num_aux_cells, f.num_pes());
-        }
-        Ok(())
-    }
-
     /// Initial placement: memory first along the NUPEA preference order,
     /// then BFS through defs and uses.
     fn initial(&mut self) -> Result<(), PnrError> {
-        self.capacity_check()?;
+        check_capacity(self.fabric, self.netlist)?;
         // Memory cells in placement-priority order.
         let mut mem_cells: Vec<usize> = (0..self.netlist.len())
             .filter(|&i| self.netlist.cells[i].needs_ls)
@@ -456,13 +433,62 @@ impl Move {
     }
 }
 
+/// Check that a netlist fits a fabric before any placement effort is
+/// spent: every memory instruction needs its own load-store PE, and no
+/// slot class (compute / control / endpoint) may exceed the PE count.
+///
+/// [`place`] calls this first, so callers never have to — it is public so
+/// search layers (auto-parallelization, design-space exploration) can
+/// reject oversized candidates without paying for an annealing run.
+///
+/// # Errors
+///
+/// Returns [`PnrError::Unplaceable`] naming the exhausted resource and the
+/// need/have counts.
+pub fn check_capacity(fabric: &Fabric, netlist: &Netlist) -> Result<(), PnrError> {
+    let fail = |what: &str, need: usize, have: usize| {
+        Err(PnrError::Unplaceable(format!(
+            "{what}: need {need}, fabric offers {have}"
+        )))
+    };
+    if netlist.num_mem_cells > fabric.num_ls_pes() {
+        return fail(
+            "memory instructions",
+            netlist.num_mem_cells,
+            fabric.num_ls_pes(),
+        );
+    }
+    if netlist.num_compute_cells > fabric.num_pes() {
+        return fail(
+            "compute instructions",
+            netlist.num_compute_cells,
+            fabric.num_pes(),
+        );
+    }
+    if netlist.num_control_cells > fabric.num_pes() {
+        return fail(
+            "control instructions",
+            netlist.num_control_cells,
+            fabric.num_pes(),
+        );
+    }
+    if netlist.num_aux_cells > fabric.num_pes() {
+        return fail(
+            "endpoint instructions",
+            netlist.num_aux_cells,
+            fabric.num_pes(),
+        );
+    }
+    Ok(())
+}
+
 /// Run placement.
 ///
 /// # Errors
 ///
 /// Returns [`PnrError::Unplaceable`] when the netlist exceeds fabric
-/// capacity (this is the signal the auto-parallelizer uses to stop growing
-/// the parallelism degree).
+/// capacity — see [`check_capacity`] — (this is the signal the
+/// auto-parallelizer uses to stop growing the parallelism degree).
 pub fn place(fabric: &Fabric, netlist: &Netlist, cfg: &PlaceConfig) -> Result<Placement, PnrError> {
     let mut placer = Placer::new(fabric, netlist, cfg);
     placer.initial()?;

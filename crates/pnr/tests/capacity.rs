@@ -1,0 +1,113 @@
+//! Regression tests for netlist-vs-fabric capacity: `place()` (and the
+//! full `pnr()` pipeline) must return a typed [`PnrError::Unplaceable`]
+//! naming the exhausted resource for any netlist larger than the fabric,
+//! never panic or silently fold instructions onto shared PEs.
+
+use nupea_fabric::Fabric;
+use nupea_ir::graph::Dfg;
+use nupea_ir::op::{BinOpKind, Op};
+use nupea_pnr::{check_capacity, place::place, pnr, Netlist, PlaceConfig, PnrConfig, PnrError};
+
+/// monaco(2, 4): 8 PEs total, one LS row of 4 PEs.
+fn tiny_fabric() -> Fabric {
+    Fabric::monaco(2, 4, 2).unwrap()
+}
+
+fn expect_unplaceable(r: Result<impl std::fmt::Debug, PnrError>, what: &str) {
+    match r {
+        Err(PnrError::Unplaceable(msg)) => assert!(
+            msg.contains(what),
+            "error must name the exhausted resource ({what}): {msg}"
+        ),
+        other => panic!("expected Unplaceable({what}), got {other:?}"),
+    }
+}
+
+#[test]
+fn too_many_endpoints_is_unplaceable() {
+    let fabric = tiny_fabric();
+    let mut g = Dfg::new("aux-overflow");
+    for i in 0..20 {
+        let _ = g.add_param(format!("p{i}"));
+    }
+    let nl = Netlist::from_dfg(&g);
+    expect_unplaceable(check_capacity(&fabric, &nl), "endpoint");
+    expect_unplaceable(place(&fabric, &nl, &PlaceConfig::default()), "endpoint");
+}
+
+#[test]
+fn too_many_compute_ops_is_unplaceable() {
+    let fabric = tiny_fabric();
+    let mut g = Dfg::new("compute-overflow");
+    let (p, _) = g.add_param("a");
+    let mut prev = p;
+    for _ in 0..20 {
+        let n = g.add_node(Op::BinOp(BinOpKind::Add));
+        g.connect(prev, 0, n, 0);
+        g.set_imm(n, 1, 1);
+        prev = n;
+    }
+    expect_unplaceable(pnr(&g, &fabric, &PnrConfig::default()), "compute");
+}
+
+#[test]
+fn one_memory_op_past_ls_capacity_is_unplaceable() {
+    // 4 LS PEs; 5 memory instructions is exactly one too many.
+    let fabric = tiny_fabric();
+    assert_eq!(fabric.num_ls_pes(), 4);
+    let mut g = Dfg::new("mem-overflow");
+    let (p, _) = g.add_param("a");
+    for _ in 0..5 {
+        let ld = g.add_node(Op::Load);
+        g.connect(p, 0, ld, Op::LOAD_ADDR);
+    }
+    let nl = Netlist::from_dfg(&g);
+    expect_unplaceable(check_capacity(&fabric, &nl), "memory");
+    expect_unplaceable(pnr(&g, &fabric, &PnrConfig::default()), "memory");
+}
+
+#[test]
+fn exact_ls_capacity_places() {
+    // Exactly as many memory instructions as LS PEs must still place,
+    // each on its own load-store PE.
+    let fabric = tiny_fabric();
+    let mut g = Dfg::new("mem-exact");
+    let (p, _) = g.add_param("a");
+    let mut loads = Vec::new();
+    for _ in 0..fabric.num_ls_pes() {
+        let ld = g.add_node(Op::Load);
+        g.connect(p, 0, ld, Op::LOAD_ADDR);
+        loads.push(ld);
+    }
+    let nl = Netlist::from_dfg(&g);
+    check_capacity(&fabric, &nl).expect("exact fit passes the check");
+    let placement = place(&fabric, &nl, &PlaceConfig::default()).expect("exact fit places");
+    let mut ls_pes: Vec<_> = loads.iter().map(|ld| placement.pe_of[ld.index()]).collect();
+    ls_pes.sort();
+    ls_pes.dedup();
+    assert_eq!(ls_pes.len(), loads.len(), "one LS PE per memory op");
+}
+
+#[test]
+fn every_heuristic_reports_capacity_errors() {
+    use nupea_pnr::Heuristic;
+    let fabric = tiny_fabric();
+    let mut g = Dfg::new("mem-overflow-all");
+    let (p, _) = g.add_param("a");
+    for _ in 0..9 {
+        let ld = g.add_node(Op::Load);
+        g.connect(p, 0, ld, Op::LOAD_ADDR);
+    }
+    let nl = Netlist::from_dfg(&g);
+    for h in [
+        Heuristic::DomainUnaware,
+        Heuristic::OnlyDomainAware,
+        Heuristic::CriticalityAware,
+    ] {
+        let cfg = PlaceConfig {
+            heuristic: h,
+            ..PlaceConfig::default()
+        };
+        expect_unplaceable(place(&fabric, &nl, &cfg), "memory");
+    }
+}

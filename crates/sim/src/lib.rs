@@ -22,7 +22,8 @@
 //! use nupea_fabric::Fabric;
 //! use nupea_ir::graph::Dfg;
 //! use nupea_ir::op::Op;
-//! use nupea_sim::{simple_placement, Engine, MemParams, MemoryModel, SimConfig, SimMemory};
+//! use nupea_pnr::{place::place, Netlist, PlaceConfig};
+//! use nupea_sim::{Engine, MemParams, MemoryModel, SimConfig, SimMemory};
 //!
 //! // addr -> load -> sink
 //! let mut g = Dfg::new("demo");
@@ -33,7 +34,8 @@
 //! g.connect(ld, Op::OUT_VALUE, s, 0);
 //!
 //! let fabric = Fabric::monaco(8, 8, 3)?;
-//! let pe_of = simple_placement(&g, &fabric, true);
+//! let netlist = Netlist::from_dfg(&g);
+//! let pe_of = place(&fabric, &netlist, &PlaceConfig::default())?.pe_of;
 //! let params = MemParams::tiny();
 //! let mut mem = SimMemory::new(&params);
 //! mem.write(3, 99);
@@ -77,8 +79,16 @@ use nupea_ir::graph::Dfg;
 /// memory operations go onto LS PEs (fastest domains first when `fast`,
 /// slowest first otherwise), everything else fills remaining PEs row-major.
 ///
-/// Real flows should use `nupea-pnr`; this helper exists so the simulator
-/// can be exercised and tested in isolation.
+/// Deprecated: real flows go through `nupea_pnr::place` (or the full
+/// `nupea_pnr::pnr` pipeline), which enforces slot capacities, returns
+/// typed errors past capacity, and understands placement heuristics.
+/// This helper survives only for simulator-internal tests that need a
+/// *controlled* fast-vs-slow-domain placement the annealer would never
+/// produce (e.g. "slow placement costs more fabric-memory NoC energy").
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nupea_pnr::place::place` on a `Netlist` (or `nupea_pnr::pnr`) instead"
+)]
 pub fn simple_placement(dfg: &Dfg, fabric: &Fabric, fast: bool) -> Vec<PeId> {
     let mut ls_order = fabric.ls_pref_order();
     if !fast {
@@ -99,6 +109,14 @@ pub fn simple_placement(dfg: &Dfg, fabric: &Fabric, fast: bool) -> Vec<PeId> {
 }
 
 /// Sanity check a placement: memory ops on LS PEs, length matches.
+///
+/// Deprecated alongside [`simple_placement`]: placements produced by
+/// `nupea_pnr::place` are correct by construction (capacity and slot
+/// legality are checked there and violations return `PnrError`).
+#[deprecated(
+    since = "0.1.0",
+    note = "placements from `nupea_pnr::place` are validated at construction"
+)]
 pub fn check_placement(dfg: &Dfg, fabric: &Fabric, pe_of: &[PeId]) -> bool {
     pe_of.len() == dfg.len()
         && dfg
@@ -107,6 +125,10 @@ pub fn check_placement(dfg: &Dfg, fabric: &Fabric, pe_of: &[PeId]) -> bool {
 }
 
 #[cfg(test)]
+// These tests deliberately pin memory ops to the fastest vs. slowest
+// domains to measure the latency model; the deprecated helper is the only
+// placement that gives that control.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nupea_ir::interp::Interp;

@@ -5,9 +5,10 @@
 use nupea_fabric::Fabric;
 use nupea_ir::graph::Dfg;
 use nupea_ir::op::{BinOpKind, CmpKind, Op, SteerPolarity};
+use nupea_pnr::{place::place, Netlist, PlaceConfig};
 use nupea_sim::{
-    simple_placement, ConfigError, Engine, MemParams, MemoryModel, PerturbConfig, SimConfig,
-    SimError, SimMemory, StallKind,
+    ConfigError, Engine, MemParams, MemoryModel, PerturbConfig, SimConfig, SimError, SimMemory,
+    StallKind,
 };
 
 fn cfg_tiny() -> SimConfig {
@@ -23,7 +24,10 @@ fn run(
     cfg: SimConfig,
 ) -> Result<nupea_sim::RunStats, SimError> {
     let fabric = Fabric::monaco(8, 8, 3).unwrap();
-    let pe_of = simple_placement(g, &fabric, true);
+    let netlist = Netlist::from_dfg(g);
+    let pe_of = place(&fabric, &netlist, &PlaceConfig::default())
+        .expect("edge-case graphs fit the 8x8 fabric")
+        .pe_of;
     let mut e = Engine::new(g, &fabric, &pe_of, cfg);
     for &(p, v) in binds {
         e.bind(p, v);

@@ -12,8 +12,9 @@ use nupea_fabric::Fabric;
 use nupea_ir::interp::Interp;
 use nupea_kernels::builder::{Ctx, Kernel, Val};
 use nupea_kernels::workloads::Workload;
+use nupea_pnr::{place::place, Heuristic, Netlist, PlaceConfig};
 use nupea_rng::Xoshiro256;
-use nupea_sim::{simple_placement, Engine, MemParams, MemoryModel, SimConfig, SimMemory};
+use nupea_sim::{Engine, MemParams, MemoryModel, SimConfig, SimMemory};
 use std::cell::Cell;
 
 /// A randomized structured program over a read-only input region and
@@ -189,7 +190,14 @@ fn timed_engine_matches_interpreter() {
         let fifo_depth = rng.range_usize(1, 5);
         let max_outstanding = rng.range_usize(1, 3);
         let model_pick = rng.index(4) as u8;
-        let fast_placement = rng.next_bool();
+        // Vary the placement too: random heuristic and annealing seed, so
+        // correctness is checked across genuinely different layouts.
+        let heuristic = match rng.index(3) {
+            0 => Heuristic::DomainUnaware,
+            1 => Heuristic::OnlyDomainAware,
+            _ => Heuristic::CriticalityAware,
+        };
+        let place_seed = rng.next_u64();
 
         let (w, _out) = build_program(&stmts);
         // Reference: untimed interpreter.
@@ -209,7 +217,15 @@ fn timed_engine_matches_interpreter() {
             _ => MemoryModel::NumaUpea(2),
         };
         let fabric = Fabric::monaco(12, 12, 3).expect("fabric");
-        let pe_of = simple_placement(w.kernel.dfg(), &fabric, fast_placement);
+        let netlist = Netlist::from_dfg(w.kernel.dfg());
+        let place_cfg = PlaceConfig {
+            heuristic,
+            seed: place_seed,
+            effort: 64,
+        };
+        let pe_of = place(&fabric, &netlist, &place_cfg)
+            .expect("random programs fit the 12x12 fabric")
+            .pe_of;
         let mut cfg = SimConfig::default();
         cfg.model = model;
         cfg.mem = MemParams::tiny();
@@ -265,7 +281,10 @@ fn differential_regression_fixed_programs() {
         assert!(r.is_balanced(), "program {i}");
 
         let fabric = Fabric::monaco(8, 8, 3).unwrap();
-        let pe_of = simple_placement(w.kernel.dfg(), &fabric, true);
+        let netlist = Netlist::from_dfg(w.kernel.dfg());
+        let pe_of = place(&fabric, &netlist, &PlaceConfig::default())
+            .unwrap()
+            .pe_of;
         let mut mem = w.fresh_mem();
         let mut cfg = SimConfig::default();
         cfg.mem = MemParams::tiny();

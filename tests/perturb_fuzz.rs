@@ -10,9 +10,17 @@
 use nupea::Scale;
 use nupea_fabric::Fabric;
 use nupea_kernels::workloads::{all_workloads, Workload};
-use nupea_sim::{
-    simple_placement, Engine, MemoryModel, PerturbConfig, RunStats, SimConfig, SimMemory,
-};
+use nupea_pnr::{place::place, Netlist, PlaceConfig};
+use nupea_sim::{Engine, MemoryModel, PerturbConfig, RunStats, SimConfig, SimMemory};
+
+/// Place a workload kernel through the real PnR placer (criticality-aware,
+/// default seed) — the one placement code path shared with `nupea::compile`.
+fn placed(w: &Workload, fabric: &Fabric) -> Vec<nupea_fabric::PeId> {
+    let netlist = Netlist::from_dfg(w.kernel.dfg());
+    place(fabric, &netlist, &PlaceConfig::default())
+        .unwrap_or_else(|e| panic!("{}: placement failed: {e}", w.name))
+        .pe_of
+}
 
 fn run_once(
     w: &Workload,
@@ -54,7 +62,7 @@ fn all_workloads_are_schedule_invariant_under_perturbation() {
 
     for spec in all_workloads() {
         let w = spec.build_default(Scale::Test);
-        let pe_of = simple_placement(w.kernel.dfg(), &fabric, true);
+        let pe_of = placed(&w, &fabric);
         let (base, base_mem) =
             run_once(&w, &fabric, &pe_of, MemoryModel::Nupea, PerturbConfig::OFF);
         w.validate(&base_mem, &base.sinks)
@@ -97,7 +105,7 @@ fn perturbed_runs_replay_deterministically() {
         .find(|s| s.name == "spmv")
         .expect("spmv registered");
     let w = spec.build_default(Scale::Test);
-    let pe_of = simple_placement(w.kernel.dfg(), &fabric, true);
+    let pe_of = placed(&w, &fabric);
     let p = PerturbConfig::with_seed(0xA11CE);
     let (a, _) = run_once(&w, &fabric, &pe_of, MemoryModel::Nupea, p);
     let (b, _) = run_once(&w, &fabric, &pe_of, MemoryModel::Nupea, p);

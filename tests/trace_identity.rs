@@ -7,9 +7,8 @@
 use nupea::Scale;
 use nupea_fabric::Fabric;
 use nupea_kernels::workloads::{all_workloads, Workload};
-use nupea_sim::{
-    simple_placement, Engine, MemoryModel, RunStats, SimConfig, SimMemory, TraceBuffer, TraceConfig,
-};
+use nupea_pnr::{place::place, Netlist, PlaceConfig};
+use nupea_sim::{Engine, MemoryModel, RunStats, SimConfig, SimMemory, TraceBuffer, TraceConfig};
 
 fn run_once(
     w: &Workload,
@@ -41,7 +40,10 @@ fn tracing_is_invisible_to_every_workload() {
     let fabric = Fabric::monaco(12, 12, 3).expect("monaco fabric");
     for spec in all_workloads() {
         let w = spec.build_default(Scale::Test);
-        let pe_of = simple_placement(w.kernel.dfg(), &fabric, true);
+        let netlist = Netlist::from_dfg(w.kernel.dfg());
+        let pe_of = place(&fabric, &netlist, &PlaceConfig::default())
+            .unwrap_or_else(|e| panic!("{}: placement failed: {e}", w.name))
+            .pe_of;
         let (off, off_mem, no_trace) =
             run_once(&w, &fabric, &pe_of, MemoryModel::Nupea, TraceConfig::OFF);
         assert!(
