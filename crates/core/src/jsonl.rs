@@ -1,0 +1,204 @@
+//! Torn-tail-safe append-only JSONL files, shared by the DSE journal and
+//! the fault-campaign journal.
+//!
+//! The workspace's resumable subsystems (design-space searches, fault
+//! campaigns) persist progress as one flat JSON object per line. Two
+//! invariants make that kill-and-resume safe:
+//!
+//! - **Append repair.** A `kill -9` mid-append leaves the file ending
+//!   mid-line. [`JsonlFile::open`] detects the torn tail (no trailing
+//!   newline) and the next [`JsonlFile::append`] starts on a fresh line,
+//!   so the torn record corrupts nothing that follows it.
+//! - **Replay tolerance.** [`JsonlFile::open`] hands back every
+//!   non-blank line; callers parse each and simply skip (and count) the
+//!   unparseable ones — a torn tail costs at most one record, never the
+//!   file.
+//!
+//! The module also hosts the flat-object field helpers ([`field`],
+//! [`string_field`], [`format_f64`]) used to hand-roll and re-parse those
+//! lines; the workspace is dependency-free, so there is no serde.
+
+use std::fs::OpenOptions;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// An append-only JSONL file with torn-tail repair, or an in-memory
+/// stand-in that accepts appends and discards them (tests, throwaway
+/// runs).
+#[derive(Debug)]
+pub struct JsonlFile {
+    path: Option<PathBuf>,
+    /// The file ends mid-line (kill during append); the next record must
+    /// start on a fresh line or it would merge with the torn tail.
+    tail_torn: bool,
+}
+
+impl JsonlFile {
+    /// A purely in-memory file: [`JsonlFile::append`] is a no-op.
+    #[must_use]
+    pub fn in_memory() -> Self {
+        JsonlFile {
+            path: None,
+            tail_torn: false,
+        }
+    }
+
+    /// Open (or create) an on-disk JSONL file, returning it together
+    /// with every existing non-blank line for the caller to replay. The
+    /// parent directory is created on demand. A file ending without a
+    /// trailing newline is marked torn; the next append repairs it.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors creating the parent directory or reading the file.
+    pub fn open(path: impl Into<PathBuf>) -> io::Result<(Self, Vec<String>)> {
+        let path = path.into();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut file = JsonlFile {
+            path: Some(path.clone()),
+            tail_torn: false,
+        };
+        let mut lines = Vec::new();
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                file.tail_torn = !text.is_empty() && !text.ends_with('\n');
+                lines.extend(
+                    text.lines()
+                        .filter(|l| !l.trim().is_empty())
+                        .map(str::to_string),
+                );
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok((file, lines))
+    }
+
+    /// The on-disk path, if any.
+    #[must_use]
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Append one line (the trailing newline is added here). If the file
+    /// was opened with a torn tail, a repair newline is written first so
+    /// this record starts fresh. A kill loses at most this final line.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending to the file.
+    pub fn append(&mut self, line: &str) -> io::Result<()> {
+        if let Some(path) = &self.path {
+            let mut f = OpenOptions::new().create(true).append(true).open(path)?;
+            if std::mem::take(&mut self.tail_torn) {
+                f.write_all(b"\n")?;
+            }
+            f.write_all(line.as_bytes())?;
+            f.write_all(b"\n")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format an f64 the way the runner's JSON does (plain `{v}`; `null` for
+/// non-finite).
+#[must_use]
+pub fn format_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// The raw text of field `k` (between `"k":` and the next `,"` or `}`).
+/// Only valid for the flat single-level objects this module's users
+/// write: string values must not contain `"` or `,`.
+#[must_use]
+pub fn field(line: &str, k: &str) -> Option<String> {
+    let pat = format!("\"{k}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = if let Some(quoted) = rest.strip_prefix('"') {
+        quoted.find('"')? + 2
+    } else {
+        rest.find([',', '}'])?
+    };
+    Some(rest[..end].to_string())
+}
+
+/// Field `k` as a string (quotes stripped).
+#[must_use]
+pub fn string_field(line: &str, k: &str) -> Option<String> {
+    let v = field(line, k)?;
+    v.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
+}
+
+/// Field `k` as a u64.
+#[must_use]
+pub fn u64_field(line: &str, k: &str) -> Option<u64> {
+    field(line, k)?.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_memory_accepts_appends_without_a_path() {
+        let mut f = JsonlFile::in_memory();
+        assert!(f.path().is_none());
+        f.append("{\"a\":1}").unwrap();
+    }
+
+    #[test]
+    fn field_helpers_parse_flat_objects() {
+        let line = "{\"hash\":7,\"name\":\"spmv\",\"x\":null,\"last\":9}";
+        assert_eq!(field(line, "hash").as_deref(), Some("7"));
+        assert_eq!(field(line, "x").as_deref(), Some("null"));
+        assert_eq!(field(line, "last").as_deref(), Some("9"));
+        assert_eq!(string_field(line, "name").as_deref(), Some("spmv"));
+        assert_eq!(u64_field(line, "hash"), Some(7));
+        assert_eq!(field(line, "missing"), None);
+        assert_eq!(string_field(line, "hash"), None);
+    }
+
+    #[test]
+    fn format_f64_matches_runner_json() {
+        assert_eq!(format_f64(1.5), "1.5");
+        assert_eq!(format_f64(f64::NAN), "null");
+        assert_eq!(format_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn torn_tail_is_repaired_on_next_append() {
+        let dir = std::env::temp_dir().join(format!("nupea-jsonl-{}", std::process::id()));
+        let path = dir.join("t.jsonl");
+        std::fs::remove_file(&path).ok();
+        {
+            let (mut f, lines) = JsonlFile::open(&path).unwrap();
+            assert!(lines.is_empty());
+            f.append("{\"a\":1}").unwrap();
+        }
+        // Kill mid-append: a torn tail with no newline.
+        std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap()
+            .write_all(b"{\"a\":2,\"tr")
+            .unwrap();
+        {
+            let (mut f, lines) = JsonlFile::open(&path).unwrap();
+            // The torn tail is still handed back; callers skip it at parse.
+            assert_eq!(lines, vec!["{\"a\":1}", "{\"a\":2,\"tr"]);
+            f.append("{\"a\":3}").unwrap();
+        }
+        let (_, lines) = JsonlFile::open(&path).unwrap();
+        assert_eq!(lines, vec!["{\"a\":1}", "{\"a\":2,\"tr", "{\"a\":3}"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -33,21 +33,27 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod campaign;
 pub mod experiments;
+pub mod jsonl;
 pub mod runner;
 
-pub use nupea_fabric::{Fabric, TopologyKind};
+pub use campaign::{
+    CampaignConfig, CampaignReport, FaultCampaign, InjectionRecord, OutcomeClass, RecoveryOutcome,
+};
+pub use nupea_fabric::{Fabric, PeId, TopologyKind};
 pub use nupea_kernels::workloads::{all_workloads, Scale, ValidationError, Workload, WorkloadSpec};
 pub use nupea_pnr::{Heuristic, Placed, PnrError};
 pub use nupea_sim::{
-    ConfigError, EnergyBreakdown, EnergyParams, MemoryModel, PerturbConfig, RunStats, SimError,
-    StallReport, TraceBuffer, TraceConfig,
+    ConfigError, EnergyBreakdown, EnergyParams, FaultClasses, FaultConfig, FaultContext, FaultKind,
+    FaultPlan, MemoryModel, PerturbConfig, RunStats, SimError, SimMemory, StallReport, TraceBuffer,
+    TraceConfig,
 };
 pub use runner::{
-    ExperimentRunner, RunErrorKind, RunRecord, RunnerReport, SystemHandle, WorkloadHandle,
+    ExperimentRunner, RetryPolicy, RunErrorKind, RunRecord, RunnerReport, SystemHandle,
+    WorkloadHandle,
 };
 
-use nupea_fabric::PeId;
 use nupea_pnr::{pnr, PlaceConfig, PnrConfig};
 use nupea_sim::{Engine, MemParams, SimConfig};
 use std::fmt;
@@ -87,6 +93,19 @@ pub struct SystemConfig {
     /// [`TraceBuffer`] / Chrome trace JSON; timing is unaffected either
     /// way. See [`Compiled::simulate_traced`].
     pub trace: TraceConfig,
+    /// Fault injection (off by default). When armed, exactly one
+    /// [`FaultKind`] is injected into every simulation of this system;
+    /// campaigns sample and classify these via [`FaultCampaign`]. See
+    /// DESIGN.md §9.
+    pub fault: FaultConfig,
+    /// PEs the placer must not map anything onto (failed resources during
+    /// degraded-mode recovery). Empty by default.
+    pub avoid: Vec<PeId>,
+    /// Watchdog quiescence window in system cycles (0 disables): a run
+    /// with no firing, delivery, or completion for this long aborts as
+    /// [`SimError::Stalled`]. Fault campaigns shrink it so injected hangs
+    /// are detected quickly instead of spinning to the cycle cap.
+    pub stall_window: u64,
 }
 
 impl SystemConfig {
@@ -113,6 +132,9 @@ impl SystemConfig {
             divider_override: Some(2),
             perturb: PerturbConfig::OFF,
             trace: TraceConfig::OFF,
+            fault: FaultConfig::OFF,
+            avoid: Vec::new(),
+            stall_window: 1_000_000,
         }
     }
 
@@ -161,6 +183,9 @@ impl SystemConfig {
         }
         if self.divider_override == Some(0) {
             return Err(ConfigError::ZeroDivider.into());
+        }
+        if self.fabric.num_domains() == 0 {
+            return Err(ConfigError::ZeroDomains.into());
         }
         self.mem.validate()?;
         Ok(())
@@ -241,6 +266,27 @@ impl SystemConfigBuilder {
     #[must_use]
     pub fn trace(mut self, trace: TraceConfig) -> Self {
         self.cfg.trace = trace;
+        self
+    }
+
+    /// Arm fault injection (see [`FaultConfig`]).
+    #[must_use]
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.cfg.fault = fault;
+        self
+    }
+
+    /// PEs the placer must avoid (degraded-mode recovery).
+    #[must_use]
+    pub fn avoid(mut self, avoid: Vec<PeId>) -> Self {
+        self.cfg.avoid = avoid;
+        self
+    }
+
+    /// Watchdog quiescence window in system cycles (0 disables).
+    #[must_use]
+    pub fn stall_window(mut self, window: u64) -> Self {
+        self.cfg.stall_window = window;
         self
     }
 
@@ -374,6 +420,43 @@ impl Compiled {
         .map(|(stats, _)| stats)
     }
 
+    /// Simulate with sim-time knobs from `sys` (like
+    /// [`Compiled::simulate_with`]), but **skip reference validation** and
+    /// return the final memory image alongside the statistics. This is the
+    /// fault-campaign primitive: an injected run's outputs are compared
+    /// differentially against a golden fault-free run (sinks *and* final
+    /// memory), not against the reference — a mismatch is an SDC, not a
+    /// validation error. `max_cycles` overrides the default runaway cap.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Compiled::simulate_budgeted`], minus
+    /// [`PipelineError::Validation`] (never produced here).
+    pub fn simulate_raw(
+        &self,
+        sys: &SystemConfig,
+        model: MemoryModel,
+        max_cycles: Option<u64>,
+    ) -> Result<(RunStats, SimMemory), PipelineError> {
+        let mut cfg = sim_config(sys, model, self.placed.timing.divider);
+        if let Some(cap) = max_cycles {
+            cfg.max_cycles = cap;
+        }
+        cfg.validate()?;
+        let mut mem = self.workload.fresh_mem();
+        let mut engine = Engine::new(
+            self.workload.kernel.dfg(),
+            &sys.fabric,
+            &self.placed.pe_of,
+            cfg,
+        );
+        for (pid, v) in self.workload.kernel.bindings(&[]) {
+            engine.bind(pid, v);
+        }
+        let stats = engine.run(&mut mem)?;
+        Ok((stats, mem))
+    }
+
     /// Serialize to a bitstream (see [`nupea_pnr::bitstream`]) for caching
     /// or inspection.
     pub fn bitstream(&self) -> String {
@@ -473,6 +556,7 @@ fn compile_impl(
                 heuristic,
                 seed: sys.seed.wrapping_add(attempt.wrapping_mul(0x9E37_79B9)),
                 effort: sys.effort,
+                avoid: sys.avoid.clone(),
             },
         };
         match pnr(workload.kernel.dfg(), &sys.fabric, &cfg) {
@@ -514,8 +598,10 @@ fn sim_config(sys: &SystemConfig, model: MemoryModel, divider_src: u32) -> SimCo
     cfg.max_outstanding = sys.max_outstanding;
     cfg.numa_seed = sys.seed ^ 0x1234;
     cfg.max_cycles = DEFAULT_MAX_CYCLES;
+    cfg.stall_window = sys.stall_window;
     cfg.perturb = sys.perturb;
     cfg.trace = sys.trace;
+    cfg.fault = sys.fault;
     cfg
 }
 
@@ -838,6 +924,48 @@ mod tests {
         assert_eq!(sys.effort, 50);
         assert_eq!(sys.divider_override, None);
         assert_eq!(sys.fabric.num_pes(), fabric.num_pes());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_knobs_with_typed_errors() {
+        let check = |mutate: fn(&mut SystemConfig), want: ConfigError| {
+            let mut sys = SystemConfig::monaco_12x12();
+            mutate(&mut sys);
+            match sys.validate() {
+                Err(PipelineError::InvalidConfig(got)) => assert_eq!(got, want),
+                other => panic!("expected InvalidConfig({want}), got {other:?}"),
+            }
+            let w = sparse::spmv(Scale::Test, 1);
+            assert!(
+                sys.compile(&w, Heuristic::CriticalityAware).is_err(),
+                "compile must refuse what validate refuses"
+            );
+        };
+        check(|s| s.fifo_depth = 0, ConfigError::ZeroFifoDepth);
+        check(|s| s.max_outstanding = 0, ConfigError::ZeroMaxOutstanding);
+        check(|s| s.divider_override = Some(0), ConfigError::ZeroDivider);
+        check(|s| s.mem.banks = 0, ConfigError::ZeroBanks);
+
+        // ZeroDomains is defense-in-depth: every public fabric constructor
+        // carries at least one memory domain (the engine no longer repairs
+        // a zero silently with `.max(1)`), so assert the invariant the
+        // validation backstops plus the typed error's rendering.
+        for fabric in [
+            Fabric::monaco(12, 12, 3).unwrap(),
+            Fabric::monaco_with_domains(4, 8, 2, 1, 2).unwrap(),
+            Fabric::clustered_single(4, 8, 2).unwrap(),
+            Fabric::clustered_double(4, 8, 2).unwrap(),
+        ] {
+            assert!(fabric.num_domains() >= 1, "constructors guarantee domains");
+        }
+        assert_eq!(
+            ConfigError::ZeroDomains.to_string(),
+            "fabric must define at least one memory domain"
+        );
+        assert!(matches!(
+            PipelineError::from(ConfigError::ZeroDomains),
+            PipelineError::InvalidConfig(ConfigError::ZeroDomains)
+        ));
     }
 
     #[test]

@@ -366,28 +366,47 @@ impl RunnerReport {
 /// Execution is fault-tolerant: every compile and simulate runs under
 /// `catch_unwind`, so a panicking point becomes an error record
 /// ([`RunErrorKind::Panic`]) instead of aborting the sweep.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct ExperimentRunner {
     workloads: Vec<Arc<Workload>>,
     systems: Vec<Arc<SystemConfig>>,
     points: Vec<Point>,
     threads: usize,
     cycle_budget: Option<u64>,
-    retry_factor: u64,
+    retry: RetryPolicy,
     trace_dir: Option<PathBuf>,
 }
 
-impl Default for ExperimentRunner {
+/// How a point that exhausts its [`ExperimentRunner::cycle_budget`] is
+/// retried before being recorded as a cycle-limit failure. No effect
+/// without a cycle budget (the default runaway cap is never retried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RetryPolicy {
+    /// Record the cycle-limit failure immediately.
+    None,
+    /// Re-run once at `budget × factor` — the historical behavior and
+    /// the default (with `factor` 64). A `factor <= 1` never retries.
+    OneShot {
+        /// Cap multiplier for the single retry.
+        factor: u64,
+    },
+    /// Capped exponential backoff: re-run up to `max_retries` times,
+    /// multiplying the cap by `factor` each time. Fault campaigns use
+    /// this for hang re-checks — a genuinely hung injection keeps hitting
+    /// the (cheap, watchdog-bounded) limit, while a merely slow one gets
+    /// room to finish.
+    Backoff {
+        /// Cap multiplier per retry (`<= 1` never retries).
+        factor: u64,
+        /// Retries after the first run.
+        max_retries: u32,
+    },
+}
+
+impl Default for RetryPolicy {
     fn default() -> Self {
-        ExperimentRunner {
-            workloads: Vec::new(),
-            systems: Vec::new(),
-            points: Vec::new(),
-            threads: 0,
-            cycle_budget: None,
-            retry_factor: 64,
-            trace_dir: None,
-        }
+        RetryPolicy::OneShot { factor: 64 }
     }
 }
 
@@ -418,9 +437,23 @@ impl ExperimentRunner {
 
     /// Cap multiplier for the one-shot retry after a budget-limited run
     /// (default 64; values `<= 1` disable the retry). Has no effect
-    /// without [`ExperimentRunner::cycle_budget`].
+    /// without [`ExperimentRunner::cycle_budget`]. Shorthand for
+    /// [`ExperimentRunner::retry_policy`] with [`RetryPolicy::None`]
+    /// (`factor <= 1`) or [`RetryPolicy::OneShot`].
     pub fn retry_factor(&mut self, factor: u64) -> &mut Self {
-        self.retry_factor = factor;
+        self.retry = if factor <= 1 {
+            RetryPolicy::None
+        } else {
+            RetryPolicy::OneShot { factor }
+        };
+        self
+    }
+
+    /// Full retry policy for budget-limited points (see [`RetryPolicy`];
+    /// default [`RetryPolicy::OneShot`] with factor 64). Has no effect
+    /// without [`ExperimentRunner::cycle_budget`].
+    pub fn retry_policy(&mut self, policy: RetryPolicy) -> &mut Self {
+        self.retry = policy;
         self
     }
 
@@ -556,51 +589,27 @@ impl ExperimentRunner {
             key_of_point.push(ki);
         }
 
-        // Phase 1: compile each unique key once, in parallel. Workers pull
-        // indices off a shared atomic counter and fill fixed slots, so the
-        // artifact order (and everything downstream) is independent of
-        // scheduling.
-        type TimedArtifact = (Result<Compiled, PipelineError>, u64);
-        let artifacts: Vec<TimedArtifact> = {
-            let slots: Mutex<Vec<Option<TimedArtifact>>> =
-                Mutex::new((0..keys.len()).map(|_| None).collect());
-            let next = AtomicUsize::new(0);
-            let nthreads = self.effective_threads(keys.len());
-            std::thread::scope(|sc| {
-                for _ in 0..nthreads {
-                    sc.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= keys.len() {
-                            break;
-                        }
-                        let k = keys[i];
-                        let t0 = Instant::now();
-                        // Panic isolation: a panicking compile becomes an
-                        // error artifact shared by its points, not a crash.
-                        let r = catch_unwind(AssertUnwindSafe(|| {
-                            crate::compile_impl(
-                                &self.workloads[k.workload],
-                                &self.systems[k.sys],
-                                k.heuristic,
-                            )
-                        }))
-                        .unwrap_or_else(|payload| {
-                            Err(PipelineError::Panicked {
-                                message: panic_message(payload.as_ref()),
-                            })
-                        });
-                        let micros = t0.elapsed().as_micros() as u64;
-                        slots.lock().expect("compile worker panicked")[i] = Some((r, micros));
-                    });
-                }
+        // Phase 1: compile each unique key once, in parallel.
+        let artifacts: Vec<(Result<Compiled, PipelineError>, u64)> =
+            parallel_map(self.effective_threads(keys.len()), keys.len(), |i| {
+                let k = keys[i];
+                let t0 = Instant::now();
+                // Panic isolation: a panicking compile becomes an error
+                // artifact shared by its points, not a crash.
+                let r = catch_unwind(AssertUnwindSafe(|| {
+                    crate::compile_impl(
+                        &self.workloads[k.workload],
+                        &self.systems[k.sys],
+                        k.heuristic,
+                    )
+                }))
+                .unwrap_or_else(|payload| {
+                    Err(PipelineError::Panicked {
+                        message: panic_message(payload.as_ref()),
+                    })
+                });
+                (r, t0.elapsed().as_micros() as u64)
             });
-            slots
-                .into_inner()
-                .expect("compile worker panicked")
-                .into_iter()
-                .map(|s| s.expect("every key compiled"))
-                .collect()
-        };
 
         // Phase 2: simulate every point in parallel against the shared
         // artifacts. The trace directory is created once up front; if that
@@ -609,82 +618,58 @@ impl ExperimentRunner {
             .trace_dir
             .as_deref()
             .filter(|d| std::fs::create_dir_all(d).is_ok());
-        let records: Vec<RunRecord> = {
-            let slots: Mutex<Vec<Option<RunRecord>>> =
-                Mutex::new((0..self.points.len()).map(|_| None).collect());
-            let next = AtomicUsize::new(0);
-            let nthreads = self.effective_threads(self.points.len());
-            std::thread::scope(|sc| {
-                for _ in 0..nthreads {
-                    sc.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= self.points.len() {
-                            break;
-                        }
-                        let p = &self.points[i];
-                        let ki = key_of_point[i];
-                        let cached = first_point[ki] != i;
-                        let (artifact, compile_micros) = &artifacts[ki];
-                        let workload = &self.workloads[p.workload];
-                        let rec = match artifact {
-                            Err(e) => RunRecord::failed(p, workload, *compile_micros, cached, e),
-                            Ok(c) => {
-                                let t0 = Instant::now();
-                                let (out, retried) = simulate_point(
-                                    c,
-                                    p.model,
-                                    self.cycle_budget,
-                                    self.retry_factor,
-                                    trace_dir.is_some(),
+        let records: Vec<RunRecord> = parallel_map(
+            self.effective_threads(self.points.len()),
+            self.points.len(),
+            |i| {
+                let p = &self.points[i];
+                let ki = key_of_point[i];
+                let cached = first_point[ki] != i;
+                let (artifact, compile_micros) = &artifacts[ki];
+                let workload = &self.workloads[p.workload];
+                match artifact {
+                    Err(e) => RunRecord::failed(p, workload, *compile_micros, cached, e),
+                    Ok(c) => {
+                        let t0 = Instant::now();
+                        let (out, retried) = simulate_point(
+                            c,
+                            p.model,
+                            self.cycle_budget,
+                            self.retry,
+                            trace_dir.is_some(),
+                        );
+                        let sim_micros = t0.elapsed().as_micros() as u64;
+                        let mut r = match out {
+                            Ok((stats, trace)) => {
+                                let mut r = RunRecord::completed(
+                                    p,
+                                    workload,
+                                    *compile_micros,
+                                    cached,
+                                    &stats,
+                                    sim_micros,
                                 );
-                                let sim_micros = t0.elapsed().as_micros() as u64;
-                                let mut r = match out {
-                                    Ok((stats, trace)) => {
-                                        let mut r = RunRecord::completed(
-                                            p,
-                                            workload,
-                                            *compile_micros,
-                                            cached,
-                                            &stats,
-                                            sim_micros,
-                                        );
-                                        if let (Some(dir), Some(trace)) = (trace_dir, trace) {
-                                            let path = dir.join(trace_file_name(&r));
-                                            if std::fs::write(&path, trace.to_chrome_json()).is_ok()
-                                            {
-                                                r.trace_path =
-                                                    Some(path.to_string_lossy().into_owned());
-                                            }
-                                        }
-                                        r
+                                if let (Some(dir), Some(trace)) = (trace_dir, trace) {
+                                    let path = dir.join(trace_file_name(&r));
+                                    if std::fs::write(&path, trace.to_chrome_json()).is_ok() {
+                                        r.trace_path = Some(path.to_string_lossy().into_owned());
                                     }
-                                    Err(e) => {
-                                        let mut r = RunRecord::failed(
-                                            p,
-                                            workload,
-                                            *compile_micros,
-                                            cached,
-                                            &e,
-                                        );
-                                        r.sim_micros = sim_micros;
-                                        r
-                                    }
-                                };
-                                r.retried = retried;
+                                }
+                                r
+                            }
+                            Err(e) => {
+                                let mut r =
+                                    RunRecord::failed(p, workload, *compile_micros, cached, &e);
+                                r.sim_micros = sim_micros;
                                 r
                             }
                         };
-                        slots.lock().expect("sim worker panicked")[i] = Some(rec);
-                    });
+                        r.retried = retried;
+                        r
+                    }
                 }
-            });
-            slots
-                .into_inner()
-                .expect("sim worker panicked")
-                .into_iter()
-                .map(|s| s.expect("every point simulated"))
-                .collect()
-        };
+            },
+        );
 
         RunnerReport {
             records,
@@ -693,6 +678,39 @@ impl ExperimentRunner {
             wall: t_start.elapsed(),
         }
     }
+}
+
+/// Run `f(0)..f(n-1)` across up to `threads` scoped workers, returning
+/// results in index order. Workers pull indices off a shared atomic
+/// counter and fill fixed slots, so the output order (and everything
+/// downstream) is independent of scheduling. This is the runner's fan-out
+/// engine, shared with the fault campaign's injection sweep.
+pub(crate) fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let nthreads = threads.min(n).max(1);
+    std::thread::scope(|sc| {
+        for _ in 0..nthreads {
+            sc.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i);
+                slots.lock().expect("parallel_map worker panicked")[i] = Some(r);
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .expect("parallel_map worker panicked")
+        .into_iter()
+        .map(|s| s.expect("every index mapped"))
+        .collect()
 }
 
 /// Extract a human-readable message from a panic payload (the payload is
@@ -731,25 +749,39 @@ fn trace_file_name(r: &RunRecord) -> String {
 
 /// Run one sweep point with panic isolation and the optional cycle
 /// budget. Returns the outcome (with the recorded trace when `want_trace`)
-/// and whether the one-shot budget retry ran.
+/// and whether any budget retry ran (i.e. the point re-ran at a raised
+/// cap). The retry policy only applies to budget-limited runs.
 fn simulate_point(
     c: &Compiled,
     model: MemoryModel,
     budget: Option<u64>,
-    retry_factor: u64,
+    retry: RetryPolicy,
     want_trace: bool,
 ) -> (SimOutcome, bool) {
-    let cap = budget.unwrap_or(crate::DEFAULT_MAX_CYCLES);
-    let first = catch_sim(c, model, cap, want_trace);
-    match &first {
-        Err(PipelineError::Sim(SimError::CycleLimit { .. }))
-            if budget.is_some() && retry_factor > 1 =>
-        {
-            let raised = cap.saturating_mul(retry_factor);
-            (catch_sim(c, model, raised, want_trace), true)
-        }
-        _ => (first, false),
+    let mut cap = budget.unwrap_or(crate::DEFAULT_MAX_CYCLES);
+    let mut out = catch_sim(c, model, cap, want_trace);
+    let (factor, max_retries) = match retry {
+        _ if budget.is_none() => return (out, false),
+        RetryPolicy::None => return (out, false),
+        RetryPolicy::OneShot { factor } => (factor, 1u32),
+        RetryPolicy::Backoff {
+            factor,
+            max_retries,
+        } => (factor, max_retries),
+    };
+    if factor <= 1 {
+        return (out, false);
     }
+    let mut retried = false;
+    for _ in 0..max_retries {
+        if !matches!(out, Err(PipelineError::Sim(SimError::CycleLimit { .. }))) {
+            break;
+        }
+        cap = cap.saturating_mul(factor);
+        out = catch_sim(c, model, cap, want_trace);
+        retried = true;
+    }
+    (out, retried)
 }
 
 type SimOutcome = Result<(RunStats, Option<TraceBuffer>), PipelineError>;
@@ -1045,6 +1077,71 @@ mod tests {
              spmv,2,effcc,NUPEA,1234,617,2,999,12.5,0.75,40,11,7,0,3,0.5,42,\
              10,1.5,20,6,2.5,60,100,80:8|20:1,false,false,,,\n";
         assert_eq!(records_to_csv(&[sample_record()], false), want);
+    }
+
+    #[test]
+    fn retry_factor_shim_maps_onto_retry_policy() {
+        let mut runner = ExperimentRunner::new();
+        assert_eq!(runner.retry, RetryPolicy::OneShot { factor: 64 });
+        runner.retry_factor(1);
+        assert_eq!(runner.retry, RetryPolicy::None, "factor <= 1 never retries");
+        runner.retry_factor(0);
+        assert_eq!(runner.retry, RetryPolicy::None);
+        runner.retry_factor(8);
+        assert_eq!(runner.retry, RetryPolicy::OneShot { factor: 8 });
+        runner.retry_policy(RetryPolicy::Backoff {
+            factor: 4,
+            max_retries: 3,
+        });
+        assert_eq!(
+            runner.retry,
+            RetryPolicy::Backoff {
+                factor: 4,
+                max_retries: 3
+            }
+        );
+    }
+
+    #[test]
+    fn retry_policies_govern_budget_limited_reruns() {
+        let w = nupea_kernels::workloads::sparse::spmv(crate::Scale::Test, 1);
+        let sys = SystemConfig::monaco_12x12();
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        // A 10-cycle budget cannot complete spmv.
+        let (out, retried) =
+            simulate_point(&c, MemoryModel::Nupea, Some(10), RetryPolicy::None, false);
+        assert!(
+            matches!(out, Err(PipelineError::Sim(SimError::CycleLimit { .. }))),
+            "None records the limit immediately"
+        );
+        assert!(!retried);
+        // Backoff with a big enough factor climbs to a workable cap.
+        let (out, retried) = simulate_point(
+            &c,
+            MemoryModel::Nupea,
+            Some(10),
+            RetryPolicy::Backoff {
+                factor: 100,
+                max_retries: 4,
+            },
+            false,
+        );
+        assert!(out.is_ok(), "10 * 100^4 cycles is plenty for Test spmv");
+        assert!(retried, "the backoff path must mark the record retried");
+        // Without a budget the policy never applies: the default runaway
+        // cap is never retried.
+        let (out, retried) = simulate_point(
+            &c,
+            MemoryModel::Nupea,
+            None,
+            RetryPolicy::Backoff {
+                factor: 100,
+                max_retries: 4,
+            },
+            false,
+        );
+        assert!(out.is_ok());
+        assert!(!retried);
     }
 
     #[test]

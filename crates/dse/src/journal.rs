@@ -20,10 +20,10 @@
 
 use crate::pareto::Score;
 use crate::space::{heuristic_from_label, Candidate};
+use nupea::jsonl::{self, JsonlFile};
 use std::collections::HashMap;
 use std::fmt;
-use std::fs::OpenOptions;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
 
 /// The budget rung an entry was evaluated at: a successive-halving rung's
@@ -88,7 +88,7 @@ impl JournalEntry {
         let (cycles, energy, pes, error) = match &self.outcome {
             Outcome::Done(s) => (
                 s.cycles.to_string(),
-                format_f64(s.energy),
+                jsonl::format_f64(s.energy),
                 s.pes.to_string(),
                 "null".to_string(),
             ),
@@ -126,9 +126,9 @@ impl JournalEntry {
         if !line.starts_with('{') || !line.ends_with('}') {
             return None;
         }
-        let num = |k: &str| field(line, k).and_then(|v| v.parse::<u64>().ok());
+        let num = |k: &str| jsonl::u64_field(line, k);
         let opt_num = |k: &str| -> Option<Option<u64>> {
-            match field(line, k)? {
+            match jsonl::field(line, k)? {
                 v if v == "null" => Some(None),
                 v => v.parse().ok().map(Some),
             }
@@ -139,66 +139,34 @@ impl JournalEntry {
             cache_words: num("cache_words")? as usize,
             banks: num("banks")? as usize,
             divider: opt_num("divider")?,
-            heuristic: heuristic_from_label(&string_field(line, "heuristic")?)?,
+            heuristic: heuristic_from_label(&jsonl::string_field(line, "heuristic")?)?,
             place_seed: num("place_seed")?,
         };
-        let outcome = match field(line, "error")? {
+        let outcome = match jsonl::field(line, "error")? {
             v if v == "null" => Outcome::Done(Score {
                 cycles: num("cycles")?,
-                energy: field(line, "energy")?.parse().ok()?,
+                energy: jsonl::field(line, "energy")?.parse().ok()?,
                 pes: num("pes")? as usize,
             }),
-            _ => Outcome::Failed(string_field(line, "error")?),
+            _ => Outcome::Failed(jsonl::string_field(line, "error")?),
         };
         Some(JournalEntry {
             hash: num("hash")?,
-            workload: string_field(line, "workload")?,
-            budget: Budget::parse(&string_field(line, "budget")?)?,
+            workload: jsonl::string_field(line, "workload")?,
+            budget: Budget::parse(&jsonl::string_field(line, "budget")?)?,
             candidate,
             outcome,
         })
     }
 }
 
-/// Format an f64 the way the runner's JSON does (plain `{v}`; `null` for
-/// non-finite).
-fn format_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
-    }
-}
-
-/// The raw text of field `k` (between `"k":` and the next `,"` or `}`).
-/// Only valid for the flat single-level objects this module writes.
-fn field(line: &str, k: &str) -> Option<String> {
-    let pat = format!("\"{k}\":");
-    let start = line.find(&pat)? + pat.len();
-    let rest = &line[start..];
-    let end = if let Some(quoted) = rest.strip_prefix('"') {
-        quoted.find('"')? + 2
-    } else {
-        rest.find([',', '}'])?
-    };
-    Some(rest[..end].to_string())
-}
-
-/// Field `k` as a string (quotes stripped).
-fn string_field(line: &str, k: &str) -> Option<String> {
-    let v = field(line, k)?;
-    v.strip_prefix('"')?.strip_suffix('"').map(str::to_string)
-}
-
 /// The journal: an on-disk JSONL file (optional) plus the in-memory index
-/// keyed by `(hash, budget)`.
+/// keyed by `(hash, budget)`. Torn-tail detection and append repair live
+/// in the shared [`nupea::jsonl`] layer.
 #[derive(Debug)]
 pub struct Journal {
-    path: Option<PathBuf>,
+    file: JsonlFile,
     index: HashMap<(u64, Budget), JournalEntry>,
-    /// The file ends mid-line (kill during append); the next record must
-    /// start on a fresh line or it would merge with the torn tail.
-    tail_torn: bool,
     /// Lines replayed from disk at open (resume accounting).
     pub replayed: usize,
     /// Lines skipped as unparseable at open.
@@ -210,9 +178,8 @@ impl Journal {
     #[must_use]
     pub fn in_memory() -> Self {
         Journal {
-            path: None,
+            file: JsonlFile::in_memory(),
             index: HashMap::new(),
-            tail_torn: false,
             replayed: 0,
             skipped: 0,
         }
@@ -225,34 +192,21 @@ impl Journal {
     ///
     /// I/O errors creating the parent directory or reading the file.
     pub fn open(path: impl Into<PathBuf>) -> io::Result<Self> {
-        let path = path.into();
-        if let Some(parent) = path.parent() {
-            if !parent.as_os_str().is_empty() {
-                std::fs::create_dir_all(parent)?;
-            }
-        }
+        let (file, lines) = JsonlFile::open(path)?;
         let mut j = Journal {
-            path: Some(path.clone()),
+            file,
             index: HashMap::new(),
-            tail_torn: false,
             replayed: 0,
             skipped: 0,
         };
-        match std::fs::read_to_string(&path) {
-            Ok(text) => {
-                j.tail_torn = !text.is_empty() && !text.ends_with('\n');
-                for line in text.lines().filter(|l| !l.trim().is_empty()) {
-                    match JournalEntry::parse_line(line) {
-                        Some(e) => {
-                            j.index.insert((e.hash, e.budget.clone()), e);
-                            j.replayed += 1;
-                        }
-                        None => j.skipped += 1,
-                    }
+        for line in &lines {
+            match JournalEntry::parse_line(line) {
+                Some(e) => {
+                    j.index.insert((e.hash, e.budget.clone()), e);
+                    j.replayed += 1;
                 }
+                None => j.skipped += 1,
             }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-            Err(e) => return Err(e),
         }
         Ok(j)
     }
@@ -260,7 +214,7 @@ impl Journal {
     /// The on-disk path, if any.
     #[must_use]
     pub fn path(&self) -> Option<&Path> {
-        self.path.as_deref()
+        self.file.path()
     }
 
     /// Look up a completed evaluation.
@@ -277,14 +231,7 @@ impl Journal {
     ///
     /// I/O errors appending to the file.
     pub fn record(&mut self, entry: JournalEntry) -> io::Result<()> {
-        if let Some(path) = &self.path {
-            let mut f = OpenOptions::new().create(true).append(true).open(path)?;
-            if std::mem::take(&mut self.tail_torn) {
-                f.write_all(b"\n")?;
-            }
-            f.write_all(entry.to_line().as_bytes())?;
-            f.write_all(b"\n")?;
-        }
+        self.file.append(&entry.to_line())?;
         self.index.insert((entry.hash, entry.budget.clone()), entry);
         Ok(())
     }
@@ -306,6 +253,7 @@ impl Journal {
 mod tests {
     use super::*;
     use nupea_pnr::Heuristic;
+    use std::io::Write as _;
 
     fn entry(hash: u64, budget: Budget, outcome: Outcome) -> JournalEntry {
         JournalEntry {

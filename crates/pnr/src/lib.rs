@@ -52,7 +52,7 @@ pub mod timing;
 
 pub use bitstream::{parse_bitstream, render_placement, write_bitstream, Bitstream};
 pub use netlist::{Netlist, SlotKind};
-pub use place::{check_capacity, Heuristic, PlaceConfig, Placement};
+pub use place::{check_capacity, check_capacity_avoiding, Heuristic, PlaceConfig, Placement};
 pub use route::{route, Routing};
 pub use timing::Timing;
 
@@ -297,6 +297,102 @@ mod tests {
             placed.timing.divider,
             placed.timing.max_hops
         );
+    }
+
+    #[test]
+    fn avoid_set_pes_never_host_nodes() {
+        let g = mixed_criticality_graph(8);
+        let fabric = Fabric::monaco(8, 8, 3).unwrap();
+        let baseline = pnr(&g, &fabric, &PnrConfig::default()).unwrap();
+        // Fail three PEs the baseline actually uses, spread across the
+        // placement, and re-place around them.
+        let mut used: Vec<PeId> = baseline.pe_of.clone();
+        used.sort_unstable_by_key(|pe| pe.0);
+        used.dedup();
+        let avoid: Vec<PeId> = used.iter().step_by(used.len() / 3).copied().collect();
+        let cfg = PnrConfig {
+            place: PlaceConfig {
+                avoid: avoid.clone(),
+                ..PlaceConfig::default()
+            },
+        };
+        let placed = pnr(&g, &fabric, &cfg).unwrap();
+        for pe in &placed.pe_of {
+            assert!(!avoid.contains(pe), "avoided PE {pe:?} hosts a node");
+        }
+        // Determinism holds with an avoid-set too.
+        let again = pnr(&g, &fabric, &cfg).unwrap();
+        assert_eq!(placed.pe_of, again.pe_of);
+    }
+
+    #[test]
+    fn avoiding_all_d0_ls_pes_forces_a_domain_downgrade() {
+        let g = mixed_criticality_graph(4);
+        let fabric = Fabric::monaco(12, 12, 3).unwrap();
+        // Spare-PE recovery's worst case: every D0 load-store PE failed.
+        let avoid: Vec<PeId> = fabric
+            .ls_pref_order()
+            .into_iter()
+            .filter(|&pe| fabric.domain(pe) == Some(DomainId(0)))
+            .collect();
+        assert!(!avoid.is_empty());
+        let cfg = PnrConfig {
+            place: PlaceConfig {
+                avoid,
+                ..PlaceConfig::default()
+            },
+        };
+        let placed = pnr(&g, &fabric, &cfg).unwrap();
+        let hist = placed.domain_histogram(&g, &fabric);
+        assert_eq!(hist[0], 0, "no loads may land in failed D0: {hist:?}");
+        let crit = placed.domain_histogram_for(&g, &fabric, nupea_ir::graph::Criticality::Critical);
+        assert_eq!(
+            crit.iter().sum::<usize>(),
+            1,
+            "the critical load is placed somewhere: {crit:?}"
+        );
+        assert_eq!(
+            crit[1], 1,
+            "the critical load falls back to the next-best domain: {crit:?}"
+        );
+    }
+
+    #[test]
+    fn avoid_set_exhausting_ls_capacity_is_typed_unplaceable() {
+        let mut g = Dfg::new("ls-heavy");
+        let (p, _) = g.add_param("a");
+        for _ in 0..12 {
+            let ld = g.add_node(Op::Load);
+            g.connect(p, 0, ld, Op::LOAD_ADDR);
+        }
+        let fabric = Fabric::monaco(4, 8, 2).unwrap(); // 16 LS PEs
+        let ls = fabric.ls_pref_order();
+        // Fail 5 of 16 LS PEs: 12 loads no longer fit in 11 survivors.
+        let avoid: Vec<PeId> = ls.into_iter().take(5).collect();
+        // Duplicates in the avoid list must not double-count.
+        let mut avoid_dup = avoid.clone();
+        avoid_dup.extend_from_slice(&avoid);
+        let netlist = Netlist::from_dfg(&g);
+        match check_capacity_avoiding(&fabric, &netlist, &avoid_dup) {
+            Err(PnrError::Unplaceable(why)) => {
+                assert!(why.contains("memory instructions"), "{why}");
+                assert!(
+                    why.contains("11"),
+                    "have-count reflects the avoid-set: {why}"
+                );
+            }
+            other => panic!("expected Unplaceable, got {other:?}"),
+        }
+        let cfg = PnrConfig {
+            place: PlaceConfig {
+                avoid,
+                ..PlaceConfig::default()
+            },
+        };
+        match pnr(&g, &fabric, &cfg) {
+            Err(PnrError::Unplaceable(_)) => {}
+            other => panic!("expected Unplaceable, got {other:?}"),
+        }
     }
 
     #[test]

@@ -47,6 +47,11 @@ pub struct PlaceConfig {
     pub seed: u64,
     /// Annealing effort: total moves ≈ `effort × cells`.
     pub effort: u32,
+    /// PEs nothing may be placed on (failed resources, for degraded-mode
+    /// spare-PE re-placement). The NUPEA preference order is otherwise
+    /// unchanged: losing a fast-domain LS PE means the displaced memory
+    /// instruction falls back to the next-best domain.
+    pub avoid: Vec<PeId>,
 }
 
 impl Default for PlaceConfig {
@@ -55,6 +60,7 @@ impl Default for PlaceConfig {
             heuristic: Heuristic::CriticalityAware,
             seed: 0xC0FFEE,
             effort: 200,
+            avoid: Vec::new(),
         }
     }
 }
@@ -101,6 +107,8 @@ struct Placer<'a> {
     pe_of: Vec<u32>,
     /// nets touching each node.
     nets_of: Vec<Vec<u32>>,
+    /// PEs barred from hosting anything (from `PlaceConfig::avoid`).
+    avoided: Vec<bool>,
     rng: Xoshiro256,
 }
 
@@ -115,6 +123,12 @@ impl<'a> Placer<'a> {
                 nets_of[net.dst.index()].push(i as u32);
             }
         }
+        let mut avoided = vec![false; fabric.num_pes()];
+        for pe in &cfg.avoid {
+            if pe.index() < avoided.len() {
+                avoided[pe.index()] = true;
+            }
+        }
         Placer {
             fabric,
             netlist,
@@ -122,12 +136,13 @@ impl<'a> Placer<'a> {
             occ: vec![[FREE; SlotKind::COUNT]; fabric.num_pes()],
             pe_of: vec![u32::MAX; netlist.len()],
             nets_of,
+            avoided,
             rng: Xoshiro256::seed_from_u64(cfg.seed),
         }
     }
 
     fn compatible(&self, cell: &Cell, pe: PeId) -> bool {
-        !cell.needs_ls || self.fabric.kind(pe) == PeKind::LoadStore
+        !self.avoided[pe.index()] && (!cell.needs_ls || self.fabric.kind(pe) == PeKind::LoadStore)
     }
 
     fn seat(&mut self, node_idx: usize, pe: PeId) {
@@ -140,7 +155,7 @@ impl<'a> Placer<'a> {
     /// Initial placement: memory first along the NUPEA preference order,
     /// then BFS through defs and uses.
     fn initial(&mut self) -> Result<(), PnrError> {
-        check_capacity(self.fabric, self.netlist)?;
+        check_capacity_avoiding(self.fabric, self.netlist, &self.cfg.avoid)?;
         // Memory cells in placement-priority order.
         let mut mem_cells: Vec<usize> = (0..self.netlist.len())
             .filter(|&i| self.netlist.cells[i].needs_ls)
@@ -158,8 +173,11 @@ impl<'a> Placer<'a> {
             }
             Heuristic::OnlyDomainAware | Heuristic::DomainUnaware => {}
         }
-        // Target LS order.
+        // Target LS order. Avoided (failed) LS PEs drop out of the
+        // preference walk, so their would-be occupants fall back to the
+        // next-best domain.
         let mut ls_order = self.fabric.ls_pref_order();
+        ls_order.retain(|pe| !self.avoided[pe.index()]);
         if self.cfg.heuristic == Heuristic::DomainUnaware {
             // No domain preference: shuffle deterministically.
             for i in (1..ls_order.len()).rev() {
@@ -322,7 +340,14 @@ impl<'a> Placer<'a> {
         if ncells < 2 {
             return;
         }
-        let pes: Vec<PeId> = self.fabric.pes().collect();
+        let pes: Vec<PeId> = self
+            .fabric
+            .pes()
+            .filter(|pe| !self.avoided[pe.index()])
+            .collect();
+        if pes.is_empty() {
+            return;
+        }
         // Estimate T0 from random-move deltas.
         let mut deltas = Vec::with_capacity(64);
         for _ in 0..64 {
@@ -446,38 +471,49 @@ impl Move {
 /// Returns [`PnrError::Unplaceable`] naming the exhausted resource and the
 /// need/have counts.
 pub fn check_capacity(fabric: &Fabric, netlist: &Netlist) -> Result<(), PnrError> {
+    check_capacity_avoiding(fabric, netlist, &[])
+}
+
+/// [`check_capacity`] against the fabric *minus* an avoid-set of failed
+/// PEs — the capacity question degraded-mode recovery asks before paying
+/// for a re-placement run.
+///
+/// # Errors
+///
+/// Returns [`PnrError::Unplaceable`] naming the exhausted resource and the
+/// need/have counts (have = usable after the avoid-set).
+pub fn check_capacity_avoiding(
+    fabric: &Fabric,
+    netlist: &Netlist,
+    avoid: &[PeId],
+) -> Result<(), PnrError> {
+    // Duplicate-tolerant: count distinct avoided PEs only.
+    let mut seen: Vec<PeId> = avoid.to_vec();
+    seen.sort_unstable_by_key(|pe| pe.0);
+    seen.dedup();
+    let avoided_ls = seen
+        .iter()
+        .filter(|&&pe| fabric.kind(pe) == PeKind::LoadStore)
+        .count();
+    let avoided = seen.len();
+    let ls_have = fabric.num_ls_pes().saturating_sub(avoided_ls);
+    let pes_have = fabric.num_pes().saturating_sub(avoided);
     let fail = |what: &str, need: usize, have: usize| {
         Err(PnrError::Unplaceable(format!(
             "{what}: need {need}, fabric offers {have}"
         )))
     };
-    if netlist.num_mem_cells > fabric.num_ls_pes() {
-        return fail(
-            "memory instructions",
-            netlist.num_mem_cells,
-            fabric.num_ls_pes(),
-        );
+    if netlist.num_mem_cells > ls_have {
+        return fail("memory instructions", netlist.num_mem_cells, ls_have);
     }
-    if netlist.num_compute_cells > fabric.num_pes() {
-        return fail(
-            "compute instructions",
-            netlist.num_compute_cells,
-            fabric.num_pes(),
-        );
+    if netlist.num_compute_cells > pes_have {
+        return fail("compute instructions", netlist.num_compute_cells, pes_have);
     }
-    if netlist.num_control_cells > fabric.num_pes() {
-        return fail(
-            "control instructions",
-            netlist.num_control_cells,
-            fabric.num_pes(),
-        );
+    if netlist.num_control_cells > pes_have {
+        return fail("control instructions", netlist.num_control_cells, pes_have);
     }
-    if netlist.num_aux_cells > fabric.num_pes() {
-        return fail(
-            "endpoint instructions",
-            netlist.num_aux_cells,
-            fabric.num_pes(),
-        );
+    if netlist.num_aux_cells > pes_have {
+        return fail("endpoint instructions", netlist.num_aux_cells, pes_have);
     }
     Ok(())
 }

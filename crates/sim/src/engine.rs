@@ -19,6 +19,7 @@
 //! are differentially tested against the untimed interpreter in `nupea-ir`.
 
 use crate::energy::{EnergyBreakdown, EnergyParams};
+use crate::fault::{FaultConfig, FaultState, LinkFault, STUCK_DELAY};
 use crate::memory::{MemParams, SimMemory};
 use crate::memsys::{Completion, MemRequest, MemSys, MemSysStats, MemoryModel};
 use crate::perturb::{Perturb, PerturbConfig};
@@ -60,6 +61,10 @@ pub struct SimConfig {
     /// Latency-perturbation fuzzing (off by default; see
     /// [`PerturbConfig`]).
     pub perturb: PerturbConfig,
+    /// Fault injection (off by default; see [`FaultConfig`]). When armed,
+    /// exactly one concrete fault is injected into the run; a disabled
+    /// config is bit-identical to a build without the fault module.
+    pub fault: FaultConfig,
     /// Per-event energy weights.
     pub energy: EnergyParams,
     /// Event tracing (off by default; see [`TraceConfig`]). When enabled,
@@ -80,6 +85,7 @@ impl Default for SimConfig {
             max_cycles: 2_000_000_000,
             stall_window: 1_000_000,
             perturb: PerturbConfig::OFF,
+            fault: FaultConfig::OFF,
             energy: EnergyParams::default(),
             trace: TraceConfig::OFF,
         }
@@ -128,6 +134,11 @@ pub enum ConfigError {
     ZeroWays,
     /// `mem_words == 0`: the memory must hold at least one word.
     ZeroMemWords,
+    /// The fabric defines no memory domain (no load-store columns):
+    /// nothing could ever be placed near memory, and every per-domain
+    /// aggregate would be empty. Previously repaired silently with
+    /// `num_domains().max(1)`.
+    ZeroDomains,
 }
 
 impl fmt::Display for ConfigError {
@@ -140,6 +151,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroLineWords => write!(f, "cache line_words must be >= 1"),
             ConfigError::ZeroWays => write!(f, "cache ways must be >= 1"),
             ConfigError::ZeroMemWords => write!(f, "mem_words must be >= 1"),
+            ConfigError::ZeroDomains => {
+                write!(f, "fabric must define at least one memory domain")
+            }
         }
     }
 }
@@ -390,6 +404,9 @@ pub struct Engine<'g> {
     /// Per-FIFO monotonic clamp on perturbed delivery times: jitter must
     /// never reorder tokens within one FIFO.
     last_delivery: Vec<u64>,
+    /// Armed fault (None when injection is off: every site is a single
+    /// branch on the discriminant — zero cost when off).
+    fault: Option<FaultState>,
 
     memsys: MemSys,
 }
@@ -410,7 +427,10 @@ impl<'g> Engine<'g> {
             nports += n.inputs.len() as u32;
         }
         let memsys = MemSys::new(fabric, cfg.model, cfg.mem, cfg.divider, cfg.numa_seed);
-        let num_domains = usize::from(fabric.num_domains()).max(1);
+        // A zero-domain fabric is rejected by `SystemConfig::validate`
+        // (ConfigError::ZeroDomains) instead of being silently repaired
+        // here; the per-domain aggregates stay honestly empty.
+        let num_domains = usize::from(fabric.num_domains());
         Engine {
             dfg,
             fabric,
@@ -445,6 +465,7 @@ impl<'g> Engine<'g> {
             energy: EnergyBreakdown::default(),
             perturb: Perturb::from_config(cfg.perturb),
             last_delivery: vec![0; nports as usize],
+            fault: FaultState::from_config(&cfg.fault),
             memsys,
             cfg,
         }
@@ -580,7 +601,28 @@ impl<'g> Engine<'g> {
         for (dst, dport) in outs {
             self.event_seq += 1;
             self.charge_hop(node, dst as usize, time);
+            let mut value = value;
             let mut at = time;
+            if let Some(fs) = self.fault.as_mut() {
+                if let Some(xor) = fs.corrupt_token() {
+                    // Single-event upset: flip payload bits once, in flight.
+                    value ^= xor as i64;
+                }
+                match fs.link_fault(self.pe_of[node].0, self.pe_of[dst as usize].0, time) {
+                    Some(LinkFault::Drop) => {
+                        // The token left the producer (hop charged above)
+                        // but never arrives; release the consumer's slot so
+                        // the loss is silent at the link level and surfaces
+                        // only as starvation downstream.
+                        let idx = self.fifo_idx(dst as usize, dport as usize);
+                        debug_assert!(self.reserved[idx] > 0, "drop without reservation");
+                        self.reserved[idx] -= 1;
+                        continue;
+                    }
+                    Some(LinkFault::Stuck) => at += STUCK_DELAY,
+                    None => {}
+                }
+            }
             if let Some(p) = self.perturb.as_mut() {
                 // Fuzzing: jitter the NoC delivery, clamped so tokens
                 // within one FIFO are never reordered.
@@ -631,6 +673,15 @@ impl<'g> Engine<'g> {
             .collect();
         for (dst, dport) in outs {
             self.charge_hop(node, dst as usize, tick * self.cfg.divider);
+            let mut value = value;
+            if let Some(fs) = self.fault.as_mut() {
+                // Combinational forwards still move a token on the NoC, so
+                // they count toward (and can be hit by) the nth-token
+                // corruption — the counter tracks link-traffic totals.
+                if let Some(xor) = fs.corrupt_token() {
+                    value ^= xor as i64;
+                }
+            }
             let idx = self.fifo_idx(dst as usize, dport as usize);
             self.fifos[idx].push_back(value);
             if let Some(tr) = self.tracer.as_mut() {
@@ -687,6 +738,14 @@ impl<'g> Engine<'g> {
             .collect();
         for n in param_nodes {
             if let Op::Param(p) = self.dfg.node(NodeId(n as u32)).op {
+                if self
+                    .fault
+                    .as_ref()
+                    .is_some_and(|fs| fs.pe_dead(self.pe_of[n].0, 0))
+                {
+                    // A PE dead from reset never emits its param.
+                    continue;
+                }
                 let v = self.bindings[&p.0];
                 self.param_emitted[n] = true;
                 self.firings[n] += 1;
@@ -859,6 +918,16 @@ impl<'g> Engine<'g> {
             self.in_now[n] = false;
             if self.last_fired_tick[n] == tick {
                 self.mark_dirty_next(n);
+                continue;
+            }
+            if self
+                .fault
+                .as_ref()
+                .is_some_and(|fs| fs.pe_dead(self.pe_of[n].0, t))
+            {
+                // Fail-stop: a dead PE never fires again. Tokens already in
+                // flight (and outstanding memory responses) still drain —
+                // the failure boundary is the issue point.
                 continue;
             }
             if self.try_fire(n, t, tick)? {
@@ -1366,6 +1435,15 @@ impl<'g> Engine<'g> {
     }
 
     fn issue_mem(&mut self, n: usize, is_store: bool, addr: i64, value: i64, t: u64) {
+        let mut addr = addr;
+        if let Some(fs) = self.fault.as_ref() {
+            if addr >= 0 && fs.bank_dead(self.cfg.mem.bank_of(addr as usize) as u32, t) {
+                // A failed bank faults every request addressed to it: reuse
+                // the memory system's out-of-bounds fault path so the run
+                // aborts with a typed `SimError::Fault` at this node.
+                addr = -1;
+            }
+        }
         self.next_seq += 1;
         let seq = self.next_seq;
         self.outstanding[n].push_back(seq);

@@ -1,0 +1,561 @@
+//! Seeded fault injection: hard PE failures, NoC link faults, transient
+//! token corruption, and memory-bank failure.
+//!
+//! The hook follows the [`crate::perturb`] pattern exactly: a plain-data
+//! [`FaultConfig`] rides in [`crate::SimConfig`], the engine materializes
+//! a `FaultState` only when a fault is armed, and every injection site is
+//! a single branch on that `Option` — a run with [`FaultConfig::OFF`] is
+//! bit-identical (cycle counts included) to a build without this module.
+//!
+//! One run injects at most one concrete [`FaultKind`]; campaigns sample
+//! hundreds of them deterministically with a [`FaultPlan`] (all
+//! randomness through [`nupea_rng::Xoshiro256`]) and classify what the
+//! system did about each (see `nupea::campaign`).
+//!
+//! The fault taxonomy (DESIGN.md §9):
+//!
+//! - [`FaultKind::PeFail`] — fail-stop: the PE fires nothing from cycle
+//!   `at` on (`at == 0` models a dead PE found at power-on; `at > 0` a
+//!   mid-run failure). In-flight tokens and memory responses still
+//!   drain — failure is at the issue boundary.
+//! - [`FaultKind::LinkDrop`] — every token on one producer-PE →
+//!   consumer-PE link is lost from cycle `at` on. The consumer's
+//!   reservation is released, so the loss is silent at the link level
+//!   and surfaces as starvation downstream.
+//! - [`FaultKind::LinkStuck`] — tokens on the link are delayed by
+//!   [`STUCK_DELAY`] cycles (effectively forever at campaign budgets),
+//!   preserving per-FIFO order; everything behind the head queues up.
+//! - [`FaultKind::CorruptToken`] — the `nth` token to move on the data
+//!   NoC has its payload XORed once (single-event upset). Timing is
+//!   unchanged, so this is the silent-data-corruption generator.
+//! - [`FaultKind::BankFail`] — from cycle `at`, every request addressed
+//!   to one memory bank is routed to the memory system's existing fault
+//!   path and the run aborts with a typed [`crate::SimError::Fault`].
+
+use nupea_rng::Xoshiro256;
+
+/// Extra delivery delay for a [`FaultKind::LinkStuck`] link, chosen to
+/// exceed any realistic campaign cycle budget (but stay well below the
+/// 2-billion-cycle runaway cap) so a load-bearing stuck link manifests
+/// as a stall or cycle-limit detection, never as a very slow success.
+pub const STUCK_DELAY: u64 = 1_000_000_000;
+
+/// One concrete injected fault (see the [module docs](self) for the
+/// taxonomy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Hard fail-stop of one PE from cycle `at` on.
+    PeFail {
+        /// Failed PE index.
+        pe: u32,
+        /// First cycle at which the PE no longer fires (0 = from reset).
+        at: u64,
+    },
+    /// Token loss on one producer→consumer PE link from cycle `at` on.
+    LinkDrop {
+        /// Producer PE index.
+        src: u32,
+        /// Consumer PE index.
+        dst: u32,
+        /// First cycle at which tokens are dropped.
+        at: u64,
+    },
+    /// Tokens on one producer→consumer PE link are stuck (delayed by
+    /// [`STUCK_DELAY`]) from cycle `at` on.
+    LinkStuck {
+        /// Producer PE index.
+        src: u32,
+        /// Consumer PE index.
+        dst: u32,
+        /// First cycle at which the link is stuck.
+        at: u64,
+    },
+    /// The `nth` NoC token (0-based, in global send order) has its
+    /// payload XORed with `xor` — a one-shot transient upset.
+    CorruptToken {
+        /// 0-based index of the corrupted token.
+        nth: u64,
+        /// Bit-flip mask (must be non-zero to have any effect).
+        xor: u64,
+    },
+    /// Every memory request addressed to `bank` faults from cycle `at`.
+    BankFail {
+        /// Failed bank index.
+        bank: u32,
+        /// First cycle at which the bank faults requests.
+        at: u64,
+    },
+}
+
+impl FaultKind {
+    /// Stable compact descriptor, e.g. `pe-fail:17@0`, `link-drop:3>9@5`,
+    /// `corrupt:42^255`, `bank-fail:3@50`. Journal- and CSV-safe (no
+    /// commas, quotes, or spaces); [`FaultKind::parse_desc`] inverts it.
+    #[must_use]
+    pub fn desc(&self) -> String {
+        match self {
+            FaultKind::PeFail { pe, at } => format!("pe-fail:{pe}@{at}"),
+            FaultKind::LinkDrop { src, dst, at } => format!("link-drop:{src}>{dst}@{at}"),
+            FaultKind::LinkStuck { src, dst, at } => format!("link-stuck:{src}>{dst}@{at}"),
+            FaultKind::CorruptToken { nth, xor } => format!("corrupt:{nth}^{xor}"),
+            FaultKind::BankFail { bank, at } => format!("bank-fail:{bank}@{at}"),
+        }
+    }
+
+    /// Parse a [`FaultKind::desc`] string back (None for anything
+    /// malformed — torn journal tails must not be fatal).
+    #[must_use]
+    pub fn parse_desc(s: &str) -> Option<FaultKind> {
+        let (kind, rest) = s.split_once(':')?;
+        let at_split = |r: &str| -> Option<(String, u64)> {
+            let (head, at) = r.split_once('@')?;
+            Some((head.to_string(), at.parse().ok()?))
+        };
+        Some(match kind {
+            "pe-fail" => {
+                let (pe, at) = at_split(rest)?;
+                FaultKind::PeFail {
+                    pe: pe.parse().ok()?,
+                    at,
+                }
+            }
+            "link-drop" | "link-stuck" => {
+                let (pair, at) = at_split(rest)?;
+                let (src, dst) = pair.split_once('>')?;
+                let (src, dst) = (src.parse().ok()?, dst.parse().ok()?);
+                if kind == "link-drop" {
+                    FaultKind::LinkDrop { src, dst, at }
+                } else {
+                    FaultKind::LinkStuck { src, dst, at }
+                }
+            }
+            "corrupt" => {
+                let (nth, xor) = rest.split_once('^')?;
+                FaultKind::CorruptToken {
+                    nth: nth.parse().ok()?,
+                    xor: xor.parse().ok()?,
+                }
+            }
+            "bank-fail" => {
+                let (bank, at) = at_split(rest)?;
+                FaultKind::BankFail {
+                    bank: bank.parse().ok()?,
+                    at,
+                }
+            }
+            _ => return None,
+        })
+    }
+
+    /// The PEs a re-place must avoid to work around this fault, when the
+    /// fault is placement-addressable (spare-PE recovery). `None` for
+    /// transient corruption (retry instead) and bank failure (not a
+    /// placement resource).
+    #[must_use]
+    pub fn avoid_pes(&self) -> Option<Vec<u32>> {
+        match *self {
+            FaultKind::PeFail { pe, .. } => Some(vec![pe]),
+            FaultKind::LinkDrop { src, dst, .. } | FaultKind::LinkStuck { src, dst, .. } => {
+                Some(vec![src, dst])
+            }
+            FaultKind::CorruptToken { .. } | FaultKind::BankFail { .. } => None,
+        }
+    }
+
+    /// Whether the fault is a one-shot transient (recoverable by
+    /// re-running, no resource to avoid).
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, FaultKind::CorruptToken { .. })
+    }
+}
+
+/// Fault-injection configuration, carried by [`crate::SimConfig::fault`].
+/// Plain data, zero cost when off (the default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// The armed fault, if any. `None` disables every injection site.
+    pub fault: Option<FaultKind>,
+}
+
+impl FaultConfig {
+    /// Fault injection disabled (the default).
+    pub const OFF: FaultConfig = FaultConfig { fault: None };
+
+    /// Arm one concrete fault.
+    #[must_use]
+    pub fn inject(kind: FaultKind) -> Self {
+        FaultConfig { fault: Some(kind) }
+    }
+
+    /// Whether a fault is armed.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.fault.is_some()
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::OFF
+    }
+}
+
+/// Engine-side injection state (None when disabled; every site is one
+/// branch on the `Option`, mirroring `Perturb` and the tracer).
+#[derive(Debug)]
+pub(crate) struct FaultState {
+    kind: FaultKind,
+    /// NoC tokens counted so far (for [`FaultKind::CorruptToken`]).
+    tokens: u64,
+    /// The one-shot corruption already fired.
+    corrupted: bool,
+}
+
+impl FaultState {
+    pub(crate) fn from_config(cfg: &FaultConfig) -> Option<Self> {
+        cfg.fault.map(|kind| FaultState {
+            kind,
+            tokens: 0,
+            corrupted: false,
+        })
+    }
+
+    /// Whether `pe` is failed at cycle `t`.
+    #[inline]
+    pub(crate) fn pe_dead(&self, pe: u32, t: u64) -> bool {
+        matches!(self.kind, FaultKind::PeFail { pe: p, at } if p == pe && t >= at)
+    }
+
+    /// The active link fault on `src → dst` at cycle `t`, if any.
+    #[inline]
+    pub(crate) fn link_fault(&self, src: u32, dst: u32, t: u64) -> Option<LinkFault> {
+        match self.kind {
+            FaultKind::LinkDrop { src: s, dst: d, at } if s == src && d == dst && t >= at => {
+                Some(LinkFault::Drop)
+            }
+            FaultKind::LinkStuck { src: s, dst: d, at } if s == src && d == dst && t >= at => {
+                Some(LinkFault::Stuck)
+            }
+            _ => None,
+        }
+    }
+
+    /// Count one NoC token; returns the XOR mask when this token is the
+    /// armed one-shot corruption target.
+    #[inline]
+    pub(crate) fn corrupt_token(&mut self) -> Option<u64> {
+        let i = self.tokens;
+        self.tokens += 1;
+        match self.kind {
+            FaultKind::CorruptToken { nth, xor } if !self.corrupted && i == nth => {
+                self.corrupted = true;
+                Some(xor)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `bank` is failed at cycle `t`.
+    #[inline]
+    pub(crate) fn bank_dead(&self, bank: u32, t: u64) -> bool {
+        matches!(self.kind, FaultKind::BankFail { bank: b, at } if b == bank && t >= at)
+    }
+}
+
+/// An active link fault as seen by the delivery scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum LinkFault {
+    /// Lose the token (release the consumer reservation).
+    Drop,
+    /// Delay the token by [`STUCK_DELAY`].
+    Stuck,
+}
+
+/// Which fault classes a [`FaultPlan`] samples from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultClasses {
+    /// Hard PE failures.
+    pub pe_fail: bool,
+    /// NoC link faults (drop and stuck).
+    pub link: bool,
+    /// Transient single-token corruption.
+    pub corrupt: bool,
+    /// Memory-bank failure.
+    pub bank: bool,
+}
+
+impl FaultClasses {
+    /// Every class enabled.
+    pub const ALL: FaultClasses = FaultClasses {
+        pe_fail: true,
+        link: true,
+        corrupt: true,
+        bank: true,
+    };
+
+    /// Hard PE failures only (the smoke preset: always detectable, always
+    /// placement-recoverable, never an SDC).
+    pub const PE_FAILURES: FaultClasses = FaultClasses {
+        pe_fail: true,
+        link: false,
+        corrupt: false,
+        bank: false,
+    };
+}
+
+/// What a [`FaultPlan`] samples against: the resources one compiled run
+/// actually uses, taken from its fault-free golden execution.
+#[derive(Debug, Clone, Default)]
+pub struct FaultContext {
+    /// PEs with at least one mapped cell (failure candidates).
+    pub used_pes: Vec<u32>,
+    /// Active producer→consumer PE links (from the golden run's traffic).
+    pub links: Vec<(u32, u32)>,
+    /// Total NoC tokens moved in the golden run.
+    pub tokens: u64,
+    /// Memory banks in the configuration.
+    pub banks: u32,
+    /// Golden-run completion time in system cycles (mid-run injection
+    /// times are sampled in `[0, horizon)`).
+    pub horizon: u64,
+}
+
+/// A seeded, deterministic fault-injection plan: `sample(workload, i)` is
+/// a pure function of `(seed, workload, i)`, so a campaign's injection
+/// set — and therefore its whole resilience report — replays exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Master seed.
+    pub seed: u64,
+    /// Enabled fault classes.
+    pub classes: FaultClasses,
+}
+
+impl FaultPlan {
+    /// A plan over the given classes.
+    #[must_use]
+    pub fn new(seed: u64, classes: FaultClasses) -> Self {
+        FaultPlan { seed, classes }
+    }
+
+    /// Sample the `index`-th injection for `workload` against `ctx`.
+    /// Falls back to a PE failure when a sampled class has no usable
+    /// resource (no active links, no tokens, no banks).
+    #[must_use]
+    pub fn sample(&self, workload: &str, index: u32, ctx: &FaultContext) -> FaultKind {
+        assert!(
+            !ctx.used_pes.is_empty(),
+            "fault context must name at least one used PE"
+        );
+        let mut rng =
+            Xoshiro256::seed_from_u64(self.seed ^ fnv1a(workload) ^ (u64::from(index) << 32));
+        let mut classes = Vec::with_capacity(4);
+        let c = self.classes;
+        if c.pe_fail {
+            classes.push(0u8);
+        }
+        if c.link && !ctx.links.is_empty() {
+            classes.push(1);
+        }
+        if c.corrupt && ctx.tokens > 0 {
+            classes.push(2);
+        }
+        if c.bank && ctx.banks > 0 {
+            classes.push(3);
+        }
+        if classes.is_empty() {
+            classes.push(0);
+        }
+        let horizon = ctx.horizon.max(1);
+        match classes[rng.index(classes.len())] {
+            0 => FaultKind::PeFail {
+                pe: ctx.used_pes[rng.index(ctx.used_pes.len())],
+                // Half the failures are present from reset, half strike
+                // mid-run — both arms of the taxonomy get exercised.
+                at: if rng.next_bool() {
+                    0
+                } else {
+                    rng.below(horizon)
+                },
+            },
+            1 => {
+                let (src, dst) = ctx.links[rng.index(ctx.links.len())];
+                let at = rng.below(horizon);
+                if rng.next_bool() {
+                    FaultKind::LinkDrop { src, dst, at }
+                } else {
+                    FaultKind::LinkStuck { src, dst, at }
+                }
+            }
+            2 => FaultKind::CorruptToken {
+                nth: rng.below(ctx.tokens),
+                // Never zero: a zero mask would be a no-op "fault".
+                xor: rng.next_u64() | 1,
+            },
+            _ => FaultKind::BankFail {
+                bank: rng.below(u64::from(ctx.banks)) as u32,
+                at: rng.below(horizon),
+            },
+        }
+    }
+}
+
+/// FNV-1a over a string (workload-name mixing for per-injection seeds;
+/// the same constants as `nupea_dse::fnv1a`, inlined to keep `nupea-sim`
+/// dependency-light).
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_disabled_and_default() {
+        assert!(!FaultConfig::OFF.enabled());
+        assert_eq!(FaultConfig::default(), FaultConfig::OFF);
+        assert!(FaultState::from_config(&FaultConfig::OFF).is_none());
+        assert!(FaultConfig::inject(FaultKind::PeFail { pe: 3, at: 0 }).enabled());
+    }
+
+    #[test]
+    fn descs_round_trip() {
+        let kinds = [
+            FaultKind::PeFail { pe: 17, at: 0 },
+            FaultKind::PeFail { pe: 3, at: 4242 },
+            FaultKind::LinkDrop {
+                src: 3,
+                dst: 9,
+                at: 5,
+            },
+            FaultKind::LinkStuck {
+                src: 0,
+                dst: 143,
+                at: 99,
+            },
+            FaultKind::CorruptToken { nth: 42, xor: 255 },
+            FaultKind::BankFail { bank: 3, at: 50 },
+        ];
+        for k in kinds {
+            assert_eq!(FaultKind::parse_desc(&k.desc()), Some(k), "{}", k.desc());
+        }
+        assert_eq!(FaultKind::parse_desc(""), None);
+        assert_eq!(FaultKind::parse_desc("pe-fail:x@0"), None);
+        assert_eq!(FaultKind::parse_desc("warp-core:3@1"), None);
+    }
+
+    #[test]
+    fn state_predicates_respect_activation_time() {
+        let s = FaultState::from_config(&FaultConfig::inject(FaultKind::PeFail { pe: 7, at: 100 }))
+            .unwrap();
+        assert!(!s.pe_dead(7, 99));
+        assert!(s.pe_dead(7, 100));
+        assert!(!s.pe_dead(8, 100));
+
+        let s = FaultState::from_config(&FaultConfig::inject(FaultKind::LinkDrop {
+            src: 1,
+            dst: 2,
+            at: 10,
+        }))
+        .unwrap();
+        assert_eq!(s.link_fault(1, 2, 9), None);
+        assert_eq!(s.link_fault(1, 2, 10), Some(LinkFault::Drop));
+        assert_eq!(s.link_fault(2, 1, 10), None);
+
+        let s =
+            FaultState::from_config(&FaultConfig::inject(FaultKind::BankFail { bank: 3, at: 5 }))
+                .unwrap();
+        assert!(!s.bank_dead(3, 4));
+        assert!(s.bank_dead(3, 5));
+        assert!(!s.bank_dead(2, 5));
+    }
+
+    #[test]
+    fn corruption_fires_exactly_once_on_the_nth_token() {
+        let mut s = FaultState::from_config(&FaultConfig::inject(FaultKind::CorruptToken {
+            nth: 2,
+            xor: 0xFF,
+        }))
+        .unwrap();
+        assert_eq!(s.corrupt_token(), None);
+        assert_eq!(s.corrupt_token(), None);
+        assert_eq!(s.corrupt_token(), Some(0xFF));
+        assert_eq!(s.corrupt_token(), None);
+        assert_eq!(s.corrupt_token(), None);
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_seed_sensitive() {
+        let ctx = FaultContext {
+            used_pes: vec![3, 7, 11, 19],
+            links: vec![(3, 7), (7, 11)],
+            tokens: 1000,
+            banks: 32,
+            horizon: 5000,
+        };
+        let plan = FaultPlan::new(0xC0FFEE, FaultClasses::ALL);
+        let a: Vec<FaultKind> = (0..32).map(|i| plan.sample("spmv", i, &ctx)).collect();
+        let b: Vec<FaultKind> = (0..32).map(|i| plan.sample("spmv", i, &ctx)).collect();
+        assert_eq!(a, b, "same seed replays the same injections");
+        let other = FaultPlan::new(0x5EED, FaultClasses::ALL);
+        let c: Vec<FaultKind> = (0..32).map(|i| other.sample("spmv", i, &ctx)).collect();
+        assert_ne!(a, c, "different seeds sample different injections");
+        let d: Vec<FaultKind> = (0..32).map(|i| plan.sample("dmv", i, &ctx)).collect();
+        assert_ne!(a, d, "the workload name is part of the seed");
+    }
+
+    #[test]
+    fn smoke_classes_only_sample_pe_failures() {
+        let ctx = FaultContext {
+            used_pes: vec![1, 2, 3],
+            links: vec![(1, 2)],
+            tokens: 100,
+            banks: 4,
+            horizon: 100,
+        };
+        let plan = FaultPlan::new(1, FaultClasses::PE_FAILURES);
+        for i in 0..64 {
+            let k = plan.sample("w", i, &ctx);
+            assert!(matches!(k, FaultKind::PeFail { .. }), "{}", k.desc());
+            if let FaultKind::PeFail { pe, at } = k {
+                assert!(ctx.used_pes.contains(&pe));
+                assert!(at < 100);
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_resources_come_from_the_context() {
+        let ctx = FaultContext {
+            used_pes: vec![5],
+            links: vec![(5, 6)],
+            tokens: 10,
+            banks: 2,
+            horizon: 50,
+        };
+        let plan = FaultPlan::new(7, FaultClasses::ALL);
+        for i in 0..128 {
+            match plan.sample("w", i, &ctx) {
+                FaultKind::PeFail { pe, .. } => assert_eq!(pe, 5),
+                FaultKind::LinkDrop { src, dst, .. } | FaultKind::LinkStuck { src, dst, .. } => {
+                    assert_eq!((src, dst), (5, 6));
+                }
+                FaultKind::CorruptToken { nth, xor } => {
+                    assert!(nth < 10);
+                    assert_ne!(xor, 0);
+                }
+                FaultKind::BankFail { bank, at } => {
+                    assert!(bank < 2);
+                    assert!(at < 50);
+                }
+            }
+        }
+    }
+}

@@ -55,6 +55,7 @@
 
 pub mod energy;
 pub mod engine;
+pub mod fault;
 pub mod memory;
 pub mod memsys;
 pub mod perturb;
@@ -63,6 +64,7 @@ pub mod watchdog;
 
 pub use energy::{EnergyBreakdown, EnergyParams};
 pub use engine::{ConfigError, DomainLatency, Engine, LinkTraffic, RunStats, SimConfig, SimError};
+pub use fault::{FaultClasses, FaultConfig, FaultContext, FaultKind, FaultPlan, STUCK_DELAY};
 pub use memory::{Cache, MemParams, SimMemory};
 pub use memsys::{Completion, MemRequest, MemSys, MemSysStats, MemoryModel};
 pub use perturb::PerturbConfig;

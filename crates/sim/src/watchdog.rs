@@ -306,6 +306,75 @@ mod tests {
     }
 
     #[test]
+    fn two_disjoint_cycles_report_exactly_one_of_them() {
+        // 1 -> 2 -> 1 and 5 -> 6 -> 7 -> 5: both are blocking cycles;
+        // the finder must report one, completely, and never stitch the
+        // two together. Every stalled node still appears in `nodes`.
+        let nodes = vec![
+            stalled(1, StallKind::WaitingOperand, vec![2]),
+            stalled(2, StallKind::WaitingOperand, vec![1]),
+            stalled(5, StallKind::WaitingOperand, vec![6]),
+            stalled(6, StallKind::WaitingOperand, vec![7]),
+            stalled(7, StallKind::WaitingOperand, vec![5]),
+        ];
+        let r = StallReport::new(10, nodes, 5);
+        assert!(r.is_deadlock());
+        assert_eq!(r.cycle_nodes.first(), r.cycle_nodes.last());
+        let members: Vec<u32> = r.cycle_nodes[..r.cycle_nodes.len() - 1].to_vec();
+        let small = {
+            let mut m = members.clone();
+            m.sort_unstable();
+            m == vec![1, 2]
+        };
+        let big = {
+            let mut m = members.clone();
+            m.sort_unstable();
+            m == vec![5, 6, 7]
+        };
+        assert!(
+            small || big,
+            "cycle must be exactly one of the two rings: {:?}",
+            r.cycle_nodes
+        );
+        let stalled_set: Vec<u32> = r.nodes.iter().map(|n| n.node).collect();
+        assert_eq!(stalled_set, vec![1, 2, 5, 6, 7]);
+    }
+
+    #[test]
+    fn cycle_through_a_memory_response_edge_is_found() {
+        // A ring threaded through the memory system: node 3 waits on an
+        // operand from 8, 8 is blocked on its in-flight memory response
+        // whose delivery credit is held by 12, and 12's consumer FIFO
+        // credit is held by 3. Mixed stall kinds must not hide the ring.
+        let mut mem_node = stalled(8, StallKind::MemoryOutstanding, vec![12]);
+        mem_node.outstanding = 2;
+        let nodes = vec![
+            stalled(3, StallKind::WaitingOperand, vec![8]),
+            mem_node,
+            stalled(12, StallKind::NoConsumerCredit, vec![3]),
+            // A bystander blocked on the ring but not part of it.
+            stalled(20, StallKind::WaitingOperand, vec![3]),
+        ];
+        let r = StallReport::new(77, nodes, 4);
+        assert!(r.is_deadlock());
+        assert_eq!(r.cycle_nodes.first(), r.cycle_nodes.last());
+        let mut members: Vec<u32> = r.cycle_nodes[..r.cycle_nodes.len() - 1].to_vec();
+        members.sort_unstable();
+        assert_eq!(members, vec![3, 8, 12], "bystander 20 must stay out");
+        let by_node: Vec<(u32, StallKind)> = r.nodes.iter().map(|n| (n.node, n.kind)).collect();
+        assert_eq!(
+            by_node,
+            vec![
+                (3, StallKind::WaitingOperand),
+                (8, StallKind::MemoryOutstanding),
+                (12, StallKind::NoConsumerCredit),
+                (20, StallKind::WaitingOperand),
+            ]
+        );
+        assert!(r.summary().contains("1 memory-outstanding"));
+    }
+
+    #[test]
     fn credit_block_is_always_deadlock() {
         let nodes = vec![stalled(4, StallKind::NoConsumerCredit, vec![7])];
         let r = StallReport::new(99, nodes, 1);

@@ -222,6 +222,7 @@ fn timed_engine_matches_interpreter() {
             heuristic,
             seed: place_seed,
             effort: 64,
+            ..PlaceConfig::default()
         };
         let pe_of = place(&fabric, &netlist, &place_cfg)
             .expect("random programs fit the 12x12 fabric")
