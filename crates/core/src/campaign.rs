@@ -40,7 +40,7 @@
 
 use crate::jsonl::{self, JsonlFile};
 use crate::runner::{parallel_map, RetryPolicy, RunErrorKind};
-use crate::{Compiled, Heuristic, PipelineError, SystemConfig};
+use crate::{Compiled, Heuristic, PipelineError, SimOptions, SystemConfig};
 use nupea_fabric::{DomainId, Fabric, PeId};
 use nupea_kernels::workloads::{all_workloads, Scale, Workload};
 use nupea_sim::{
@@ -648,9 +648,10 @@ impl FaultCampaign {
             error,
         };
         let compiled = self.sys.compile(w, self.cfg.heuristic).map_err(fail)?;
-        let (stats, mem) = compiled
-            .simulate_raw(&self.sys, self.cfg.model, None)
+        let out = compiled
+            .simulate_with(&SimOptions::new(self.cfg.model).no_validate().keep_memory())
             .map_err(fail)?;
+        let (stats, mem) = (out.stats, out.memory.expect("memory was requested"));
         let mut used_pes: Vec<u32> = compiled.placed.pe_of.iter().map(|pe| pe.0).collect();
         used_pes.sort_unstable();
         used_pes.dedup();
@@ -691,9 +692,11 @@ impl FaultCampaign {
             downgrades: 0,
         };
 
-        let mut inj_sys = self.sys.clone();
-        inj_sys.fault = FaultConfig::inject(kind);
-        inj_sys.stall_window = self.cfg.stall_window;
+        let inj_opts = SimOptions::new(self.cfg.model)
+            .fault(FaultConfig::inject(kind))
+            .stall_window(self.cfg.stall_window)
+            .no_validate()
+            .keep_memory();
         let budget = golden_cycles
             .saturating_mul(self.cfg.budget_factor.max(1))
             .saturating_add(self.cfg.stall_window);
@@ -704,7 +707,7 @@ impl FaultCampaign {
             max_retries: self.cfg.max_rechecks,
         };
         let mut cap = budget;
-        let mut result = g.compiled.simulate_raw(&inj_sys, self.cfg.model, Some(cap));
+        let mut result = g.compiled.simulate_with(&inj_opts.clone().max_cycles(cap));
         if let RetryPolicy::Backoff {
             factor,
             max_retries,
@@ -715,12 +718,13 @@ impl FaultCampaign {
                     break;
                 }
                 cap = cap.saturating_mul(factor);
-                result = g.compiled.simulate_raw(&inj_sys, self.cfg.model, Some(cap));
+                result = g.compiled.simulate_with(&inj_opts.clone().max_cycles(cap));
             }
         }
 
         match result {
-            Ok((stats, mem)) => {
+            Ok(out) => {
+                let (stats, mem) = (out.stats, out.memory.expect("memory was requested"));
                 rec.injected_cycles = Some(stats.cycles);
                 if stats.sinks == g.stats.sinks && mem.words() == g.mem.words() {
                     rec.outcome = OutcomeClass::Masked;
@@ -771,8 +775,14 @@ impl FaultCampaign {
                 return;
             }
         };
-        match recompiled.simulate_raw(&rec_sys, self.cfg.model, None) {
-            Ok((stats, mem)) if stats.sinks == g.stats.sinks && mem.words() == g.mem.words() => {
+        match recompiled.simulate_with(&SimOptions::new(self.cfg.model).no_validate().keep_memory())
+        {
+            Ok(out)
+                if out.stats.sinks == g.stats.sinks
+                    && out.memory.as_ref().expect("memory was requested").words()
+                        == g.mem.words() =>
+            {
+                let stats = out.stats;
                 rec.outcome = OutcomeClass::Recovered;
                 rec.recovery = RecoveryOutcome::Replaced;
                 rec.recovered_cycles = Some(stats.cycles);

@@ -57,7 +57,7 @@ pub use runner::{
 use nupea_pnr::{pnr, PlaceConfig, PnrConfig};
 use nupea_sim::{Engine, MemParams, SimConfig};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// System-level configuration: the fabric plus simulator knobs.
 ///
@@ -91,7 +91,7 @@ pub struct SystemConfig {
     /// Event tracing (off by default). When enabled, the engine records
     /// per-event history into a ring buffer retrievable as a
     /// [`TraceBuffer`] / Chrome trace JSON; timing is unaffected either
-    /// way. See [`Compiled::simulate_traced`].
+    /// way. Per-run tracing is requested via [`SimOptions::trace`].
     pub trace: TraceConfig,
     /// Fault injection (off by default). When armed, exactly one
     /// [`FaultKind`] is injected into every simulation of this system;
@@ -297,9 +297,160 @@ impl SystemConfigBuilder {
     }
 }
 
+/// Per-run simulation options, consumed by [`Compiled::simulate_with`] —
+/// the single simulation entry point. Everything that used to be a
+/// separate `simulate_*` method (tracing, cycle budgets, raw unvalidated
+/// runs, sim-knob overrides) or a [`SystemConfig`] toggle flipped per run
+/// (perturbation, fault arming, stall window) is one chainable struct:
+///
+/// ```
+/// use nupea::{MemoryModel, Scale, SimOptions, SystemConfig};
+/// use nupea_kernels::workloads::sparse;
+/// use nupea_pnr::Heuristic;
+///
+/// let w = sparse::spmv(Scale::Test, 1);
+/// let sys = SystemConfig::monaco_12x12();
+/// let compiled = sys.compile(&w, Heuristic::CriticalityAware)?;
+/// let out = compiled.simulate_with(
+///     &SimOptions::new(MemoryModel::Nupea).trace().keep_memory(),
+/// )?;
+/// assert!(out.stats.cycles > 0);
+/// assert!(out.trace.is_some() && out.memory.is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct SimOptions {
+    /// Memory model to simulate under (§6: NUPEA / UPEA-n / NUMA-UPEA-n /
+    /// Ideal).
+    pub model: MemoryModel,
+    /// Take every sim-time knob from a different [`SystemConfig`] instead
+    /// of the one the artifact was compiled for (the placement is reused
+    /// as-is; the fabric must match the one compiled against). `None`
+    /// uses the compiled-for system.
+    pub system: Option<SystemConfig>,
+    /// Cycle budget replacing the default runaway cap
+    /// ([`DEFAULT_MAX_CYCLES`]). Used by the fault-tolerant runner to
+    /// bound wall-clock per sweep point.
+    pub max_cycles: Option<u64>,
+    /// Latency-perturbation override for this run (`None` keeps the
+    /// system's setting).
+    pub perturb: Option<PerturbConfig>,
+    /// Fault-injection override for this run (`None` keeps the system's
+    /// setting). The campaign primitive: arm exactly one fault without
+    /// cloning a whole [`SystemConfig`].
+    pub fault: Option<FaultConfig>,
+    /// Watchdog quiescence-window override in system cycles (`None`
+    /// keeps the system's setting; `Some(0)` disables the watchdog).
+    pub stall_window: Option<u64>,
+    /// Force event tracing on and return the recorded [`TraceBuffer`] in
+    /// [`SimOutcome::trace`]. The system's [`SystemConfig::trace`]
+    /// capacity is honoured when tracing was already enabled there;
+    /// otherwise the default capacity of [`TraceConfig::on`] is used.
+    /// Timing is identical to an untraced run.
+    pub trace: bool,
+    /// Validate results against the workload's reference implementation
+    /// (default `true`). Fault campaigns turn this off: an injected run's
+    /// outputs are compared differentially against a golden fault-free
+    /// run, not against the reference — a mismatch is an SDC, not a
+    /// validation error.
+    pub validate: bool,
+    /// Return the final memory image in [`SimOutcome::memory`] (for
+    /// differential comparison against a golden run).
+    pub keep_memory: bool,
+}
+
+impl SimOptions {
+    /// Defaults for one validated, untraced run under `model` — exactly
+    /// what [`Compiled::simulate`] does.
+    #[must_use]
+    pub fn new(model: MemoryModel) -> Self {
+        SimOptions {
+            model,
+            system: None,
+            max_cycles: None,
+            perturb: None,
+            fault: None,
+            stall_window: None,
+            trace: false,
+            validate: true,
+            keep_memory: false,
+        }
+    }
+
+    /// Take sim-time knobs from `sys` instead of the compiled-for system.
+    #[must_use]
+    pub fn system(mut self, sys: SystemConfig) -> Self {
+        self.system = Some(sys);
+        self
+    }
+
+    /// Replace the default runaway cap with an explicit cycle budget.
+    #[must_use]
+    pub fn max_cycles(mut self, cap: u64) -> Self {
+        self.max_cycles = Some(cap);
+        self
+    }
+
+    /// Enable latency-perturbation fuzzing for this run.
+    #[must_use]
+    pub fn perturb(mut self, perturb: PerturbConfig) -> Self {
+        self.perturb = Some(perturb);
+        self
+    }
+
+    /// Arm fault injection for this run.
+    #[must_use]
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Override the watchdog quiescence window for this run.
+    #[must_use]
+    pub fn stall_window(mut self, window: u64) -> Self {
+        self.stall_window = Some(window);
+        self
+    }
+
+    /// Record an event trace and return it in [`SimOutcome::trace`].
+    #[must_use]
+    pub fn trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+
+    /// Skip reference validation (differential/fault-campaign runs).
+    #[must_use]
+    pub fn no_validate(mut self) -> Self {
+        self.validate = false;
+        self
+    }
+
+    /// Return the final memory image in [`SimOutcome::memory`].
+    #[must_use]
+    pub fn keep_memory(mut self) -> Self {
+        self.keep_memory = true;
+        self
+    }
+}
+
+/// Everything one simulation run produced. Optional artifacts are present
+/// exactly when the corresponding [`SimOptions`] flag requested them.
+#[derive(Debug)]
+#[non_exhaustive]
+pub struct SimOutcome {
+    /// Cycle counts, sink streams, energy, and every other aggregate.
+    pub stats: RunStats,
+    /// The recorded event trace, when [`SimOptions::trace`] was set.
+    pub trace: Option<TraceBuffer>,
+    /// The final memory image, when [`SimOptions::keep_memory`] was set.
+    pub memory: Option<SimMemory>,
+}
+
 /// A compiled workload: placement, routing, timing, plus shared handles to
 /// the workload and system it was compiled for, so it can be simulated
-/// directly via [`Compiled::simulate`].
+/// directly via [`Compiled::simulate`] / [`Compiled::simulate_with`].
 #[derive(Debug, Clone)]
 #[non_exhaustive]
 pub struct Compiled {
@@ -309,6 +460,15 @@ pub struct Compiled {
     pub heuristic: Heuristic,
     workload: Arc<Workload>,
     sys: Arc<SystemConfig>,
+    /// Initial memory image, generated lazily once per artifact and
+    /// copied per run (shared across clones of the artifact). The
+    /// generator is deterministic, and regenerating the multi-megabyte
+    /// input image dominated short simulations.
+    init_mem: Arc<OnceLock<SimMemory>>,
+    /// Recycled run buffers: a fresh multi-megabyte allocation is
+    /// page-fault-bound, so finished (unkept) memory images are pooled
+    /// and re-imaged with a plain memcpy on the next run.
+    scratch: Arc<Mutex<Vec<SimMemory>>>,
 }
 
 impl Compiled {
@@ -322,128 +482,63 @@ impl Compiled {
         &self.sys
     }
 
+    /// The cached initial memory image (built on first use).
+    fn init_mem(&self) -> &SimMemory {
+        self.init_mem.get_or_init(|| self.workload.fresh_mem())
+    }
+
     /// Simulate under a memory model, validating results against the
     /// workload's reference implementation. The compile is reused: calling
-    /// this for several models performs PnR exactly once.
+    /// this for several models performs PnR exactly once. Thin default
+    /// over [`Compiled::simulate_with`].
     ///
     /// # Errors
     ///
     /// Returns [`PipelineError::Sim`] on simulator faults and
     /// [`PipelineError::Validation`] when outputs mismatch the reference.
     pub fn simulate(&self, model: MemoryModel) -> Result<RunStats, PipelineError> {
-        simulate_impl(
-            &self.workload,
-            &self.sys,
-            &self.placed.pe_of,
-            self.placed.timing.divider,
-            model,
-            None,
-            false,
-        )
-        .map(|(stats, _)| stats)
+        self.simulate_with(&SimOptions::new(model)).map(|o| o.stats)
     }
 
-    /// Like [`Compiled::simulate`], but with event tracing forced on:
-    /// returns the run statistics together with the recorded
-    /// [`TraceBuffer`] (exportable via [`TraceBuffer::to_chrome_json`]).
-    /// The system's [`SystemConfig::trace`] capacity is honoured when
-    /// tracing was already enabled there; otherwise the default capacity
-    /// of [`TraceConfig::on`] is used. Timing is identical to an untraced
-    /// run.
+    /// Simulate one run under explicit [`SimOptions`] — the single
+    /// simulation entry point; every knob (model, tracing, budgets,
+    /// perturbation, fault arming, validation, memory capture) rides in
+    /// `opts`.
     ///
     /// # Errors
     ///
-    /// Same as [`Compiled::simulate`].
-    pub fn simulate_traced(
-        &self,
-        model: MemoryModel,
-    ) -> Result<(RunStats, TraceBuffer), PipelineError> {
-        let (stats, trace) = simulate_impl(
-            &self.workload,
-            &self.sys,
-            &self.placed.pe_of,
-            self.placed.timing.divider,
-            model,
-            None,
-            true,
-        )?;
-        Ok((stats, trace.expect("tracing was forced on")))
-    }
-
-    /// Like [`Compiled::simulate`], but with an explicit cycle budget in
-    /// place of the default 2-billion-cycle runaway cap. Used by the
-    /// fault-tolerant runner to bound wall-clock per sweep point.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Compiled::simulate`], plus
-    /// [`PipelineError::Sim`]([`SimError::CycleLimit`]) when the budget is
-    /// exhausted.
-    pub fn simulate_budgeted(
-        &self,
-        model: MemoryModel,
-        max_cycles: u64,
-    ) -> Result<RunStats, PipelineError> {
-        simulate_impl(
-            &self.workload,
-            &self.sys,
-            &self.placed.pe_of,
-            self.placed.timing.divider,
-            model,
-            Some(max_cycles),
-            false,
-        )
-        .map(|(stats, _)| stats)
-    }
-
-    /// Simulate with sim-time knobs taken from a different
-    /// [`SystemConfig`] (the placement is reused as-is; the fabric must
-    /// match the one compiled against).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Compiled::simulate`].
-    pub fn simulate_with(
-        &self,
-        sys: &SystemConfig,
-        model: MemoryModel,
-    ) -> Result<RunStats, PipelineError> {
-        simulate_impl(
-            &self.workload,
-            sys,
-            &self.placed.pe_of,
-            self.placed.timing.divider,
-            model,
-            None,
-            false,
-        )
-        .map(|(stats, _)| stats)
-    }
-
-    /// Simulate with sim-time knobs from `sys` (like
-    /// [`Compiled::simulate_with`]), but **skip reference validation** and
-    /// return the final memory image alongside the statistics. This is the
-    /// fault-campaign primitive: an injected run's outputs are compared
-    /// differentially against a golden fault-free run (sinks *and* final
-    /// memory), not against the reference — a mismatch is an SDC, not a
-    /// validation error. `max_cycles` overrides the default runaway cap.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Compiled::simulate_budgeted`], minus
-    /// [`PipelineError::Validation`] (never produced here).
-    pub fn simulate_raw(
-        &self,
-        sys: &SystemConfig,
-        model: MemoryModel,
-        max_cycles: Option<u64>,
-    ) -> Result<(RunStats, SimMemory), PipelineError> {
-        let mut cfg = sim_config(sys, model, self.placed.timing.divider);
-        if let Some(cap) = max_cycles {
+    /// Returns [`PipelineError::Sim`] on simulator faults (including
+    /// [`SimError::CycleLimit`] when a [`SimOptions::max_cycles`] budget
+    /// is exhausted), [`PipelineError::Validation`] when validation is on
+    /// and outputs mismatch the reference, and
+    /// [`PipelineError::InvalidConfig`] for degenerate knobs.
+    pub fn simulate_with(&self, opts: &SimOptions) -> Result<SimOutcome, PipelineError> {
+        let sys = opts.system.as_ref().unwrap_or(&self.sys);
+        let mut cfg = sim_config(sys, opts.model, self.placed.timing.divider);
+        if let Some(cap) = opts.max_cycles {
             cfg.max_cycles = cap;
         }
+        if let Some(perturb) = opts.perturb {
+            cfg.perturb = perturb;
+        }
+        if let Some(fault) = opts.fault {
+            cfg.fault = fault;
+        }
+        if let Some(window) = opts.stall_window {
+            cfg.stall_window = window;
+        }
+        if opts.trace && !cfg.trace.enabled {
+            cfg.trace = TraceConfig::on();
+        }
         cfg.validate()?;
-        let mut mem = self.workload.fresh_mem();
+        let init = self.init_mem();
+        let mut mem = match self.scratch.lock().ok().and_then(|mut pool| pool.pop()) {
+            Some(mut recycled) if recycled.capacity() == init.capacity() => {
+                recycled.copy_from(init);
+                recycled
+            }
+            _ => init.clone(),
+        };
         let mut engine = Engine::new(
             self.workload.kernel.dfg(),
             &sys.fabric,
@@ -454,7 +549,29 @@ impl Compiled {
             engine.bind(pid, v);
         }
         let stats = engine.run(&mut mem)?;
-        Ok((stats, mem))
+        let trace = if opts.trace {
+            engine.take_trace()
+        } else {
+            None
+        };
+        if opts.validate {
+            self.workload.validate(&mem, &stats.sinks)?;
+        }
+        let memory = if opts.keep_memory {
+            Some(mem)
+        } else {
+            if let Ok(mut pool) = self.scratch.lock() {
+                if pool.len() < 4 {
+                    pool.push(mem);
+                }
+            }
+            None
+        };
+        Ok(SimOutcome {
+            stats,
+            trace,
+            memory,
+        })
     }
 
     /// Serialize to a bitstream (see [`nupea_pnr::bitstream`]) for caching
@@ -579,6 +696,8 @@ fn compile_impl(
             heuristic,
             workload: Arc::clone(workload),
             sys: Arc::clone(sys),
+            init_mem: Arc::new(OnceLock::new()),
+            scratch: Arc::new(Mutex::new(Vec::new())),
         }),
         None => Err(last_err.expect("at least one attempt ran").into()),
     }
@@ -640,71 +759,6 @@ fn simulate_impl(
     };
     workload.validate(&mem, &stats.sinks)?;
     Ok((stats, trace))
-}
-
-/// Compile a workload onto the system's fabric with a placement heuristic.
-///
-/// # Errors
-///
-/// Returns [`PipelineError::Pnr`] when the kernel does not fit or cannot be
-/// routed.
-#[deprecated(since = "0.1.0", note = "use `SystemConfig::compile` instead")]
-pub fn compile_workload(
-    workload: &Workload,
-    sys: &SystemConfig,
-    heuristic: Heuristic,
-) -> Result<Compiled, PipelineError> {
-    sys.compile(workload, heuristic)
-}
-
-/// Simulate a compiled workload under a memory model, validating the
-/// results against the workload's reference implementation.
-///
-/// # Errors
-///
-/// Returns [`PipelineError::Sim`] on simulator faults and
-/// [`PipelineError::Validation`] when outputs mismatch the reference.
-#[deprecated(since = "0.1.0", note = "use `Compiled::simulate_with` instead")]
-pub fn simulate_on(
-    workload: &Workload,
-    compiled: &Compiled,
-    sys: &SystemConfig,
-    model: MemoryModel,
-) -> Result<RunStats, PipelineError> {
-    simulate_impl(
-        workload,
-        sys,
-        &compiled.placed.pe_of,
-        compiled.placed.timing.divider,
-        model,
-        None,
-        false,
-    )
-    .map(|(stats, _)| stats)
-}
-
-/// Convenience: simulate with the system config the artifact was compiled
-/// for.
-///
-/// # Errors
-///
-/// Same as [`Compiled::simulate`].
-#[deprecated(since = "0.1.0", note = "use `Compiled::simulate` instead")]
-pub fn simulate(
-    workload: &Workload,
-    compiled: &Compiled,
-    model: MemoryModel,
-) -> Result<RunStats, PipelineError> {
-    simulate_impl(
-        workload,
-        compiled.system(),
-        &compiled.placed.pe_of,
-        compiled.placed.timing.divider,
-        model,
-        None,
-        false,
-    )
-    .map(|(stats, _)| stats)
 }
 
 /// Results of a multi-region (staged) run.
@@ -785,13 +839,6 @@ pub fn simulate_staged(
         reconfig_cycles: reconfig_cycles * staged.stages.len() as u64,
         per_stage,
     })
-}
-
-/// Serialize a compiled workload to a bitstream (see
-/// [`nupea_pnr::bitstream`]) for caching or inspection.
-#[deprecated(since = "0.1.0", note = "use `Compiled::bitstream` instead")]
-pub fn bitstream_of(workload: &Workload, sys: &SystemConfig, compiled: &Compiled) -> String {
-    nupea_pnr::write_bitstream(workload.kernel.dfg(), &sys.fabric, &compiled.placed)
 }
 
 /// Simulate a workload from a previously saved bitstream, skipping PnR.
@@ -894,16 +941,25 @@ mod tests {
     }
 
     #[test]
-    fn simulate_traced_is_timing_identical_and_aggregates_exactly() {
+    fn traced_run_is_timing_identical_and_aggregates_exactly() {
         let w = sparse::spmv(Scale::Test, 1);
         let sys = SystemConfig::monaco_12x12();
         let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
         let plain = c.simulate(MemoryModel::Nupea).unwrap();
-        let (stats, trace) = c.simulate_traced(MemoryModel::Nupea).unwrap();
-        assert_eq!(stats.cycles, plain.cycles, "tracing must not change timing");
-        assert_eq!(stats.firings, plain.firings);
+        let out = c
+            .simulate_with(&SimOptions::new(MemoryModel::Nupea).trace())
+            .unwrap();
+        let trace = out.trace.expect("trace was requested");
+        assert_eq!(
+            out.stats.cycles, plain.cycles,
+            "tracing must not change timing"
+        );
+        assert_eq!(out.stats.firings, plain.firings);
         assert_eq!(trace.dropped, 0, "default capacity must hold a Test run");
-        assert_eq!(trace.load_latency_by_domain(), stats.load_latency_by_domain);
+        assert_eq!(
+            trace.load_latency_by_domain(),
+            out.stats.load_latency_by_domain
+        );
         nupea_sim::validate_chrome_trace(&trace.to_chrome_json()).unwrap();
     }
 
@@ -987,18 +1043,47 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_shims_agree_with_the_new_facade() {
-        #![allow(deprecated)]
+    fn sim_options_cover_the_old_entry_points() {
         let w = sparse::spmv(Scale::Test, 1);
         let sys = SystemConfig::monaco_12x12();
-        let via_shim = compile_workload(&w, &sys, Heuristic::CriticalityAware).unwrap();
-        let via_facade = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
-        assert_eq!(via_shim.placed.pe_of, via_facade.placed.pe_of);
-        let a = simulate_on(&w, &via_shim, &sys, MemoryModel::Nupea).unwrap();
-        let b = via_facade.simulate(MemoryModel::Nupea).unwrap();
-        let c = simulate(&w, &via_shim, MemoryModel::Nupea).unwrap();
-        assert_eq!(a.cycles, b.cycles);
-        assert_eq!(a.cycles, c.cycles);
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let plain = c.simulate(MemoryModel::Nupea).unwrap();
+
+        // Defaults agree with the thin wrapper, artifacts absent.
+        let out = c
+            .simulate_with(&SimOptions::new(MemoryModel::Nupea))
+            .unwrap();
+        assert_eq!(out.stats.cycles, plain.cycles);
+        assert!(out.trace.is_none() && out.memory.is_none());
+
+        // Raw differential run: no validation, final memory captured; a
+        // system override with identical knobs changes nothing.
+        let raw = c
+            .simulate_with(
+                &SimOptions::new(MemoryModel::Nupea)
+                    .system(sys.clone())
+                    .no_validate()
+                    .keep_memory(),
+            )
+            .unwrap();
+        assert_eq!(raw.stats.cycles, plain.cycles);
+        assert!(raw.memory.is_some());
+
+        // A one-cycle budget must hit the cycle limit, as
+        // simulate_budgeted did.
+        let err = c
+            .simulate_with(&SimOptions::new(MemoryModel::Nupea).max_cycles(1))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::Sim(SimError::CycleLimit { .. })
+        ));
+
+        // The cached initial image makes repeat runs identical, not stale:
+        // the second run sees fresh memory, not the first run's output.
+        let again = c.simulate(MemoryModel::Nupea).unwrap();
+        assert_eq!(again.cycles, plain.cycles);
+        assert_eq!(again.sinks, plain.sinks);
     }
 
     #[test]

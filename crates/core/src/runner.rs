@@ -34,7 +34,7 @@
 //! ```
 
 use crate::experiments::heuristic_for;
-use crate::{Compiled, PipelineError, SystemConfig, Workload};
+use crate::{Compiled, PipelineError, SimOptions, SystemConfig, Workload};
 use nupea_pnr::Heuristic;
 use nupea_sim::{DomainLatency, EnergyBreakdown, MemoryModel, RunStats, SimError, TraceBuffer};
 use std::any::Any;
@@ -757,7 +757,7 @@ fn simulate_point(
     budget: Option<u64>,
     retry: RetryPolicy,
     want_trace: bool,
-) -> (SimOutcome, bool) {
+) -> (SimResult, bool) {
     let mut cap = budget.unwrap_or(crate::DEFAULT_MAX_CYCLES);
     let mut out = catch_sim(c, model, cap, want_trace);
     let (factor, max_retries) = match retry {
@@ -784,20 +784,16 @@ fn simulate_point(
     (out, retried)
 }
 
-type SimOutcome = Result<(RunStats, Option<TraceBuffer>), PipelineError>;
+type SimResult = Result<(RunStats, Option<TraceBuffer>), PipelineError>;
 
 /// One simulate call under `catch_unwind`.
-fn catch_sim(c: &Compiled, model: MemoryModel, cap: u64, want_trace: bool) -> SimOutcome {
+fn catch_sim(c: &Compiled, model: MemoryModel, cap: u64, want_trace: bool) -> SimResult {
     catch_unwind(AssertUnwindSafe(|| {
-        crate::simulate_impl(
-            c.workload(),
-            c.system(),
-            &c.placed.pe_of,
-            c.placed.timing.divider,
-            model,
-            Some(cap),
-            want_trace,
-        )
+        let mut opts = SimOptions::new(model).max_cycles(cap);
+        if want_trace {
+            opts = opts.trace();
+        }
+        c.simulate_with(&opts).map(|out| (out.stats, out.trace))
     }))
     .unwrap_or_else(|payload| {
         Err(PipelineError::Panicked {

@@ -30,7 +30,7 @@ use crate::watchdog::{PortOccupancy, StallKind, StallReport, StalledNode};
 use nupea_fabric::{Fabric, PeId};
 use nupea_ir::graph::{Criticality, Dfg, InPort, NodeId};
 use nupea_ir::op::{Op, ParamId, SteerPolarity};
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Simulator configuration.
@@ -327,6 +327,48 @@ enum GateState {
     Holding(i64),
 }
 
+/// One output edge of the fan-out CSR, with everything the per-firing hot
+/// path needs precomputed at construction: the consumer FIFO's flat index,
+/// the PE→PE link index into the token heatmap, the hop distance (clamped
+/// for the trace), and the NoC energy of one token on this edge.
+#[derive(Debug, Clone, Copy)]
+struct PortState {
+    /// Ring head slot.
+    head: u16,
+    /// Buffered tokens.
+    len: u16,
+    /// In-flight tokens with a reserved slot.
+    reserved: u16,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FanEdge {
+    /// Consumer node.
+    dst: u32,
+    /// Consumer input port.
+    dst_port: u8,
+    /// Manhattan hop distance (clamped to `u16::MAX` for the trace).
+    hops: u16,
+    /// Flat index of the consumer FIFO (`port_base[dst] + dst_port`).
+    fifo_idx: u32,
+    /// `src_pe * num_pes + dst_pe` into the link-token matrix.
+    link_idx: u32,
+    /// `hops * energy.noc_hop`, the per-token data-NoC energy.
+    hop_energy: f64,
+}
+
+/// Where a flat input port's tokens come from (dense mirror of
+/// [`InPort`], indexed by `port_base[node] + port`).
+#[derive(Debug, Clone, Copy)]
+enum PortSrc {
+    /// Constant operand: always present, never consumed.
+    Imm(i64),
+    /// Wired operand fed by the producer node's FIFO slot here.
+    Wire(u32),
+    /// Unconnected: never fires.
+    Unconnected,
+}
+
 /// A scheduled token delivery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Delivery {
@@ -350,6 +392,142 @@ impl PartialOrd for Delivery {
     }
 }
 
+/// Calendar-wheel slot count. Nearly every delivery lands within one
+/// clock-divider period of its emission (plus small perturb jitter), so a
+/// 256-cycle horizon covers the fast path with room to spare.
+const WHEEL_SLOTS: usize = 256;
+
+/// Pending-delivery queue: a calendar wheel for the common near-future
+/// case plus a binary-heap overflow for far-future events (stuck-link
+/// faults schedule `STUCK_DELAY` ≈ 1e9 cycles out; unbounded perturb
+/// jitter can too).
+///
+/// Pop order is exactly ascending `(time, seq)`, bit-identical to the
+/// binary heap this replaces: `seq` is globally monotonic at push time, so
+/// FIFO order within one wheel slot *is* seq order, and slots are drained
+/// in ascending time. The wheel slot of an event is its absolute time
+/// modulo [`WHEEL_SLOTS`]; `floor` (the engine's current cycle, advanced
+/// every main-loop iteration) guarantees all near events live in
+/// `[floor, floor + WHEEL_SLOTS)`, so distinct queued times never share a
+/// slot and every slot holds tokens of a single delivery time.
+struct EventWheel {
+    slots: Vec<std::collections::VecDeque<Delivery>>,
+    /// Occupancy bitmap over `slots` (one bit per slot).
+    occ: [u64; WHEEL_SLOTS / 64],
+    /// Events currently in the wheel.
+    near: usize,
+    /// Lower bound on every queued delivery time (= current engine cycle).
+    floor: u64,
+    /// Earliest queued wheel-event time (`u64::MAX` when the wheel is
+    /// empty). Maintained incrementally: a push takes the min, a pop that
+    /// empties its slot triggers one bitmap rescan — so peeking the queue
+    /// is O(1) instead of a scan per main-loop iteration.
+    next_cache: u64,
+    /// Far-future overflow, min-ordered by `(time, seq)`.
+    far: BinaryHeap<std::cmp::Reverse<Delivery>>,
+}
+
+impl EventWheel {
+    fn new() -> Self {
+        EventWheel {
+            slots: (0..WHEEL_SLOTS)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            occ: [0; WHEEL_SLOTS / 64],
+            near: 0,
+            floor: 0,
+            next_cache: u64::MAX,
+            far: BinaryHeap::new(),
+        }
+    }
+
+    /// Advance the wheel floor to the engine's current cycle. Must be
+    /// called before any push or pop at cycle `t`; all queued events are
+    /// `>= t` (the main loop never jumps past a pending delivery).
+    #[inline]
+    fn advance(&mut self, t: u64) {
+        self.floor = t;
+    }
+
+    #[inline]
+    fn push(&mut self, d: Delivery) {
+        debug_assert!(d.time >= self.floor, "delivery scheduled in the past");
+        if d.time - self.floor < WHEEL_SLOTS as u64 {
+            let s = (d.time as usize) & (WHEEL_SLOTS - 1);
+            if self.slots[s].is_empty() {
+                self.occ[s >> 6] |= 1 << (s & 63);
+            }
+            self.slots[s].push_back(d);
+            self.near += 1;
+            self.next_cache = self.next_cache.min(d.time);
+        } else {
+            self.far.push(std::cmp::Reverse(d));
+        }
+    }
+
+    /// Earliest queued delivery time in the wheel, or `u64::MAX`.
+    /// Bitmap rescan — only called when a pop empties its slot.
+    fn scan_near(&self) -> u64 {
+        if self.near == 0 {
+            return u64::MAX;
+        }
+        // Circular scan of the occupancy bitmap from the floor slot.
+        let s0 = (self.floor as usize) & (WHEEL_SLOTS - 1);
+        let words = WHEEL_SLOTS / 64;
+        let (base_w, base_b) = (s0 >> 6, s0 & 63);
+        for i in 0..=words {
+            let w = (base_w + i) % words;
+            let mut bits = self.occ[w];
+            if i == 0 {
+                bits &= !0u64 << base_b;
+            } else if i == words {
+                bits &= (1u64 << base_b) - 1;
+            }
+            if bits != 0 {
+                let slot = (w << 6) | bits.trailing_zeros() as usize;
+                let dist = (slot + WHEEL_SLOTS - s0) & (WHEEL_SLOTS - 1);
+                return self.floor + dist as u64;
+            }
+        }
+        unreachable!("near > 0 but occupancy bitmap empty");
+    }
+
+    /// Earliest queued delivery time overall, or `u64::MAX` when empty.
+    #[inline]
+    fn next_time(&self) -> u64 {
+        let far = self.far.peek().map_or(u64::MAX, |r| r.0.time);
+        self.next_cache.min(far)
+    }
+
+    /// Pop the earliest `(time, seq)` delivery if it is due at `t`.
+    fn pop_due(&mut self, t: u64) -> Option<Delivery> {
+        let nt = self.next_cache;
+        let ft = self.far.peek().map_or(u64::MAX, |r| r.0.time);
+        let time = nt.min(ft);
+        if time > t {
+            return None;
+        }
+        // Same-time tie between wheel and overflow: lower seq first.
+        let use_far = ft < nt
+            || (ft == nt && {
+                let s = (nt as usize) & (WHEEL_SLOTS - 1);
+                let near_seq = self.slots[s].front().expect("occupied slot").seq;
+                self.far.peek().expect("ft < MAX").0.seq < near_seq
+            });
+        if use_far {
+            return Some(self.far.pop().expect("peeked above").0);
+        }
+        let s = (time as usize) & (WHEEL_SLOTS - 1);
+        let d = self.slots[s].pop_front().expect("occupied slot");
+        self.near -= 1;
+        if self.slots[s].is_empty() {
+            self.occ[s >> 6] &= !(1 << (s & 63));
+            self.next_cache = self.scan_near();
+        }
+        Some(d)
+    }
+}
+
 /// The timed simulator for one placed DFG.
 pub struct Engine<'g> {
     dfg: &'g Dfg,
@@ -357,26 +535,51 @@ pub struct Engine<'g> {
     pe_of: &'g [PeId],
     cfg: SimConfig,
 
-    fifos: Vec<VecDeque<i64>>,
-    /// In-flight tokens reserved per input FIFO.
-    reserved: Vec<u16>,
-    /// Flat index base per node into `fifos`/`reserved`.
+    /// Flat token-FIFO arena: `fifo_depth` contiguous slots per input
+    /// port, addressed by flat port index × depth. Ring arithmetic uses
+    /// if-subtract (depth is rarely a power of two).
+    fifo_buf: Vec<i64>,
+    /// Per-port ring state — head, occupancy, and in-flight reservation
+    /// count packed into one 6-byte record so the hot FIFO paths touch a
+    /// single array element (one bounds check, one cache line) instead of
+    /// three parallel arrays.
+    ports: Vec<PortState>,
+    /// Flat index base per node into the port arrays (`len() + 1` entries;
+    /// the last is the total port count).
     port_base: Vec<u32>,
+    /// Per-port operand source (dense mirror of the graph's `InPort`s).
+    port_src: Vec<PortSrc>,
+    /// Per-node opcode (dense mirror; avoids graph chasing per firing).
+    ops: Vec<Op>,
+    /// Fan-out CSR: node `n`'s port-`p` edges are
+    /// `fan[fan_start[out_base[n] + p] .. fan_start[out_base[n] + p + 1]]`.
+    /// `out_base` has `len() + 1` entries; a node with `P` used output
+    /// ports owns `P + 1` consecutive boundaries in `fan_start`.
+    out_base: Vec<u32>,
+    fan_start: Vec<u32>,
+    fan: Vec<FanEdge>,
 
     state: Vec<GateState>,
     param_emitted: Vec<bool>,
-    bindings: HashMap<u32, i64>,
+    /// Param bindings, dense by `ParamId` (ids are allocated 0..n).
+    bindings: Vec<Option<i64>>,
     last_fired_tick: Vec<u64>,
 
-    events: BinaryHeap<std::cmp::Reverse<Delivery>>,
+    events: EventWheel,
     event_seq: u64,
     dirty_now: Vec<u32>,
     dirty_next: Vec<u32>,
     in_now: Vec<bool>,
     in_next: Vec<bool>,
 
-    outstanding: Vec<VecDeque<u64>>,
-    completed: Vec<HashMap<u64, Completion>>,
+    /// Outstanding-memory rings, `max_outstanding` slots per node at base
+    /// `node * max_outstanding`: issue sequence numbers in issue order,
+    /// with the matching completion parked in `mo_done` until it reaches
+    /// the head (ordered dataflow drains strictly in issue order).
+    mo_seq: Vec<u64>,
+    mo_done: Vec<Option<Completion>>,
+    mo_head: Vec<u32>,
+    mo_len: Vec<u32>,
     /// Last scheduled response-delivery time per node: ordered dataflow
     /// requires responses to leave the PE in issue order even when a later,
     /// faster request (cache hit / idle bank) completes first.
@@ -396,6 +599,12 @@ pub struct Engine<'g> {
     /// Always-on per-link token counts, flat `src_pe * num_pes + dst_pe`
     /// (O(1) increment per token; sparsified into `RunStats` at run end).
     link_tokens: Vec<u64>,
+    /// Per-fan-edge token counts, parallel to `fan`. The hot emit paths
+    /// bump these (contiguous per node, cache-resident) instead of the
+    /// 144x144 `link_tokens` matrix, whose scattered per-token increments
+    /// showed up as a measurable cache cost; folded into `link_tokens` at
+    /// run end, which is a sum reassociation over exact u64 counters.
+    edge_tokens: Vec<u64>,
 
     energy: EnergyBreakdown,
 
@@ -408,7 +617,20 @@ pub struct Engine<'g> {
     /// branch on the discriminant — zero cost when off).
     fault: Option<FaultState>,
 
+    /// Cached [`MemSys::next_event_at`] result: the earliest cycle at
+    /// which stepping the memory system can do anything beyond busy-bank
+    /// wait accounting. Lowered to `t + 1` on every issue; recomputed
+    /// after every real step.
+    mem_next: u64,
+    /// Last cycle the memory system was actually stepped; the quiescent
+    /// stretch since then is accounted via [`MemSys::skip_to`] right
+    /// before the next real step.
+    mem_last: u64,
+
     memsys: MemSys,
+    /// Reusable completion-drain buffer (swapped with the memory system's
+    /// internal one each batch, so neither side allocates in steady state).
+    comp_scratch: Vec<Completion>,
 }
 
 impl<'g> Engine<'g> {
@@ -420,12 +642,54 @@ impl<'g> Engine<'g> {
             "degenerate SimConfig (call SimConfig::validate): {:?}",
             cfg.validate()
         );
-        let mut port_base = Vec::with_capacity(dfg.len());
+        let mut port_base = Vec::with_capacity(dfg.len() + 1);
+        let mut port_src = Vec::new();
         let mut nports = 0u32;
         for (_, n) in dfg.iter() {
             port_base.push(nports);
             nports += n.inputs.len() as u32;
+            for inp in &n.inputs {
+                port_src.push(match *inp {
+                    InPort::Imm(v) => PortSrc::Imm(v),
+                    InPort::Wire { src, .. } => PortSrc::Wire(src.0),
+                    InPort::Unconnected => PortSrc::Unconnected,
+                });
+            }
         }
+        port_base.push(nports);
+        // Fan-out CSR with per-edge hop distance, link index, and energy
+        // precomputed: the per-firing hot path never touches the graph or
+        // the fabric's distance function again. Edge order within each
+        // (node, port) range matches the graph's `outs` order, which the
+        // event sequence numbering depends on.
+        let num_pes = fabric.num_pes();
+        let mut out_base = Vec::with_capacity(dfg.len() + 1);
+        let mut fan_start = Vec::new();
+        let mut fan: Vec<FanEdge> = Vec::new();
+        for (id, _) in dfg.iter() {
+            out_base.push(fan_start.len() as u32);
+            let outs = dfg.outs(id);
+            let used_ports = outs.iter().map(|e| e.src_port as usize + 1).max();
+            let src_pe = pe_of[id.index()];
+            for p in 0..used_ports.unwrap_or(0) {
+                fan_start.push(fan.len() as u32);
+                for e in outs.iter().filter(|e| e.src_port as usize == p) {
+                    let dst_pe = pe_of[e.dst.index()];
+                    let hops = fabric.dist(src_pe, dst_pe);
+                    fan.push(FanEdge {
+                        dst: e.dst.0,
+                        dst_port: e.dst_port,
+                        hops: hops.min(u32::from(u16::MAX)) as u16,
+                        fifo_idx: port_base[e.dst.index()] + u32::from(e.dst_port),
+                        link_idx: (src_pe.index() * num_pes + dst_pe.index()) as u32,
+                        hop_energy: f64::from(hops) * cfg.energy.noc_hop,
+                    });
+                }
+            }
+            fan_start.push(fan.len() as u32);
+        }
+        out_base.push(fan_start.len() as u32);
+        let fan_len = fan.len();
         let memsys = MemSys::new(fabric, cfg.model, cfg.mem, cfg.divider, cfg.numa_seed);
         // A zero-domain fabric is rejected by `SystemConfig::validate`
         // (ConfigError::ZeroDomains) instead of being silently repaired
@@ -435,21 +699,35 @@ impl<'g> Engine<'g> {
             dfg,
             fabric,
             pe_of,
-            fifos: vec![VecDeque::new(); nports as usize],
-            reserved: vec![0; nports as usize],
+            fifo_buf: vec![0; nports as usize * cfg.fifo_depth],
+            ports: vec![
+                PortState {
+                    head: 0,
+                    len: 0,
+                    reserved: 0
+                };
+                nports as usize
+            ],
             port_base,
+            port_src,
+            ops: dfg.iter().map(|(_, n)| n.op).collect(),
+            out_base,
+            fan_start,
+            fan,
             state: vec![GateState::Fresh; dfg.len()],
             param_emitted: vec![false; dfg.len()],
-            bindings: HashMap::new(),
+            bindings: Vec::new(),
             last_fired_tick: vec![u64::MAX; dfg.len()],
-            events: BinaryHeap::new(),
+            events: EventWheel::new(),
             event_seq: 0,
             dirty_now: Vec::new(),
             dirty_next: Vec::new(),
             in_now: vec![false; dfg.len()],
             in_next: vec![false; dfg.len()],
-            outstanding: vec![VecDeque::new(); dfg.len()],
-            completed: vec![HashMap::new(); dfg.len()],
+            mo_seq: vec![0; dfg.len() * cfg.max_outstanding],
+            mo_done: vec![None; dfg.len() * cfg.max_outstanding],
+            mo_head: vec![0; dfg.len()],
+            mo_len: vec![0; dfg.len()],
             last_resp_time: vec![0; dfg.len()],
             next_seq: 0,
             sinks: vec![Vec::new(); dfg.sinks().len()],
@@ -462,11 +740,15 @@ impl<'g> Engine<'g> {
                 .then(|| RingRecorder::new(cfg.trace.capacity)),
             pe_firings: vec![0; fabric.num_pes()],
             link_tokens: vec![0; fabric.num_pes() * fabric.num_pes()],
+            edge_tokens: vec![0; fan_len],
             energy: EnergyBreakdown::default(),
             perturb: Perturb::from_config(cfg.perturb),
             last_delivery: vec![0; nports as usize],
             fault: FaultState::from_config(&cfg.fault),
             memsys,
+            comp_scratch: Vec::new(),
+            mem_next: 0,
+            mem_last: 0,
             cfg,
         }
     }
@@ -503,7 +785,11 @@ impl<'g> Engine<'g> {
 
     /// Bind a param value.
     pub fn bind(&mut self, param: ParamId, value: i64) -> &mut Self {
-        self.bindings.insert(param.0, value);
+        let i = param.0 as usize;
+        if i >= self.bindings.len() {
+            self.bindings.resize(i + 1, None);
+        }
+        self.bindings[i] = Some(value);
         self
     }
 
@@ -513,30 +799,133 @@ impl<'g> Engine<'g> {
     }
 
     #[inline]
-    fn peek(&self, node: usize, port: usize) -> Option<i64> {
-        match self.dfg.node(NodeId(node as u32)).inputs[port] {
-            InPort::Imm(v) => Some(v),
-            InPort::Wire { .. } => self.fifos[self.fifo_idx(node, port)].front().copied(),
-            InPort::Unconnected => None,
+    fn fifo_front(&self, idx: usize) -> Option<i64> {
+        let p = self.ports[idx];
+        if p.len == 0 {
+            None
+        } else {
+            Some(self.fifo_buf[idx * self.cfg.fifo_depth + usize::from(p.head)])
         }
     }
 
     #[inline]
+    fn fifo_push_back(&mut self, idx: usize, v: i64) {
+        let depth = self.cfg.fifo_depth as u32;
+        let p = self.ports[idx];
+        debug_assert!(u32::from(p.len) < depth, "FIFO overflow past reservation");
+        let mut pos = u32::from(p.head) + u32::from(p.len);
+        if pos >= depth {
+            pos -= depth;
+        }
+        self.fifo_buf[idx * self.cfg.fifo_depth + pos as usize] = v;
+        self.ports[idx].len = p.len + 1;
+    }
+
+    #[inline]
+    fn fifo_pop_front(&mut self, idx: usize) -> i64 {
+        let p = self.ports[idx];
+        debug_assert!(p.len > 0, "consume without token");
+        let v = self.fifo_buf[idx * self.cfg.fifo_depth + usize::from(p.head)];
+        let mut nh = u32::from(p.head) + 1;
+        if nh >= self.cfg.fifo_depth as u32 {
+            nh = 0;
+        }
+        self.ports[idx].head = nh as u16;
+        self.ports[idx].len = p.len - 1;
+        v
+    }
+
+    /// Fan-out edges of (`node`, output `port`) as a range into `fan`
+    /// (empty for ports beyond the node's used output ports).
+    #[inline]
+    fn fan_range(&self, node: usize, port: usize) -> std::ops::Range<usize> {
+        let b = self.out_base[node] as usize;
+        let nb = self.out_base[node + 1] as usize;
+        if port + 1 >= nb - b {
+            return 0..0;
+        }
+        self.fan_start[b + port] as usize..self.fan_start[b + port + 1] as usize
+    }
+
+    #[inline]
+    fn peek(&self, node: usize, port: usize) -> Option<i64> {
+        self.peek_idx(self.fifo_idx(node, port))
+    }
+
+    #[inline]
+    fn peek_idx(&self, idx: usize) -> Option<i64> {
+        match self.port_src[idx] {
+            PortSrc::Imm(v) => Some(v),
+            PortSrc::Wire(_) => self.fifo_front(idx),
+            PortSrc::Unconnected => None,
+        }
+    }
+
+    /// [`Engine::consume`] for a port whose value was already peeked (so
+    /// the `Unconnected` error path is unreachable and the token value
+    /// need not be re-read). Takes the precomputed FIFO index so the hot
+    /// `try_fire` arms resolve `port_base` once per node.
+    #[inline]
+    fn consume_peeked(&mut self, idx: usize, node: usize, port: usize, tick: u64) {
+        if let PortSrc::Wire(src) = self.port_src[idx] {
+            // Same conditional producer wake as `consume` — see there.
+            let full = {
+                let p = self.ports[idx];
+                u32::from(p.len) + u32::from(p.reserved) >= self.cfg.fifo_depth as u32
+            };
+            self.fifo_pop_front(idx);
+            if full || self.fault.is_some() {
+                self.mark_dirty(src as usize, tick);
+            }
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(
+                    tick * self.cfg.divider,
+                    TraceEvent::FifoPop {
+                        node: node as u32,
+                        port: port as u8,
+                        occupancy: self.ports[idx].len.min(u16::from(u8::MAX)) as u8,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Checked consume. The fire arms all peek before consuming and use
+    /// [`Engine::consume_peeked`]; this full-checked form is retained as
+    /// the defense-in-depth path for malformed graphs (exercised by the
+    /// `unconnected_consume_is_a_typed_error_not_a_panic` unit test).
+    #[cfg_attr(not(test), allow(dead_code))]
+    #[inline]
     fn consume(&mut self, node: usize, port: usize, tick: u64) -> Result<i64, SimError> {
-        match self.dfg.node(NodeId(node as u32)).inputs[port] {
-            InPort::Imm(v) => Ok(v),
-            InPort::Wire { src, .. } => {
-                let idx = self.fifo_idx(node, port);
-                let v = self.fifos[idx].pop_front().expect("consume without token");
-                // Space freed: the producer may be stalled on backpressure.
-                self.mark_dirty(src.0 as usize, tick);
+        let idx = self.fifo_idx(node, port);
+        match self.port_src[idx] {
+            PortSrc::Imm(v) => Ok(v),
+            PortSrc::Wire(src) => {
+                // Space freed: the producer may be stalled on backpressure —
+                // but only a pop from a *full* FIFO (counting in-flight
+                // reservations) can flip a producer's `space_on` from false
+                // to true, so non-full pops skip the wake. A spuriously
+                // woken node fails `try_fire` with zero side effects, so
+                // the successful-firing sequence — and with it every
+                // observable stat — is unchanged; this just prunes dead
+                // dirty-list work (~60% of all wakes). Fault injection is
+                // the one exception: the link-drop path releases a
+                // reservation without a wake and relies on later pops to
+                // re-examine the producer, so keep the unconditional wake
+                // whenever faults are armed.
+                let p = self.ports[idx];
+                let full = u32::from(p.len) + u32::from(p.reserved) >= self.cfg.fifo_depth as u32;
+                let v = self.fifo_pop_front(idx);
+                if full || self.fault.is_some() {
+                    self.mark_dirty(src as usize, tick);
+                }
                 if let Some(tr) = self.tracer.as_mut() {
                     tr.record(
                         tick * self.cfg.divider,
                         TraceEvent::FifoPop {
                             node: node as u32,
                             port: port as u8,
-                            occupancy: self.fifos[idx].len().min(u8::MAX as usize) as u8,
+                            occupancy: self.ports[idx].len.min(u16::from(u8::MAX)) as u8,
                         },
                     );
                 }
@@ -546,7 +935,7 @@ impl<'g> Engine<'g> {
             // operands first, so a well-formed graph never reaches this —
             // but a graph wired with a required port left unconnected must
             // surface as a structured error, not a panic.
-            InPort::Unconnected => Err(SimError::UnconnectedPort {
+            PortSrc::Unconnected => Err(SimError::UnconnectedPort {
                 node: NodeId(node as u32),
                 port: port as u8,
             }),
@@ -555,18 +944,16 @@ impl<'g> Engine<'g> {
 
     #[inline]
     fn order_wired(&self, node: usize, port: usize) -> bool {
-        self.dfg.node(NodeId(node as u32)).inputs[port].is_wire()
+        matches!(self.port_src[self.fifo_idx(node, port)], PortSrc::Wire(_))
     }
 
     /// True if every consumer FIFO of `node`'s output `port` can take one
     /// more (unreserved) token.
     fn space_on(&self, node: usize, port: usize) -> bool {
-        for e in self.dfg.outs(NodeId(node as u32)) {
-            if e.src_port as usize != port {
-                continue;
-            }
-            let idx = self.fifo_idx(e.dst.index(), e.dst_port as usize);
-            if self.fifos[idx].len() + self.reserved[idx] as usize >= self.cfg.fifo_depth {
+        for i in self.fan_range(node, port) {
+            let idx = self.fan[i].fifo_idx as usize;
+            let p = self.ports[idx];
+            if usize::from(p.len) + usize::from(p.reserved) >= self.cfg.fifo_depth {
                 return false;
             }
         }
@@ -575,32 +962,51 @@ impl<'g> Engine<'g> {
 
     /// Reserve one slot in every consumer FIFO of (`node`, `port`).
     fn reserve(&mut self, node: usize, port: usize) {
-        let outs: Vec<(u32, u8)> = self
-            .dfg
-            .outs(NodeId(node as u32))
-            .iter()
-            .filter(|e| e.src_port as usize == port)
-            .map(|e| (e.dst.0, e.dst_port))
-            .collect();
-        for (dst, dport) in outs {
-            let idx = self.fifo_idx(dst as usize, dport as usize);
-            self.reserved[idx] += 1;
+        for i in self.fan_range(node, port) {
+            self.ports[self.fan[i].fifo_idx as usize].reserved += 1;
         }
     }
 
     /// Schedule deliveries of `value` from (`node`, `port`) at `time`
     /// (consumer slots must already be reserved).
     fn schedule_emit(&mut self, node: usize, port: usize, value: i64, time: u64) {
-        let outs: Vec<(u32, u8)> = self
-            .dfg
-            .outs(NodeId(node as u32))
-            .iter()
-            .filter(|e| e.src_port as usize == port)
-            .map(|e| (e.dst.0, e.dst_port))
-            .collect();
-        for (dst, dport) in outs {
+        self.emit_scheduled::<false>(node, port, value, time);
+    }
+
+    /// [`Engine::reserve`] + [`Engine::schedule_emit`] fused into one fan
+    /// walk — the common fire-time pair, saving a second edge pass. The
+    /// per-edge interleaving is unobservable: nothing in the walk reads
+    /// `reserved` (the link-drop release acts on the same edge's own
+    /// reservation), and RNG draw order per edge is unchanged.
+    fn reserve_emit(&mut self, node: usize, port: usize, value: i64, time: u64) {
+        self.emit_scheduled::<true>(node, port, value, time);
+    }
+
+    fn emit_scheduled<const RESERVE: bool>(
+        &mut self,
+        node: usize,
+        port: usize,
+        value: i64,
+        time: u64,
+    ) {
+        for i in self.fan_range(node, port) {
+            let e = self.fan[i];
+            if RESERVE {
+                self.ports[e.fifo_idx as usize].reserved += 1;
+            }
             self.event_seq += 1;
-            self.charge_hop(node, dst as usize, time);
+            self.energy.noc += e.hop_energy;
+            self.edge_tokens[i] += 1;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(
+                    time,
+                    TraceEvent::NocSend {
+                        src: node as u32,
+                        dst: e.dst,
+                        hops: e.hops,
+                    },
+                );
+            }
             let mut value = value;
             let mut at = time;
             if let Some(fs) = self.fault.as_mut() {
@@ -608,15 +1014,15 @@ impl<'g> Engine<'g> {
                     // Single-event upset: flip payload bits once, in flight.
                     value ^= xor as i64;
                 }
-                match fs.link_fault(self.pe_of[node].0, self.pe_of[dst as usize].0, time) {
+                match fs.link_fault(self.pe_of[node].0, self.pe_of[e.dst as usize].0, time) {
                     Some(LinkFault::Drop) => {
                         // The token left the producer (hop charged above)
                         // but never arrives; release the consumer's slot so
                         // the loss is silent at the link level and surfaces
                         // only as starvation downstream.
-                        let idx = self.fifo_idx(dst as usize, dport as usize);
-                        debug_assert!(self.reserved[idx] > 0, "drop without reservation");
-                        self.reserved[idx] -= 1;
+                        let idx = e.fifo_idx as usize;
+                        debug_assert!(self.ports[idx].reserved > 0, "drop without reservation");
+                        self.ports[idx].reserved -= 1;
                         continue;
                     }
                     Some(LinkFault::Stuck) => at += STUCK_DELAY,
@@ -626,53 +1032,38 @@ impl<'g> Engine<'g> {
             if let Some(p) = self.perturb.as_mut() {
                 // Fuzzing: jitter the NoC delivery, clamped so tokens
                 // within one FIFO are never reordered.
-                let idx = (self.port_base[dst as usize] + u32::from(dport)) as usize;
+                let idx = e.fifo_idx as usize;
                 at = (at + p.noc_jitter()).max(self.last_delivery[idx]);
                 self.last_delivery[idx] = at;
             }
-            self.events.push(std::cmp::Reverse(Delivery {
+            self.events.push(Delivery {
                 time: at,
                 seq: self.event_seq,
-                dst,
-                port: dport,
+                dst: e.dst,
+                port: e.dst_port,
                 value,
-            }));
-        }
-    }
-
-    /// Charge data-NoC energy for one token moving producer→consumer and
-    /// account it on the link heatmap (`ts` = system cycle the token is
-    /// on the wire, for the trace).
-    #[inline]
-    fn charge_hop(&mut self, src: usize, dst: usize, ts: u64) {
-        let hops = self.fabric.dist(self.pe_of[src], self.pe_of[dst]);
-        self.energy.noc += f64::from(hops) * self.cfg.energy.noc_hop;
-        let n = self.pe_firings.len();
-        self.link_tokens[self.pe_of[src].index() * n + self.pe_of[dst].index()] += 1;
-        if let Some(tr) = self.tracer.as_mut() {
-            tr.record(
-                ts,
-                TraceEvent::NocSend {
-                    src: src as u32,
-                    dst: dst as u32,
-                    hops: hops.min(u32::from(u16::MAX)) as u16,
-                },
-            );
+            });
         }
     }
 
     /// Immediately push `value` into consumer FIFOs (combinational CF emit;
     /// space must have been checked).
     fn emit_now(&mut self, node: usize, port: usize, value: i64, tick: u64) {
-        let outs: Vec<(u32, u8)> = self
-            .dfg
-            .outs(NodeId(node as u32))
-            .iter()
-            .filter(|e| e.src_port as usize == port)
-            .map(|e| (e.dst.0, e.dst_port))
-            .collect();
-        for (dst, dport) in outs {
-            self.charge_hop(node, dst as usize, tick * self.cfg.divider);
+        let ts = tick * self.cfg.divider;
+        for i in self.fan_range(node, port) {
+            let e = self.fan[i];
+            self.energy.noc += e.hop_energy;
+            self.edge_tokens[i] += 1;
+            if let Some(tr) = self.tracer.as_mut() {
+                tr.record(
+                    ts,
+                    TraceEvent::NocSend {
+                        src: node as u32,
+                        dst: e.dst,
+                        hops: e.hops,
+                    },
+                );
+            }
             let mut value = value;
             if let Some(fs) = self.fault.as_mut() {
                 // Combinational forwards still move a token on the NoC, so
@@ -682,19 +1073,19 @@ impl<'g> Engine<'g> {
                     value ^= xor as i64;
                 }
             }
-            let idx = self.fifo_idx(dst as usize, dport as usize);
-            self.fifos[idx].push_back(value);
+            let idx = e.fifo_idx as usize;
+            self.fifo_push_back(idx, value);
             if let Some(tr) = self.tracer.as_mut() {
                 tr.record(
-                    tick * self.cfg.divider,
+                    ts,
                     TraceEvent::FifoPush {
-                        node: dst,
-                        port: dport,
-                        occupancy: self.fifos[idx].len().min(u8::MAX as usize) as u8,
+                        node: e.dst,
+                        port: e.dst_port,
+                        occupancy: self.ports[idx].len.min(u16::from(u8::MAX)) as u8,
                     },
                 );
             }
-            self.mark_dirty(dst as usize, tick);
+            self.mark_dirty(e.dst as usize, tick);
         }
     }
 
@@ -725,19 +1116,19 @@ impl<'g> Engine<'g> {
     /// cycle cap is hit.
     pub fn run(&mut self, mem: &mut SimMemory) -> Result<RunStats, SimError> {
         for (pid, _) in self.dfg.params() {
-            if !self.bindings.contains_key(&pid.0) {
+            if self
+                .bindings
+                .get(pid.0 as usize)
+                .copied()
+                .flatten()
+                .is_none()
+            {
                 return Err(SimError::UnboundParam(*pid));
             }
         }
         // Seed params as deliveries at t=0.
-        let param_nodes: Vec<usize> = self
-            .dfg
-            .iter()
-            .filter(|(_, n)| matches!(n.op, Op::Param(_)))
-            .map(|(id, _)| id.index())
-            .collect();
-        for n in param_nodes {
-            if let Op::Param(p) = self.dfg.node(NodeId(n as u32)).op {
+        for n in 0..self.ops.len() {
+            if let Op::Param(p) = self.ops[n] {
                 if self
                     .fault
                     .as_ref()
@@ -746,7 +1137,7 @@ impl<'g> Engine<'g> {
                     // A PE dead from reset never emits its param.
                     continue;
                 }
-                let v = self.bindings[&p.0];
+                let v = self.bindings[p.0 as usize].expect("params checked above");
                 self.param_emitted[n] = true;
                 self.firings[n] += 1;
                 self.total_firings += 1;
@@ -754,8 +1145,7 @@ impl<'g> Engine<'g> {
                 if let Some(tr) = self.tracer.as_mut() {
                     tr.record(0, TraceEvent::Fire { node: n as u32 });
                 }
-                self.reserve(n, 0);
-                self.schedule_emit(n, 0, v, 0);
+                self.reserve_emit(n, 0, v, 0);
             }
         }
 
@@ -776,22 +1166,19 @@ impl<'g> Engine<'g> {
             }
             // 1. Deliveries due now.
             let tick = t / divider;
-            while let Some(&std::cmp::Reverse(d)) = self.events.peek() {
-                if d.time > t {
-                    break;
-                }
-                self.events.pop();
+            self.events.advance(t);
+            while let Some(d) = self.events.pop_due(t) {
                 let idx = self.fifo_idx(d.dst as usize, d.port as usize);
-                debug_assert!(self.reserved[idx] > 0, "delivery without reservation");
-                self.reserved[idx] -= 1;
-                self.fifos[idx].push_back(d.value);
+                debug_assert!(self.ports[idx].reserved > 0, "delivery without reservation");
+                self.ports[idx].reserved -= 1;
+                self.fifo_push_back(idx, d.value);
                 if let Some(tr) = self.tracer.as_mut() {
                     tr.record(
                         t,
                         TraceEvent::FifoPush {
                             node: d.dst,
                             port: d.port,
-                            occupancy: self.fifos[idx].len().min(u8::MAX as usize) as u8,
+                            occupancy: self.ports[idx].len.min(u16::from(u8::MAX)) as u8,
                         },
                     );
                 }
@@ -801,8 +1188,9 @@ impl<'g> Engine<'g> {
                 last_time = last_time.max(t);
                 last_progress = t;
             }
-            // 2. Fabric tick.
-            if t.is_multiple_of(divider) {
+            // 2. Fabric tick (`t` is a tick boundary iff the division above
+            // was exact — one division per iteration, not three).
+            if t == tick * divider {
                 let fired_before = self.total_firings;
                 self.fabric_tick(t, tick)?;
                 last_time = last_time.max(t);
@@ -810,9 +1198,16 @@ impl<'g> Engine<'g> {
                     last_progress = t;
                 }
             }
-            // 3. Memory system.
-            if self.memsys.busy() {
+            // 3. Memory system — stepped lazily. A step at a cycle before
+            // the cached next-event time does nothing but busy-bank wait
+            // accounting, which `skip_to` reproduces in bulk, so quiet
+            // cycles (whether visited for fabric work or jumped entirely)
+            // skip the five-stage pipeline walk altogether.
+            if self.memsys.busy() && t >= self.mem_next {
+                self.memsys.skip_to(self.mem_last, t);
                 self.memsys.step(t, mem);
+                self.mem_last = t;
+                self.mem_next = self.memsys.next_event_at(t);
                 if self.process_completions(t, divider)? {
                     last_progress = t;
                 }
@@ -822,6 +1217,10 @@ impl<'g> Engine<'g> {
             // diagnose the livelock instead of spinning to `max_cycles`.
             if self.cfg.stall_window > 0 && t.saturating_sub(last_progress) > self.cfg.stall_window
             {
+                // Flush deferred wait accounting so the report's memory
+                // stats match an eagerly-stepped run.
+                self.memsys.skip_to(self.mem_last, t + 1);
+                self.mem_last = t;
                 let report = Box::new(self.stall_report(t));
                 self.record_stall(t, &report);
                 return Err(SimError::Stalled {
@@ -829,16 +1228,26 @@ impl<'g> Engine<'g> {
                     report,
                 });
             }
-            // 4. Advance.
+            // 4. Advance. A busy memory system no longer forces `t + 1`
+            // single-stepping: jump straight to its next head-ready/bank-
+            // free cycle, clamped so the watchdog still observes exactly
+            // `last_progress + stall_window + 1` and the cycle cap exactly
+            // `max_cycles + 1` (both provably > `t` here: the watchdog
+            // check above passed and the loop-top cap check passed).
             let mut next = u64::MAX;
             if self.memsys.busy() {
-                next = t + 1;
+                // `mem_next` is exact here: a step this cycle would have
+                // recomputed it, and issues since then lowered it to at
+                // most `t + 1`.
+                next = self.mem_next;
+                if self.cfg.stall_window > 0 {
+                    next = next.min(last_progress + self.cfg.stall_window + 1);
+                }
+                next = next.min(self.cfg.max_cycles.saturating_add(1));
             }
-            if let Some(&std::cmp::Reverse(d)) = self.events.peek() {
-                next = next.min(d.time);
-            }
+            next = next.min(self.events.next_time());
             if !self.dirty_now.is_empty() || !self.dirty_next.is_empty() {
-                next = next.min((t / divider + 1) * divider);
+                next = next.min((tick + 1) * divider);
             }
             if next == u64::MAX {
                 break;
@@ -852,7 +1261,7 @@ impl<'g> Engine<'g> {
         // deadlock, not a completed run. Acyclic waiting-operand residue
         // (an unbalanced kernel) stays a normal completion and is reported
         // via `residual_tokens`.
-        let residual_tokens: usize = self.fifos.iter().map(VecDeque::len).sum();
+        let residual_tokens: usize = self.ports.iter().map(|p| usize::from(p.len)).sum();
         if residual_tokens > 0 {
             let report = self.stall_report(t);
             if report.is_deadlock() {
@@ -866,6 +1275,13 @@ impl<'g> Engine<'g> {
         self.energy.fmnoc = self.memsys.stats.arbiter_forwards as f64 * ep.fmnoc_arbiter;
         self.energy.memory = self.memsys.stats.cache_hits as f64 * ep.cache_hit
             + self.memsys.stats.cache_misses as f64 * (ep.cache_hit + ep.mem_access);
+        // Fold the per-edge counters into the per-link matrix (edges of a
+        // PE pair may share a link; u64 sums are exact, so totals match
+        // per-token increments bit for bit), then sparsify it.
+        for (i, e) in self.fan.iter().enumerate() {
+            self.link_tokens[e.link_idx as usize] += self.edge_tokens[i];
+        }
+        self.edge_tokens.fill(0);
         // Sparsify the flat link-token matrix into the heatmap list.
         let num_pes = self.pe_firings.len();
         let link_traffic: Vec<LinkTraffic> = self
@@ -904,15 +1320,19 @@ impl<'g> Engine<'g> {
     }
 
     fn fabric_tick(&mut self, t: u64, tick: u64) -> Result<(), SimError> {
-        // Wake deferred nodes.
-        let deferred = std::mem::take(&mut self.dirty_next);
-        for n in deferred {
+        // Wake deferred nodes. Drained in place (the loop body never pushes
+        // to `dirty_next`; re-deferrals only happen in the `dirty_now` loop
+        // below, after the clear) so the buffer's capacity is reused
+        // instead of being freed and re-grown every tick.
+        for i in 0..self.dirty_next.len() {
+            let n = self.dirty_next[i];
             self.in_next[n as usize] = false;
             if !self.in_now[n as usize] {
                 self.in_now[n as usize] = true;
                 self.dirty_now.push(n);
             }
         }
+        self.dirty_next.clear();
         while let Some(n) = self.dirty_now.pop() {
             let n = n as usize;
             self.in_now[n] = false;
@@ -938,7 +1358,7 @@ impl<'g> Engine<'g> {
                 if let Some(tr) = self.tracer.as_mut() {
                     tr.record(t, TraceEvent::Fire { node: n as u32 });
                 }
-                let op = self.dfg.node(NodeId(n as u32)).op;
+                let op = self.ops[n];
                 if op.is_arith() {
                     self.energy.alu += self.cfg.energy.alu_op;
                 } else if op.is_control() {
@@ -958,24 +1378,27 @@ impl<'g> Engine<'g> {
     /// Rough check whether a node has any buffered token left (cheap wake
     /// heuristic; a spurious wake just fails `try_fire` once).
     fn has_pending_input(&self, node: usize) -> bool {
-        let ins = self.dfg.node(NodeId(node as u32)).inputs.len();
-        (0..ins).any(|p| !self.fifos[self.fifo_idx(node, p)].is_empty())
+        let s = self.port_base[node] as usize;
+        let e = self.port_base[node + 1] as usize;
+        self.ports[s..e].iter().any(|p| p.len > 0)
     }
 
     /// Drain memory completions and schedule their response deliveries.
     /// Returns whether any completion was drained (progress, for the
     /// watchdog).
     fn process_completions(&mut self, t: u64, divider: u64) -> Result<bool, SimError> {
-        let completions = self.memsys.drain_completions();
+        let mut completions = std::mem::take(&mut self.comp_scratch);
+        self.memsys.drain_completions_into(&mut completions);
         let progress = !completions.is_empty();
-        for c in completions {
+        let cap = self.cfg.max_outstanding;
+        for &c in &completions {
             if c.fault {
                 return Err(SimError::Fault {
                     node: NodeId(c.node),
                 });
             }
             let node = c.node as usize;
-            let is_store = matches!(self.dfg.node(NodeId(c.node)).op, Op::Store);
+            let is_store = matches!(self.ops[node], Op::Store);
             let domain = self.fabric.domain(self.pe_of[node]);
             // Domain-bucketed load latency.
             if !is_store {
@@ -1012,16 +1435,38 @@ impl<'g> Engine<'g> {
                     },
                 );
             }
-            self.completed[node].insert(c.seq, c);
+            // Park the completion in its issue-order ring slot. Sequence
+            // numbers are globally unique, so the scan over the live
+            // window cannot alias a stale slot.
+            let ring = node * cap;
+            let mut found = false;
+            for i in 0..self.mo_len[node] as usize {
+                let mut pos = self.mo_head[node] as usize + i;
+                if pos >= cap {
+                    pos -= cap;
+                }
+                if self.mo_seq[ring + pos] == c.seq {
+                    self.mo_done[ring + pos] = Some(c);
+                    found = true;
+                    break;
+                }
+            }
+            debug_assert!(found, "completion for unknown sequence number");
             // The freed outstanding slot may unblock the node's next
             // request even if no token arrives to wake it.
             self.mark_dirty_next(node);
             // Deliver in issue order.
-            while let Some(&head) = self.outstanding[node].front() {
-                let Some(done) = self.completed[node].remove(&head) else {
+            while self.mo_len[node] > 0 {
+                let head = self.mo_head[node] as usize;
+                let Some(done) = self.mo_done[ring + head].take() else {
                     break;
                 };
-                self.outstanding[node].pop_front();
+                let mut nh = head + 1;
+                if nh >= cap {
+                    nh = 0;
+                }
+                self.mo_head[node] = nh as u32;
+                self.mo_len[node] -= 1;
                 // Fuzzing: jitter the completion before the issue-order
                 // clamp below, so perturbed responses still leave the PE
                 // in issue order.
@@ -1033,7 +1478,7 @@ impl<'g> Engine<'g> {
                     .max(self.last_resp_time[node]);
                 let tick_time = base.div_ceil(divider) * divider;
                 self.last_resp_time[node] = tick_time;
-                match self.dfg.node(NodeId(c.node)).op {
+                match self.ops[node] {
                     Op::Load => {
                         self.schedule_emit(node, Op::OUT_VALUE, done.value, tick_time);
                         self.schedule_emit(node, Op::LOAD_OUT_ORDER, 0, tick_time);
@@ -1045,52 +1490,73 @@ impl<'g> Engine<'g> {
                 }
             }
         }
+        completions.clear();
+        self.comp_scratch = completions;
         Ok(progress)
     }
 
     /// Attempt one firing at fabric time `t` (tick index `tick`).
     fn try_fire(&mut self, n: usize, t: u64, tick: u64) -> Result<bool, SimError> {
-        let op = self.dfg.node(NodeId(n as u32)).op;
-        match op {
+        match self.ops[n] {
             Op::Sink(s) => {
-                if self.peek(n, 0).is_none() {
+                let i0 = self.fifo_idx(n, 0);
+                let Some(v) = self.peek_idx(i0) else {
                     return Ok(false);
-                }
-                let v = self.consume(n, 0, tick)?;
+                };
+                self.consume_peeked(i0, n, 0, tick);
                 self.sinks[s.0 as usize].push(v);
                 Ok(true)
             }
             Op::BinOp(k) => {
-                if self.peek(n, 0).is_none() || self.peek(n, 1).is_none() || !self.space_on(n, 0) {
+                let i0 = self.fifo_idx(n, 0);
+                let Some(a) = self.peek_idx(i0) else {
+                    return Ok(false);
+                };
+                let Some(b) = self.peek_idx(i0 + 1) else {
+                    return Ok(false);
+                };
+                if !self.space_on(n, 0) {
                     return Ok(false);
                 }
-                let a = self.consume(n, 0, tick)?;
-                let b = self.consume(n, 1, tick)?;
-                self.reserve(n, 0);
-                self.schedule_emit(n, 0, k.eval(a, b), t + self.cfg.divider);
+                self.consume_peeked(i0, n, 0, tick);
+                self.consume_peeked(i0 + 1, n, 1, tick);
+                self.reserve_emit(n, 0, k.eval(a, b), t + self.cfg.divider);
                 Ok(true)
             }
             Op::Cmp(k) => {
-                if self.peek(n, 0).is_none() || self.peek(n, 1).is_none() || !self.space_on(n, 0) {
+                let i0 = self.fifo_idx(n, 0);
+                let Some(a) = self.peek_idx(i0) else {
+                    return Ok(false);
+                };
+                let Some(b) = self.peek_idx(i0 + 1) else {
+                    return Ok(false);
+                };
+                if !self.space_on(n, 0) {
                     return Ok(false);
                 }
-                let a = self.consume(n, 0, tick)?;
-                let b = self.consume(n, 1, tick)?;
-                self.reserve(n, 0);
-                self.schedule_emit(n, 0, k.eval(a, b), t + self.cfg.divider);
+                self.consume_peeked(i0, n, 0, tick);
+                self.consume_peeked(i0 + 1, n, 1, tick);
+                self.reserve_emit(n, 0, k.eval(a, b), t + self.cfg.divider);
                 Ok(true)
             }
             Op::UnOp(k) => {
-                if self.peek(n, 0).is_none() || !self.space_on(n, 0) {
+                let i0 = self.fifo_idx(n, 0);
+                let Some(a) = self.peek_idx(i0) else {
+                    return Ok(false);
+                };
+                if !self.space_on(n, 0) {
                     return Ok(false);
                 }
-                let a = self.consume(n, 0, tick)?;
-                self.reserve(n, 0);
-                self.schedule_emit(n, 0, k.eval(a), t + self.cfg.divider);
+                self.consume_peeked(i0, n, 0, tick);
+                self.reserve_emit(n, 0, k.eval(a), t + self.cfg.divider);
                 Ok(true)
             }
             Op::Steer(pol) => {
-                let (Some(d), Some(_)) = (self.peek(n, 0), self.peek(n, 1)) else {
+                let i0 = self.fifo_idx(n, 0);
+                let Some(d) = self.peek_idx(i0) else {
+                    return Ok(false);
+                };
+                let Some(v) = self.peek_idx(i0 + 1) else {
                     return Ok(false);
                 };
                 let forward = match pol {
@@ -1100,8 +1566,8 @@ impl<'g> Engine<'g> {
                 if forward && !self.space_on(n, 0) {
                     return Ok(false);
                 }
-                self.consume(n, 0, tick)?;
-                let v = self.consume(n, 1, tick)?;
+                self.consume_peeked(i0, n, 0, tick);
+                self.consume_peeked(i0 + 1, n, 1, tick);
                 if forward {
                     self.emit_now(n, 0, v, tick);
                 }
@@ -1109,27 +1575,36 @@ impl<'g> Engine<'g> {
             }
             Op::Carry => match self.state[n] {
                 GateState::Fresh => {
-                    if self.peek(n, Op::CARRY_INIT).is_none() || !self.space_on(n, 0) {
+                    let ii = self.fifo_idx(n, Op::CARRY_INIT);
+                    let Some(v) = self.peek_idx(ii) else {
+                        return Ok(false);
+                    };
+                    if !self.space_on(n, 0) {
                         return Ok(false);
                     }
-                    let v = self.consume(n, Op::CARRY_INIT, tick)?;
+                    self.consume_peeked(ii, n, Op::CARRY_INIT, tick);
                     self.state[n] = GateState::Looping;
                     self.emit_now(n, 0, v, tick);
                     Ok(true)
                 }
                 GateState::Looping => {
-                    let Some(d) = self.peek(n, Op::CARRY_DECIDER) else {
+                    let id = self.fifo_idx(n, Op::CARRY_DECIDER);
+                    let Some(d) = self.peek_idx(id) else {
                         return Ok(false);
                     };
                     if d != 0 {
-                        if self.peek(n, Op::CARRY_BACK).is_none() || !self.space_on(n, 0) {
+                        let ib = self.fifo_idx(n, Op::CARRY_BACK);
+                        let Some(v) = self.peek_idx(ib) else {
+                            return Ok(false);
+                        };
+                        if !self.space_on(n, 0) {
                             return Ok(false);
                         }
-                        self.consume(n, Op::CARRY_DECIDER, tick)?;
-                        let v = self.consume(n, Op::CARRY_BACK, tick)?;
+                        self.consume_peeked(id, n, Op::CARRY_DECIDER, tick);
+                        self.consume_peeked(ib, n, Op::CARRY_BACK, tick);
                         self.emit_now(n, 0, v, tick);
                     } else {
-                        self.consume(n, Op::CARRY_DECIDER, tick)?;
+                        self.consume_peeked(id, n, Op::CARRY_DECIDER, tick);
                         self.state[n] = GateState::Fresh;
                     }
                     Ok(true)
@@ -1138,22 +1613,27 @@ impl<'g> Engine<'g> {
             },
             Op::Invariant => match self.state[n] {
                 GateState::Fresh => {
-                    if self.peek(n, Op::INV_VALUE).is_none() || !self.space_on(n, 0) {
+                    let iv = self.fifo_idx(n, Op::INV_VALUE);
+                    let Some(v) = self.peek_idx(iv) else {
+                        return Ok(false);
+                    };
+                    if !self.space_on(n, 0) {
                         return Ok(false);
                     }
-                    let v = self.consume(n, Op::INV_VALUE, tick)?;
+                    self.consume_peeked(iv, n, Op::INV_VALUE, tick);
                     self.state[n] = GateState::Holding(v);
                     self.emit_now(n, 0, v, tick);
                     Ok(true)
                 }
                 GateState::Holding(v) => {
-                    let Some(d) = self.peek(n, Op::INV_DECIDER) else {
+                    let id = self.fifo_idx(n, Op::INV_DECIDER);
+                    let Some(d) = self.peek_idx(id) else {
                         return Ok(false);
                     };
                     if d != 0 && !self.space_on(n, 0) {
                         return Ok(false);
                     }
-                    self.consume(n, Op::INV_DECIDER, tick)?;
+                    self.consume_peeked(id, n, Op::INV_DECIDER, tick);
                     if d != 0 {
                         self.emit_now(n, 0, v, tick);
                     } else {
@@ -1164,48 +1644,61 @@ impl<'g> Engine<'g> {
                 GateState::Looping => unreachable!("invariant never loops"),
             },
             Op::Select => {
-                if self.peek(n, 0).is_none()
-                    || self.peek(n, 1).is_none()
-                    || self.peek(n, 2).is_none()
-                    || !self.space_on(n, 0)
-                {
+                let i0 = self.fifo_idx(n, 0);
+                let Some(d) = self.peek_idx(i0) else {
+                    return Ok(false);
+                };
+                let Some(a) = self.peek_idx(i0 + 1) else {
+                    return Ok(false);
+                };
+                let Some(b) = self.peek_idx(i0 + 2) else {
+                    return Ok(false);
+                };
+                if !self.space_on(n, 0) {
                     return Ok(false);
                 }
-                let d = self.consume(n, 0, tick)?;
-                let a = self.consume(n, 1, tick)?;
-                let b = self.consume(n, 2, tick)?;
+                self.consume_peeked(i0, n, 0, tick);
+                self.consume_peeked(i0 + 1, n, 1, tick);
+                self.consume_peeked(i0 + 2, n, 2, tick);
                 self.emit_now(n, 0, if d != 0 { a } else { b }, tick);
                 Ok(true)
             }
             Op::Mux => {
-                let Some(d) = self.peek(n, 0) else {
+                let i0 = self.fifo_idx(n, 0);
+                let Some(d) = self.peek_idx(i0) else {
                     return Ok(false);
                 };
                 let taken = if d != 0 { 1 } else { 2 };
-                if self.peek(n, taken).is_none() || !self.space_on(n, 0) {
+                let Some(v) = self.peek_idx(i0 + taken) else {
+                    return Ok(false);
+                };
+                if !self.space_on(n, 0) {
                     return Ok(false);
                 }
-                self.consume(n, 0, tick)?;
-                let v = self.consume(n, taken, tick)?;
+                self.consume_peeked(i0, n, 0, tick);
+                self.consume_peeked(i0 + taken, n, taken, tick);
                 self.emit_now(n, 0, v, tick);
                 Ok(true)
             }
             Op::Load => {
-                if self.peek(n, Op::LOAD_ADDR).is_none() {
+                let ia = self.fifo_idx(n, Op::LOAD_ADDR);
+                let Some(addr) = self.peek_idx(ia) else {
+                    return Ok(false);
+                };
+                let io = self.fifo_idx(n, Op::LOAD_ORDER);
+                let order_wired = matches!(self.port_src[io], PortSrc::Wire(_));
+                if order_wired && self.peek_idx(io).is_none() {
                     return Ok(false);
                 }
-                if self.order_wired(n, Op::LOAD_ORDER) && self.peek(n, Op::LOAD_ORDER).is_none() {
-                    return Ok(false);
-                }
-                if self.outstanding[n].len() >= self.cfg.max_outstanding
+                if self.mo_len[n] as usize >= self.cfg.max_outstanding
                     || !self.space_on(n, Op::OUT_VALUE)
                     || !self.space_on(n, Op::LOAD_OUT_ORDER)
                 {
                     return Ok(false);
                 }
-                let addr = self.consume(n, Op::LOAD_ADDR, tick)?;
-                if self.order_wired(n, Op::LOAD_ORDER) {
-                    self.consume(n, Op::LOAD_ORDER, tick)?;
+                self.consume_peeked(ia, n, Op::LOAD_ADDR, tick);
+                if order_wired {
+                    self.consume_peeked(io, n, Op::LOAD_ORDER, tick);
                 }
                 self.reserve(n, Op::OUT_VALUE);
                 self.reserve(n, Op::LOAD_OUT_ORDER);
@@ -1213,20 +1706,23 @@ impl<'g> Engine<'g> {
                 Ok(true)
             }
             Op::Store => {
-                if self.peek(n, Op::STORE_ADDR).is_none() || self.peek(n, Op::STORE_VALUE).is_none()
-                {
+                let ia = self.fifo_idx(n, Op::STORE_ADDR);
+                let iv = self.fifo_idx(n, Op::STORE_VALUE);
+                let (Some(addr), Some(value)) = (self.peek_idx(ia), self.peek_idx(iv)) else {
+                    return Ok(false);
+                };
+                let io = self.fifo_idx(n, Op::STORE_ORDER);
+                let order_wired = matches!(self.port_src[io], PortSrc::Wire(_));
+                if order_wired && self.peek_idx(io).is_none() {
                     return Ok(false);
                 }
-                if self.order_wired(n, Op::STORE_ORDER) && self.peek(n, Op::STORE_ORDER).is_none() {
+                if self.mo_len[n] as usize >= self.cfg.max_outstanding || !self.space_on(n, 0) {
                     return Ok(false);
                 }
-                if self.outstanding[n].len() >= self.cfg.max_outstanding || !self.space_on(n, 0) {
-                    return Ok(false);
-                }
-                let addr = self.consume(n, Op::STORE_ADDR, tick)?;
-                let value = self.consume(n, Op::STORE_VALUE, tick)?;
-                if self.order_wired(n, Op::STORE_ORDER) {
-                    self.consume(n, Op::STORE_ORDER, tick)?;
+                self.consume_peeked(ia, n, Op::STORE_ADDR, tick);
+                self.consume_peeked(iv, n, Op::STORE_VALUE, tick);
+                if order_wired {
+                    self.consume_peeked(io, n, Op::STORE_ORDER, tick);
                 }
                 self.reserve(n, 0);
                 self.issue_mem(n, true, addr, value, t);
@@ -1240,13 +1736,12 @@ impl<'g> Engine<'g> {
     /// free slot (the nodes holding this one's credit).
     fn credit_blockers(&self, node: usize, port: usize) -> Vec<u32> {
         let mut out = Vec::new();
-        for e in self.dfg.outs(NodeId(node as u32)) {
-            if e.src_port as usize != port {
-                continue;
-            }
-            let idx = self.fifo_idx(e.dst.index(), e.dst_port as usize);
-            if self.fifos[idx].len() + self.reserved[idx] as usize >= self.cfg.fifo_depth {
-                out.push(e.dst.0);
+        for i in self.fan_range(node, port) {
+            let e = &self.fan[i];
+            let idx = e.fifo_idx as usize;
+            let p = self.ports[idx];
+            if usize::from(p.len) + usize::from(p.reserved) >= self.cfg.fifo_depth {
+                out.push(e.dst);
             }
         }
         out
@@ -1265,7 +1760,8 @@ impl<'g> Engine<'g> {
         let mut reserved_total = 0usize;
         for p in 0..node.inputs.len() {
             let idx = self.fifo_idx(n, p);
-            let (len, res) = (self.fifos[idx].len(), self.reserved[idx]);
+            let ps = self.ports[idx];
+            let (len, res) = (usize::from(ps.len), ps.reserved);
             if len > 0 || res > 0 {
                 ports.push(PortOccupancy {
                     port: p as u8,
@@ -1276,7 +1772,7 @@ impl<'g> Engine<'g> {
             buffered += len;
             reserved_total += res as usize;
         }
-        let outstanding = self.outstanding[n].len();
+        let outstanding = self.mo_len[n] as usize;
 
         // Which input ports must hold a token, and which output ports need
         // consumer credit, for the node to fire in its current state.
@@ -1430,7 +1926,7 @@ impl<'g> Engine<'g> {
         let nodes: Vec<StalledNode> = (0..self.dfg.len())
             .filter_map(|n| self.classify_stall(n))
             .collect();
-        let residual: usize = self.fifos.iter().map(VecDeque::len).sum();
+        let residual: usize = self.ports.iter().map(|p| usize::from(p.len)).sum();
         StallReport::new(t, nodes, residual)
     }
 
@@ -1446,7 +1942,15 @@ impl<'g> Engine<'g> {
         }
         self.next_seq += 1;
         let seq = self.next_seq;
-        self.outstanding[n].push_back(seq);
+        let cap = self.cfg.max_outstanding;
+        debug_assert!((self.mo_len[n] as usize) < cap, "outstanding ring overflow");
+        let mut pos = self.mo_head[n] as usize + self.mo_len[n] as usize;
+        if pos >= cap {
+            pos -= cap;
+        }
+        self.mo_seq[n * cap + pos] = seq;
+        self.mo_done[n * cap + pos] = None;
+        self.mo_len[n] += 1;
         if let Some(tr) = self.tracer.as_mut() {
             tr.record(
                 t,
@@ -1457,6 +1961,15 @@ impl<'g> Engine<'g> {
                 },
             );
         }
+        // Flush deferred wait accounting for the quiet cycles before this
+        // issue while the queues still hold their pre-issue state (UPEA
+        // models enqueue straight into a bank here, and back-dating that
+        // occupancy would over-count waits). The issue cycle itself is
+        // left to the next flush/step, which sees the post-issue state —
+        // exactly what an eager per-cycle step would have seen, since the
+        // fabric tick precedes the memory step within a cycle.
+        self.memsys.skip_to(self.mem_last, t);
+        self.mem_last = self.mem_last.max(t.saturating_sub(1));
         self.memsys.issue(
             MemRequest {
                 node: n as u32,
@@ -1469,14 +1982,17 @@ impl<'g> Engine<'g> {
             },
             t,
         );
+        // The new request becomes actionable next cycle at the earliest;
+        // pull the cached next-event time forward so the lazy memsys
+        // stepping in `run` wakes up for it.
+        self.mem_next = self.mem_next.min(t + 1);
     }
 }
 
 #[cfg(test)]
-// Unit tests use the deprecated helper: they exercise the engine on
-// hand-built graphs where the placement shape is irrelevant and pulling
+// Unit tests use the test-only placement helper: they exercise the engine
+// on hand-built graphs where the placement shape is irrelevant and pulling
 // in the annealer would only add noise.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::simple_placement;

@@ -74,24 +74,24 @@ pub use trace::{
 };
 pub use watchdog::{PortOccupancy, StallKind, StallReport, StalledNode};
 
+#[cfg(test)]
 use nupea_fabric::{Fabric, PeId, PeKind};
+#[cfg(test)]
 use nupea_ir::graph::Dfg;
 
-/// A deliberately simple placement for tests and examples that bypass PnR:
-/// memory operations go onto LS PEs (fastest domains first when `fast`,
-/// slowest first otherwise), everything else fills remaining PEs row-major.
+/// A deliberately simple placement for simulator-internal tests that
+/// bypass PnR: memory operations go onto LS PEs (fastest domains first
+/// when `fast`, slowest first otherwise), everything else fills remaining
+/// PEs row-major.
 ///
-/// Deprecated: real flows go through `nupea_pnr::place` (or the full
-/// `nupea_pnr::pnr` pipeline), which enforces slot capacities, returns
-/// typed errors past capacity, and understands placement heuristics.
-/// This helper survives only for simulator-internal tests that need a
+/// Test-only on purpose: real flows go through `nupea_pnr::place` (or the
+/// full `nupea_pnr::pnr` pipeline), which enforces slot capacities,
+/// returns typed errors past capacity, and understands placement
+/// heuristics. This helper survives because latency-model tests need a
 /// *controlled* fast-vs-slow-domain placement the annealer would never
 /// produce (e.g. "slow placement costs more fabric-memory NoC energy").
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nupea_pnr::place::place` on a `Netlist` (or `nupea_pnr::pnr`) instead"
-)]
-pub fn simple_placement(dfg: &Dfg, fabric: &Fabric, fast: bool) -> Vec<PeId> {
+#[cfg(test)]
+pub(crate) fn simple_placement(dfg: &Dfg, fabric: &Fabric, fast: bool) -> Vec<PeId> {
     let mut ls_order = fabric.ls_pref_order();
     if !fast {
         ls_order.reverse();
@@ -110,16 +110,11 @@ pub fn simple_placement(dfg: &Dfg, fabric: &Fabric, fast: bool) -> Vec<PeId> {
         .collect()
 }
 
-/// Sanity check a placement: memory ops on LS PEs, length matches.
-///
-/// Deprecated alongside [`simple_placement`]: placements produced by
-/// `nupea_pnr::place` are correct by construction (capacity and slot
-/// legality are checked there and violations return `PnrError`).
-#[deprecated(
-    since = "0.1.0",
-    note = "placements from `nupea_pnr::place` are validated at construction"
-)]
-pub fn check_placement(dfg: &Dfg, fabric: &Fabric, pe_of: &[PeId]) -> bool {
+/// Sanity check a [`simple_placement`]: memory ops on LS PEs, length
+/// matches. (Placements from `nupea_pnr::place` are validated at
+/// construction and never need this.)
+#[cfg(test)]
+pub(crate) fn check_placement(dfg: &Dfg, fabric: &Fabric, pe_of: &[PeId]) -> bool {
     pe_of.len() == dfg.len()
         && dfg
             .iter()
@@ -127,10 +122,6 @@ pub fn check_placement(dfg: &Dfg, fabric: &Fabric, pe_of: &[PeId]) -> bool {
 }
 
 #[cfg(test)]
-// These tests deliberately pin memory ops to the fastest vs. slowest
-// domains to measure the latency model; the deprecated helper is the only
-// placement that gives that control.
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use nupea_ir::interp::Interp;

@@ -108,6 +108,12 @@ pub struct SimMemory {
     words: Vec<i64>,
     next_free: usize,
     line_words: usize,
+    /// Exclusive upper bound of every address written since construction.
+    /// The backing store starts zeroed, so `words[high_write..]` is
+    /// provably all-zero at all times — [`SimMemory::copy_from`] exploits
+    /// this to restore a recycled buffer by touching only the written
+    /// prefix instead of the full (multi-megabyte) store.
+    high_write: usize,
 }
 
 impl SimMemory {
@@ -117,6 +123,7 @@ impl SimMemory {
             words: vec![0; params.mem_words],
             next_free: 0,
             line_words: params.line_words,
+            high_write: 0,
         }
     }
 
@@ -142,6 +149,7 @@ impl SimMemory {
     pub fn alloc_init(&mut self, data: &[i64]) -> i64 {
         let base = self.alloc(data.len());
         self.words[base as usize..base as usize + data.len()].copy_from_slice(data);
+        self.high_write = self.high_write.max(base as usize + data.len());
         base
     }
 
@@ -163,6 +171,7 @@ impl SimMemory {
     #[inline]
     pub fn write(&mut self, addr: usize, value: i64) {
         self.words[addr] = value;
+        self.high_write = self.high_write.max(addr + 1);
     }
 
     /// Checked read used by the simulator (`None` = fault).
@@ -183,10 +192,37 @@ impl SimMemory {
         {
             Some(slot) => {
                 *slot = value;
+                self.high_write = self.high_write.max(addr as usize + 1);
                 true
             }
             None => false,
         }
+    }
+
+    /// Overwrite `self` with a copy of `src` without reallocating, so run
+    /// buffers can be recycled across simulations. A fresh 16 MB clone is
+    /// page-fault-bound (~10 ms); copying into an already-faulted buffer
+    /// is a plain memcpy — and thanks to the `high_write` watermark only
+    /// the written prefixes of the two stores need touching at all: both
+    /// are provably zero past their watermarks, so the result is
+    /// word-for-word identical to a full copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two memories have different capacities.
+    pub fn copy_from(&mut self, src: &SimMemory) {
+        assert_eq!(
+            self.words.len(),
+            src.words.len(),
+            "copy_from requires equal capacities"
+        );
+        self.words[..src.high_write].copy_from_slice(&src.words[..src.high_write]);
+        if self.high_write > src.high_write {
+            self.words[src.high_write..self.high_write].fill(0);
+        }
+        self.high_write = src.high_write;
+        self.next_free = src.next_free;
+        self.line_words = src.line_words;
     }
 
     /// View a range of memory (for result validation).
@@ -195,7 +231,10 @@ impl SimMemory {
     }
 
     /// Entire backing store, mutably (used by the untimed interpreter).
+    /// Writes through the returned slice cannot be tracked, so the
+    /// high-write watermark is pessimistically raised to the full store.
     pub fn words_mut(&mut self) -> &mut [i64] {
+        self.high_write = self.words.len();
         &mut self.words
     }
 

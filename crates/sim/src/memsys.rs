@@ -136,6 +136,64 @@ struct Bank {
     busy_until: u64,
 }
 
+/// Bitset over the queues of one pipeline stage, tracking which are
+/// non-empty. Arbitration batches over set bits in ascending index order —
+/// the same order as the dense scan it replaces — so only occupied queues
+/// are visited each cycle.
+#[derive(Debug, Clone, Default)]
+struct OccSet {
+    words: Vec<u64>,
+}
+
+impl OccSet {
+    fn new(len: usize) -> Self {
+        OccSet {
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Visit every set bit in ascending order (read-only walk).
+    #[inline]
+    fn for_each(&self, mut f: impl FnMut(usize)) {
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                f(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+    }
+}
+
+/// Push onto queue `i`, maintaining the stage's occupancy bit.
+#[inline]
+fn occ_push<T>(qs: &mut [VecDeque<T>], occ: &mut OccSet, i: usize, item: T) {
+    if qs[i].is_empty() {
+        occ.set(i);
+    }
+    qs[i].push_back(item);
+}
+
+/// Pop the head of queue `i` (must be occupied), maintaining occupancy.
+#[inline]
+fn occ_pop<T>(qs: &mut [VecDeque<T>], occ: &mut OccSet, i: usize) -> T {
+    let item = qs[i].pop_front().expect("occupied queue");
+    if qs[i].is_empty() {
+        occ.clear(i);
+    }
+    item
+}
+
 /// Aggregate memory-system statistics.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
@@ -167,6 +225,26 @@ pub struct MemSys {
     port_resp: Vec<VecDeque<RespItem>>,
     /// Per-arbiter response queues (mirrored network).
     arb_resp: Vec<VecDeque<RespItem>>,
+    /// Occupancy bitsets, one per stage (plus one over bank queues), so
+    /// per-cycle arbitration touches only non-empty queues.
+    occ_arb_req: OccSet,
+    occ_port_req: OccSet,
+    occ_port_resp: OccSet,
+    occ_arb_resp: OccSet,
+    occ_banks: OccSet,
+    /// Per-stage earliest-ready caches: a conservative lower bound on the
+    /// earliest cycle at which any head in the stage becomes actionable
+    /// (`u64::MAX` when the stage is empty). Each stage walk is skipped
+    /// O(1) while its cache lies in the future; pushes min-update the
+    /// target stage's cache, and a walk recomputes it exactly from the
+    /// surviving heads. A bound that is too *small* merely causes one
+    /// no-op walk; it can never skip real work, so timing is unaffected.
+    /// Banks carry no cache — their walk also accrues the per-cycle
+    /// `bank_wait_cycles` and must run whenever `step` does.
+    next_arb_req: u64,
+    next_port_req: u64,
+    next_port_resp: u64,
+    next_arb_resp: u64,
     /// Per-PE: arbiter chain from the PE towards memory (empty for D0).
     chain_of: Vec<Vec<u32>>,
     /// Per-PE: the port requests drain into.
@@ -233,6 +311,15 @@ impl MemSys {
             port_req: vec![VecDeque::new(); noc.ports.len()],
             port_resp: vec![VecDeque::new(); noc.ports.len()],
             arb_resp: vec![VecDeque::new(); noc.arbiters.len()],
+            occ_arb_req: OccSet::new(noc.arbiters.len()),
+            occ_port_req: OccSet::new(noc.ports.len()),
+            occ_port_resp: OccSet::new(noc.ports.len()),
+            occ_arb_resp: OccSet::new(noc.arbiters.len()),
+            occ_banks: OccSet::new(params.banks),
+            next_arb_req: u64::MAX,
+            next_port_req: u64::MAX,
+            next_port_resp: u64::MAX,
+            next_arb_resp: u64::MAX,
             chain_of,
             port_of,
             numa_of: fabric.numa_assignment(numa_seed, 4),
@@ -278,12 +365,23 @@ impl MemSys {
                     ready_at: now + 1,
                 };
                 match chain.first() {
-                    Some(&a) => self.arb_req[a as usize].push_back(item),
+                    Some(&a) => {
+                        occ_push(&mut self.arb_req, &mut self.occ_arb_req, a as usize, item);
+                        self.next_arb_req = self.next_arb_req.min(item.ready_at);
+                    }
                     // D0 LS PEs connect directly to their memory port: no
                     // arbitration hops (§6), but the port still accepts one
                     // request per system cycle — the fast domain offers high
                     // bandwidth, not infinite bandwidth.
-                    None => self.port_req[self.port_of[req.pe.index()] as usize].push_back(item),
+                    None => {
+                        occ_push(
+                            &mut self.port_req,
+                            &mut self.occ_port_req,
+                            self.port_of[req.pe.index()] as usize,
+                            item,
+                        );
+                        self.next_port_req = self.next_port_req.min(item.ready_at);
+                    }
                 }
             }
             MemoryModel::Upea(n) => {
@@ -318,6 +416,9 @@ impl MemSys {
     fn enqueue_bank(&mut self, item: ReqItem) {
         debug_assert!(item.req.addr >= 0, "faults are filtered at issue");
         let bank = self.params.bank_of(item.req.addr as usize);
+        if self.banks[bank].queue.is_empty() {
+            self.occ_banks.set(bank);
+        }
         self.banks[bank].queue.push_back(item);
     }
 
@@ -350,97 +451,163 @@ impl MemSys {
     }
 
     fn step_arbiters_req(&mut self, now: u64) {
-        for a in 0..self.arb_req.len() {
-            let Some(&head) = self.arb_req[a].front() else {
-                continue;
-            };
-            if head.ready_at > now {
-                continue;
-            }
-            self.arb_req[a].pop_front();
-            self.stats.arbiter_forwards += 1;
-            let item = ReqItem {
-                req: head.req,
-                ready_at: now + 1,
-            };
-            // Forward one hop down this PE's chain.
-            let chain = &self.chain_of[head.req.pe.index()];
-            let pos = chain
-                .iter()
-                .position(|&x| x == a as u32)
-                .expect("request is on its own chain");
-            match chain.get(pos + 1) {
-                Some(&next) => self.arb_req[next as usize].push_back(item),
-                None => self.port_req[self.port_of[head.req.pe.index()] as usize].push_back(item),
+        if self.next_arb_req > now {
+            return;
+        }
+        // Chain forwards re-enter `arb_req` mid-walk and min-update the
+        // cache at their push sites, so reset it before the walk and fold
+        // the surviving heads back in afterwards.
+        self.next_arb_req = u64::MAX;
+        let mut nxt = u64::MAX;
+        // Word-at-a-time batch over the occupied arbiters, ascending (the
+        // same visit order as the dense scan). The snapshot is safe under
+        // same-cycle pushes: anything entering a queue this cycle carries
+        // `ready_at = now + 1` and would be skipped anyway.
+        for w in 0..self.occ_arb_req.words.len() {
+            let mut bits = self.occ_arb_req.words[w];
+            while bits != 0 {
+                let a = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let head = *self.arb_req[a].front().expect("occupied queue");
+                if head.ready_at > now {
+                    nxt = nxt.min(head.ready_at);
+                    continue;
+                }
+                occ_pop(&mut self.arb_req, &mut self.occ_arb_req, a);
+                if !self.arb_req[a].is_empty() {
+                    // One forward per arbiter per cycle: the backlog's head
+                    // becomes eligible next cycle.
+                    nxt = nxt.min(now + 1);
+                }
+                self.stats.arbiter_forwards += 1;
+                let item = ReqItem {
+                    req: head.req,
+                    ready_at: now + 1,
+                };
+                // Forward one hop down this PE's chain.
+                let chain = &self.chain_of[head.req.pe.index()];
+                let pos = chain
+                    .iter()
+                    .position(|&x| x == a as u32)
+                    .expect("request is on its own chain");
+                match chain.get(pos + 1) {
+                    Some(&next) => {
+                        occ_push(
+                            &mut self.arb_req,
+                            &mut self.occ_arb_req,
+                            next as usize,
+                            item,
+                        );
+                        self.next_arb_req = self.next_arb_req.min(item.ready_at);
+                    }
+                    None => {
+                        occ_push(
+                            &mut self.port_req,
+                            &mut self.occ_port_req,
+                            self.port_of[head.req.pe.index()] as usize,
+                            item,
+                        );
+                        self.next_port_req = self.next_port_req.min(item.ready_at);
+                    }
+                }
             }
         }
+        self.next_arb_req = self.next_arb_req.min(nxt);
     }
 
     fn step_ports_req(&mut self, now: u64) {
-        for p in 0..self.port_req.len() {
-            let Some(&head) = self.port_req[p].front() else {
-                continue;
-            };
-            if head.ready_at > now {
-                continue;
-            }
-            self.port_req[p].pop_front();
-            // Ports feed banks combinationally (banks step after ports in
-            // the same cycle), so D0 sees no added hop latency.
-            self.enqueue_bank(ReqItem {
-                req: head.req,
-                ready_at: now,
-            });
+        if self.next_port_req > now {
+            return;
         }
+        self.next_port_req = u64::MAX;
+        let mut nxt = u64::MAX;
+        for w in 0..self.occ_port_req.words.len() {
+            let mut bits = self.occ_port_req.words[w];
+            while bits != 0 {
+                let p = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let head = *self.port_req[p].front().expect("occupied queue");
+                if head.ready_at > now {
+                    nxt = nxt.min(head.ready_at);
+                    continue;
+                }
+                occ_pop(&mut self.port_req, &mut self.occ_port_req, p);
+                if !self.port_req[p].is_empty() {
+                    nxt = nxt.min(now + 1);
+                }
+                // Ports feed banks combinationally (banks step after ports in
+                // the same cycle), so D0 sees no added hop latency.
+                self.enqueue_bank(ReqItem {
+                    req: head.req,
+                    ready_at: now,
+                });
+            }
+        }
+        self.next_port_req = self.next_port_req.min(nxt);
     }
 
     fn step_banks(&mut self, now: u64, mem: &mut SimMemory) {
-        for b in 0..self.banks.len() {
-            if self.banks[b].busy_until > now {
-                if !self.banks[b].queue.is_empty() {
-                    self.stats.bank_wait_cycles += 1;
-                }
-                continue;
+        for w in 0..self.occ_banks.words.len() {
+            let mut bits = self.occ_banks.words[w];
+            while bits != 0 {
+                let b = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.step_one_bank(b, now, mem);
             }
-            let Some(&head) = self.banks[b].queue.front() else {
-                continue;
-            };
-            if head.ready_at > now {
-                continue;
+        }
+    }
+
+    fn step_one_bank(&mut self, b: usize, now: u64, mem: &mut SimMemory) {
+        if self.banks[b].busy_until > now {
+            // Occupied by construction: work is queued behind the busy
+            // bank this cycle.
+            self.stats.bank_wait_cycles += 1;
+            return;
+        }
+        let head = *self.banks[b].queue.front().expect("occupied queue");
+        if head.ready_at > now {
+            return;
+        }
+        self.banks[b].queue.pop_front();
+        if self.banks[b].queue.is_empty() {
+            self.occ_banks.clear(b);
+        }
+        let req = head.req;
+        // Out-of-bounds requests were diverted to the fault path at
+        // issue; everything reaching a bank is a real access. (The
+        // checked read/write stays as defense in depth should a
+        // caller hand `step` a memory smaller than `params`.)
+        debug_assert!(req.addr >= 0, "faults are filtered at issue");
+        let (value, fault) = if req.is_store {
+            let ok = mem.try_write(req.addr, req.value);
+            (0, !ok)
+        } else {
+            match mem.try_read(req.addr) {
+                Some(v) => (v, false),
+                None => (0, true),
             }
-            self.banks[b].queue.pop_front();
-            let req = head.req;
-            // Out-of-bounds requests were diverted to the fault path at
-            // issue; everything reaching a bank is a real access. (The
-            // checked read/write stays as defense in depth should a
-            // caller hand `step` a memory smaller than `params`.)
-            debug_assert!(req.addr >= 0, "faults are filtered at issue");
-            let (value, fault) = if req.is_store {
-                let ok = mem.try_write(req.addr, req.value);
-                (0, !ok)
-            } else {
-                match mem.try_read(req.addr) {
-                    Some(v) => (v, false),
-                    None => (0, true),
-                }
-            };
-            // Cache counters are the single source of truth for hit/miss
-            // statistics; `sync_cache_stats` mirrors them into the stats
-            // block (satellite fix: the old per-bank `stats.cache_hits`
-            // increments silently diverged from `cache.hits` on faults).
-            let hit = !fault && self.cache.access(req.addr as usize, now);
-            let latency = if hit || fault {
-                self.params.hit_latency
-            } else {
-                self.params.hit_latency + self.params.miss_latency
-            };
-            self.banks[b].busy_until = now + latency;
-            let done_at = now + latency;
-            match self.model {
-                MemoryModel::Nupea if !self.chain_of[req.pe.index()].is_empty() => {
-                    let hops = self.chain_of[req.pe.index()].len() as u32;
-                    let port = self.port_of[req.pe.index()] as usize;
-                    self.port_resp[port].push_back(RespItem {
+        };
+        // Cache counters are the single source of truth for hit/miss
+        // statistics; `sync_cache_stats` mirrors them into the stats
+        // block (satellite fix: the old per-bank `stats.cache_hits`
+        // increments silently diverged from `cache.hits` on faults).
+        let hit = !fault && self.cache.access(req.addr as usize, now);
+        let latency = if hit || fault {
+            self.params.hit_latency
+        } else {
+            self.params.hit_latency + self.params.miss_latency
+        };
+        self.banks[b].busy_until = now + latency;
+        let done_at = now + latency;
+        match self.model {
+            MemoryModel::Nupea if !self.chain_of[req.pe.index()].is_empty() => {
+                let hops = self.chain_of[req.pe.index()].len() as u32;
+                let port = self.port_of[req.pe.index()] as usize;
+                occ_push(
+                    &mut self.port_resp,
+                    &mut self.occ_port_resp,
+                    port,
+                    RespItem {
                         req,
                         value,
                         fault,
@@ -449,87 +616,128 @@ impl MemSys {
                         bank: b as u16,
                         hit,
                         bank_at: now,
-                    });
-                }
-                // D0 responses bypass the response network too.
-                MemoryModel::Nupea | MemoryModel::Upea(_) | MemoryModel::NumaUpea(_) => {
-                    self.complete(req, value, fault, done_at, b as u16, hit, now, 0);
-                }
+                    },
+                );
+                self.next_port_resp = self.next_port_resp.min(done_at);
+            }
+            // D0 responses bypass the response network too.
+            MemoryModel::Nupea | MemoryModel::Upea(_) | MemoryModel::NumaUpea(_) => {
+                self.complete(req, value, fault, done_at, b as u16, hit, now, 0);
             }
         }
     }
 
     fn step_ports_resp(&mut self, now: u64) {
-        for p in 0..self.port_resp.len() {
-            let Some(&head) = self.port_resp[p].front() else {
-                continue;
-            };
-            if head.ready_at > now {
-                continue;
-            }
-            self.port_resp[p].pop_front();
-            if head.hops_left == 0 {
-                // Direct D0 response: one cycle from port to PE.
-                self.complete(
-                    head.req,
-                    head.value,
-                    head.fault,
-                    now + 1,
-                    head.bank,
-                    head.hit,
-                    head.bank_at,
-                    0,
-                );
-            } else {
-                // Enter the response-arbiter chain at the memory end: the
-                // chain stored per-PE runs PE→memory, so the response walks
-                // it from the back (nearest-memory arbiter first).
-                let chain = &self.chain_of[head.req.pe.index()];
-                let entry = chain[chain.len() - 1];
-                self.arb_resp[entry as usize].push_back(RespItem {
-                    ready_at: now + 1,
-                    ..head
-                });
+        if self.next_port_resp > now {
+            return;
+        }
+        self.next_port_resp = u64::MAX;
+        let mut nxt = u64::MAX;
+        for w in 0..self.occ_port_resp.words.len() {
+            let mut bits = self.occ_port_resp.words[w];
+            while bits != 0 {
+                let p = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let head = *self.port_resp[p].front().expect("occupied queue");
+                if head.ready_at > now {
+                    nxt = nxt.min(head.ready_at);
+                    continue;
+                }
+                occ_pop(&mut self.port_resp, &mut self.occ_port_resp, p);
+                if !self.port_resp[p].is_empty() {
+                    nxt = nxt.min(now + 1);
+                }
+                if head.hops_left == 0 {
+                    // Direct D0 response: one cycle from port to PE.
+                    self.complete(
+                        head.req,
+                        head.value,
+                        head.fault,
+                        now + 1,
+                        head.bank,
+                        head.hit,
+                        head.bank_at,
+                        0,
+                    );
+                } else {
+                    // Enter the response-arbiter chain at the memory end: the
+                    // chain stored per-PE runs PE→memory, so the response walks
+                    // it from the back (nearest-memory arbiter first).
+                    let chain = &self.chain_of[head.req.pe.index()];
+                    let entry = chain[chain.len() - 1];
+                    occ_push(
+                        &mut self.arb_resp,
+                        &mut self.occ_arb_resp,
+                        entry as usize,
+                        RespItem {
+                            ready_at: now + 1,
+                            ..head
+                        },
+                    );
+                    self.next_arb_resp = self.next_arb_resp.min(now + 1);
+                }
             }
         }
+        self.next_port_resp = self.next_port_resp.min(nxt);
     }
 
     fn step_arbiters_resp(&mut self, now: u64) {
-        for a in 0..self.arb_resp.len() {
-            let Some(&head) = self.arb_resp[a].front() else {
-                continue;
-            };
-            if head.ready_at > now {
-                continue;
-            }
-            self.arb_resp[a].pop_front();
-            self.stats.arbiter_forwards += 1;
-            let chain = &self.chain_of[head.req.pe.index()];
-            let pos = chain
-                .iter()
-                .position(|&x| x == a as u32)
-                .expect("response is on its own chain");
-            if pos == 0 {
-                // Arrived at the PE's own arbiter stage: deliver.
-                let hops = chain.len() as u16;
-                self.complete(
-                    head.req,
-                    head.value,
-                    head.fault,
-                    now + 1,
-                    head.bank,
-                    head.hit,
-                    head.bank_at,
-                    hops,
-                );
-            } else {
-                self.arb_resp[chain[pos - 1] as usize].push_back(RespItem {
-                    ready_at: now + 1,
-                    hops_left: head.hops_left - 1,
-                    ..head
-                });
+        if self.next_arb_resp > now {
+            return;
+        }
+        // Hop forwards re-enter `arb_resp` mid-walk (push sites min-update),
+        // so reset before the walk, fold survivors back in at the end.
+        self.next_arb_resp = u64::MAX;
+        let mut nxt = u64::MAX;
+        for w in 0..self.occ_arb_resp.words.len() {
+            let mut bits = self.occ_arb_resp.words[w];
+            while bits != 0 {
+                let a = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let head = *self.arb_resp[a].front().expect("occupied queue");
+                if head.ready_at > now {
+                    nxt = nxt.min(head.ready_at);
+                    continue;
+                }
+                occ_pop(&mut self.arb_resp, &mut self.occ_arb_resp, a);
+                if !self.arb_resp[a].is_empty() {
+                    nxt = nxt.min(now + 1);
+                }
+                self.stats.arbiter_forwards += 1;
+                let chain = &self.chain_of[head.req.pe.index()];
+                let pos = chain
+                    .iter()
+                    .position(|&x| x == a as u32)
+                    .expect("response is on its own chain");
+                if pos == 0 {
+                    // Arrived at the PE's own arbiter stage: deliver.
+                    let hops = chain.len() as u16;
+                    self.complete(
+                        head.req,
+                        head.value,
+                        head.fault,
+                        now + 1,
+                        head.bank,
+                        head.hit,
+                        head.bank_at,
+                        hops,
+                    );
+                } else {
+                    occ_push(
+                        &mut self.arb_resp,
+                        &mut self.occ_arb_resp,
+                        chain[pos - 1] as usize,
+                        RespItem {
+                            ready_at: now + 1,
+                            hops_left: head.hops_left - 1,
+                            ..head
+                        },
+                    );
+                    self.next_arb_resp = self.next_arb_resp.min(now + 1);
+                }
             }
         }
+        self.next_arb_resp = self.next_arb_resp.min(nxt);
     }
 
     #[allow(clippy::too_many_arguments)] // private lifecycle plumbing
@@ -565,9 +773,68 @@ impl MemSys {
         std::mem::take(&mut self.done)
     }
 
+    /// Drain completions into `out` (cleared first), swapping buffers so
+    /// both sides keep their capacity — the engine's per-batch drain
+    /// allocates nothing in steady state.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        self.sync_cache_stats();
+        out.clear();
+        std::mem::swap(&mut self.done, out);
+    }
+
     /// True while requests are in flight (excluding drained completions).
     pub fn busy(&self) -> bool {
         self.queued_items > 0
+    }
+
+    /// Earliest cycle > `now` at which any queued item can make progress,
+    /// or `u64::MAX` when nothing is in flight. A `step` at every cycle in
+    /// `(now, next_event_at(now))` exclusive is a no-op apart from the
+    /// busy-bank wait accounting that [`MemSys::skip_to`] reproduces, so
+    /// the engine may jump straight to the returned cycle.
+    pub fn next_event_at(&self, now: u64) -> u64 {
+        if self.queued_items == 0 {
+            return u64::MAX;
+        }
+        // The four NoC stages are covered by their earliest-ready caches —
+        // conservative lower bounds, so the returned cycle may undershoot
+        // the true next event. An early `step` is harmless: the stage walks
+        // skip, and the bank walk accrues exactly the wait cycles that
+        // `skip_to` would otherwise have accounted for that cycle.
+        let mut next = self
+            .next_arb_req
+            .min(self.next_port_req)
+            .min(self.next_port_resp)
+            .min(self.next_arb_resp);
+        if let Some(h) = self.fault_q.front() {
+            next = next.min(h.ready_at);
+        }
+        self.occ_banks.for_each(|b| {
+            let h = self.banks[b].queue.front().expect("occupied queue");
+            next = next.min(self.banks[b].busy_until.max(h.ready_at));
+        });
+        next.max(now + 1)
+    }
+
+    /// Account for the cycles in `(from, to)` exclusive that the engine
+    /// skipped instead of stepping. The only per-cycle side effect of a
+    /// quiescent `step` is `bank_wait_cycles += 1` for each occupied bank
+    /// still busy that cycle; everything else is gated on a head's
+    /// `ready_at`, which [`MemSys::next_event_at`] guarantees lies at or
+    /// beyond `to`.
+    pub fn skip_to(&mut self, from: u64, to: u64) {
+        if self.queued_items == 0 || to <= from + 1 {
+            return;
+        }
+        for w in 0..self.occ_banks.words.len() {
+            let mut bits = self.occ_banks.words[w];
+            while bits != 0 {
+                let b = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.stats.bank_wait_cycles +=
+                    self.banks[b].busy_until.min(to).saturating_sub(from + 1);
+            }
+        }
     }
 
     /// Mirror the cache's hit/miss counters into the stats block. The

@@ -9,7 +9,7 @@
 //! carry the `critical` category), process 1 is the memory system (async
 //! arrows from issue to delivery, counter tracks for FIFO occupancy).
 
-use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
+use nupea::{Heuristic, MemoryModel, Scale, SimOptions, SystemConfig};
 use nupea_kernels::workloads::workload_by_name;
 use std::path::PathBuf;
 
@@ -33,7 +33,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (MemoryModel::Upea(2), Heuristic::DomainUnaware),
     ] {
         let compiled = sys.compile(&w, heuristic)?;
-        let (stats, trace) = compiled.simulate_traced(model)?;
+        let out = compiled.simulate_with(&SimOptions::new(model).trace())?;
+        let (stats, trace) = (out.stats, out.trace.expect("trace was requested"));
         // The trace is a faithful event log: aggregating its MemDeliver
         // events reproduces the engine's per-domain statistics exactly.
         assert_eq!(

@@ -11,7 +11,8 @@
 //!    byte-identical resilience report across two runs.
 
 use nupea::{
-    CampaignConfig, FaultCampaign, Heuristic, OutcomeClass, PeId, RecoveryOutcome, SystemConfig,
+    CampaignConfig, FaultCampaign, Heuristic, OutcomeClass, PeId, RecoveryOutcome, SimOptions,
+    SystemConfig,
 };
 use nupea::{FaultConfig, FaultKind, MemoryModel, Scale};
 use nupea_fabric::Fabric;
@@ -100,9 +101,17 @@ fn pe_failure_recovers_via_avoid_set_replace() {
     let golden_compiled = sys
         .compile(&w, Heuristic::CriticalityAware)
         .expect("golden");
-    let (golden, golden_mem) = golden_compiled
-        .simulate_raw(&sys, MemoryModel::Nupea, None)
+    let golden_out = golden_compiled
+        .simulate_with(
+            &SimOptions::new(MemoryModel::Nupea)
+                .no_validate()
+                .keep_memory(),
+        )
         .expect("golden runs");
+    let (golden, golden_mem) = (
+        golden_out.stats,
+        golden_out.memory.expect("memory was requested"),
+    );
 
     // Fail the busiest PE of the golden placement from reset — spmv
     // cannot complete without it.
@@ -115,15 +124,20 @@ fn pe_failure_recovers_via_avoid_set_replace() {
         .expect("some PE fired");
     let kind = FaultKind::PeFail { pe: dead, at: 0 };
 
-    let mut inj_sys = sys.clone();
-    inj_sys.fault = FaultConfig::inject(kind);
-    inj_sys.stall_window = 20_000;
     let budget = golden.cycles * 4 + 20_000;
-    let injected = golden_compiled.simulate_raw(&inj_sys, MemoryModel::Nupea, Some(budget));
+    let injected = golden_compiled.simulate_with(
+        &SimOptions::new(MemoryModel::Nupea)
+            .fault(FaultConfig::inject(kind))
+            .stall_window(20_000)
+            .max_cycles(budget)
+            .no_validate()
+            .keep_memory(),
+    );
     let detected = match injected {
         Err(_) => true,
-        Ok((ref stats, ref mem)) => {
-            stats.sinks != golden.sinks || mem.words() != golden_mem.words()
+        Ok(ref out) => {
+            out.stats.sinks != golden.sinks
+                || out.memory.as_ref().expect("memory was requested").words() != golden_mem.words()
         }
     };
     assert!(detected, "killing the busiest PE must be detectable");
@@ -138,9 +152,17 @@ fn pe_failure_recovers_via_avoid_set_replace() {
         !recovered_compiled.placed.pe_of.contains(&PeId(dead)),
         "re-place must not use the failed PE"
     );
-    let (recovered, recovered_mem) = recovered_compiled
-        .simulate_raw(&rec_sys, MemoryModel::Nupea, None)
+    let recovered_out = recovered_compiled
+        .simulate_with(
+            &SimOptions::new(MemoryModel::Nupea)
+                .no_validate()
+                .keep_memory(),
+        )
         .expect("recovered run completes");
+    let (recovered, recovered_mem) = (
+        recovered_out.stats,
+        recovered_out.memory.expect("memory was requested"),
+    );
     assert_eq!(
         recovered.sinks, golden.sinks,
         "recovered sinks must be bit-identical to golden"

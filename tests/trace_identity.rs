@@ -100,7 +100,10 @@ fn spmspv_nupea_vs_upea_traces_match_stats_exactly() {
 
     let mean = |model, heuristic| {
         let compiled = sys.compile(&w, heuristic).expect("spmspv compiles");
-        let (stats, trace) = compiled.simulate_traced(model).expect("spmspv runs");
+        let out = compiled
+            .simulate_with(&nupea::SimOptions::new(model).trace())
+            .expect("spmspv runs");
+        let (stats, trace) = (out.stats, out.trace.expect("trace was requested"));
         assert_eq!(trace.dropped, 0);
         assert_eq!(
             trace.load_latency_by_domain(),
