@@ -1,0 +1,353 @@
+//! Crash-tolerant multi-process campaign execution (DESIGN.md §11).
+//!
+//!     cargo bench -p nupea-bench --bench shard -- [MODE] [FLAGS]
+//!
+//! Modes (first positional argument):
+//!
+//! * `faults` (default) — the smoke fault campaign (all 13 Table 1
+//!   workloads at test scale) sharded across worker processes.
+//! * `dse` — the smoke DSE grid (spmspv, six candidates) sharded across
+//!   worker processes.
+//!
+//! The harness spawns `--workers` copies of itself (via the hidden
+//! `--worker ID` flag); each claims shards through the lease journal in
+//! `--dir`, so killing any subset of them mid-run loses no work: the
+//! survivors steal the expired leases. With `--chaos K` the harness
+//! itself SIGKILLs K seeded-random workers mid-run to prove it. After
+//! the run the parent finishes any remainder in-process, merges the
+//! per-shard journals, and (with `--check`) asserts that a fresh worker
+//! claims nothing — zero re-simulation — and that the merged report is
+//! byte-identical to the single-process (`shards = 1`) report.
+//!
+//! Flags:
+//!
+//! * `--dir PATH`         coordination + shard journal directory (required
+//!   for multi-process runs; a temp dir is used when omitted)
+//! * `--shards N`         shard count (default 13; 1 = single-process)
+//! * `--workers N`        worker subprocesses to spawn (default 4)
+//! * `--chaos K`          SIGKILL K random workers mid-run (default 0)
+//! * `--seed N`           chaos schedule seed (default 0xC7A05)
+//! * `--ttl-ms N`         lease time-to-live (default 1500)
+//! * `--heartbeat-ms N`   lease renewal period (default 150)
+//! * `--json PATH`        write the merged report JSON
+//! * `--single-json PATH` also run single-process and write its JSON
+//! * `--check`            assert zero re-simulation on resume and merged
+//!   bytes == single-process bytes
+
+use nupea::shard::ShardOptions;
+use nupea::{jsonl, CampaignConfig, FaultCampaign, Scale};
+use nupea_dse::{DseConfig, SearchSpace};
+use nupea_kernels::workloads::workload_by_name;
+use nupea_rng::Xoshiro256;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Duration;
+
+struct Opts {
+    mode: String,
+    dir: Option<PathBuf>,
+    shards: u32,
+    workers: u32,
+    chaos: u32,
+    seed: u64,
+    ttl_ms: u64,
+    heartbeat_ms: u64,
+    json: Option<PathBuf>,
+    single_json: Option<PathBuf>,
+    check: bool,
+    /// Hidden: run as one worker process of the fleet instead of as the
+    /// orchestrating parent.
+    worker: Option<String>,
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        mode: "faults".into(),
+        dir: None,
+        shards: 13,
+        workers: 4,
+        chaos: 0,
+        seed: 0xC7A05,
+        ttl_ms: 1_500,
+        heartbeat_ms: 150,
+        json: None,
+        single_json: None,
+        check: false,
+        worker: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value =
+        |args: &mut std::iter::Skip<std::env::Args>, flag: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{flag} needs a value"))
+        };
+    let num = |flag: &str, s: String| s.parse::<u64>().map_err(|e| format!("{flag}: {e}"));
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--dir" => opts.dir = Some(value(&mut args, "--dir")?.into()),
+            "--shards" => opts.shards = num("--shards", value(&mut args, "--shards")?)? as u32,
+            "--workers" => opts.workers = num("--workers", value(&mut args, "--workers")?)? as u32,
+            "--chaos" => opts.chaos = num("--chaos", value(&mut args, "--chaos")?)? as u32,
+            "--seed" => opts.seed = num("--seed", value(&mut args, "--seed")?)?,
+            "--ttl-ms" => opts.ttl_ms = num("--ttl-ms", value(&mut args, "--ttl-ms")?)?,
+            "--heartbeat-ms" => {
+                opts.heartbeat_ms = num("--heartbeat-ms", value(&mut args, "--heartbeat-ms")?)?;
+            }
+            "--json" => opts.json = Some(value(&mut args, "--json")?.into()),
+            "--single-json" => opts.single_json = Some(value(&mut args, "--single-json")?.into()),
+            "--check" => opts.check = true,
+            "--worker" => opts.worker = Some(value(&mut args, "--worker")?),
+            // Ignore flags cargo's bench harness forwards (e.g. --bench).
+            s if s.starts_with("--") => {}
+            s => opts.mode = s.to_string(),
+        }
+    }
+    Ok(opts)
+}
+
+/// The campaign every process of a `faults` run agrees on.
+fn campaign() -> FaultCampaign {
+    FaultCampaign::new(CampaignConfig::smoke())
+}
+
+/// The search space every process of a `dse` run agrees on (the dse
+/// bench's smoke preset).
+fn space() -> SearchSpace {
+    SearchSpace {
+        domain_cols: vec![3],
+        d0_cols: vec![2, 3],
+        cache_words: vec![64 * 1024],
+        effort: 64,
+        ..SearchSpace::default()
+    }
+}
+
+fn shard_options(opts: &Opts, worker: String) -> ShardOptions {
+    ShardOptions {
+        shards: opts.shards,
+        worker,
+        ttl_ms: opts.ttl_ms,
+        heartbeat_ms: opts.heartbeat_ms,
+        ..ShardOptions::default()
+    }
+}
+
+/// Worker-process mode: drain the shard queue, print one stats line.
+fn run_as_worker(opts: &Opts, id: &str, dir: &Path) -> Result<(), String> {
+    let sopts = shard_options(opts, id.to_string());
+    let stats = match opts.mode.as_str() {
+        "faults" => campaign()
+            .run_shard_worker(dir, &sopts)
+            .map_err(|e| e.to_string())?,
+        "dse" => {
+            let spmspv = workload_by_name("spmspv")
+                .expect("spmspv exists")
+                .build_default(Scale::Test);
+            nupea_dse::run_shard_worker(&space(), &DseConfig::default(), &[spmspv], dir, &sopts)
+                .map_err(|e| e.to_string())?
+        }
+        m => return Err(format!("unknown mode {m:?} (faults|dse)")),
+    };
+    println!(
+        "{{\"claimed\":{},\"completed\":{},\"stolen\":{},\"fenced\":{}}}",
+        stats.claimed, stats.completed, stats.stolen, stats.fenced
+    );
+    Ok(())
+}
+
+/// Spawn one worker copy of this binary, forwarding the run config.
+fn spawn_worker(opts: &Opts, dir: &Path, id: &str) -> Result<Child, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    Command::new(exe)
+        .args([
+            opts.mode.as_str(),
+            "--worker",
+            id,
+            "--dir",
+            dir.to_str().ok_or("--dir must be valid UTF-8")?,
+            "--shards",
+            &opts.shards.to_string(),
+            "--ttl-ms",
+            &opts.ttl_ms.to_string(),
+            "--heartbeat-ms",
+            &opts.heartbeat_ms.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn worker {id}: {e}"))
+}
+
+/// Spawn the fleet, SIGKILL `--chaos` seeded-random members mid-run, and
+/// wait for the rest; survivors must exit cleanly.
+fn run_fleet(opts: &Opts, dir: &Path) -> Result<(), String> {
+    let mut children: Vec<(String, Child)> = (0..opts.workers)
+        .map(|i| {
+            let id = format!("w{i}");
+            spawn_worker(opts, dir, &id).map(|c| (id, c))
+        })
+        .collect::<Result<_, _>>()?;
+    let mut rng = Xoshiro256::seed_from_u64(opts.seed);
+    let mut victims: Vec<usize> = (0..children.len()).collect();
+    rng.shuffle(&mut victims);
+    victims.truncate(opts.chaos.min(opts.workers.saturating_sub(1)) as usize);
+    for &v in &victims {
+        std::thread::sleep(Duration::from_millis(100 + rng.below(300)));
+        let (id, child) = &mut children[v];
+        if child.try_wait().map_err(|e| e.to_string())?.is_none() {
+            child.kill().map_err(|e| format!("kill {id}: {e}"))?;
+            println!("chaos: killed {id} mid-run");
+        }
+    }
+    for (i, (id, child)) in children.into_iter().enumerate() {
+        let out = child.wait_with_output().map_err(|e| e.to_string())?;
+        if victims.contains(&i) {
+            continue;
+        }
+        if !out.status.success() {
+            return Err(format!("worker {id} failed ({})", out.status));
+        }
+        print!("{id}: {}", String::from_utf8_lossy(&out.stdout));
+    }
+    Ok(())
+}
+
+/// One more worker over the finished run: returns its claim count, which
+/// must be zero when every shard is already done.
+fn resume_claims(opts: &Opts, dir: &Path, id: &str) -> Result<u64, String> {
+    let out = spawn_worker(opts, dir, id)?
+        .wait_with_output()
+        .map_err(|e| e.to_string())?;
+    if !out.status.success() {
+        return Err(format!("resume worker failed ({})", out.status));
+    }
+    let stats = String::from_utf8_lossy(&out.stdout);
+    jsonl::u64_field(&stats, "claimed").ok_or_else(|| format!("bad resume stats: {stats}"))
+}
+
+/// Single-process baseline for `--single-json` / `--check`.
+fn single_process_json(opts: &Opts) -> Result<String, String> {
+    match opts.mode.as_str() {
+        "faults" => Ok(campaign().run().map_err(|e| e.to_string())?.to_json()),
+        "dse" => {
+            let spmspv = workload_by_name("spmspv")
+                .expect("spmspv exists")
+                .build_default(Scale::Test);
+            let dir =
+                std::env::temp_dir().join(format!("nupea-shard-single-{}", std::process::id()));
+            std::fs::remove_dir_all(&dir).ok();
+            let report = nupea_dse::run_sharded(
+                &space(),
+                &DseConfig::default(),
+                &[spmspv],
+                &dir,
+                &ShardOptions::with_shards(1),
+            )
+            .map_err(|e| e.to_string())?;
+            std::fs::remove_dir_all(&dir).ok();
+            Ok(report.to_json())
+        }
+        m => Err(format!("unknown mode {m:?} (faults|dse)")),
+    }
+}
+
+/// Merge the per-shard journals into the final report JSON.
+fn merged_json(opts: &Opts, dir: &Path) -> Result<String, String> {
+    match opts.mode.as_str() {
+        "faults" => Ok(campaign()
+            .merge_sharded(dir, opts.shards)
+            .map_err(|e| e.to_string())?
+            .to_json()),
+        "dse" => {
+            let spmspv = workload_by_name("spmspv")
+                .expect("spmspv exists")
+                .build_default(Scale::Test);
+            Ok(nupea_dse::merge_sharded(
+                &space(),
+                &DseConfig::default(),
+                &[spmspv],
+                dir,
+                opts.shards,
+            )
+            .map_err(|e| e.to_string())?
+            .to_json())
+        }
+        m => Err(format!("unknown mode {m:?} (faults|dse)")),
+    }
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_opts()?;
+    let scratch;
+    let dir: &Path = match &opts.dir {
+        Some(d) => d,
+        None => {
+            scratch = std::env::temp_dir().join(format!("nupea-shard-{}", std::process::id()));
+            std::fs::remove_dir_all(&scratch).ok();
+            &scratch
+        }
+    };
+    if let Some(id) = &opts.worker {
+        return run_as_worker(&opts, id, dir);
+    }
+
+    if opts.shards <= 1 {
+        // Degraded single-process path: no fleet, no coordination journal.
+        let json = single_process_json(&opts)?;
+        if let Some(path) = &opts.json {
+            std::fs::write(path, &json).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("report json -> {}", path.display());
+        }
+        println!("shards=1: single-process run complete");
+        return Ok(());
+    }
+
+    println!(
+        "mode={} shards={} workers={} chaos={} dir={}",
+        opts.mode,
+        opts.shards,
+        opts.workers,
+        opts.chaos,
+        dir.display()
+    );
+    run_fleet(&opts, dir)?;
+    // Finish any remainder (e.g. every worker was a chaos victim) and
+    // measure how much a resumed worker re-claims.
+    let claimed = resume_claims(&opts, dir, "resume")?;
+    println!("resume: claimed {claimed} shards");
+
+    let merged = merged_json(&opts, dir)?;
+    if let Some(path) = &opts.json {
+        std::fs::write(path, &merged).map_err(|e| format!("{}: {e}", path.display()))?;
+        println!("merged json -> {}", path.display());
+    }
+    if opts.single_json.is_some() || opts.check {
+        let single = single_process_json(&opts)?;
+        if let Some(path) = &opts.single_json {
+            std::fs::write(path, &single).map_err(|e| format!("{}: {e}", path.display()))?;
+            println!("single-process json -> {}", path.display());
+        }
+        if opts.check {
+            if merged != single {
+                return Err("check: merged report differs from single-process report".into());
+            }
+            // `resume` ran after the fleet drained the queue (and finished
+            // any chaos remainder itself), so it must have claimed nothing.
+            let again = resume_claims(&opts, dir, "resume2")?;
+            if again != 0 {
+                return Err(format!("check: resumed worker re-claimed {again} shards"));
+            }
+            println!("check: ok");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shard: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

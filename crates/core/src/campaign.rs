@@ -40,6 +40,7 @@
 
 use crate::jsonl::{self, JsonlFile};
 use crate::runner::{parallel_map, RetryPolicy, RunErrorKind};
+use crate::shard::{self, ShardOptions, WorkerStats};
 use crate::{Compiled, Heuristic, PipelineError, SimOptions, SystemConfig};
 use nupea_fabric::{DomainId, Fabric, PeId};
 use nupea_kernels::workloads::{all_workloads, Scale, Workload};
@@ -49,7 +50,8 @@ use nupea_sim::{
 };
 use std::collections::HashMap;
 use std::fmt;
-use std::path::PathBuf;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// What the system did about one injected fault (see the
@@ -488,6 +490,15 @@ pub enum CampaignError {
     },
     /// Journal I/O failed.
     Io(std::io::Error),
+    /// A sharded merge found no record for an injection — the shard set
+    /// was merged before every shard finished (see
+    /// [`FaultCampaign::merge_sharded`]).
+    Incomplete {
+        /// The workload missing a record.
+        workload: String,
+        /// The injection index missing a record.
+        index: u32,
+    },
 }
 
 impl fmt::Display for CampaignError {
@@ -497,6 +508,12 @@ impl fmt::Display for CampaignError {
                 write!(f, "golden run failed for {workload}: {error}")
             }
             CampaignError::Io(e) => write!(f, "journal i/o: {e}"),
+            CampaignError::Incomplete { workload, index } => {
+                write!(
+                    f,
+                    "sharded merge incomplete: no record for {workload} injection {index}"
+                )
+            }
         }
     }
 }
@@ -506,6 +523,7 @@ impl std::error::Error for CampaignError {
         match self {
             CampaignError::Golden { error, .. } => Some(error),
             CampaignError::Io(e) => Some(e),
+            CampaignError::Incomplete { .. } => None,
         }
     }
 }
@@ -568,14 +586,7 @@ impl FaultCampaign {
     /// [`CampaignError::Golden`] when a fault-free baseline fails,
     /// [`CampaignError::Io`] on journal I/O errors.
     pub fn run(&self) -> Result<CampaignReport, CampaignError> {
-        let workloads: Vec<Workload> = if self.workloads.is_empty() {
-            all_workloads()
-                .iter()
-                .map(|spec| spec.build_default(self.cfg.scale))
-                .collect()
-        } else {
-            self.workloads.clone()
-        };
+        let workloads = self.resolved_workloads();
         let threads = if self.cfg.threads == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
         } else {
@@ -638,6 +649,166 @@ impl FaultCampaign {
             seed: self.cfg.seed,
             records,
         })
+    }
+
+    /// The campaign's workload set (explicit, or all 13 of Table 1).
+    fn resolved_workloads(&self) -> Vec<Workload> {
+        if self.workloads.is_empty() {
+            all_workloads()
+                .iter()
+                .map(|spec| spec.build_default(self.cfg.scale))
+                .collect()
+        } else {
+            self.workloads.clone()
+        }
+    }
+
+    /// The stable shard of one injection: FNV-1a over
+    /// `"{workload};i{index};s{seed}"` mod the shard count — a pure
+    /// function of the plan, so every worker partitions identically.
+    fn injection_shard(&self, workload: &str, index: u32, shards: u32) -> u32 {
+        let key = format!("{workload};i{index};s{}", self.cfg.seed);
+        shard::shard_of(jsonl::fnv1a(key.as_bytes()), shards)
+    }
+
+    /// Run one worker against a sharded campaign rooted at `dir`
+    /// (coordination journal plus one result journal per shard — see
+    /// [`crate::shard`]). Any number of processes may call this
+    /// concurrently with the same config and distinct
+    /// [`ShardOptions::worker`] ids; each returns once every shard is
+    /// done. Goldens are computed lazily per workload per worker, so a
+    /// worker that finds all shards done — or only replays journaled
+    /// records — performs zero simulation. Within a shard, records are
+    /// replayed keyed `(workload, index)` guarded by the plan seed; a
+    /// shard directory belongs to one campaign configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Golden`] when a fault-free baseline fails,
+    /// [`CampaignError::Io`] on journal I/O errors.
+    pub fn run_shard_worker(
+        &self,
+        dir: &Path,
+        opts: &ShardOptions,
+    ) -> Result<WorkerStats, CampaignError> {
+        let workloads = self.resolved_workloads();
+        let plan = FaultPlan::new(self.cfg.seed, self.cfg.classes);
+        let mut goldens: Vec<Option<Golden>> = (0..workloads.len()).map(|_| None).collect();
+        let mut golden_err: Option<CampaignError> = None;
+        let stats = shard::run_worker(&shard::coord_path(dir), opts, |ctx| {
+            let s = ctx.shard();
+            let (mut jf, lines) = JsonlFile::open(shard::shard_journal(dir, s))?;
+            let mut have: HashMap<(String, u32), ()> = HashMap::new();
+            for line in &lines {
+                if let Some((seed, rec)) = InjectionRecord::parse_line(line) {
+                    if seed == self.cfg.seed {
+                        have.insert((rec.workload, rec.index), ());
+                    }
+                }
+            }
+            for (wi, w) in workloads.iter().enumerate() {
+                for index in 0..self.cfg.injections {
+                    if self.injection_shard(w.name, index, opts.shards) != s
+                        || have.contains_key(&(w.name.to_string(), index))
+                    {
+                        continue;
+                    }
+                    if goldens[wi].is_none() {
+                        match self.golden(w) {
+                            Ok(g) => goldens[wi] = Some(g),
+                            Err(e) => {
+                                golden_err = Some(e);
+                                return Err(io::Error::other("golden baseline failed"));
+                            }
+                        }
+                    }
+                    let g = goldens[wi].as_ref().expect("golden just computed");
+                    let kind = plan.sample(g.workload.name, index, &g.ctx);
+                    let rec = self.classify(g, index, kind);
+                    jf.append(&shard::tag_line(
+                        &rec.to_line(self.cfg.seed),
+                        s,
+                        ctx.epoch(),
+                    ))?;
+                    if !ctx.checkpoint()? {
+                        // Fenced: another worker owns this shard now; our
+                        // stale-epoch rows lose the merge. Stop writing.
+                        return Ok(());
+                    }
+                }
+            }
+            jf.sync()
+        });
+        match stats {
+            Ok(st) => Ok(st),
+            Err(e) => Err(golden_err.unwrap_or(CampaignError::Io(e))),
+        }
+    }
+
+    /// Merge a sharded campaign's per-shard journals into the resilience
+    /// report. Pure journal I/O — zero simulation. The merge is a
+    /// deterministic fold ([`crate::shard::merge_by_key`]): per
+    /// `(workload, index)` the highest-epoch record wins (fencing out
+    /// stale workers' rows), and records are emitted in the same
+    /// canonical order the single-process [`FaultCampaign::run`] uses —
+    /// so for the same seed the merged report is byte-identical to the
+    /// `shards = 1` report, regardless of worker count, death order, or
+    /// steal interleaving.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::Incomplete`] when an injection has no record
+    /// (some shard has not finished), [`CampaignError::Io`] on journal
+    /// I/O errors.
+    pub fn merge_sharded(&self, dir: &Path, shards: u32) -> Result<CampaignReport, CampaignError> {
+        let workloads = self.resolved_workloads();
+        let mut all = Vec::new();
+        for s in 0..shards.max(1) {
+            let (_, lines) = JsonlFile::open(shard::shard_journal(dir, s))?;
+            all.extend(lines);
+        }
+        let merged = shard::merge_by_key(all, |l| {
+            let (seed, rec) = InjectionRecord::parse_line(l)?;
+            (seed == self.cfg.seed).then_some((rec.workload, rec.index))
+        });
+        let mut records = Vec::new();
+        for w in &workloads {
+            for index in 0..self.cfg.injections {
+                let line = merged.get(&(w.name.to_string(), index)).ok_or_else(|| {
+                    CampaignError::Incomplete {
+                        workload: w.name.to_string(),
+                        index,
+                    }
+                })?;
+                let (_, rec) = InjectionRecord::parse_line(line).expect("keyed lines parse");
+                records.push(rec);
+            }
+        }
+        Ok(CampaignReport {
+            seed: self.cfg.seed,
+            records,
+        })
+    }
+
+    /// The sharded campaign entry point: degrade to the single-process
+    /// [`FaultCampaign::run`] when `opts.shards <= 1`; otherwise work as
+    /// one worker until every shard is done (joining or resuming any
+    /// workers already running against `dir`), then merge.
+    ///
+    /// # Errors
+    ///
+    /// As [`FaultCampaign::run_shard_worker`] and
+    /// [`FaultCampaign::merge_sharded`].
+    pub fn run_sharded(
+        &self,
+        dir: &Path,
+        opts: &ShardOptions,
+    ) -> Result<CampaignReport, CampaignError> {
+        if opts.shards <= 1 {
+            return self.run();
+        }
+        self.run_shard_worker(dir, opts)?;
+        self.merge_sharded(dir, opts.shards)
     }
 
     /// Compile and run one workload fault-free; derive the plan context
@@ -706,20 +877,15 @@ impl FaultCampaign {
             factor: 4,
             max_retries: self.cfg.max_rechecks,
         };
-        let mut cap = budget;
-        let mut result = g.compiled.simulate_with(&inj_opts.clone().max_cycles(cap));
-        if let RetryPolicy::Backoff {
-            factor,
-            max_retries,
-        } = policy
-        {
-            for _ in 0..max_retries {
-                if !matches!(result, Err(PipelineError::Sim(SimError::CycleLimit { .. }))) {
-                    break;
-                }
-                cap = cap.saturating_mul(factor);
-                result = g.compiled.simulate_with(&inj_opts.clone().max_cycles(cap));
+        let mut result = g
+            .compiled
+            .simulate_with(&inj_opts.clone().max_cycles(budget));
+        for attempt in 1..=policy.max_retries() {
+            if !matches!(result, Err(PipelineError::Sim(SimError::CycleLimit { .. }))) {
+                break;
             }
+            let cap = policy.backoff_cap(budget, attempt);
+            result = g.compiled.simulate_with(&inj_opts.clone().max_cycles(cap));
         }
 
         match result {

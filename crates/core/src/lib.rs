@@ -37,6 +37,7 @@ pub mod campaign;
 pub mod experiments;
 pub mod jsonl;
 pub mod runner;
+pub mod shard;
 
 pub use campaign::{
     CampaignConfig, CampaignReport, FaultCampaign, InjectionRecord, OutcomeClass, RecoveryOutcome,
@@ -53,6 +54,7 @@ pub use runner::{
     ExperimentRunner, RetryPolicy, RunErrorKind, RunRecord, RunnerReport, SystemHandle,
     WorkloadHandle,
 };
+pub use shard::{Coordinator, Lease, ShardCtx, ShardOptions, ShardState, WorkerStats};
 
 use nupea_pnr::{pnr, PlaceConfig, PnrConfig};
 use nupea_sim::{Engine, MemParams, SimConfig};

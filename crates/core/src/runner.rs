@@ -410,6 +410,45 @@ impl Default for RetryPolicy {
     }
 }
 
+impl RetryPolicy {
+    /// Retries allowed after the first attempt under this policy (zero
+    /// when the factor can't raise the cap, so callers never loop on a
+    /// policy that re-runs at an unchanged limit).
+    #[must_use]
+    pub fn max_retries(&self) -> u32 {
+        match *self {
+            RetryPolicy::None => 0,
+            RetryPolicy::OneShot { factor } => u32::from(factor > 1),
+            RetryPolicy::Backoff {
+                factor,
+                max_retries,
+            } => {
+                if factor > 1 {
+                    max_retries
+                } else {
+                    0
+                }
+            }
+        }
+    }
+
+    /// The capped-exponential value for attempt `attempt` starting from
+    /// `base` (attempt 0 = `base` itself, attempt n = `base × factorⁿ`).
+    /// All arithmetic saturates, so arbitrarily high attempt counts —
+    /// e.g. a shard worker backing off on lease contention for hours —
+    /// plateau at `u64::MAX` instead of overflowing. Used both for cycle
+    /// caps (see `simulate_point`) and for lease-acquisition delays in
+    /// `nupea::shard`.
+    #[must_use]
+    pub fn backoff_cap(&self, base: u64, attempt: u32) -> u64 {
+        let factor = match *self {
+            RetryPolicy::None => 1,
+            RetryPolicy::OneShot { factor } | RetryPolicy::Backoff { factor, .. } => factor,
+        };
+        base.saturating_mul(factor.max(1).saturating_pow(attempt))
+    }
+}
+
 impl ExperimentRunner {
     /// An empty runner. Thread count defaults to the machine's available
     /// parallelism.
@@ -758,27 +797,17 @@ fn simulate_point(
     retry: RetryPolicy,
     want_trace: bool,
 ) -> (SimResult, bool) {
-    let mut cap = budget.unwrap_or(crate::DEFAULT_MAX_CYCLES);
-    let mut out = catch_sim(c, model, cap, want_trace);
-    let (factor, max_retries) = match retry {
-        _ if budget.is_none() => return (out, false),
-        RetryPolicy::None => return (out, false),
-        RetryPolicy::OneShot { factor } => (factor, 1u32),
-        RetryPolicy::Backoff {
-            factor,
-            max_retries,
-        } => (factor, max_retries),
-    };
-    if factor <= 1 {
+    let base = budget.unwrap_or(crate::DEFAULT_MAX_CYCLES);
+    let mut out = catch_sim(c, model, base, want_trace);
+    if budget.is_none() {
         return (out, false);
     }
     let mut retried = false;
-    for _ in 0..max_retries {
+    for attempt in 1..=retry.max_retries() {
         if !matches!(out, Err(PipelineError::Sim(SimError::CycleLimit { .. }))) {
             break;
         }
-        cap = cap.saturating_mul(factor);
-        out = catch_sim(c, model, cap, want_trace);
+        out = catch_sim(c, model, retry.backoff_cap(base, attempt), want_trace);
         retried = true;
     }
     (out, retried)
@@ -804,19 +833,7 @@ fn catch_sim(c: &Compiled, model: MemoryModel, cap: u64, want_trace: bool) -> Si
 
 /// Escape a string for a JSON string literal (quotes not included).
 fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    crate::jsonl::escape(s)
 }
 
 /// Format an `f64` as a JSON number (`null` for non-finite values).
@@ -1235,5 +1252,40 @@ mod tests {
     fn json_escapes_control_and_quote_chars() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn backoff_cap_saturates_at_high_attempt_counts() {
+        let p = RetryPolicy::Backoff {
+            factor: 4,
+            max_retries: u32::MAX,
+        };
+        assert_eq!(p.backoff_cap(1_000, 0), 1_000);
+        assert_eq!(p.backoff_cap(1_000, 1), 4_000);
+        assert_eq!(p.backoff_cap(1_000, 3), 64_000);
+        // 4^32 overflows u64; the cap must plateau, not wrap or panic —
+        // a lease-contention loop can legitimately reach huge attempts.
+        assert_eq!(p.backoff_cap(1_000, 32), u64::MAX);
+        assert_eq!(p.backoff_cap(1_000, 10_000), u64::MAX);
+        assert_eq!(p.backoff_cap(u64::MAX, 1), u64::MAX);
+        assert_eq!(p.backoff_cap(0, 10_000), 0);
+    }
+
+    #[test]
+    fn backoff_cap_degenerate_policies() {
+        assert_eq!(RetryPolicy::None.backoff_cap(500, 7), 500);
+        assert_eq!(RetryPolicy::None.max_retries(), 0);
+        let one = RetryPolicy::OneShot { factor: 64 };
+        assert_eq!(one.max_retries(), 1);
+        assert_eq!(one.backoff_cap(10, 1), 640);
+        // factor <= 1 can't raise the cap: no retries, identity cap.
+        let flat = RetryPolicy::Backoff {
+            factor: 1,
+            max_retries: 9,
+        };
+        assert_eq!(flat.max_retries(), 0);
+        assert_eq!(flat.backoff_cap(10, 10_000), 10);
+        assert_eq!(RetryPolicy::OneShot { factor: 0 }.max_retries(), 0);
+        assert_eq!(RetryPolicy::OneShot { factor: 0 }.backoff_cap(10, 3), 10);
     }
 }

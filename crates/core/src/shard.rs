@@ -1,0 +1,781 @@
+//! Crash-tolerant multi-process sharding over the JSONL journals.
+//!
+//! The DSE and fault-campaign subsystems already survive `kill -9` inside
+//! one process: every result is journaled append-only and replayed on
+//! restart. This module removes the remaining single point of failure —
+//! one process owning the whole candidate/injection space — by turning
+//! the journals into a lease-based work queue that any number of worker
+//! processes can drain concurrently, with work stealing when a worker
+//! dies and a deterministic merge at the end.
+//!
+//! # Protocol
+//!
+//! The unit of work is a **shard**: a stable partition of the work-item
+//! space by FNV-1a hash ([`shard_of`]). Workers coordinate exclusively
+//! through an append-only **coordination journal** of lease records:
+//!
+//! - `claim(shard, epoch, worker, deadline)` — a worker proposes to own
+//!   `shard` at `epoch`. The fold accepts a claim iff its epoch is
+//!   strictly greater than the shard's current epoch; when two workers
+//!   race to the same epoch, **file order** decides (the journal is
+//!   `O_APPEND`, so concurrent appends serialize), and the loser observes
+//!   it lost on re-read.
+//! - `renew(shard, epoch, worker, deadline)` — heartbeat: extends the
+//!   lease deadline. Accepted iff the epoch *and* worker match the
+//!   shard's current owner — a stale worker's late renew is ignored
+//!   (**epoch fencing**).
+//! - `done(shard, epoch, worker)` — the shard's results are fully
+//!   journaled. Same fencing rule; a done shard ignores all later
+//!   records.
+//!
+//! A shard is **claimable** when it is not done and either was never
+//! claimed or its lease deadline has passed — so a SIGKILLed worker's
+//! shards are stolen one TTL after its last heartbeat, at a higher
+//! epoch. The stale worker (if merely stalled, not dead) discovers the
+//! fence on its next [`ShardCtx::checkpoint`] and abandons the shard.
+//!
+//! Claims and dones are written with [`JsonlFile::append_durable`]
+//! (fsync before visible): a claim another worker may act on must
+//! survive a host crash, or two workers could both believe they own a
+//! shard after recovery.
+//!
+//! # Merge determinism
+//!
+//! Result-journal lines are tagged with their shard and epoch
+//! ([`tag_line`]) and checksummed. [`merge_by_key`] folds any multiset
+//! of per-shard journal lines into one winner per key: highest epoch
+//! wins, ties go to the lexicographically smallest line. That rule is a
+//! pure function of the *set* of records — permutation-invariant and
+//! duplicate-proof — so a stolen-and-reexecuted shard (same rows twice,
+//! possibly at two epochs) merges to exactly what a single-process run
+//! produces, regardless of worker count, death order, or steal
+//! interleaving. Callers then emit winners in their canonical order
+//! (workload declaration order × injection index for campaigns; frontier
+//! sort for DSE), which makes the merged reports byte-identical to the
+//! `shards = 1` outputs.
+//!
+//! See `DESIGN.md` §11 for the full protocol rationale and timing rules.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime, UNIX_EPOCH};
+
+use crate::jsonl::{self, JsonlFile};
+use crate::runner::RetryPolicy;
+
+/// Milliseconds since the Unix epoch — the protocol's wall clock. Lease
+/// deadlines compare wall-clock times across processes on one host;
+/// sub-second skew is absorbed by the TTL.
+#[must_use]
+pub fn now_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// The shard a work item with stable hash `hash` belongs to.
+#[must_use]
+pub fn shard_of(hash: u64, shards: u32) -> u32 {
+    let n = u64::from(shards.max(1));
+    u32::try_from(hash % n).expect("shard index < shards fits u32")
+}
+
+/// The coordination journal of a sharded run rooted at `dir`.
+#[must_use]
+pub fn coord_path(dir: &Path) -> PathBuf {
+    dir.join("coord.jsonl")
+}
+
+/// Shard `shard`'s result journal in a sharded run rooted at `dir`.
+#[must_use]
+pub fn shard_journal(dir: &Path, shard: u32) -> PathBuf {
+    dir.join(format!("shard-{shard:04}.jsonl"))
+}
+
+/// Tag a result-journal line with the shard and epoch that produced it
+/// and append a checksum. Parsers ignore the extra fields; the merge
+/// layer ([`merge_by_key`]) uses the epoch to fence out stale writers.
+#[must_use]
+pub fn tag_line(line: &str, shard: u32, epoch: u64) -> String {
+    let Some(body) = line.strip_suffix('}') else {
+        return line.to_string();
+    };
+    jsonl::with_checksum(&format!("{body},\"shard\":{shard},\"epoch\":{epoch}}}"))
+}
+
+/// The epoch a journal line was written at (0 for untagged lines, which
+/// sorts below every real epoch — single-process journals merge fine).
+#[must_use]
+pub fn line_epoch(line: &str) -> u64 {
+    jsonl::u64_field(line, "epoch").unwrap_or(0)
+}
+
+/// Fold journal lines (from any number of shard journals, in any order,
+/// with duplicates) into one winning line per key: highest epoch wins,
+/// ties go to the lexicographically smallest line. Pure function of the
+/// line multiset — permutation-invariant, so merged outputs cannot
+/// depend on worker count or death order. Lines `key_of` cannot key
+/// (torn tails, foreign records) are skipped.
+pub fn merge_by_key<K: Hash + Eq>(
+    lines: impl IntoIterator<Item = String>,
+    mut key_of: impl FnMut(&str) -> Option<K>,
+) -> HashMap<K, String> {
+    let mut best: HashMap<K, String> = HashMap::new();
+    for line in lines {
+        let Some(key) = key_of(&line) else { continue };
+        match best.entry(key) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(line);
+            }
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let (have, new) = (line_epoch(o.get()), line_epoch(&line));
+                if new > have || (new == have && line.as_str() < o.get().as_str()) {
+                    o.insert(line);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Knobs for a sharded run: how the space is partitioned and how leases
+/// are timed. The defaults suit multi-minute shards on one host; tests
+/// and the chaos harness shrink the TTL to keep steal latency low.
+#[derive(Debug, Clone)]
+pub struct ShardOptions {
+    /// Number of shards the work-item space is partitioned into.
+    /// `shards <= 1` means the sharded entry points degrade to the
+    /// single-process path (no coordination journal at all).
+    pub shards: u32,
+    /// Unique worker id (unique per *live* process — the protocol fences
+    /// by `(worker, epoch)`, so a reused id from a dead worker is safe,
+    /// but two live workers must never share one). The CLIs derive it
+    /// from the pid.
+    pub worker: String,
+    /// Lease time-to-live: a shard whose lease is this old (since the
+    /// last heartbeat) is considered abandoned and may be stolen.
+    pub ttl_ms: u64,
+    /// Heartbeat interval — how often a running worker renews its lease
+    /// via [`ShardCtx::checkpoint`]. Keep well under `ttl_ms`.
+    pub heartbeat_ms: u64,
+    /// Backoff for lease-acquisition contention: after losing a claim
+    /// race, the worker sleeps `backoff_cap(2ms, attempt)` (capped at one
+    /// heartbeat) before rescanning. Saturating arithmetic, so unbounded
+    /// contention plateaus instead of overflowing.
+    pub retry: RetryPolicy,
+}
+
+impl Default for ShardOptions {
+    fn default() -> Self {
+        ShardOptions {
+            shards: 1,
+            worker: format!("w{}", std::process::id()),
+            ttl_ms: 10_000,
+            heartbeat_ms: 2_500,
+            retry: RetryPolicy::Backoff {
+                factor: 2,
+                max_retries: 10,
+            },
+        }
+    }
+}
+
+impl ShardOptions {
+    /// Options for an `n`-shard run with default lease timing.
+    #[must_use]
+    pub fn with_shards(n: u32) -> Self {
+        ShardOptions {
+            shards: n,
+            ..ShardOptions::default()
+        }
+    }
+}
+
+/// Folded coordination state of one shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardState {
+    /// Highest accepted claim epoch (0 = never claimed).
+    pub epoch: u64,
+    /// Worker holding the current lease.
+    pub owner: String,
+    /// Lease deadline (ms since epoch); past it the shard is stealable.
+    pub deadline_ms: u64,
+    /// The shard's results are fully journaled.
+    pub done: bool,
+}
+
+/// A lease one worker holds on one shard at one epoch. Appends to the
+/// shard's result journal should be tagged `tag_line(line, shard, epoch)`
+/// so the merge can fence out records written after the lease was lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// The leased shard.
+    pub shard: u32,
+    /// The claim epoch — strictly increases across steals.
+    pub epoch: u64,
+    /// The holder's worker id.
+    pub worker: String,
+}
+
+/// The coordination journal plus its folded per-shard state. All methods
+/// that consult deadlines take an explicit `now_ms` so the protocol is
+/// unit-testable with a synthetic clock; live callers pass [`now_ms`]`()`.
+#[derive(Debug)]
+pub struct Coordinator {
+    path: PathBuf,
+    file: JsonlFile,
+    shards: u32,
+    states: Vec<ShardState>,
+}
+
+impl Coordinator {
+    /// Open (or create) the coordination journal at `path` for an
+    /// `shards`-way partition and fold the existing records.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors opening or reading the journal.
+    pub fn open(path: impl Into<PathBuf>, shards: u32) -> io::Result<Self> {
+        let path = path.into();
+        let mut c = Coordinator {
+            path,
+            file: JsonlFile::in_memory(),
+            shards: shards.max(1),
+            states: Vec::new(),
+        };
+        c.reload()?;
+        Ok(c)
+    }
+
+    /// Re-read the journal and re-fold all shard states. Call before any
+    /// decision that depends on other workers' appends.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors re-reading the journal.
+    pub fn reload(&mut self) -> io::Result<()> {
+        let (file, lines) = JsonlFile::open(&self.path)?;
+        self.file = file;
+        self.states = vec![ShardState::default(); self.shards as usize];
+        for line in &lines {
+            self.fold(line);
+        }
+        Ok(())
+    }
+
+    /// Apply one lease record to the folded state (file order = arrival
+    /// order; see the module docs for the acceptance rules).
+    fn fold(&mut self, line: &str) {
+        let Some(rec) = jsonl::string_field(line, "rec") else {
+            return; // torn tail or foreign line
+        };
+        let Some(shard) = jsonl::u64_field(line, "shard") else {
+            return;
+        };
+        let Some(st) = self.states.get_mut(shard as usize) else {
+            return; // out-of-range shard (journal from a different split)
+        };
+        let (Some(epoch), Some(worker)) = (
+            jsonl::u64_field(line, "epoch"),
+            jsonl::string_field(line, "worker"),
+        ) else {
+            return;
+        };
+        if st.done {
+            return; // a done shard ignores everything after
+        }
+        match rec.as_str() {
+            "claim" if epoch > st.epoch => {
+                st.epoch = epoch;
+                st.owner = worker;
+                st.deadline_ms = jsonl::u64_field(line, "deadline").unwrap_or(0);
+            }
+            "renew" if epoch == st.epoch && worker == st.owner => {
+                st.deadline_ms = jsonl::u64_field(line, "deadline").unwrap_or(st.deadline_ms);
+            }
+            "done" if epoch == st.epoch && worker == st.owner => {
+                st.done = true;
+            }
+            _ => {} // fenced (stale epoch / usurped owner) or unknown rec
+        }
+    }
+
+    /// Number of shards this coordinator partitions over.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Folded state of `shard` (as of the last [`Coordinator::reload`]).
+    #[must_use]
+    pub fn state(&self, shard: u32) -> &ShardState {
+        &self.states[shard as usize]
+    }
+
+    /// Every shard is done (as of the last reload).
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.states.iter().all(|s| s.done)
+    }
+
+    /// Shards not yet done (as of the last reload).
+    #[must_use]
+    pub fn remaining(&self) -> u32 {
+        u32::try_from(self.states.iter().filter(|s| !s.done).count()).unwrap_or(u32::MAX)
+    }
+
+    /// `shard` may be claimed at `now`: not done, and never claimed or
+    /// lease-expired.
+    #[must_use]
+    pub fn claimable(&self, shard: u32, now: u64) -> bool {
+        let st = &self.states[shard as usize];
+        !st.done && (st.epoch == 0 || now > st.deadline_ms)
+    }
+
+    /// Attempt to claim `shard` for `worker` with a `ttl_ms` lease.
+    /// Durably appends a claim at the next epoch, then re-reads to see
+    /// who won the race (file order decides). Returns the lease on win,
+    /// `None` on a lost race or a shard that stopped being claimable.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending to or re-reading the journal.
+    pub fn try_claim(
+        &mut self,
+        shard: u32,
+        worker: &str,
+        ttl_ms: u64,
+        now: u64,
+    ) -> io::Result<Option<Lease>> {
+        self.reload()?;
+        if !self.claimable(shard, now) {
+            return Ok(None);
+        }
+        let epoch = self.states[shard as usize].epoch + 1;
+        let deadline = now.saturating_add(ttl_ms);
+        self.append_record("claim", shard, epoch, worker, Some(deadline))?;
+        self.reload()?;
+        let st = &self.states[shard as usize];
+        if st.epoch == epoch && st.owner == worker {
+            Ok(Some(Lease {
+                shard,
+                epoch,
+                worker: worker.to_string(),
+            }))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Renew `lease` with a fresh `ttl_ms` deadline. Returns `false` —
+    /// without appending — when the lease has been fenced (another
+    /// worker claimed a higher epoch): the caller must abandon the shard.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending to or re-reading the journal.
+    pub fn renew(&mut self, lease: &Lease, ttl_ms: u64, now: u64) -> io::Result<bool> {
+        self.reload()?;
+        if !self.holds(lease) {
+            return Ok(false);
+        }
+        let deadline = now.saturating_add(ttl_ms);
+        self.append_record(
+            "renew",
+            lease.shard,
+            lease.epoch,
+            &lease.worker,
+            Some(deadline),
+        )?;
+        self.reload()?;
+        Ok(true)
+    }
+
+    /// Record `lease`'s shard as done (its results are fully journaled
+    /// and synced). Returns `false` when the lease was fenced first — the
+    /// usurper owns the shard now and will finish it itself.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors appending to or re-reading the journal.
+    pub fn mark_done(&mut self, lease: &Lease) -> io::Result<bool> {
+        self.reload()?;
+        if !self.holds(lease) {
+            return Ok(false);
+        }
+        self.append_record("done", lease.shard, lease.epoch, &lease.worker, None)?;
+        self.reload()?;
+        Ok(true)
+    }
+
+    /// `lease` still matches the folded owner/epoch of its shard.
+    fn holds(&self, lease: &Lease) -> bool {
+        let st = &self.states[lease.shard as usize];
+        !st.done && st.epoch == lease.epoch && st.owner == lease.worker
+    }
+
+    fn append_record(
+        &mut self,
+        rec: &str,
+        shard: u32,
+        epoch: u64,
+        worker: &str,
+        deadline: Option<u64>,
+    ) -> io::Result<()> {
+        let deadline = deadline.map_or(String::new(), |d| format!(",\"deadline\":{d}"));
+        let line = format!(
+            "{{\"rec\":\"{rec}\",\"shard\":{shard},\"epoch\":{epoch},\"worker\":\"{}\"{deadline}}}",
+            jsonl::escape(worker)
+        );
+        // Durability before visibility: another worker acting on this
+        // record must never outlive it across a crash.
+        self.file.append_durable(&jsonl::with_checksum(&line))
+    }
+}
+
+/// What one [`run_worker`] invocation did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Leases won (first claims and steals).
+    pub claimed: u32,
+    /// Shards run to completion and marked done.
+    pub completed: u32,
+    /// Claims at epoch > 1 — shards stolen from a dead or stalled worker.
+    pub stolen: u32,
+    /// Shards abandoned mid-run because the lease was fenced.
+    pub fenced: u32,
+    /// Claim races lost to another worker.
+    pub lost_races: u32,
+}
+
+/// Handle a shard body uses to heartbeat while it works. Call
+/// [`ShardCtx::checkpoint`] at every convenient boundary (per work item);
+/// it renews the lease when a heartbeat is due and reports fencing.
+#[derive(Debug)]
+pub struct ShardCtx<'a> {
+    coord: &'a mut Coordinator,
+    lease: Lease,
+    ttl_ms: u64,
+    heartbeat_ms: u64,
+    last_beat: u64,
+    fenced: bool,
+}
+
+impl ShardCtx<'_> {
+    /// The leased shard index.
+    #[must_use]
+    pub fn shard(&self) -> u32 {
+        self.lease.shard
+    }
+
+    /// The lease epoch — tag every result-journal line with it
+    /// ([`tag_line`]).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.lease.epoch
+    }
+
+    /// Renew the lease if a heartbeat interval has elapsed. Returns
+    /// `false` once the lease is fenced — the body must stop writing for
+    /// this shard and return (its tagged records will lose the merge).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors renewing the lease.
+    pub fn checkpoint(&mut self) -> io::Result<bool> {
+        if self.fenced {
+            return Ok(false);
+        }
+        let now = now_ms();
+        if now.saturating_sub(self.last_beat) < self.heartbeat_ms {
+            return Ok(true);
+        }
+        let held = self.coord.renew(&self.lease, self.ttl_ms, now)?;
+        self.fenced = !held;
+        self.last_beat = now;
+        Ok(held)
+    }
+}
+
+/// Drain the shard queue: repeatedly claim a claimable shard, run `body`
+/// on it, and mark it done, until every shard is done. Blocks (sleeping
+/// one heartbeat between scans) while other live workers hold unfinished
+/// shards, and steals their shards if their leases expire. Returns when
+/// [`Coordinator::all_done`] — so any single surviving worker finishes
+/// the whole queue.
+///
+/// `body` receives a [`ShardCtx`] and must: replay/append the shard's
+/// result journal idempotently, call [`ShardCtx::checkpoint`] between
+/// work items, and return early (Ok) if checkpoint reports fencing.
+///
+/// # Errors
+///
+/// I/O errors from the coordination journal, or the first error `body`
+/// returns.
+pub fn run_worker(
+    coord_path: &Path,
+    opts: &ShardOptions,
+    mut body: impl FnMut(&mut ShardCtx) -> io::Result<()>,
+) -> io::Result<WorkerStats> {
+    let mut coord = Coordinator::open(coord_path, opts.shards)?;
+    let mut stats = WorkerStats::default();
+    // Start the scan at a worker-dependent offset so a fleet starting
+    // simultaneously doesn't stampede shard 0.
+    let offset = shard_of(jsonl::fnv1a(opts.worker.as_bytes()), opts.shards);
+    let mut contention: u32 = 0;
+    loop {
+        coord.reload()?;
+        if coord.all_done() {
+            return Ok(stats);
+        }
+        let now = now_ms();
+        let claimable = (0..opts.shards)
+            .map(|i| (i + offset) % opts.shards)
+            .find(|&s| coord.claimable(s, now));
+        let Some(shard) = claimable else {
+            // Other workers hold every unfinished shard: wait for one to
+            // finish or for a lease to expire.
+            std::thread::sleep(Duration::from_millis(opts.heartbeat_ms.max(1)));
+            continue;
+        };
+        let Some(lease) = coord.try_claim(shard, &opts.worker, opts.ttl_ms, now)? else {
+            // Lost the race: back off (capped at one heartbeat) and rescan.
+            stats.lost_races += 1;
+            contention = contention.saturating_add(1);
+            let delay = opts.retry.backoff_cap(2, contention).min(opts.heartbeat_ms);
+            std::thread::sleep(Duration::from_millis(delay.max(1)));
+            continue;
+        };
+        contention = 0;
+        stats.claimed += 1;
+        if lease.epoch > 1 {
+            stats.stolen += 1;
+        }
+        let mut ctx = ShardCtx {
+            coord: &mut coord,
+            lease: lease.clone(),
+            ttl_ms: opts.ttl_ms,
+            heartbeat_ms: opts.heartbeat_ms,
+            last_beat: now,
+            fenced: false,
+        };
+        body(&mut ctx)?;
+        let fenced = ctx.fenced;
+        if fenced {
+            stats.fenced += 1;
+            continue;
+        }
+        if coord.mark_done(&lease)? {
+            stats.completed += 1;
+        } else {
+            stats.fenced += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nupea-shard-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn shard_of_partitions_stably() {
+        assert_eq!(shard_of(10, 4), 2);
+        assert_eq!(shard_of(10, 1), 0);
+        assert_eq!(shard_of(10, 0), 0, "0 shards treated as 1");
+        let h = jsonl::fnv1a(b"spmv;i3;s64");
+        assert_eq!(shard_of(h, 13), shard_of(h, 13), "deterministic");
+    }
+
+    #[test]
+    fn tag_line_round_trips_epoch_and_stays_parseable() {
+        let tagged = tag_line("{\"k\":1,\"v\":2}", 3, 7);
+        assert_eq!(jsonl::u64_field(&tagged, "k"), Some(1));
+        assert_eq!(jsonl::u64_field(&tagged, "shard"), Some(3));
+        assert_eq!(line_epoch(&tagged), 7);
+        assert_eq!(jsonl::verify_checksum(&tagged), jsonl::Integrity::Valid);
+        assert_eq!(line_epoch("{\"k\":1}"), 0, "untagged lines are epoch 0");
+    }
+
+    #[test]
+    fn merge_by_key_is_permutation_invariant_and_epoch_fenced() {
+        let a = tag_line("{\"k\":1,\"v\":10}", 0, 1); // stale epoch, divergent
+        let b = tag_line("{\"k\":1,\"v\":11}", 0, 2); // winner: higher epoch
+        let c = tag_line("{\"k\":2,\"v\":20}", 1, 1);
+        let dup = c.clone(); // stolen-and-reexecuted duplicate row
+        let torn = "{\"k\":".to_string(); // unkeyable (torn before the value)
+        let perms: [Vec<&String>; 3] = [
+            vec![&a, &b, &c, &dup, &torn],
+            vec![&torn, &dup, &c, &b, &a],
+            vec![&b, &dup, &a, &torn, &c],
+        ];
+        for p in perms {
+            let merged = merge_by_key(p.into_iter().cloned(), |l| jsonl::u64_field(l, "k"));
+            assert_eq!(merged.len(), 2);
+            assert_eq!(merged[&1], b, "higher epoch wins over stale divergent");
+            assert_eq!(merged[&2], c);
+        }
+        // Same epoch, divergent content: lexicographically smallest wins,
+        // independent of encounter order.
+        let x = tag_line("{\"k\":9,\"v\":1}", 0, 3);
+        let y = tag_line("{\"k\":9,\"v\":2}", 0, 3);
+        let w = x.clone().min(y.clone());
+        for pair in [[&x, &y], [&y, &x]] {
+            let merged = merge_by_key(pair.into_iter().cloned(), |l| jsonl::u64_field(l, "k"));
+            assert_eq!(merged[&9], w);
+        }
+    }
+
+    #[test]
+    fn claim_renew_done_fold_with_synthetic_clock() {
+        let dir = scratch("fold");
+        let path = dir.join("coord.jsonl");
+        let mut c = Coordinator::open(&path, 2).unwrap();
+        assert!(c.claimable(0, 100), "fresh shard is claimable");
+        assert!(!c.all_done());
+
+        let lease = c.try_claim(0, "w1", 1_000, 100).unwrap().expect("won");
+        assert_eq!(lease.epoch, 1);
+        assert!(!c.claimable(0, 500), "leased and in TTL");
+        assert!(c.claimable(0, 1_101), "past deadline: stealable");
+        assert!(c.claimable(1, 0), "other shard untouched");
+
+        assert!(c.renew(&lease, 1_000, 900).unwrap());
+        assert!(!c.claimable(0, 1_500), "renew extended the deadline");
+
+        assert!(c.mark_done(&lease).unwrap());
+        assert!(c.state(0).done);
+        assert!(!c.claimable(0, u64::MAX), "done shards are never claimable");
+        assert_eq!(c.remaining(), 1);
+
+        // A second coordinator over the same file folds identically.
+        let c2 = Coordinator::open(&path, 2).unwrap();
+        assert_eq!(c2.state(0), c.state(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn steal_fences_the_stale_worker() {
+        let dir = scratch("fence");
+        let path = dir.join("coord.jsonl");
+        let mut c = Coordinator::open(&path, 1).unwrap();
+        let stale = c.try_claim(0, "w1", 1_000, 0).unwrap().expect("w1 claims");
+
+        // w1 stalls past its deadline; w2 steals at epoch 2.
+        let thief = c.try_claim(0, "w2", 1_000, 2_000).unwrap().expect("steal");
+        assert_eq!(thief.epoch, 2);
+        assert_eq!(c.state(0).owner, "w2");
+
+        // w1 wakes up: its renew and done are fenced, without appending.
+        assert!(!c.renew(&stale, 1_000, 2_100).unwrap());
+        assert!(!c.mark_done(&stale).unwrap());
+        assert!(!c.state(0).done, "stale done was ignored");
+
+        // And even a *directly appended* stale record is ignored at fold
+        // (the late-append case: w1 raced its record in before noticing).
+        c.append_record("renew", 0, 1, "w1", Some(9_999_999))
+            .unwrap();
+        c.reload().unwrap();
+        assert_eq!(c.state(0).deadline_ms, 3_000, "stale renew fenced");
+
+        assert!(c.mark_done(&thief).unwrap());
+        assert!(c.state(0).done);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn claim_race_is_decided_by_file_order() {
+        let dir = scratch("race");
+        let path = dir.join("coord.jsonl");
+        let mut a = Coordinator::open(&path, 1).unwrap();
+        let mut b = Coordinator::open(&path, 1).unwrap();
+        // Both see the shard claimable and append claims at epoch 1; the
+        // coordinator that appended first wins, the other observes loss.
+        a.append_record("claim", 0, 1, "wa", Some(1_000)).unwrap();
+        let lost = b.try_claim(0, "wb", 1_000, 0).unwrap();
+        assert!(lost.is_none(), "wb's same-epoch claim is fenced");
+        a.reload().unwrap();
+        assert_eq!(a.state(0).owner, "wa");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_worker_drains_all_shards_single_process() {
+        let dir = scratch("drain");
+        let path = dir.join("coord.jsonl");
+        let opts = ShardOptions {
+            shards: 5,
+            worker: "solo".into(),
+            ttl_ms: 5_000,
+            heartbeat_ms: 1,
+            ..ShardOptions::default()
+        };
+        let mut seen = Vec::new();
+        let stats = run_worker(&path, &opts, |ctx| {
+            seen.push(ctx.shard());
+            assert!(ctx.checkpoint().unwrap(), "solo worker is never fenced");
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stats.claimed, 5);
+        assert_eq!(stats.completed, 5);
+        assert_eq!(stats.stolen, 0);
+        assert_eq!(stats.fenced, 0);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        // A second worker over the finished queue does nothing.
+        let stats2 = run_worker(&path, &opts, |_| panic!("no work left")).unwrap();
+        assert_eq!(stats2.claimed, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_worker_steals_expired_leases() {
+        let dir = scratch("steal");
+        let path = dir.join("coord.jsonl");
+        // A "dead" worker claimed shard 0 long ago and never heartbeat:
+        // fabricate an expired lease.
+        {
+            let mut c = Coordinator::open(&path, 2).unwrap();
+            c.append_record("claim", 0, 1, "dead", Some(0)).unwrap();
+        }
+        let opts = ShardOptions {
+            shards: 2,
+            worker: "live".into(),
+            ttl_ms: 5_000,
+            heartbeat_ms: 1,
+            ..ShardOptions::default()
+        };
+        let stats = run_worker(&path, &opts, |ctx| {
+            if ctx.shard() == 0 {
+                assert_eq!(ctx.epoch(), 2, "steal bumps the epoch");
+            }
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.stolen, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn worker_ids_with_quotes_survive_the_journal() {
+        let dir = scratch("quote");
+        let path = dir.join("coord.jsonl");
+        let worker = "host\"a\",1";
+        let mut c = Coordinator::open(&path, 1).unwrap();
+        let lease = c.try_claim(0, worker, 1_000, 0).unwrap().expect("claims");
+        assert_eq!(c.state(0).owner, worker);
+        assert!(c.renew(&lease, 1_000, 10).unwrap());
+        let c2 = Coordinator::open(&path, 1).unwrap();
+        assert_eq!(c2.state(0).owner, worker);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

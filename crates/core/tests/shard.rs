@@ -1,0 +1,128 @@
+//! Integration tests for the shard coordination layer: concurrent
+//! in-process workers draining one queue, and sharded fault campaigns
+//! merging byte-identical to the single-process run.
+
+use nupea::campaign::{CampaignConfig, FaultCampaign};
+use nupea::shard::{self, ShardOptions};
+use nupea::Scale;
+use nupea_kernels::workloads::workload_by_name;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("nupea-shard-it-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+#[test]
+fn concurrent_workers_drain_the_queue_exactly_once() {
+    let dir = scratch("concurrent");
+    let coord = shard::coord_path(&dir);
+    const SHARDS: u32 = 12;
+    let runs = AtomicU32::new(0);
+    let stats = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|wi| {
+                let coord = &coord;
+                let runs = &runs;
+                scope.spawn(move || {
+                    let opts = ShardOptions {
+                        shards: SHARDS,
+                        worker: format!("t{wi}"),
+                        ttl_ms: 60_000, // generous: no false steals under load
+                        heartbeat_ms: 5,
+                        ..ShardOptions::default()
+                    };
+                    shard::run_worker(coord.as_path(), &opts, |ctx| {
+                        runs.fetch_add(1, Ordering::SeqCst);
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                        assert!(ctx.checkpoint()?);
+                        Ok(())
+                    })
+                    .unwrap()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect::<Vec<_>>()
+    });
+    // Generous TTLs mean no lease ever expired: every shard ran its body
+    // exactly once, and completions across workers sum to the shard count.
+    assert_eq!(runs.load(Ordering::SeqCst), SHARDS);
+    assert_eq!(stats.iter().map(|s| s.completed).sum::<u32>(), SHARDS);
+    assert_eq!(stats.iter().map(|s| s.stolen).sum::<u32>(), 0);
+    assert_eq!(stats.iter().map(|s| s.fenced).sum::<u32>(), 0);
+    // A late worker finds nothing to do.
+    let opts = ShardOptions {
+        shards: SHARDS,
+        worker: "late".into(),
+        ..ShardOptions::default()
+    };
+    let late = shard::run_worker(&coord, &opts, |_| panic!("queue is drained")).unwrap();
+    assert_eq!(late.claimed, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn small_campaign() -> FaultCampaign {
+    let mut cfg = CampaignConfig::smoke();
+    cfg.injections = 2;
+    cfg.threads = 2;
+    let mut campaign = FaultCampaign::new(cfg);
+    for name in ["spmv", "spmspv"] {
+        campaign.workload(workload_by_name(name).unwrap().build_default(Scale::Test));
+    }
+    campaign
+}
+
+#[test]
+fn sharded_campaign_merges_byte_identical_to_single_process() {
+    let single = small_campaign().run().unwrap().to_json();
+
+    let dir = scratch("campaign");
+    let campaign = small_campaign();
+    let opts = ShardOptions {
+        shards: 3,
+        worker: "w-main".into(),
+        ..ShardOptions::default()
+    };
+    let merged = campaign.run_sharded(&dir, &opts).unwrap();
+    assert_eq!(merged.to_json(), single, "merged report == shards=1 report");
+
+    // Resume over the finished run: zero claims, zero simulation, and the
+    // merge alone reproduces the same bytes.
+    let stats = campaign.run_shard_worker(&dir, &opts).unwrap();
+    assert_eq!(stats.claimed, 0, "nothing left to claim on resume");
+    let remerged = campaign.merge_sharded(&dir, opts.shards).unwrap();
+    assert_eq!(remerged.to_json(), single);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sharded_campaign_degrades_to_single_process_at_one_shard() {
+    let dir = scratch("degrade");
+    let campaign = small_campaign();
+    let report = campaign
+        .run_sharded(&dir, &ShardOptions::with_shards(1))
+        .unwrap();
+    assert_eq!(report.to_json(), small_campaign().run().unwrap().to_json());
+    assert!(
+        !shard::coord_path(&dir).exists(),
+        "shards=1 never creates a coordination journal"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn merge_of_unfinished_shards_reports_incomplete() {
+    let dir = scratch("incomplete");
+    let campaign = small_campaign();
+    let err = campaign.merge_sharded(&dir, 3).unwrap_err();
+    assert!(
+        matches!(err, nupea::campaign::CampaignError::Incomplete { .. }),
+        "{err}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

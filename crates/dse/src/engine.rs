@@ -4,8 +4,9 @@
 
 use crate::journal::{Budget, Journal, JournalEntry, Outcome};
 use crate::pareto::{FrontierPoint, ParetoFrontier, Score};
-use crate::space::{config_hash, Candidate, SearchSpace};
-use crate::strategy::{Evaluation, SearchStrategy};
+use crate::space::{config_hash, fnv1a, Candidate, SearchSpace};
+use crate::strategy::{Evaluation, GridSearch, SearchStrategy};
+use nupea::shard::{self, ShardOptions, WorkerStats};
 use nupea::{ExperimentRunner, RunRecord, SystemHandle, Workload};
 use nupea_sim::MemoryModel;
 use std::collections::HashMap;
@@ -345,6 +346,26 @@ impl DseEngine {
             .collect()
     }
 
+    /// Evaluate candidates at the full (uncapped) budget, bypassing the
+    /// halving schedule — the sharded worker's unit of work, one
+    /// journal-first pass per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Journal I/O errors; candidate failures are recorded outcomes.
+    pub fn evaluate_full(&mut self, cands: &[Candidate]) -> io::Result<Vec<Evaluation>> {
+        self.eval_rung(cands, &Budget::Full, true)
+    }
+
+    /// Flush the engine's journal to stable storage.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors syncing the journal file.
+    pub fn sync_journal(&self) -> io::Result<()> {
+        self.journal.sync()
+    }
+
     /// Evaluate one strategy batch, applying the halving schedule.
     fn evaluate_batch(&mut self, batch: &[Candidate]) -> io::Result<Vec<Evaluation>> {
         let halving = match &self.cfg.halving {
@@ -506,6 +527,171 @@ impl DseEngine {
             })
             .collect())
     }
+}
+
+/// The stable shard a candidate belongs to: FNV-1a over its canonical
+/// key, mod the shard count — a pure function of the candidate, so every
+/// worker partitions the grid identically. Sharding is by candidate
+/// (each work item evaluates the candidate against *all* workloads),
+/// keeping the compile cache effective within a shard.
+#[must_use]
+pub fn candidate_shard(c: &Candidate, shards: u32) -> u32 {
+    shard::shard_of(fnv1a(c.key().as_bytes()), shards)
+}
+
+/// Run one worker against a sharded full-grid search rooted at `dir`
+/// (coordination journal plus one tagged result journal per shard — see
+/// [`nupea::shard`]). Any number of processes may call this concurrently
+/// with the same `(space, cfg, workloads)` and distinct
+/// [`ShardOptions::worker`] ids; each returns once every shard is done.
+/// Sharded searches always evaluate the full grid at [`Budget::Full`] —
+/// the halving schedule is a cross-candidate ranking and is ignored here
+/// (its capped rungs would couple shards to each other).
+///
+/// Within a shard, evaluation is journal-first: a worker resuming a
+/// partially-complete shard replays its journal and only simulates the
+/// missing candidates, and a worker that finds every shard done performs
+/// zero simulation.
+///
+/// # Errors
+///
+/// Journal and coordination I/O errors.
+pub fn run_shard_worker(
+    space: &SearchSpace,
+    cfg: &DseConfig,
+    workloads: &[Workload],
+    dir: &Path,
+    opts: &ShardOptions,
+) -> io::Result<WorkerStats> {
+    let cfg = DseConfig {
+        halving: None,
+        ..cfg.clone()
+    };
+    shard::run_worker(&shard::coord_path(dir), opts, |ctx| {
+        let s = ctx.shard();
+        let journal = Journal::open(shard::shard_journal(dir, s))?.with_tag(s, ctx.epoch());
+        let mut engine = DseEngine::new(space.clone(), cfg.clone()).with_journal(journal);
+        for w in workloads {
+            engine.add_workload(w.clone());
+        }
+        for i in 0..space.len() {
+            let c = space.nth(i);
+            if candidate_shard(&c, opts.shards) != s {
+                continue;
+            }
+            engine.evaluate_full(std::slice::from_ref(&c))?;
+            if !ctx.checkpoint()? {
+                // Fenced: another worker owns this shard now; our
+                // stale-epoch rows lose the merge. Stop writing.
+                return Ok(());
+            }
+        }
+        engine.sync_journal()
+    })
+}
+
+/// Merge per-shard journal files into one deterministic line set: per
+/// `(hash, budget)` key the highest-epoch record wins
+/// ([`nupea::shard::merge_by_key`]), so the result is a pure function of
+/// the journals' record multiset — independent of shard count, worker
+/// death order, steal interleaving, or the order `paths` is given in.
+/// Missing files contribute nothing (their shards may simply be empty).
+///
+/// # Errors
+///
+/// Journal I/O errors.
+pub fn merge_journal_lines(paths: &[std::path::PathBuf]) -> io::Result<Vec<String>> {
+    let mut all = Vec::new();
+    for p in paths {
+        let (_, lines) = nupea::jsonl::JsonlFile::open(p)?;
+        all.extend(lines);
+    }
+    let merged = shard::merge_by_key(all, |l| {
+        let hash = nupea::jsonl::u64_field(l, "hash")?;
+        let budget = nupea::jsonl::string_field(l, "budget")?;
+        Some((hash, budget))
+    });
+    let mut lines: Vec<String> = merged.into_values().collect();
+    lines.sort_unstable(); // canonical order for the returned set
+    Ok(lines)
+}
+
+/// Merge a sharded search's per-shard journals and assemble the
+/// [`DseReport`] — pure journal I/O, zero simulation. The report is
+/// byte-identical to a `shards = 1` grid search over the same space
+/// (same strategy name, evaluation count, and frontiers), regardless of
+/// how the sharded run was executed.
+///
+/// # Errors
+///
+/// Journal I/O errors, or `InvalidData` when a `(candidate, workload)`
+/// pair has no full-budget record (some shard has not finished).
+pub fn merge_sharded(
+    space: &SearchSpace,
+    cfg: &DseConfig,
+    workloads: &[Workload],
+    dir: &Path,
+    shards: u32,
+) -> io::Result<DseReport> {
+    let paths: Vec<std::path::PathBuf> = (0..shards.max(1))
+        .map(|s| shard::shard_journal(dir, s))
+        .collect();
+    let journal = Journal::from_lines(merge_journal_lines(&paths)?);
+    for i in 0..space.len() {
+        let c = space.nth(i);
+        for w in workloads {
+            if journal.lookup(config_hash(w, &c), &Budget::Full).is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "sharded merge incomplete: no full-budget record for {} on shard {}",
+                        c.key(),
+                        candidate_shard(&c, shards)
+                    ),
+                ));
+            }
+        }
+    }
+    let cfg = DseConfig {
+        halving: None,
+        ..cfg.clone()
+    };
+    let mut engine = DseEngine::new(space.clone(), cfg).with_journal(journal);
+    for w in workloads {
+        engine.add_workload(w.clone());
+    }
+    engine.run(&mut GridSearch::new(space.len().max(1)))
+}
+
+/// The sharded search entry point: degrade to a plain single-process
+/// grid search (journaled in shard 0's file) when `opts.shards <= 1`;
+/// otherwise work as one worker until every shard is done (joining or
+/// resuming any workers already running against `dir`), then merge.
+///
+/// # Errors
+///
+/// Journal and coordination I/O errors.
+pub fn run_sharded(
+    space: &SearchSpace,
+    cfg: &DseConfig,
+    workloads: &[Workload],
+    dir: &Path,
+    opts: &ShardOptions,
+) -> io::Result<DseReport> {
+    if opts.shards <= 1 {
+        let cfg = DseConfig {
+            halving: None,
+            ..cfg.clone()
+        };
+        let journal = Journal::open(shard::shard_journal(dir, 0))?;
+        let mut engine = DseEngine::new(space.clone(), cfg).with_journal(journal);
+        for w in workloads {
+            engine.add_workload(w.clone());
+        }
+        return engine.run(&mut GridSearch::new(space.len().max(1)));
+    }
+    run_shard_worker(space, cfg, workloads, dir, opts)?;
+    merge_sharded(space, cfg, workloads, dir, opts.shards)
 }
 
 /// Map a runner record to a journal outcome.

@@ -81,15 +81,11 @@ pub fn config_hash(workload: &Workload, candidate: &Candidate) -> u64 {
     fnv1a(format!("{};par{};{}", workload.name, workload.par, candidate.key()).as_bytes())
 }
 
-/// 64-bit FNV-1a.
+/// 64-bit FNV-1a — the same stable hash the journals, checksum layer,
+/// and shard partitioner use (hosted in [`nupea::jsonl`]).
 #[must_use]
 pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    nupea::jsonl::fnv1a(bytes)
 }
 
 /// The finite menu of values per axis, over a fixed fabric outline.
