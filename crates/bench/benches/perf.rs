@@ -26,6 +26,17 @@ struct Entry {
     peak_rss_kb: u64,
 }
 
+/// Reset the kernel's RSS high-water mark (`VmHWM`) to the current RSS
+/// so the next [`peak_rss_kb`] reading covers only the phase since this
+/// call. Without the reset `VmHWM` is monotone over the process
+/// lifetime, so every workload after the hungriest one silently
+/// inherited its peak (BENCH_006 reported 53504 kB → 86180 kB for
+/// *every* suite entry past the first few). Linux-only; a no-op where
+/// `/proc/self/clear_refs` is unavailable or unwritable.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
 /// Process high-water RSS from /proc/self/status (kB); 0 where unsupported.
 fn peak_rss_kb() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
@@ -53,6 +64,7 @@ fn time_best(repeats: u32, mut f: impl FnMut() -> u64) -> (f64, u64) {
 }
 
 fn entry(name: &str, repeats: u32, f: impl FnMut() -> u64) -> Entry {
+    reset_peak_rss();
     let (wall_ms, cycles) = time_best(repeats, f);
     let secs = wall_ms / 1e3;
     Entry {

@@ -1,0 +1,152 @@
+//! Open-loop load test for `nupea-serve`: boots an in-process server,
+//! fires `/simulate` requests on a fixed schedule (open loop — arrival
+//! times never wait for responses, so queueing delay is measured, not
+//! hidden), and reports the latency distribution and throughput.
+//!
+//! ```text
+//! cargo bench -p nupea-bench --bench serve_load -- \
+//!     [--rate 100] [--duration-secs 2] [--clients 4] \
+//!     [--workloads spmv,spmspv] [--queue-cap 64] [--json PATH]
+//! ```
+//!
+//! Latencies are aggregated in the same hdrhist-style log-bucketed
+//! histogram the server itself reports at `/stats`, so client-observed
+//! and server-observed percentiles are directly comparable. `429`
+//! responses (backpressure shed) are counted separately from successes
+//! — under deliberate overload (`--rate` high, `--queue-cap` low) a
+//! healthy run sheds load instead of growing latency without bound.
+
+use nupea_serve::hist::Hist;
+use nupea_serve::{client, ServeOptions, Server};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct Shot {
+    latency_us: u64,
+    status: u16,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let flag = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let rate: f64 = flag("--rate").and_then(|v| v.parse().ok()).unwrap_or(100.0);
+    let duration_s: f64 = flag("--duration-secs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2.0);
+    let clients: usize = flag("--clients").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let workloads = flag("--workloads").unwrap_or_else(|| "spmv".to_string());
+    let queue_cap: usize = flag("--queue-cap")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let json_path = flag("--json");
+
+    let mut opts = ServeOptions::default();
+    opts.queue_cap = queue_cap;
+    let server = Server::start(&opts).expect("bind load-test server");
+    let addr = server.addr();
+
+    // Pre-compile every workload so the measured window exercises the
+    // steady state (cache hits + simulation), not one-off PnR.
+    let bodies: Vec<String> = workloads
+        .split(',')
+        .filter(|w| !w.is_empty())
+        .map(|w| format!("{{\"workload\":\"{w}\",\"effort\":0}}"))
+        .collect();
+    assert!(!bodies.is_empty(), "--workloads must name at least one");
+    for body in &bodies {
+        let resp = client::post(addr, "/compile", body).expect("warmup compile");
+        assert_eq!(resp.status, 200, "warmup: {}", resp.body_str());
+    }
+
+    // Open-loop schedule: request i is due at t0 + i/rate, interleaved
+    // across client threads; a slow response delays only its own
+    // client's next shot, and the deficit shows up as queueing latency.
+    let total = (rate * duration_s).ceil().max(1.0) as usize;
+    let t0 = Instant::now();
+    let shots: Vec<Shot> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients.max(1))
+            .map(|c| {
+                let bodies = &bodies;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for i in (c..total).step_by(clients.max(1)) {
+                        let due = t0 + Duration::from_secs_f64(i as f64 / rate);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let sent = Instant::now();
+                        let status = client::post(addr, "/simulate", &bodies[i % bodies.len()])
+                            .map_or(0, |r| r.status);
+                        out.push(Shot {
+                            latency_us: u64::try_from(sent.elapsed().as_micros())
+                                .unwrap_or(u64::MAX),
+                            status,
+                        });
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut hist = Hist::new();
+    let (mut ok, mut throttled, mut errors) = (0u64, 0u64, 0u64);
+    for shot in &shots {
+        match shot.status {
+            200 => {
+                ok += 1;
+                hist.record(shot.latency_us);
+            }
+            429 => throttled += 1,
+            _ => errors += 1,
+        }
+    }
+    let throughput = ok as f64 / elapsed_s;
+
+    println!(
+        "serve-load: {} requests over {elapsed_s:.2}s ({rate:.0} rps offered, {clients} clients)",
+        shots.len()
+    );
+    println!("  ok {ok}  throttled(429) {throttled}  errors {errors}  goodput {throughput:.1} rps");
+    println!(
+        "  latency p50 {} us  p90 {} us  p99 {} us  max {} us",
+        hist.percentile(50.0),
+        hist.percentile(90.0),
+        hist.percentile(99.0),
+        hist.max()
+    );
+
+    let mut json = String::new();
+    let _ = write!(
+        json,
+        "{{\n  \"bench\": \"serve_load\",\n  \"offered_rps\": {rate},\n  \
+         \"duration_s\": {elapsed_s:.3},\n  \"clients\": {clients},\n  \
+         \"queue_cap\": {queue_cap},\n  \"workloads\": \"{workloads}\",\n  \
+         \"requests\": {},\n  \"ok\": {ok},\n  \"throttled\": {throttled},\n  \
+         \"errors\": {errors},\n  \"goodput_rps\": {throughput:.1},\n  \
+         \"latency\": {}\n}}\n",
+        shots.len(),
+        hist.to_json()
+    );
+    if let Some(path) = json_path {
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            std::fs::create_dir_all(parent).ok();
+        }
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+    }
+
+    server.shutdown();
+    let final_stats = server.wait();
+    println!("server stats: {final_stats}");
+    assert_eq!(errors, 0, "load test saw non-200/429 responses");
+}

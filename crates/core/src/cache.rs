@@ -1,0 +1,323 @@
+//! Shared content-addressed compile-artifact cache.
+//!
+//! Compiling (multi-seed place-and-route) dominates the cost of a
+//! request, but depends only on `(workload, system, heuristic)` — the
+//! same observation the [`crate::runner`] exploits *within* one sweep.
+//! This cache extends the reuse *across* independent requests (the serve
+//! frontend, repeated CLI invocations in one process): artifacts are
+//! keyed by the FNV-1a hash of a canonical config string
+//! ([`config_key`] / [`config_hash`] — the same [`jsonl::fnv1a`] the DSE
+//! and shard journals use for content addressing), shared as
+//! [`Arc<Compiled>`], and evicted least-recently-used past a fixed
+//! capacity.
+//!
+//! Concurrent requests for the same key are **single-flighted**: the
+//! first takes a pending slot and compiles outside the lock; the rest
+//! block on a condvar and receive the shared artifact, so a burst of
+//! identical requests costs one PnR, not N. Failed compiles are *not*
+//! cached (errors are config-dependent but cheap to rediscover relative
+//! to the risk of pinning a transient failure), and every waiter of a
+//! failed flight retries the compile itself.
+
+use crate::jsonl;
+use crate::{Compiled, Heuristic, PipelineError, SystemConfig, Workload};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Canonical, human-readable config string an artifact is addressed by.
+/// Every knob that can change the compile result is included; the
+/// workload is identified structurally (name, parallelism, graph size,
+/// memory allocation watermark) so the same kernel at different scales —
+/// identical graph, bigger input image — keys differently.
+#[must_use]
+pub fn config_key(workload: &Workload, sys: &SystemConfig, heuristic: Heuristic) -> String {
+    let dfg = workload.kernel.dfg();
+    format!(
+        "w={};par={};nodes={};edges={};memused={};fab={}x{}x{}t;topo={:?};domains={};\
+         mem={},{},{},{},{},{},{};fifo={};outst={};seed={};effort={};div={:?};\
+         stall={};avoid={:?};h={heuristic}",
+        workload.name,
+        workload.par,
+        dfg.len(),
+        dfg.num_edges(),
+        workload.mem.used(),
+        sys.fabric.rows(),
+        sys.fabric.cols(),
+        sys.fabric.tracks,
+        sys.fabric.topology(),
+        sys.fabric.num_domains(),
+        sys.mem.mem_words,
+        sys.mem.cache_words,
+        sys.mem.line_words,
+        sys.mem.ways,
+        sys.mem.banks,
+        sys.mem.hit_latency,
+        sys.mem.miss_latency,
+        sys.fifo_depth,
+        sys.max_outstanding,
+        sys.seed,
+        sys.effort,
+        sys.divider_override,
+        sys.stall_window,
+        sys.avoid,
+    )
+}
+
+/// FNV-1a hash of [`config_key`] — the cache address of one artifact.
+#[must_use]
+pub fn config_hash(workload: &Workload, sys: &SystemConfig, heuristic: Heuristic) -> u64 {
+    jsonl::fnv1a(config_key(workload, sys, heuristic).as_bytes())
+}
+
+/// Counters describing the cache's life so far (reported at `/stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct CacheStats {
+    /// Lookups answered from a cached artifact (including waiters that
+    /// received a single-flighted compile another request started).
+    pub hits: u64,
+    /// Lookups that found no artifact and triggered (or joined a failed)
+    /// compile.
+    pub misses: u64,
+    /// Place-and-route runs actually performed.
+    pub compiles: u64,
+    /// Artifacts evicted by the LRU cap.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    artifact: Arc<Compiled>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: HashMap<u64, Slot>,
+    /// Keys with a compile in flight; waiters sleep on the condvar.
+    pending: Vec<u64>,
+    /// Logical LRU clock, bumped per lookup.
+    tick: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, thread-safe artifact cache. See the [module docs](self).
+#[derive(Debug)]
+pub struct ArtifactCache {
+    inner: Mutex<Inner>,
+    flight_done: Condvar,
+    cap: usize,
+}
+
+impl ArtifactCache {
+    /// A cache holding at most `cap` artifacts (minimum 1).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        ArtifactCache {
+            inner: Mutex::new(Inner::default()),
+            flight_done: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Look up the artifact for `hash` (from [`config_hash`]), compiling
+    /// `(workload, sys, heuristic)` on a miss. Returns the artifact plus
+    /// whether it was served from cache. Concurrent misses on one key
+    /// are single-flighted; see the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`PipelineError`] of a failed compile. Failures are
+    /// never cached.
+    pub fn get_or_compile(
+        &self,
+        hash: u64,
+        workload: &Arc<Workload>,
+        sys: &Arc<SystemConfig>,
+        heuristic: Heuristic,
+    ) -> (Result<Arc<Compiled>, PipelineError>, bool) {
+        let mut inner = self.inner.lock().expect("artifact cache poisoned");
+        loop {
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(slot) = inner.slots.get_mut(&hash) {
+                slot.last_used = tick;
+                let artifact = Arc::clone(&slot.artifact);
+                inner.stats.hits += 1;
+                return (Ok(artifact), true);
+            }
+            if inner.pending.contains(&hash) {
+                // Another request is compiling this key: wait for it and
+                // re-check (a hit if it succeeded, our own flight if not).
+                inner = self
+                    .flight_done
+                    .wait(inner)
+                    .expect("artifact cache poisoned");
+                continue;
+            }
+            inner.stats.misses += 1;
+            inner.pending.push(hash);
+            drop(inner);
+            let result = crate::compile_impl(workload, sys, heuristic);
+            let mut inner = self.inner.lock().expect("artifact cache poisoned");
+            inner.pending.retain(|&k| k != hash);
+            let out = match result {
+                Ok(compiled) => {
+                    inner.stats.compiles += 1;
+                    let artifact = Arc::new(compiled);
+                    let tick = inner.tick;
+                    inner.slots.insert(
+                        hash,
+                        Slot {
+                            artifact: Arc::clone(&artifact),
+                            last_used: tick,
+                        },
+                    );
+                    self.evict_past_cap(&mut inner);
+                    Ok(artifact)
+                }
+                Err(e) => Err(e),
+            };
+            self.flight_done.notify_all();
+            return (out, false);
+        }
+    }
+
+    /// Drop least-recently-used slots until at most `cap` remain.
+    fn evict_past_cap(&self, inner: &mut Inner) {
+        while inner.slots.len() > self.cap {
+            let Some((&victim, _)) = inner.slots.iter().min_by_key(|(_, s)| s.last_used) else {
+                return;
+            };
+            inner.slots.remove(&victim);
+            inner.stats.evictions += 1;
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("artifact cache poisoned");
+        CacheStats {
+            entries: inner.slots.len(),
+            ..inner.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Scale;
+    use nupea_kernels::workloads::sparse;
+
+    fn fixture(par: usize, seed: u64) -> (Arc<Workload>, Arc<SystemConfig>) {
+        (
+            Arc::new(sparse::spmv(Scale::Test, par)),
+            Arc::new(SystemConfig::builder().seed(seed).effort(20).build()),
+        )
+    }
+
+    #[test]
+    fn config_key_separates_every_axis() {
+        let (w1, s1) = fixture(1, 7);
+        let (w2, s2) = fixture(2, 8);
+        let h = Heuristic::CriticalityAware;
+        assert_eq!(config_key(&w1, &s1, h), config_key(&w1, &s1, h));
+        let base = config_hash(&w1, &s1, h);
+        assert_ne!(base, config_hash(&w2, &s1, h), "par must key");
+        assert_ne!(base, config_hash(&w1, &s2, h), "seed must key");
+        assert_ne!(
+            base,
+            config_hash(&w1, &s1, Heuristic::DomainUnaware),
+            "heuristic must key"
+        );
+        let big = Arc::new(sparse::spmv(Scale::Bench, 1));
+        assert_ne!(base, config_hash(&big, &s1, h), "scale must key");
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction_accounting() {
+        let cache = ArtifactCache::new(2);
+        let (w, sys) = fixture(1, 1);
+        let h = Heuristic::DomainUnaware;
+        let k1 = config_hash(&w, &sys, h);
+
+        let (a, cached) = cache.get_or_compile(k1, &w, &sys, h);
+        assert!(a.is_ok() && !cached, "first lookup compiles");
+        let (b, cached) = cache.get_or_compile(k1, &w, &sys, h);
+        assert!(cached, "second lookup hits");
+        assert!(
+            Arc::ptr_eq(&a.unwrap(), &b.unwrap()),
+            "hits share one artifact"
+        );
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                compiles: 1,
+                evictions: 0,
+                entries: 1,
+            }
+        );
+
+        // Two more distinct keys overflow cap 2; k1 (least recently
+        // used after we touch k2) is evicted.
+        let (w2, sys2) = fixture(1, 2);
+        let k2 = config_hash(&w2, &sys2, h);
+        let _ = cache.get_or_compile(k2, &w2, &sys2, h);
+        let _ = cache.get_or_compile(k1, &w, &sys, h); // k1 now most recent
+        let (w3, sys3) = fixture(1, 3);
+        let k3 = config_hash(&w3, &sys3, h);
+        let _ = cache.get_or_compile(k3, &w3, &sys3, h);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 1);
+        let (_, k1_cached) = cache.get_or_compile(k1, &w, &sys, h);
+        assert!(k1_cached, "recently-used key survived eviction");
+        let (_, k2_cached) = cache.get_or_compile(k2, &w2, &sys2, h);
+        assert!(!k2_cached, "LRU key was the victim");
+    }
+
+    #[test]
+    fn failed_compiles_are_not_cached() {
+        let cache = ArtifactCache::new(4);
+        let (w, _) = fixture(1, 1);
+        // A degenerate config fails validation inside compile_impl.
+        let bad = Arc::new(SystemConfig::builder().fifo_depth(0).build());
+        let h = Heuristic::DomainUnaware;
+        let k = config_hash(&w, &bad, h);
+        let (r, cached) = cache.get_or_compile(k, &w, &bad, h);
+        assert!(r.is_err() && !cached);
+        let (r, cached) = cache.get_or_compile(k, &w, &bad, h);
+        assert!(r.is_err() && !cached, "failure was not pinned");
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.compiles, 0, "only successful PnR counts");
+    }
+
+    #[test]
+    fn concurrent_identical_requests_compile_once() {
+        let cache = Arc::new(ArtifactCache::new(4));
+        let (w, sys) = fixture(1, 5);
+        let h = Heuristic::CriticalityAware;
+        let k = config_hash(&w, &sys, h);
+        std::thread::scope(|sc| {
+            for _ in 0..8 {
+                let (cache, w, sys) = (Arc::clone(&cache), Arc::clone(&w), Arc::clone(&sys));
+                sc.spawn(move || {
+                    let (r, _) = cache.get_or_compile(k, &w, &sys, h);
+                    assert!(r.is_ok());
+                });
+            }
+        });
+        let stats = cache.stats();
+        assert_eq!(stats.compiles, 1, "burst single-flighted into one PnR");
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert_eq!(stats.entries, 1);
+    }
+}

@@ -301,9 +301,18 @@ pub fn escape(s: &str) -> String {
 }
 
 /// Undo [`escape`] (the subset of JSON string escapes it emits, plus
-/// `\uXXXX`). Returns `None` for malformed escapes.
+/// `\uXXXX`, including UTF-16 surrogate pairs for astral-plane
+/// characters such as emoji). Returns `None` for malformed escapes and
+/// unpaired surrogates.
 #[must_use]
 pub fn unescape(s: &str) -> Option<String> {
+    fn hex4(chars: &mut std::str::Chars<'_>) -> Option<u32> {
+        let hex: String = chars.by_ref().take(4).collect();
+        if hex.len() != 4 {
+            return None;
+        }
+        u32::from_str_radix(&hex, 16).ok()
+    }
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {
@@ -319,12 +328,26 @@ pub fn unescape(s: &str) -> Option<String> {
             'r' => out.push('\r'),
             't' => out.push('\t'),
             'u' => {
-                let hex: String = chars.by_ref().take(4).collect();
-                if hex.len() != 4 {
-                    return None;
+                let code = hex4(&mut chars)?;
+                if (0xD800..0xDC00).contains(&code) {
+                    // High surrogate: JSON encodes astral-plane characters
+                    // as a \uXXXX\uXXXX pair; the pair decodes to one char.
+                    // A high surrogate not followed by a low one is
+                    // malformed JSON, not a decodable character.
+                    if chars.next()? != '\\' || chars.next()? != 'u' {
+                        return None;
+                    }
+                    let low = hex4(&mut chars)?;
+                    if !(0xDC00..0xE000).contains(&low) {
+                        return None;
+                    }
+                    let c = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    out.push(char::from_u32(c)?);
+                } else if (0xDC00..0xE000).contains(&code) {
+                    return None; // unpaired low surrogate
+                } else {
+                    out.push(char::from_u32(code)?);
                 }
-                let code = u32::from_str_radix(&hex, 16).ok()?;
-                out.push(char::from_u32(code)?);
             }
             _ => return None,
         }
@@ -439,6 +462,27 @@ mod tests {
         assert_eq!(unescape("\\q"), None, "unknown escape is malformed");
         assert_eq!(unescape("\\u00"), None, "short unicode escape");
         assert_eq!(unescape("dangling\\"), None);
+    }
+
+    #[test]
+    fn unescape_decodes_surrogate_pairs() {
+        // External JSON (the serve endpoints) encodes astral-plane chars
+        // as UTF-16 surrogate pairs.
+        assert_eq!(unescape("\\ud83d\\ude00").as_deref(), Some("😀"));
+        assert_eq!(unescape("\\uD83D\\uDE00").as_deref(), Some("😀"));
+        assert_eq!(unescape("a\\ud83d\\ude00b").as_deref(), Some("a😀b"));
+        // Raw astral chars (what `escape` emits) still round-trip.
+        for s in ["😀", "mixed 😀 and \\u0041 🚀", "𝔘𝔫𝔦"] {
+            assert_eq!(unescape(&escape(s)).as_deref(), Some(s), "{s:?}");
+        }
+        // Unpaired or malformed surrogates are rejected, not mangled.
+        assert_eq!(unescape("\\ud83d"), None, "lone high surrogate");
+        assert_eq!(unescape("\\ude00"), None, "lone low surrogate");
+        assert_eq!(unescape("\\ud83dx"), None, "high then raw char");
+        assert_eq!(unescape("\\ud83d\\n"), None, "high then other escape");
+        assert_eq!(unescape("\\ud83d\\ud83d"), None, "high then high");
+        assert_eq!(unescape("\\ud83d\\u0041"), None, "high then non-surrogate");
+        assert_eq!(unescape("\\ud83d\\ude0"), None, "truncated low half");
     }
 
     #[test]

@@ -33,12 +33,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod campaign;
 pub mod experiments;
 pub mod jsonl;
 pub mod runner;
 pub mod shard;
 
+pub use cache::{config_hash, config_key, ArtifactCache, CacheStats};
 pub use campaign::{
     CampaignConfig, CampaignReport, FaultCampaign, InjectionRecord, OutcomeClass, RecoveryOutcome,
 };

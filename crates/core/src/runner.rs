@@ -723,8 +723,9 @@ impl ExperimentRunner {
 /// results in index order. Workers pull indices off a shared atomic
 /// counter and fill fixed slots, so the output order (and everything
 /// downstream) is independent of scheduling. This is the runner's fan-out
-/// engine, shared with the fault campaign's injection sweep.
-pub(crate) fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+/// engine, shared with the fault campaign's injection sweep and the
+/// serve frontend's batch executor.
+pub fn parallel_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
@@ -811,6 +812,46 @@ fn simulate_point(
         retried = true;
     }
     (out, retried)
+}
+
+/// Simulate one already-compiled artifact and produce the same
+/// [`RunRecord`] a declared sweep point would — the runner's record
+/// constructors and retry/budget semantics behind a single-artifact
+/// entry point, used by the serve frontend so its per-request responses
+/// are byte-identical ([`records_to_json`]) to a batch sweep of the same
+/// config. `compile_micros` is recorded as 0 and `compile_cached` as
+/// `false`; callers that know better (the artifact cache) overwrite
+/// them. The recorded trace is returned alongside when `want_trace`.
+#[must_use]
+pub fn run_compiled(
+    c: &Compiled,
+    model: MemoryModel,
+    budget: Option<u64>,
+    retry: RetryPolicy,
+    want_trace: bool,
+) -> (RunRecord, Option<TraceBuffer>) {
+    let p = Point {
+        workload: 0,
+        sys: 0,
+        heuristic: c.heuristic,
+        model,
+    };
+    let t0 = Instant::now();
+    let (out, retried) = simulate_point(c, model, budget, retry, want_trace);
+    let sim_micros = t0.elapsed().as_micros() as u64;
+    let (mut rec, trace) = match out {
+        Ok((stats, trace)) => (
+            RunRecord::completed(&p, c.workload(), 0, false, &stats, sim_micros),
+            trace,
+        ),
+        Err(e) => {
+            let mut r = RunRecord::failed(&p, c.workload(), 0, false, &e);
+            r.sim_micros = sim_micros;
+            (r, None)
+        }
+    };
+    rec.retried = retried;
+    (rec, trace)
 }
 
 type SimResult = Result<(RunStats, Option<TraceBuffer>), PipelineError>;
@@ -1246,6 +1287,129 @@ mod tests {
         r.error = Some("bad, \"quoted\" thing".to_string());
         let csv = records_to_csv(&[r], false);
         assert!(csv.ends_with(",\"bad, \"\"quoted\"\" thing\"\n"));
+    }
+
+    /// A minimal RFC-4180 reader for the round-trip tests: handles
+    /// quoted cells with embedded commas, doubled quotes, and newlines.
+    fn parse_csv(text: &str) -> Vec<Vec<String>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        let mut cell = String::new();
+        let mut in_quotes = false;
+        let mut chars = text.chars().peekable();
+        while let Some(c) = chars.next() {
+            if in_quotes {
+                if c == '"' {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                } else {
+                    cell.push(c);
+                }
+            } else {
+                match c {
+                    '"' => in_quotes = true,
+                    ',' => row.push(std::mem::take(&mut cell)),
+                    '\n' => {
+                        row.push(std::mem::take(&mut cell));
+                        rows.push(std::mem::take(&mut row));
+                    }
+                    '\r' => {}
+                    _ => cell.push(c),
+                }
+            }
+        }
+        if !cell.is_empty() || !row.is_empty() {
+            row.push(cell);
+            rows.push(row);
+        }
+        rows
+    }
+
+    #[test]
+    fn csv_round_trips_hostile_error_strings_field_by_field() {
+        let mut r = sample_record();
+        r.cycles = 0;
+        r.error_kind = Some(RunErrorKind::Panic);
+        r.error = Some("line one,\nline two with \"quotes\", a comma, and\r\na CRLF".to_string());
+        r.trace_path = Some("/tmp/traces/spmv,par2 \"x\".trace.json".to_string());
+        let clean = sample_record();
+
+        let csv = records_to_csv(&[r.clone(), clean.clone()], false);
+        let rows = parse_csv(&csv);
+        assert_eq!(
+            rows.len(),
+            3,
+            "header + 2 records despite embedded newlines"
+        );
+        let header = &rows[0];
+        let col = |name: &str| {
+            header
+                .iter()
+                .position(|h| h == name)
+                .unwrap_or_else(|| panic!("column {name}"))
+        };
+
+        // Hostile record: every escaped cell comes back verbatim.
+        let row = &rows[1];
+        assert_eq!(row.len(), header.len());
+        assert_eq!(row[col("workload")], r.workload);
+        assert_eq!(row[col("error")], r.error.as_deref().unwrap());
+        assert_eq!(row[col("trace_path")], r.trace_path.as_deref().unwrap());
+        assert_eq!(row[col("error_kind")], "panicked");
+        assert_eq!(row[col("cycles")], "0");
+        assert_eq!(row[col("par")], "2");
+        assert_eq!(row[col("model")], "NUPEA");
+        assert_eq!(row[col("load_latency_by_domain")], "80:8|20:1");
+
+        // Clean record: empty optionals stay empty, numbers unharmed.
+        let row = &rows[2];
+        assert_eq!(row.len(), header.len());
+        assert_eq!(row[col("error")], "");
+        assert_eq!(row[col("error_kind")], "");
+        assert_eq!(row[col("trace_path")], "");
+        assert_eq!(row[col("cycles")], "1234");
+        assert_eq!(row[col("energy_total")], "100");
+        assert_eq!(row[col("compile_cached")], "false");
+    }
+
+    #[test]
+    fn csv_cell_quotes_exactly_the_hostile_cells() {
+        assert_eq!(csv_cell("plain"), "plain");
+        assert_eq!(csv_cell(""), "");
+        assert_eq!(csv_cell("a,b"), "\"a,b\"");
+        assert_eq!(csv_cell("a\"b"), "\"a\"\"b\"");
+        assert_eq!(csv_cell("a\nb"), "\"a\nb\"");
+        assert_eq!(csv_cell("a\rb"), "\"a\rb\"");
+        for s in ["a,b", "he said \"no\"", "x\ny", "mix,\"of\"\nall\r"] {
+            let parsed = parse_csv(&format!("{}\n", csv_cell(s)));
+            assert_eq!(parsed[0][0], s, "round-trip of {s:?}");
+        }
+    }
+
+    #[test]
+    fn run_compiled_matches_the_batch_runner_record() {
+        let w = nupea_kernels::workloads::sparse::spmv(crate::Scale::Test, 1);
+        let sys = SystemConfig::monaco_12x12();
+        let c = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
+        let (rec, trace) = run_compiled(&c, MemoryModel::Nupea, None, RetryPolicy::None, false);
+        assert!(trace.is_none());
+
+        let mut runner = ExperimentRunner::new();
+        let sh = runner.system(sys);
+        let wh = runner.workload(w);
+        runner.point(wh, sh, Heuristic::CriticalityAware, MemoryModel::Nupea);
+        let batch = runner.run().records.into_iter().next().unwrap();
+
+        // The deterministic export (which excludes wall-clock micros)
+        // must agree byte for byte — the serve frontend's contract.
+        assert_eq!(
+            records_to_json(&[rec], false),
+            records_to_json(&[batch], false)
+        );
     }
 
     #[test]

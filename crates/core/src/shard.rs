@@ -60,7 +60,7 @@ use std::collections::HashMap;
 use std::hash::Hash;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::{Duration, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use crate::jsonl::{self, JsonlFile};
 use crate::runner::RetryPolicy;
@@ -73,6 +73,59 @@ pub fn now_ms() -> u64 {
     SystemTime::now()
         .duration_since(UNIX_EPOCH)
         .map_or(0, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+}
+
+/// The two clocks the lease protocol needs, kept deliberately separate:
+///
+/// * **wall** milliseconds go into journal records (claim/renew
+///   deadlines), because deadlines are compared *across processes* and a
+///   file is the only shared medium;
+/// * **monotonic** milliseconds drive *local* elapsed-interval decisions
+///   (the heartbeat cadence in [`ShardCtx::checkpoint`]).
+///
+/// Using the wall clock for the local decisions was a bug: a backwards
+/// NTP step made `now - last_beat` saturate to zero, silently suppressing
+/// renewals until the wall clock caught back up — long enough for the
+/// lease to expire and a live shard to be spuriously stolen. Injectable
+/// for tests; live code uses [`SystemClock`].
+pub trait LeaseClock: std::fmt::Debug {
+    /// Milliseconds since the Unix epoch (journal deadlines only).
+    fn wall_ms(&self) -> u64;
+    /// Milliseconds on a monotonic, never-backwards clock (local
+    /// elapsed-interval decisions only). The origin is arbitrary.
+    fn mono_ms(&self) -> u64;
+}
+
+/// The live clock: `SystemTime` for wall time, `Instant` for monotonic.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose monotonic origin is now.
+    #[must_use]
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl LeaseClock for SystemClock {
+    fn wall_ms(&self) -> u64 {
+        now_ms()
+    }
+
+    fn mono_ms(&self) -> u64 {
+        u64::try_from(self.origin.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
 }
 
 /// The shard a work item with stable hash `hash` belongs to.
@@ -456,10 +509,14 @@ pub struct WorkerStats {
 #[derive(Debug)]
 pub struct ShardCtx<'a> {
     coord: &'a mut Coordinator,
+    clock: &'a dyn LeaseClock,
     lease: Lease,
     ttl_ms: u64,
     heartbeat_ms: u64,
-    last_beat: u64,
+    /// Monotonic time of the last renewal — compared against `mono_ms`,
+    /// never against wall time, so NTP steps can't stretch or shrink the
+    /// heartbeat cadence.
+    last_beat_mono: u64,
     fenced: bool,
 }
 
@@ -488,13 +545,17 @@ impl ShardCtx<'_> {
         if self.fenced {
             return Ok(false);
         }
-        let now = now_ms();
-        if now.saturating_sub(self.last_beat) < self.heartbeat_ms {
+        // Elapsed-interval decision on the monotonic clock; only the
+        // journaled deadline uses wall time.
+        let mono = self.clock.mono_ms();
+        if mono.saturating_sub(self.last_beat_mono) < self.heartbeat_ms {
             return Ok(true);
         }
-        let held = self.coord.renew(&self.lease, self.ttl_ms, now)?;
+        let held = self
+            .coord
+            .renew(&self.lease, self.ttl_ms, self.clock.wall_ms())?;
         self.fenced = !held;
-        self.last_beat = now;
+        self.last_beat_mono = mono;
         Ok(held)
     }
 }
@@ -520,6 +581,7 @@ pub fn run_worker(
     mut body: impl FnMut(&mut ShardCtx) -> io::Result<()>,
 ) -> io::Result<WorkerStats> {
     let mut coord = Coordinator::open(coord_path, opts.shards)?;
+    let clock = SystemClock::new();
     let mut stats = WorkerStats::default();
     // Start the scan at a worker-dependent offset so a fleet starting
     // simultaneously doesn't stampede shard 0.
@@ -530,7 +592,7 @@ pub fn run_worker(
         if coord.all_done() {
             return Ok(stats);
         }
-        let now = now_ms();
+        let now = clock.wall_ms();
         let claimable = (0..opts.shards)
             .map(|i| (i + offset) % opts.shards)
             .find(|&s| coord.claimable(s, now));
@@ -555,10 +617,11 @@ pub fn run_worker(
         }
         let mut ctx = ShardCtx {
             coord: &mut coord,
+            clock: &clock,
             lease: lease.clone(),
             ttl_ms: opts.ttl_ms,
             heartbeat_ms: opts.heartbeat_ms,
-            last_beat: now,
+            last_beat_mono: clock.mono_ms(),
             fenced: false,
         };
         body(&mut ctx)?;
@@ -762,6 +825,78 @@ mod tests {
         .unwrap();
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.stolen, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Test clock whose wall and monotonic readings are set directly.
+    #[derive(Debug)]
+    struct FakeClock {
+        wall: std::cell::Cell<u64>,
+        mono: std::cell::Cell<u64>,
+    }
+
+    impl LeaseClock for FakeClock {
+        fn wall_ms(&self) -> u64 {
+            self.wall.get()
+        }
+        fn mono_ms(&self) -> u64 {
+            self.mono.get()
+        }
+    }
+
+    #[test]
+    fn heartbeats_survive_backwards_wall_clock_steps() {
+        let dir = scratch("ntp");
+        let path = dir.join("coord.jsonl");
+        let mut coord = Coordinator::open(&path, 1).unwrap();
+        let clock = FakeClock {
+            wall: std::cell::Cell::new(100_000),
+            mono: std::cell::Cell::new(50),
+        };
+        let lease = coord
+            .try_claim(0, "w1", 1_000, clock.wall_ms())
+            .unwrap()
+            .expect("w1 claims");
+        let mut ctx = ShardCtx {
+            coord: &mut coord,
+            clock: &clock,
+            lease,
+            ttl_ms: 1_000,
+            heartbeat_ms: 100,
+            last_beat_mono: clock.mono_ms(),
+            fenced: false,
+        };
+
+        // Within a heartbeat interval: no renewal due.
+        clock.mono.set(100);
+        assert!(ctx.checkpoint().unwrap());
+        assert_eq!(ctx.coord.state(0).deadline_ms, 101_000, "no renew yet");
+
+        // NTP steps the wall clock back 30s while the monotonic clock
+        // crosses the heartbeat interval. The old wall-clock cadence
+        // (`wall - last_beat` saturating to 0) would suppress this
+        // renewal — and every subsequent one for 30s, letting the 1s TTL
+        // lapse and the live shard be stolen. The monotonic cadence must
+        // renew on schedule.
+        clock.wall.set(70_000);
+        clock.mono.set(151);
+        assert!(ctx.checkpoint().unwrap());
+        assert_eq!(
+            ctx.coord.state(0).deadline_ms,
+            71_000,
+            "renewed: journal deadline follows the (stepped) wall clock"
+        );
+
+        // Cadence stays monotonic after the step: the next beat is due
+        // one interval of *monotonic* time later, not when the wall
+        // clock recovers.
+        clock.mono.set(200);
+        assert!(ctx.checkpoint().unwrap());
+        assert_eq!(ctx.coord.state(0).deadline_ms, 71_000, "within interval");
+        clock.wall.set(70_001);
+        clock.mono.set(252);
+        assert!(ctx.checkpoint().unwrap());
+        assert_eq!(ctx.coord.state(0).deadline_ms, 71_001, "renewed again");
         std::fs::remove_dir_all(&dir).ok();
     }
 

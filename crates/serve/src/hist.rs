@@ -1,0 +1,182 @@
+//! Hand-rolled hdrhist-style latency histogram.
+//!
+//! Values (request latencies in microseconds) are bucketed
+//! logarithmically: exact below 16, then 16 linear sub-buckets per
+//! power-of-two octave, bounding the relative quantization error of any
+//! reported percentile at 1/16 ≈ 6.25% — the classic HdrHistogram
+//! trade-off at significant-figures 1.2, in ~1000 `u64` counters with
+//! O(1) recording and no allocation after construction. The timely
+//! dataflow exemplars this repo's serve frontend is modeled on report
+//! throughput/latency the same way.
+
+/// Values below this are their own bucket (exact).
+const LINEAR: u64 = 16;
+/// Sub-buckets per octave above the linear region.
+const SUB: usize = 16;
+/// log2 of `LINEAR`.
+const LINEAR_BITS: u32 = 4;
+/// Buckets: 16 exact + 16 per octave for octaves 4..=63.
+const BUCKETS: usize = LINEAR as usize + (64 - LINEAR_BITS as usize) * SUB;
+
+/// A fixed-size log-bucketed histogram of `u64` samples.
+#[derive(Debug)]
+pub struct Hist {
+    counts: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+/// The bucket index of sample `v`.
+fn index_of(v: u64) -> usize {
+    if v < LINEAR {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros(); // >= LINEAR_BITS
+    let shift = msb - LINEAR_BITS;
+    let sub = ((v >> shift) as usize) & (SUB - 1);
+    LINEAR as usize + shift as usize * SUB + sub
+}
+
+/// The largest sample value bucket `idx` can hold (the value percentiles
+/// report, so quantization always rounds up — a conservative latency).
+fn upper_of(idx: usize) -> u64 {
+    if idx < LINEAR as usize {
+        return idx as u64;
+    }
+    let shift = ((idx - LINEAR as usize) / SUB) as u32;
+    let sub = ((idx - LINEAR as usize) % SUB) as u64;
+    let lower = (1u64 << (shift + LINEAR_BITS)) + (sub << shift);
+    lower + (1u64 << shift) - 1
+}
+
+impl Hist {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Hist {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.counts[index_of(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Samples recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The largest recorded sample (exact, not quantized).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at percentile `p` (0–100): an upper bound on the sample
+    /// at that rank, within 6.25% relative error, clamped to the exact
+    /// max. Returns 0 on an empty histogram.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return upper_of(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// The standard percentile report as a JSON object fragment:
+    /// `{"count":N,"p50_us":..,"p90_us":..,"p99_us":..,"max_us":..}`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+            self.count,
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        let mut h = Hist::new();
+        for v in 0..16 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.percentile(100.0), 15);
+        assert_eq!(h.percentile(50.0), 7);
+        assert_eq!(h.max(), 15);
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every value maps into a bucket whose upper bound is >= it, and
+        // bucket indices never decrease with the value.
+        let mut prev_idx = 0;
+        for v in (0..10_000u64).chain([u64::MAX / 2, u64::MAX - 1, u64::MAX]) {
+            let idx = index_of(v);
+            assert!(idx >= prev_idx || v < 10_000, "monotone at {v}");
+            assert!(idx < BUCKETS, "{v} in range");
+            assert!(upper_of(idx) >= v, "upper({idx}) covers {v}");
+            prev_idx = idx;
+        }
+    }
+
+    #[test]
+    fn percentiles_bound_relative_error() {
+        let mut h = Hist::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for (p, exact) in [(50.0, 50_000u64), (90.0, 90_000), (99.0, 99_000)] {
+            let got = h.percentile(p);
+            assert!(got >= exact, "p{p} lower-bounded: {got} vs {exact}");
+            let err = (got - exact) as f64 / exact as f64;
+            assert!(err <= 1.0 / 16.0 + 1e-9, "p{p} err {err}");
+        }
+        assert_eq!(h.percentile(100.0), 100_000);
+        assert_eq!(h.max(), 100_000);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut h = Hist::new();
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.count(), 0);
+        h.record(1234);
+        assert_eq!(h.count(), 1);
+        // A single sample is every percentile, clamped to exact max.
+        assert_eq!(h.percentile(1.0), 1234);
+        assert_eq!(h.percentile(99.0), 1234);
+        let json = h.to_json();
+        assert!(json.contains("\"count\":1"), "{json}");
+        assert!(json.contains("\"max_us\":1234"), "{json}");
+    }
+}

@@ -1,0 +1,578 @@
+//! # nupea-serve — simulation-as-a-service over the NUPEA pipeline
+//!
+//! A long-running, dependency-free HTTP/JSON frontend (blocking
+//! HTTP/1.1 on [`std::net::TcpListener`], worker pool) exposing the
+//! compile-and-simulate pipeline to many concurrent clients:
+//!
+//! | endpoint          | body                      | response |
+//! |-------------------|---------------------------|----------|
+//! | `GET /healthz`    | —                         | `{"ok":true,...}` |
+//! | `GET /stats`      | —                         | cache + queue + per-endpoint latency percentiles |
+//! | `POST /compile`   | config ([`api`])          | artifact hash + cache disposition |
+//! | `POST /simulate`  | config                    | the run's [`RunRecord`] JSON — byte-identical to the batch CLI |
+//! | `POST /trace`     | config                    | Chrome trace-event JSON of the run |
+//! | `POST /campaign`  | config (+`injections`)    | fault-campaign report JSON |
+//! | `POST /shutdown`  | —                         | `{"ok":true}`, then a clean exit |
+//!
+//! Three mechanisms carry the load (DESIGN.md §12):
+//!
+//! 1. **Shared artifact cache** ([`nupea::cache`]): compiles are
+//!    content-addressed by the FNV-1a config hash, single-flighted, and
+//!    LRU-capped, so repeated or concurrent identical requests cost one
+//!    PnR.
+//! 2. **Epoch batching with backpressure** ([`batch`]): simulate/trace
+//!    requests gather into batches executed on the runner's scoped
+//!    pool; a full queue answers `429` + `Retry-After` instead of
+//!    melting down.
+//! 3. **hdrhist-style latency histograms** ([`hist`]): every endpoint's
+//!    latency is log-bucketed and reported as p50/p90/p99/max at
+//!    `GET /stats` and on shutdown.
+//!
+//! [`RunRecord`]: nupea::RunRecord
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod api;
+pub mod batch;
+pub mod client;
+pub mod hist;
+pub mod http;
+
+use api::ConfigRequest;
+use batch::Batcher;
+use hist::Hist;
+use http::{read_request, write_response, Request, Response};
+use nupea::runner::{records_to_json, run_compiled};
+use nupea::{ArtifactCache, CampaignConfig, FaultCampaign, RetryPolicy};
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// Server construction knobs; [`ServeOptions::default`] suits tests and
+/// small deployments.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServeOptions {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// HTTP connection-handling threads.
+    pub http_workers: usize,
+    /// Simulation pool threads per batch (0 = available parallelism).
+    pub sim_threads: usize,
+    /// Max queued simulate/trace jobs before `429` (backpressure bound).
+    pub queue_cap: usize,
+    /// Max jobs executed per batch epoch.
+    pub batch_max: usize,
+    /// Batch admission window in milliseconds.
+    pub batch_wait_ms: u64,
+    /// Compile-artifact cache capacity (artifacts, LRU past it).
+    pub cache_cap: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            http_workers: 4,
+            sim_threads: 0,
+            queue_cap: 64,
+            batch_max: 16,
+            batch_wait_ms: 2,
+            cache_cap: 32,
+        }
+    }
+}
+
+/// The latency-tracked endpoints, indexing [`App::hists`].
+const ENDPOINTS: [&str; 6] = [
+    "healthz", "stats", "compile", "simulate", "trace", "campaign",
+];
+
+/// Shared server state.
+struct App {
+    cache: Arc<ArtifactCache>,
+    batcher: Batcher,
+    hists: [Mutex<Hist>; 6],
+    start: Instant,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conn_ready: Condvar,
+}
+
+impl App {
+    /// Flip the stop flag and unblock every parked thread: the batch
+    /// executor (drain-and-exit), the HTTP workers (condvar), and the
+    /// accept loop (a wake-up connection, since `accept` only observes
+    /// the flag after returning).
+    fn begin_shutdown(&self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return; // already stopping
+        }
+        self.batcher.stop();
+        self.conn_ready.notify_all();
+        let addr = self.addr;
+        std::thread::spawn(move || drop(TcpStream::connect(addr)));
+    }
+}
+
+/// A running server: accept loop, HTTP worker pool, and batch executor.
+/// Stop it with a `POST /shutdown` or [`Server::shutdown`], then join
+/// with [`Server::wait`].
+pub struct Server {
+    app: Arc<App>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.app.addr)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Bind and start serving.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding the listener.
+    pub fn start(opts: &ServeOptions) -> io::Result<Server> {
+        let listener = TcpListener::bind(&opts.addr)?;
+        let addr = listener.local_addr()?;
+        let app = Arc::new(App {
+            cache: Arc::new(ArtifactCache::new(opts.cache_cap)),
+            batcher: Batcher::new(
+                opts.queue_cap,
+                opts.batch_max,
+                opts.batch_wait_ms,
+                opts.sim_threads,
+            ),
+            hists: std::array::from_fn(|_| Mutex::new(Hist::new())),
+            start: Instant::now(),
+            addr,
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(VecDeque::new()),
+            conn_ready: Condvar::new(),
+        });
+        let mut threads = Vec::new();
+        // Batch executor.
+        {
+            let app = Arc::clone(&app);
+            threads.push(std::thread::spawn(move || app.batcher.run_executor()));
+        }
+        // HTTP workers.
+        for _ in 0..opts.http_workers.max(1) {
+            let app = Arc::clone(&app);
+            threads.push(std::thread::spawn(move || worker_loop(&app)));
+        }
+        // Accept loop.
+        {
+            let app = Arc::clone(&app);
+            threads.push(std::thread::spawn(move || accept_loop(&listener, &app)));
+        }
+        Ok(Server { app, threads })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.app.addr
+    }
+
+    /// The current `/stats` JSON (also what shutdown reports print).
+    #[must_use]
+    pub fn stats_json(&self) -> String {
+        stats_json(&self.app)
+    }
+
+    /// Trigger the same clean stop a `POST /shutdown` performs.
+    pub fn shutdown(&self) {
+        self.app.begin_shutdown();
+    }
+
+    /// Block until the server has fully stopped (after [`Server::shutdown`]
+    /// or a `POST /shutdown`), join every thread, and return the final
+    /// `/stats` report.
+    pub fn wait(self) -> String {
+        for t in self.threads {
+            let _ = t.join();
+        }
+        stats_json(&self.app)
+    }
+}
+
+fn accept_loop(listener: &TcpListener, app: &App) {
+    for conn in listener.incoming() {
+        if app.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = conn else { continue };
+        let mut conns = app.conns.lock().expect("conn queue poisoned");
+        conns.push_back(stream);
+        app.conn_ready.notify_one();
+    }
+}
+
+fn worker_loop(app: &App) {
+    loop {
+        let stream = {
+            let mut conns = app.conns.lock().expect("conn queue poisoned");
+            loop {
+                if let Some(s) = conns.pop_front() {
+                    break s;
+                }
+                if app.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                conns = app.conn_ready.wait(conns).expect("conn queue poisoned");
+            }
+        };
+        handle_connection(app, stream);
+    }
+}
+
+/// Serve one connection: keep-alive loop until close, EOF, protocol
+/// error, or server shutdown.
+fn handle_connection(app: &App, stream: TcpStream) {
+    let Ok(peer) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(peer);
+    let mut out = stream;
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                let _ = write_response(&mut out, &Response::error(400, &e.to_string()), false);
+                return;
+            }
+            Err(_) => return,
+        };
+        let t0 = Instant::now();
+        let (endpoint, resp) = handle_request(app, &req);
+        if let Some(i) = ENDPOINTS.iter().position(|&e| e == endpoint) {
+            let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+            app.hists[i].lock().expect("hist poisoned").record(micros);
+        }
+        // A stop may have raced in (possibly flipped by this very
+        // request): close after this response so the worker can exit.
+        let keep_alive = req.keep_alive && !app.stop.load(Ordering::SeqCst);
+        if write_response(&mut out, &resp, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Route one request. Returns the latency-histogram endpoint name (""
+/// for untracked routes) and the response.
+fn handle_request(app: &App, req: &Request) -> (&'static str, Response) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (
+            "healthz",
+            Response::json(format!(
+                "{{\"ok\":true,\"uptime_ms\":{}}}",
+                app.start.elapsed().as_millis()
+            )),
+        ),
+        ("GET", "/stats") => ("stats", Response::json(stats_json(app))),
+        ("POST", "/compile") => ("compile", compile_endpoint(app, &req.body)),
+        ("POST", "/simulate") => ("simulate", sim_endpoint(app, &req.body, false)),
+        ("POST", "/trace") => ("trace", sim_endpoint(app, &req.body, true)),
+        ("POST", "/campaign") => ("campaign", campaign_endpoint(&req.body)),
+        ("POST", "/shutdown") => {
+            app.begin_shutdown();
+            (
+                "",
+                Response::json("{\"ok\":true,\"stopping\":true}".as_bytes().to_vec()),
+            )
+        }
+        ("GET" | "POST", _) => ("", Response::error(404, "no such endpoint")),
+        _ => ("", Response::error(405, "method not allowed")),
+    }
+}
+
+fn stats_json(app: &App) -> String {
+    let c = app.cache.stats();
+    let mut out = format!(
+        "{{\"uptime_ms\":{},\"queue_depth\":{},\"cache\":{{\"hits\":{},\"misses\":{},\
+         \"compiles\":{},\"evictions\":{},\"entries\":{}}},\"endpoints\":{{",
+        app.start.elapsed().as_millis(),
+        app.batcher.depth(),
+        c.hits,
+        c.misses,
+        c.compiles,
+        c.evictions,
+        c.entries,
+    );
+    for (i, name) in ENDPOINTS.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let hist = app.hists[i].lock().expect("hist poisoned");
+        out.push_str(&format!("\"{name}\":{}", hist.to_json()));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// `POST /compile`: resolve the config, compile (or hit the cache), and
+/// report the artifact's address and cache disposition. Compiles run
+/// inline on the HTTP worker — the cache's single-flight dedup is the
+/// concurrency control.
+fn compile_endpoint(app: &App, body: &str) -> Response {
+    let (cfg, workload, sys) = match resolve(body) {
+        Ok(t) => t,
+        Err(resp) => return *resp,
+    };
+    let hash = nupea::config_hash(&workload, &sys, cfg.heuristic);
+    let t0 = Instant::now();
+    let (result, cached) = app
+        .cache
+        .get_or_compile(hash, &workload, &sys, cfg.heuristic);
+    match result {
+        Ok(compiled) => Response::json(format!(
+            "{{\"config_hash\":\"{hash:016x}\",\"compile_cached\":{cached},\
+             \"workload\":\"{}\",\"heuristic\":\"{}\",\"divider\":{},\
+             \"compile_micros\":{}}}",
+            nupea::jsonl::escape(workload.name),
+            compiled.heuristic,
+            compiled.placed.timing.divider,
+            t0.elapsed().as_micros()
+        )),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// `POST /simulate` and `POST /trace`: enqueue into the batch executor
+/// (backpressure applies), compile via the shared cache, simulate with
+/// the runner's record machinery. The simulate response body is exactly
+/// [`records_to_json`] of the one record — byte-identical to the batch
+/// CLI for the same config.
+fn sim_endpoint(app: &App, body: &str, want_trace: bool) -> Response {
+    let (cfg, workload, sys) = match resolve(body) {
+        Ok(t) => t,
+        Err(resp) => return *resp,
+    };
+    let hash = nupea::config_hash(&workload, &sys, cfg.heuristic);
+    let retry = match cfg.retry_factor {
+        None | Some(0 | 1) => RetryPolicy::None,
+        Some(factor) => RetryPolicy::OneShot { factor },
+    };
+    let budget = cfg.cycle_budget;
+    let heuristic = cfg.heuristic;
+    let model = cfg.model;
+    let cache = Arc::clone(&app.cache);
+    let job = Box::new(move || -> Response {
+        let (result, cached) = cache.get_or_compile(hash, &workload, &sys, heuristic);
+        let compiled = match result {
+            Ok(c) => c,
+            Err(e) => return Response::error(500, &e.to_string()),
+        };
+        let (mut record, trace) = run_compiled(&compiled, model, budget, retry, want_trace);
+        record.compile_cached = cached;
+        if want_trace {
+            match trace {
+                Some(t) => Response::json(t.to_chrome_json()),
+                None => Response::error(
+                    500,
+                    record.error.as_deref().unwrap_or("run produced no trace"),
+                ),
+            }
+        } else {
+            Response::json(records_to_json(&[record], false))
+        }
+    });
+    match app.batcher.submit(job) {
+        Ok(resp) => resp,
+        Err(batch::QueueFull) => Response::too_busy(1),
+    }
+}
+
+/// `POST /campaign`: a small synchronous fault campaign over the
+/// requested workload (smoke preset; seed/injections overridable).
+fn campaign_endpoint(body: &str) -> Response {
+    let (cfg, workload, _sys) = match resolve(body) {
+        Ok(t) => t,
+        Err(resp) => return *resp,
+    };
+    let mut ccfg = CampaignConfig::smoke();
+    ccfg.scale = cfg.scale;
+    ccfg.heuristic = cfg.heuristic;
+    ccfg.model = cfg.model;
+    if let Some(seed) = cfg.seed {
+        ccfg.seed = seed;
+    }
+    if let Some(injections) = cfg.injections {
+        ccfg.injections = injections;
+    }
+    let mut campaign = FaultCampaign::new(ccfg);
+    campaign.workload((*workload).clone());
+    match campaign.run() {
+        Ok(report) => Response::json(report.to_json()),
+        Err(e) => Response::error(500, &e.to_string()),
+    }
+}
+
+/// Parse + build one request config, mapping failures to a 400.
+#[allow(clippy::type_complexity)]
+fn resolve(
+    body: &str,
+) -> Result<
+    (
+        ConfigRequest,
+        Arc<nupea::Workload>,
+        Arc<nupea::SystemConfig>,
+    ),
+    Box<Response>,
+> {
+    let cfg = ConfigRequest::parse(body).map_err(|e| Box::new(Response::error(400, &e)))?;
+    let (workload, sys) = cfg
+        .build()
+        .map_err(|e| Box::new(Response::error(400, &e)))?;
+    Ok((cfg, workload, sys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use client::{post, request, ClientResponse};
+
+    fn test_server(opts: &ServeOptions) -> Server {
+        Server::start(opts).expect("bind 127.0.0.1:0")
+    }
+
+    #[test]
+    fn healthz_compile_cache_and_stats_end_to_end() {
+        let server = test_server(&ServeOptions::default());
+        let addr = server.addr();
+
+        let health = request(addr, "GET", "/healthz", "").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body_str().contains("\"ok\":true"), "{health:?}");
+
+        // First compile is a miss, second identical one a hit; both name
+        // the same artifact hash.
+        let body = "{\"workload\":\"spmv\",\"effort\":0}";
+        let first = post(addr, "/compile", body).unwrap();
+        assert_eq!(first.status, 200, "{first:?}");
+        assert!(
+            first.body_str().contains("\"compile_cached\":false"),
+            "{first:?}"
+        );
+        let second = post(addr, "/compile", body).unwrap();
+        assert!(
+            second.body_str().contains("\"compile_cached\":true"),
+            "{second:?}"
+        );
+        let hash_of = |r: &ClientResponse| {
+            let b = r.body_str();
+            let i = b.find("\"config_hash\":\"").unwrap() + 15;
+            b[i..i + 16].to_string()
+        };
+        assert_eq!(hash_of(&first), hash_of(&second));
+
+        let stats = request(addr, "GET", "/stats", "").unwrap();
+        let s = stats.body_str();
+        assert!(s.contains("\"hits\":1"), "{s}");
+        assert!(s.contains("\"misses\":1"), "{s}");
+        assert!(s.contains("\"compiles\":1"), "{s}");
+        assert!(s.contains("\"compile\":{\"count\":2"), "{s}");
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn simulate_is_byte_identical_to_the_direct_runner_record() {
+        let server = test_server(&ServeOptions::default());
+        let addr = server.addr();
+
+        let body = "{\"workload\":\"spmv\",\"effort\":0,\"model\":\"upea4\"}";
+        let resp = post(addr, "/simulate", body).unwrap();
+        assert_eq!(resp.status, 200, "{resp:?}");
+
+        // Recompute the same record directly against the library.
+        let cfg = ConfigRequest::parse(body).unwrap();
+        let (workload, sys) = cfg.build().unwrap();
+        let cache = ArtifactCache::new(4);
+        let hash = nupea::config_hash(&workload, &sys, cfg.heuristic);
+        let (compiled, _) = cache.get_or_compile(hash, &workload, &sys, cfg.heuristic);
+        let (record, _) = run_compiled(
+            &compiled.unwrap(),
+            cfg.model,
+            None,
+            RetryPolicy::None,
+            false,
+        );
+        assert_eq!(
+            resp.body_str(),
+            records_to_json(&[record], false),
+            "served record must be byte-identical to the direct one"
+        );
+
+        // A second identical simulate rides the cache.
+        let again = post(addr, "/simulate", body).unwrap();
+        assert!(
+            again.body_str().contains("\"compile_cached\":true"),
+            "{}",
+            again.body_str()
+        );
+
+        // Bad configs are 400s, not 500s.
+        let bad = post(addr, "/simulate", "{\"workload\":\"nope\"}").unwrap();
+        assert_eq!(bad.status, 400, "{bad:?}");
+        let worse = post(addr, "/simulate", "{}").unwrap();
+        assert_eq!(worse.status, 400, "{worse:?}");
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn full_queue_answers_429_with_retry_after() {
+        let opts = ServeOptions {
+            queue_cap: 0, // every simulate submission is refused
+            ..ServeOptions::default()
+        };
+        let server = test_server(&opts);
+        let addr = server.addr();
+
+        let resp = post(addr, "/simulate", "{\"workload\":\"spmv\",\"effort\":0}").unwrap();
+        assert_eq!(resp.status, 429, "{resp:?}");
+        assert!(
+            resp.headers
+                .iter()
+                .any(|(n, v)| n.eq_ignore_ascii_case("retry-after") && v == "1"),
+            "{:?}",
+            resp.headers
+        );
+        // Health and compile still work — only the sim queue is bounded.
+        assert_eq!(request(addr, "GET", "/healthz", "").unwrap().status, 200);
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let server = test_server(&ServeOptions::default());
+        let addr = server.addr();
+        let resp = post(addr, "/shutdown", "").unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(resp.body_str().contains("\"stopping\":true"));
+        server.wait(); // must return, not hang
+
+        // Unknown paths and methods get structured errors while up.
+        let server = test_server(&ServeOptions::default());
+        let addr = server.addr();
+        assert_eq!(request(addr, "GET", "/nope", "").unwrap().status, 404);
+        assert_eq!(request(addr, "PUT", "/healthz", "").unwrap().status, 405);
+        server.shutdown();
+        server.wait();
+    }
+}

@@ -1,0 +1,57 @@
+//! The NUPEA simulation service.
+//!
+//!     cargo run --release --bin nupea-serve -- --addr 127.0.0.1:8080
+//!
+//! Serves the compile/simulate/trace/campaign API described in
+//! [`nupea_serve`] until a `POST /shutdown` arrives, then prints the
+//! final `/stats` report (cache counters plus per-endpoint latency
+//! percentiles) and exits. With `--addr 127.0.0.1:0` the kernel picks a
+//! free port; the chosen address is always announced on stdout as
+//! `listening on ADDR` so harnesses can discover it.
+
+use nupea_serve::{ServeOptions, Server};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: nupea-serve [--addr HOST:PORT] [--http-workers N] \
+    [--sim-threads N] [--queue-cap N] [--batch-max N] [--batch-wait-ms MS] [--cache-cap N]";
+
+fn parse_args(opts: &mut ServeOptions) -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut take = |name: &str| args.next().ok_or_else(|| format!("{name} needs a value"));
+        match flag.as_str() {
+            "--addr" => opts.addr = take("--addr")?,
+            "--http-workers" => opts.http_workers = parse(&take("--http-workers")?)?,
+            "--sim-threads" => opts.sim_threads = parse(&take("--sim-threads")?)?,
+            "--queue-cap" => opts.queue_cap = parse(&take("--queue-cap")?)?,
+            "--batch-max" => opts.batch_max = parse(&take("--batch-max")?)?,
+            "--batch-wait-ms" => opts.batch_wait_ms = parse(&take("--batch-wait-ms")?)?,
+            "--cache-cap" => opts.cache_cap = parse(&take("--cache-cap")?)?,
+            other => return Err(format!("unknown flag: {other}")),
+        }
+    }
+    Ok(())
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad numeric value: {s}"))
+}
+
+fn main() -> ExitCode {
+    let mut opts = ServeOptions::default();
+    if let Err(e) = parse_args(&mut opts) {
+        eprintln!("{e}\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let server = match Server::start(&opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("listening on {}", server.addr());
+    let final_stats = server.wait();
+    println!("{final_stats}");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,65 @@
+//! Run one simulation point from a serve-API config and print its
+//! record — the byte-identity reference for `nupea-serve`'s
+//! `POST /simulate` endpoint.
+//!
+//!     cargo run --release --bin nupea_batch -- '{"workload":"spmv"}'
+//!     echo '{"workload":"spmv"}' | cargo run --release --bin nupea_batch
+//!
+//! The config is parsed by the same [`nupea_serve::api::ConfigRequest`]
+//! the server uses, compiled through the same [`nupea::ArtifactCache`]
+//! entry point, and exported with the same deterministic
+//! [`nupea::runner::records_to_json`] — so for any config, this
+//! program's stdout and the served `/simulate` response body are
+//! byte-identical by construction (the CI `serve-smoke` job diffs
+//! them).
+
+use nupea::runner::{records_to_json, run_compiled};
+use nupea::{ArtifactCache, RetryPolicy};
+use nupea_serve::api::ConfigRequest;
+use std::io::Read;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let body = match std::env::args().nth(1) {
+        Some(arg) => arg,
+        None => {
+            let mut buf = String::new();
+            if std::io::stdin().read_to_string(&mut buf).is_err() || buf.trim().is_empty() {
+                eprintln!("usage: nupea_batch 'CONFIG_JSON'   (or pipe the config on stdin)");
+                return ExitCode::FAILURE;
+            }
+            buf
+        }
+    };
+    let cfg = match ConfigRequest::parse(&body) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("bad config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (workload, sys) = match cfg.build() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bad config: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cache = ArtifactCache::new(1);
+    let hash = nupea::config_hash(&workload, &sys, cfg.heuristic);
+    let (result, _cached) = cache.get_or_compile(hash, &workload, &sys, cfg.heuristic);
+    let compiled = match result {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("compile failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let retry = match cfg.retry_factor {
+        None | Some(0 | 1) => RetryPolicy::None,
+        Some(factor) => RetryPolicy::OneShot { factor },
+    };
+    let (record, _trace) = run_compiled(&compiled, cfg.model, cfg.cycle_budget, retry, false);
+    println!("{}", records_to_json(&[record], false));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,113 @@
+//! End-to-end smoke test of the `nupea-serve` binary (the CI
+//! `serve-smoke` job): boots the real server process, checks health,
+//! exercises the compile cache across requests, diffs a served
+//! `/simulate` response against the `nupea_batch` CLI's bytes for the
+//! same config, inspects `/stats` percentiles, and shuts down cleanly.
+
+use nupea_serve::client::{post, request};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+const CONFIG: &str = "{\"workload\":\"spmv\",\"effort\":0,\"seed\":3}";
+
+/// Guard that kills the server if the test panics before shutdown.
+struct ServerProc(Child);
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn start_server() -> (ServerProc, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nupea-serve"))
+        .args(["--addr", "127.0.0.1:0", "--batch-wait-ms", "0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn nupea-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server announces its address")
+        .expect("read banner");
+    let addr: SocketAddr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .parse()
+        .expect("parse announced address");
+    // Keep draining stdout in the background so the server never blocks
+    // on a full pipe; the final stats line is checked via /stats instead.
+    std::thread::spawn(move || for _ in lines {});
+    (ServerProc(child), addr)
+}
+
+#[test]
+fn serve_smoke() {
+    let (mut server, addr) = start_server();
+
+    // Health.
+    let health = request(addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(health.status, 200, "{health:?}");
+    assert!(health.body_str().contains("\"ok\":true"), "{health:?}");
+
+    // One compile, then two identical simulates: the first simulate
+    // reuses the /compile artifact, the second hits it again.
+    let compiled = post(addr, "/compile", CONFIG).expect("compile");
+    assert_eq!(compiled.status, 200, "{compiled:?}");
+    assert!(
+        compiled.body_str().contains("\"compile_cached\":false"),
+        "first compile is a miss: {compiled:?}"
+    );
+
+    let first = post(addr, "/simulate", CONFIG).expect("simulate 1");
+    assert_eq!(first.status, 200, "{first:?}");
+    assert!(
+        first.body_str().contains("\"compile_cached\":true"),
+        "simulate after compile rides the cache: {first:?}"
+    );
+
+    let second = post(addr, "/simulate", CONFIG).expect("simulate 2");
+    assert_eq!(second.status, 200, "{second:?}");
+    assert_eq!(
+        first.body, second.body,
+        "identical configs produce identical records"
+    );
+
+    // Byte-identity against the batch CLI: same config, same record
+    // bytes — except the cache disposition, which the CLI (cold, single
+    // run) reports as false and the warmed server as true.
+    let batch = Command::new(env!("CARGO_BIN_EXE_nupea_batch"))
+        .arg(CONFIG)
+        .output()
+        .expect("run nupea_batch");
+    assert!(batch.status.success(), "{batch:?}");
+    let batch_body = String::from_utf8(batch.stdout).expect("utf-8 record");
+    assert_eq!(
+        first
+            .body_str()
+            .replace("\"compile_cached\":true", "\"compile_cached\":false"),
+        batch_body.trim_end_matches('\n'),
+        "served record must be byte-identical to the batch CLI's"
+    );
+
+    // Stats: the cache saw 1 compile, 2 hits (the simulates), and the
+    // latency histograms carry real counts and percentiles.
+    let stats = request(addr, "GET", "/stats", "").expect("stats");
+    let s = stats.body_str();
+    assert!(s.contains("\"compiles\":1"), "{s}");
+    assert!(s.contains("\"hits\":2"), "{s}");
+    assert!(s.contains("\"misses\":1"), "{s}");
+    assert!(s.contains("\"simulate\":{\"count\":2"), "{s}");
+    assert!(s.contains("\"p50_us\":"), "{s}");
+    assert!(s.contains("\"p99_us\":"), "{s}");
+
+    // Clean shutdown: the endpoint answers, then the process exits 0.
+    let bye = post(addr, "/shutdown", "").expect("shutdown");
+    assert_eq!(bye.status, 200, "{bye:?}");
+    let status = server.0.wait().expect("server exit status");
+    assert!(status.success(), "clean exit, got {status:?}");
+}
