@@ -5,7 +5,7 @@
 use nupea::experiments::render_table;
 use nupea::{MemoryModel, Scale, SystemConfig};
 use nupea_bench::run_once;
-use nupea_kernels::workloads::workload_by_name;
+use nupea_kernels::workloads::workload_preset;
 
 fn main() {
     let configs = [(2usize, 1usize), (4, 1), (4, 2), (8, 2), (8, 4), (8, 8)];
@@ -14,8 +14,9 @@ fn main() {
         .map(|(f, o)| format!("fifo{f}/out{o}"))
         .collect();
     let mut rows = Vec::new();
-    for name in ["spmspv", "dmv", "fft"] {
-        let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
+    for spec in workload_preset("ablation-core").expect("preset exists") {
+        let name = spec.name;
+        let w = spec.build_default(Scale::Bench);
         let mut cells = Vec::new();
         for &(fifo, outst) in &configs {
             let mut sys = SystemConfig::monaco_12x12();

@@ -4,15 +4,16 @@
 
 use nupea::experiments::render_table;
 use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
-use nupea_kernels::workloads::workload_by_name;
+use nupea_kernels::workloads::workload_preset;
 
 fn main() {
     let sys = SystemConfig::monaco_12x12();
     let headers: Vec<String> = (0..4).map(|d| format!("D{d}")).collect();
     let mut place_rows = Vec::new();
     let mut lat_rows = Vec::new();
-    for name in ["spmspv", "spmspm", "dmv", "fft", "tc"] {
-        let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
+    for spec in workload_preset("ablation-domains").expect("preset exists") {
+        let name = spec.name;
+        let w = spec.build_default(Scale::Bench);
         let compiled = sys.compile(&w, Heuristic::CriticalityAware).unwrap();
         let hist = compiled
             .placed

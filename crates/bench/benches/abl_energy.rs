@@ -6,7 +6,7 @@
 
 use nupea::experiments::render_table;
 use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
-use nupea_kernels::workloads::workload_by_name;
+use nupea_kernels::workloads::workload_preset;
 
 fn main() {
     let sys = SystemConfig::monaco_12x12();
@@ -16,8 +16,9 @@ fn main() {
     .iter()
     .map(|s| s.to_string())
     .collect();
-    for name in ["spmspv", "dmv", "tc"] {
-        let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
+    for spec in workload_preset("ablation-energy").expect("preset exists") {
+        let name = spec.name;
+        let w = spec.build_default(Scale::Bench);
         let mut rows = Vec::new();
         for h in [Heuristic::DomainUnaware, Heuristic::CriticalityAware] {
             let c = sys.compile(&w, h).unwrap();

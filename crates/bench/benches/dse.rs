@@ -15,6 +15,8 @@
 //!
 //! Flags:
 //!
+//! * `--workload NAME`    override the preset's workload list with any
+//!   registry entry (repeatable) — e.g. `--workload bfs --workload histogram`
 //! * `--journal PATH`     append-only JSONL journal; re-invoking with the
 //!   same journal resumes — completed points replay with zero simulation.
 //! * `--strategy S`       `grid` (default) | `random` | `anneal`
@@ -45,6 +47,7 @@ use std::process::ExitCode;
 
 struct Opts {
     preset: String,
+    workloads: Vec<String>,
     journal: Option<PathBuf>,
     strategy: String,
     samples: usize,
@@ -64,6 +67,7 @@ struct Opts {
 fn parse_opts() -> Result<Opts, String> {
     let mut opts = Opts {
         preset: "domains".into(),
+        workloads: Vec::new(),
         journal: None,
         strategy: "grid".into(),
         samples: 16,
@@ -86,6 +90,7 @@ fn parse_opts() -> Result<Opts, String> {
         };
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--workload" => opts.workloads.push(value(&mut args, "--workload")?),
             "--journal" => opts.journal = Some(value(&mut args, "--journal")?.into()),
             "--strategy" => opts.strategy = value(&mut args, "--strategy")?,
             "--samples" => {
@@ -162,7 +167,12 @@ fn preset(name: &str) -> Result<(SearchSpace, Vec<&'static str>, Scale), String>
             space.domain_cols = vec![3];
             space.d0_cols = vec![3];
             space.cache_words = vec![64 * 1024];
-            (space, vec!["spmspv", "dmv", "fft"], Scale::Bench)
+            let names = nupea_kernels::workloads::workload_preset("ablation-core")
+                .expect("preset exists")
+                .iter()
+                .map(|s| s.name)
+                .collect();
+            (space, names, Scale::Bench)
         }
         "smoke" => {
             space.domain_cols = vec![3];
@@ -208,8 +218,15 @@ fn heuristic_summary(report: &DseReport, workloads: &[&str]) -> String {
 
 fn run() -> Result<(), String> {
     let opts = parse_opts()?;
-    let (space, workload_names, default_scale) = preset(&opts.preset)?;
+    let (space, preset_names, default_scale) = preset(&opts.preset)?;
     let scale = opts.scale.unwrap_or(default_scale);
+    // `--workload` overrides the preset's list with any registry entries,
+    // so new kernels are explorable without a dedicated preset.
+    let workload_names: Vec<&str> = if opts.workloads.is_empty() {
+        preset_names
+    } else {
+        opts.workloads.iter().map(String::as_str).collect()
+    };
 
     let cfg = DseConfig {
         threads: opts.threads,

@@ -11,13 +11,14 @@
 use nupea::experiments::render_table;
 use nupea::{Heuristic, MemoryModel, Scale, SystemConfig};
 use nupea_fabric::Fabric;
-use nupea_kernels::workloads::workload_by_name;
+use nupea_kernels::workloads::workload_preset;
 
 fn main() {
     let d0_options = [1usize, 2, 3, 4, 6];
     let dcol_options = [2usize, 3, 4];
-    for name in ["spmspv", "dmv", "fft"] {
-        let w = workload_by_name(name).unwrap().build_default(Scale::Bench);
+    for spec in workload_preset("ablation-core").expect("preset exists") {
+        let name = spec.name;
+        let w = spec.build_default(Scale::Bench);
         let headers: Vec<String> = dcol_options
             .iter()
             .map(|d| format!("domain_cols={d}"))

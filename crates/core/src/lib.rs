@@ -45,7 +45,10 @@ pub use campaign::{
     CampaignConfig, CampaignReport, FaultCampaign, InjectionRecord, OutcomeClass, RecoveryOutcome,
 };
 pub use nupea_fabric::{Fabric, PeId, TopologyKind};
-pub use nupea_kernels::workloads::{all_workloads, Scale, ValidationError, Workload, WorkloadSpec};
+pub use nupea_kernels::workloads::{
+    all_workloads, table1_workloads, wave2_workloads, workload_preset, Scale, ValidationError,
+    Workload, WorkloadSpec, PRESET_NAMES,
+};
 pub use nupea_pnr::{Heuristic, Placed, PnrError};
 pub use nupea_sim::{
     ConfigError, EnergyBreakdown, EnergyParams, FaultClasses, FaultConfig, FaultContext, FaultKind,

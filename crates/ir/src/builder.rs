@@ -20,8 +20,8 @@
 //! over this repository: after execution, **no tokens remain buffered
 //! anywhere** and every gate is back in its fresh state.
 
-use nupea_ir::graph::{Criticality, Dfg, NodeId};
-use nupea_ir::op::{BinOpKind, CmpKind, Op, ParamId, SinkId, SteerPolarity, UnOpKind};
+use crate::graph::{Criticality, Dfg, NodeId};
+use crate::op::{BinOpKind, CmpKind, Op, ParamId, SinkId, SteerPolarity, UnOpKind};
 use std::collections::HashMap;
 
 /// A value handle: an immediate or a node output, tagged with its region.
@@ -361,6 +361,30 @@ impl Ctx {
         let id = self.new_node(Op::Load);
         self.attach(addr, id, Op::LOAD_ADDR);
         self.val(id, Op::OUT_VALUE as u8)
+    }
+
+    /// Load from `addr`, asserting that the criticality classifier will
+    /// mark it [`Criticality::Critical`] (i.e. it sits on a
+    /// loop-governing recurrence). The assertion is checked after the
+    /// kernel is built — see [`Kernel::criticality_hint_violations`].
+    pub fn load_expect_critical(&mut self, addr: Val) -> Val {
+        let v = self.load(addr);
+        self.mark_last_expect_critical();
+        v
+    }
+
+    /// Ordered variant of [`Ctx::load_expect_critical`].
+    pub fn load_ordered_expect_critical(&mut self, addr: Val, order: Val) -> (Val, Val) {
+        let v = self.load_ordered(addr, order);
+        self.mark_last_expect_critical();
+        v
+    }
+
+    /// Flag the most recently created node (a load, by construction of the
+    /// two callers above) as expected-critical.
+    fn mark_last_expect_critical(&mut self) {
+        let id = NodeId(self.g.len() as u32 - 1);
+        self.g.meta_mut(id).expect_critical = true;
     }
 
     /// Load gated on a memory-ordering token; returns `(value, order_out)`.
@@ -730,7 +754,7 @@ impl Kernel {
             fixed: ctx.fixed,
             named: ctx.named,
         };
-        nupea_ir::criticality::classify(&mut k.dfg);
+        crate::criticality::classify(&mut k.dfg);
         k
     }
 
@@ -767,7 +791,7 @@ impl Kernel {
         self.named.keys().map(String::as_str).collect()
     }
 
-    /// The loads classified critical by [`nupea_ir::criticality`] — the
+    /// The loads classified critical by [`crate::criticality`] — the
     /// nodes NUPEA promotes toward near domains, and the first rows to
     /// inspect in a trace (their fire slices carry the `critical`
     /// category in the Chrome export). Node-id order.
@@ -776,6 +800,21 @@ impl Kernel {
             .iter()
             .filter(|(_, n)| {
                 matches!(n.op, Op::Load) && n.meta.criticality == Some(Criticality::Critical)
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Nodes annotated [`Ctx::load_expect_critical`] that the classifier
+    /// did *not* mark [`Criticality::Critical`]. An empty list means every
+    /// front-end criticality annotation was vindicated; a non-empty list is
+    /// an authoring error the front end should surface (the load is
+    /// pipelinable and must not be pinned to the near domain).
+    pub fn criticality_hint_violations(&self) -> Vec<NodeId> {
+        self.dfg
+            .iter()
+            .filter(|(_, n)| {
+                n.meta.expect_critical && n.meta.criticality != Some(Criticality::Critical)
             })
             .map(|(id, _)| id)
             .collect()
@@ -800,7 +839,7 @@ impl Kernel {
 const CSE_FANOUT_CAP: usize = 4;
 
 fn cse(g: &Dfg) -> Dfg {
-    use nupea_ir::graph::InPort;
+    use crate::graph::InPort;
     use std::collections::HashMap as Map;
 
     // representative[i] = the node index i's value is redirected to.
@@ -863,12 +902,12 @@ fn cse(g: &Dfg) -> Dfg {
     for (id, n) in g.iter() {
         for (port, ip) in n.inputs.iter().enumerate() {
             match ip {
-                nupea_ir::graph::InPort::Imm(v) => out.set_imm(ids[id.index()], port, *v),
-                nupea_ir::graph::InPort::Wire { src, src_port } => {
+                crate::graph::InPort::Imm(v) => out.set_imm(ids[id.index()], port, *v),
+                crate::graph::InPort::Wire { src, src_port } => {
                     let s = resolve(&repr, src.0);
                     out.connect(ids[s as usize], *src_port as usize, ids[id.index()], port);
                 }
-                nupea_ir::graph::InPort::Unconnected => {}
+                crate::graph::InPort::Unconnected => {}
             }
         }
     }
@@ -890,7 +929,7 @@ fn dce(g: &Dfg) -> Dfg {
     }
     while let Some(id) = stack.pop() {
         for ip in &g.node(id).inputs {
-            if let nupea_ir::graph::InPort::Wire { src, .. } = ip {
+            if let crate::graph::InPort::Wire { src, .. } = ip {
                 if !live[src.index()] {
                     live[src.index()] = true;
                     stack.push(*src);
@@ -915,11 +954,11 @@ fn dce(g: &Dfg) -> Dfg {
         let nid = NodeId(remap[id.index()]);
         for (port, ip) in n.inputs.iter().enumerate() {
             match ip {
-                nupea_ir::graph::InPort::Imm(v) => out.set_imm(nid, port, *v),
-                nupea_ir::graph::InPort::Wire { src, src_port } => {
+                crate::graph::InPort::Imm(v) => out.set_imm(nid, port, *v),
+                crate::graph::InPort::Wire { src, src_port } => {
                     out.connect(NodeId(remap[src.index()]), *src_port as usize, nid, port);
                 }
-                nupea_ir::graph::InPort::Unconnected => {}
+                crate::graph::InPort::Unconnected => {}
             }
         }
     }

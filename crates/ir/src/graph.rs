@@ -100,6 +100,12 @@ pub struct NodeMeta {
     pub in_leaf_loop: bool,
     /// Criticality class; `None` until [`crate::criticality::classify`] runs.
     pub criticality: Option<Criticality>,
+    /// Front-end assertion that this memory op should classify as
+    /// [`Criticality::Critical`]. The flag survives CSE/DCE rebuilds
+    /// (metadata is cloned node-for-node) so a front end can verify its
+    /// annotations against the classifier after optimization — see
+    /// `Kernel::criticality_hint_violations`.
+    pub expect_critical: bool,
     /// Optional debug label from the kernel builder.
     pub label: Option<String>,
 }

@@ -14,6 +14,12 @@
 //! * [`criticality`] — effcc-style critical-load identification (§5): loads
 //!   on loop-governing recurrences (via SCC analysis, including
 //!   memory-ordering edges) vs. inner-loop vs. other memory instructions.
+//! * [`builder`] — a structured kernel-construction layer (`for_range`,
+//!   `while_loop`, `if_else`, loads/stores, memory-ordering tokens) that
+//!   lowers to token-balanced ordered dataflow, standing in for effcc's
+//!   MLIR lowering. Front ends (`nupea-kernels` workloads, the
+//!   `nupea-lang` eDSL) target this layer rather than raw [`graph`]
+//!   surgery.
 //!
 //! # Example
 //!
@@ -46,10 +52,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod builder;
 pub mod criticality;
 pub mod graph;
 pub mod interp;
 pub mod op;
 
+pub use builder::{Ctx, Kernel, Val};
 pub use graph::{Criticality, Dfg, InPort, NodeId};
 pub use op::{BinOpKind, CmpKind, Op, ParamId, SinkId, SteerPolarity, UnOpKind};

@@ -1,15 +1,20 @@
-//! # nupea-kernels — kernel builder and the 13 evaluation workloads
+//! # nupea-kernels — kernel builder and the evaluation workloads
 //!
 //! Two layers:
 //!
 //! * [`builder`] — a structured kernel-construction DSL (`for_range`,
 //!   `while_loop`, `if_else`, loads/stores, memory-ordering tokens) that
 //!   lowers to token-balanced ordered dataflow, standing in for effcc's
-//!   MLIR lowering (§5 of the paper).
-//! * [`workloads`] — the paper's Table 1 applications (dmv, jacobi2d,
-//!   heat3d, spmv, spmspv, spmspm, spadd, tc, mergesort, fft, ad, ic, vww),
-//!   each bundling seeded input generation, the kernel, and a validator
-//!   backed by a plain-Rust reference implementation.
+//!   MLIR lowering (§5 of the paper). This is the low-level target; new
+//!   workloads are authored in the `nupea-lang` eDSL, which lowers onto
+//!   it (DESIGN.md §13).
+//! * [`workloads`] — the registry: the paper's 13 Table 1 applications
+//!   (dmv, jacobi2d, heat3d, spmv, spmspv, spmspm, spadd, tc, mergesort,
+//!   fft, ad, ic, vww) plus the eDSL-authored wave-2 set
+//!   ([`workloads::wave2`]: bfs, stencil2d, hashjoin, histogram,
+//!   spmvell), each bundling seeded input generation, the kernel, and a
+//!   validator backed by a plain-Rust reference implementation. Named
+//!   subsets come from [`workloads::workload_preset`].
 //!
 //! # Example
 //!
@@ -34,7 +39,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-pub mod builder;
+/// The structured kernel builder, re-exported from its home in
+/// [`nupea_ir`] (it moved there so front ends like `nupea-lang` can
+/// target it without depending on the workload layer). Existing
+/// `nupea_kernels::builder::...` paths keep working.
+pub use nupea_ir::builder;
 pub mod inputs;
 pub mod workloads;
 

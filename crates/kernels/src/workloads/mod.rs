@@ -1,4 +1,5 @@
-//! The 13 evaluation workloads of Table 1.
+//! The workload registry: the 13 evaluation workloads of Table 1 plus
+//! the eDSL-authored wave-2 set ([`wave2`]).
 //!
 //! Each workload bundles: seeded input generation into a fresh
 //! [`SimMemory`], a [`Kernel`] built at a given scale and spatial
@@ -18,6 +19,7 @@ pub mod nn;
 pub mod sort;
 pub mod sparse;
 pub mod staged;
+pub mod wave2;
 
 /// Input scale: tiny for unit tests, larger for the benchmark harness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,7 +212,8 @@ impl WorkloadSpec {
     }
 }
 
-/// All 13 workloads of Table 1, in the paper's order.
+/// All registered workloads: the 13 of Table 1 in the paper's order,
+/// followed by the second-wave eDSL workloads of [`wave2`].
 pub fn all_workloads() -> Vec<WorkloadSpec> {
     vec![
         WorkloadSpec {
@@ -278,6 +281,31 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
             build: nn::vww,
             default_par: 1,
         },
+        WorkloadSpec {
+            name: "bfs",
+            build: wave2::bfs,
+            default_par: 1,
+        },
+        WorkloadSpec {
+            name: "stencil2d",
+            build: wave2::stencil2d,
+            default_par: 2,
+        },
+        WorkloadSpec {
+            name: "hashjoin",
+            build: wave2::hashjoin,
+            default_par: 1,
+        },
+        WorkloadSpec {
+            name: "histogram",
+            build: wave2::histogram,
+            default_par: 1,
+        },
+        WorkloadSpec {
+            name: "spmvell",
+            build: wave2::spmvell,
+            default_par: 2,
+        },
     ]
 }
 
@@ -285,6 +313,51 @@ pub fn all_workloads() -> Vec<WorkloadSpec> {
 pub fn workload_by_name(name: &str) -> Option<WorkloadSpec> {
     all_workloads().into_iter().find(|w| w.name == name)
 }
+
+/// The 13 hand-written Table 1 workloads (the paper's evaluation set).
+pub fn table1_workloads() -> Vec<WorkloadSpec> {
+    all_workloads().into_iter().take(13).collect()
+}
+
+/// The second-wave eDSL-authored workloads.
+pub fn wave2_workloads() -> Vec<WorkloadSpec> {
+    all_workloads().into_iter().skip(13).collect()
+}
+
+/// Canonical named subsets of the registry, so per-subsystem tooling
+/// (bench presets, DSE campaigns, the serve API) selects workloads from
+/// one place instead of hardcoding name lists.
+pub fn workload_preset(name: &str) -> Option<Vec<WorkloadSpec>> {
+    let names: &[&str] = match name {
+        "all" => return Some(all_workloads()),
+        "table1" => return Some(table1_workloads()),
+        "wave2" => return Some(wave2_workloads()),
+        // Ablation cores: a cheap critical-heavy / dense / FFT mix used
+        // by the buffering and DSE sweeps.
+        "ablation-core" => &["spmspv", "dmv", "fft"],
+        // Wider domain coverage for the per-domain ablations.
+        "ablation-domains" => &["spmspv", "spmspm", "dmv", "fft", "tc"],
+        // Energy ablation: one sparse, one dense, one graph workload.
+        "ablation-energy" => &["spmspv", "dmv", "tc"],
+        _ => return None,
+    };
+    Some(
+        names
+            .iter()
+            .map(|n| workload_by_name(n).expect("preset names are registered"))
+            .collect(),
+    )
+}
+
+/// Names of all presets accepted by [`workload_preset`].
+pub const PRESET_NAMES: &[&str] = &[
+    "all",
+    "table1",
+    "wave2",
+    "ablation-core",
+    "ablation-domains",
+    "ablation-energy",
+];
 
 /// Fresh simulated memory with the evaluation geometry.
 pub(crate) fn standard_memory() -> SimMemory {
@@ -330,6 +403,36 @@ pub(crate) fn reduce_sum(c: &mut Ctx, parts: &[Val]) -> Val {
         level = next;
     }
     level[0]
+}
+
+#[cfg(test)]
+mod registry_tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_table1_then_wave2_with_unique_names() {
+        let all = all_workloads();
+        assert_eq!(all.len(), 18);
+        assert_eq!(table1_workloads().len(), 13);
+        let wave2: Vec<&str> = wave2_workloads().iter().map(|w| w.name).collect();
+        assert_eq!(
+            wave2,
+            ["bfs", "stencil2d", "hashjoin", "histogram", "spmvell"]
+        );
+        let mut names: Vec<&str> = all.iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate workload name");
+    }
+
+    #[test]
+    fn every_preset_resolves_and_is_nonempty() {
+        for name in PRESET_NAMES {
+            let set = workload_preset(name).unwrap_or_else(|| panic!("preset {name} missing"));
+            assert!(!set.is_empty(), "preset {name} empty");
+        }
+        assert!(workload_preset("no-such-preset").is_none());
+    }
 }
 
 #[cfg(test)]

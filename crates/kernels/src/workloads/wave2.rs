@@ -1,0 +1,541 @@
+//! Second-wave workloads, authored in the `nupea-lang` eDSL.
+//!
+//! These five kernels are written as [`nupea_lang::kernel!`] programs and
+//! lowered through [`nupea_lang::Program::lower`] onto the same builder
+//! IR as the hand-written Table 1 workloads, so every downstream
+//! subsystem (PnR, engine, trace, perturb, fault, DSE, shard, serve)
+//! consumes them unchanged. Each program carries explicit criticality
+//! annotations (`ld_crit`) on its loop-governing loads, checked against
+//! the classifier at lowering time.
+//!
+//! * [`bfs`] — queue-based frontier expansion; the queue and
+//!   distance loads sit on the ordered traversal recurrence.
+//! * [`stencil2d`] — 9-point weighted sweep, separate in/out images;
+//!   purely inner-loop loads, parallelizable over rows.
+//! * [`hashjoin`] — streaming build + probe of an open-addressing hash
+//!   table; the probe-key load governs the linear-probe recurrence.
+//! * [`histogram`] — data-dependent scatter with read-modify-write bins
+//!   on the memory-ordering recurrence (§7.1's ordering-cycle case).
+//! * [`spmvell`] — ELLPACK SpMV; indirect gathers that are *not* on a
+//!   recurrence (a deliberate critical/non-critical contrast with
+//!   `spmspv`).
+//!
+//! The module also hosts [`spmspv_lang`], an eDSL port of the
+//! hand-written `spmspv` used by the identity tests to prove the
+//! lowering is node-for-node faithful.
+
+use super::{standard_memory, Check, Scale, Workload};
+use crate::inputs;
+use nupea_lang::kernel;
+
+/// Breadth-first search from node 0 over a random undirected graph.
+///
+/// Queue-based frontier expansion in one ordered loop: pop `u`, scan its
+/// adjacency list, push unvisited neighbors. Distances land in memory;
+/// the visited count is stored at `cnt`.
+pub fn bfs(scale: Scale, par: usize) -> Workload {
+    let (nodes, edge_prob) = match scale {
+        Scale::Test => (16usize, 0.25),
+        Scale::Bench => (96, 0.08),
+    };
+    let g = inputs::random_graph(nodes, edge_prob, 0x9F51);
+    let mut mem = standard_memory();
+    let rp = mem.alloc_init(&g.row_ptr);
+    let ci = mem.alloc_init(&if g.col_idx.is_empty() {
+        vec![0] // keep the base valid for an edgeless graph
+    } else {
+        g.col_idx.clone()
+    });
+    let mut dist0 = vec![-1i64; nodes];
+    dist0[0] = 0;
+    let dist = mem.alloc_init(&dist0);
+    let mut queue0 = vec![0i64; nodes];
+    queue0[0] = 0;
+    let q = mem.alloc_init(&queue0);
+    let cnt = mem.alloc(1);
+
+    let program = kernel! {
+        name: "bfs";
+        let mut head = stream(0);
+        let mut tail = stream(1);
+        while (head.lt(tail)) seq {
+            let u = ld_crit(q + head);
+            let du = ld(dist + u);
+            let beg = ld(rp + u);
+            let end = ld(rp + u + 1);
+            for k in range(beg, end) {
+                let v = ld(ci + k);
+                let dv = ld_crit(dist + v);
+                if (dv.lt(0)) {
+                    st(dist + v, du + 1);
+                    st(q + tail, v);
+                    tail = tail + 1;
+                }
+            }
+            head = head + 1;
+        }
+        st(cnt, head);
+    }
+    .expect("bfs program is valid");
+    let kernel = program.lower().expect("bfs lowers with hints satisfied");
+
+    // Reference BFS (level order — identical distances for any queue
+    // discipline, and this one mirrors the kernel's exactly).
+    let mut expected_dist = vec![-1i64; nodes];
+    expected_dist[0] = 0;
+    let mut queue = vec![0usize];
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        let (b, e) = (g.row_ptr[u] as usize, g.row_ptr[u + 1] as usize);
+        for &v in &g.col_idx[b..e] {
+            let v = v as usize;
+            if expected_dist[v] < 0 {
+                expected_dist[v] = expected_dist[u] + 1;
+                queue.push(v);
+            }
+        }
+    }
+    let visited = queue.len() as i64;
+
+    Workload {
+        name: "bfs",
+        kernel,
+        mem,
+        checks: vec![
+            Check::Mem {
+                label: "dist",
+                base: dist,
+                expected: expected_dist,
+            },
+            Check::Mem {
+                label: "visited",
+                base: cnt,
+                expected: vec![visited],
+            },
+        ],
+        par,
+    }
+}
+
+/// 9-point weighted stencil sweep over an `n × n` image (separate
+/// input/output planes, so rows parallelize without ordering).
+pub fn stencil2d(scale: Scale, par: usize) -> Workload {
+    let n = match scale {
+        Scale::Test => 8usize,
+        Scale::Bench => 48,
+    };
+    let img = inputs::dense_matrix(n, n, 0x57E2);
+    let mut mem = standard_memory();
+    let inp = mem.alloc_init(&img);
+    let out = mem.alloc(n * n);
+    let nn = n as i64;
+    let hi = nn - 1;
+
+    let program = kernel! {
+        name: "stencil2d";
+        for i in range(1, hi) par(par) {
+            for j in range(1, hi) {
+                let center = ld(inp + i * nn + j);
+                let edges = ld(inp + (i - 1) * nn + j)
+                    + ld(inp + (i + 1) * nn + j)
+                    + ld(inp + i * nn + j - 1)
+                    + ld(inp + i * nn + j + 1);
+                let corners = ld(inp + (i - 1) * nn + j - 1)
+                    + ld(inp + (i - 1) * nn + j + 1)
+                    + ld(inp + (i + 1) * nn + j - 1)
+                    + ld(inp + (i + 1) * nn + j + 1);
+                st(out + i * nn + j, center * 4 + edges * 2 + corners);
+            }
+        }
+    }
+    .expect("stencil2d program is valid");
+    let kernel = program.lower().expect("stencil2d lowers");
+
+    let at = |r: i64, c: i64| img[(r * nn + c) as usize];
+    let mut expected = vec![0i64; n * n];
+    for i in 1..nn - 1 {
+        for j in 1..nn - 1 {
+            let edges = at(i - 1, j) + at(i + 1, j) + at(i, j - 1) + at(i, j + 1);
+            let corners = at(i - 1, j - 1) + at(i - 1, j + 1) + at(i + 1, j - 1) + at(i + 1, j + 1);
+            expected[(i * nn + j) as usize] = at(i, j) * 4 + edges * 2 + corners;
+        }
+    }
+
+    Workload {
+        name: "stencil2d",
+        kernel,
+        mem,
+        checks: vec![Check::Mem {
+            label: "out",
+            base: out,
+            expected,
+        }],
+        par,
+    }
+}
+
+/// Streaming hash join: build an open-addressing table from one key
+/// column, probe it with another, and accumulate the matched payloads.
+/// Both phases are ordered; the probe chains after the build through the
+/// cross-loop order token.
+pub fn hashjoin(scale: Scale, par: usize) -> Workload {
+    let (nb, np, buckets) = match scale {
+        Scale::Test => (12usize, 16usize, 32usize),
+        Scale::Bench => (96, 256, 256),
+    };
+    // Distinct build keys (linear probing terminates below full load).
+    let mut rng = nupea_rng::Xoshiro256::seed_from_u64(0x4A01);
+    let mut pool: Vec<i64> = (0..4 * buckets as i64).collect();
+    rng.shuffle(&mut pool);
+    let build_keys: Vec<i64> = pool[..nb].to_vec();
+    let payloads: Vec<i64> = (0..nb).map(|_| rng.range_i64(1, 100)).collect();
+    // Probe keys: a mix of hits (drawn from build keys) and misses.
+    let probe_keys: Vec<i64> = (0..np)
+        .map(|_| {
+            if rng.chance(0.6) {
+                build_keys[rng.index(nb)]
+            } else {
+                pool[nb + rng.index(pool.len() - nb)]
+            }
+        })
+        .collect();
+
+    let mut mem = standard_memory();
+    let k1 = mem.alloc_init(&build_keys);
+    let v1 = mem.alloc_init(&payloads);
+    let k2 = mem.alloc_init(&probe_keys);
+    let tk = mem.alloc_init(&vec![-1i64; buckets]);
+    let tv = mem.alloc(buckets);
+    let outp = mem.alloc(1);
+    let nb_i = nb as i64;
+    let np_i = np as i64;
+    let b_i = buckets as i64;
+
+    let program = kernel! {
+        name: "hashjoin";
+        for i in range(0, nb_i) seq {
+            let key = ld(k1 + i);
+            let mut h = key % b_i;
+            let mut inserting = stream(1);
+            while (inserting.ne(0)) {
+                let slot = ld_crit(tk + h);
+                if (slot.lt(0)) {
+                    st(tk + h, key);
+                    st(tv + h, ld(v1 + i));
+                    inserting = 0;
+                } else {
+                    h = (h + 1) % b_i;
+                }
+            }
+        }
+        let mut acc = stream(0);
+        for j in range(0, np_i) seq {
+            let key = ld(k2 + j);
+            let mut h = key % b_i;
+            let mut probing = stream(1);
+            while (probing.ne(0)) {
+                let slot = ld_crit(tk + h);
+                if (slot.eq(key)) {
+                    acc = acc + ld(tv + h);
+                    probing = 0;
+                } else {
+                    if (slot.lt(0)) {
+                        probing = 0;
+                    } else {
+                        h = (h + 1) % b_i;
+                    }
+                }
+            }
+        }
+        st(outp, acc);
+    }
+    .expect("hashjoin program is valid");
+    let kernel = program.lower().expect("hashjoin lowers");
+
+    // Reference: identical open-addressing build + probe.
+    let mut ref_tk = vec![-1i64; buckets];
+    let mut ref_tv = vec![0i64; buckets];
+    for (key, pay) in build_keys.iter().zip(&payloads) {
+        let mut h = (key % b_i) as usize;
+        while ref_tk[h] >= 0 {
+            h = (h + 1) % buckets;
+        }
+        ref_tk[h] = *key;
+        ref_tv[h] = *pay;
+    }
+    let mut acc = 0i64;
+    for key in &probe_keys {
+        let mut h = (key % b_i) as usize;
+        loop {
+            if ref_tk[h] == *key {
+                acc += ref_tv[h];
+                break;
+            }
+            if ref_tk[h] < 0 {
+                break;
+            }
+            h = (h + 1) % buckets;
+        }
+    }
+
+    Workload {
+        name: "hashjoin",
+        kernel,
+        mem,
+        checks: vec![
+            Check::Mem {
+                label: "table-keys",
+                base: tk,
+                expected: ref_tk,
+            },
+            Check::Mem {
+                label: "joined",
+                base: outp,
+                expected: vec![acc],
+            },
+        ],
+        par,
+    }
+}
+
+/// Histogram build: data-dependent scatter with an RMW bin update. The
+/// bin load rides the memory-ordering recurrence (§7.1), so it is
+/// Critical even though its address is a plain gather.
+pub fn histogram(scale: Scale, par: usize) -> Workload {
+    let (n, bins) = match scale {
+        Scale::Test => (48usize, 8usize),
+        Scale::Bench => (768, 32),
+    };
+    let data: Vec<i64> = inputs::random_list(n, 0x417A)
+        .iter()
+        .map(|v| v.rem_euclid(bins as i64))
+        .collect();
+    let mut mem = standard_memory();
+    let d = mem.alloc_init(&data);
+    let b = mem.alloc(bins);
+    let n_i = n as i64;
+    let bins_i = bins as i64;
+
+    let program = kernel! {
+        name: "histogram";
+        for i in range(0, n_i) seq {
+            let bin = ld(d + i) + b;
+            st(bin, ld_crit(bin) + 1);
+        }
+        let mut total = stream(0);
+        for k in range(0, bins_i) seq {
+            total = total + ld(b + k);
+        }
+        sink "total" = total;
+    }
+    .expect("histogram program is valid");
+    let kernel = program.lower().expect("histogram lowers");
+
+    let mut expected = vec![0i64; bins];
+    for v in &data {
+        expected[*v as usize] += 1;
+    }
+
+    Workload {
+        name: "histogram",
+        kernel,
+        mem,
+        checks: vec![
+            Check::Mem {
+                label: "bins",
+                base: b,
+                expected,
+            },
+            Check::Sink {
+                label: "total",
+                index: 0,
+                expected: vec![n as i64],
+            },
+        ],
+        par,
+    }
+}
+
+/// ELLPACK SpMV: fixed-width padded rows, so every row does `width`
+/// multiply-accumulates with an indirect gather of `x[col]`. None of the
+/// loads govern a recurrence — the contrast case to `spmspv`.
+pub fn spmvell(scale: Scale, par: usize) -> Workload {
+    let (n, sparsity) = match scale {
+        Scale::Test => (10usize, 0.6),
+        Scale::Bench => (160, 0.92),
+    };
+    let a = inputs::sparse_csr(n, n, sparsity, 0xE11A);
+    let x = inputs::dense_vector(n, 0xE11B);
+    // Pack CSR into ELL with the max row degree as the pad width.
+    let width = (0..n)
+        .map(|r| (a.row_ptr[r + 1] - a.row_ptr[r]) as usize)
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    let mut col_ell = vec![0i64; n * width];
+    let mut val_ell = vec![0i64; n * width];
+    for r in 0..n {
+        let (beg, end) = (a.row_ptr[r] as usize, a.row_ptr[r + 1] as usize);
+        for (k, idx) in (beg..end).enumerate() {
+            col_ell[r * width + k] = a.col_idx[idx];
+            val_ell[r * width + k] = a.values[idx];
+        }
+    }
+    let mut mem = standard_memory();
+    let cb = mem.alloc_init(&col_ell);
+    let vb = mem.alloc_init(&val_ell);
+    let xb = mem.alloc_init(&x);
+    let yb = mem.alloc(n);
+    let n_i = n as i64;
+    let w_i = width as i64;
+
+    let program = kernel! {
+        name: "spmvell";
+        for r in range(0, n_i) par(par) {
+            let mut sum = stream(0);
+            for k in range(0, w_i) {
+                let col = ld(cb + r * w_i + k);
+                let av = ld(vb + r * w_i + k);
+                sum = sum + av * ld(xb + col);
+            }
+            st(yb + r, sum);
+        }
+    }
+    .expect("spmvell program is valid");
+    let kernel = program.lower().expect("spmvell lowers");
+
+    let dense = a.to_dense();
+    let expected: Vec<i64> = (0..n)
+        .map(|r| (0..n).map(|j| dense[r * n + j] * x[j]).sum())
+        .collect();
+
+    Workload {
+        name: "spmvell",
+        kernel,
+        mem,
+        checks: vec![Check::Mem {
+            label: "y",
+            base: yb,
+            expected,
+        }],
+        par,
+    }
+}
+
+/// eDSL port of the hand-written [`super::sparse::spmspv`] workload,
+/// lowering to a node-for-node identical dataflow graph (proved by the
+/// `lang_identity` test). Not registered — the hand-written entry stays
+/// canonical; this exists to pin the lowering's fidelity.
+pub fn spmspv_lang(scale: Scale, par: usize) -> Workload {
+    let (n, sparsity) = match scale {
+        Scale::Test => (12usize, 0.6),
+        Scale::Bench => (192, 0.9),
+    };
+    // Identical inputs and allocation order to `sparse::spmspv_custom`.
+    let a = inputs::sparse_csr(n, n, sparsity, 0x55B1);
+    let v = inputs::sparse_vector(n, sparsity, 0x55B2);
+    let mut mem = standard_memory();
+    let rp = mem.alloc_init(&a.row_ptr);
+    let ci = mem.alloc_init(&a.col_idx);
+    let va = mem.alloc_init(&a.values);
+    let vi = mem.alloc_init(&v.nz_idx);
+    let vv = mem.alloc_init(&v.values);
+    let d_base = mem.alloc(n);
+    let v_nnz = v.nz_idx.len() as i64;
+    let n_i = n as i64;
+
+    let program = kernel! {
+        name: "spmspv";
+        for r in range(0, n_i) par(par) {
+            let bp = r + rp;
+            let mut ia = ld(bp);
+            let end = ld(bp + 1);
+            let mut ib = stream(0);
+            let vn = stream(v_nnz);
+            let mut sum = stream(0);
+            while (ia.lt(end) & ib.lt(vn)) {
+                let ai = ld_crit(ia + ci);
+                let bi = ld_crit(ib + vi);
+                if (ai.eq(bi)) {
+                    sum = sum + ld(ia + va) * ld(ib + vv);
+                }
+                let a_le = ai.le(bi);
+                let b_le = ai.ge(bi);
+                ia = ia + a_le;
+                ib = ib + b_le;
+            }
+            st(r + d_base, sum);
+        }
+    }
+    .expect("spmspv eDSL program is valid");
+    let kernel = program
+        .lower()
+        .expect("spmspv lowers with critical hints satisfied");
+
+    let dense_a = a.to_dense();
+    let dense_v = v.to_dense();
+    let expected: Vec<i64> = (0..n)
+        .map(|r| (0..n).map(|j| dense_a[r * n + j] * dense_v[j]).sum())
+        .collect();
+    Workload {
+        name: "spmspv",
+        kernel,
+        mem,
+        checks: vec![Check::Mem {
+            label: "D",
+            base: d_base,
+            expected,
+        }],
+        par,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::harness::check_workload;
+    use super::*;
+
+    #[test]
+    fn bfs_validates() {
+        check_workload(&bfs(Scale::Test, 1));
+    }
+
+    #[test]
+    fn stencil2d_validates() {
+        check_workload(&stencil2d(Scale::Test, 1));
+        check_workload(&stencil2d(Scale::Test, 2));
+    }
+
+    #[test]
+    fn hashjoin_validates() {
+        check_workload(&hashjoin(Scale::Test, 1));
+    }
+
+    #[test]
+    fn histogram_validates() {
+        check_workload(&histogram(Scale::Test, 1));
+    }
+
+    #[test]
+    fn spmvell_validates() {
+        check_workload(&spmvell(Scale::Test, 1));
+        check_workload(&spmvell(Scale::Test, 2));
+    }
+
+    #[test]
+    fn spmspv_lang_validates() {
+        check_workload(&spmspv_lang(Scale::Test, 1));
+        check_workload(&spmspv_lang(Scale::Test, 4));
+    }
+
+    #[test]
+    fn wave2_critical_loads_are_present_where_expected() {
+        assert!(!bfs(Scale::Test, 1).kernel.critical_loads().is_empty());
+        assert!(!hashjoin(Scale::Test, 1).kernel.critical_loads().is_empty());
+        assert!(!histogram(Scale::Test, 1).kernel.critical_loads().is_empty());
+        // The ELL gather has no loop-governing loads at all.
+        assert!(spmvell(Scale::Test, 1).kernel.critical_loads().is_empty());
+    }
+}

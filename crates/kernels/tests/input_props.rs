@@ -1,0 +1,145 @@
+//! Property tests for the `inputs` generators: every workload's memory
+//! image is derived from these, so they must be (1) deterministic per
+//! seed, (2) within their documented size/shape bounds, and (3) free of
+//! values that would turn into negative or out-of-range addresses when
+//! used as indices.
+//!
+//! Seeds are drawn from a seeded RNG, so each property is exercised over
+//! many generator instances while staying reproducible.
+
+use nupea_kernels::inputs;
+use nupea_rng::Xoshiro256;
+
+const TRIALS: usize = 32;
+
+fn seeds(salt: u64) -> Vec<u64> {
+    let mut rng = Xoshiro256::seed_from_u64(0xD1CE ^ salt);
+    (0..TRIALS).map(|_| rng.next_u64()).collect()
+}
+
+#[test]
+fn dense_generators_are_seed_deterministic() {
+    for seed in seeds(1) {
+        assert_eq!(
+            inputs::dense_matrix(7, 5, seed),
+            inputs::dense_matrix(7, 5, seed)
+        );
+        assert_eq!(
+            inputs::dense_vector(11, seed),
+            inputs::dense_vector(11, seed)
+        );
+        assert_eq!(inputs::random_list(9, seed), inputs::random_list(9, seed));
+        assert_eq!(
+            inputs::random_signal(16, seed),
+            inputs::random_signal(16, seed)
+        );
+    }
+    // Distinct seeds must not collapse to one stream.
+    assert_ne!(inputs::dense_vector(64, 1), inputs::dense_vector(64, 2));
+}
+
+#[test]
+fn dense_generators_respect_size_and_value_bounds() {
+    for seed in seeds(2) {
+        let m = inputs::dense_matrix(6, 9, seed);
+        assert_eq!(m.len(), 54);
+        assert!(m.iter().all(|v| (-8..=8).contains(v)), "matrix range");
+        let s = inputs::random_signal(32, seed);
+        assert_eq!(s.len(), 32);
+        // Q15: one fixed-point integer per sample, |v| < 2^15.
+        assert!(s.iter().all(|v| v.abs() < 1 << 15), "signal Q15 range");
+    }
+}
+
+#[test]
+fn sparse_csr_is_well_formed() {
+    for seed in seeds(3) {
+        let a = inputs::sparse_csr(13, 17, 0.7, seed);
+        let b = inputs::sparse_csr(13, 17, 0.7, seed);
+        assert_eq!(a.row_ptr, b.row_ptr, "csr determinism");
+        assert_eq!(a.col_idx, b.col_idx, "csr determinism");
+        assert_eq!(a.values, b.values, "csr determinism");
+
+        assert_eq!(a.rows, 13);
+        assert_eq!(a.cols, 17);
+        assert_eq!(a.row_ptr.len(), a.rows + 1);
+        assert_eq!(a.row_ptr[0], 0);
+        assert_eq!(a.row_ptr[a.rows] as usize, a.col_idx.len());
+        assert_eq!(a.col_idx.len(), a.values.len());
+        assert_eq!(a.nnz(), a.col_idx.len());
+        // row_ptr monotone: every row slice is a valid [beg, end) range.
+        assert!(a.row_ptr.windows(2).all(|w| w[0] <= w[1]));
+        // Column indices are in-bounds and non-negative — they feed
+        // gather addresses directly.
+        assert!(a.col_idx.iter().all(|&c| c >= 0 && (c as usize) < a.cols));
+        // Within each row, columns are sorted strictly (no duplicates),
+        // as the two-pointer join kernels require.
+        for r in 0..a.rows {
+            let (beg, end) = (a.row_ptr[r] as usize, a.row_ptr[r + 1] as usize);
+            assert!(a.col_idx[beg..end].windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+}
+
+#[test]
+fn sparse_vector_is_well_formed() {
+    for seed in seeds(4) {
+        let v = inputs::sparse_vector(23, 0.6, seed);
+        let w = inputs::sparse_vector(23, 0.6, seed);
+        assert_eq!(v.nz_idx, w.nz_idx, "vector determinism");
+        assert_eq!(v.values, w.values, "vector determinism");
+
+        assert_eq!(v.len, 23);
+        assert_eq!(v.nz_idx.len(), v.values.len());
+        assert!(v.nz_idx.len() <= v.len);
+        assert!(v.nz_idx.iter().all(|&i| i >= 0 && (i as usize) < v.len));
+        assert!(v.nz_idx.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+        // to_dense must be the exact inverse view.
+        let dense = v.to_dense();
+        assert_eq!(dense.len(), v.len);
+        for (i, val) in v.nz_idx.iter().zip(&v.values) {
+            assert_eq!(dense[*i as usize], *val);
+        }
+    }
+}
+
+#[test]
+fn random_graph_is_symmetric_and_loop_free() {
+    for seed in seeds(5) {
+        let g = inputs::random_graph(19, 0.3, seed);
+        assert_eq!(g.rows, 19);
+        assert_eq!(g.row_ptr.len(), 20);
+        assert!(g.col_idx.iter().all(|&c| c >= 0 && (c as usize) < g.rows));
+        let has_edge = |u: usize, v: usize| {
+            let (b, e) = (g.row_ptr[u] as usize, g.row_ptr[u + 1] as usize);
+            g.col_idx[b..e].contains(&(v as i64))
+        };
+        for u in 0..g.rows {
+            let (b, e) = (g.row_ptr[u] as usize, g.row_ptr[u + 1] as usize);
+            // Sorted adjacency, no self loops.
+            assert!(g.col_idx[b..e].windows(2).all(|w| w[0] < w[1]));
+            assert!(!has_edge(u, u), "self loop at {u}");
+            // Undirected: every edge has its mirror.
+            for &v in &g.col_idx[b..e] {
+                assert!(has_edge(v as usize, u), "missing mirror {u}->{v}");
+            }
+        }
+        // All weights are 1 (BFS/TC treat the graph as unweighted).
+        assert!(g.values.iter().all(|&v| v == 1));
+    }
+}
+
+#[test]
+fn sparsity_extremes_are_safe() {
+    // Fully sparse: no entries, but shapes stay valid.
+    let empty = inputs::sparse_csr(8, 8, 1.0, 7);
+    assert_eq!(empty.nnz(), 0);
+    assert_eq!(empty.row_ptr, vec![0; 9]);
+    // Fully dense: every slot filled, still sorted per row.
+    let full = inputs::sparse_csr(8, 8, 0.0, 7);
+    assert_eq!(full.nnz(), 64);
+    let ev = inputs::sparse_vector(8, 1.0, 7);
+    assert!(ev.nz_idx.is_empty());
+    let fv = inputs::sparse_vector(8, 0.0, 7);
+    assert_eq!(fv.nz_idx.len(), 8);
+}

@@ -1,0 +1,855 @@
+//! Surface AST and the arena-backed program builder behind the
+//! [`kernel!`](crate::kernel) macro.
+//!
+//! Expressions are handles ([`Expr`], a `Copy` index) into a thread-local
+//! arena installed by [`ProgramBuilder::new`] and torn down by
+//! [`ProgramBuilder::finish`]. The arena makes operator overloading
+//! ergonomic (`a + b * 2` with no clones or borrows) and lets the finished
+//! [`Program`] renumber the expression DAG in a canonical statement-order
+//! walk, so the FNV-1a program hash is independent of construction
+//! detours (dead subexpressions, evaluation-order noise).
+
+use crate::error::LangError;
+use nupea_ir::op::{BinOpKind, CmpKind, UnOpKind};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// A handle to an expression node in the program under construction.
+///
+/// `Expr` is `Copy`: reuse a bound subexpression freely. Arithmetic and
+/// bit operators are overloaded (`+ - * / % & | ^ << >>`, with `i64`
+/// on either side); comparisons are methods ([`Expr::lt`], [`Expr::eq`],
+/// ...) because Rust's comparison operators must return `bool`.
+///
+/// # Panics
+///
+/// All `Expr` operations panic unless a [`ProgramBuilder`] (usually via
+/// [`kernel!`](crate::kernel)) is live on the current thread.
+#[derive(Debug, Clone, Copy)]
+pub struct Expr(pub(crate) u32);
+
+/// One expression node. Operand fields index the owning program's arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ExprKind {
+    /// An integer literal (folded to an immediate during lowering).
+    Const(i64),
+    /// A named runtime parameter (index into [`Program::params`]).
+    Param(u32),
+    /// A variable read (index into the program's variable table).
+    Var(u32),
+    /// Binary arithmetic/logic.
+    Bin(BinOpKind, u32, u32),
+    /// Comparison producing 0/1.
+    Cmp(CmpKind, u32, u32),
+    /// Unary op.
+    Un(UnOpKind, u32),
+    /// Eager conditional `cond ? t : f` (both sides always evaluated).
+    Select(u32, u32, u32),
+    /// Memory load; `critical` asserts the classifier will mark it
+    /// critical (checked after lowering).
+    Load { addr: u32, critical: bool },
+    /// Force materialization as a real token stream (maps to the
+    /// builder's `as_stream`); used when a constant must occupy a PE.
+    Stream(u32),
+}
+
+/// One statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Stmt {
+    /// Bind a (possibly mutable) variable.
+    Let { var: u32, init: u32 },
+    /// Reassign a mutable variable.
+    Assign { var: u32, value: u32 },
+    /// Store `value` to `addr`.
+    Store { addr: u32, value: u32 },
+    /// Record `value` into the named sink stream.
+    Sink { name: String, value: u32 },
+    /// Counted loop over `range(lo, hi)` with optional step/par/seq.
+    For {
+        var: u32,
+        lo: u32,
+        hi: u32,
+        step: i64,
+        par: usize,
+        seq: bool,
+        body: Vec<Stmt>,
+    },
+    /// While loop; `seq` chains all memory in program order.
+    While {
+        cond: u32,
+        seq: bool,
+        body: Vec<Stmt>,
+    },
+    /// Conditional (else branch may be empty).
+    If {
+        cond: u32,
+        then_body: Vec<Stmt>,
+        else_body: Vec<Stmt>,
+    },
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarInfo {
+    pub name: String,
+    pub mutable: bool,
+}
+
+#[derive(Default)]
+struct Arena {
+    exprs: Vec<ExprKind>,
+    vars: Vec<VarInfo>,
+    params: Vec<String>,
+}
+
+thread_local! {
+    static ARENA: RefCell<Option<Arena>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn alloc(kind: ExprKind) -> Expr {
+    ARENA.with(|a| {
+        let mut a = a.borrow_mut();
+        let arena = a.as_mut().expect(
+            "nupea-lang Expr operations are only valid while a kernel! {} \
+             program is being built on this thread",
+        );
+        let id = arena.exprs.len() as u32;
+        arena.exprs.push(kind);
+        Expr(id)
+    })
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        alloc(ExprKind::Const(v))
+    }
+}
+
+macro_rules! bin_impl {
+    ($trait:ident, $method:ident, $kind:ident) => {
+        impl std::ops::$trait<Expr> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                alloc(ExprKind::Bin(BinOpKind::$kind, self.0, rhs.0))
+            }
+        }
+        impl std::ops::$trait<i64> for Expr {
+            type Output = Expr;
+            fn $method(self, rhs: i64) -> Expr {
+                let r = Expr::from(rhs);
+                alloc(ExprKind::Bin(BinOpKind::$kind, self.0, r.0))
+            }
+        }
+        impl std::ops::$trait<Expr> for i64 {
+            type Output = Expr;
+            fn $method(self, rhs: Expr) -> Expr {
+                let l = Expr::from(self);
+                alloc(ExprKind::Bin(BinOpKind::$kind, l.0, rhs.0))
+            }
+        }
+    };
+}
+
+bin_impl!(Add, add, Add);
+bin_impl!(Sub, sub, Sub);
+bin_impl!(Mul, mul, Mul);
+bin_impl!(Div, div, Div);
+bin_impl!(Rem, rem, Rem);
+bin_impl!(BitAnd, bitand, And);
+bin_impl!(BitOr, bitor, Or);
+bin_impl!(BitXor, bitxor, Xor);
+bin_impl!(Shl, shl, Shl);
+bin_impl!(Shr, shr, Shr);
+
+impl std::ops::Neg for Expr {
+    type Output = Expr;
+    fn neg(self) -> Expr {
+        alloc(ExprKind::Un(UnOpKind::Neg, self.0))
+    }
+}
+
+impl std::ops::Not for Expr {
+    type Output = Expr;
+    fn not(self) -> Expr {
+        alloc(ExprKind::Un(UnOpKind::Not, self.0))
+    }
+}
+
+macro_rules! cmp_method {
+    ($method:ident, $kind:ident, $doc:literal) => {
+        #[doc = $doc]
+        #[must_use]
+        pub fn $method(self, rhs: impl Into<Expr>) -> Expr {
+            let r = rhs.into();
+            alloc(ExprKind::Cmp(CmpKind::$kind, self.0, r.0))
+        }
+    };
+}
+
+impl Expr {
+    cmp_method!(lt, Lt, "`self < rhs` as 0/1.");
+    cmp_method!(le, Le, "`self <= rhs` as 0/1.");
+    cmp_method!(gt, Gt, "`self > rhs` as 0/1.");
+    cmp_method!(ge, Ge, "`self >= rhs` as 0/1.");
+    cmp_method!(eq, Eq, "`self == rhs` as 0/1.");
+    cmp_method!(ne, Ne, "`self != rhs` as 0/1.");
+
+    /// `min(self, rhs)`.
+    #[must_use]
+    pub fn min(self, rhs: impl Into<Expr>) -> Expr {
+        let r = rhs.into();
+        alloc(ExprKind::Bin(BinOpKind::Min, self.0, r.0))
+    }
+
+    /// `max(self, rhs)`.
+    #[must_use]
+    pub fn max(self, rhs: impl Into<Expr>) -> Expr {
+        let r = rhs.into();
+        alloc(ExprKind::Bin(BinOpKind::Max, self.0, r.0))
+    }
+
+    /// Absolute value.
+    #[must_use]
+    pub fn abs(self) -> Expr {
+        alloc(ExprKind::Un(UnOpKind::Abs, self.0))
+    }
+}
+
+/// Load from address `addr` (one load per occurrence; a reused `Expr`
+/// handle is one shared load).
+pub fn ld(addr: impl Into<Expr>) -> Expr {
+    let a = addr.into();
+    alloc(ExprKind::Load {
+        addr: a.0,
+        critical: false,
+    })
+}
+
+/// Load from `addr` annotated as **critical**: the author asserts it sits
+/// on a loop-governing recurrence. Lowering fails with
+/// [`LangError::CriticalityHintViolated`] if the classifier disagrees.
+pub fn ld_crit(addr: impl Into<Expr>) -> Expr {
+    let a = addr.into();
+    alloc(ExprKind::Load {
+        addr: a.0,
+        critical: true,
+    })
+}
+
+/// Eager conditional `cond ? t : f` (both sides are computed every
+/// activation; use an `if` statement for conditional memory effects).
+pub fn select(cond: impl Into<Expr>, t: impl Into<Expr>, f: impl Into<Expr>) -> Expr {
+    let (c, t, f) = (cond.into(), t.into(), f.into());
+    alloc(ExprKind::Select(c.0, t.0, f.0))
+}
+
+/// Force `e` to materialize as a real token stream (a PE producing one
+/// token per activation) instead of folding into an immediate operand.
+/// Matches hand-written builder code that calls `as_stream`; mostly
+/// useful when porting kernels node-for-node.
+pub fn stream(e: impl Into<Expr>) -> Expr {
+    let e = e.into();
+    alloc(ExprKind::Stream(e.0))
+}
+
+enum Frame {
+    For {
+        var: u32,
+        lo: u32,
+        hi: u32,
+        step: i64,
+        par: usize,
+        seq: bool,
+    },
+    While {
+        cond: u32,
+        seq: bool,
+    },
+    IfThen {
+        cond: u32,
+    },
+    IfElse {
+        cond: u32,
+        then_body: Vec<Stmt>,
+    },
+}
+
+/// Incrementally builds a [`Program`]; the [`kernel!`](crate::kernel)
+/// macro drives this API, and it can also be called directly for
+/// programmatic construction (e.g. fuzzers).
+///
+/// # Panics
+///
+/// `new` panics if another builder is already live on this thread;
+/// structural misuse (unbalanced `begin_*`/`end_*`) also panics. All
+/// *program-level* problems (unknown names, shape mismatches, constant
+/// conditions, ...) are reported as typed [`LangError`]s from
+/// [`ProgramBuilder::finish`].
+pub struct ProgramBuilder {
+    name: String,
+    blocks: Vec<Vec<Stmt>>,
+    frames: Vec<Frame>,
+    deferred: Option<LangError>,
+}
+
+impl ProgramBuilder {
+    /// Start a program; installs the thread-local expression arena.
+    pub fn new(name: &str) -> ProgramBuilder {
+        ARENA.with(|a| {
+            let mut a = a.borrow_mut();
+            assert!(
+                a.is_none(),
+                "nested kernel! {{}} program construction on one thread"
+            );
+            *a = Some(Arena::default());
+        });
+        ProgramBuilder {
+            name: name.to_string(),
+            blocks: vec![Vec::new()],
+            frames: Vec::new(),
+            deferred: None,
+        }
+    }
+
+    fn with_arena<R>(&mut self, f: impl FnOnce(&mut Arena) -> R) -> R {
+        ARENA.with(|a| f(a.borrow_mut().as_mut().expect("builder arena live")))
+    }
+
+    fn push(&mut self, s: Stmt) {
+        self.blocks.last_mut().expect("open block").push(s);
+    }
+
+    /// An integer literal expression.
+    pub fn lit(&mut self, v: i64) -> Expr {
+        Expr::from(v)
+    }
+
+    /// Declare a named runtime parameter (bound at run time).
+    pub fn param(&mut self, name: &str) -> Expr {
+        let idx = self.with_arena(|a| {
+            a.params.push(name.to_string());
+            a.params.len() as u32 - 1
+        });
+        alloc(ExprKind::Param(idx))
+    }
+
+    /// Bind `name` to `init`; returns the variable-read handle.
+    pub fn let_(&mut self, name: &str, mutable: bool, init: Expr) -> Expr {
+        let var = self.with_arena(|a| {
+            a.vars.push(VarInfo {
+                name: name.to_string(),
+                mutable,
+            });
+            a.vars.len() as u32 - 1
+        });
+        self.push(Stmt::Let { var, init: init.0 });
+        alloc(ExprKind::Var(var))
+    }
+
+    /// Reassign the variable behind `target` (must be a variable handle
+    /// returned by [`ProgramBuilder::let_`] or a loop induction binding).
+    pub fn assign(&mut self, target: Expr, value: Expr) {
+        let kind = self.with_arena(|a| a.exprs[target.0 as usize].clone());
+        match kind {
+            ExprKind::Var(var) => self.push(Stmt::Assign {
+                var,
+                value: value.0,
+            }),
+            _ => {
+                self.deferred.get_or_insert(LangError::UnknownName {
+                    name: "<assignment target is not a variable>".into(),
+                });
+            }
+        }
+    }
+
+    /// Store `value` to `addr`.
+    pub fn store(&mut self, addr: Expr, value: Expr) {
+        self.push(Stmt::Store {
+            addr: addr.0,
+            value: value.0,
+        });
+    }
+
+    /// Record `value` into the named sink stream.
+    pub fn sink(&mut self, name: &str, value: Expr) {
+        self.push(Stmt::Sink {
+            name: name.to_string(),
+            value: value.0,
+        });
+    }
+
+    /// Open a counted loop; returns the induction-variable handle.
+    pub fn begin_for(
+        &mut self,
+        var: &str,
+        lo: Expr,
+        hi: Expr,
+        step: i64,
+        par: usize,
+        seq: bool,
+    ) -> Expr {
+        let v = self.with_arena(|a| {
+            a.vars.push(VarInfo {
+                name: var.to_string(),
+                mutable: false,
+            });
+            a.vars.len() as u32 - 1
+        });
+        self.frames.push(Frame::For {
+            var: v,
+            lo: lo.0,
+            hi: hi.0,
+            step,
+            par,
+            seq,
+        });
+        self.blocks.push(Vec::new());
+        alloc(ExprKind::Var(v))
+    }
+
+    /// Close the innermost `for`.
+    pub fn end_for(&mut self) {
+        let body = self.blocks.pop().expect("for body block");
+        match self.frames.pop() {
+            Some(Frame::For {
+                var,
+                lo,
+                hi,
+                step,
+                par,
+                seq,
+            }) => self.push(Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                par,
+                seq,
+                body,
+            }),
+            _ => panic!("end_for without begin_for"),
+        }
+    }
+
+    /// Open a while loop.
+    pub fn begin_while(&mut self, cond: Expr, seq: bool) {
+        self.frames.push(Frame::While { cond: cond.0, seq });
+        self.blocks.push(Vec::new());
+    }
+
+    /// Close the innermost `while`.
+    pub fn end_while(&mut self) {
+        let body = self.blocks.pop().expect("while body block");
+        match self.frames.pop() {
+            Some(Frame::While { cond, seq }) => self.push(Stmt::While { cond, seq, body }),
+            _ => panic!("end_while without begin_while"),
+        }
+    }
+
+    /// Open a conditional's then-branch.
+    pub fn begin_if(&mut self, cond: Expr) {
+        self.frames.push(Frame::IfThen { cond: cond.0 });
+        self.blocks.push(Vec::new());
+    }
+
+    /// Switch to the else-branch.
+    pub fn begin_else(&mut self) {
+        let then_body = self.blocks.pop().expect("then block");
+        match self.frames.pop() {
+            Some(Frame::IfThen { cond }) => {
+                self.frames.push(Frame::IfElse { cond, then_body });
+                self.blocks.push(Vec::new());
+            }
+            _ => panic!("begin_else without begin_if"),
+        }
+    }
+
+    /// Close the innermost `if`.
+    pub fn end_if(&mut self) {
+        let tail = self.blocks.pop().expect("branch block");
+        match self.frames.pop() {
+            Some(Frame::IfThen { cond }) => self.push(Stmt::If {
+                cond,
+                then_body: tail,
+                else_body: Vec::new(),
+            }),
+            Some(Frame::IfElse { cond, then_body }) => self.push(Stmt::If {
+                cond,
+                then_body,
+                else_body: tail,
+            }),
+            _ => panic!("end_if without begin_if"),
+        }
+    }
+
+    /// Finish: canonicalize the expression DAG, run the semantic checks,
+    /// and compute the program hash.
+    ///
+    /// # Errors
+    ///
+    /// Any [`LangError`] found by the check pass (see the crate docs for
+    /// the diagnostic taxonomy).
+    pub fn finish(mut self) -> Result<Program, LangError> {
+        assert!(
+            self.frames.is_empty() && self.blocks.len() == 1,
+            "unbalanced control-flow construction"
+        );
+        let arena = ARENA.with(|a| a.borrow_mut().take()).expect("arena live");
+        if let Some(e) = self.deferred.take() {
+            return Err(e);
+        }
+        let body = self.blocks.pop().expect("top block");
+        let mut canon = Canonicalizer {
+            old: &arena.exprs,
+            map: HashMap::new(),
+            exprs: Vec::new(),
+        };
+        let body = canon.stmts(&body);
+        let mut program = Program {
+            name: self.name.clone(),
+            params: arena.params,
+            vars: arena.vars,
+            exprs: canon.exprs,
+            body,
+            hash: 0,
+        };
+        crate::check::validate(&program)?;
+        program.hash = program.compute_hash();
+        Ok(program)
+    }
+}
+
+impl Drop for ProgramBuilder {
+    fn drop(&mut self) {
+        // Clear the arena even if finish() was never reached (panic paths),
+        // so the thread can build another program later.
+        ARENA.with(|a| {
+            a.borrow_mut().take();
+        });
+    }
+}
+
+/// Renumbers the expression DAG in statement-order DFS (post-order), so
+/// hashes ignore dead subexpressions and construction order.
+struct Canonicalizer<'a> {
+    old: &'a [ExprKind],
+    map: HashMap<u32, u32>,
+    exprs: Vec<ExprKind>,
+}
+
+impl Canonicalizer<'_> {
+    fn expr(&mut self, e: u32) -> u32 {
+        if let Some(&n) = self.map.get(&e) {
+            return n;
+        }
+        let kind = match self.old[e as usize].clone() {
+            k @ (ExprKind::Const(_) | ExprKind::Param(_) | ExprKind::Var(_)) => k,
+            ExprKind::Bin(k, a, b) => {
+                let (a, b) = (self.expr(a), self.expr(b));
+                ExprKind::Bin(k, a, b)
+            }
+            ExprKind::Cmp(k, a, b) => {
+                let (a, b) = (self.expr(a), self.expr(b));
+                ExprKind::Cmp(k, a, b)
+            }
+            ExprKind::Un(k, a) => {
+                let a = self.expr(a);
+                ExprKind::Un(k, a)
+            }
+            ExprKind::Select(c, t, f) => {
+                let (c, t, f) = (self.expr(c), self.expr(t), self.expr(f));
+                ExprKind::Select(c, t, f)
+            }
+            ExprKind::Load { addr, critical } => {
+                let addr = self.expr(addr);
+                ExprKind::Load { addr, critical }
+            }
+            ExprKind::Stream(x) => {
+                let x = self.expr(x);
+                ExprKind::Stream(x)
+            }
+        };
+        let id = self.exprs.len() as u32;
+        self.exprs.push(kind);
+        self.map.insert(e, id);
+        id
+    }
+
+    fn stmts(&mut self, body: &[Stmt]) -> Vec<Stmt> {
+        body.iter()
+            .map(|s| match s {
+                Stmt::Let { var, init } => Stmt::Let {
+                    var: *var,
+                    init: self.expr(*init),
+                },
+                Stmt::Assign { var, value } => Stmt::Assign {
+                    var: *var,
+                    value: self.expr(*value),
+                },
+                Stmt::Store { addr, value } => {
+                    let addr = self.expr(*addr);
+                    let value = self.expr(*value);
+                    Stmt::Store { addr, value }
+                }
+                Stmt::Sink { name, value } => Stmt::Sink {
+                    name: name.clone(),
+                    value: self.expr(*value),
+                },
+                Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    par,
+                    seq,
+                    body,
+                } => {
+                    let lo = self.expr(*lo);
+                    let hi = self.expr(*hi);
+                    let body = self.stmts(body);
+                    Stmt::For {
+                        var: *var,
+                        lo,
+                        hi,
+                        step: *step,
+                        par: *par,
+                        seq: *seq,
+                        body,
+                    }
+                }
+                Stmt::While { cond, seq, body } => {
+                    let cond = self.expr(*cond);
+                    let body = self.stmts(body);
+                    Stmt::While {
+                        cond,
+                        seq: *seq,
+                        body,
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let cond = self.expr(*cond);
+                    let then_body = self.stmts(then_body);
+                    let else_body = self.stmts(else_body);
+                    Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// A finished, validated eDSL program: immutable AST plus a stable
+/// FNV-1a hash suitable for cache and journal keys.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) name: String,
+    pub(crate) params: Vec<String>,
+    pub(crate) vars: Vec<VarInfo>,
+    pub(crate) exprs: Vec<ExprKind>,
+    pub(crate) body: Vec<Stmt>,
+    pub(crate) hash: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+    fn u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+    fn i64(&mut self, v: i64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.write(s.as_bytes());
+    }
+}
+
+impl Program {
+    /// Program name (becomes the kernel/DFG name).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared runtime parameter names, in declaration order.
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Sink names in declaration order (matches the lowered kernel's
+    /// `SinkId` order and the scalar interpreter's result order).
+    pub fn sink_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        fn walk<'a>(body: &'a [Stmt], out: &mut Vec<&'a str>) {
+            for s in body {
+                match s {
+                    Stmt::Sink { name, .. } => out.push(name.as_str()),
+                    Stmt::For { body, .. } | Stmt::While { body, .. } => walk(body, out),
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        walk(then_body, out);
+                        walk(else_body, out);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        walk(&self.body, &mut out);
+        out
+    }
+
+    /// Stable FNV-1a hash of the canonical AST: identical programs hash
+    /// identically across runs, platforms, and construction detours.
+    /// Suitable for compile-cache and journal keys.
+    pub fn fnv1a_hash(&self) -> u64 {
+        self.hash
+    }
+
+    pub(crate) fn compute_hash(&self) -> u64 {
+        let mut h = Fnv(FNV_OFFSET);
+        h.str(&self.name);
+        h.u32(self.params.len() as u32);
+        for p in &self.params {
+            h.str(p);
+        }
+        h.u32(self.vars.len() as u32);
+        for v in &self.vars {
+            h.str(&v.name);
+            h.u8(u8::from(v.mutable));
+        }
+        h.u32(self.exprs.len() as u32);
+        for e in &self.exprs {
+            match e {
+                ExprKind::Const(v) => {
+                    h.u8(0);
+                    h.i64(*v);
+                }
+                ExprKind::Param(i) => {
+                    h.u8(1);
+                    h.u32(*i);
+                }
+                ExprKind::Var(i) => {
+                    h.u8(2);
+                    h.u32(*i);
+                }
+                ExprKind::Bin(k, a, b) => {
+                    h.u8(3);
+                    h.u8(*k as u8);
+                    h.u32(*a);
+                    h.u32(*b);
+                }
+                ExprKind::Cmp(k, a, b) => {
+                    h.u8(4);
+                    h.u8(*k as u8);
+                    h.u32(*a);
+                    h.u32(*b);
+                }
+                ExprKind::Un(k, a) => {
+                    h.u8(5);
+                    h.u8(*k as u8);
+                    h.u32(*a);
+                }
+                ExprKind::Select(c, t, f) => {
+                    h.u8(6);
+                    h.u32(*c);
+                    h.u32(*t);
+                    h.u32(*f);
+                }
+                ExprKind::Load { addr, critical } => {
+                    h.u8(7);
+                    h.u32(*addr);
+                    h.u8(u8::from(*critical));
+                }
+                ExprKind::Stream(x) => {
+                    h.u8(8);
+                    h.u32(*x);
+                }
+            }
+        }
+        fn stmts(h: &mut Fnv, body: &[Stmt]) {
+            h.u32(body.len() as u32);
+            for s in body {
+                match s {
+                    Stmt::Let { var, init } => {
+                        h.u8(0);
+                        h.u32(*var);
+                        h.u32(*init);
+                    }
+                    Stmt::Assign { var, value } => {
+                        h.u8(1);
+                        h.u32(*var);
+                        h.u32(*value);
+                    }
+                    Stmt::Store { addr, value } => {
+                        h.u8(2);
+                        h.u32(*addr);
+                        h.u32(*value);
+                    }
+                    Stmt::Sink { name, value } => {
+                        h.u8(3);
+                        h.str(name);
+                        h.u32(*value);
+                    }
+                    Stmt::For {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        par,
+                        seq,
+                        body,
+                    } => {
+                        h.u8(4);
+                        h.u32(*var);
+                        h.u32(*lo);
+                        h.u32(*hi);
+                        h.i64(*step);
+                        h.u32(*par as u32);
+                        h.u8(u8::from(*seq));
+                        stmts(h, body);
+                    }
+                    Stmt::While { cond, seq, body } => {
+                        h.u8(5);
+                        h.u32(*cond);
+                        h.u8(u8::from(*seq));
+                        stmts(h, body);
+                    }
+                    Stmt::If {
+                        cond,
+                        then_body,
+                        else_body,
+                    } => {
+                        h.u8(6);
+                        h.u32(*cond);
+                        stmts(h, then_body);
+                        stmts(h, else_body);
+                    }
+                }
+            }
+        }
+        stmts(&mut h, &self.body);
+        h.0
+    }
+}

@@ -1,0 +1,437 @@
+//! Semantic validation of finished programs.
+//!
+//! Runs at [`ProgramBuilder::finish`](crate::ProgramBuilder::finish) time,
+//! before any lowering. The pass mirrors the builder's constant folding
+//! with a small abstract interpreter so that "condition folds to a
+//! constant" is diagnosed here as a typed [`LangError`] instead of a
+//! panic deep inside graph construction.
+
+use crate::ast::{ExprKind, Program, Stmt};
+use crate::error::LangError;
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Slot index for a variable or parameter (params live after vars).
+pub(crate) fn param_slot(p: &Program, idx: u32) -> u32 {
+    p.vars.len() as u32 + idx
+}
+
+/// Collect every variable/parameter slot read anywhere in `e`.
+pub(crate) fn expr_slots(p: &Program, e: u32, out: &mut BTreeSet<u32>) {
+    match &p.exprs[e as usize] {
+        ExprKind::Const(_) => {}
+        ExprKind::Param(i) => {
+            out.insert(param_slot(p, *i));
+        }
+        ExprKind::Var(v) => {
+            out.insert(*v);
+        }
+        ExprKind::Bin(_, a, b) | ExprKind::Cmp(_, a, b) => {
+            expr_slots(p, *a, out);
+            expr_slots(p, *b, out);
+        }
+        ExprKind::Un(_, a) | ExprKind::Stream(a) => expr_slots(p, *a, out),
+        ExprKind::Select(c, t, f) => {
+            expr_slots(p, *c, out);
+            expr_slots(p, *t, out);
+            expr_slots(p, *f, out);
+        }
+        ExprKind::Load { addr, .. } => expr_slots(p, *addr, out),
+    }
+}
+
+/// Does `e` contain a load?
+pub(crate) fn expr_has_load(p: &Program, e: u32) -> bool {
+    match &p.exprs[e as usize] {
+        ExprKind::Const(_) | ExprKind::Param(_) | ExprKind::Var(_) => false,
+        ExprKind::Bin(_, a, b) | ExprKind::Cmp(_, a, b) => {
+            expr_has_load(p, *a) || expr_has_load(p, *b)
+        }
+        ExprKind::Un(_, a) | ExprKind::Stream(a) => expr_has_load(p, *a),
+        ExprKind::Select(c, t, f) => {
+            expr_has_load(p, *c) || expr_has_load(p, *t) || expr_has_load(p, *f)
+        }
+        ExprKind::Load { .. } => true,
+    }
+}
+
+/// Variable slots assigned anywhere in `body`, excluding variables
+/// declared within `body` itself (those are iteration-local, not carried).
+pub(crate) fn carried_writes(body: &[Stmt]) -> BTreeSet<u32> {
+    let mut writes = BTreeSet::new();
+    let mut declared = BTreeSet::new();
+    collect_writes(body, &mut writes, &mut declared);
+    writes.retain(|w| !declared.contains(w));
+    writes
+}
+
+fn collect_writes(body: &[Stmt], writes: &mut BTreeSet<u32>, declared: &mut BTreeSet<u32>) {
+    for s in body {
+        match s {
+            Stmt::Let { var, .. } => {
+                declared.insert(*var);
+            }
+            Stmt::Assign { var, .. } => {
+                writes.insert(*var);
+            }
+            Stmt::Store { .. } | Stmt::Sink { .. } => {}
+            Stmt::For { var, body, .. } => {
+                declared.insert(*var);
+                collect_writes(body, writes, declared);
+            }
+            Stmt::While { body, .. } => collect_writes(body, writes, declared),
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                collect_writes(then_body, writes, declared);
+                collect_writes(else_body, writes, declared);
+            }
+        }
+    }
+}
+
+/// Slots *read* anywhere in `body` (conditions, bounds, expressions),
+/// excluding slots declared within `body`.
+pub(crate) fn free_reads(p: &Program, body: &[Stmt]) -> BTreeSet<u32> {
+    let mut reads = BTreeSet::new();
+    let mut declared = BTreeSet::new();
+    collect_reads(p, body, &mut reads, &mut declared);
+    reads.retain(|r| !declared.contains(r));
+    reads
+}
+
+fn collect_reads(
+    p: &Program,
+    body: &[Stmt],
+    reads: &mut BTreeSet<u32>,
+    declared: &mut BTreeSet<u32>,
+) {
+    for s in body {
+        match s {
+            Stmt::Let { var, init } => {
+                expr_slots(p, *init, reads);
+                declared.insert(*var);
+            }
+            Stmt::Assign { value, .. } => expr_slots(p, *value, reads),
+            Stmt::Store { addr, value } => {
+                expr_slots(p, *addr, reads);
+                expr_slots(p, *value, reads);
+            }
+            Stmt::Sink { value, .. } => expr_slots(p, *value, reads),
+            Stmt::For {
+                var, lo, hi, body, ..
+            } => {
+                expr_slots(p, *lo, reads);
+                expr_slots(p, *hi, reads);
+                declared.insert(*var);
+                collect_reads(p, body, reads, declared);
+            }
+            Stmt::While { cond, body, .. } => {
+                expr_slots(p, *cond, reads);
+                collect_reads(p, body, reads, declared);
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                expr_slots(p, *cond, reads);
+                collect_reads(p, then_body, reads, declared);
+                collect_reads(p, else_body, reads, declared);
+            }
+        }
+    }
+}
+
+/// Abstract constant evaluation mirroring the builder's immediate
+/// folding: `Some(v)` means the lowered value is guaranteed to be the
+/// immediate `v`; `None` means it is (or may be) a runtime token stream.
+/// `env` maps in-scope slots to their abstract values.
+pub(crate) fn aeval(p: &Program, env: &HashMap<u32, Option<i64>>, e: u32) -> Option<i64> {
+    match &p.exprs[e as usize] {
+        ExprKind::Const(v) => Some(*v),
+        ExprKind::Param(_) => None,
+        ExprKind::Var(v) => env.get(v).copied().flatten(),
+        ExprKind::Bin(k, a, b) => match (aeval(p, env, *a), aeval(p, env, *b)) {
+            (Some(x), Some(y)) => Some(k.eval(x, y)),
+            _ => None,
+        },
+        ExprKind::Cmp(k, a, b) => match (aeval(p, env, *a), aeval(p, env, *b)) {
+            (Some(x), Some(y)) => Some(k.eval(x, y)),
+            _ => None,
+        },
+        ExprKind::Un(k, a) => aeval(p, env, *a).map(|x| k.eval(x)),
+        // The builder never folds selects, loads, or explicit streams.
+        ExprKind::Select(..) | ExprKind::Load { .. } | ExprKind::Stream(_) => None,
+    }
+}
+
+struct Checker<'p> {
+    p: &'p Program,
+    /// In-scope slots → abstract constant value.
+    env: HashMap<u32, Option<i64>>,
+    in_par: bool,
+    in_seq: bool,
+    sink_names: HashSet<String>,
+    has_observable: bool,
+}
+
+pub(crate) fn validate(p: &Program) -> Result<(), LangError> {
+    let mut seen = HashSet::new();
+    for name in &p.params {
+        if !seen.insert(name.clone()) {
+            return Err(LangError::DuplicateParam { name: name.clone() });
+        }
+    }
+    let mut ck = Checker {
+        p,
+        env: (0..p.params.len())
+            .map(|j| (param_slot(p, j as u32), None))
+            .collect(),
+        in_par: false,
+        in_seq: false,
+        sink_names: HashSet::new(),
+        has_observable: false,
+    };
+    ck.block(&p.body)?;
+    if !ck.has_observable {
+        return Err(LangError::EmptyProgram);
+    }
+    Ok(())
+}
+
+impl Checker<'_> {
+    fn slot_name(&self, slot: u32) -> String {
+        let nvars = self.p.vars.len() as u32;
+        if slot < nvars {
+            self.p.vars[slot as usize].name.clone()
+        } else {
+            self.p.params[(slot - nvars) as usize].clone()
+        }
+    }
+
+    fn scope(&self, e: u32) -> Result<(), LangError> {
+        let mut slots = BTreeSet::new();
+        expr_slots(self.p, e, &mut slots);
+        for s in slots {
+            if !self.env.contains_key(&s) {
+                return Err(LangError::UnknownName {
+                    name: self.slot_name(s),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Invalidate assigned slots that are visible in the current scope
+    /// (loop-carried / branch-merged values become runtime streams).
+    fn smudge(&mut self, writes: &BTreeSet<u32>) {
+        for w in writes {
+            if let Some(v) = self.env.get_mut(w) {
+                *v = None;
+            }
+        }
+    }
+
+    fn block(&mut self, body: &[Stmt]) -> Result<(), LangError> {
+        let mut declared_here = Vec::new();
+        for s in body {
+            match s {
+                Stmt::Let { var, init } => {
+                    self.scope(*init)?;
+                    self.env.insert(*var, aeval(self.p, &self.env, *init));
+                    declared_here.push(*var);
+                }
+                Stmt::Assign { var, value } => {
+                    self.scope(*value)?;
+                    if !self.env.contains_key(var) {
+                        return Err(LangError::UnknownName {
+                            name: self.slot_name(*var),
+                        });
+                    }
+                    if !self.p.vars[*var as usize].mutable {
+                        return Err(LangError::ImmutableAssign {
+                            name: self.slot_name(*var),
+                        });
+                    }
+                    let v = aeval(self.p, &self.env, *value);
+                    self.env.insert(*var, v);
+                }
+                Stmt::Store { addr, value } => {
+                    self.scope(*addr)?;
+                    self.scope(*value)?;
+                    self.has_observable = true;
+                }
+                Stmt::Sink { name, value } => {
+                    self.scope(*value)?;
+                    if self.in_par {
+                        return Err(LangError::SinkInParallel { name: name.clone() });
+                    }
+                    if !self.sink_names.insert(name.clone()) {
+                        return Err(LangError::DuplicateSink { name: name.clone() });
+                    }
+                    self.has_observable = true;
+                }
+                Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    par,
+                    seq,
+                    body,
+                } => self.check_for(*var, *lo, *hi, *step, *par, *seq, body)?,
+                Stmt::While { cond, seq, body } => self.check_while(*cond, *seq, body)?,
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => self.check_if(*cond, then_body, else_body)?,
+            }
+        }
+        for v in declared_here {
+            self.env.remove(&v);
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_for(
+        &mut self,
+        var: u32,
+        lo: u32,
+        hi: u32,
+        step: i64,
+        par: usize,
+        seq: bool,
+        body: &[Stmt],
+    ) -> Result<(), LangError> {
+        self.scope(lo)?;
+        self.scope(hi)?;
+        if step <= 0 {
+            return Err(LangError::ShapeMismatch {
+                detail: format!("for step must be positive, got {step}"),
+            });
+        }
+        if par == 0 {
+            return Err(LangError::ShapeMismatch {
+                detail: "par(0) makes no chunks".into(),
+            });
+        }
+        let writes = carried_writes(body);
+        if par > 1 {
+            if seq {
+                return Err(LangError::ShapeMismatch {
+                    detail: "a loop cannot be both par(..) and seq".into(),
+                });
+            }
+            if self.in_seq {
+                return Err(LangError::ShapeMismatch {
+                    detail: "par(..) loop inside a seq loop would break the memory order".into(),
+                });
+            }
+            if step != 1 {
+                return Err(LangError::ShapeMismatch {
+                    detail: "par(..) loops require step 1".into(),
+                });
+            }
+            let (Some(l), Some(h)) = (aeval(self.p, &self.env, lo), aeval(self.p, &self.env, hi))
+            else {
+                return Err(LangError::ShapeMismatch {
+                    detail: "par(..) loop bounds must be compile-time constants".into(),
+                });
+            };
+            if h - l < par as i64 {
+                return Err(LangError::ShapeMismatch {
+                    detail: format!("par({par}) exceeds trip count {}", h - l),
+                });
+            }
+            if let Some(w) = writes.iter().find(|w| self.env.contains_key(w)) {
+                return Err(LangError::ShapeMismatch {
+                    detail: format!(
+                        "par(..) loop cannot carry state across chunks \
+                         (assignment to outer variable `{}`)",
+                        self.slot_name(*w)
+                    ),
+                });
+            }
+        }
+        let saved_env = self.env.clone();
+        let (saved_par, saved_seq) = (self.in_par, self.in_seq);
+        self.env.insert(var, None);
+        self.smudge(&writes);
+        self.in_par |= par > 1;
+        self.in_seq |= seq;
+        self.block(body)?;
+        self.env = saved_env;
+        self.in_par = saved_par;
+        self.in_seq = saved_seq;
+        self.smudge(&writes);
+        Ok(())
+    }
+
+    fn check_while(&mut self, cond: u32, seq: bool, body: &[Stmt]) -> Result<(), LangError> {
+        self.scope(cond)?;
+        let ordered = seq || self.in_seq;
+        let writes = carried_writes(body);
+        // Fold the condition the way the header region will see it:
+        // loop-carried slots are runtime streams there.
+        let mut hdr_env = self.env.clone();
+        for w in &writes {
+            if let Some(v) = hdr_env.get_mut(w) {
+                *v = None;
+            }
+        }
+        if aeval(self.p, &hdr_env, cond).is_some() {
+            return Err(LangError::ConstantCondition { construct: "while" });
+        }
+        let mut cond_slots = BTreeSet::new();
+        expr_slots(self.p, cond, &mut cond_slots);
+        if cond_slots.is_disjoint(&writes) {
+            return Err(LangError::CyclicDependency {
+                detail: "while condition depends on no variable assigned in the loop \
+                         body, so the loop state can never change; carry the \
+                         governing value in a `mut` variable"
+                    .into(),
+            });
+        }
+        if ordered && expr_has_load(self.p, cond) {
+            return Err(LangError::ShapeMismatch {
+                detail: "loads are not allowed in the condition of an ordered (seq) \
+                         while loop; load into a `mut` variable in the body instead"
+                    .into(),
+            });
+        }
+        let saved_env = self.env.clone();
+        let saved_seq = self.in_seq;
+        self.smudge(&writes);
+        self.in_seq = ordered;
+        self.block(body)?;
+        self.env = saved_env;
+        self.in_seq = saved_seq;
+        self.smudge(&writes);
+        Ok(())
+    }
+
+    fn check_if(
+        &mut self,
+        cond: u32,
+        then_body: &[Stmt],
+        else_body: &[Stmt],
+    ) -> Result<(), LangError> {
+        self.scope(cond)?;
+        if aeval(self.p, &self.env, cond).is_some() {
+            return Err(LangError::ConstantCondition { construct: "if" });
+        }
+        let mut writes = carried_writes(then_body);
+        writes.extend(carried_writes(else_body));
+        let saved_env = self.env.clone();
+        self.block(then_body)?;
+        self.env = saved_env.clone();
+        self.block(else_body)?;
+        self.env = saved_env;
+        self.smudge(&writes);
+        Ok(())
+    }
+}

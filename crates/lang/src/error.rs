@@ -1,0 +1,123 @@
+//! Typed diagnostics for eDSL programs.
+
+/// A program-level error reported by [`ProgramBuilder::finish`]
+/// (structural checks) or [`Program::lower`] (post-lowering checks).
+///
+/// [`ProgramBuilder::finish`]: crate::ProgramBuilder::finish
+/// [`Program::lower`]: crate::Program::lower
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LangError {
+    /// Two runtime parameters share a name.
+    DuplicateParam {
+        /// The offending parameter name.
+        name: String,
+    },
+    /// A variable was referenced outside any scope that declares it, or
+    /// an assignment targeted something that is not a variable.
+    UnknownName {
+        /// The unknown identifier (or a placeholder description).
+        name: String,
+    },
+    /// Assignment to a variable not declared `mut` (loop induction
+    /// variables are always immutable).
+    ImmutableAssign {
+        /// The variable's declared name.
+        name: String,
+    },
+    /// A `while`/`if` condition folds to a compile-time constant; the
+    /// dataflow builder cannot gate on an immediate.
+    ConstantCondition {
+        /// Which construct had the constant condition (`"while"`/`"if"`).
+        construct: &'static str,
+    },
+    /// A `while` condition depends on no variable assigned in its body:
+    /// the loop state can never change, so the recurrence is vacuous.
+    /// (Memory-mediated progress is intentionally unsupported; carry the
+    /// governing value in a `mut` variable instead.)
+    CyclicDependency {
+        /// Human-readable description of the degenerate dependence.
+        detail: String,
+    },
+    /// A loop shape the lowering cannot express: non-positive step,
+    /// non-constant `par` bounds, `par` exceeding the trip count,
+    /// carried state or `seq` under `par`, and similar.
+    ShapeMismatch {
+        /// Human-readable description of the bad shape.
+        detail: String,
+    },
+    /// A `sink` appears inside a `par(..)` loop; replicated chunks would
+    /// interleave sink tokens nondeterministically.
+    SinkInParallel {
+        /// The sink's name.
+        name: String,
+    },
+    /// Two sinks share a name.
+    DuplicateSink {
+        /// The duplicated sink name.
+        name: String,
+    },
+    /// `ld_crit` loads that the post-lowering classifier did **not**
+    /// mark critical — the author's criticality annotation is wrong.
+    CriticalityHintViolated {
+        /// How many annotated loads failed to classify as critical.
+        count: usize,
+    },
+    /// The program has no `st` and no `sink`: it computes nothing
+    /// observable and would be dead-code-eliminated whole.
+    EmptyProgram,
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LangError::DuplicateParam { name } => {
+                write!(f, "duplicate parameter `{name}`")
+            }
+            LangError::UnknownName { name } => {
+                write!(f, "unknown or out-of-scope name `{name}`")
+            }
+            LangError::ImmutableAssign { name } => {
+                write!(
+                    f,
+                    "assignment to immutable variable `{name}` (declare it `mut`)"
+                )
+            }
+            LangError::ConstantCondition { construct } => {
+                write!(
+                    f,
+                    "`{construct}` condition is a compile-time constant; \
+                     dataflow gates need a runtime-varying decider"
+                )
+            }
+            LangError::CyclicDependency { detail } => {
+                write!(f, "degenerate loop recurrence: {detail}")
+            }
+            LangError::ShapeMismatch { detail } => {
+                write!(f, "unsupported loop/program shape: {detail}")
+            }
+            LangError::SinkInParallel { name } => {
+                write!(
+                    f,
+                    "sink `{name}` inside a par(..) loop: replicated chunks would \
+                     interleave sink tokens nondeterministically"
+                )
+            }
+            LangError::DuplicateSink { name } => {
+                write!(f, "duplicate sink `{name}`")
+            }
+            LangError::CriticalityHintViolated { count } => {
+                write!(
+                    f,
+                    "{count} ld_crit load(s) were not classified Critical by the \
+                     recurrence analysis; drop the annotation or put the load on \
+                     a loop-governing recurrence"
+                )
+            }
+            LangError::EmptyProgram => {
+                write!(f, "program has no store and no sink; nothing observable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LangError {}

@@ -1,0 +1,281 @@
+//! Scalar reference interpreter over the surface AST.
+//!
+//! Executes a [`Program`] directly — no dataflow graph, no tokens — and
+//! is the ground truth the lowered kernel is differentially tested
+//! against. It mirrors the lowering's evaluation rules exactly:
+//!
+//! * per-statement expression memoization (a shared `Expr` handle — one
+//!   load — evaluates once per statement);
+//! * `select` is eager (both arms evaluate, including their loads);
+//! * `if` statements execute only the taken branch (the dataflow steers
+//!   deliver tokens only to the taken side);
+//! * `par(n)` loops run as `n` sequential chunks (bit-identical to any
+//!   interleaving for the race-free programs the checker admits);
+//! * `seq` only constrains dataflow timing, so it is a no-op here.
+
+use crate::ast::{ExprKind, Program, Stmt};
+use std::collections::HashMap;
+
+/// Why scalar execution stopped early.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScalarError {
+    /// A load or store address fell outside the memory image.
+    OutOfBounds {
+        /// The faulting address.
+        addr: i64,
+    },
+    /// A `while` loop exceeded the step budget (likely non-terminating).
+    StepBudgetExhausted,
+    /// A parameter the program declares was not bound.
+    MissingParam {
+        /// The unbound parameter's name.
+        name: String,
+    },
+}
+
+impl std::fmt::Display for ScalarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScalarError::OutOfBounds { addr } => write!(f, "address {addr} out of bounds"),
+            ScalarError::StepBudgetExhausted => write!(f, "step budget exhausted"),
+            ScalarError::MissingParam { name } => write!(f, "parameter `{name}` not bound"),
+        }
+    }
+}
+
+impl std::error::Error for ScalarError {}
+
+/// Result of a scalar run: sink streams (in sink declaration order,
+/// matching the lowered kernel's `SinkId` order) and a step count.
+#[derive(Debug, Clone)]
+pub struct ScalarRun {
+    /// One value stream per sink, in declaration order.
+    pub sinks: Vec<Vec<i64>>,
+    /// Sink names parallel to `sinks`.
+    pub sink_names: Vec<String>,
+    /// Statements executed (loop iterations included).
+    pub steps: u64,
+}
+
+const STEP_BUDGET: u64 = 200_000_000;
+
+struct Scalar<'p> {
+    p: &'p Program,
+    env: Vec<Option<i64>>,
+    sinks: Vec<Vec<i64>>,
+    sink_index: HashMap<String, usize>,
+    steps: u64,
+}
+
+impl Program {
+    /// Execute the program scalar-style over `mem`, with named parameter
+    /// bindings.
+    ///
+    /// # Errors
+    ///
+    /// [`ScalarError`] on out-of-bounds access, an unbound parameter, or
+    /// a blown step budget.
+    pub fn interpret(
+        &self,
+        mem: &mut [i64],
+        params: &[(&str, i64)],
+    ) -> Result<ScalarRun, ScalarError> {
+        let nslots = self.vars.len() + self.params.len();
+        let mut env = vec![None; nslots];
+        for (j, name) in self.params.iter().enumerate() {
+            let bound = params
+                .iter()
+                .find(|(n, _)| n == name)
+                .ok_or_else(|| ScalarError::MissingParam { name: name.clone() })?;
+            env[self.vars.len() + j] = Some(bound.1);
+        }
+        let names = self.sink_names();
+        let sink_index: HashMap<String, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.to_string(), i))
+            .collect();
+        let mut s = Scalar {
+            p: self,
+            env,
+            sinks: vec![Vec::new(); names.len()],
+            sink_index,
+            steps: 0,
+        };
+        s.block(&self.body, mem)?;
+        Ok(ScalarRun {
+            sinks: s.sinks,
+            sink_names: names.into_iter().map(str::to_string).collect(),
+            steps: s.steps,
+        })
+    }
+}
+
+impl Scalar<'_> {
+    fn eval(
+        &mut self,
+        memo: &mut HashMap<u32, i64>,
+        e: u32,
+        mem: &mut [i64],
+    ) -> Result<i64, ScalarError> {
+        if let Some(&v) = memo.get(&e) {
+            return Ok(v);
+        }
+        let kind = self.p.exprs[e as usize].clone();
+        let v = match kind {
+            ExprKind::Const(v) => v,
+            ExprKind::Param(j) => {
+                self.env[self.p.vars.len() + j as usize].expect("param bound (checked)")
+            }
+            ExprKind::Var(x) => self.env[x as usize].expect("var in scope (validated)"),
+            ExprKind::Bin(k, a, b) => {
+                let x = self.eval(memo, a, mem)?;
+                let y = self.eval(memo, b, mem)?;
+                k.eval(x, y)
+            }
+            ExprKind::Cmp(k, a, b) => {
+                let x = self.eval(memo, a, mem)?;
+                let y = self.eval(memo, b, mem)?;
+                k.eval(x, y)
+            }
+            ExprKind::Un(k, a) => {
+                let x = self.eval(memo, a, mem)?;
+                k.eval(x)
+            }
+            ExprKind::Select(c, t, f) => {
+                // Eager, like the dataflow Select node: both arms run.
+                let cv = self.eval(memo, c, mem)?;
+                let tv = self.eval(memo, t, mem)?;
+                let fv = self.eval(memo, f, mem)?;
+                if cv != 0 {
+                    tv
+                } else {
+                    fv
+                }
+            }
+            ExprKind::Load { addr, .. } => {
+                let a = self.eval(memo, addr, mem)?;
+                *usize::try_from(a)
+                    .ok()
+                    .and_then(|a| mem.get(a))
+                    .ok_or(ScalarError::OutOfBounds { addr: a })?
+            }
+            ExprKind::Stream(x) => self.eval(memo, x, mem)?,
+        };
+        memo.insert(e, v);
+        Ok(v)
+    }
+
+    fn stmt_exprs(&mut self, mem: &mut [i64], exprs: &[u32]) -> Result<Vec<i64>, ScalarError> {
+        let mut memo = HashMap::new();
+        exprs
+            .iter()
+            .map(|&e| self.eval(&mut memo, e, mem))
+            .collect()
+    }
+
+    fn block(&mut self, body: &[Stmt], mem: &mut [i64]) -> Result<(), ScalarError> {
+        for s in body {
+            self.steps += 1;
+            if self.steps > STEP_BUDGET {
+                return Err(ScalarError::StepBudgetExhausted);
+            }
+            match s {
+                Stmt::Let { var, init } => {
+                    let v = self.stmt_exprs(mem, &[*init])?[0];
+                    self.env[*var as usize] = Some(v);
+                }
+                Stmt::Assign { var, value } => {
+                    let v = self.stmt_exprs(mem, &[*value])?[0];
+                    self.env[*var as usize] = Some(v);
+                }
+                Stmt::Store { addr, value } => {
+                    let vals = self.stmt_exprs(mem, &[*addr, *value])?;
+                    let (a, v) = (vals[0], vals[1]);
+                    let slot = usize::try_from(a)
+                        .ok()
+                        .filter(|&i| i < mem.len())
+                        .ok_or(ScalarError::OutOfBounds { addr: a })?;
+                    mem[slot] = v;
+                }
+                Stmt::Sink { name, value } => {
+                    let v = self.stmt_exprs(mem, &[*value])?[0];
+                    let i = self.sink_index[name];
+                    self.sinks[i].push(v);
+                }
+                Stmt::For {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    par,
+                    body,
+                    ..
+                } => {
+                    let bounds = self.stmt_exprs(mem, &[*lo, *hi])?;
+                    let (lo_v, hi_v) = (bounds[0], bounds[1]);
+                    if *par > 1 {
+                        // Mirror the lowering's chunk replication; chunks
+                        // run in order (race-free by construction).
+                        let total = hi_v - lo_v;
+                        let chunk = ((total + *par as i64 - 1) / *par as i64).max(1);
+                        let mut start = lo_v;
+                        while start < hi_v {
+                            let end = (start + chunk).min(hi_v);
+                            self.run_for(*var, start, end, *step, body, mem)?;
+                            start = end;
+                        }
+                    } else {
+                        self.run_for(*var, lo_v, hi_v, *step, body, mem)?;
+                    }
+                }
+                Stmt::While { cond, body, .. } => loop {
+                    self.steps += 1;
+                    if self.steps > STEP_BUDGET {
+                        return Err(ScalarError::StepBudgetExhausted);
+                    }
+                    let c = self.stmt_exprs(mem, &[*cond])?[0];
+                    if c == 0 {
+                        break;
+                    }
+                    self.block(body, mem)?;
+                },
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    let c = self.stmt_exprs(mem, &[*cond])?[0];
+                    if c != 0 {
+                        self.block(then_body, mem)?;
+                    } else {
+                        self.block(else_body, mem)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn run_for(
+        &mut self,
+        var: u32,
+        lo: i64,
+        hi: i64,
+        step: i64,
+        body: &[Stmt],
+        mem: &mut [i64],
+    ) -> Result<(), ScalarError> {
+        let mut i = lo;
+        while i < hi {
+            self.steps += 1;
+            if self.steps > STEP_BUDGET {
+                return Err(ScalarError::StepBudgetExhausted);
+            }
+            self.env[var as usize] = Some(i);
+            self.block(body, mem)?;
+            i += step;
+        }
+        Ok(())
+    }
+}

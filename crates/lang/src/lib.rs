@@ -1,0 +1,87 @@
+//! # nupea-lang — macro-based kernel front end for the NUPEA stack
+//!
+//! A small embedded DSL for authoring dataflow kernels as structured
+//! imperative programs. The [`kernel!`] macro parses a surface syntax of
+//! streams, element-wise arithmetic, gather/scatter loads with explicit
+//! criticality annotations (`ld_crit`), stateful accumulators (`mut`
+//! variables), and loop attributes (`par`, `seq`) into a [`Program`]
+//! AST; [`Program::lower`] then lowers it **deterministically** to the
+//! token-balanced ordered-dataflow IR of [`nupea_ir::builder`], so every
+//! downstream subsystem — place-and-route, the cycle-accurate engine,
+//! tracing, perturbation, fault campaigns, DSE, sharding, and
+//! `nupea-serve` — consumes eDSL kernels unchanged.
+//!
+//! Three layers:
+//!
+//! 1. **Surface AST + macro front end** ([`kernel!`],
+//!    [`ProgramBuilder`]) with typed [`LangError`] diagnostics (unknown
+//!    names, shape mismatches, constant conditions, degenerate
+//!    recurrences) and a stable FNV-1a [`Program::fnv1a_hash`].
+//! 2. **Scalar reference interpreter** ([`Program::interpret`]) defining
+//!    ground-truth semantics, used by the differential test suite
+//!    (AST interpreter vs. IR interpreter on the lowered graph vs. the
+//!    timed engine — sinks and memory byte-identical).
+//! 3. **Workload authoring**: the production workloads in
+//!    `nupea-kernels::workloads::wave2` (BFS frontier expansion, 2-D
+//!    stencil, streaming hash join, histogram, ELLPACK SpMV) are written
+//!    in this eDSL and registered in the standard workload table.
+//!
+//! # Example
+//!
+//! A gather-reduce with a critical pointer-chase load:
+//!
+//! ```
+//! use nupea_lang::kernel;
+//!
+//! const N: i64 = 8;
+//! let program = kernel! {
+//!     name: "chase-sum";
+//!     // Pointer chase: next = mem[cur]; the load governs the loop
+//!     // recurrence, so it must classify as Critical.
+//!     let mut cur = stream(0);
+//!     let mut total = stream(0);
+//!     let mut hops = stream(0);
+//!     while (hops.lt(N)) {
+//!         total = total + cur;
+//!         cur = ld_crit(cur + 16);
+//!         hops = hops + 1;
+//!     }
+//!     sink "total" = total;
+//! }
+//! .expect("valid program");
+//!
+//! // Scalar ground truth…
+//! let mut mem = vec![0i64; 32];
+//! for i in 0..8 {
+//!     mem[16 + i] = (i as i64 + 3) % 8; // a permutation cycle
+//! }
+//! let run = program.interpret(&mut mem.clone(), &[]).unwrap();
+//!
+//! // …matches the lowered dataflow kernel run under the IR interpreter.
+//! let kernel = program.lower().expect("lowers with the hint satisfied");
+//! assert!(!kernel.critical_loads().is_empty());
+//! # assert_eq!(run.sinks.len(), 1);
+//! ```
+//!
+//! The macro surface is documented on [`kernel!`]; programmatic
+//! construction (fuzzers, generators) can use [`ProgramBuilder`]
+//! directly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod ast;
+mod check;
+mod error;
+mod interp;
+mod lower;
+mod macros;
+
+pub use ast::{ld, ld_crit, select, stream, Expr, Program, ProgramBuilder};
+pub use error::LangError;
+pub use interp::{ScalarError, ScalarRun};
+
+/// Items the [`kernel!`] macro brings into scope for user expressions.
+pub mod prelude {
+    pub use crate::ast::{ld, ld_crit, select, stream, Expr};
+}

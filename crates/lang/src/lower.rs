@@ -1,0 +1,500 @@
+//! Deterministic lowering from the surface AST to the ordered-dataflow
+//! IR via [`nupea_ir::builder`].
+//!
+//! The lowering is a structural recursion over the statement tree:
+//!
+//! * variables and parameters live in a slot environment mapping to
+//!   builder [`Val`]s; immediates flow through as immediates (the
+//!   builder folds them), streams as region-tagged tokens;
+//! * `for`/`while` become [`Ctx::for_range`]/[`Ctx::while_loop`] with
+//!   carried variables = slots assigned in the body (in slot order,
+//!   i.e. declaration order) and invariants = stream-valued slots read
+//!   by the body or condition;
+//! * `par(n)` loops replicate their body over `n` contiguous chunks
+//!   using the same chunk formula as the hand-written workloads'
+//!   `parallel_chunks` helper;
+//! * `seq` loops thread a memory-order token through every load and
+//!   store in program order, as a hidden last carried variable.
+//!   Consecutive `seq` loops in one scope chain through the exit token,
+//!   so a build loop and a probe loop stay ordered relative to each
+//!   other;
+//! * each statement evaluates its expression DAG with a per-statement
+//!   memo, so a shared subexpression (one `Expr` handle used twice)
+//!   becomes one node — in particular one *load* — while textual
+//!   repetition stays separate (and is then CSE'd if pure).
+//!
+//! The scalar interpreter ([`crate::interp`]) mirrors these rules
+//! exactly (same memoization, same evaluation order), which is what the
+//! differential test suite leans on.
+
+use crate::ast::{ExprKind, Program, Stmt};
+use crate::check::{carried_writes, expr_slots, free_reads, param_slot};
+use crate::error::LangError;
+use nupea_ir::builder::{Ctx, Kernel, Val};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+
+struct Lower<'p> {
+    p: &'p Program,
+    /// Slot → current builder value (vars then params); `None` = not yet
+    /// bound in this region.
+    env: Vec<Option<Val>>,
+    /// Running memory-order token for the current `seq` chain.
+    ord: Option<Val>,
+    /// True inside a loop marked `seq` (all memory ops chain through
+    /// `ord`).
+    in_seq: bool,
+    /// First lowering-time error (checked again after build).
+    err: Option<LangError>,
+}
+
+impl Program {
+    /// Lower to a finished [`Kernel`]: build the token-balanced dataflow
+    /// graph, run the builder's CSE/DCE/criticality pipeline, and check
+    /// the author's `ld_crit` annotations against the classifier.
+    ///
+    /// # Errors
+    ///
+    /// [`LangError::CriticalityHintViolated`] when a `ld_crit` load did
+    /// not classify as critical, or a residual [`LangError`] the static
+    /// checker could not prove absent (e.g. a condition that folds to a
+    /// constant only after lowering).
+    pub fn lower(&self) -> Result<Kernel, LangError> {
+        let nslots = self.vars.len() + self.params.len();
+        let lower = RefCell::new(Lower {
+            p: self,
+            env: vec![None; nslots],
+            ord: None,
+            in_seq: false,
+            err: None,
+        });
+        let kernel = Kernel::build(&self.name, |c| {
+            {
+                let mut l = lower.borrow_mut();
+                for (j, name) in self.params.iter().enumerate() {
+                    let v = c.param(name);
+                    let slot = param_slot(self, j as u32) as usize;
+                    l.env[slot] = Some(v);
+                }
+            }
+            block(&lower, c, &self.body);
+        });
+        if let Some(e) = lower.into_inner().err {
+            return Err(e);
+        }
+        let violations = kernel.criticality_hint_violations();
+        if !violations.is_empty() {
+            return Err(LangError::CriticalityHintViolated {
+                count: violations.len(),
+            });
+        }
+        Ok(kernel)
+    }
+}
+
+/// Evaluate expression `e` into the current region, memoized per root
+/// statement so a shared `Expr` handle lowers once.
+fn eval(l: &RefCell<Lower<'_>>, c: &mut Ctx, memo: &mut HashMap<u32, Val>, e: u32) -> Val {
+    if let Some(&v) = memo.get(&e) {
+        return v;
+    }
+    let kind = l.borrow().p.exprs[e as usize].clone();
+    let v = match kind {
+        ExprKind::Const(v) => c.imm(v),
+        ExprKind::Param(j) => {
+            let slot = param_slot(l.borrow().p, j) as usize;
+            l.borrow().env[slot].expect("param in scope (validated)")
+        }
+        ExprKind::Var(v) => l.borrow().env[v as usize].expect("var in scope (validated)"),
+        ExprKind::Bin(k, a, b) => {
+            let a = eval(l, c, memo, a);
+            let b = eval(l, c, memo, b);
+            c.bin(k, a, b)
+        }
+        ExprKind::Cmp(k, a, b) => {
+            let a = eval(l, c, memo, a);
+            let b = eval(l, c, memo, b);
+            c.cmp(k, a, b)
+        }
+        ExprKind::Un(k, a) => {
+            let a = eval(l, c, memo, a);
+            c.un(k, a)
+        }
+        ExprKind::Select(cond, t, f) => {
+            let cond = eval(l, c, memo, cond);
+            let t = eval(l, c, memo, t);
+            let f = eval(l, c, memo, f);
+            c.select(cond, t, f)
+        }
+        ExprKind::Load { addr, critical } => {
+            let addr = eval(l, c, memo, addr);
+            let in_seq = l.borrow().in_seq;
+            if in_seq {
+                let ord = l.borrow().ord.expect("seq context has an order token");
+                let (v, ord2) = if critical {
+                    c.load_ordered_expect_critical(addr, ord)
+                } else {
+                    c.load_ordered(addr, ord)
+                };
+                l.borrow_mut().ord = Some(ord2);
+                v
+            } else if critical {
+                c.load_expect_critical(addr)
+            } else {
+                c.load(addr)
+            }
+        }
+        ExprKind::Stream(x) => {
+            let x = eval(l, c, memo, x);
+            c.as_stream(x)
+        }
+    };
+    memo.insert(e, v);
+    v
+}
+
+fn block(l: &RefCell<Lower<'_>>, c: &mut Ctx, body: &[Stmt]) {
+    for s in body {
+        if l.borrow().err.is_some() {
+            return; // bail out cheaply; the kernel is discarded anyway
+        }
+        let mut memo = HashMap::new();
+        match s {
+            Stmt::Let { var, init } => {
+                let v = eval(l, c, &mut memo, *init);
+                l.borrow_mut().env[*var as usize] = Some(v);
+            }
+            Stmt::Assign { var, value } => {
+                let v = eval(l, c, &mut memo, *value);
+                l.borrow_mut().env[*var as usize] = Some(v);
+            }
+            Stmt::Store { addr, value } => {
+                let a = eval(l, c, &mut memo, *addr);
+                let v = eval(l, c, &mut memo, *value);
+                let in_seq = l.borrow().in_seq;
+                if in_seq {
+                    let ord = l.borrow().ord.expect("seq context has an order token");
+                    let tok = c.store_ordered(a, v, ord);
+                    l.borrow_mut().ord = Some(tok);
+                } else {
+                    c.store(a, v);
+                }
+            }
+            Stmt::Sink { name, value } => {
+                let v = eval(l, c, &mut memo, *value);
+                c.sink(v, name);
+            }
+            Stmt::For {
+                var,
+                lo,
+                hi,
+                step,
+                par,
+                seq,
+                body,
+            } => {
+                let lo_v = eval(l, c, &mut memo, *lo);
+                let hi_v = eval(l, c, &mut memo, *hi);
+                if *par > 1 {
+                    // Replicate the body over contiguous chunks; bounds are
+                    // compile-time constants (validated). Same chunking as
+                    // the workloads' `parallel_chunks` helper.
+                    let (lo_c, hi_c) = (
+                        lo_v.as_imm().expect("par bounds fold (validated)"),
+                        hi_v.as_imm().expect("par bounds fold (validated)"),
+                    );
+                    let total = hi_c - lo_c;
+                    let chunk = (total + *par as i64 - 1) / (*par as i64);
+                    let chunk = chunk.max(1);
+                    let mut start = lo_c;
+                    while start < hi_c {
+                        let end = (start + chunk).min(hi_c);
+                        lower_loop(
+                            l,
+                            c,
+                            *var,
+                            Val::from(start),
+                            Val::from(end),
+                            *step,
+                            false,
+                            body,
+                        );
+                        start = end;
+                    }
+                } else {
+                    lower_loop(l, c, *var, lo_v, hi_v, *step, *seq, body);
+                }
+            }
+            Stmt::While { cond, seq, body } => lower_while(l, c, *cond, *seq, body),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => {
+                let cond_v = eval(l, c, &mut memo, *cond);
+                lower_if(l, c, cond_v, then_body, else_body);
+            }
+        }
+    }
+}
+
+/// Carried slots (assigned, declared outside) and invariant slots
+/// (read, stream-valued, not carried) for a loop body + condition.
+fn loop_slots(
+    l: &RefCell<Lower<'_>>,
+    body: &[Stmt],
+    cond: Option<u32>,
+    exclude: &[u32],
+) -> (Vec<u32>, Vec<u32>) {
+    let lb = l.borrow();
+    let carried: Vec<u32> = carried_writes(body).into_iter().collect();
+    let mut reads: BTreeSet<u32> = free_reads(lb.p, body);
+    if let Some(e) = cond {
+        expr_slots(lb.p, e, &mut reads);
+    }
+    let invs: Vec<u32> = reads
+        .into_iter()
+        .filter(|s| {
+            !carried.contains(s)
+                && !exclude.contains(s)
+                // Immediate-valued slots flow through region boundaries for
+                // free; only token streams need an Invariant gate.
+                && matches!(lb.env[*s as usize], Some(v) if !v.is_imm())
+        })
+        .collect();
+    (carried, invs)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_loop(
+    l: &RefCell<Lower<'_>>,
+    c: &mut Ctx,
+    var: u32,
+    lo: Val,
+    hi: Val,
+    step: i64,
+    seq: bool,
+    body: &[Stmt],
+) {
+    let (carried, invs) = loop_slots(l, body, None, &[var]);
+    let ordered = seq || l.borrow().in_seq;
+    let (saved_env, saved_ord, saved_seq) = {
+        let lb = l.borrow();
+        (lb.env.clone(), lb.ord, lb.in_seq)
+    };
+    if ordered && saved_ord.is_none() {
+        let t = c.as_stream(c.imm(0));
+        l.borrow_mut().ord = Some(t);
+    }
+    let mut carried_vals: Vec<Val> = carried
+        .iter()
+        .map(|&s| l.borrow().env[s as usize].expect("carried slot bound"))
+        .collect();
+    if ordered {
+        carried_vals.push(l.borrow().ord.expect("order token just ensured"));
+    }
+    let inv_vals: Vec<Val> = invs
+        .iter()
+        .map(|&s| l.borrow().env[s as usize].expect("invariant slot bound"))
+        .collect();
+    let exits = c.for_range(lo, hi, step, &carried_vals, &inv_vals, |c, i, vars, ivs| {
+        {
+            let mut lb = l.borrow_mut();
+            lb.env[var as usize] = Some(i);
+            for (k, &s) in carried.iter().enumerate() {
+                lb.env[s as usize] = Some(vars[k]);
+            }
+            for (k, &s) in invs.iter().enumerate() {
+                lb.env[s as usize] = Some(ivs[k]);
+            }
+            lb.in_seq = ordered;
+            lb.ord = if ordered { vars.last().copied() } else { None };
+        }
+        block(l, c, body);
+        let lb = l.borrow();
+        let mut nexts: Vec<Val> = carried
+            .iter()
+            .map(|&s| lb.env[s as usize].expect("carried slot still bound"))
+            .collect();
+        if ordered {
+            nexts.push(lb.ord.expect("order token maintained"));
+        }
+        nexts
+    });
+    let mut lb = l.borrow_mut();
+    lb.env = saved_env;
+    lb.in_seq = saved_seq;
+    for (k, &s) in carried.iter().enumerate() {
+        lb.env[s as usize] = Some(exits[k]);
+    }
+    lb.ord = if ordered {
+        exits.last().copied()
+    } else {
+        saved_ord
+    };
+}
+
+fn lower_while(l: &RefCell<Lower<'_>>, c: &mut Ctx, cond: u32, seq: bool, body: &[Stmt]) {
+    let (carried, invs) = loop_slots(l, body, Some(cond), &[]);
+    let ordered = seq || l.borrow().in_seq;
+    let (saved_env, saved_ord, saved_seq) = {
+        let lb = l.borrow();
+        (lb.env.clone(), lb.ord, lb.in_seq)
+    };
+    if ordered && saved_ord.is_none() {
+        let t = c.as_stream(c.imm(0));
+        l.borrow_mut().ord = Some(t);
+    }
+    let mut carried_vals: Vec<Val> = carried
+        .iter()
+        .map(|&s| l.borrow().env[s as usize].expect("carried slot bound"))
+        .collect();
+    if ordered {
+        carried_vals.push(l.borrow().ord.expect("order token just ensured"));
+    }
+    let inv_vals: Vec<Val> = invs
+        .iter()
+        .map(|&s| l.borrow().env[s as usize].expect("invariant slot bound"))
+        .collect();
+    let exits = c.while_loop(
+        &carried_vals,
+        &inv_vals,
+        |c, vars, ivs| {
+            {
+                let mut lb = l.borrow_mut();
+                for (k, &s) in carried.iter().enumerate() {
+                    lb.env[s as usize] = Some(vars[k]);
+                }
+                for (k, &s) in invs.iter().enumerate() {
+                    lb.env[s as usize] = Some(ivs[k]);
+                }
+                // Header evaluation: loads in an ordered condition are
+                // rejected by the checker, so `ord` stays untouched here.
+            }
+            let mut memo = HashMap::new();
+            let d = eval(l, c, &mut memo, cond);
+            if d.is_imm() {
+                // Residual safety net: the static fold missed this (should
+                // not happen — the checker mirrors the builder's folding).
+                l.borrow_mut().err = Some(LangError::ConstantCondition { construct: "while" });
+                c.as_stream(d) // keep the builder happy; kernel is discarded
+            } else {
+                d
+            }
+        },
+        |c, vars, ivs| {
+            {
+                let mut lb = l.borrow_mut();
+                for (k, &s) in carried.iter().enumerate() {
+                    lb.env[s as usize] = Some(vars[k]);
+                }
+                for (k, &s) in invs.iter().enumerate() {
+                    lb.env[s as usize] = Some(ivs[k]);
+                }
+                lb.in_seq = ordered;
+                lb.ord = if ordered { vars.last().copied() } else { None };
+            }
+            block(l, c, body);
+            let lb = l.borrow();
+            let mut nexts: Vec<Val> = carried
+                .iter()
+                .map(|&s| lb.env[s as usize].expect("carried slot still bound"))
+                .collect();
+            if ordered {
+                nexts.push(lb.ord.expect("order token maintained"));
+            }
+            nexts
+        },
+    );
+    let mut lb = l.borrow_mut();
+    lb.env = saved_env;
+    lb.in_seq = saved_seq;
+    for (k, &s) in carried.iter().enumerate() {
+        lb.env[s as usize] = Some(exits[k]);
+    }
+    lb.ord = if ordered {
+        exits.last().copied()
+    } else {
+        saved_ord
+    };
+}
+
+fn lower_if(
+    l: &RefCell<Lower<'_>>,
+    c: &mut Ctx,
+    cond_v: Val,
+    then_body: &[Stmt],
+    else_body: &[Stmt],
+) {
+    if cond_v.is_imm() {
+        l.borrow_mut().err = Some(LangError::ConstantCondition { construct: "if" });
+        return;
+    }
+    let (res_slots, input_slots, in_seq) = {
+        let lb = l.borrow();
+        let mut writes = carried_writes(then_body);
+        writes.extend(carried_writes(else_body));
+        // Only slots visible outside the branches are merge results.
+        let res: Vec<u32> = writes
+            .iter()
+            .copied()
+            .filter(|&s| lb.env[s as usize].is_some())
+            .collect();
+        let mut reads = free_reads(lb.p, then_body);
+        reads.extend(free_reads(lb.p, else_body));
+        reads.extend(res.iter().copied());
+        let inputs: Vec<u32> = reads
+            .into_iter()
+            .filter(|&s| matches!(lb.env[s as usize], Some(v) if !v.is_imm()))
+            .collect();
+        (res, inputs, lb.in_seq)
+    };
+    let (saved_env, saved_ord) = {
+        let lb = l.borrow();
+        (lb.env.clone(), lb.ord)
+    };
+    let mut input_vals: Vec<Val> = input_slots
+        .iter()
+        .map(|&s| l.borrow().env[s as usize].expect("input slot bound"))
+        .collect();
+    if in_seq {
+        input_vals.push(l.borrow().ord.expect("seq context has an order token"));
+    }
+    let run_branch =
+        |l: &RefCell<Lower<'_>>, c: &mut Ctx, gated: &[Val], body: &[Stmt]| -> Vec<Val> {
+            {
+                let mut lb = l.borrow_mut();
+                lb.env = saved_env.clone();
+                for (k, &s) in input_slots.iter().enumerate() {
+                    lb.env[s as usize] = Some(gated[k]);
+                }
+                lb.ord = if in_seq { gated.last().copied() } else { None };
+            }
+            block(l, c, body);
+            let lb = l.borrow();
+            let mut outs: Vec<Val> = res_slots
+                .iter()
+                .map(|&s| lb.env[s as usize].expect("result slot bound"))
+                .collect();
+            if in_seq {
+                outs.push(lb.ord.expect("order token maintained"));
+            }
+            outs
+        };
+    let merged = c.if_else(
+        cond_v,
+        &input_vals,
+        |c, gated| run_branch(l, c, gated, then_body),
+        |c, gated| run_branch(l, c, gated, else_body),
+    );
+    let mut lb = l.borrow_mut();
+    lb.env = saved_env;
+    for (k, &s) in res_slots.iter().enumerate() {
+        lb.env[s as usize] = Some(merged[k]);
+    }
+    lb.ord = if in_seq {
+        merged.last().copied()
+    } else {
+        saved_ord
+    };
+}

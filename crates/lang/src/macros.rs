@@ -1,0 +1,192 @@
+//! The `kernel!` macro front end.
+//!
+//! A token-munching statement grammar over [`ProgramBuilder`]
+//! (see the crate docs for the full surface syntax). Because
+//! `macro_rules!` hygiene only covers locals, user-written expressions
+//! see the [`prelude`](crate::prelude) items (`ld`, `ld_crit`, `select`,
+//! `stream`) and the identifiers bound by `let`/`for` as ordinary local
+//! variables of type [`Expr`](crate::Expr).
+//!
+//! [`ProgramBuilder`]: crate::ProgramBuilder
+
+/// Build a [`Program`](crate::Program) from surface syntax.
+///
+/// ```
+/// use nupea_lang::kernel;
+///
+/// let program = kernel! {
+///     name: "axpy";
+///     param n;
+///     for i in range(0, n) {
+///         st(i + 200, ld(i) * 3 + ld(i + 100));
+///     }
+/// }
+/// .expect("valid program");
+/// let kernel = program.lower().expect("lowers");
+/// assert_eq!(kernel.name(), "axpy");
+/// ```
+///
+/// # Statements
+///
+/// * `param n;` — declare a runtime parameter.
+/// * `let x = expr;` / `let mut x = expr;` — bind a variable.
+/// * `x = expr;` — reassign a `mut` variable.
+/// * `st(addr, value);` — store.
+/// * `sink "name" = expr;` — record a value into a named sink stream.
+/// * `for i in range(lo, hi) [step(k)] [par(p)] [seq] { ... }` — counted
+///   loop; `par(p)` replicates over `p` chunks, `seq` chains memory.
+/// * `while (cond) [seq] { ... }` — condition must be parenthesized.
+/// * `if (cond) { ... } [else { ... }]` — condition must be
+///   parenthesized.
+///
+/// # Expressions
+///
+/// Plain Rust expressions over [`Expr`](crate::Expr) handles: integer
+/// literals, `+ - * / % & | ^ << >>`, comparisons as methods
+/// (`a.lt(b)`, `a.eq(b)`, ...), `ld(addr)`, `ld_crit(addr)`,
+/// `select(c, t, f)`, `stream(e)`, and any surrounding Rust `i64`
+/// variables (they fold to constants).
+///
+/// Returns `Result<Program, LangError>`.
+#[macro_export]
+macro_rules! kernel {
+    (name: $name:expr; $($body:tt)*) => {{
+        #[allow(unused_imports)]
+        use $crate::prelude::*;
+        let mut __nupea_lang_p = $crate::ProgramBuilder::new($name);
+        $crate::__lang_stmts!(__nupea_lang_p, $($body)*);
+        __nupea_lang_p.finish()
+    }};
+}
+
+/// Statement muncher behind [`kernel!`] — not for direct use.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __lang_stmts {
+    ($p:ident,) => {};
+    // param n;
+    ($p:ident, param $x:ident; $($rest:tt)*) => {
+        let $x = $p.param(stringify!($x));
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // let mut x = expr;
+    ($p:ident, let mut $x:ident = $e:expr; $($rest:tt)*) => {
+        let $x = {
+            let __nupea_lang_v = $crate::Expr::from($e);
+            $p.let_(stringify!($x), true, __nupea_lang_v)
+        };
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // let x = expr;
+    ($p:ident, let $x:ident = $e:expr; $($rest:tt)*) => {
+        let $x = {
+            let __nupea_lang_v = $crate::Expr::from($e);
+            $p.let_(stringify!($x), false, __nupea_lang_v)
+        };
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // st(addr, value);
+    ($p:ident, st($a:expr, $v:expr); $($rest:tt)*) => {
+        {
+            let __nupea_lang_a = $crate::Expr::from($a);
+            let __nupea_lang_v = $crate::Expr::from($v);
+            $p.store(__nupea_lang_a, __nupea_lang_v);
+        }
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // sink "name" = expr;
+    ($p:ident, sink $n:literal = $e:expr; $($rest:tt)*) => {
+        {
+            let __nupea_lang_v = $crate::Expr::from($e);
+            $p.sink($n, __nupea_lang_v);
+        }
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // for i in range(lo, hi) [modifiers...] { body }
+    ($p:ident, for $i:ident in range($lo:expr, $hi:expr) $($rest:tt)*) => {
+        $crate::__lang_for!($p, $i, ($lo), ($hi), 1, 1, false, $($rest)*);
+    };
+    // while (cond) seq { body }
+    ($p:ident, while ($c:expr) seq { $($body:tt)* } $($rest:tt)*) => {
+        {
+            let __nupea_lang_c = $crate::Expr::from($c);
+            $p.begin_while(__nupea_lang_c, true);
+        }
+        $crate::__lang_stmts!($p, $($body)*);
+        $p.end_while();
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // while (cond) { body }
+    ($p:ident, while ($c:expr) { $($body:tt)* } $($rest:tt)*) => {
+        {
+            let __nupea_lang_c = $crate::Expr::from($c);
+            $p.begin_while(__nupea_lang_c, false);
+        }
+        $crate::__lang_stmts!($p, $($body)*);
+        $p.end_while();
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // if (cond) { then } else { else }
+    ($p:ident, if ($c:expr) { $($then:tt)* } else { $($else:tt)* } $($rest:tt)*) => {
+        {
+            let __nupea_lang_c = $crate::Expr::from($c);
+            $p.begin_if(__nupea_lang_c);
+        }
+        $crate::__lang_stmts!($p, $($then)*);
+        $p.begin_else();
+        $crate::__lang_stmts!($p, $($else)*);
+        $p.end_if();
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // if (cond) { then }
+    ($p:ident, if ($c:expr) { $($then:tt)* } $($rest:tt)*) => {
+        {
+            let __nupea_lang_c = $crate::Expr::from($c);
+            $p.begin_if(__nupea_lang_c);
+        }
+        $crate::__lang_stmts!($p, $($then)*);
+        $p.end_if();
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+    // x = expr;  (last: `let`/`for`/... are keywords, so no ambiguity)
+    ($p:ident, $x:ident = $e:expr; $($rest:tt)*) => {
+        {
+            let __nupea_lang_v = $crate::Expr::from($e);
+            $p.assign($x, __nupea_lang_v);
+        }
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+}
+
+/// `for`-modifier muncher behind [`kernel!`] — not for direct use.
+/// Accumulates `step(k)`, `par(p)`, and `seq` before the body block.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __lang_for {
+    ($p:ident, $i:ident, ($lo:expr), ($hi:expr), $step:expr, $par:expr, $seq:expr, step($s:expr) $($rest:tt)*) => {
+        $crate::__lang_for!($p, $i, ($lo), ($hi), $s, $par, $seq, $($rest)*);
+    };
+    ($p:ident, $i:ident, ($lo:expr), ($hi:expr), $step:expr, $par:expr, $seq:expr, par($n:expr) $($rest:tt)*) => {
+        $crate::__lang_for!($p, $i, ($lo), ($hi), $step, $n, $seq, $($rest)*);
+    };
+    ($p:ident, $i:ident, ($lo:expr), ($hi:expr), $step:expr, $par:expr, $seq:expr, seq $($rest:tt)*) => {
+        $crate::__lang_for!($p, $i, ($lo), ($hi), $step, $par, true, $($rest)*);
+    };
+    ($p:ident, $i:ident, ($lo:expr), ($hi:expr), $step:expr, $par:expr, $seq:expr, { $($body:tt)* } $($rest:tt)*) => {
+        let $i = {
+            let __nupea_lang_lo = $crate::Expr::from($lo);
+            let __nupea_lang_hi = $crate::Expr::from($hi);
+            $p.begin_for(
+                stringify!($i),
+                __nupea_lang_lo,
+                __nupea_lang_hi,
+                $step,
+                $par,
+                $seq,
+            )
+        };
+        $crate::__lang_stmts!($p, $($body)*);
+        $p.end_for();
+        $crate::__lang_stmts!($p, $($rest)*);
+    };
+}

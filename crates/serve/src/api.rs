@@ -161,8 +161,17 @@ impl ConfigRequest {
     ///
     /// A message naming an unknown workload.
     pub fn build(&self) -> Result<(Arc<Workload>, Arc<SystemConfig>), String> {
-        let spec = workload_by_name(&self.workload)
-            .ok_or_else(|| format!("unknown workload: {}", self.workload))?;
+        let spec = workload_by_name(&self.workload).ok_or_else(|| {
+            let known: Vec<&str> = nupea_kernels::workloads::all_workloads()
+                .iter()
+                .map(|w| w.name)
+                .collect();
+            format!(
+                "unknown workload: {} (known: {})",
+                self.workload,
+                known.join(", ")
+            )
+        })?;
         let workload = match self.par {
             Some(par) => (spec.build)(self.scale, par),
             None => spec.build_default(self.scale),

@@ -1,7 +1,15 @@
-//! Writing your own kernel: a histogram with data-dependent control flow
-//! (conditional stores through `if_else`) and a pointer-chase (the classic
-//! critical-load pattern), both validated under the untimed interpreter
-//! and the timed simulator.
+//! Writing your own kernel **against the low-level builder API**: a
+//! histogram with data-dependent control flow (conditional stores through
+//! `if_else`) and a pointer-chase (the classic critical-load pattern),
+//! both validated under the untimed interpreter and the timed simulator.
+//!
+//! LEGACY PATH: direct `Kernel::build` closures are the builder's raw
+//! interface — kept for generators and fuzzers that construct graphs
+//! programmatically. New workloads should be written in the `nupea-lang`
+//! eDSL instead (see `examples/lang_kernel.rs` and DESIGN.md §13), which
+//! lowers to this same builder IR but adds scope checking, typed
+//! diagnostics, checked `ld_crit` criticality annotations, and a scalar
+//! reference interpreter for free.
 //!
 //!     cargo run --release --example custom_kernel
 

@@ -2,6 +2,10 @@
 //! the NUPEA memory model, and inspect where the compiler placed the
 //! memory instructions.
 //!
+//! This walkthrough uses the low-level builder API to show the raw
+//! steer/carry/invariant lowering; for authoring real kernels prefer the
+//! `nupea-lang` eDSL front end (`examples/lang_kernel.rs`, DESIGN.md §13).
+//!
 //!     cargo run --release --example quickstart
 
 use nupea::{Heuristic, MemoryModel, SystemConfig};
