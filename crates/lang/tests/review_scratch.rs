@@ -1,0 +1,19 @@
+use nupea_lang::kernel;
+
+#[test]
+fn const_only_if_branches() {
+    let p = kernel! {
+        name: "flagsel";
+        param n;
+        let mut x = 0;
+        if (n.gt(0)) {
+            x = 1;
+        } else {
+            x = 2;
+        }
+        sink "x" = x;
+    }
+    .expect("validates");
+    let r = p.lower();
+    eprintln!("lower result ok? {}", r.is_ok());
+}
