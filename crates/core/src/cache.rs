@@ -18,6 +18,17 @@
 //! cached (errors are config-dependent but cheap to rediscover relative
 //! to the risk of pinning a transient failure), and every waiter of a
 //! failed flight retries the compile itself.
+//!
+//! A per-key **circuit breaker** contains configs that fail compile
+//! repeatedly: after [`BREAKER_THRESHOLD`] consecutive failures the key
+//! is *open* and lookups fast-fail with a typed
+//! [`PipelineError::FastFailed`] (the serve frontend's `422`) instead of
+//! re-running PnR under single-flight — without it, a hostile or buggy
+//! client replaying one bad config would burn a full multi-seed PnR per
+//! request. The breaker is counter-based (deterministic, no wall
+//! clock): every [`BREAKER_PROBE_EVERY`] fast-fails one probe compile is
+//! let through (half-open); a success closes the breaker, a failure
+//! re-opens it.
 
 use crate::jsonl;
 use crate::{Compiled, Heuristic, PipelineError, SystemConfig, Workload};
@@ -69,6 +80,11 @@ pub fn config_hash(workload: &Workload, sys: &SystemConfig, heuristic: Heuristic
     jsonl::fnv1a(config_key(workload, sys, heuristic).as_bytes())
 }
 
+/// Consecutive compile failures that open a key's circuit breaker.
+pub const BREAKER_THRESHOLD: u32 = 3;
+/// Fast-fails between half-open probe compiles on an open breaker.
+pub const BREAKER_PROBE_EVERY: u64 = 32;
+
 /// Counters describing the cache's life so far (reported at `/stats`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 #[non_exhaustive]
@@ -85,12 +101,28 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Artifacts currently resident.
     pub entries: usize,
+    /// Lookups refused by an open circuit breaker without compiling.
+    pub fast_fails: u64,
+    /// Keys whose breaker is currently open.
+    pub open_breakers: usize,
 }
 
 #[derive(Debug)]
 struct Slot {
     artifact: Arc<Compiled>,
     last_used: u64,
+}
+
+/// Consecutive-failure record for one key (the circuit breaker).
+#[derive(Debug, Default)]
+struct FailState {
+    /// Consecutive compile failures; the breaker is open at
+    /// [`BREAKER_THRESHOLD`].
+    consecutive: u32,
+    /// Fast-fails since the last half-open probe.
+    since_probe: u64,
+    /// The most recent failure, preserved for fast-fail messages.
+    last_error: String,
 }
 
 #[derive(Debug, Default)]
@@ -100,6 +132,8 @@ struct Inner {
     pending: Vec<u64>,
     /// Logical LRU clock, bumped per lookup.
     tick: u64,
+    /// Per-key consecutive-failure records (the circuit breakers).
+    failures: HashMap<u64, FailState>,
     stats: CacheStats,
 }
 
@@ -157,6 +191,25 @@ impl ArtifactCache {
                     .expect("artifact cache poisoned");
                 continue;
             }
+            // Circuit breaker: a key with BREAKER_THRESHOLD consecutive
+            // compile failures fast-fails instead of re-running PnR,
+            // except for one half-open probe every BREAKER_PROBE_EVERY
+            // refusals.
+            if let Some(fail) = inner.failures.get_mut(&hash) {
+                if fail.consecutive >= BREAKER_THRESHOLD {
+                    if fail.since_probe < BREAKER_PROBE_EVERY {
+                        fail.since_probe += 1;
+                        let err = PipelineError::FastFailed {
+                            failures: fail.consecutive,
+                            message: fail.last_error.clone(),
+                        };
+                        inner.stats.fast_fails += 1;
+                        return (Err(err), false);
+                    }
+                    // Probe slot: fall through to a real compile.
+                    fail.since_probe = 0;
+                }
+            }
             inner.stats.misses += 1;
             inner.pending.push(hash);
             drop(inner);
@@ -166,6 +219,7 @@ impl ArtifactCache {
             let out = match result {
                 Ok(compiled) => {
                     inner.stats.compiles += 1;
+                    inner.failures.remove(&hash); // breaker closes on success
                     let artifact = Arc::new(compiled);
                     let tick = inner.tick;
                     inner.slots.insert(
@@ -178,7 +232,13 @@ impl ArtifactCache {
                     self.evict_past_cap(&mut inner);
                     Ok(artifact)
                 }
-                Err(e) => Err(e),
+                Err(e) => {
+                    let fail = inner.failures.entry(hash).or_default();
+                    fail.consecutive = fail.consecutive.saturating_add(1);
+                    fail.since_probe = 0;
+                    fail.last_error = e.to_string();
+                    Err(e)
+                }
             };
             self.flight_done.notify_all();
             return (out, false);
@@ -202,6 +262,11 @@ impl ArtifactCache {
         let inner = self.inner.lock().expect("artifact cache poisoned");
         CacheStats {
             entries: inner.slots.len(),
+            open_breakers: inner
+                .failures
+                .values()
+                .filter(|f| f.consecutive >= BREAKER_THRESHOLD)
+                .count(),
             ..inner.stats
         }
     }
@@ -261,6 +326,8 @@ mod tests {
                 compiles: 1,
                 evictions: 0,
                 entries: 1,
+                fast_fails: 0,
+                open_breakers: 0,
             }
         );
 
@@ -298,6 +365,61 @@ mod tests {
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.misses, 2);
         assert_eq!(stats.compiles, 0, "only successful PnR counts");
+    }
+
+    #[test]
+    fn breaker_opens_after_repeated_failures_and_probes_half_open() {
+        let cache = ArtifactCache::new(4);
+        let (w, _) = fixture(1, 1);
+        let bad = Arc::new(SystemConfig::builder().fifo_depth(0).build());
+        let h = Heuristic::DomainUnaware;
+        let k = config_hash(&w, &bad, h);
+
+        // Below the threshold every lookup really compiles (and fails).
+        for i in 0..BREAKER_THRESHOLD {
+            let (r, _) = cache.get_or_compile(k, &w, &bad, h);
+            assert!(
+                !matches!(r, Err(PipelineError::FastFailed { .. })),
+                "attempt {i} still compiles"
+            );
+        }
+        assert_eq!(cache.stats().open_breakers, 1, "breaker open at threshold");
+
+        // Open: lookups fast-fail with the typed error, zero PnR cost.
+        let misses_before = cache.stats().misses;
+        let (r, cached) = cache.get_or_compile(k, &w, &bad, h);
+        assert!(!cached);
+        match r {
+            Err(PipelineError::FastFailed { failures, message }) => {
+                assert_eq!(failures, BREAKER_THRESHOLD);
+                assert!(!message.is_empty(), "carries the last compile error");
+            }
+            other => panic!("expected FastFailed, got {other:?}"),
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.fast_fails, 1);
+        assert_eq!(stats.misses, misses_before, "no compile was attempted");
+
+        // After BREAKER_PROBE_EVERY refusals one probe compile runs
+        // (still failing here, so the breaker stays open).
+        for _ in 1..BREAKER_PROBE_EVERY {
+            let (r, _) = cache.get_or_compile(k, &w, &bad, h);
+            assert!(matches!(r, Err(PipelineError::FastFailed { .. })));
+        }
+        let (probe, _) = cache.get_or_compile(k, &w, &bad, h);
+        assert!(
+            !matches!(probe, Err(PipelineError::FastFailed { .. })),
+            "probe slot reaches the real compile"
+        );
+        assert_eq!(cache.stats().open_breakers, 1, "failed probe re-opens");
+
+        // A success on a *different* key is unaffected, and success
+        // closes that key's breaker state entirely.
+        let (w2, good) = fixture(1, 2);
+        let k2 = config_hash(&w2, &good, h);
+        let (r, _) = cache.get_or_compile(k2, &w2, &good, h);
+        assert!(r.is_ok(), "healthy keys bypass the breaker");
+        assert_eq!(cache.stats().open_breakers, 1, "only the bad key is open");
     }
 
     #[test]

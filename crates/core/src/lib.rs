@@ -612,6 +612,16 @@ pub enum PipelineError {
         /// The panic payload, when it was a string.
         message: String,
     },
+    /// The artifact cache's circuit breaker fast-failed this config:
+    /// it has failed to compile repeatedly, so the request was refused
+    /// without re-running place-and-route. The serve frontend maps this
+    /// to a typed `422`. See [`cache`](crate::cache).
+    FastFailed {
+        /// Consecutive compile failures recorded for this config.
+        failures: u32,
+        /// The most recent underlying compile error, as text.
+        message: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -623,6 +633,10 @@ impl fmt::Display for PipelineError {
             PipelineError::Bitstream { reason } => write!(f, "bitstream: {reason}"),
             PipelineError::InvalidConfig(e) => write!(f, "invalid config: {e}"),
             PipelineError::Panicked { message } => write!(f, "panicked: {message}"),
+            PipelineError::FastFailed { failures, message } => write!(
+                f,
+                "fast-failed after {failures} consecutive compile failures (last: {message})"
+            ),
         }
     }
 }
@@ -634,7 +648,9 @@ impl std::error::Error for PipelineError {
             PipelineError::Sim(e) => Some(e),
             PipelineError::Validation(e) => Some(e),
             PipelineError::InvalidConfig(e) => Some(e),
-            PipelineError::Bitstream { .. } | PipelineError::Panicked { .. } => None,
+            PipelineError::Bitstream { .. }
+            | PipelineError::Panicked { .. }
+            | PipelineError::FastFailed { .. } => None,
         }
     }
 }

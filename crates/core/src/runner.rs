@@ -100,6 +100,8 @@ pub enum RunErrorKind {
     InvalidConfig,
     /// The point panicked and was isolated by the runner.
     Panic,
+    /// The artifact cache's circuit breaker refused the compile.
+    FastFailed,
 }
 
 impl RunErrorKind {
@@ -118,6 +120,7 @@ impl RunErrorKind {
             PipelineError::Bitstream { .. } => RunErrorKind::Bitstream,
             PipelineError::InvalidConfig(_) => RunErrorKind::InvalidConfig,
             PipelineError::Panicked { .. } => RunErrorKind::Panic,
+            PipelineError::FastFailed { .. } => RunErrorKind::FastFailed,
         }
     }
 
@@ -136,6 +139,7 @@ impl RunErrorKind {
             RunErrorKind::Bitstream => "bitstream",
             RunErrorKind::InvalidConfig => "invalid-config",
             RunErrorKind::Panic => "panicked",
+            RunErrorKind::FastFailed => "fast-failed",
         }
     }
 
@@ -155,6 +159,7 @@ impl RunErrorKind {
             "bitstream" => RunErrorKind::Bitstream,
             "invalid-config" => RunErrorKind::InvalidConfig,
             "panicked" => RunErrorKind::Panic,
+            "fast-failed" => RunErrorKind::FastFailed,
             _ => return None,
         })
     }

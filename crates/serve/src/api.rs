@@ -19,6 +19,67 @@ use nupea::{Heuristic, MemoryModel, Scale, SystemConfig, Workload};
 use nupea_kernels::workloads::workload_by_name;
 use std::sync::Arc;
 
+/// Request criticality tier — the serving-layer analogue of the
+/// paper's critical-load classification. Under overload the bounded
+/// queue sheds the lowest tier first, so latency-critical requests
+/// keep flowing while bulk work absorbs the 429s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Priority {
+    /// Latency-critical: shed last, dequeued first.
+    Critical,
+    /// The default tier for interactive requests.
+    #[default]
+    Normal,
+    /// Bulk/best-effort: first to be shed under pressure.
+    Batch,
+}
+
+impl Priority {
+    /// Number of tiers (array dimension for per-tier accounting).
+    pub const COUNT: usize = 3;
+
+    /// Tier index: 0 = critical (highest) … 2 = batch (lowest).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Priority::Critical => 0,
+            Priority::Normal => 1,
+            Priority::Batch => 2,
+        }
+    }
+
+    /// The tier at `index` (inverse of [`Priority::index`]).
+    #[must_use]
+    pub fn from_index(i: usize) -> Priority {
+        match i {
+            0 => Priority::Critical,
+            1 => Priority::Normal,
+            _ => Priority::Batch,
+        }
+    }
+
+    /// The wire name (`critical`, `normal`, `batch`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Priority::Critical => "critical",
+            Priority::Normal => "normal",
+            Priority::Batch => "batch",
+        }
+    }
+
+    /// Parse a wire name (case-insensitive).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Priority> {
+        match s.to_ascii_lowercase().as_str() {
+            "critical" => Some(Priority::Critical),
+            "normal" => Some(Priority::Normal),
+            "batch" => Some(Priority::Batch),
+            _ => None,
+        }
+    }
+}
+
 /// A parsed request config with every field optional except the
 /// workload; [`ConfigRequest::build`] resolves the defaults.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,6 +109,19 @@ pub struct ConfigRequest {
     pub retry_factor: Option<u64>,
     /// Fault injections for `/campaign` (default: the smoke preset's).
     pub injections: Option<u32>,
+    /// End-to-end deadline in milliseconds, measured from request
+    /// parse. Expired requests are answered `504` at batch-dequeue time
+    /// without consuming a simulation slot, and the remaining deadline
+    /// bounds `SimOptions::max_cycles` via the server's calibrated
+    /// cycles-per-ms estimate.
+    pub deadline_ms: Option<u64>,
+    /// Criticality tier for admission control (default normal).
+    pub priority: Priority,
+    /// Chaos-testing hook (`"panic"` panics the worker job, proving
+    /// `catch_unwind` isolation; `"sleep:MS"` stalls the job). Parsed by
+    /// every consumer of the schema but only honored by the server's
+    /// simulate path; `nupea_batch` ignores it.
+    pub x_chaos: Option<String>,
 }
 
 /// Parse a memory-model name: `nupea`, `ideal`, `upea<n>`,
@@ -136,6 +210,10 @@ impl ConfigRequest {
             None => MemoryModel::Nupea,
             Some(m) => parse_model(&m).ok_or_else(|| format!("unknown model: {m}"))?,
         };
+        let priority = match jsonl::string_field(&line, "priority") {
+            None => Priority::Normal,
+            Some(p) => Priority::parse(&p).ok_or_else(|| format!("unknown priority: {p}"))?,
+        };
         let usize_field = |key: &str| -> Option<usize> {
             jsonl::u64_field(&line, key).and_then(|v| usize::try_from(v).ok())
         };
@@ -152,6 +230,9 @@ impl ConfigRequest {
             cycle_budget: jsonl::u64_field(&line, "cycle_budget"),
             retry_factor: jsonl::u64_field(&line, "retry_factor"),
             injections: jsonl::u64_field(&line, "injections").and_then(|v| u32::try_from(v).ok()),
+            deadline_ms: jsonl::u64_field(&line, "deadline_ms"),
+            priority,
+            x_chaos: jsonl::string_field(&line, "x_chaos"),
         })
     }
 
@@ -252,6 +333,39 @@ mod tests {
         );
         let unknown = ConfigRequest::parse("{\"workload\":\"not-a-workload\"}").unwrap();
         assert!(unknown.build().unwrap_err().contains("unknown workload"));
+    }
+
+    #[test]
+    fn priority_deadline_and_chaos_fields_parse() {
+        let cfg = ConfigRequest::parse(
+            "{\"workload\":\"spmv\",\"priority\":\"critical\",\"deadline_ms\":250,\
+             \"x_chaos\":\"panic\"}",
+        )
+        .unwrap();
+        assert_eq!(cfg.priority, Priority::Critical);
+        assert_eq!(cfg.deadline_ms, Some(250));
+        assert_eq!(cfg.x_chaos.as_deref(), Some("panic"));
+
+        let plain = ConfigRequest::parse("{\"workload\":\"spmv\"}").unwrap();
+        assert_eq!(plain.priority, Priority::Normal, "default tier is normal");
+        assert_eq!(plain.deadline_ms, None);
+        assert_eq!(plain.x_chaos, None);
+
+        assert!(
+            ConfigRequest::parse("{\"workload\":\"spmv\",\"priority\":\"vip\"}")
+                .unwrap_err()
+                .contains("priority")
+        );
+
+        // Tier names, indices, and ordering round-trip; critical orders
+        // before batch (shed-lowest-first relies on this).
+        for i in 0..Priority::COUNT {
+            let p = Priority::from_index(i);
+            assert_eq!(p.index(), i);
+            assert_eq!(Priority::parse(p.name()), Some(p));
+        }
+        assert!(Priority::Critical < Priority::Normal);
+        assert!(Priority::Normal < Priority::Batch);
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Epoch-batched request execution with bounded-queue backpressure.
+//! Epoch-batched request execution with criticality-tiered admission
+//! control, deadlines, and bounded-queue backpressure.
 //!
 //! Simulation requests are not run on the HTTP worker that parsed them:
 //! they are enqueued, gathered for a short window (the epoch, in the
@@ -9,22 +10,41 @@
 //! machine fairly, instead of N requests each spawning threads and
 //! oversubscribing the cores the simulator is counting on.
 //!
-//! Backpressure is a hard bound: when `queue_cap` jobs are already
-//! waiting, [`Batcher::submit`] refuses immediately and the HTTP layer
-//! answers `429` with `Retry-After` — the load-shedding contract a
-//! front-of-fleet proxy can act on. Completed jobs hand their response
-//! back through a per-job slot + condvar.
+//! The queue applies the paper's non-uniform treatment of critical
+//! loads one layer up (DESIGN.md §14):
+//!
+//! - **Per-tier queues, dequeued critical-first.** Jobs carry a
+//!   [`Priority`] tier; each epoch drains the critical queue before the
+//!   normal queue before the batch queue.
+//! - **Shed-lowest-first admission.** When the bound is hit, a new
+//!   arrival evicts a *strictly lower-tier* queued job (newest first)
+//!   rather than being refused: the victim's waiter receives a
+//!   tier-tagged `429` + `Retry-After`, and the arrival takes its
+//!   place. Only when nothing lower-tier is queued is the arrival
+//!   itself refused.
+//! - **Deadlines checked at dequeue.** A job whose `deadline` passed
+//!   while queued is answered `504` immediately and never occupies a
+//!   simulation slot.
+//! - **Worker isolation.** Each job runs under `catch_unwind`; a
+//!   panicking job becomes that job's `500` and the pool survives.
+//! - **Graceful drain.** [`Batcher::stop`] refuses new work and keeps
+//!   executing queued jobs until the drain deadline, after which the
+//!   remaining jobs are answered `503` and the executor exits.
 
+use crate::api::Priority;
 use crate::http::Response;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A unit of queued work: the closure producing the response, plus the
 /// slot the submitting HTTP worker is blocked on.
 struct Job {
     run: Box<dyn FnOnce() -> Response + Send>,
     done: Arc<DoneSlot>,
+    deadline: Option<Instant>,
+    tier: Priority,
 }
 
 /// One job's completion slot.
@@ -34,13 +54,45 @@ struct DoneSlot {
     ready: Condvar,
 }
 
-#[derive(Default)]
-struct State {
-    queue: VecDeque<Job>,
-    stopping: bool,
+impl DoneSlot {
+    fn fill(&self, response: Response) {
+        *self.response.lock().expect("job slot poisoned") = Some(response);
+        self.ready.notify_all();
+    }
 }
 
-/// The bounded batch queue. See the [module docs](self).
+/// Per-tier admission/shed counters, snapshot at `/stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct TierCounters {
+    /// Jobs evicted from the queue by a higher-tier arrival (answered
+    /// a tier-tagged 429).
+    pub shed: u64,
+    /// Submissions refused at the door (queue full, nothing lower-tier
+    /// to shed).
+    pub refused: u64,
+    /// Jobs whose deadline expired in the queue (answered 504 without
+    /// consuming a simulation slot).
+    pub expired: u64,
+    /// Jobs admitted and handed to the executor.
+    pub executed: u64,
+}
+
+#[derive(Default)]
+struct State {
+    queues: [VecDeque<Job>; Priority::COUNT],
+    counters: [TierCounters; Priority::COUNT],
+    stopping: bool,
+    drain_deadline: Option<Instant>,
+}
+
+impl State {
+    fn depth(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+/// The bounded tiered batch queue. See the [module docs](self).
 pub struct Batcher {
     state: Mutex<State>,
     arrived: Condvar,
@@ -61,9 +113,24 @@ impl std::fmt::Debug for Batcher {
     }
 }
 
-/// [`Batcher::submit`] refused a job: the queue is at capacity.
+/// Why [`Batcher::submit`] refused a job without queueing it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QueueFull;
+pub enum Rejected {
+    /// The queue is at capacity and held nothing lower-tier to shed.
+    /// Carries the suggested `Retry-After` seconds.
+    Full(u64),
+    /// The server is draining ([`Batcher::stop`] was called).
+    Draining,
+}
+
+/// Extract a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
 
 impl Batcher {
     /// A batcher admitting at most `queue_cap` waiting jobs, executing
@@ -85,29 +152,82 @@ impl Batcher {
         }
     }
 
-    /// Jobs currently waiting (for `/stats`).
+    /// Jobs currently waiting across all tiers (for `/stats`).
     #[must_use]
     pub fn depth(&self) -> usize {
-        self.state.lock().expect("batcher poisoned").queue.len()
+        self.state.lock().expect("batcher poisoned").depth()
     }
 
-    /// Enqueue `run` and block until its batch executes, returning the
-    /// response.
+    /// Jobs currently waiting in each tier, critical first.
+    #[must_use]
+    pub fn depth_by_tier(&self) -> [usize; Priority::COUNT] {
+        let state = self.state.lock().expect("batcher poisoned");
+        std::array::from_fn(|i| state.queues[i].len())
+    }
+
+    /// A snapshot of the per-tier counters, critical first.
+    #[must_use]
+    pub fn tier_counters(&self) -> [TierCounters; Priority::COUNT] {
+        self.state.lock().expect("batcher poisoned").counters
+    }
+
+    /// The `Retry-After` hint for a refusal right now: scaled by how
+    /// many epochs the current backlog represents, never below 1.
+    fn retry_after(&self, depth: usize) -> u64 {
+        1 + (depth / self.batch_max.max(1)) as u64
+    }
+
+    /// Enqueue `run` at `tier` and block until its batch executes,
+    /// returning the response. A full queue sheds the newest strictly
+    /// lower-tier queued job to make room (its waiter gets a tier-tagged
+    /// 429); the shed victim's response — or this job's own shed/504 —
+    /// also arrives through the returned `Ok`.
     ///
     /// # Errors
     ///
-    /// [`QueueFull`] when `queue_cap` jobs are already waiting — the
-    /// caller answers 429 without blocking.
-    pub fn submit(&self, run: Box<dyn FnOnce() -> Response + Send>) -> Result<Response, QueueFull> {
+    /// [`Rejected::Full`] when the queue is at capacity and holds
+    /// nothing lower-tier; [`Rejected::Draining`] after
+    /// [`Batcher::stop`]. Neither blocks.
+    pub fn submit(
+        &self,
+        run: Box<dyn FnOnce() -> Response + Send>,
+        tier: Priority,
+        deadline: Option<Instant>,
+    ) -> Result<Response, Rejected> {
         let done = Arc::new(DoneSlot::default());
         {
             let mut state = self.state.lock().expect("batcher poisoned");
-            if state.stopping || state.queue.len() >= self.queue_cap {
-                return Err(QueueFull);
+            if state.stopping {
+                return Err(Rejected::Draining);
             }
-            state.queue.push_back(Job {
+            if state.depth() >= self.queue_cap {
+                // Shed-lowest-first: evict the newest job of the lowest
+                // tier strictly below this one.
+                let victim_tier = (tier.index() + 1..Priority::COUNT)
+                    .rev()
+                    .find(|&t| !state.queues[t].is_empty());
+                match victim_tier {
+                    Some(t) => {
+                        let victim = state.queues[t].pop_back().expect("non-empty checked");
+                        state.counters[t].shed += 1;
+                        let retry = self.retry_after(state.depth());
+                        victim.done.fill(Response::tier_busy(
+                            Priority::from_index(t).name(),
+                            true,
+                            retry,
+                        ));
+                    }
+                    None => {
+                        state.counters[tier.index()].refused += 1;
+                        return Err(Rejected::Full(self.retry_after(state.depth())));
+                    }
+                }
+            }
+            state.queues[tier.index()].push_back(Job {
                 run,
                 done: Arc::clone(&done),
+                deadline,
+                tier,
             });
             self.arrived.notify_all();
         }
@@ -119,29 +239,63 @@ impl Batcher {
     }
 
     /// The executor loop: run on a dedicated thread until
-    /// [`Batcher::stop`]. Gathers an epoch, fans it out, repeats;
-    /// drains the residual queue before exiting so no submitter is left
+    /// [`Batcher::stop`]. Gathers an epoch, fans it out, repeats. While
+    /// draining it keeps executing queued jobs until the drain deadline,
+    /// then answers whatever is left `503` so no submitter is left
     /// blocked.
     pub fn run_executor(&self) {
         loop {
             let batch = {
                 let mut state = self.state.lock().expect("batcher poisoned");
-                while state.queue.is_empty() && !state.stopping {
+                while state.depth() == 0 && !state.stopping {
                     state = self.arrived.wait(state).expect("batcher poisoned");
                 }
-                if state.queue.is_empty() {
+                if state.depth() == 0 {
                     return; // stopping and fully drained
                 }
+                let past_drain = state.drain_deadline.is_some_and(|d| Instant::now() >= d);
+                if state.stopping && past_drain {
+                    // Drain deadline passed: abandon the backlog.
+                    for t in 0..Priority::COUNT {
+                        while let Some(job) = state.queues[t].pop_front() {
+                            job.done.fill(Response::draining());
+                        }
+                    }
+                    return;
+                }
+                let stopping = state.stopping;
                 drop(state);
                 // Admission window: let the rest of a burst arrive so it
-                // executes as one epoch (skipped when nothing would gain).
-                if !self.gather.is_zero() {
+                // executes as one epoch (skipped when draining — finish
+                // fast — or when nothing would gain).
+                if !self.gather.is_zero() && !stopping {
                     std::thread::sleep(self.gather);
                 }
                 let mut state = self.state.lock().expect("batcher poisoned");
-                let n = state.queue.len().min(self.batch_max);
-                state.queue.drain(..n).collect::<Vec<Job>>()
+                // Dequeue critical-first. Deadline-expired jobs are
+                // answered 504 here — without consuming a batch slot or
+                // a simulation thread.
+                let now = Instant::now();
+                let mut batch: Vec<Job> = Vec::new();
+                'fill: for t in 0..Priority::COUNT {
+                    while let Some(job) = state.queues[t].pop_front() {
+                        if job.deadline.is_some_and(|d| now >= d) {
+                            state.counters[t].expired += 1;
+                            job.done.fill(Response::deadline_exceeded("queue"));
+                            continue;
+                        }
+                        state.counters[t].executed += 1;
+                        batch.push(job);
+                        if batch.len() >= self.batch_max {
+                            break 'fill;
+                        }
+                    }
+                }
+                batch
             };
+            if batch.is_empty() {
+                continue; // every dequeued job had expired
+            }
             let slots: Vec<Mutex<Option<Job>>> =
                 batch.into_iter().map(|j| Mutex::new(Some(j))).collect();
             nupea::runner::parallel_map(self.sim_threads, slots.len(), |i| {
@@ -150,17 +304,34 @@ impl Batcher {
                     .expect("job slot poisoned")
                     .take()
                     .expect("each slot taken once");
-                let response = (job.run)();
-                *job.done.response.lock().expect("job slot poisoned") = Some(response);
-                job.done.ready.notify_all();
+                // Worker isolation: a panicking job yields that job's
+                // 500; the pool thread and every other job survive.
+                let tier = job.tier;
+                let response = catch_unwind(AssertUnwindSafe(job.run)).unwrap_or_else(|payload| {
+                    Response::error(
+                        500,
+                        &format!(
+                            "worker panicked ({} tier job isolated): {}",
+                            tier.name(),
+                            panic_message(payload.as_ref())
+                        ),
+                    )
+                });
+                job.done.fill(response);
             });
         }
     }
 
-    /// Stop the executor after it drains the queue. New submissions are
-    /// refused immediately.
-    pub fn stop(&self) {
-        self.state.lock().expect("batcher poisoned").stopping = true;
+    /// Stop the executor: new submissions are refused immediately
+    /// ([`Rejected::Draining`]), queued jobs keep executing until
+    /// `drain` has elapsed, and whatever is still queued after that is
+    /// answered `503`.
+    pub fn stop(&self, drain: Duration) {
+        let mut state = self.state.lock().expect("batcher poisoned");
+        state.stopping = true;
+        if state.drain_deadline.is_none() {
+            state.drain_deadline = Some(Instant::now() + drain);
+        }
         self.arrived.notify_all();
     }
 }
@@ -171,6 +342,13 @@ mod tests {
 
     fn respond(n: u64) -> Box<dyn FnOnce() -> Response + Send> {
         Box::new(move || Response::json(n.to_string().into_bytes()))
+    }
+
+    fn slow(n: u64, ms: u64) -> Box<dyn FnOnce() -> Response + Send> {
+        Box::new(move || {
+            std::thread::sleep(Duration::from_millis(ms));
+            Response::json(n.to_string().into_bytes())
+        })
     }
 
     #[test]
@@ -184,20 +362,160 @@ mod tests {
             for n in 0..16u64 {
                 let b = Arc::clone(&batcher);
                 sc.spawn(move || {
-                    let resp = b.submit(respond(n)).expect("queue has room");
+                    let resp = b
+                        .submit(respond(n), Priority::Normal, None)
+                        .expect("queue has room");
                     assert_eq!(resp.body, n.to_string().into_bytes(), "own response");
                 });
             }
         });
-        batcher.stop();
+        batcher.stop(Duration::from_secs(5));
         exec.join().unwrap();
         assert_eq!(batcher.depth(), 0);
+        let executed: u64 = batcher.tier_counters().iter().map(|c| c.executed).sum();
+        assert_eq!(executed, 16);
     }
 
     #[test]
     fn zero_capacity_queue_refuses_immediately() {
         let batcher = Batcher::new(0, 4, 0, 1);
-        assert_eq!(batcher.submit(respond(1)).unwrap_err(), QueueFull);
+        assert_eq!(
+            batcher
+                .submit(respond(1), Priority::Normal, None)
+                .unwrap_err(),
+            Rejected::Full(1)
+        );
+        assert_eq!(batcher.tier_counters()[Priority::Normal.index()].refused, 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_lowest_tier_first() {
+        // No executor: jobs stay queued, so admission decisions are
+        // fully deterministic. Fill the queue with batch-tier jobs,
+        // then submit critical ones — each must evict a batch job.
+        let batcher = Arc::new(Batcher::new(2, 4, 0, 1));
+        let mut batch_waiters = Vec::new();
+        for n in 0..2u64 {
+            let b = Arc::clone(&batcher);
+            batch_waiters.push(std::thread::spawn(move || {
+                b.submit(respond(n), Priority::Batch, None)
+            }));
+        }
+        while batcher.depth() < 2 {
+            std::thread::yield_now();
+        }
+        // Queue full of batch jobs. A batch arrival cannot shed its own
+        // tier: refused at the door.
+        assert!(matches!(
+            batcher
+                .submit(respond(9), Priority::Batch, None)
+                .unwrap_err(),
+            Rejected::Full(_)
+        ));
+        // Critical arrivals evict the queued batch jobs (newest first).
+        let crit_waiters: Vec<_> = (0..2u64)
+            .map(|n| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.submit(respond(100 + n), Priority::Critical, None))
+            })
+            .collect();
+        // Both batch waiters must come back with tier-tagged 429s.
+        for w in batch_waiters {
+            let resp = w.join().unwrap().expect("shed jobs get a response");
+            assert_eq!(resp.status, 429, "shed batch job answered 429");
+            let body = String::from_utf8(resp.body).unwrap();
+            assert!(body.contains("\"tier\":\"batch\""), "{body}");
+            assert!(body.contains("\"shed\":true"), "{body}");
+            assert!(
+                resp.headers
+                    .iter()
+                    .any(|(n, v)| n.eq_ignore_ascii_case("retry-after")
+                        && v.parse::<u64>().is_ok_and(|s| s >= 1)),
+                "shed 429 carries a valid Retry-After"
+            );
+        }
+        let counters = batcher.tier_counters();
+        assert_eq!(counters[Priority::Batch.index()].shed, 2);
+        assert_eq!(counters[Priority::Batch.index()].refused, 1);
+        assert_eq!(
+            batcher.depth_by_tier(),
+            [2, 0, 0],
+            "criticals hold the queue"
+        );
+        // A critical arrival with the queue full of criticals is
+        // refused — nothing lower-tier to shed.
+        assert!(matches!(
+            batcher
+                .submit(respond(8), Priority::Critical, None)
+                .unwrap_err(),
+            Rejected::Full(_)
+        ));
+        // Drain: the executor answers the queued criticals.
+        let exec = {
+            let b = Arc::clone(&batcher);
+            std::thread::spawn(move || b.run_executor())
+        };
+        for w in crit_waiters {
+            assert_eq!(w.join().unwrap().unwrap().status, 200);
+        }
+        batcher.stop(Duration::from_secs(5));
+        exec.join().unwrap();
+    }
+
+    #[test]
+    fn expired_deadlines_answer_504_without_executing() {
+        let batcher = Arc::new(Batcher::new(8, 8, 0, 1));
+        let already_past = Instant::now() - Duration::from_millis(1);
+        let waiter = {
+            let b = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                b.submit(
+                    Box::new(|| panic!("an expired job must never run")),
+                    Priority::Normal,
+                    Some(already_past),
+                )
+            })
+        };
+        while batcher.depth() == 0 {
+            std::thread::yield_now();
+        }
+        batcher.stop(Duration::from_secs(5));
+        batcher.run_executor(); // inline; drains and returns
+        let resp = waiter.join().unwrap().unwrap();
+        assert_eq!(resp.status, 504);
+        assert!(String::from_utf8(resp.body)
+            .unwrap()
+            .contains("\"stage\":\"queue\""));
+        let counters = batcher.tier_counters();
+        assert_eq!(counters[Priority::Normal.index()].expired, 1);
+        assert_eq!(counters[Priority::Normal.index()].executed, 0);
+    }
+
+    #[test]
+    fn panicking_job_becomes_500_and_pool_survives() {
+        let batcher = Arc::new(Batcher::new(8, 8, 0, 1));
+        let exec = {
+            let b = Arc::clone(&batcher);
+            std::thread::spawn(move || b.run_executor())
+        };
+        let panicker = {
+            let b = Arc::clone(&batcher);
+            std::thread::spawn(move || {
+                b.submit(
+                    Box::new(|| panic!("chaos injection")),
+                    Priority::Normal,
+                    None,
+                )
+            })
+        };
+        let resp = panicker.join().unwrap().unwrap();
+        assert_eq!(resp.status, 500);
+        assert!(String::from_utf8(resp.body).unwrap().contains("isolated"));
+        // The executor survived: a later job still completes.
+        let ok = batcher.submit(respond(5), Priority::Normal, None).unwrap();
+        assert_eq!(ok.body, b"5".to_vec());
+        batcher.stop(Duration::from_secs(5));
+        exec.join().unwrap();
     }
 
     #[test]
@@ -207,14 +525,56 @@ mod tests {
         // must still drain the residue on its way out.
         let waiter = {
             let b = Arc::clone(&batcher);
-            std::thread::spawn(move || b.submit(respond(7)))
+            std::thread::spawn(move || b.submit(respond(7), Priority::Normal, None))
         };
         while batcher.depth() == 0 {
             std::thread::yield_now();
         }
-        batcher.stop();
-        assert_eq!(batcher.submit(respond(8)).unwrap_err(), QueueFull);
+        batcher.stop(Duration::from_secs(5));
+        assert_eq!(
+            batcher
+                .submit(respond(8), Priority::Normal, None)
+                .unwrap_err(),
+            Rejected::Draining
+        );
         batcher.run_executor(); // runs inline; returns once drained
         assert_eq!(waiter.join().unwrap().unwrap().body, b"7".to_vec());
+    }
+
+    #[test]
+    fn drain_deadline_abandons_the_backlog_with_503() {
+        let batcher = Arc::new(Batcher::new(8, 1, 0, 1));
+        let exec = {
+            let b = Arc::clone(&batcher);
+            std::thread::spawn(move || b.run_executor())
+        };
+        // One slow in-flight job, then queued fast jobs behind it.
+        let inflight = {
+            let b = Arc::clone(&batcher);
+            std::thread::spawn(move || b.submit(slow(1, 300), Priority::Normal, None))
+        };
+        // Wait until the slow job is actually in flight (dequeued).
+        while batcher.tier_counters()[Priority::Normal.index()].executed == 0 {
+            std::thread::yield_now();
+        }
+        let queued: Vec<_> = (0..3u64)
+            .map(|n| {
+                let b = Arc::clone(&batcher);
+                std::thread::spawn(move || b.submit(respond(n), Priority::Batch, None))
+            })
+            .collect();
+        while batcher.depth() < 3 {
+            std::thread::yield_now();
+        }
+        // Zero drain budget: the executor must abandon the backlog as
+        // soon as it finishes the in-flight epoch.
+        batcher.stop(Duration::from_millis(0));
+        let resp = inflight.join().unwrap().unwrap();
+        assert_eq!(resp.status, 200, "in-flight work completes");
+        for q in queued {
+            let resp = q.join().unwrap().unwrap();
+            assert_eq!(resp.status, 503, "backlog abandoned at drain deadline");
+        }
+        exec.join().unwrap();
     }
 }

@@ -1,0 +1,294 @@
+//! Seeded chaos harness: hostile clients against a live `nupea-serve`.
+//!
+//! Four attack shapes, all deterministic for a given [`ChaosConfig`]
+//! seed (event order is RNG-shuffled, payloads are fixed):
+//!
+//! - **Slow-loris**: open a connection and trickle request-head bytes
+//!   one at a time, far slower than any real client. A hardened server
+//!   cuts the connection at its read deadline instead of pinning an
+//!   HTTP worker ([`crate::http::DeadlineReader`]).
+//! - **Mid-body disconnect**: advertise a `Content-Length`, send half
+//!   the body, hang up. The worker must recycle, not block.
+//! - **Injected worker panics**: `/simulate` with `x_chaos:"panic"`
+//!   panics inside the batch job; `catch_unwind` isolation must turn
+//!   that into a `500` and keep the executor alive.
+//! - **Deadline storm**: `/simulate` with `deadline_ms:0` — every one
+//!   is expired on arrival and must answer `504` without consuming a
+//!   batch slot.
+//!
+//! [`run`] fires the configured mix at a server and returns a
+//! [`ChaosReport`] of what came back; the caller (tests, `bench
+//! serve_load`, CI) asserts on it — typically that the server is still
+//! alive and answering correctly afterwards.
+
+use crate::client::post;
+use nupea_rng::Xoshiro256;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+/// What to throw at the server, and how hard.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ChaosConfig {
+    /// RNG seed: fixes event interleaving for reproducible runs.
+    pub seed: u64,
+    /// Slow-loris connections to open (each on its own thread).
+    pub slow_loris: usize,
+    /// Mid-body disconnects to perform.
+    pub disconnects: usize,
+    /// `x_chaos:"panic"` simulate requests to send.
+    pub panics: usize,
+    /// `deadline_ms:0` simulate requests to send.
+    pub deadline_storm: usize,
+    /// Milliseconds between trickled slow-loris bytes.
+    pub trickle_ms: u64,
+    /// Bytes each slow-loris connection trickles before listening for
+    /// the server's verdict.
+    pub trickle_bytes: usize,
+    /// How long a slow-loris client waits for the server to hang up
+    /// before giving up and counting the connection as still open.
+    pub loris_wait_ms: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 7,
+            slow_loris: 2,
+            disconnects: 2,
+            panics: 2,
+            deadline_storm: 4,
+            trickle_ms: 20,
+            trickle_bytes: 16,
+            loris_wait_ms: 10_000,
+        }
+    }
+}
+
+/// What came back from one chaos run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ChaosReport {
+    /// Slow-loris connections opened.
+    pub loris_sent: usize,
+    /// Slow-loris connections the server cut (EOF/reset observed).
+    pub loris_cut: usize,
+    /// Mid-body disconnects performed.
+    pub disconnects_sent: usize,
+    /// Panic injections sent.
+    pub panics_sent: usize,
+    /// Panic injections answered `500` (worker isolated the panic).
+    pub panics_isolated: usize,
+    /// Deadline-storm requests sent.
+    pub storm_sent: usize,
+    /// Deadline-storm requests answered `504`.
+    pub storm_expired: usize,
+    /// Responses that didn't match the expected chaos outcome.
+    pub unexpected: usize,
+    /// `GET /healthz` answered 200 after the storm.
+    pub alive_after: bool,
+}
+
+impl ChaosReport {
+    /// JSON rendering for `bench serve_load --json` and CI logs.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"loris_sent\":{},\"loris_cut\":{},\"disconnects_sent\":{},\
+             \"panics_sent\":{},\"panics_isolated\":{},\"storm_sent\":{},\
+             \"storm_expired\":{},\"unexpected\":{},\"alive_after\":{}}}",
+            self.loris_sent,
+            self.loris_cut,
+            self.disconnects_sent,
+            self.panics_sent,
+            self.panics_isolated,
+            self.storm_sent,
+            self.storm_expired,
+            self.unexpected,
+            self.alive_after,
+        )
+    }
+
+    /// Every attack shape produced its contained outcome and the server
+    /// answered `/healthz` afterwards.
+    #[must_use]
+    pub fn contained(&self) -> bool {
+        self.alive_after
+            && self.unexpected == 0
+            && self.loris_cut == self.loris_sent
+            && self.panics_isolated == self.panics_sent
+            && self.storm_expired == self.storm_sent
+    }
+}
+
+/// One slow-loris connection: trickle `trickle_bytes` head bytes at
+/// `trickle_ms` intervals, then wait for the server to hang up. Returns
+/// `true` if the server cut the connection (write failure, EOF, or
+/// reset) within `loris_wait_ms`.
+fn slow_loris(addr: SocketAddr, cfg: &ChaosConfig) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return false;
+    };
+    // A plausible-looking start so the server commits a worker to the
+    // read, then bytes arriving too slowly to ever finish a head.
+    if stream.write_all(b"POST /simulate HTTP/1.1\r\n").is_err() {
+        return true;
+    }
+    let drip = b"X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+    for i in 0..cfg.trickle_bytes {
+        thread::sleep(Duration::from_millis(cfg.trickle_ms));
+        if stream
+            .write_all(&drip[i % drip.len()..=i % drip.len()])
+            .is_err()
+        {
+            return true; // server already reset us mid-trickle
+        }
+    }
+    // Listen for the server's close. A deadline-enforcing server EOFs
+    // (or resets) us; a vulnerable one leaves the socket open until our
+    // own read timeout fires.
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(cfg.loris_wait_ms.max(1))))
+        .is_err()
+    {
+        return false;
+    }
+    let mut buf = [0u8; 256];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => return true, // EOF/reset/timeout-as-error
+            Ok(_) => continue,             // server wrote something; keep draining
+        }
+    }
+}
+
+/// One mid-body disconnect: advertise a body, send half, hang up.
+fn mid_body_disconnect(addr: SocketAddr) {
+    let Ok(mut stream) = TcpStream::connect(addr) else {
+        return;
+    };
+    let body = "{\"workload\":\"spmv\",\"effort\":0}";
+    let head = format!(
+        "POST /simulate HTTP/1.1\r\nHost: chaos\r\nContent-Length: {}\r\n\r\n",
+        body.len() * 2
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    // Drop: the server sees EOF mid-body and must recycle the worker.
+}
+
+/// Fire the configured chaos mix at `addr` and report what came back.
+///
+/// Slow-loris connections run on their own threads (they overlap the
+/// rest of the storm, as hostile traffic would); panics, disconnects,
+/// and deadline-storm requests are interleaved in seed-shuffled order.
+#[must_use]
+pub fn run(addr: SocketAddr, cfg: &ChaosConfig) -> ChaosReport {
+    let mut rng = Xoshiro256::seed_from_u64(cfg.seed);
+    let mut report = ChaosReport {
+        loris_sent: cfg.slow_loris,
+        ..ChaosReport::default()
+    };
+
+    let loris_threads: Vec<_> = (0..cfg.slow_loris)
+        .map(|_| {
+            let cfg = cfg.clone();
+            thread::spawn(move || slow_loris(addr, &cfg))
+        })
+        .collect();
+
+    #[derive(Clone, Copy)]
+    enum Event {
+        Disconnect,
+        Panic,
+        Storm,
+    }
+    let mut events = Vec::new();
+    events.extend(std::iter::repeat_n(Event::Disconnect, cfg.disconnects));
+    events.extend(std::iter::repeat_n(Event::Panic, cfg.panics));
+    events.extend(std::iter::repeat_n(Event::Storm, cfg.deadline_storm));
+    rng.shuffle(&mut events);
+
+    for event in events {
+        match event {
+            Event::Disconnect => {
+                mid_body_disconnect(addr);
+                report.disconnects_sent += 1;
+            }
+            Event::Panic => {
+                report.panics_sent += 1;
+                let body = "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"panic\"}";
+                match post(addr, "/simulate", body) {
+                    Ok(resp) if resp.status == 500 => report.panics_isolated += 1,
+                    _ => report.unexpected += 1,
+                }
+            }
+            Event::Storm => {
+                report.storm_sent += 1;
+                let body = "{\"workload\":\"spmv\",\"effort\":0,\"deadline_ms\":0,\
+                            \"priority\":\"batch\"}";
+                match post(addr, "/simulate", body) {
+                    Ok(resp) if resp.status == 504 => report.storm_expired += 1,
+                    // Under combined load a storm request may be shed
+                    // (429) or refused while draining (503) before its
+                    // deadline is even examined — still contained.
+                    Ok(resp) if resp.status == 429 || resp.status == 503 => {
+                        report.storm_expired += 1;
+                    }
+                    _ => report.unexpected += 1,
+                }
+            }
+        }
+    }
+
+    for t in loris_threads {
+        if t.join().unwrap_or(false) {
+            report.loris_cut += 1;
+        }
+    }
+
+    report.alive_after = matches!(
+        crate::client::request(addr, "GET", "/healthz", ""),
+        Ok(resp) if resp.status == 200
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_and_containment() {
+        let report = ChaosReport {
+            loris_sent: 2,
+            loris_cut: 2,
+            disconnects_sent: 1,
+            panics_sent: 3,
+            panics_isolated: 3,
+            storm_sent: 4,
+            storm_expired: 4,
+            unexpected: 0,
+            alive_after: true,
+        };
+        assert!(report.contained());
+        let json = report.to_json();
+        assert!(json.contains("\"loris_cut\":2"), "{json}");
+        assert!(json.contains("\"alive_after\":true"), "{json}");
+
+        let hurt = ChaosReport {
+            unexpected: 1,
+            ..report
+        };
+        assert!(!hurt.contained());
+    }
+
+    #[test]
+    fn default_config_is_modest() {
+        let cfg = ChaosConfig::default();
+        assert!(cfg.slow_loris <= 4 && cfg.panics <= 4);
+        assert!(cfg.trickle_ms >= 1);
+    }
+}

@@ -52,7 +52,10 @@ fn upper_of(idx: usize) -> u64 {
     let shift = ((idx - LINEAR as usize) / SUB) as u32;
     let sub = ((idx - LINEAR as usize) % SUB) as u64;
     let lower = (1u64 << (shift + LINEAR_BITS)) + (sub << shift);
-    lower + (1u64 << shift) - 1
+    // Saturate: the top bucket's upper bound is exactly `u64::MAX`, and
+    // `lower + 2^shift` alone would wrap before the `- 1` brings it
+    // back in range.
+    lower.saturating_add((1u64 << shift) - 1)
 }
 
 impl Hist {
@@ -163,6 +166,39 @@ mod tests {
         }
         assert_eq!(h.percentile(100.0), 100_000);
         assert_eq!(h.max(), 100_000);
+    }
+
+    #[test]
+    fn max_bucket_saturates_instead_of_overflowing() {
+        // The top bucket's upper bound is exactly u64::MAX; recording
+        // and reporting extreme samples must not wrap (this was a debug
+        // overflow in `upper_of` before the saturating add).
+        assert_eq!(upper_of(index_of(u64::MAX)), u64::MAX);
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), u64::MAX);
+        // Percentiles stay clamped to the exact max, never wrapped.
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        assert!(h.percentile(1.0) >= u64::MAX / 2);
+        let json = h.to_json();
+        assert!(json.contains(&format!("\"max_us\":{}", u64::MAX)), "{json}");
+    }
+
+    #[test]
+    fn zero_sample_histogram_reports_zeros() {
+        let h = Hist::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 0, "p{p} on empty");
+        }
+        assert_eq!(
+            h.to_json(),
+            "{\"count\":0,\"p50_us\":0,\"p90_us\":0,\"p99_us\":0,\"max_us\":0}"
+        );
     }
 
     #[test]

@@ -73,6 +73,46 @@ impl Response {
             .push(("Retry-After", retry_after_secs.to_string()));
         r
     }
+
+    /// A tier-tagged 429: either a refusal at the door (the queue is
+    /// full and nothing lower-tier could be shed) or a queued job
+    /// evicted by a higher-tier arrival (`shed` true). Always carries
+    /// `Retry-After` (≥ 1 second) so front-of-fleet proxies can pace.
+    #[must_use]
+    pub fn tier_busy(tier: &'static str, shed: bool, retry_after_secs: u64) -> Self {
+        let mut r = Response {
+            status: 429,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: format!(
+                "{{\"error\":\"simulation queue full\",\"tier\":\"{tier}\",\"shed\":{shed}}}"
+            )
+            .into_bytes(),
+        };
+        r.headers
+            .push(("Retry-After", retry_after_secs.max(1).to_string()));
+        r
+    }
+
+    /// A 504: the request's `deadline_ms` expired (`where_` says at
+    /// which stage — `queue` before simulating, `sim` mid-simulation).
+    #[must_use]
+    pub fn deadline_exceeded(where_: &str) -> Self {
+        Response {
+            status: 504,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: format!("{{\"error\":\"deadline exceeded\",\"stage\":\"{where_}\"}}")
+                .into_bytes(),
+        }
+    }
+
+    /// A 503 for jobs abandoned when the drain deadline passes during
+    /// graceful shutdown.
+    #[must_use]
+    pub fn draining() -> Self {
+        Response::error(503, "server draining")
+    }
 }
 
 /// The standard reason phrase for the status codes this server emits.
@@ -84,9 +124,51 @@ pub fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
         429 => "Too Many Requests",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
+    }
+}
+
+/// A [`Read`](io::Read) adapter enforcing a wall-clock deadline on the
+/// *whole* request head, not just each syscall. A slow-loris client
+/// trickling one header byte per interval defeats a per-read socket
+/// timeout (every read succeeds quickly); this adapter rejects the next
+/// read once the deadline passes, so the connection is dropped within
+/// one socket-timeout granule of the deadline regardless of how the
+/// bytes arrive. Reset the deadline between keep-alive requests with
+/// [`DeadlineReader::set_deadline`] (the same bound then doubles as the
+/// idle keep-alive timeout).
+#[derive(Debug)]
+pub struct DeadlineReader<R> {
+    inner: R,
+    deadline: std::time::Instant,
+}
+
+impl<R> DeadlineReader<R> {
+    /// Wrap `inner`, rejecting reads after `deadline`.
+    pub fn new(inner: R, deadline: std::time::Instant) -> Self {
+        DeadlineReader { inner, deadline }
+    }
+
+    /// Move the deadline (per keep-alive request).
+    pub fn set_deadline(&mut self, deadline: std::time::Instant) {
+        self.deadline = deadline;
+    }
+}
+
+impl<R: io::Read> io::Read for DeadlineReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if std::time::Instant::now() >= self.deadline {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request header deadline exceeded",
+            ));
+        }
+        self.inner.read(buf)
     }
 }
 
@@ -278,5 +360,56 @@ mod tests {
         assert!(text.contains("Retry-After: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("queue full"));
+    }
+
+    #[test]
+    fn tier_and_deadline_responses_have_the_right_shape() {
+        // Every 429 constructor yields a parseable Retry-After >= 1,
+        // even when the caller computes a zero hint.
+        for resp in [
+            Response::too_busy(1),
+            Response::tier_busy("batch", true, 0),
+            Response::tier_busy("normal", false, 3),
+        ] {
+            assert_eq!(resp.status, 429);
+            let retry = resp
+                .headers
+                .iter()
+                .find(|(n, _)| n.eq_ignore_ascii_case("retry-after"))
+                .map(|(_, v)| v.parse::<u64>().expect("numeric Retry-After"))
+                .expect("429 always carries Retry-After");
+            assert!(retry >= 1, "Retry-After must be at least 1s, got {retry}");
+        }
+        let shed = Response::tier_busy("batch", true, 0);
+        let body = String::from_utf8(shed.body).unwrap();
+        assert!(body.contains("\"tier\":\"batch\""), "{body}");
+        assert!(body.contains("\"shed\":true"), "{body}");
+
+        let expired = Response::deadline_exceeded("queue");
+        assert_eq!(expired.status, 504);
+        assert_eq!(reason(504), "Gateway Timeout");
+        assert!(String::from_utf8(expired.body)
+            .unwrap()
+            .contains("\"stage\":\"queue\""));
+
+        assert_eq!(Response::draining().status, 503);
+        assert_eq!(reason(503), "Service Unavailable");
+        assert_eq!(reason(422), "Unprocessable Entity");
+    }
+
+    #[test]
+    fn deadline_reader_rejects_reads_past_the_deadline() {
+        use std::io::Read;
+        use std::time::{Duration, Instant};
+        let data = Cursor::new(b"GET /x HTTP/1.1\r\n\r\n".to_vec());
+        // Future deadline: reads pass through.
+        let mut ok = DeadlineReader::new(data, Instant::now() + Duration::from_secs(60));
+        let mut buf = [0u8; 4];
+        assert_eq!(ok.read(&mut buf).unwrap(), 4);
+        // Expired deadline: the next read is a TimedOut error even
+        // though bytes are available — the slow-loris bound.
+        ok.set_deadline(Instant::now() - Duration::from_millis(1));
+        let err = ok.read(&mut buf).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
     }
 }

@@ -28,6 +28,27 @@
 //!    latency is log-bucketed and reported as p50/p90/p99/max at
 //!    `GET /stats` and on shutdown.
 //!
+//! On top of that rides the overload-protection and fault-survival
+//! layer (DESIGN.md §14):
+//!
+//! - **Deadlines end-to-end**: per-request `deadline_ms` is enforced as
+//!   a request-head read deadline ([`http::DeadlineReader`]), checked at
+//!   batch-dequeue time (expired → `504` without simulating), and
+//!   propagated into `SimOptions::max_cycles` through a calibrated
+//!   cycles-per-ms estimate so a deadline bounds engine time too.
+//! - **Criticality tiers** ([`api::Priority`]): per-tier queues with
+//!   shed-lowest-first admission, tier-tagged `429`s, and per-tier
+//!   latency histograms — the paper's non-uniform treatment of critical
+//!   loads applied to the serving layer.
+//! - **Failure containment**: the artifact cache's circuit breaker
+//!   fast-fails repeat-offender configs (`422`), panicking jobs are
+//!   isolated to a `500` by `catch_unwind`, `/healthz` reports
+//!   `ok|degraded|draining`, and `/shutdown` drains gracefully up to a
+//!   drain deadline.
+//! - **Chaos harness** ([`chaos`]): seeded hostile clients (slow-loris,
+//!   mid-body disconnects, worker panics, deadline storms) for the
+//!   load-test harness and CI.
+//!
 //! [`RunRecord`]: nupea::RunRecord
 
 #![warn(missing_docs)]
@@ -35,22 +56,24 @@
 
 pub mod api;
 pub mod batch;
+pub mod chaos;
 pub mod client;
 pub mod hist;
 pub mod http;
 
-use api::ConfigRequest;
-use batch::Batcher;
+use api::{ConfigRequest, Priority};
+use batch::{Batcher, Rejected};
 use hist::Hist;
-use http::{read_request, write_response, Request, Response};
-use nupea::runner::{records_to_json, run_compiled};
-use nupea::{ArtifactCache, CampaignConfig, FaultCampaign, RetryPolicy};
+use http::{read_request, write_response, DeadlineReader, Request, Response};
+use nupea::runner::{records_to_json, run_compiled, RunErrorKind};
+use nupea::{ArtifactCache, CampaignConfig, FaultCampaign, PipelineError, RetryPolicy};
 use std::collections::VecDeque;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Server construction knobs; [`ServeOptions::default`] suits tests and
 /// small deployments.
@@ -71,6 +94,18 @@ pub struct ServeOptions {
     pub batch_wait_ms: u64,
     /// Compile-artifact cache capacity (artifacts, LRU past it).
     pub cache_cap: usize,
+    /// Bound on reading one request head/body, and the idle keep-alive
+    /// timeout between requests. Enforced both as a per-read socket
+    /// timeout and as a whole-head wall-clock deadline
+    /// ([`http::DeadlineReader`]), so slow-loris clients trickling
+    /// bytes cannot pin an HTTP worker.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout: a client that stops reading its response
+    /// cannot pin a worker either.
+    pub write_timeout_ms: u64,
+    /// Graceful-drain budget after `/shutdown`: queued jobs keep
+    /// executing this long, then the backlog is answered `503`.
+    pub drain_ms: u64,
 }
 
 impl Default for ServeOptions {
@@ -83,7 +118,63 @@ impl Default for ServeOptions {
             batch_max: 16,
             batch_wait_ms: 2,
             cache_cap: 32,
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+            drain_ms: 5_000,
         }
+    }
+}
+
+/// The serving layer's cycles-per-millisecond estimate, calibrated from
+/// completed runs, used to translate a request's remaining wall-clock
+/// deadline into a [`SimOptions::max_cycles`] engine bound.
+///
+/// Starts deliberately generous (a too-low estimate would 504 requests
+/// that had time left; a too-high one merely lets the engine overshoot
+/// the deadline once before calibration catches up) and converges with
+/// an EWMA over observed `cycles / sim-wall-time` ratios.
+///
+/// [`SimOptions::max_cycles`]: nupea::SimOptions
+#[derive(Debug)]
+struct Calibration {
+    cycles_per_ms: AtomicU64,
+}
+
+/// Initial cycles-per-ms guess before any run has been observed.
+const DEFAULT_CYCLES_PER_MS: u64 = 1_000_000;
+
+impl Calibration {
+    fn new() -> Self {
+        Calibration {
+            cycles_per_ms: AtomicU64::new(DEFAULT_CYCLES_PER_MS),
+        }
+    }
+
+    /// The current estimate (cycles the engine retires per wall-ms).
+    fn estimate(&self) -> u64 {
+        self.cycles_per_ms.load(Ordering::Relaxed)
+    }
+
+    /// Fold one completed run into the estimate (EWMA, newest 1/4).
+    fn observe(&self, cycles: u64, sim_micros: u64) {
+        if cycles == 0 || sim_micros == 0 {
+            return;
+        }
+        let observed = (cycles.saturating_mul(1000) / sim_micros).max(1);
+        let old = self.cycles_per_ms.load(Ordering::Relaxed);
+        let new = (old / 4)
+            .saturating_mul(3)
+            .saturating_add(observed / 4)
+            .max(1);
+        self.cycles_per_ms.store(new, Ordering::Relaxed);
+    }
+
+    /// The engine budget a remaining wall-clock allowance buys.
+    fn budget_for(&self, remaining: Duration) -> u64 {
+        let ms = u64::try_from(remaining.as_millis())
+            .unwrap_or(u64::MAX)
+            .max(1);
+        self.estimate().saturating_mul(ms).max(1)
     }
 }
 
@@ -97,26 +188,50 @@ struct App {
     cache: Arc<ArtifactCache>,
     batcher: Batcher,
     hists: [Mutex<Hist>; 6],
+    /// Per-tier simulate/trace latency histograms (critical first).
+    tier_hists: [Mutex<Hist>; Priority::COUNT],
+    calib: Arc<Calibration>,
     start: Instant,
     addr: SocketAddr,
     stop: AtomicBool,
     conns: Mutex<VecDeque<TcpStream>>,
     conn_ready: Condvar,
+    queue_cap: usize,
+    read_timeout: Duration,
+    write_timeout: Duration,
+    drain: Duration,
 }
 
 impl App {
     /// Flip the stop flag and unblock every parked thread: the batch
-    /// executor (drain-and-exit), the HTTP workers (condvar), and the
-    /// accept loop (a wake-up connection, since `accept` only observes
-    /// the flag after returning).
+    /// executor (drain up to the drain deadline, then exit), the HTTP
+    /// workers (condvar), and the accept loop (a wake-up connection,
+    /// since `accept` only observes the flag after returning).
     fn begin_shutdown(&self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return; // already stopping
         }
-        self.batcher.stop();
+        self.batcher.stop(self.drain);
         self.conn_ready.notify_all();
         let addr = self.addr;
         std::thread::spawn(move || drop(TcpStream::connect(addr)));
+    }
+
+    /// The coarse health state `/healthz` and `/stats` report:
+    /// `draining` once shutdown began, `degraded` when an artifact
+    /// breaker is open or the queue is at least half full, `ok`
+    /// otherwise.
+    fn health_state(&self) -> &'static str {
+        if self.stop.load(Ordering::SeqCst) {
+            return "draining";
+        }
+        let breakers = self.cache.stats().open_breakers;
+        let depth = self.batcher.depth();
+        if breakers > 0 || (self.queue_cap > 0 && depth.saturating_mul(2) >= self.queue_cap) {
+            "degraded"
+        } else {
+            "ok"
+        }
     }
 }
 
@@ -154,11 +269,17 @@ impl Server {
                 opts.sim_threads,
             ),
             hists: std::array::from_fn(|_| Mutex::new(Hist::new())),
+            tier_hists: std::array::from_fn(|_| Mutex::new(Hist::new())),
+            calib: Arc::new(Calibration::new()),
             start: Instant::now(),
             addr,
             stop: AtomicBool::new(false),
             conns: Mutex::new(VecDeque::new()),
             conn_ready: Condvar::new(),
+            queue_cap: opts.queue_cap,
+            read_timeout: Duration::from_millis(opts.read_timeout_ms.max(1)),
+            write_timeout: Duration::from_millis(opts.write_timeout_ms.max(1)),
+            drain: Duration::from_millis(opts.drain_ms),
         });
         let mut threads = Vec::new();
         // Batch executor.
@@ -238,12 +359,28 @@ fn worker_loop(app: &App) {
 }
 
 /// Serve one connection: keep-alive loop until close, EOF, protocol
-/// error, or server shutdown.
+/// error, timeout, or server shutdown.
+///
+/// Hostile-client hardening: `TCP_NODELAY` (small JSON responses go out
+/// immediately), per-read socket timeouts in both directions, and a
+/// whole-request-head wall-clock deadline via [`DeadlineReader`] — so
+/// neither an abandoned keep-alive socket nor a slow-loris client
+/// trickling header bytes can hold this worker past the read timeout.
 fn handle_connection(app: &App, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(app.read_timeout));
+    let _ = stream.set_write_timeout(Some(app.write_timeout));
     let Ok(peer) = stream.try_clone() else { return };
-    let mut reader = BufReader::new(peer);
+    let mut reader = BufReader::new(DeadlineReader::new(peer, Instant::now() + app.read_timeout));
     let mut out = stream;
     loop {
+        // The head deadline doubles as the idle keep-alive timeout:
+        // it is re-armed per request, so a connection that sends
+        // nothing for read_timeout is dropped just like one that
+        // trickles bytes forever.
+        reader
+            .get_mut()
+            .set_deadline(Instant::now() + app.read_timeout);
         let req = match read_request(&mut reader) {
             Ok(Some(req)) => req,
             Ok(None) => return,
@@ -251,10 +388,15 @@ fn handle_connection(app: &App, stream: TcpStream) {
                 let _ = write_response(&mut out, &Response::error(400, &e.to_string()), false);
                 return;
             }
+            // TimedOut/WouldBlock (idle or slow-loris) and every other
+            // I/O failure: drop the connection, free the worker.
             Err(_) => return,
         };
         let t0 = Instant::now();
-        let (endpoint, resp) = handle_request(app, &req);
+        // Worker isolation: a panic anywhere in routing/handling is
+        // this request's 500, not the worker thread's death.
+        let (endpoint, resp) = catch_unwind(AssertUnwindSafe(|| handle_request(app, &req)))
+            .unwrap_or_else(|_| ("", Response::error(500, "internal panic (worker isolated)")));
         if let Some(i) = ENDPOINTS.iter().position(|&e| e == endpoint) {
             let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
             app.hists[i].lock().expect("hist poisoned").record(micros);
@@ -272,13 +414,21 @@ fn handle_connection(app: &App, stream: TcpStream) {
 /// for untracked routes) and the response.
 fn handle_request(app: &App, req: &Request) -> (&'static str, Response) {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (
-            "healthz",
-            Response::json(format!(
-                "{{\"ok\":true,\"uptime_ms\":{}}}",
-                app.start.elapsed().as_millis()
-            )),
-        ),
+        ("GET", "/healthz") => {
+            let state = app.health_state();
+            let cache = app.cache.stats();
+            (
+                "healthz",
+                Response::json(format!(
+                    "{{\"ok\":{},\"state\":\"{state}\",\"uptime_ms\":{},\
+                     \"queue_depth\":{},\"open_breakers\":{}}}",
+                    state != "draining",
+                    app.start.elapsed().as_millis(),
+                    app.batcher.depth(),
+                    cache.open_breakers,
+                )),
+            )
+        }
         ("GET", "/stats") => ("stats", Response::json(stats_json(app))),
         ("POST", "/compile") => ("compile", compile_endpoint(app, &req.body)),
         ("POST", "/simulate") => ("simulate", sim_endpoint(app, &req.body, false)),
@@ -299,15 +449,21 @@ fn handle_request(app: &App, req: &Request) -> (&'static str, Response) {
 fn stats_json(app: &App) -> String {
     let c = app.cache.stats();
     let mut out = format!(
-        "{{\"uptime_ms\":{},\"queue_depth\":{},\"cache\":{{\"hits\":{},\"misses\":{},\
-         \"compiles\":{},\"evictions\":{},\"entries\":{}}},\"endpoints\":{{",
+        "{{\"uptime_ms\":{},\"state\":\"{}\",\"queue_depth\":{},\
+         \"cycles_per_ms_estimate\":{},\"cache\":{{\"hits\":{},\"misses\":{},\
+         \"compiles\":{},\"evictions\":{},\"entries\":{},\"fast_fails\":{},\
+         \"open_breakers\":{}}},\"endpoints\":{{",
         app.start.elapsed().as_millis(),
+        app.health_state(),
         app.batcher.depth(),
+        app.calib.estimate(),
         c.hits,
         c.misses,
         c.compiles,
         c.evictions,
         c.entries,
+        c.fast_fails,
+        c.open_breakers,
     );
     for (i, name) in ENDPOINTS.iter().enumerate() {
         if i > 0 {
@@ -315,6 +471,26 @@ fn stats_json(app: &App) -> String {
         }
         let hist = app.hists[i].lock().expect("hist poisoned");
         out.push_str(&format!("\"{name}\":{}", hist.to_json()));
+    }
+    out.push_str("},\"tiers\":{");
+    let depths = app.batcher.depth_by_tier();
+    let counters = app.batcher.tier_counters();
+    for i in 0..Priority::COUNT {
+        if i > 0 {
+            out.push(',');
+        }
+        let hist = app.tier_hists[i].lock().expect("hist poisoned");
+        out.push_str(&format!(
+            "\"{}\":{{\"depth\":{},\"shed\":{},\"refused\":{},\"expired\":{},\
+             \"executed\":{},\"latency\":{}}}",
+            Priority::from_index(i).name(),
+            depths[i],
+            counters[i].shed,
+            counters[i].refused,
+            counters[i].expired,
+            counters[i].executed,
+            hist.to_json(),
+        ));
     }
     out.push_str("}}");
     out
@@ -344,15 +520,22 @@ fn compile_endpoint(app: &App, body: &str) -> Response {
             compiled.placed.timing.divider,
             t0.elapsed().as_micros()
         )),
+        Err(e @ PipelineError::FastFailed { .. }) => Response::error(422, &e.to_string()),
         Err(e) => Response::error(500, &e.to_string()),
     }
 }
 
 /// `POST /simulate` and `POST /trace`: enqueue into the batch executor
-/// (backpressure applies), compile via the shared cache, simulate with
-/// the runner's record machinery. The simulate response body is exactly
-/// [`records_to_json`] of the one record — byte-identical to the batch
-/// CLI for the same config.
+/// (backpressure and tiered shedding apply), compile via the shared
+/// cache, simulate with the runner's record machinery. The simulate
+/// response body is exactly [`records_to_json`] of the one record —
+/// byte-identical to the batch CLI for the same config.
+///
+/// A `deadline_ms` request caps both queue wait (expired entries answer
+/// 504 without consuming a batch slot) and the engine's cycle budget
+/// via the calibrated cycles-per-ms estimate; a run that hits that
+/// deadline-derived cap (and only that cap) is a 504 at the `sim`
+/// stage, not a 200 with a cycle-limit error record.
 fn sim_endpoint(app: &App, body: &str, want_trace: bool) -> Response {
     let (cfg, workload, sys) = match resolve(body) {
         Ok(t) => t,
@@ -366,15 +549,59 @@ fn sim_endpoint(app: &App, body: &str, want_trace: bool) -> Response {
     let budget = cfg.cycle_budget;
     let heuristic = cfg.heuristic;
     let model = cfg.model;
+    let tier = cfg.priority;
+    let deadline = cfg
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let chaos = cfg.x_chaos.clone();
     let cache = Arc::clone(&app.cache);
+    let calib = Arc::clone(&app.calib);
+    let t0 = Instant::now();
     let job = Box::new(move || -> Response {
+        // Chaos hooks: honored only inside the server's job closure, so
+        // they never affect the batch CLI or the config hash.
+        if let Some(spec) = chaos.as_deref() {
+            if spec == "panic" {
+                panic!("chaos: injected worker panic");
+            }
+            if let Some(ms) = spec.strip_prefix("sleep:").and_then(|s| s.parse().ok()) {
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
+        // The executor already dropped expired entries at dequeue time,
+        // but the deadline may have lapsed since; don't start a sim we
+        // know can't answer in time.
+        let mut deadline_cap = None;
+        if let Some(d) = deadline {
+            let Some(remaining) = d.checked_duration_since(Instant::now()) else {
+                return Response::deadline_exceeded("queue");
+            };
+            deadline_cap = Some(calib.budget_for(remaining));
+        }
         let (result, cached) = cache.get_or_compile(hash, &workload, &sys, heuristic);
         let compiled = match result {
             Ok(c) => c,
+            Err(e @ PipelineError::FastFailed { .. }) => {
+                return Response::error(422, &e.to_string());
+            }
             Err(e) => return Response::error(500, &e.to_string()),
         };
-        let (mut record, trace) = run_compiled(&compiled, model, budget, retry, want_trace);
+        // Effective budget: the user's cycle cap, tightened (never
+        // loosened) by the deadline-derived cap.
+        let capped = deadline_cap.is_some_and(|cap| budget.is_none_or(|b| cap < b));
+        let effective = match (deadline_cap, budget) {
+            (Some(cap), Some(b)) => Some(cap.min(b)),
+            (Some(cap), None) => Some(cap),
+            (None, b) => b,
+        };
+        let (mut record, trace) = run_compiled(&compiled, model, effective, retry, want_trace);
         record.compile_cached = cached;
+        if record.error_kind.is_none() {
+            calib.observe(record.cycles, record.sim_micros);
+        } else if capped && record.error_kind == Some(RunErrorKind::CycleLimit) {
+            // The deadline cap (not the user's budget) was binding.
+            return Response::deadline_exceeded("sim");
+        }
         if want_trace {
             match trace {
                 Some(t) => Response::json(t.to_chrome_json()),
@@ -387,10 +614,17 @@ fn sim_endpoint(app: &App, body: &str, want_trace: bool) -> Response {
             Response::json(records_to_json(&[record], false))
         }
     });
-    match app.batcher.submit(job) {
+    let resp = match app.batcher.submit(job, tier, deadline) {
         Ok(resp) => resp,
-        Err(batch::QueueFull) => Response::too_busy(1),
-    }
+        Err(Rejected::Full(retry_after)) => Response::tier_busy(tier.name(), false, retry_after),
+        Err(Rejected::Draining) => Response::draining(),
+    };
+    let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+    app.tier_hists[tier.index()]
+        .lock()
+        .expect("hist poisoned")
+        .record(micros);
+    resp
 }
 
 /// `POST /campaign`: a small synchronous fault campaign over the
@@ -553,6 +787,93 @@ mod tests {
         );
         // Health and compile still work — only the sim queue is bounded.
         assert_eq!(request(addr, "GET", "/healthz", "").unwrap().status, 200);
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn expired_deadline_answers_504_and_tiers_reach_stats() {
+        let server = test_server(&ServeOptions::default());
+        let addr = server.addr();
+
+        // deadline_ms:0 is expired on arrival: 504 from the queue stage,
+        // no simulation.
+        let resp = post(
+            addr,
+            "/simulate",
+            "{\"workload\":\"spmv\",\"effort\":0,\"deadline_ms\":0,\"priority\":\"critical\"}",
+        )
+        .unwrap();
+        assert_eq!(resp.status, 504, "{resp:?}");
+        assert!(resp.body_str().contains("\"stage\":\"queue\""), "{resp:?}");
+
+        // A generous deadline simulates normally.
+        let ok = post(
+            addr,
+            "/simulate",
+            "{\"workload\":\"spmv\",\"effort\":0,\"deadline_ms\":60000}",
+        )
+        .unwrap();
+        assert_eq!(ok.status, 200, "{ok:?}");
+
+        let stats = request(addr, "GET", "/stats", "").unwrap();
+        let s = stats.body_str();
+        assert!(s.contains("\"state\":\"ok\""), "{s}");
+        assert!(s.contains("\"cycles_per_ms_estimate\":"), "{s}");
+        assert!(s.contains("\"critical\":{\"depth\":"), "{s}");
+        assert!(s.contains("\"expired\":1"), "{s}");
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn breaker_fast_fails_and_degrades_health() {
+        let server = test_server(&ServeOptions::default());
+        let addr = server.addr();
+
+        // fifo_depth:0 cannot compile; after BREAKER_THRESHOLD
+        // consecutive failures the breaker opens and answers 422
+        // instead of re-running the failing compile.
+        let body = "{\"workload\":\"spmv\",\"effort\":0,\"fifo_depth\":0}";
+        for _ in 0..nupea::cache::BREAKER_THRESHOLD {
+            let resp = post(addr, "/compile", body).unwrap();
+            assert_eq!(resp.status, 500, "{resp:?}");
+        }
+        let fast = post(addr, "/compile", body).unwrap();
+        assert_eq!(fast.status, 422, "{fast:?}");
+        assert!(fast.body_str().contains("fast-failed"), "{fast:?}");
+        // Simulate against the same config fast-fails too.
+        let sim = post(addr, "/simulate", body).unwrap();
+        assert_eq!(sim.status, 422, "{sim:?}");
+
+        // An open breaker degrades health (still 200 — degraded is
+        // load-balancer advice, not an outage).
+        let health = request(addr, "GET", "/healthz", "").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(
+            health.body_str().contains("\"state\":\"degraded\""),
+            "{health:?}"
+        );
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn chaos_panic_is_isolated_to_a_500() {
+        let server = test_server(&ServeOptions::default());
+        let addr = server.addr();
+
+        let body = "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"panic\"}";
+        let resp = post(addr, "/simulate", body).unwrap();
+        assert_eq!(resp.status, 500, "{resp:?}");
+        assert!(resp.body_str().contains("panicked"), "{resp:?}");
+
+        // The worker survived: a normal request on the same server works.
+        let ok = post(addr, "/simulate", "{\"workload\":\"spmv\",\"effort\":0}").unwrap();
+        assert_eq!(ok.status, 200, "{ok:?}");
 
         server.shutdown();
         server.wait();

@@ -13,7 +13,8 @@ use nupea_serve::{ServeOptions, Server};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: nupea-serve [--addr HOST:PORT] [--http-workers N] \
-    [--sim-threads N] [--queue-cap N] [--batch-max N] [--batch-wait-ms MS] [--cache-cap N]";
+    [--sim-threads N] [--queue-cap N] [--batch-max N] [--batch-wait-ms MS] [--cache-cap N] \
+    [--read-timeout-ms MS] [--write-timeout-ms MS] [--drain-ms MS]";
 
 fn parse_args(opts: &mut ServeOptions) -> Result<(), String> {
     let mut args = std::env::args().skip(1);
@@ -27,6 +28,9 @@ fn parse_args(opts: &mut ServeOptions) -> Result<(), String> {
             "--batch-max" => opts.batch_max = parse(&take("--batch-max")?)?,
             "--batch-wait-ms" => opts.batch_wait_ms = parse(&take("--batch-wait-ms")?)?,
             "--cache-cap" => opts.cache_cap = parse(&take("--cache-cap")?)?,
+            "--read-timeout-ms" => opts.read_timeout_ms = parse(&take("--read-timeout-ms")?)?,
+            "--write-timeout-ms" => opts.write_timeout_ms = parse(&take("--write-timeout-ms")?)?,
+            "--drain-ms" => opts.drain_ms = parse(&take("--drain-ms")?)?,
             other => return Err(format!("unknown flag: {other}")),
         }
     }

@@ -1,0 +1,261 @@
+//! Chaos and overload tests of the `nupea-serve` binary and library
+//! (the CI `serve-chaos` job): a seeded hostile-client storm
+//! (slow-loris, mid-body disconnects, injected panics, deadline storms)
+//! must leave the server alive and answering byte-identical results;
+//! overload must shed strictly by tier; shutdown must drain gracefully.
+
+use nupea_serve::chaos::{self, ChaosConfig};
+use nupea_serve::client::{post, request};
+use nupea_serve::{ServeOptions, Server};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const CONFIG: &str = "{\"workload\":\"spmv\",\"effort\":0,\"seed\":3}";
+
+/// Guard that kills the server if the test panics before shutdown.
+struct ServerProc(Child);
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn start_server(extra: &[&str]) -> (ServerProc, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_nupea-serve"))
+        .args(["--addr", "127.0.0.1:0", "--batch-wait-ms", "0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn nupea-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server announces its address")
+        .expect("read banner");
+    let addr: SocketAddr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .parse()
+        .expect("parse announced address");
+    std::thread::spawn(move || for _ in lines {});
+    (ServerProc(child), addr)
+}
+
+/// Poll `/stats` until its body satisfies `pred` (or time out).
+fn wait_for_stats(addr: SocketAddr, pred: impl Fn(&str) -> bool, what: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let body = request(addr, "GET", "/stats", "")
+            .expect("stats")
+            .body_str();
+        if pred(&body) {
+            return body;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "timed out waiting for {what}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// The full seeded storm against the real binary: every attack shape is
+/// contained, the server stays alive, and a post-chaos `/simulate` is
+/// byte-identical to the `nupea_batch` CLI.
+#[test]
+fn chaos_storm_is_contained_and_results_stay_byte_identical() {
+    // A short read deadline so slow-loris connections are cut quickly.
+    let (mut server, addr) = start_server(&["--read-timeout-ms", "300"]);
+
+    let mut cfg = ChaosConfig::default();
+    cfg.seed = 42;
+    cfg.slow_loris = 2;
+    cfg.disconnects = 2;
+    cfg.panics = 2;
+    cfg.deadline_storm = 3;
+    cfg.trickle_ms = 40;
+    cfg.trickle_bytes = 12; // 480ms of trickle against a 300ms deadline
+    let report = chaos::run(addr, &cfg);
+    assert!(report.alive_after, "server dead after chaos: {report:?}");
+    assert!(report.contained(), "chaos leaked: {report:?}");
+
+    // The storm's panics degraded nothing permanent: health is 200 and
+    // not draining.
+    let health = request(addr, "GET", "/healthz", "").expect("healthz");
+    assert_eq!(health.status, 200, "{health:?}");
+    assert!(!health.body_str().contains("draining"), "{health:?}");
+
+    // Byte-identity survives the storm: a served record equals the
+    // batch CLI's, modulo the cache-disposition flag.
+    let served = post(addr, "/simulate", CONFIG).expect("post-chaos simulate");
+    assert_eq!(served.status, 200, "{served:?}");
+    let batch = Command::new(env!("CARGO_BIN_EXE_nupea_batch"))
+        .arg(CONFIG)
+        .output()
+        .expect("run nupea_batch");
+    assert!(batch.status.success(), "{batch:?}");
+    let normalize = |s: &str| s.replace("\"compile_cached\":true", "\"compile_cached\":false");
+    assert_eq!(
+        normalize(&served.body_str()),
+        normalize(
+            String::from_utf8(batch.stdout)
+                .expect("utf-8")
+                .trim_end_matches('\n')
+        ),
+        "post-chaos served record must be byte-identical to the batch CLI's"
+    );
+
+    // Clean, graceful exit.
+    let bye = post(addr, "/shutdown", "").expect("shutdown");
+    assert_eq!(bye.status, 200, "{bye:?}");
+    let status = server.0.wait().expect("server exit status");
+    assert!(status.success(), "clean exit, got {status:?}");
+}
+
+/// Overload with a full queue sheds strictly by tier: every batch-tier
+/// request is evicted with a tier-tagged 429 (valid `Retry-After`),
+/// every critical request completes.
+#[test]
+fn overload_sheds_batch_tier_first_and_criticals_all_succeed() {
+    let mut opts = ServeOptions::default();
+    opts.http_workers = 16;
+    opts.sim_threads = 1;
+    opts.queue_cap = 4;
+    opts.batch_max = 1;
+    opts.batch_wait_ms = 0;
+    let server = Server::start(&opts).expect("bind");
+    let addr = server.addr();
+
+    // Stall the single-threaded executor with one slow job, so queue
+    // admission decisions below are deterministic.
+    let stall = std::thread::spawn(move || {
+        post(
+            addr,
+            "/simulate",
+            "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"sleep:1500\"}",
+        )
+    });
+    wait_for_stats(
+        addr,
+        |s| s.contains("\"executed\":1"),
+        "stall job in flight",
+    );
+
+    // Fill the queue with batch-tier jobs.
+    let batch_body = "{\"workload\":\"spmv\",\"effort\":0,\"priority\":\"batch\"}";
+    let batch_clients: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || post(addr, "/simulate", batch_body)))
+        .collect();
+    wait_for_stats(
+        addr,
+        |s| s.contains("\"batch\":{\"depth\":4"),
+        "batch tier queued",
+    );
+
+    // Critical arrivals evict them, one for one.
+    let crit_body = "{\"workload\":\"spmv\",\"effort\":0,\"priority\":\"critical\"}";
+    let crit_clients: Vec<_> = (0..4)
+        .map(|_| std::thread::spawn(move || post(addr, "/simulate", crit_body)))
+        .collect();
+
+    for c in batch_clients {
+        let resp = c.join().unwrap().expect("shed batch response");
+        assert_eq!(resp.status, 429, "{resp:?}");
+        let body = resp.body_str();
+        assert!(body.contains("\"tier\":\"batch\""), "{body}");
+        assert!(body.contains("\"shed\":true"), "{body}");
+        let retry = resp
+            .headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case("retry-after"))
+            .map(|(_, v)| v.clone())
+            .expect("429 carries Retry-After");
+        assert!(
+            retry.parse::<u64>().is_ok_and(|s| s >= 1),
+            "Retry-After must be a positive integer, got {retry:?}"
+        );
+    }
+    for c in crit_clients {
+        let resp = c.join().unwrap().expect("critical response");
+        assert_eq!(
+            resp.status, 200,
+            "criticals must survive overload: {resp:?}"
+        );
+    }
+    assert_eq!(stall.join().unwrap().expect("stall response").status, 200);
+
+    let stats = wait_for_stats(addr, |s| s.contains("\"shed\":4"), "shed counters");
+    assert!(stats.contains("\"critical\":{\"depth\":0"), "{stats}");
+
+    server.shutdown();
+    server.wait();
+}
+
+/// Deadline storms never occupy simulation slots, and shutdown with a
+/// zero drain budget finishes in-flight work but 503s the backlog.
+#[test]
+fn deadline_storm_spares_sim_slots_and_drain_is_graceful() {
+    let mut opts = ServeOptions::default();
+    opts.http_workers = 8;
+    opts.sim_threads = 1;
+    opts.queue_cap = 8;
+    opts.batch_max = 1;
+    opts.batch_wait_ms = 0;
+    opts.drain_ms = 0;
+    let server = Server::start(&opts).expect("bind");
+    let addr = server.addr();
+
+    // Storm: every request expired on arrival. All 504, none executed.
+    let storm_body = "{\"workload\":\"spmv\",\"effort\":0,\"deadline_ms\":0}";
+    for _ in 0..5 {
+        let resp = post(addr, "/simulate", storm_body).expect("storm response");
+        assert_eq!(resp.status, 504, "{resp:?}");
+        assert!(resp.body_str().contains("\"stage\":\"queue\""), "{resp:?}");
+    }
+    let stats = wait_for_stats(addr, |s| s.contains("\"expired\":5"), "expired counters");
+    assert!(
+        stats.contains(
+            "\"normal\":{\"depth\":0,\"shed\":0,\"refused\":0,\"expired\":5,\"executed\":0"
+        ),
+        "storm must not consume executor slots: {stats}"
+    );
+
+    // Graceful drain: one slow job in flight, one queued behind it.
+    let inflight = std::thread::spawn(move || {
+        post(
+            addr,
+            "/simulate",
+            "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"sleep:1200\"}",
+        )
+    });
+    wait_for_stats(addr, |s| s.contains("\"executed\":1"), "slow job in flight");
+    let queued = std::thread::spawn(move || post(addr, "/simulate", CONFIG));
+    wait_for_stats(
+        addr,
+        |s| s.contains("\"normal\":{\"depth\":1"),
+        "one job queued",
+    );
+
+    let bye = post(addr, "/shutdown", "").expect("shutdown");
+    assert_eq!(bye.status, 200, "{bye:?}");
+    assert!(bye.body_str().contains("\"stopping\":true"), "{bye:?}");
+
+    let inflight = inflight.join().unwrap().expect("in-flight response");
+    assert_eq!(
+        inflight.status, 200,
+        "in-flight work completes: {inflight:?}"
+    );
+    let queued = queued.join().unwrap().expect("queued response");
+    assert_eq!(
+        queued.status, 503,
+        "backlog 503s at the drain deadline: {queued:?}"
+    );
+
+    server.wait(); // must return, not hang
+}
