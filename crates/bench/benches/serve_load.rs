@@ -96,6 +96,9 @@ fn main() {
         // Cut slow-loris connections quickly so the storm resolves
         // within the measured window (1s is still generous on loopback).
         opts.read_timeout_ms = 1_000;
+        // The storm's injected panics ride the x_chaos hook, which the
+        // server refuses (403) unless explicitly opted in.
+        opts.chaos_hooks = true;
     }
     let server = Server::start(&opts).expect("bind load-test server");
     let addr = server.addr();

@@ -120,7 +120,9 @@ pub struct ConfigRequest {
     /// Chaos-testing hook (`"panic"` panics the worker job, proving
     /// `catch_unwind` isolation; `"sleep:MS"` stalls the job). Parsed by
     /// every consumer of the schema but only honored by the server's
-    /// simulate path; `nupea_batch` ignores it.
+    /// simulate path — and only when the server opted in
+    /// (`ServeOptions::chaos_hooks` / `--chaos-hooks`; `403` otherwise);
+    /// `nupea_batch` ignores it.
     pub x_chaos: Option<String>,
 }
 

@@ -23,7 +23,7 @@
 
 use crate::client::post;
 use nupea_rng::Xoshiro256;
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::thread;
 use std::time::Duration;
@@ -158,8 +158,15 @@ fn slow_loris(addr: SocketAddr, cfg: &ChaosConfig) -> bool {
     let mut buf = [0u8; 256];
     loop {
         match stream.read(&mut buf) {
-            Ok(0) | Err(_) => return true, // EOF/reset/timeout-as-error
-            Ok(_) => continue,             // server wrote something; keep draining
+            Ok(0) => return true, // EOF: the server closed the connection
+            Ok(_) => continue,    // server wrote something; keep draining
+            // Our own read timeout fired: the server left the socket
+            // open for the whole loris_wait_ms — NOT cut. A vulnerable
+            // server must fail `contained()`, not pass by our timeout.
+            Err(e) if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) => {
+                return false;
+            }
+            Err(_) => return true, // reset/abort: the server cut us
         }
     }
 }

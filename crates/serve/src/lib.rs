@@ -47,7 +47,9 @@
 //!   drain deadline.
 //! - **Chaos harness** ([`chaos`]): seeded hostile clients (slow-loris,
 //!   mid-body disconnects, worker panics, deadline storms) for the
-//!   load-test harness and CI.
+//!   load-test harness and CI. The in-band `x_chaos` request hooks are
+//!   opt-in ([`ServeOptions::chaos_hooks`], off by default; `403`
+//!   otherwise) so production clients cannot invoke them.
 //!
 //! [`RunRecord`]: nupea::RunRecord
 
@@ -106,6 +108,13 @@ pub struct ServeOptions {
     /// Graceful-drain budget after `/shutdown`: queued jobs keep
     /// executing this long, then the backlog is answered `503`.
     pub drain_ms: u64,
+    /// Honor the test-only `x_chaos` request hooks (injected worker
+    /// panics and sleeps). Off by default: a production server must not
+    /// let unauthenticated clients panic workers or pin executor slots.
+    /// Requests carrying `x_chaos` are answered `403` while disabled;
+    /// even when enabled, chaos sleeps are clamped to the read timeout
+    /// and to the request's remaining deadline.
+    pub chaos_hooks: bool,
 }
 
 impl Default for ServeOptions {
@@ -121,6 +130,7 @@ impl Default for ServeOptions {
             read_timeout_ms: 5_000,
             write_timeout_ms: 5_000,
             drain_ms: 5_000,
+            chaos_hooks: false,
         }
     }
 }
@@ -200,6 +210,7 @@ struct App {
     read_timeout: Duration,
     write_timeout: Duration,
     drain: Duration,
+    chaos_hooks: bool,
 }
 
 impl App {
@@ -280,6 +291,7 @@ impl Server {
             read_timeout: Duration::from_millis(opts.read_timeout_ms.max(1)),
             write_timeout: Duration::from_millis(opts.write_timeout_ms.max(1)),
             drain: Duration::from_millis(opts.drain_ms),
+            chaos_hooks: opts.chaos_hooks,
         });
         let mut threads = Vec::new();
         // Batch executor.
@@ -541,6 +553,14 @@ fn sim_endpoint(app: &App, body: &str, want_trace: bool) -> Response {
         Ok(t) => t,
         Err(resp) => return *resp,
     };
+    // The in-band chaos hooks are strictly opt-in: without the flag,
+    // any client could panic workers or pin executor slots at will.
+    if cfg.x_chaos.is_some() && !app.chaos_hooks {
+        return Response::error(
+            403,
+            "x_chaos is a test-only hook; start the server with --chaos-hooks to enable it",
+        );
+    }
     let hash = nupea::config_hash(&workload, &sys, cfg.heuristic);
     let retry = match cfg.retry_factor {
         None | Some(0 | 1) => RetryPolicy::None,
@@ -554,18 +574,27 @@ fn sim_endpoint(app: &App, body: &str, want_trace: bool) -> Response {
         .deadline_ms
         .map(|ms| Instant::now() + Duration::from_millis(ms));
     let chaos = cfg.x_chaos.clone();
+    let chaos_sleep_cap = app.read_timeout;
     let cache = Arc::clone(&app.cache);
     let calib = Arc::clone(&app.calib);
     let t0 = Instant::now();
     let job = Box::new(move || -> Response {
-        // Chaos hooks: honored only inside the server's job closure, so
-        // they never affect the batch CLI or the config hash.
+        // Chaos hooks (opt-in, gated above): honored only inside the
+        // server's job closure, so they never affect the batch CLI or
+        // the config hash.
         if let Some(spec) = chaos.as_deref() {
             if spec == "panic" {
                 panic!("chaos: injected worker panic");
             }
             if let Some(ms) = spec.strip_prefix("sleep:").and_then(|s| s.parse().ok()) {
-                std::thread::sleep(Duration::from_millis(ms));
+                // Even opted in, a chaos sleep cannot pin an executor
+                // slot longer than the read timeout or the request's
+                // own remaining deadline.
+                let mut cap = chaos_sleep_cap;
+                if let Some(d) = deadline {
+                    cap = cap.min(d.saturating_duration_since(Instant::now()));
+                }
+                std::thread::sleep(cap.min(Duration::from_millis(ms)));
             }
         }
         // The executor already dropped expired entries at dequeue time,
@@ -616,15 +645,31 @@ fn sim_endpoint(app: &App, body: &str, want_trace: bool) -> Response {
     });
     let resp = match app.batcher.submit(job, tier, deadline) {
         Ok(resp) => resp,
-        Err(Rejected::Full(retry_after)) => Response::tier_busy(tier.name(), false, retry_after),
-        Err(Rejected::Draining) => Response::draining(),
+        Err(Rejected::Full(retry_after)) => {
+            return Response::tier_busy(tier.name(), false, retry_after)
+        }
+        Err(Rejected::Draining) => return Response::draining(),
     };
-    let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
-    app.tier_hists[tier.index()]
-        .lock()
-        .expect("hist poisoned")
-        .record(micros);
+    // Per-tier latency covers only jobs the executor actually ran:
+    // shed 429s, draining 503s, and queue-expired 504s answer in
+    // microseconds and would drag a tier's percentiles down exactly
+    // when overload makes them matter. Those outcomes show up in the
+    // per-tier shed/refused/expired counters instead.
+    let fast_rejected = matches!(resp.status, 429 | 503)
+        || (resp.status == 504 && contains(&resp.body, b"\"stage\":\"queue\""));
+    if !fast_rejected {
+        let micros = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        app.tier_hists[tier.index()]
+            .lock()
+            .expect("hist poisoned")
+            .record(micros);
+    }
     resp
+}
+
+/// Byte-level substring test (for classifying responses by body).
+fn contains(haystack: &[u8], needle: &[u8]) -> bool {
+    haystack.windows(needle.len()).any(|w| w == needle)
 }
 
 /// `POST /campaign`: a small synchronous fault campaign over the
@@ -863,7 +908,11 @@ mod tests {
 
     #[test]
     fn chaos_panic_is_isolated_to_a_500() {
-        let server = test_server(&ServeOptions::default());
+        let opts = ServeOptions {
+            chaos_hooks: true,
+            ..ServeOptions::default()
+        };
+        let server = test_server(&opts);
         let addr = server.addr();
 
         let body = "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"panic\"}";
@@ -874,6 +923,38 @@ mod tests {
         // The worker survived: a normal request on the same server works.
         let ok = post(addr, "/simulate", "{\"workload\":\"spmv\",\"effort\":0}").unwrap();
         assert_eq!(ok.status, 200, "{ok:?}");
+
+        server.shutdown();
+        server.wait();
+    }
+
+    #[test]
+    fn chaos_hooks_are_refused_unless_opted_in() {
+        // Default options: any x_chaos request is a 403, never a panic
+        // or a sleep occupying an executor slot.
+        let server = test_server(&ServeOptions::default());
+        let addr = server.addr();
+
+        for body in [
+            "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"panic\"}",
+            "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"sleep:3600000\"}",
+        ] {
+            let resp = post(addr, "/simulate", body).unwrap();
+            assert_eq!(resp.status, 403, "{resp:?}");
+            assert!(resp.body_str().contains("x_chaos"), "{resp:?}");
+        }
+        // The refusals consumed nothing: a normal simulate still works
+        // and no job was ever admitted to the batch queue.
+        let ok = post(addr, "/simulate", "{\"workload\":\"spmv\",\"effort\":0}").unwrap();
+        assert_eq!(ok.status, 200, "{ok:?}");
+        let stats = request(addr, "GET", "/stats", "").unwrap();
+        assert!(
+            stats.body_str().contains(
+                "\"normal\":{\"depth\":0,\"shed\":0,\"refused\":0,\"expired\":0,\"executed\":1"
+            ),
+            "{}",
+            stats.body_str()
+        );
 
         server.shutdown();
         server.wait();

@@ -14,7 +14,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: nupea-serve [--addr HOST:PORT] [--http-workers N] \
     [--sim-threads N] [--queue-cap N] [--batch-max N] [--batch-wait-ms MS] [--cache-cap N] \
-    [--read-timeout-ms MS] [--write-timeout-ms MS] [--drain-ms MS]";
+    [--read-timeout-ms MS] [--write-timeout-ms MS] [--drain-ms MS] [--chaos-hooks]";
 
 fn parse_args(opts: &mut ServeOptions) -> Result<(), String> {
     let mut args = std::env::args().skip(1);
@@ -31,6 +31,9 @@ fn parse_args(opts: &mut ServeOptions) -> Result<(), String> {
             "--read-timeout-ms" => opts.read_timeout_ms = parse(&take("--read-timeout-ms")?)?,
             "--write-timeout-ms" => opts.write_timeout_ms = parse(&take("--write-timeout-ms")?)?,
             "--drain-ms" => opts.drain_ms = parse(&take("--drain-ms")?)?,
+            // Test-only: honor x_chaos panic/sleep request hooks
+            // (refused 403 without this flag).
+            "--chaos-hooks" => opts.chaos_hooks = true,
             other => return Err(format!("unknown flag: {other}")),
         }
     }

@@ -25,8 +25,16 @@ impl Drop for ServerProc {
 }
 
 fn start_server(extra: &[&str]) -> (ServerProc, SocketAddr) {
+    // --chaos-hooks: the storm's injected panics ride the x_chaos
+    // request hook, which the server refuses (403) unless opted in.
     let mut child = Command::new(env!("CARGO_BIN_EXE_nupea-serve"))
-        .args(["--addr", "127.0.0.1:0", "--batch-wait-ms", "0"])
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--batch-wait-ms",
+            "0",
+            "--chaos-hooks",
+        ])
         .args(extra)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
@@ -129,16 +137,24 @@ fn overload_sheds_batch_tier_first_and_criticals_all_succeed() {
     opts.queue_cap = 4;
     opts.batch_max = 1;
     opts.batch_wait_ms = 0;
+    opts.chaos_hooks = true;
+    // Chaos sleeps are clamped to the read timeout; admit the long
+    // stall below.
+    opts.read_timeout_ms = 8_000;
     let server = Server::start(&opts).expect("bind");
     let addr = server.addr();
 
     // Stall the single-threaded executor with one slow job, so queue
-    // admission decisions below are deterministic.
+    // admission decisions below are deterministic. The stall must
+    // outlast every fill/evict step below even on a slow, loaded CI
+    // runner — if it ended early the executor would drain the batch
+    // tier and the shed assertions would race — so it is generous:
+    // the window only ever holds a handful of loopback requests.
     let stall = std::thread::spawn(move || {
         post(
             addr,
             "/simulate",
-            "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"sleep:1500\"}",
+            "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"sleep:6000\"}",
         )
     });
     wait_for_stats(
@@ -208,6 +224,7 @@ fn deadline_storm_spares_sim_slots_and_drain_is_graceful() {
     opts.batch_max = 1;
     opts.batch_wait_ms = 0;
     opts.drain_ms = 0;
+    opts.chaos_hooks = true;
     let server = Server::start(&opts).expect("bind");
     let addr = server.addr();
 
@@ -227,11 +244,14 @@ fn deadline_storm_spares_sim_slots_and_drain_is_graceful() {
     );
 
     // Graceful drain: one slow job in flight, one queued behind it.
+    // The stall must outlast the queued POST and the stats poll below
+    // even on a slow runner, or the queued job would execute (200)
+    // instead of being abandoned at the drain deadline (503).
     let inflight = std::thread::spawn(move || {
         post(
             addr,
             "/simulate",
-            "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"sleep:1200\"}",
+            "{\"workload\":\"spmv\",\"effort\":0,\"x_chaos\":\"sleep:3000\"}",
         )
     });
     wait_for_stats(addr, |s| s.contains("\"executed\":1"), "slow job in flight");
